@@ -1,0 +1,111 @@
+// Shared plumbing for the figure-reproduction binaries: CLI flags, table
+// formatting, and the link-rate x RTT sweep grids of Figures 15-18.
+//
+// Every binary prints the same rows/series the paper reports. By default a
+// reduced grid / shortened durations keep the whole suite runnable on one
+// core; pass --full for the paper-scale parameters.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::bench {
+
+struct Options {
+  bool full = false;
+  std::uint64_t seed = 1;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--full] [--seed N]\n"
+          "  --full   paper-scale grid and durations (slower)\n"
+          "  --seed N RNG seed (default 1)\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+inline void print_header(const char* figure, const char* description,
+                         const Options& opts) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf("# mode: %s\n", opts.full ? "full (paper-scale)" : "quick (reduced)");
+}
+
+/// The evaluation grid of Figures 15-18 (link Mb/s x RTT ms).
+inline std::vector<double> link_grid(const Options& opts) {
+  if (opts.full) return {4, 12, 40, 120, 200};
+  return {4, 40, 120};
+}
+
+inline std::vector<double> rtt_grid(const Options& opts) {
+  if (opts.full) return {5, 10, 20, 50, 100};
+  return {5, 20, 100};
+}
+
+/// Durations for the steady-state runs.
+inline pi2::sim::Time run_duration(const Options& opts) {
+  return pi2::sim::from_seconds(opts.full ? 100.0 : 40.0);
+}
+
+inline pi2::sim::Time stats_start(const Options& opts) {
+  return pi2::sim::from_seconds(opts.full ? 30.0 : 15.0);
+}
+
+/// One Cubic-vs-X flow mix at a grid point (the Figure 15-18 scenarios).
+enum class MixKind { kCubicVsDctcp, kCubicVsEcnCubic };
+
+inline const char* to_string(MixKind kind) {
+  return kind == MixKind::kCubicVsDctcp ? "cubic/dctcp" : "cubic/ecn-cubic";
+}
+
+inline scenario::DumbbellConfig mix_config(scenario::AqmType aqm, MixKind kind,
+                                           double link_mbps, double rtt_ms,
+                                           const Options& opts, int n_cubic = 1,
+                                           int n_other = 1) {
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = link_mbps * 1e6;
+  cfg.duration = run_duration(opts);
+  cfg.stats_start = stats_start(opts);
+  cfg.seed = opts.seed;
+  cfg.aqm.type = aqm;
+  // The paper's PIE coexistence runs rework the 10% mark->drop switchover
+  // (section 5) to avoid its discontinuity; always-mark reproduces that.
+  cfg.aqm.ecn_drop_threshold = 1.0;
+  if (n_cubic > 0) {
+    scenario::TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.count = n_cubic;
+    cubic.base_rtt = pi2::sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(cubic);
+  }
+  if (n_other > 0) {
+    scenario::TcpFlowSpec other;
+    other.cc = kind == MixKind::kCubicVsDctcp ? tcp::CcType::kDctcp
+                                              : tcp::CcType::kEcnCubic;
+    other.count = n_other;
+    other.base_rtt = pi2::sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(other);
+  }
+  return cfg;
+}
+
+inline tcp::CcType other_cc(MixKind kind) {
+  return kind == MixKind::kCubicVsDctcp ? tcp::CcType::kDctcp
+                                        : tcp::CcType::kEcnCubic;
+}
+
+}  // namespace pi2::bench

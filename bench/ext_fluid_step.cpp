@@ -1,0 +1,73 @@
+// Extension: time-domain integration of the Appendix B fluid model — the
+// third view connecting the Bode margins (fig04/fig07) to the packet
+// simulator. Prints step responses for the three loop configurations at a
+// stable and an unstable operating point.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "control/fluid_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2::control;
+  const auto opts = pi2::bench::parse_options(argc, argv);
+  pi2::bench::print_header("Extension",
+                           "fluid-model step responses (Appendix B in time domain)",
+                           opts);
+
+  struct Case {
+    const char* name;
+    LoopType type;
+    PiGains gains;
+    double n;
+    double link_mbps;
+  };
+  const Case cases[] = {
+      {"reno fixed-PI light load (unstable)", LoopType::kRenoP,
+       {0.125, 1.25, 0.032}, 2, 100},
+      {"reno PI2 light load", LoopType::kRenoPSquared, {0.3125, 3.125, 0.032}, 2,
+       100},
+      {"reno PI2 heavy load", LoopType::kRenoPSquared, {0.3125, 3.125, 0.032}, 50,
+       10},
+      {"scalable PI (2x gains)", LoopType::kScalableP, {0.625, 6.25, 0.032}, 5,
+       40},
+  };
+
+  std::printf("%-38s %-12s %-14s %-14s %-12s\n", "configuration", "peak[ms]",
+              "settled[ms]", "residual[ms]", "W_end");
+  for (const Case& c : cases) {
+    FluidConfig cfg;
+    cfg.type = c.type;
+    cfg.gains = c.gains;
+    cfg.n_flows = c.n;
+    cfg.capacity_pps = c.link_mbps * 1e6 / 8.0 / 1500.0;
+    cfg.base_rtt_s = 0.1;
+    cfg.duration_s = opts.full ? 120.0 : 60.0;
+    const auto trace = simulate_fluid(cfg);
+    std::printf("%-38s %-12.1f %-14.1f %-14.1f %-12.1f\n", c.name,
+                trace.peak_qdelay_s() * 1000.0,
+                trace.settled_qdelay_s(10.0) * 1000.0,
+                trace.residual_oscillation_s(10.0) * 1000.0,
+                trace.window.back());
+  }
+
+  // Load-step response of PI2 (the fluid version of Figure 13).
+  std::printf("\nload step 5 -> 25 flows at t=30s (PI2, 10 Mb/s):\n");
+  FluidConfig step;
+  step.type = LoopType::kRenoPSquared;
+  step.gains = {0.3125, 3.125, 0.032};
+  step.n_flows = 5;
+  step.capacity_pps = 10e6 / 8.0 / 1500.0;
+  step.n_step_at_s = 30.0;
+  step.n_step_to = 25.0;
+  step.duration_s = opts.full ? 120.0 : 70.0;
+  const auto trace = simulate_fluid(step);
+  std::printf("  overshoot peak after step: %.1f ms\n",
+              trace.peak_qdelay_s(30.0) * 1000.0);
+  std::printf("  settled delay (last 10 s): %.1f ms\n",
+              trace.settled_qdelay_s(10.0) * 1000.0);
+  std::printf(
+      "\n# expectation: the fixed-gain PI case shows sustained oscillation\n"
+      "# (its gain margin is negative there — see fig04); every PI2/scal-PI\n"
+      "# case settles to the 20 ms target, matching fig07's margins.\n");
+  return 0;
+}

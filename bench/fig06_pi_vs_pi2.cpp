@@ -1,0 +1,123 @@
+// Figure 6: queue delay under varying traffic intensity for plain PI with
+// constant (non-auto-tuned) gains versus PI2 with the same gains + square.
+// Workload: 10:30:50:30:10 Reno flows over 50 s stages, link = 100 Mb/s,
+// RTT = 10 ms, alpha_PI = 0.125, beta_PI = 1.25 (direct), alpha_PI2 = 0.3125,
+// beta_PI2 = 3.125, T = 32 ms.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2;
+  using namespace pi2::scenario;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 6",
+                      "PI vs PI2 queue delay under varying traffic intensity",
+                      opts);
+
+  const double stage_s = opts.full ? 50.0 : 20.0;
+  const int counts[5] = {10, 30, 50, 30, 10};
+
+  auto build = [&](AqmType type) {
+    DumbbellConfig cfg;
+    cfg.link_rate_bps = 100e6;
+    cfg.duration = sim::from_seconds(stage_s * 5);
+    cfg.seed = opts.seed;
+    cfg.aqm.type = type;
+    cfg.aqm.ecn = false;
+    if (type == AqmType::kPi) {
+      cfg.aqm.alpha_hz = 0.125;  // the caption's fixed PI gains
+      cfg.aqm.beta_hz = 1.25;
+    }
+    // The 10:30:50:30:10 staircase decomposes into three overlapping flow
+    // groups with explicit start/stop times.
+    // 10 flows alive the whole run.
+    TcpFlowSpec base;
+    base.cc = tcp::CcType::kReno;
+    base.count = 10;
+    base.base_rtt = sim::from_millis(10);
+    cfg.tcp_flows.push_back(base);
+    // +20 flows during stages 2-4 (t in [T, 4T)).
+    TcpFlowSpec mid;
+    mid.cc = tcp::CcType::kReno;
+    mid.count = 20;
+    mid.base_rtt = sim::from_millis(10);
+    mid.start = sim::from_seconds(stage_s);
+    mid.stop = sim::from_seconds(stage_s * 4);
+    cfg.tcp_flows.push_back(mid);
+    // +20 more flows during stage 3 only.
+    TcpFlowSpec peak;
+    peak.cc = tcp::CcType::kReno;
+    peak.count = 20;
+    peak.base_rtt = sim::from_millis(10);
+    peak.start = sim::from_seconds(stage_s * 2);
+    peak.stop = sim::from_seconds(stage_s * 3);
+    cfg.tcp_flows.push_back(peak);
+    return cfg;
+  };
+
+  const auto pi = run_dumbbell(build(AqmType::kPi));
+  const auto pi2r = run_dumbbell(build(AqmType::kPi2));
+
+  std::printf("%-8s %-12s %-12s\n", "t[s]", "pi[ms]", "pi2[ms]");
+  const auto bins_pi = pi.qdelay_ms_series.binned_mean(
+      sim::from_seconds(1.0), sim::kTimeZero, sim::from_seconds(stage_s * 5));
+  const auto bins_pi2 = pi2r.qdelay_ms_series.binned_mean(
+      sim::from_seconds(1.0), sim::kTimeZero, sim::from_seconds(stage_s * 5));
+  for (std::size_t i = 0; i < bins_pi.size() && i < bins_pi2.size(); ++i) {
+    std::printf("%-8.1f %-12.2f %-12.2f\n", bins_pi[i].first, bins_pi[i].second,
+                bins_pi2[i].second);
+  }
+
+  // Summary per stage.
+  std::printf("\n%-10s %-8s %-14s %-14s %-12s %-12s\n", "stage", "flows",
+              "pi mean[ms]", "pi2 mean[ms]", "pi util", "pi2 util");
+  for (int stage = 0; stage < 5; ++stage) {
+    const auto lo = sim::from_seconds(stage_s * stage + stage_s * 0.2);
+    const auto hi = sim::from_seconds(stage_s * (stage + 1));
+    std::printf("%-10d %-8d %-14.2f %-14.2f %-12.3f %-12.3f\n", stage + 1,
+                counts[stage], pi.qdelay_ms_series.mean_over(lo, hi),
+                pi2r.qdelay_ms_series.mean_over(lo, hi),
+                pi.utilization_series.mean_over(lo, hi),
+                pi2r.utilization_series.mean_over(lo, hi));
+  }
+  std::printf(
+      "# expectation: plain PI over-suppresses at 10 flows (underutilization,\n"
+      "# oscillating queue); PI2 holds the 20 ms target at every stage.\n"
+      "# NOTE: in this burst-free simulator the paper's exact operating point\n"
+      "# (W0 ~ 8, p ~ 3%%) has a large analytic margin, so the 'pi' pathology\n"
+      "# needs a lighter load (lower p) to manifest — shown below.\n");
+
+  // Companion: the same mechanism at a lighter load (3 flows, RTT 100 ms ->
+  // p ~ 1e-3), where the fixed-gain PI's gain margin is strongly negative
+  // (see fig04) and the over-suppression appears in simulation too.
+  std::printf("\n== light-load companion: 3 Reno flows, 100 Mb/s, RTT 100 ms ==\n");
+  std::printf("%-8s %-10s %-14s %-12s\n", "aqm", "util", "qdelay mean", "p99[ms]");
+  for (const AqmType type : {AqmType::kPi, AqmType::kPi2}) {
+    DumbbellConfig cfg;
+    cfg.link_rate_bps = 100e6;
+    cfg.duration = sim::from_seconds(opts.full ? 120.0 : 60.0);
+    cfg.stats_start = sim::from_seconds(opts.full ? 40.0 : 20.0);
+    cfg.seed = opts.seed;
+    cfg.aqm.type = type;
+    cfg.aqm.ecn = false;
+    if (type == AqmType::kPi) {
+      cfg.aqm.alpha_hz = 0.125;
+      cfg.aqm.beta_hz = 1.25;
+    }
+    TcpFlowSpec spec;
+    spec.cc = tcp::CcType::kReno;
+    spec.count = 3;
+    spec.base_rtt = sim::from_millis(100);
+    spec.max_cwnd = 2000;
+    cfg.tcp_flows = {spec};
+    const auto r = run_dumbbell(cfg);
+    std::printf("%-8s %-10.3f %-14.1f %-12.1f\n",
+                std::string(to_string(type)).c_str(), r.utilization,
+                r.mean_qdelay_ms, r.p99_qdelay_ms);
+  }
+  std::printf(
+      "# expectation: plain PI loses ~25%% utilization here; PI2 with 2.5x\n"
+      "# gains keeps it above 90%% — the Figure 6 contrast.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 13: queue delay under varying traffic intensity (PIE vs PI2),
+// 10:30:50:30:10 Reno flows over 50 s stages, link = 10 Mb/s, RTT = 100 ms.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2;
+  using namespace pi2::scenario;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 13", "PIE vs PI2 under varying traffic intensity",
+                      opts);
+
+  const double stage_s = opts.full ? 50.0 : 20.0;
+  const int counts[5] = {10, 30, 50, 30, 10};
+
+  auto run_one = [&](AqmType type) {
+    DumbbellConfig cfg;
+    cfg.link_rate_bps = 10e6;
+    cfg.duration = sim::from_seconds(stage_s * 5);
+    cfg.seed = opts.seed;
+    cfg.aqm.type = type;
+    cfg.aqm.ecn = false;
+    TcpFlowSpec base;
+    base.cc = tcp::CcType::kReno;
+    base.count = 10;
+    base.base_rtt = sim::from_millis(100);
+    TcpFlowSpec mid = base;
+    mid.count = 20;
+    mid.start = sim::from_seconds(stage_s);
+    mid.stop = sim::from_seconds(stage_s * 4);
+    TcpFlowSpec peak = base;
+    peak.count = 20;
+    peak.start = sim::from_seconds(stage_s * 2);
+    peak.stop = sim::from_seconds(stage_s * 3);
+    cfg.tcp_flows = {base, mid, peak};
+    return run_dumbbell(cfg);
+  };
+
+  const auto pie = run_one(AqmType::kPie);
+  const auto pi2r = run_one(AqmType::kPi2);
+
+  std::printf("%-8s %-10s %-10s\n", "t[s]", "pie[ms]", "pi2[ms]");
+  const auto qd_pie = pie.qdelay_ms_series.binned_mean(
+      sim::from_seconds(1.0), sim::kTimeZero, sim::from_seconds(stage_s * 5));
+  const auto qd_pi2 = pi2r.qdelay_ms_series.binned_mean(
+      sim::from_seconds(1.0), sim::kTimeZero, sim::from_seconds(stage_s * 5));
+  for (std::size_t i = 0; i < qd_pie.size(); ++i) {
+    std::printf("%-8.1f %-10.2f %-10.2f\n", qd_pie[i].first, qd_pie[i].second,
+                i < qd_pi2.size() ? qd_pi2[i].second : 0.0);
+  }
+
+  std::printf("\n%-8s %-8s %-18s %-18s\n", "stage", "flows", "pie peak[ms]",
+              "pi2 peak[ms]");
+  for (int stage = 0; stage < 5; ++stage) {
+    const auto lo = sim::from_seconds(stage_s * stage);
+    const auto hi = sim::from_seconds(stage_s * (stage + 1));
+    std::printf("%-8d %-8d %-18.1f %-18.1f\n", stage + 1, counts[stage],
+                pie.qdelay_ms_series.max_over(lo, hi),
+                pi2r.qdelay_ms_series.max_over(lo, hi));
+  }
+  std::printf(
+      "# expectation: PI2 reduces overshoot at each load change and upward\n"
+      "# fluctuations during the steady periods.\n");
+  return 0;
+}

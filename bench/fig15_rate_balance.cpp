@@ -1,0 +1,47 @@
+// Figure 15: throughput balance (rate ratio of the non-ECN-capable Cubic
+// flow to the ECN-capable flow — ECN-Cubic as a control, DCTCP as the
+// coexistence case) across link rates and RTTs, under PIE and coupled PI2.
+//
+// Headline: with PIE, DCTCP starves Cubic by roughly an order of magnitude;
+// with PI2 (coupled), the ratio stays close to 1 everywhere.
+#include <cmath>
+#include <cstdio>
+
+#include "sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2;
+  using namespace pi2::bench;
+  const auto opts = parse_options(argc, argv);
+  print_header("Figure 15", "throughput balance, one flow per congestion control",
+               opts);
+  std::printf("%-12s %-10s %-14s %-14s %-12s\n", "link[Mbps]", "rtt[ms]",
+              "cubic[Mbps]", "other[Mbps]", "ratio(c/o)");
+
+  double worst_pi2_log_ratio = 0.0;
+  double best_pie_dctcp_ratio = 1e9;
+  run_sweep(opts, [&](const SweepPoint& p) {
+    const double cubic = p.result.mean_goodput_mbps(tcp::CcType::kCubic);
+    const double other = p.result.mean_goodput_mbps(other_cc(p.mix));
+    const double ratio = other > 0 ? cubic / other : 0.0;
+    std::printf("%-12g %-10g %-14.2f %-14.2f %-12.3f\n", p.link_mbps, p.rtt_ms,
+                cubic, other, ratio);
+    if (p.aqm == scenario::AqmType::kCoupledPi2 && p.mix == MixKind::kCubicVsDctcp &&
+        ratio > 0) {
+      worst_pi2_log_ratio = std::max(worst_pi2_log_ratio, std::abs(std::log2(ratio)));
+    }
+    if (p.aqm == scenario::AqmType::kPie && p.mix == MixKind::kCubicVsDctcp &&
+        ratio > 0) {
+      best_pie_dctcp_ratio = std::min(best_pie_dctcp_ratio, 1.0 / ratio);
+    }
+  });
+
+  std::printf("\n# PI2 cubic/dctcp worst-case imbalance: 2^%.2f = %.2fx\n",
+              worst_pi2_log_ratio, std::exp2(worst_pi2_log_ratio));
+  std::printf("# PIE dctcp/cubic dominance (min over grid): %.1fx\n",
+              best_pie_dctcp_ratio);
+  std::printf(
+      "# expectation: PIE lets DCTCP dominate ~10x; PI2 keeps the balance\n"
+      "# near 1 over the whole range; the ECN-Cubic control is fair under both.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 18: link utilization (P1, mean, P99 of the 1 s samples) for the
+// same sweep as Figure 15. Expectation: both AQMs keep utilization high
+// (>90%) except at the most extreme low-BDP corners.
+#include <cstdio>
+
+#include "sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2;
+  using namespace pi2::bench;
+  const auto opts = parse_options(argc, argv);
+  print_header("Figure 18", "link utilization [%], P1/mean/P99 of 1 s samples",
+               opts);
+  std::printf("%-12s %-10s %-10s %-10s %-10s\n", "link[Mbps]", "rtt[ms]", "P1",
+              "mean", "P99");
+  run_sweep(opts, [&](const SweepPoint& p) {
+    stats::PercentileSampler samples;
+    for (const auto& point : p.result.utilization_series.points()) {
+      if (point.t >= stats_start(opts)) samples.add(point.value);
+    }
+    std::printf("%-12g %-10g %-10.1f %-10.1f %-10.1f\n", p.link_mbps, p.rtt_ms,
+                samples.p01() * 100.0, p.result.utilization * 100.0,
+                samples.p99() * 100.0);
+  });
+  std::printf("\n# expectation: utilization >90%% across the grid for both AQMs.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// The link-rate x RTT sweep engine behind Figures 15-18: for every grid
+// point run two scenarios (Cubic vs DCTCP, Cubic vs ECN-Cubic) under both
+// PIE and the coupled PI2, and hand each result to the figure's printer.
+#pragma once
+
+#include <functional>
+
+#include "bench_common.hpp"
+
+namespace pi2::bench {
+
+struct SweepPoint {
+  scenario::AqmType aqm;
+  MixKind mix;
+  double link_mbps;
+  double rtt_ms;
+  scenario::RunResult result;
+};
+
+/// Runs the full grid, invoking `consume` per point. Prints progress grouping
+/// headers; the consumer prints one row per point.
+inline void run_sweep(const Options& opts,
+                      const std::function<void(const SweepPoint&)>& consume) {
+  for (const auto aqm : {scenario::AqmType::kPie, scenario::AqmType::kCoupledPi2}) {
+    for (const auto mix : {MixKind::kCubicVsEcnCubic, MixKind::kCubicVsDctcp}) {
+      std::printf("\n== %s, %s ==\n",
+                  aqm == scenario::AqmType::kPie ? "PIE" : "PI2(coupled)",
+                  to_string(mix));
+      for (const double link : link_grid(opts)) {
+        for (const double rtt : rtt_grid(opts)) {
+          SweepPoint point{aqm, mix, link, rtt,
+                           scenario::run_dumbbell(
+                               mix_config(aqm, mix, link, rtt, opts))};
+          consume(point);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pi2::bench

@@ -1,0 +1,45 @@
+// Coexistence scenario: one Cubic download and one DCTCP download share a
+// 40 Mb/s bottleneck — the situation that (before PI2) made DCTCP unusable
+// outside data centres. Runs the same mix through PIE and through the
+// coupled PI2 AQM and prints the rate split.
+#include <cstdio>
+
+#include "scenario/dumbbell.hpp"
+
+int main() {
+  using namespace pi2;
+
+  for (const auto aqm :
+       {scenario::AqmType::kPie, scenario::AqmType::kCoupledPi2}) {
+    scenario::DumbbellConfig cfg;
+    cfg.link_rate_bps = 40e6;
+    cfg.duration = sim::from_seconds(80.0);
+    cfg.stats_start = sim::from_seconds(30.0);
+    cfg.aqm.type = aqm;
+    cfg.aqm.ecn_drop_threshold = 1.0;  // the paper's reworked PIE ECN rule
+
+    scenario::TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.base_rtt = sim::from_millis(10);
+    scenario::TcpFlowSpec dctcp;
+    dctcp.cc = tcp::CcType::kDctcp;
+    dctcp.base_rtt = sim::from_millis(10);
+    cfg.tcp_flows = {cubic, dctcp};
+
+    const auto r = scenario::run_dumbbell(cfg);
+    const double c = r.mean_goodput_mbps(tcp::CcType::kCubic);
+    const double d = r.mean_goodput_mbps(tcp::CcType::kDctcp);
+
+    std::printf("%s:\n", std::string(scenario::to_string(aqm)).c_str());
+    std::printf("  cubic %.1f Mb/s vs dctcp %.1f Mb/s (ratio %.2f)\n", c, d,
+                d > 0 ? c / d : 0.0);
+    std::printf("  queue delay mean %.1f ms, p99 %.1f ms\n\n", r.mean_qdelay_ms,
+                r.p99_qdelay_ms);
+  }
+  std::printf(
+      "PIE applies one probability to both flows, so DCTCP's linear response\n"
+      "starves Cubic's square-root response. The coupled PI2 signals DCTCP\n"
+      "with p' and Cubic with (p'/2)^2 — equation (14) — and the split evens\n"
+      "out without per-flow state.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Extending the library: implement a custom queue discipline against the
+// public QueueDiscipline interface — here the DCTCP-style instantaneous step
+// marker (mark everything when the queue exceeds a threshold) — and compare
+// it with PI2's probabilistic marking for a DCTCP workload.
+//
+// This is the experiment behind Appendix A's equations (11) vs (12): a step
+// threshold produces on-off marking trains (W = 2/p^2), while a smooth
+// probabilistic marker yields W = 2/p and lower delay variance.
+#include <cstdio>
+#include <memory>
+
+#include "net/bottleneck_link.hpp"
+#include "scenario/dumbbell.hpp"
+#include "sim/simulator.hpp"
+#include "stats/percentile.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace {
+
+using namespace pi2;
+
+/// DCTCP's classic shallow step marker: mark every packet while the queue
+/// holds more than K bytes.
+class StepMarker final : public net::QueueDiscipline {
+ public:
+  explicit StepMarker(std::int64_t threshold_bytes)
+      : threshold_bytes_(threshold_bytes) {}
+
+  Verdict enqueue(const net::Packet& packet) override {
+    if (net::ecn_capable(packet.ecn) &&
+        view().backlog_bytes() >= threshold_bytes_) {
+      return Verdict::kMark;
+    }
+    return Verdict::kAccept;
+  }
+
+ private:
+  std::int64_t threshold_bytes_;
+};
+
+struct Outcome {
+  double goodput_mbps;
+  double qdelay_mean_ms;
+  double qdelay_p99_ms;
+};
+
+Outcome run_with(std::unique_ptr<net::QueueDiscipline> qdisc) {
+  sim::Simulator simulator{1};
+  net::BottleneckLink::Config link_cfg;
+  link_cfg.rate_bps = 40e6;
+  net::BottleneckLink link{simulator, link_cfg, std::move(qdisc)};
+
+  stats::PercentileSampler delay_ms;
+  link.set_departure_probe([&](const net::Packet&, sim::Duration sojourn) {
+    if (simulator.now() > sim::from_seconds(10)) {
+      delay_ms.add(sim::to_millis(sojourn));
+    }
+  });
+
+  tcp::TcpSender::Config sc;
+  sc.flow = 0;
+  sc.max_cwnd = 700;
+  tcp::TcpSender sender{simulator, sc, tcp::make_dctcp()};
+  tcp::TcpReceiver receiver{simulator, 0};
+  std::int64_t delivered = 0;
+  sender.set_output([&](net::Packet p) { link.send(p); });
+  link.set_sink([&](net::Packet p) {
+    simulator.after(sim::from_millis(5), [&receiver, p] { receiver.on_data(p); });
+  });
+  receiver.set_delivery_probe([&](const net::Packet& p) {
+    if (simulator.now() > sim::from_seconds(10)) delivered += p.size;
+  });
+  receiver.set_ack_path([&](net::Packet a) {
+    simulator.after(sim::from_millis(5), [&sender, a] { sender.on_ack(a); });
+  });
+  sender.start();
+  simulator.run_until(sim::from_seconds(40.0));
+
+  return {static_cast<double>(delivered) * 8.0 / 30.0 / 1e6, delay_ms.mean(),
+          delay_ms.p99()};
+}
+
+}  // namespace
+
+int main() {
+  // DCTCP's recommended K ~ RTT * C / 7 would be ~47 kB here; use 30 kB.
+  const Outcome step = run_with(std::make_unique<StepMarker>(30000));
+
+  scenario::AqmConfig pi_cfg;  // plain PI: a *linear* marker for DCTCP
+  pi_cfg.type = scenario::AqmType::kPi;
+  pi_cfg.target = sim::from_millis(5);
+  const Outcome pi = run_with(pi_cfg.make());
+
+  std::printf("single DCTCP flow over a 40 Mb/s link, 10 ms RTT\n");
+  std::printf("%-22s %-14s %-14s %-12s\n", "marker", "goodput[Mbps]", "mean[ms]",
+              "p99[ms]");
+  std::printf("%-22s %-14.1f %-14.2f %-12.2f\n", "step threshold (30kB)",
+              step.goodput_mbps, step.qdelay_mean_ms, step.qdelay_p99_ms);
+  std::printf("%-22s %-14.1f %-14.2f %-12.2f\n", "PI probabilistic (5ms)",
+              pi.goodput_mbps, pi.qdelay_mean_ms, pi.qdelay_p99_ms);
+  std::printf(
+      "\nBoth markers sustain the link; the PI marker holds the queue at its\n"
+      "delay target instead of a byte threshold. Writing the StepMarker took\n"
+      "~10 lines against net::QueueDiscipline — the same interface every AQM\n"
+      "in this repository implements.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// The paper's motivating scenario: a latency-sensitive application (online
+// game / voice call, modelled as a thin CBR stream) shares a home downlink
+// with bulk TCP downloads. Compares the latency the thin flow experiences
+// under tail-drop FIFO, CoDel, PIE and PI2.
+#include <cstdio>
+
+#include "scenario/dumbbell.hpp"
+
+int main() {
+  using namespace pi2;
+
+  std::printf("thin 0.5 Mb/s stream + 4 Cubic downloads on a 20 Mb/s link\n");
+  std::printf("%-10s | %-14s %-14s %-12s\n", "AQM", "delay mean[ms]",
+              "delay p99[ms]", "bulk [Mb/s]");
+
+  for (const auto aqm : {scenario::AqmType::kFifo, scenario::AqmType::kCodel,
+                         scenario::AqmType::kPie, scenario::AqmType::kPi2}) {
+    scenario::DumbbellConfig cfg;
+    cfg.link_rate_bps = 20e6;
+    cfg.buffer_packets = 400;  // a typical bloated home-router buffer
+    cfg.duration = sim::from_seconds(60.0);
+    cfg.stats_start = sim::from_seconds(20.0);
+    cfg.aqm.type = aqm;
+    cfg.aqm.ecn = false;
+
+    scenario::TcpFlowSpec bulk;
+    bulk.cc = tcp::CcType::kCubic;
+    bulk.count = 4;
+    bulk.base_rtt = sim::from_millis(40);
+    cfg.tcp_flows = {bulk};
+
+    scenario::UdpFlowSpec game;
+    game.rate_bps = 0.5e6;
+    game.base_rtt = sim::from_millis(40);
+    cfg.udp_flows = {game};
+
+    const auto r = scenario::run_dumbbell(cfg);
+    double bulk_total = 0.0;
+    for (const auto& f : r.flows) {
+      if (!f.is_udp) bulk_total += f.goodput_mbps;
+    }
+    std::printf("%-10s | %-14.1f %-14.1f %-12.1f\n",
+                std::string(scenario::to_string(aqm)).c_str(), r.mean_qdelay_ms,
+                r.p99_qdelay_ms, bulk_total);
+  }
+  std::printf(
+      "\nEvery packet of the thin stream waits behind the bulk queue, so the\n"
+      "queue delay above is the game's added lag. FIFO lets Cubic fill the\n"
+      "whole buffer; the AQMs keep it near their targets, and PI2 does so\n"
+      "with constant gains and no heuristic table.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// pi2_sim_cli — a command-line front end to the experiment harness: run any
+// dumbbell scenario without writing code, and optionally export the time
+// series to CSV for plotting.
+//
+//   pi2_sim_cli --aqm pi2 --link 40 --rtt 10 --cubic 1 --dctcp 1
+//               --duration 60 --csv run.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/dumbbell.hpp"
+#include "stats/csv.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --aqm NAME        fifo|pie|bare-pie|pi|pi2|coupled-pi2|red|codel|curvy-red|step"
+      " (default pi2)\n"
+      "  --link MBPS       bottleneck rate (default 10)\n"
+      "  --rtt MS          base round-trip time (default 100)\n"
+      "  --target MS       AQM delay target (default 20)\n"
+      "  --reno N          number of Reno flows (default 0)\n"
+      "  --cubic N         number of Cubic flows (default 0)\n"
+      "  --ecn-cubic N     number of ECN-Cubic flows (default 0)\n"
+      "  --dctcp N         number of DCTCP flows (default 0)\n"
+      "  --scalable N      number of Scalable TCP flows (default 0)\n"
+      "  --relentless N    number of Relentless TCP flows (default 0)\n"
+      "  --udp-mbps X      add a UDP CBR flow of X Mb/s (repeatable)\n"
+      "  --duration S      simulated seconds (default 60)\n"
+      "  --warmup S        stats window start (default duration/3)\n"
+      "  --k X             coupling factor for coupled-pi2 (default 2)\n"
+      "  --seed N          RNG seed (default 1)\n"
+      "  --csv PATH        write qdelay/throughput/prob series to CSV\n",
+      argv0);
+}
+
+pi2::scenario::AqmType parse_aqm(const std::string& name) {
+  using pi2::scenario::AqmType;
+  for (const auto type :
+       {AqmType::kFifo, AqmType::kPie, AqmType::kBarePie, AqmType::kPi,
+        AqmType::kPi2, AqmType::kCoupledPi2, AqmType::kRed, AqmType::kCodel,
+        AqmType::kCurvyRed, AqmType::kStep}) {
+    if (name == pi2::scenario::to_string(type)) return type;
+  }
+  std::fprintf(stderr, "unknown AQM '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pi2;
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  double duration_s = 60.0;
+  double warmup_s = -1.0;
+  double rtt_ms = 100.0;
+  std::string csv_path;
+
+  struct Count {
+    tcp::CcType cc;
+    int n = 0;
+  };
+  Count counts[6] = {{tcp::CcType::kReno},     {tcp::CcType::kCubic},
+                     {tcp::CcType::kEcnCubic}, {tcp::CcType::kDctcp},
+                     {tcp::CcType::kScalable}, {tcp::CcType::kRelentless}};
+  std::vector<double> udp_mbps;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--aqm") {
+      cfg.aqm.type = parse_aqm(next());
+    } else if (arg == "--link") {
+      cfg.link_rate_bps = std::atof(next()) * 1e6;
+    } else if (arg == "--rtt") {
+      rtt_ms = std::atof(next());
+    } else if (arg == "--target") {
+      cfg.aqm.target = sim::from_millis(std::atof(next()));
+    } else if (arg == "--reno") {
+      counts[0].n = std::atoi(next());
+    } else if (arg == "--cubic") {
+      counts[1].n = std::atoi(next());
+    } else if (arg == "--ecn-cubic") {
+      counts[2].n = std::atoi(next());
+    } else if (arg == "--dctcp") {
+      counts[3].n = std::atoi(next());
+    } else if (arg == "--scalable") {
+      counts[4].n = std::atoi(next());
+    } else if (arg == "--relentless") {
+      counts[5].n = std::atoi(next());
+    } else if (arg == "--udp-mbps") {
+      udp_mbps.push_back(std::atof(next()));
+    } else if (arg == "--duration") {
+      duration_s = std::atof(next());
+    } else if (arg == "--warmup") {
+      warmup_s = std::atof(next());
+    } else if (arg == "--k") {
+      cfg.aqm.coupling_k = std::atof(next());
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  int total_tcp = 0;
+  for (const auto& c : counts) {
+    if (c.n > 0) {
+      scenario::TcpFlowSpec spec;
+      spec.cc = c.cc;
+      spec.count = c.n;
+      spec.base_rtt = sim::from_millis(rtt_ms);
+      cfg.tcp_flows.push_back(spec);
+      total_tcp += c.n;
+    }
+  }
+  if (total_tcp == 0 && udp_mbps.empty()) {
+    counts[0].n = 2;  // default workload: 2 Reno flows
+    scenario::TcpFlowSpec spec;
+    spec.cc = tcp::CcType::kReno;
+    spec.count = 2;
+    spec.base_rtt = sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(spec);
+  }
+  for (const double mbps : udp_mbps) {
+    scenario::UdpFlowSpec udp;
+    udp.rate_bps = mbps * 1e6;
+    udp.base_rtt = sim::from_millis(rtt_ms);
+    cfg.udp_flows.push_back(udp);
+  }
+  cfg.duration = sim::from_seconds(duration_s);
+  cfg.stats_start = sim::from_seconds(warmup_s >= 0 ? warmup_s : duration_s / 3.0);
+
+  const auto r = scenario::run_dumbbell(cfg);
+
+  std::printf("aqm=%s link=%.1fMbps rtt=%.0fms duration=%.0fs\n",
+              std::string(scenario::to_string(cfg.aqm.type)).c_str(),
+              cfg.link_rate_bps / 1e6, rtt_ms, duration_s);
+  std::printf("queue delay [ms]: mean=%.2f p99=%.2f\n", r.mean_qdelay_ms,
+              r.p99_qdelay_ms);
+  std::printf("utilization: %.3f\n", r.utilization);
+  std::printf("probability: classic=%.4f scalable=%.4f observed=%.4f\n",
+              r.classic_prob_samples.mean(), r.scalable_prob_samples.mean(),
+              r.observed_signal_rate());
+  std::printf("drops: aqm=%lld tail=%lld marks=%lld\n",
+              static_cast<long long>(r.counters.aqm_dropped),
+              static_cast<long long>(r.counters.tail_dropped),
+              static_cast<long long>(r.counters.marked));
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    const auto& f = r.flows[i];
+    std::printf("flow %2zu %-10s %7.2f Mb/s  (rexmt %lld, rto %lld)\n", i,
+                f.is_udp ? "udp" : std::string(tcp::to_string(f.cc)).c_str(),
+                f.goodput_mbps, static_cast<long long>(f.retransmits),
+                static_cast<long long>(f.timeouts));
+  }
+
+  if (!csv_path.empty()) {
+    const bool ok = stats::write_series_csv(
+        csv_path, {"qdelay_ms", "throughput_mbps", "classic_prob"},
+        {&r.qdelay_ms_series, &r.total_throughput_series, &r.classic_prob_series},
+        sim::from_seconds(1.0), sim::kTimeZero, cfg.duration);
+    std::printf("csv: %s %s\n", csv_path.c_str(), ok ? "written" : "FAILED");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

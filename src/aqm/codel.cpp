@@ -1,0 +1,56 @@
+#include "aqm/codel.hpp"
+
+#include <algorithm>
+
+namespace pi2::aqm {
+
+using pi2::sim::Time;
+
+CodelAqm::CodelAqm() : CodelAqm(Params{}) {}
+
+CodelAqm::Verdict CodelAqm::dequeue(const net::Packet& packet) {
+  const Time now = sim().now();
+  const auto sojourn = now - packet.enqueued_at;
+
+  // Track whether sojourn has stayed above target for a full interval.
+  bool ok_to_drop = false;
+  if (sojourn < params_.target || view().backlog_bytes() < 2 * packet.size) {
+    has_first_above_ = false;
+  } else {
+    if (!has_first_above_) {
+      has_first_above_ = true;
+      first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+      ok_to_drop = true;
+    }
+  }
+
+  auto signal = [&]() -> Verdict {
+    if (params_.ecn && net::ecn_capable(packet.ecn)) return Verdict::kMark;
+    return Verdict::kDrop;
+  };
+
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+      return Verdict::kAccept;
+    }
+    if (now >= drop_next_) {
+      ++count_;
+      drop_next_ = drop_next_ + control_law(drop_next_);
+      return signal();
+    }
+    return Verdict::kAccept;
+  }
+
+  if (ok_to_drop) {
+    dropping_ = true;
+    // Restart close to the previous drop rate if we were dropping recently.
+    count_ = (count_ > 2 && now - drop_next_ < 16 * params_.interval) ? count_ - 2 : 1;
+    drop_next_ = now + control_law(now);
+    return signal();
+  }
+  return Verdict::kAccept;
+}
+
+}  // namespace pi2::aqm

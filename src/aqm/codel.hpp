@@ -1,0 +1,46 @@
+// CoDel — Controlled Delay (Nichols & Jacobson 2012).
+//
+// Included as a modern sojourn-time baseline: it taught PIE to measure the
+// queue in units of time (paper §3). Drops happen at dequeue based on the
+// packet's measured sojourn, paced by the inverse-sqrt control law.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::aqm {
+
+class CodelAqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    pi2::sim::Duration target = pi2::sim::from_millis(5);
+    pi2::sim::Duration interval = pi2::sim::from_millis(100);
+    bool ecn = true;
+  };
+
+  CodelAqm();
+  explicit CodelAqm(Params params) : params_(params) {}
+
+  Verdict enqueue(const net::Packet&) override { return Verdict::kAccept; }
+  Verdict dequeue(const net::Packet& packet) override;
+
+  [[nodiscard]] std::int64_t drop_count() const { return count_; }
+
+ private:
+  [[nodiscard]] pi2::sim::Duration control_law(pi2::sim::Time /*t*/) const {
+    return pi2::sim::from_seconds(
+        pi2::sim::to_seconds(params_.interval) / std::sqrt(static_cast<double>(count_)));
+  }
+
+  Params params_;
+  bool dropping_ = false;
+  std::int64_t count_ = 0;
+  pi2::sim::Time first_above_time_{pi2::sim::kTimeZero};
+  bool has_first_above_ = false;
+  pi2::sim::Time drop_next_{pi2::sim::kTimeZero};
+};
+
+}  // namespace pi2::aqm

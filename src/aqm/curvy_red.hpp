@@ -1,0 +1,43 @@
+// Curvy RED — the RED-like coupled AQM given as the example in the DualQ
+// Coupled draft the paper cites ([13]). Instead of a PI controller, the
+// Scalable marking probability is read directly off a ramp of the (EWMA
+// smoothed) queue delay, and the Classic probability is its coupled square:
+//
+//   p_s = clamp((avg_qdelay - ramp_start) / ramp_range, 0, 1)
+//   p_c = (p_s / k)^2          (drop iff max(Y1, Y2) < p_s / k)
+//
+// Included as the baseline that shows why the paper prefers PI2: a queue-
+// position curve pushes back with *standing* queue (RED's old problem),
+// while the PI integral holds the queue at the target regardless of load.
+#pragma once
+
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::aqm {
+
+class CurvyRedAqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    pi2::sim::Duration ramp_start = pi2::sim::from_millis(5);
+    pi2::sim::Duration ramp_range = pi2::sim::from_millis(30);
+    double k = 2.0;        ///< Scalable/Classic coupling factor
+    double weight = 0.05;  ///< EWMA weight on the per-packet delay samples
+    bool ecn = true;       ///< mark Classic ECT(0) instead of dropping
+  };
+
+  CurvyRedAqm();
+  explicit CurvyRedAqm(Params params) : params_(params) {}
+
+  Verdict enqueue(const net::Packet& packet) override;
+
+  [[nodiscard]] double classic_probability() const override;
+  [[nodiscard]] double scalable_probability() const override;
+  [[nodiscard]] double avg_qdelay_s() const { return avg_qdelay_s_; }
+
+ private:
+  Params params_;
+  double avg_qdelay_s_ = 0.0;
+};
+
+}  // namespace pi2::aqm

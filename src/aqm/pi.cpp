@@ -1,0 +1,27 @@
+#include "aqm/pi.hpp"
+
+namespace pi2::aqm {
+
+using pi2::sim::to_seconds;
+
+PiAqm::PiAqm() : PiAqm(Params{}) {}
+
+void PiAqm::install(pi2::sim::Simulator& sim, const net::QueueView& view) {
+  QueueDiscipline::install(sim, view);
+  schedule_update();
+}
+
+void PiAqm::schedule_update() {
+  sim().after(params_.t_update, [this] {
+    pi_.update(to_seconds(view().queue_delay()), to_seconds(params_.target));
+    schedule_update();
+  });
+}
+
+PiAqm::Verdict PiAqm::enqueue(const net::Packet& packet) {
+  if (rng().uniform() >= pi_.prob()) return Verdict::kAccept;
+  if (params_.ecn && net::ecn_capable(packet.ecn)) return Verdict::kMark;
+  return Verdict::kDrop;
+}
+
+}  // namespace pi2::aqm

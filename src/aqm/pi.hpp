@@ -1,0 +1,43 @@
+// Plain PI AQM (Hollot et al. 2002): the paper-equation-(4) controller with
+// fixed gains and the probability applied directly to every packet.
+//
+// With Classic TCP this is the unstable/aggressive "pi" curve of Figure 6;
+// with a Scalable control (DCTCP) the loop is inherently linear and this is
+// the "scal pi" configuration of Figure 7.
+#pragma once
+
+#include "aqm/pi_core.hpp"
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::aqm {
+
+class PiAqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    pi2::sim::Duration target = pi2::sim::from_millis(20);
+    pi2::sim::Duration t_update = pi2::sim::from_millis(32);
+    double alpha_hz = 0.125;
+    double beta_hz = 1.25;
+    bool ecn = true;  ///< mark ECN-capable packets instead of dropping
+    double max_prob = 1.0;
+  };
+
+  PiAqm();
+  explicit PiAqm(Params params)
+      : params_(params), pi_(params.alpha_hz, params.beta_hz, params.max_prob) {}
+
+  void install(pi2::sim::Simulator& sim, const net::QueueView& view) override;
+  Verdict enqueue(const net::Packet& packet) override;
+
+  [[nodiscard]] double classic_probability() const override { return pi_.prob(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  void schedule_update();
+
+  Params params_;
+  PiCore pi_;
+};
+
+}  // namespace pi2::aqm

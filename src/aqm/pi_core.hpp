@@ -1,0 +1,56 @@
+// The Proportional Integral update law shared by PI, PIE and PI2.
+//
+// Paper equation (4):
+//   p(t) = p(t-T) + alpha (tau(t) - tau_0) + beta (tau(t) - tau(t-T))
+// with alpha and beta in Hz and queue delays in seconds. The probability is
+// clamped to [0, max]. PIE applies its autotune scaling to the delta before
+// integration; PI2 integrates unscaled and squares on application.
+#pragma once
+
+#include <algorithm>
+
+namespace pi2::aqm {
+
+class PiCore {
+ public:
+  PiCore(double alpha_hz, double beta_hz, double max_prob = 1.0)
+      : alpha_hz_(alpha_hz), beta_hz_(beta_hz), max_prob_(max_prob) {}
+
+  /// Returns the raw (unscaled) delta for this interval.
+  [[nodiscard]] double delta(double qdelay_s, double target_s) const {
+    return alpha_hz_ * (qdelay_s - target_s) + beta_hz_ * (qdelay_s - prev_qdelay_s_);
+  }
+
+  /// Integrates `dp` and records the delay sample for the next interval.
+  void integrate(double dp, double qdelay_s) {
+    prob_ = std::clamp(prob_ + dp, 0.0, max_prob_);
+    prev_qdelay_s_ = qdelay_s;
+  }
+
+  /// Convenience: unscaled update (plain PI and PI2).
+  void update(double qdelay_s, double target_s) {
+    integrate(delta(qdelay_s, target_s), qdelay_s);
+  }
+
+  /// Multiplies the probability by `factor` (PIE's idle decay).
+  void decay(double factor) { prob_ *= factor; }
+
+  [[nodiscard]] double prob() const { return prob_; }
+  [[nodiscard]] double prev_qdelay_s() const { return prev_qdelay_s_; }
+  [[nodiscard]] double alpha_hz() const { return alpha_hz_; }
+  [[nodiscard]] double beta_hz() const { return beta_hz_; }
+
+  void reset() {
+    prob_ = 0.0;
+    prev_qdelay_s_ = 0.0;
+  }
+
+ private:
+  double alpha_hz_;
+  double beta_hz_;
+  double max_prob_;
+  double prob_ = 0.0;
+  double prev_qdelay_s_ = 0.0;
+};
+
+}  // namespace pi2::aqm

@@ -1,0 +1,46 @@
+#include "aqm/red.hpp"
+
+#include <algorithm>
+
+namespace pi2::aqm {
+
+RedAqm::RedAqm() : RedAqm(Params{}) {}
+
+double RedAqm::drop_probability() const {
+  const auto min_th = static_cast<double>(params_.min_th_bytes);
+  const auto max_th = static_cast<double>(params_.max_th_bytes);
+  if (avg_ < min_th) return 0.0;
+  if (avg_ < max_th) {
+    return params_.max_p * (avg_ - min_th) / (max_th - min_th);
+  }
+  if (params_.gentle && avg_ < 2.0 * max_th) {
+    return params_.max_p + (1.0 - params_.max_p) * (avg_ - max_th) / max_th;
+  }
+  return 1.0;
+}
+
+RedAqm::Verdict RedAqm::enqueue(const net::Packet& packet) {
+  avg_ = (1.0 - params_.weight) * avg_ +
+         params_.weight * static_cast<double>(view().backlog_bytes());
+
+  const double pb = drop_probability();
+  last_prob_ = pb;
+  if (pb <= 0.0) {
+    count_since_mark_ = -1;
+    return Verdict::kAccept;
+  }
+  if (pb >= 1.0) return Verdict::kDrop;
+
+  // Uniformization: pa = pb / (1 - count * pb), spacing marks evenly.
+  ++count_since_mark_;
+  const double denom = 1.0 - static_cast<double>(count_since_mark_) * pb;
+  const double pa = denom > 0.0 ? std::min(pb / denom, 1.0) : 1.0;
+  if (rng().uniform() < pa) {
+    count_since_mark_ = 0;
+    if (params_.ecn && net::ecn_capable(packet.ecn)) return Verdict::kMark;
+    return Verdict::kDrop;
+  }
+  return Verdict::kAccept;
+}
+
+}  // namespace pi2::aqm

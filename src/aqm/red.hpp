@@ -1,0 +1,39 @@
+// RED — Random Early Detection (Floyd & Jacobson 1993), with the "gentle"
+// extension. Included as the historical baseline the PI line of work
+// replaced; also used by the Curvy-RED comparison in the DualQ draft.
+#pragma once
+
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::aqm {
+
+class RedAqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    std::int64_t min_th_bytes = 30000;
+    std::int64_t max_th_bytes = 90000;
+    double max_p = 0.1;
+    double weight = 0.002;  ///< EWMA weight for the average queue
+    bool gentle = true;     ///< ramp to 1.0 between max_th and 2*max_th
+    bool ecn = true;
+  };
+
+  RedAqm();
+  explicit RedAqm(Params params) : params_(params) {}
+
+  Verdict enqueue(const net::Packet& packet) override;
+
+  [[nodiscard]] double classic_probability() const override { return last_prob_; }
+  [[nodiscard]] double avg_queue_bytes() const { return avg_; }
+
+ private:
+  [[nodiscard]] double drop_probability() const;
+
+  Params params_;
+  double avg_ = 0.0;
+  double last_prob_ = 0.0;
+  std::int64_t count_since_mark_ = -1;  // -1: not in drop-eligible region
+};
+
+}  // namespace pi2::aqm

@@ -1,0 +1,16 @@
+#include "aqm/step_marker.hpp"
+
+namespace pi2::aqm {
+
+StepMarkerAqm::StepMarkerAqm() : StepMarkerAqm(Params{}) {}
+
+StepMarkerAqm::Verdict StepMarkerAqm::enqueue(const net::Packet& packet) {
+  if (view().queue_delay() < params_.threshold) return Verdict::kAccept;
+  if (net::ecn_capable(packet.ecn)) {
+    ++marks_;
+    return Verdict::kMark;
+  }
+  return params_.drop_not_ect ? Verdict::kDrop : Verdict::kAccept;
+}
+
+}  // namespace pi2::aqm

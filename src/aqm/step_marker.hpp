@@ -1,0 +1,40 @@
+// Instantaneous step marker — DCTCP's classic data-centre AQM: mark every
+// ECN-capable packet while the queue exceeds a threshold K.
+//
+// Appendix A distinguishes this from PI-style probabilistic marking: a step
+// threshold produces on-off RTT-length marking trains and the steady state
+// W = 2/p^2 (equation (12)), whereas a probabilistic marker yields W = 2/p
+// (equation (11)) — the phenomenon Irteza et al. found empirically. The
+// property tests validate both laws against this implementation.
+#pragma once
+
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::aqm {
+
+class StepMarkerAqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    /// Threshold in time units (converted via the link rate); DCTCP's
+    /// guidance is K ~ C*RTT/7. 1 ms at 40 Mb/s ~ 3.3 packets.
+    pi2::sim::Duration threshold = pi2::sim::from_millis(1);
+    /// Drop non-ECN-capable packets above the threshold instead of letting
+    /// them through (a step *dropper* — the data-centre default is
+    /// mark-only because everything there is ECN-capable).
+    bool drop_not_ect = false;
+  };
+
+  StepMarkerAqm();
+  explicit StepMarkerAqm(Params params) : params_(params) {}
+
+  Verdict enqueue(const net::Packet& packet) override;
+
+  [[nodiscard]] std::int64_t marks() const { return marks_; }
+
+ private:
+  Params params_;
+  std::int64_t marks_ = 0;
+};
+
+}  // namespace pi2::aqm

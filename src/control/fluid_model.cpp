@@ -1,0 +1,179 @@
+#include "control/fluid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "aqm/pie.hpp"
+
+namespace pi2::control {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+double operating_window(LoopType type, double prob) {
+  switch (type) {
+    case LoopType::kRenoP:
+      // W0^2 p0 = 2 (paper operating point, eq (19) with p = p0).
+      return std::sqrt(2.0 / prob);
+    case LoopType::kRenoPSquared:
+      // W0^2 p0'^2 = 2 (eq (19)).
+      return std::sqrt(2.0) / prob;
+    case LoopType::kScalableP:
+      // W0 p0' = 2 (eq (23)).
+      return 2.0 / prob;
+  }
+  return 1.0;
+}
+}  // namespace
+
+double pie_tune_factor(double prob) { return aqm::PieAqm::tune_factor(prob); }
+
+double sqrt_2p(double prob) { return std::sqrt(2.0 * prob); }
+
+LoopModel::LoopModel(LoopType type, double prob, double rtt_s, PiGains gains)
+    : type_(type),
+      prob_(prob),
+      rtt_s_(rtt_s),
+      gains_(gains),
+      w0_(operating_window(type, prob)) {}
+
+std::complex<double> LoopModel::eval(double omega) const {
+  using namespace std::complex_literals;
+  const std::complex<double> s{0.0, omega};
+  const std::complex<double> delay = std::exp(-s * rtt_s_);
+
+  // AQM stage (eq (30)/(31)): PI controller + queue integrator.
+  const double alpha = gains_.alpha_hz;
+  const double beta = gains_.beta_hz;
+  const double t = gains_.t_update_s;
+  const std::complex<double> aqm_num = (beta + alpha / 2.0) * s + alpha / t;
+  const std::complex<double> aqm_den = w0_ * s * (s + 1.0 / rtt_s_);
+  const std::complex<double> a = aqm_num / aqm_den;
+
+  // TCP stage (eqs (32)-(34)); the leading minus signs of A and P cancel in
+  // the loop, so both are taken positive here.
+  std::complex<double> p;
+  switch (type_) {
+    case LoopType::kRenoP: {
+      const double kappa_r = 1.0 / (2.0 * prob_);
+      const double s_r = std::sqrt(2.0 * prob_) / rtt_s_;
+      p = w0_ * kappa_r * delay / (s / s_r + (1.0 + delay) / 2.0);
+      break;
+    }
+    case LoopType::kRenoPSquared: {
+      const double kappa_s = 1.0 / prob_;
+      const double s_r = std::sqrt(2.0) * prob_ / rtt_s_;
+      p = w0_ * (kappa_s / 2.0) * 2.0 * delay / (s / s_r + (1.0 + delay) / 2.0);
+      break;
+    }
+    case LoopType::kScalableP: {
+      const double kappa_s = 1.0 / prob_;
+      const double s_s = prob_ / (2.0 * rtt_s_);
+      p = w0_ * kappa_s * delay / (s / s_s + delay);
+      break;
+    }
+  }
+  return a * p;
+}
+
+std::optional<LoopModel::Margins> LoopModel::margins(double omega_lo,
+                                                     double omega_hi) const {
+  constexpr int kGridPoints = 4000;
+  const double log_lo = std::log10(omega_lo);
+  const double log_hi = std::log10(omega_hi);
+
+  // Sweep with phase unwrapping.
+  std::vector<double> omegas(kGridPoints);
+  std::vector<double> mags(kGridPoints);
+  std::vector<double> phases(kGridPoints);  // unwrapped, degrees
+  double prev_raw = 0.0;
+  double offset = 0.0;
+  for (int i = 0; i < kGridPoints; ++i) {
+    const double w =
+        std::pow(10.0, log_lo + (log_hi - log_lo) * i / (kGridPoints - 1));
+    const std::complex<double> l = eval(w);
+    const double raw = std::arg(l) * 180.0 / kPi;
+    if (i > 0) {
+      double d = raw - prev_raw;
+      while (d > 180.0) {
+        offset -= 360.0;
+        d -= 360.0;
+      }
+      while (d < -180.0) {
+        offset += 360.0;
+        d += 360.0;
+      }
+    }
+    prev_raw = raw;
+    omegas[i] = w;
+    mags[i] = std::abs(l);
+    phases[i] = raw + offset;
+  }
+
+  // Phase crossover: first grid cell where the unwrapped phase crosses -180.
+  std::optional<double> omega_180;
+  for (int i = 1; i < kGridPoints; ++i) {
+    if ((phases[i - 1] > -180.0) != (phases[i] > -180.0)) {
+      double lo = omegas[i - 1];
+      double hi = omegas[i];
+      const bool descending = phases[i - 1] > phases[i];
+      for (int it = 0; it < 60; ++it) {
+        const double mid = std::sqrt(lo * hi);
+        // Local phase relative to the bracketing cell (no wraps inside one
+        // fine cell of the 4000-point grid).
+        const double ph = std::arg(eval(mid)) * 180.0 / kPi;
+        double ph_unwrapped = ph;
+        while (ph_unwrapped > phases[i - 1] + 180.0) ph_unwrapped -= 360.0;
+        while (ph_unwrapped < phases[i] - 180.0) ph_unwrapped += 360.0;
+        if ((ph_unwrapped > -180.0) == descending) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      omega_180 = std::sqrt(lo * hi);
+      break;
+    }
+  }
+
+  // Gain crossover: first cell where |L| falls through 1.
+  std::optional<double> omega_c;
+  for (int i = 1; i < kGridPoints; ++i) {
+    if ((mags[i - 1] >= 1.0) != (mags[i] >= 1.0)) {
+      double lo = omegas[i - 1];
+      double hi = omegas[i];
+      const bool descending = mags[i - 1] > mags[i];
+      for (int it = 0; it < 60; ++it) {
+        const double mid = std::sqrt(lo * hi);
+        if ((std::abs(eval(mid)) >= 1.0) == descending) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      omega_c = std::sqrt(lo * hi);
+      break;
+    }
+  }
+
+  if (!omega_180 || !omega_c) return std::nullopt;
+
+  Margins m{};
+  m.omega_180 = *omega_180;
+  m.omega_c = *omega_c;
+  m.gain_margin_db = -20.0 * std::log10(std::abs(eval(*omega_180)));
+
+  // Phase margin: unwrapped phase at omega_c, interpolated from the grid.
+  const auto it = std::lower_bound(omegas.begin(), omegas.end(), *omega_c);
+  const auto idx = std::clamp<std::ptrdiff_t>(it - omegas.begin(), 1, kGridPoints - 1);
+  const double w0g = omegas[idx - 1];
+  const double w1g = omegas[idx];
+  const double frac = (std::log(*omega_c) - std::log(w0g)) / (std::log(w1g) - std::log(w0g));
+  const double phase_at_c = phases[idx - 1] + frac * (phases[idx] - phases[idx - 1]);
+  m.phase_margin_deg = 180.0 + phase_at_c;
+  return m;
+}
+
+}  // namespace pi2::control

@@ -1,0 +1,75 @@
+// Fluid-model loop transfer functions and Bode margins (paper Appendix B).
+//
+// Implements the three loop transfer functions the paper derives:
+//   (35) L_renop   — Reno controlled by a direct probability p (PI / PIE)
+//   (36) L_renop'2 — Reno controlled by a squared pseudo-probability (PI2)
+//   (37) L_scalp'  — a Scalable control (DCTCP-like, half-packet reduction
+//                    per mark) controlled directly by p'
+//
+// and computes gain/phase margins by sweeping L(jw) over a log grid with an
+// unwrapped phase and bisection refinement — the C++ equivalent of the
+// octave scripts behind Figures 4 and 7.
+#pragma once
+
+#include <complex>
+#include <optional>
+
+namespace pi2::control {
+
+/// PI gains as implemented (per-update, dimensionless deltas with delays in
+/// seconds — "Hz" in the paper's equation (4)) plus the update interval.
+struct PiGains {
+  double alpha_hz = 0.125;
+  double beta_hz = 1.25;
+  double t_update_s = 0.032;
+};
+
+enum class LoopType {
+  kRenoP,         ///< (35): Reno on direct p (plain PI, or PIE with tune)
+  kRenoPSquared,  ///< (36): Reno on squared p' (PI2)
+  kScalableP,     ///< (37): Scalable control on direct p'
+};
+
+/// One operating point of the control loop.
+///
+/// `prob` is the *applied* probability p for kRenoP and the linear
+/// pseudo-probability p' for the other two loop types. `rtt_s` is R0, the
+/// (maximum) round-trip time the AQM is provisioned for.
+class LoopModel {
+ public:
+  LoopModel(LoopType type, double prob, double rtt_s, PiGains gains);
+
+  /// L(j omega), omega in rad/s.
+  [[nodiscard]] std::complex<double> eval(double omega) const;
+
+  struct Margins {
+    double gain_margin_db;    ///< -20 log10 |L| at the phase crossover
+    double phase_margin_deg;  ///< 180 + arg L at the gain crossover
+    double omega_180;         ///< phase-crossover frequency (rad/s)
+    double omega_c;           ///< gain-crossover frequency (rad/s)
+  };
+
+  /// Margins over omega in [omega_lo, omega_hi] (rad/s). Returns nullopt if
+  /// a crossover cannot be found in the range (e.g. |L| < 1 everywhere).
+  [[nodiscard]] std::optional<Margins> margins(double omega_lo = 1e-3,
+                                               double omega_hi = 1e4) const;
+
+  /// Operating-point window W0 for the configured probability/loop type.
+  [[nodiscard]] double w0() const { return w0_; }
+
+ private:
+  LoopType type_;
+  double prob_;
+  double rtt_s_;
+  PiGains gains_;
+  double w0_;
+};
+
+/// The stepped PIE autotune factor (re-export for the analysis binaries; the
+/// live implementation is aqm::PieAqm::tune_factor).
+double pie_tune_factor(double prob);
+
+/// sqrt(2p) — the curve the paper shows the tune table tracks (Figure 5).
+double sqrt_2p(double prob);
+
+}  // namespace pi2::control

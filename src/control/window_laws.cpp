@@ -1,0 +1,44 @@
+#include "control/window_laws.hpp"
+
+#include <cmath>
+
+namespace pi2::control {
+
+double reno_window(double p) { return 1.22 / std::sqrt(p); }
+
+double creno_window(double p) { return 1.68 / std::sqrt(p); }
+
+double cubic_window(double p, double rtt_s) {
+  return 1.17 * std::pow(rtt_s, 0.75) / std::pow(p, 0.75);
+}
+
+bool cubic_in_creno_region(double window, double rtt_s) {
+  return window * std::pow(rtt_s, 1.5) < 3.5;
+}
+
+double dctcp_window_probabilistic(double p) { return 2.0 / p; }
+
+double dctcp_window_step(double p) { return 2.0 / (p * p); }
+
+double reno_prob(double window) {
+  const double r = 1.22 / window;
+  return r * r;
+}
+
+double creno_prob(double window) {
+  const double r = 1.68 / window;
+  return r * r;
+}
+
+double dctcp_prob_probabilistic(double window) { return 2.0 / window; }
+
+double coupled_classic_prob(double p_s, double k) {
+  const double r = p_s / k;
+  return r * r;
+}
+
+double derived_coupling_factor() { return 2.0 / 1.68; }
+
+double signals_per_rtt_exponent(double b) { return 1.0 - 1.0 / b; }
+
+}  // namespace pi2::control

@@ -1,0 +1,47 @@
+// Steady-state window/probability laws from Appendix A of the paper.
+//
+// All windows are in segments per RTT; probabilities are per-packet
+// drop/mark probabilities. These close the loop between the analytic layer
+// and the packet simulator: property tests check the simulated flows against
+// them, and the fluid model uses them for operating points.
+#pragma once
+
+namespace pi2::control {
+
+/// Equation (5): TCP Reno, W = 1.22 / p^{1/2}.
+double reno_window(double p);
+
+/// Equation (7): Cubic in Reno mode (CReno, beta = 0.7), W = 1.68 / p^{1/2}.
+double creno_window(double p);
+
+/// Equation (6): pure Cubic, W = 1.17 R^{3/4} / p^{3/4} (R in seconds).
+double cubic_window(double p, double rtt_s);
+
+/// Equation (8): Cubic runs in its Reno (CReno) mode while W R^{3/2} < 3.5.
+bool cubic_in_creno_region(double window, double rtt_s);
+
+/// Equation (11): DCTCP under probabilistic (PI-driven) marking, W = 2 / p.
+double dctcp_window_probabilistic(double p);
+
+/// Equation (12): DCTCP under a step threshold (on-off marking), W = 2 / p^2.
+double dctcp_window_step(double p);
+
+/// Inverse laws: probability needed for a given window.
+double reno_prob(double window);
+double creno_prob(double window);
+double dctcp_prob_probabilistic(double window);
+
+/// Equation (14): Classic probability coupled from the Scalable one,
+/// p_c = (p_s / k)^2.
+double coupled_classic_prob(double p_s, double k);
+
+/// The analytically derived coupling factor for CReno vs DCTCP rate
+/// equality: k = 2 / 1.68 ~ 1.19 (the paper rounds to 2 in deployment,
+/// which also matches the optimal gain ratio).
+double derived_coupling_factor();
+
+/// Scaling exponent B of a control with W ~ 1/p^B: signals per RTT
+/// c = p W ~ W^(1 - 1/B) — equation (3). Scalable iff B >= 1.
+double signals_per_rtt_exponent(double b);
+
+}  // namespace pi2::control

@@ -1,0 +1,49 @@
+#include "core/coupled_pi2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pi2::core {
+
+using pi2::sim::to_seconds;
+
+CoupledPi2Aqm::CoupledPi2Aqm() : CoupledPi2Aqm(Params{}) {}
+
+CoupledPi2Aqm::CoupledPi2Aqm(Params params)
+    : params_(params),
+      pi_(params.alpha_hz, params.beta_hz,
+          std::min(1.0, params.k * std::sqrt(std::clamp(params.max_classic_prob,
+                                                        0.0, 1.0)))) {}
+
+void CoupledPi2Aqm::install(pi2::sim::Simulator& sim, const net::QueueView& view) {
+  QueueDiscipline::install(sim, view);
+  schedule_update();
+}
+
+void CoupledPi2Aqm::schedule_update() {
+  sim().after(params_.t_update, [this] {
+    pi_.update(to_seconds(view().queue_delay()), to_seconds(params_.target));
+    schedule_update();
+  });
+}
+
+double CoupledPi2Aqm::classic_probability() const {
+  const double p = pi_.prob() / params_.k;
+  return p * p;
+}
+
+CoupledPi2Aqm::Verdict CoupledPi2Aqm::enqueue(const net::Packet& packet) {
+  const double p_s = pi_.prob();
+  if (net::is_scalable(packet.ecn)) {
+    // "Think once to mark": linear probability for Scalable traffic.
+    return rng().uniform() < p_s ? Verdict::kMark : Verdict::kAccept;
+  }
+  // "Think twice to drop": squared, coupled probability for Classic.
+  const double p_classic_root = p_s / params_.k;
+  if (std::max(rng().uniform(), rng().uniform()) >= p_classic_root) {
+    return Verdict::kAccept;
+  }
+  return net::ecn_capable(packet.ecn) ? Verdict::kMark : Verdict::kDrop;
+}
+
+}  // namespace pi2::core

@@ -1,0 +1,58 @@
+// Coupled PI + PI2 in a single queue (paper Figure 9).
+//
+// One linear PI controller drives the Scalable marking probability p_s.
+// Packets are classified by ECN codepoint:
+//   ECT(1) or CE  (Scalable, e.g. DCTCP):  mark  iff Y < p_s
+//   ECT(0)        (Classic ECN):           mark  iff max(Y1,Y2) < p_s / k
+//   Not-ECT       (Classic drop-based):    drop  iff max(Y1,Y2) < p_s / k
+//
+// so the Classic probability is p_c = (p_s / k)^2 — paper equation (14) —
+// which equalizes steady-state rates between DCTCP and Cubic/CReno. The
+// coupling factor k defaults to 2 (derived ~1.19, validated empirically as 2;
+// k = 2 is also the optimal gain ratio for stability, paper §4).
+//
+// Overload: p_s is capped at k * sqrt(max_classic_prob) (with the defaults,
+// 2 * sqrt(0.25) = 1), i.e. 100% Scalable marking and 25% Classic drop; any
+// further excess grows the queue until tail-drop takes over, which also
+// handles unresponsive floods.
+#pragma once
+
+#include "aqm/pi_core.hpp"
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::core {
+
+class CoupledPi2Aqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    pi2::sim::Duration target = pi2::sim::from_millis(20);
+    pi2::sim::Duration t_update = pi2::sim::from_millis(32);
+    /// Table 1 ("PI/PI2 + DCTCP"): alpha = 10/16 Hz, beta = 100/16 Hz —
+    /// double the Classic PI2 gains, matching k = 2.
+    double alpha_hz = 0.625;
+    double beta_hz = 6.25;
+    double k = 2.0;  ///< coupling factor between Scalable and Classic
+    double max_classic_prob = 0.25;
+  };
+
+  CoupledPi2Aqm();
+  explicit CoupledPi2Aqm(Params params);
+
+  void install(pi2::sim::Simulator& sim, const net::QueueView& view) override;
+  Verdict enqueue(const net::Packet& packet) override;
+
+  /// Classic drop/mark probability p_c = (p_s / k)^2.
+  [[nodiscard]] double classic_probability() const override;
+  /// Scalable marking probability p_s.
+  [[nodiscard]] double scalable_probability() const override { return pi_.prob(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  void schedule_update();
+
+  Params params_;
+  pi2::aqm::PiCore pi_;
+};
+
+}  // namespace pi2::core

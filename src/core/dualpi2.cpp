@@ -1,0 +1,139 @@
+#include "core/dualpi2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pi2::core {
+
+using pi2::net::Ecn;
+using pi2::net::Packet;
+using pi2::sim::Duration;
+using pi2::sim::from_seconds;
+using pi2::sim::to_seconds;
+using pi2::sim::Time;
+
+DualPi2Link::DualPi2Link(pi2::sim::Simulator& sim, Params params)
+    : sim_(sim),
+      params_(params),
+      pi_(params.alpha_hz, params.beta_hz,
+          std::min(1.0, params.k * std::sqrt(std::clamp(params.max_classic_prob,
+                                                        0.0, 1.0)))),
+      rng_(sim.rng().split()) {
+  schedule_update();
+}
+
+Duration DualPi2Link::l_queue_delay() const {
+  return from_seconds(static_cast<double>(l_backlog_bytes_) * 8.0 / params_.rate_bps);
+}
+
+Duration DualPi2Link::c_queue_delay() const {
+  return from_seconds(static_cast<double>(c_backlog_bytes_) * 8.0 / params_.rate_bps);
+}
+
+void DualPi2Link::schedule_update() {
+  sim_.after(params_.t_update, [this] {
+    update();
+    schedule_update();
+  });
+}
+
+void DualPi2Link::update() {
+  // The PI controller regulates the Classic queue's delay, measured as the
+  // sojourn of the head packet (as Linux sch_dualpi2 does). Backlog/rate
+  // would under-estimate it: C drains at less than the full link rate while
+  // the scheduler favours L, and the controller must see that extra wait.
+  double c_delay_s = 0.0;
+  if (!c_queue_.empty()) {
+    c_delay_s = to_seconds(sim_.now() - c_queue_.front().enqueued_at);
+  }
+  pi_.update(c_delay_s, to_seconds(params_.target));
+}
+
+void DualPi2Link::send(Packet packet) {
+  if (total_backlog_packets() >= params_.buffer_packets) {
+    ++counters_.tail_dropped;
+    return;
+  }
+  const bool scalable = net::is_scalable(packet.ecn);
+  if (!scalable) {
+    // Classic: squared, coupled signal at enqueue.
+    const double p_root = pi_.prob() / params_.k;
+    if (std::max(rng_.uniform(), rng_.uniform()) < p_root) {
+      if (net::ecn_capable(packet.ecn)) {
+        packet.ecn = Ecn::kCe;
+        ++counters_.c_marked;
+      } else {
+        ++counters_.c_dropped;
+        return;
+      }
+    }
+  }
+  packet.enqueued_at = sim_.now();
+  if (scalable) {
+    ++counters_.l_enqueued;
+    l_backlog_bytes_ += packet.size;
+    l_queue_.push_back(packet);
+  } else {
+    ++counters_.c_enqueued;
+    c_backlog_bytes_ += packet.size;
+    c_queue_.push_back(packet);
+  }
+  try_start_transmission();
+}
+
+void DualPi2Link::try_start_transmission() {
+  if (transmitting_) return;
+  if (l_queue_.empty() && c_queue_.empty()) return;
+
+  // Time-shifted FIFO: compare head sojourns, crediting the L queue.
+  bool from_l;
+  const Time now = sim_.now();
+  if (l_queue_.empty()) {
+    from_l = false;
+  } else if (c_queue_.empty()) {
+    from_l = true;
+  } else {
+    const Duration l_sojourn = now - l_queue_.front().enqueued_at + params_.t_shift;
+    const Duration c_sojourn = now - c_queue_.front().enqueued_at;
+    from_l = l_sojourn >= c_sojourn;
+  }
+
+  Packet packet = from_l ? l_queue_.front() : c_queue_.front();
+  if (from_l) {
+    l_queue_.pop_front();
+    l_backlog_bytes_ -= packet.size;
+    // L-queue marking at dequeue: max of the native sojourn ramp and the
+    // coupled probability k * p'.
+    const double sojourn_s = to_seconds(now - packet.enqueued_at);
+    const double min_th = to_seconds(params_.l_min_th);
+    const double range = std::max(to_seconds(params_.l_range), 1e-9);
+    const double native = std::clamp((sojourn_s - min_th) / range, 0.0, 1.0);
+    const double p_cl = std::min(params_.k * pi_.prob(), 1.0);
+    const double p_l = std::max(native, p_cl);
+    if (rng_.uniform() < p_l) {
+      packet.ecn = Ecn::kCe;
+      ++counters_.l_marked;
+    }
+  } else {
+    c_queue_.pop_front();
+    c_backlog_bytes_ -= packet.size;
+  }
+
+  const Duration tx_time =
+      from_seconds(static_cast<double>(packet.size) * 8.0 / params_.rate_bps);
+  transmitting_ = true;
+  sim_.after(tx_time, [this, packet, from_l]() mutable {
+    finish_transmission(std::move(packet), from_l);
+  });
+}
+
+void DualPi2Link::finish_transmission(Packet packet, bool from_l) {
+  transmitting_ = false;
+  if (departure_probe_) {
+    departure_probe_(packet, sim_.now() - packet.enqueued_at, from_l);
+  }
+  if (sink_) sink_(packet);
+  try_start_transmission();
+}
+
+}  // namespace pi2::core

@@ -1,0 +1,97 @@
+// DualPI2 — the DualQ Coupled AQM the paper names as its deployment goal
+// (references [12]/[13], later standardized as RFC 9332). Provided as the
+// repository's extension beyond the single-queue experiments.
+//
+// Two queues share one link:
+//   L queue: Scalable traffic (ECT(1)/CE). Immediate (unsmoothed) native
+//            marking from a sojourn-time ramp, combined with the coupled
+//            probability p_CL = k * p' from the Classic controller:
+//            p_L = max(native, p_CL).
+//   C queue: Classic traffic. PI controller on the C-queue delay produces
+//            p'; Classic packets are dropped/marked with (p')^2.
+// A time-shifted FIFO scheduler gives the L queue a head start of `t_shift`
+// without starving the C queue.
+//
+// The component mirrors BottleneckLink's interface so scenarios can swap it
+// in for the single-queue bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "aqm/pi_core.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pi2::core {
+
+class DualPi2Link {
+ public:
+  struct Params {
+    double rate_bps = 40e6;
+    std::int64_t buffer_packets = 40000;  ///< shared across both queues
+    pi2::sim::Duration target = pi2::sim::from_millis(20);   // C queue target
+    pi2::sim::Duration t_update = pi2::sim::from_millis(32);
+    double alpha_hz = 0.625;
+    double beta_hz = 6.25;
+    double k = 2.0;
+    double max_classic_prob = 0.25;
+    /// Native L-queue ramp: marking rises linearly from 0 at `l_min_th`
+    /// to 1 at `l_min_th + l_range` of sojourn time.
+    pi2::sim::Duration l_min_th = pi2::sim::from_millis(1);
+    pi2::sim::Duration l_range = pi2::sim::from_millis(1);
+    /// Scheduler time shift in favour of the L queue.
+    pi2::sim::Duration t_shift = pi2::sim::from_millis(50);
+  };
+
+  struct Counters {
+    std::int64_t l_enqueued = 0;
+    std::int64_t c_enqueued = 0;
+    std::int64_t l_marked = 0;
+    std::int64_t c_marked = 0;
+    std::int64_t c_dropped = 0;
+    std::int64_t tail_dropped = 0;
+  };
+
+  DualPi2Link(pi2::sim::Simulator& sim, Params params);
+
+  void set_sink(std::function<void(net::Packet)> sink) { sink_ = std::move(sink); }
+  /// Observer per departure: packet, sojourn time, and whether it used the
+  /// L (Scalable) queue.
+  void set_departure_probe(
+      std::function<void(const net::Packet&, pi2::sim::Duration, bool)> probe) {
+    departure_probe_ = std::move(probe);
+  }
+
+  void send(net::Packet packet);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] double p_prime() const { return pi_.prob(); }
+  [[nodiscard]] pi2::sim::Duration l_queue_delay() const;
+  [[nodiscard]] pi2::sim::Duration c_queue_delay() const;
+
+ private:
+  void update();
+  void schedule_update();
+  void try_start_transmission();
+  void finish_transmission(net::Packet packet, bool from_l);
+  [[nodiscard]] std::int64_t total_backlog_packets() const {
+    return static_cast<std::int64_t>(l_queue_.size() + c_queue_.size());
+  }
+
+  pi2::sim::Simulator& sim_;
+  Params params_;
+  pi2::aqm::PiCore pi_;
+  pi2::sim::Rng rng_;
+  std::deque<net::Packet> l_queue_;
+  std::deque<net::Packet> c_queue_;
+  std::int64_t l_backlog_bytes_ = 0;
+  std::int64_t c_backlog_bytes_ = 0;
+  bool transmitting_ = false;
+  Counters counters_;
+  std::function<void(net::Packet)> sink_;
+  std::function<void(const net::Packet&, pi2::sim::Duration, bool)> departure_probe_;
+};
+
+}  // namespace pi2::core

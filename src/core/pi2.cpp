@@ -1,0 +1,38 @@
+#include "core/pi2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pi2::core {
+
+using pi2::sim::to_seconds;
+
+Pi2Aqm::Pi2Aqm() : Pi2Aqm(Params{}) {}
+
+Pi2Aqm::Pi2Aqm(Params params)
+    : params_(params),
+      pi_(params.alpha_hz, params.beta_hz,
+          std::sqrt(std::clamp(params.max_classic_prob, 0.0, 1.0))) {}
+
+void Pi2Aqm::install(pi2::sim::Simulator& sim, const net::QueueView& view) {
+  QueueDiscipline::install(sim, view);
+  schedule_update();
+}
+
+void Pi2Aqm::schedule_update() {
+  sim().after(params_.t_update, [this] {
+    pi_.update(to_seconds(view().queue_delay()), to_seconds(params_.target));
+    schedule_update();
+  });
+}
+
+Pi2Aqm::Verdict Pi2Aqm::enqueue(const net::Packet& packet) {
+  // "Think twice to drop": two independent uniforms implement the square
+  // without a multiplication wider than the random word.
+  const double p_prime = pi_.prob();
+  if (std::max(rng().uniform(), rng().uniform()) >= p_prime) return Verdict::kAccept;
+  if (params_.ecn && net::ecn_capable(packet.ecn)) return Verdict::kMark;
+  return Verdict::kDrop;
+}
+
+}  // namespace pi2::core

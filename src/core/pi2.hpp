@@ -1,0 +1,59 @@
+// PI2 — "PI Improved with a square" (the paper's contribution, Figure 8).
+//
+// A plain linear PI controller drives a pseudo-probability p' that is by
+// definition proportional to load; the output stage squares it when applying
+// congestion signals to Classic traffic:
+//
+//   drop/mark  iff  max(Y1, Y2) < p'      =>  P[signal] = (p')^2
+//
+// This counterbalances the square-root law of Classic TCP (W ~ 1/sqrt(p)),
+// flattening the loop gain in p' so that *constant* gain factors work over
+// the whole load range — no autotune table, no heuristics. The flat margin
+// allows gains 2.5x higher than PIE's base values (total loop gain ~3.5x,
+// ~5.5 dB) without instability (paper §4 and Appendix B).
+#pragma once
+
+#include "aqm/pi_core.hpp"
+#include "net/queue_discipline.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::core {
+
+class Pi2Aqm : public net::QueueDiscipline {
+ public:
+  struct Params {
+    pi2::sim::Duration target = pi2::sim::from_millis(20);
+    pi2::sim::Duration t_update = pi2::sim::from_millis(32);
+    /// 2.5x the PIE base gains (paper Figures 6/7: alpha = 0.3125 Hz,
+    /// beta = 3.125 Hz), safe because the PI2 gain margin is flat.
+    double alpha_hz = 0.3125;
+    double beta_hz = 3.125;
+    bool ecn = true;  ///< mark ECN-capable (Classic ECT(0)) packets
+    /// Overload cap on the applied Classic probability (paper §5: 25%).
+    /// Beyond it the queue grows and tail-drop takes over, which also
+    /// controls unresponsive traffic. Internally caps p' at sqrt(cap).
+    double max_classic_prob = 0.25;
+  };
+
+  Pi2Aqm();
+  explicit Pi2Aqm(Params params);
+
+  void install(pi2::sim::Simulator& sim, const net::QueueView& view) override;
+  Verdict enqueue(const net::Packet& packet) override;
+
+  /// The applied (squared) probability p = (p')^2.
+  [[nodiscard]] double classic_probability() const override {
+    return pi_.prob() * pi_.prob();
+  }
+  /// The internal linear pseudo-probability p'.
+  [[nodiscard]] double scalable_probability() const override { return pi_.prob(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  void schedule_update();
+
+  Params params_;
+  pi2::aqm::PiCore pi_;
+};
+
+}  // namespace pi2::core

@@ -1,0 +1,96 @@
+#include "net/bottleneck_link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pi2::net {
+
+using pi2::sim::Duration;
+using pi2::sim::from_seconds;
+using pi2::sim::Time;
+
+BottleneckLink::BottleneckLink(pi2::sim::Simulator& sim, Config config,
+                               std::unique_ptr<QueueDiscipline> qdisc)
+    : sim_(sim), config_(config), qdisc_(std::move(qdisc)) {
+  assert(config_.rate_bps > 0);
+  assert(qdisc_ != nullptr);
+  qdisc_->install(sim_, *this);
+}
+
+Duration BottleneckLink::queue_delay() const {
+  return from_seconds(static_cast<double>(backlog_bytes_) * 8.0 / config_.rate_bps);
+}
+
+void BottleneckLink::drop(const Packet& packet, DropReason reason) {
+  if (reason == DropReason::kAqm) {
+    ++counters_.aqm_dropped;
+  } else {
+    ++counters_.tail_dropped;
+  }
+  for (const auto& probe : drop_probes_) probe(packet, reason);
+}
+
+void BottleneckLink::send(Packet packet) {
+  if (backlog_packets() >= config_.buffer_packets) {
+    drop(packet, DropReason::kTailDrop);
+    return;
+  }
+  switch (qdisc_->enqueue(packet)) {
+    case QueueDiscipline::Verdict::kDrop:
+      drop(packet, DropReason::kAqm);
+      return;
+    case QueueDiscipline::Verdict::kMark:
+      packet.ecn = Ecn::kCe;
+      ++counters_.marked;
+      break;
+    case QueueDiscipline::Verdict::kAccept:
+      break;
+  }
+  packet.enqueued_at = sim_.now();
+  ++counters_.enqueued;
+  backlog_bytes_ += packet.size;
+  for (const auto& probe : enqueue_probes_) probe(packet);
+  buffer_.push_back(packet);
+  try_start_transmission();
+}
+
+void BottleneckLink::try_start_transmission() {
+  if (transmitting_) return;
+  while (!buffer_.empty()) {
+    Packet packet = buffer_.front();
+    buffer_.pop_front();
+    backlog_bytes_ -= packet.size;
+    switch (qdisc_->dequeue(packet)) {
+      case QueueDiscipline::Verdict::kDrop:
+        drop(packet, DropReason::kAqm);
+        continue;  // offer the next head packet
+      case QueueDiscipline::Verdict::kMark:
+        packet.ecn = Ecn::kCe;
+        ++counters_.marked;
+        break;
+      case QueueDiscipline::Verdict::kAccept:
+        break;
+    }
+    const Time started = sim_.now();
+    const Duration tx_time =
+        from_seconds(static_cast<double>(packet.size) * 8.0 / config_.rate_bps);
+    transmitting_ = true;
+    sim_.after(tx_time, [this, packet, started]() mutable {
+      finish_transmission(std::move(packet), started);
+    });
+    return;
+  }
+}
+
+void BottleneckLink::finish_transmission(Packet packet, Time started) {
+  transmitting_ = false;
+  ++counters_.forwarded;
+  for (const auto& probe : busy_probes_) probe(started, sim_.now());
+  for (const auto& probe : departure_probes_) {
+    probe(packet, sim_.now() - packet.enqueued_at);
+  }
+  if (sink_) sink_(packet);
+  try_start_transmission();
+}
+
+}  // namespace pi2::net

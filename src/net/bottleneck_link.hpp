@@ -1,0 +1,137 @@
+// The bottleneck: a FIFO buffer drained by a rate-limited link, with a
+// pluggable queue discipline (AQM) deciding drops and ECN marks.
+//
+// Semantics follow a Linux qdisc + NIC: a packet is removed from the buffer
+// when its transmission starts, serializes for size*8/rate seconds, and is
+// delivered to the sink when transmission completes. The drain rate can be
+// changed mid-run (Figure 12's varying-link-capacity experiment).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue_discipline.hpp"
+#include "sim/simulator.hpp"
+
+namespace pi2::net {
+
+class BottleneckLink final : public QueueView {
+ public:
+  struct Config {
+    double rate_bps = 10e6;
+    /// Buffer limit in packets (the paper uses 40000 packets ~ 2.4 s at
+    /// 200 Mb/s). Arrivals beyond this are tail-dropped regardless of AQM.
+    std::int64_t buffer_packets = 40000;
+  };
+
+  struct Counters {
+    std::int64_t enqueued = 0;
+    std::int64_t forwarded = 0;
+    std::int64_t aqm_dropped = 0;
+    std::int64_t tail_dropped = 0;
+    std::int64_t marked = 0;
+  };
+
+  enum class DropReason { kAqm, kTailDrop };
+
+  BottleneckLink(pi2::sim::Simulator& sim, Config config,
+                 std::unique_ptr<QueueDiscipline> qdisc);
+
+  /// Where departing packets go (e.g. a propagation-delay pipe).
+  void set_sink(std::function<void(Packet)> sink) { sink_ = std::move(sink); }
+
+  /// Observers (all optional, multicast — every added probe fires).
+  /// `departure` receives the packet and its total time in the system
+  /// (queue wait + serialization). `busy` receives each transmission
+  /// interval, for utilization accounting.
+  void add_departure_probe(std::function<void(const Packet&, pi2::sim::Duration)> probe) {
+    departure_probes_.push_back(std::move(probe));
+  }
+  void add_busy_probe(std::function<void(pi2::sim::Time, pi2::sim::Time)> probe) {
+    busy_probes_.push_back(std::move(probe));
+  }
+  void add_drop_probe(std::function<void(const Packet&, DropReason)> probe) {
+    drop_probes_.push_back(std::move(probe));
+  }
+  /// Fires when a packet is accepted into the queue (after AQM marking).
+  void add_enqueue_probe(std::function<void(const Packet&)> probe) {
+    enqueue_probes_.push_back(std::move(probe));
+  }
+
+  // Single-probe setters kept for convenience (equivalent to add_*).
+  void set_departure_probe(std::function<void(const Packet&, pi2::sim::Duration)> probe) {
+    add_departure_probe(std::move(probe));
+  }
+  void set_busy_probe(std::function<void(pi2::sim::Time, pi2::sim::Time)> probe) {
+    add_busy_probe(std::move(probe));
+  }
+  void set_drop_probe(std::function<void(const Packet&, DropReason)> probe) {
+    add_drop_probe(std::move(probe));
+  }
+
+  /// Offers a packet to the queue. Applies the AQM verdict, then the buffer
+  /// limit; accepted packets are eventually delivered to the sink.
+  void send(Packet packet);
+
+  /// Changes the drain rate; applies from the next transmission start.
+  void set_rate_bps(double bps) { config_.rate_bps = bps; }
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const pi2::sim::Simulator& simulator() const { return sim_; }
+  [[nodiscard]] QueueDiscipline& qdisc() { return *qdisc_; }
+  [[nodiscard]] const QueueDiscipline& qdisc() const { return *qdisc_; }
+
+  // QueueView:
+  [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
+  [[nodiscard]] std::int64_t backlog_packets() const override {
+    return static_cast<std::int64_t>(buffer_.size());
+  }
+  [[nodiscard]] double link_rate_bps() const override { return config_.rate_bps; }
+  [[nodiscard]] pi2::sim::Duration queue_delay() const override;
+
+ private:
+  void try_start_transmission();
+  void finish_transmission(Packet packet, pi2::sim::Time started);
+  void drop(const Packet& packet, DropReason reason);
+
+  pi2::sim::Simulator& sim_;
+  Config config_;
+  std::unique_ptr<QueueDiscipline> qdisc_;
+  std::deque<Packet> buffer_;
+  std::int64_t backlog_bytes_ = 0;
+  bool transmitting_ = false;
+  Counters counters_;
+  std::function<void(Packet)> sink_;
+  std::vector<std::function<void(const Packet&, pi2::sim::Duration)>> departure_probes_;
+  std::vector<std::function<void(pi2::sim::Time, pi2::sim::Time)>> busy_probes_;
+  std::vector<std::function<void(const Packet&, DropReason)>> drop_probes_;
+  std::vector<std::function<void(const Packet&)>> enqueue_probes_;
+};
+
+/// Fixed-delay pipe: models propagation (and the uncongested reverse path).
+class DelayPipe {
+ public:
+  DelayPipe(pi2::sim::Simulator& sim, pi2::sim::Duration delay)
+      : sim_(sim), delay_(delay) {}
+
+  void set_sink(std::function<void(Packet)> sink) { sink_ = std::move(sink); }
+  void set_delay(pi2::sim::Duration delay) { delay_ = delay; }
+  [[nodiscard]] pi2::sim::Duration delay() const { return delay_; }
+
+  void send(Packet packet) {
+    sim_.after(delay_, [this, packet]() mutable {
+      if (sink_) sink_(packet);
+    });
+  }
+
+ private:
+  pi2::sim::Simulator& sim_;
+  pi2::sim::Duration delay_;
+  std::function<void(Packet)> sink_;
+};
+
+}  // namespace pi2::net

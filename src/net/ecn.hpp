@@ -1,0 +1,40 @@
+// ECN codepoints (RFC 3168) and the Scalable/Classic classifier.
+//
+// The paper identifies Scalable (DCTCP-like) traffic by the ECT(1) codepoint
+// (the L4S identifier that later became RFC 9331); ECT(0) stays available for
+// Classic ECN, and both share CE for "Congestion Experienced".
+#pragma once
+
+#include <string_view>
+
+namespace pi2::net {
+
+enum class Ecn : unsigned char {
+  kNotEct = 0b00,  ///< Not ECN-capable: congestion is signalled by drop.
+  kEct1 = 0b01,    ///< ECN-capable, Scalable identifier (DCTCP/L4S).
+  kEct0 = 0b10,    ///< ECN-capable, Classic semantics (mark == drop).
+  kCe = 0b11,      ///< Congestion Experienced.
+};
+
+/// True if the packet may be marked instead of dropped.
+constexpr bool ecn_capable(Ecn e) { return e != Ecn::kNotEct; }
+
+/// The paper's classifier (Figure 9): ECT(1) and CE packets take the
+/// Scalable (linear-probability marking) path; everything else is Classic.
+///
+/// CE is classified as Scalable because a Classic CE packet has already been
+/// marked upstream — remarking is harmless — while failing to treat a
+/// Scalable CE packet as Scalable would under-signal it.
+constexpr bool is_scalable(Ecn e) { return e == Ecn::kEct1 || e == Ecn::kCe; }
+
+constexpr std::string_view to_string(Ecn e) {
+  switch (e) {
+    case Ecn::kNotEct: return "Not-ECT";
+    case Ecn::kEct1: return "ECT(1)";
+    case Ecn::kEct0: return "ECT(0)";
+    case Ecn::kCe: return "CE";
+  }
+  return "?";
+}
+
+}  // namespace pi2::net

@@ -1,0 +1,88 @@
+// Abstract queue discipline (AQM) interface.
+//
+// A QueueDiscipline owns the drop/mark policy of a bottleneck queue. The
+// queue consults it on every enqueue and dequeue; the discipline may also
+// schedule its own periodic work (the PI/PIE probability update timer) via
+// the Simulator it receives in install().
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pi2::net {
+
+/// Read-only view of the queue a discipline controls.
+class QueueView {
+ public:
+  virtual ~QueueView() = default;
+  [[nodiscard]] virtual std::int64_t backlog_bytes() const = 0;
+  [[nodiscard]] virtual std::int64_t backlog_packets() const = 0;
+  /// Current drain rate in bits per second (may change mid-run, Figure 12).
+  [[nodiscard]] virtual double link_rate_bps() const = 0;
+  /// Queue delay estimate: backlog divided by drain rate. This mirrors the
+  /// PIE/DOCSIS approach of converting queue length to delay with a rate
+  /// estimate instead of timestamping every packet.
+  [[nodiscard]] virtual pi2::sim::Duration queue_delay() const = 0;
+};
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  enum class Verdict {
+    kAccept,  ///< enqueue/forward unchanged
+    kMark,    ///< set CE and enqueue/forward
+    kDrop,    ///< discard
+  };
+
+  /// Binds the discipline to its queue and simulation context. Called once
+  /// by the bottleneck before any traffic flows. Subclasses that need a
+  /// periodic update timer override and call the base first.
+  virtual void install(pi2::sim::Simulator& sim, const QueueView& view) {
+    sim_ = &sim;
+    view_ = &view;
+    rng_ = sim.rng().split();
+  }
+
+  /// Decision for an arriving packet (before it is appended to the queue).
+  virtual Verdict enqueue(const Packet& packet) = 0;
+
+  /// Decision for a departing packet (CoDel-style disciplines drop here;
+  /// a drop verdict discards and the queue offers the next head packet).
+  virtual Verdict dequeue(const Packet& packet) {
+    (void)packet;
+    return Verdict::kAccept;
+  }
+
+  /// Current probability the controller would apply to a Classic packet
+  /// (drop probability p). For introspection/probes only.
+  [[nodiscard]] virtual double classic_probability() const { return 0.0; }
+
+  /// Current probability applied to a Scalable packet (marking probability
+  /// p'). Equals classic_probability() for single-signal disciplines.
+  [[nodiscard]] virtual double scalable_probability() const {
+    return classic_probability();
+  }
+
+ protected:
+  [[nodiscard]] pi2::sim::Simulator& sim() const { return *sim_; }
+  [[nodiscard]] const QueueView& view() const { return *view_; }
+  [[nodiscard]] pi2::sim::Rng& rng() { return rng_; }
+  [[nodiscard]] bool installed() const { return sim_ != nullptr; }
+
+ private:
+  pi2::sim::Simulator* sim_ = nullptr;
+  const QueueView* view_ = nullptr;
+  pi2::sim::Rng rng_{0};
+};
+
+/// Pass-through discipline: pure tail-drop FIFO (the "no AQM" baseline).
+class FifoTailDrop final : public QueueDiscipline {
+ public:
+  Verdict enqueue(const Packet&) override { return Verdict::kAccept; }
+};
+
+}  // namespace pi2::net

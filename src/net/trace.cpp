@@ -1,0 +1,81 @@
+#include "net/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace pi2::net {
+
+std::string_view to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kEnqueue: return "enqueue";
+    case TraceEventType::kDeparture: return "departure";
+    case TraceEventType::kDropAqm: return "drop-aqm";
+    case TraceEventType::kDropTail: return "drop-tail";
+  }
+  return "?";
+}
+
+void PacketTrace::add(TraceRecord record) {
+  if (records_.size() >= capacity_) {
+    ++overflow_;
+    return;
+  }
+  records_.push_back(record);
+}
+
+void PacketTrace::attach(BottleneckLink& link) {
+  link.add_enqueue_probe([this](const Packet& p) {
+    add({p.enqueued_at, TraceEventType::kEnqueue, p.flow, p.seq, p.size, p.ecn,
+         pi2::sim::Duration{0}});
+  });
+  link.add_departure_probe([this](const Packet& p, pi2::sim::Duration sojourn) {
+    add({p.enqueued_at + sojourn, TraceEventType::kDeparture, p.flow, p.seq,
+         p.size, p.ecn, sojourn});
+  });
+  const pi2::sim::Simulator* sim = &link.simulator();
+  link.add_drop_probe(
+      [this, sim](const Packet& p, BottleneckLink::DropReason reason) {
+        add({sim->now(),
+             reason == BottleneckLink::DropReason::kAqm
+                 ? TraceEventType::kDropAqm
+                 : TraceEventType::kDropTail,
+             p.flow, p.seq, p.size, p.ecn, pi2::sim::Duration{0}});
+      });
+}
+
+std::vector<TraceRecord> PacketTrace::for_flow(std::int32_t flow) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.flow == flow) out.push_back(r);
+  }
+  return out;
+}
+
+std::int64_t PacketTrace::count(TraceEventType type, std::int32_t flow) const {
+  std::int64_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.type == type && (flow < 0 || r.flow == flow)) ++n;
+  }
+  return n;
+}
+
+bool PacketTrace::write_csv(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f{std::fopen(path.c_str(), "w")};
+  if (!f) return false;
+  std::fprintf(f.get(), "t_s,event,flow,seq,size,ecn,sojourn_ms\n");
+  for (const TraceRecord& r : records_) {
+    std::fprintf(f.get(), "%.9f,%s,%d,%lld,%d,%s,%.6f\n", pi2::sim::to_seconds(r.t),
+                 std::string(to_string(r.type)).c_str(), r.flow,
+                 static_cast<long long>(r.seq), r.size,
+                 std::string(to_string(r.ecn)).c_str(),
+                 pi2::sim::to_millis(r.sojourn));
+  }
+  return true;
+}
+
+}  // namespace pi2::net

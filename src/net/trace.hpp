@@ -1,0 +1,68 @@
+// Per-packet event tracing (ns-3 style): attach to a BottleneckLink and
+// record enqueue / departure / drop events, then export to CSV or query
+// per-flow summaries. Intended for debugging experiments and for users who
+// want packet-level visibility without touching the probe API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/bottleneck_link.hpp"
+
+namespace pi2::net {
+
+enum class TraceEventType : unsigned char {
+  kEnqueue,
+  kDeparture,
+  kDropAqm,
+  kDropTail,
+};
+
+[[nodiscard]] std::string_view to_string(TraceEventType type);
+
+struct TraceRecord {
+  pi2::sim::Time t;
+  TraceEventType type;
+  std::int32_t flow;
+  std::int64_t seq;
+  std::int32_t size;
+  Ecn ecn;
+  pi2::sim::Duration sojourn;  ///< departures only; 0 otherwise
+};
+
+class PacketTrace {
+ public:
+  /// `capacity` bounds memory; older records are discarded beyond it.
+  explicit PacketTrace(std::size_t capacity = 1u << 20) : capacity_(capacity) {}
+
+  /// Registers this trace's probes with the link. Coexists with any other
+  /// probes (stats meters etc.) already registered.
+  void attach(BottleneckLink& link);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t dropped_records() const { return overflow_; }
+
+  /// Events of one flow, in time order.
+  [[nodiscard]] std::vector<TraceRecord> for_flow(std::int32_t flow) const;
+
+  /// Count of records of a given type (optionally for one flow).
+  [[nodiscard]] std::int64_t count(TraceEventType type, std::int32_t flow = -1) const;
+
+  /// Writes "t_s,event,flow,seq,size,ecn,sojourn_ms" rows.
+  bool write_csv(const std::string& path) const;
+
+  void clear() {
+    records_.clear();
+    overflow_ = 0;
+  }
+
+ private:
+  void add(TraceRecord record);
+
+  std::size_t capacity_;
+  std::size_t overflow_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace pi2::net

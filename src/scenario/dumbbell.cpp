@@ -1,0 +1,238 @@
+#include "scenario/dumbbell.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "tcp/endpoint.hpp"
+#include "tcp/udp_sender.hpp"
+
+namespace pi2::scenario {
+
+using pi2::sim::Duration;
+using pi2::sim::Time;
+using pi2::sim::to_millis;
+using pi2::sim::to_seconds;
+
+namespace {
+
+/// Everything belonging to one flow, TCP or UDP.
+struct FlowContext {
+  tcp::CcType cc{};
+  bool is_udp = false;
+  Duration base_rtt{};
+  std::unique_ptr<tcp::TcpSender> sender;
+  std::unique_ptr<tcp::TcpReceiver> receiver;
+  std::unique_ptr<tcp::UdpSender> udp;
+  stats::RateMeter goodput;
+  std::int64_t bytes_at_stats_start = 0;
+};
+
+}  // namespace
+
+double RunResult::mean_goodput_mbps(tcp::CcType cc) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const FlowResult& f : flows) {
+    if (!f.is_udp && f.cc == cc) {
+      sum += f.goodput_mbps;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double RunResult::mean_udp_goodput_mbps() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const FlowResult& f : flows) {
+    if (f.is_udp) {
+      sum += f.goodput_mbps;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double RunResult::observed_signal_rate() const {
+  const auto arrivals = window_counters.enqueued + window_counters.aqm_dropped;
+  if (arrivals == 0) return 0.0;
+  return static_cast<double>(window_counters.aqm_dropped +
+                             window_counters.marked) /
+         static_cast<double>(arrivals);
+}
+
+RunResult run_dumbbell(const DumbbellConfig& config) {
+  pi2::sim::Simulator sim{config.seed};
+
+  net::BottleneckLink::Config link_config;
+  link_config.rate_bps = config.link_rate_bps;
+  link_config.buffer_packets = config.buffer_packets;
+  net::BottleneckLink link{sim, link_config, config.aqm.make()};
+
+  RunResult result;
+  stats::UtilizationMeter util_meter{std::chrono::seconds{1}};
+  stats::RateMeter total_meter{std::chrono::seconds{1}};
+  double busy_at_stats_start = 0.0;
+
+  std::vector<std::unique_ptr<FlowContext>> flows;
+
+  // --- Wire the bottleneck's probes. -------------------------------------
+  link.set_busy_probe([&](Time from, Time to) { util_meter.add_busy(from, to); });
+  link.set_departure_probe([&](const net::Packet& packet, Duration sojourn) {
+    if (sim.now() >= config.stats_start) {
+      result.qdelay_ms_packets.add(to_millis(sojourn));
+    }
+    (void)packet;
+  });
+
+  // Forward path: after the bottleneck, packets propagate base_rtt/2 to the
+  // flow's receiver; ACKs return after another base_rtt/2.
+  link.set_sink([&](net::Packet packet) {
+    if (packet.flow < 0 || packet.flow >= static_cast<std::int32_t>(flows.size())) {
+      return;
+    }
+    FlowContext& flow = *flows[static_cast<std::size_t>(packet.flow)];
+    sim.after(flow.base_rtt / 2, [&flow, packet, &sim]() {
+      if (flow.is_udp) {
+        flow.goodput.add_bytes(sim.now(), packet.size);
+      } else {
+        flow.receiver->on_data(packet);
+      }
+    });
+    total_meter.add_bytes(sim.now(), packet.size);
+  });
+
+  // --- Create flows. ------------------------------------------------------
+  auto add_tcp_flow = [&](const TcpFlowSpec& spec, int index_in_spec) {
+    const auto flow_id = static_cast<std::int32_t>(flows.size());
+    auto ctx = std::make_unique<FlowContext>();
+    ctx->cc = spec.cc;
+    ctx->base_rtt = spec.base_rtt;
+
+    tcp::TcpSender::Config sc;
+    sc.flow = flow_id;
+    sc.max_cwnd = spec.max_cwnd;
+    ctx->sender = std::make_unique<tcp::TcpSender>(
+        sim, sc, tcp::make_congestion_control(spec.cc));
+    ctx->receiver = std::make_unique<tcp::TcpReceiver>(sim, flow_id);
+
+    FlowContext* raw = ctx.get();
+    ctx->sender->set_output([&link](net::Packet p) { link.send(std::move(p)); });
+    ctx->receiver->set_delivery_probe([raw, &sim](const net::Packet& p) {
+      raw->goodput.add_bytes(sim.now(), p.size);
+    });
+    ctx->receiver->set_ack_path([raw, &sim](net::Packet ack) {
+      sim.after(raw->base_rtt / 2, [raw, ack] { raw->sender->on_ack(ack); });
+    });
+
+    const Time start = spec.start + spec.stagger * index_in_spec;
+    sim.at(start, [raw] { raw->sender->start(); });
+    if (spec.stop < pi2::sim::kTimeInfinity) {
+      sim.at(spec.stop, [raw] { raw->sender->stop(); });
+    }
+    flows.push_back(std::move(ctx));
+  };
+
+  auto add_udp_flow = [&](const UdpFlowSpec& spec) {
+    const auto flow_id = static_cast<std::int32_t>(flows.size());
+    auto ctx = std::make_unique<FlowContext>();
+    ctx->is_udp = true;
+    ctx->base_rtt = spec.base_rtt;
+    tcp::UdpSender::Config uc;
+    uc.flow = flow_id;
+    uc.rate_bps = spec.rate_bps;
+    ctx->udp = std::make_unique<tcp::UdpSender>(sim, uc);
+    ctx->udp->set_output([&link](net::Packet p) { link.send(std::move(p)); });
+    FlowContext* raw = ctx.get();
+    sim.at(spec.start, [raw] { raw->udp->start(); });
+    if (spec.stop < pi2::sim::kTimeInfinity) {
+      sim.at(spec.stop, [raw] { raw->udp->stop(); });
+    }
+    flows.push_back(std::move(ctx));
+  };
+
+  for (const TcpFlowSpec& spec : config.tcp_flows) {
+    for (int i = 0; i < spec.count; ++i) add_tcp_flow(spec, i);
+  }
+  for (const UdpFlowSpec& spec : config.udp_flows) {
+    for (int i = 0; i < spec.count; ++i) add_udp_flow(spec);
+  }
+
+  // --- Schedules. ----------------------------------------------------------
+  for (const RateChange& change : config.rate_changes) {
+    sim.at(change.at, [&link, change] { link.set_rate_bps(change.rate_bps); });
+  }
+
+  // Periodic sampling of queue delay and AQM probabilities.
+  std::function<void()> sample = [&] {
+    result.qdelay_ms_series.add(sim.now(), to_millis(link.queue_delay()));
+    const double pc = link.qdisc().classic_probability();
+    const double ps = link.qdisc().scalable_probability();
+    result.classic_prob_series.add(sim.now(), pc);
+    if (sim.now() >= config.stats_start) {
+      result.classic_prob_samples.add(pc);
+      result.scalable_prob_samples.add(ps);
+    }
+    sim.after(config.sample_interval, sample);
+  };
+  sim.after(config.sample_interval, sample);
+
+  // Snapshot cumulative counters at the start of the stats window.
+  net::BottleneckLink::Counters counters_at_stats_start{};
+  sim.at(config.stats_start, [&] {
+    busy_at_stats_start = util_meter.total_busy_seconds();
+    counters_at_stats_start = link.counters();
+    for (auto& flow : flows) {
+      flow->bytes_at_stats_start = flow->goodput.total_bytes();
+    }
+  });
+
+  // --- Run. ----------------------------------------------------------------
+  sim.run_until(config.duration);
+
+  // --- Collect results. ------------------------------------------------------
+  util_meter.flush(config.duration);
+  total_meter.flush(config.duration);
+  result.utilization_series = util_meter.series();
+  result.total_throughput_series = total_meter.series();
+  result.counters = link.counters();
+  result.window_counters.enqueued =
+      result.counters.enqueued - counters_at_stats_start.enqueued;
+  result.window_counters.forwarded =
+      result.counters.forwarded - counters_at_stats_start.forwarded;
+  result.window_counters.aqm_dropped =
+      result.counters.aqm_dropped - counters_at_stats_start.aqm_dropped;
+  result.window_counters.tail_dropped =
+      result.counters.tail_dropped - counters_at_stats_start.tail_dropped;
+  result.window_counters.marked =
+      result.counters.marked - counters_at_stats_start.marked;
+
+  const double stats_span_s = to_seconds(config.duration - config.stats_start);
+  if (stats_span_s > 0.0) {
+    const double busy = util_meter.total_busy_seconds() - busy_at_stats_start;
+    result.utilization = busy / stats_span_s;
+  }
+
+  for (auto& flow : flows) {
+    FlowResult fr;
+    fr.cc = flow->cc;
+    fr.is_udp = flow->is_udp;
+    if (stats_span_s > 0.0) {
+      const auto bytes = flow->goodput.total_bytes() - flow->bytes_at_stats_start;
+      fr.goodput_mbps = static_cast<double>(bytes) * 8.0 / stats_span_s / 1e6;
+    }
+    if (flow->sender) {
+      fr.retransmits = flow->sender->retransmits();
+      fr.timeouts = flow->sender->timeouts();
+    }
+    result.flows.push_back(fr);
+  }
+
+  result.mean_qdelay_ms = result.qdelay_ms_packets.mean();
+  result.p99_qdelay_ms = result.qdelay_ms_packets.p99();
+  return result;
+}
+
+}  // namespace pi2::scenario

@@ -1,0 +1,113 @@
+// The experiment harness: a dumbbell topology matching the paper's testbed
+// (Figure 10) — N senders share one AQM-managed bottleneck towards their
+// receivers, ACKs return over an uncongested reverse path.
+//
+// A DumbbellConfig describes link, buffer, AQM, flows and schedules
+// (flow churn, link-rate changes); run_dumbbell() executes it and returns
+// the measurements every figure in the evaluation needs: per-packet queue
+// delay (series + percentiles), per-flow goodput, link utilization, and the
+// AQM's internal probabilities.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/bottleneck_link.hpp"
+#include "scenario/aqm_factory.hpp"
+#include "sim/time.hpp"
+#include "stats/meters.hpp"
+#include "stats/percentile.hpp"
+#include "stats/time_series.hpp"
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::scenario {
+
+struct TcpFlowSpec {
+  tcp::CcType cc = tcp::CcType::kReno;
+  int count = 1;
+  pi2::sim::Time start{0};
+  pi2::sim::Time stop{pi2::sim::kTimeInfinity};
+  pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
+  /// Gap between successive flow starts within this spec, to avoid
+  /// synchronized slow starts (the testbed's natural stagger).
+  pi2::sim::Duration stagger = pi2::sim::from_millis(50);
+  /// Receive-window cap in segments. The default models the ~1 MB
+  /// bandwidth-delay-product limit of the paper's testbed kernel
+  /// (footnote 5), which bounds slow-start overshoot exactly as it did
+  /// there. 0 = unlimited.
+  double max_cwnd = 700.0;
+};
+
+struct UdpFlowSpec {
+  double rate_bps = 6e6;
+  int count = 1;
+  pi2::sim::Time start{0};
+  pi2::sim::Time stop{pi2::sim::kTimeInfinity};
+  pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
+};
+
+struct RateChange {
+  pi2::sim::Time at{0};
+  double rate_bps = 10e6;
+};
+
+struct DumbbellConfig {
+  double link_rate_bps = 10e6;
+  std::int64_t buffer_packets = 40000;  // Table 1
+  AqmConfig aqm;
+  std::vector<TcpFlowSpec> tcp_flows;
+  std::vector<UdpFlowSpec> udp_flows;
+  std::vector<RateChange> rate_changes;
+  pi2::sim::Time duration{std::chrono::seconds{100}};
+  /// Aggregate statistics (percentiles, means) cover [stats_start, duration);
+  /// time series cover the whole run.
+  pi2::sim::Time stats_start{std::chrono::seconds{0}};
+  std::uint64_t seed = 1;
+  /// Queue-delay / probability sampling period for the time series.
+  pi2::sim::Duration sample_interval = pi2::sim::from_millis(100);
+};
+
+struct FlowResult {
+  tcp::CcType cc{};
+  bool is_udp = false;
+  double goodput_mbps = 0.0;  ///< mean over the stats window
+  std::int64_t retransmits = 0;
+  std::int64_t timeouts = 0;
+};
+
+struct RunResult {
+  // Queue delay.
+  stats::TimeSeries qdelay_ms_series;           ///< sampled queue delay [ms]
+  stats::PercentileSampler qdelay_ms_packets;   ///< per-packet sojourn [ms], stats window
+  double mean_qdelay_ms = 0.0;
+  double p99_qdelay_ms = 0.0;
+
+  // AQM probabilities (sampled each sample_interval over the stats window).
+  stats::TimeSeries classic_prob_series;
+  stats::PercentileSampler classic_prob_samples;
+  stats::PercentileSampler scalable_prob_samples;
+
+  // Throughput / utilization.
+  stats::TimeSeries total_throughput_series;  ///< Mb/s, 1 s bins
+  stats::TimeSeries utilization_series;       ///< [0,1], 1 s bins
+  double utilization = 0.0;                   ///< mean over stats window
+
+  std::vector<FlowResult> flows;
+  /// Whole-run bottleneck counters (includes the warm-up transient).
+  net::BottleneckLink::Counters counters;
+  /// Counters restricted to the stats window [stats_start, duration).
+  net::BottleneckLink::Counters window_counters;
+
+  /// Mean goodput (Mb/s) across flows of a given congestion control.
+  [[nodiscard]] double mean_goodput_mbps(tcp::CcType cc) const;
+  /// Mean goodput (Mb/s) across UDP flows.
+  [[nodiscard]] double mean_udp_goodput_mbps() const;
+  /// Observed drop/mark probability (signals / arrivals) over the stats
+  /// window — comparable with the steady-state laws of Appendix A.
+  [[nodiscard]] double observed_signal_rate() const;
+};
+
+RunResult run_dumbbell(const DumbbellConfig& config);
+
+}  // namespace pi2::scenario

@@ -1,0 +1,47 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pi2::sim {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+void Scheduler::skim() {
+  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+}
+
+bool Scheduler::empty() const {
+  const_cast<Scheduler*>(this)->skim();
+  return heap_.empty();
+}
+
+Time Scheduler::next_time() const {
+  const_cast<Scheduler*>(this)->skim();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+Time Scheduler::run_next() {
+  skim();
+  assert(!heap_.empty());
+  // Move the entry out before popping: the callback may schedule new events,
+  // which mutates the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  *entry.alive = false;
+  ++executed_;
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace pi2::sim

@@ -1,0 +1,77 @@
+// Discrete-event scheduler: a binary heap of (time, sequence, callback).
+//
+// Events scheduled for the same instant execute in scheduling order (the
+// sequence number breaks ties), which keeps runs deterministic. Cancellation
+// is lazy: an EventHandle flips a shared flag and the dead entry is skipped
+// when it reaches the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pi2::sim {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles refer to no event. Copies share the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+
+  /// True if the event is still scheduled to fire.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. `at` must not be before
+  /// the current time of the owning simulator (checked by Simulator).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event; kTimeInfinity if none.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and runs the earliest live event; returns its time.
+  /// Precondition: !empty().
+  Time run_next();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim();
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pi2::sim

@@ -1,0 +1,22 @@
+#include "sim/simulator.hpp"
+
+namespace pi2::sim {
+
+void Simulator::run_until(Time until) {
+  // The clock must advance *before* the event executes, so that callbacks
+  // observe now() == their scheduled time.
+  while (!scheduler_.empty() && scheduler_.next_time() <= until) {
+    now_ = scheduler_.next_time();
+    scheduler_.run_next();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!scheduler_.empty()) {
+    now_ = scheduler_.next_time();
+    scheduler_.run_next();
+  }
+}
+
+}  // namespace pi2::sim

@@ -1,0 +1,55 @@
+// Simulation context: clock + scheduler + root RNG.
+//
+// Components hold a Simulator& and use `at`/`after` to schedule work. The
+// simulator is the composition root of a run; it owns nothing but time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Root RNG; components should `split()` their own streams from it.
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+  EventHandle at(Time when, std::function<void()> fn) {
+    return scheduler_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  /// Schedules `fn` after a relative delay (clamped to >= 0).
+  EventHandle after(Duration delay, std::function<void()> fn) {
+    return at(now_ + (delay.count() > 0 ? delay : Duration{0}), std::move(fn));
+  }
+
+  /// Runs events until the event queue is empty or `until` is reached.
+  /// The clock ends at exactly `until` if the queue outlives it.
+  void run_until(Time until);
+
+  /// Runs until the event queue is exhausted.
+  void run();
+
+  /// Events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const { return scheduler_.executed(); }
+
+ private:
+  Time now_ = kTimeZero;
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace pi2::sim

@@ -1,0 +1,42 @@
+// Simulated time: 64-bit integer nanoseconds.
+//
+// The simulation clock never uses floating point, so event ordering is exact
+// and runs are bit-for-bit reproducible. Helpers convert to/from seconds for
+// the analytic layers (control theory, statistics) that naturally work in
+// floating point.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pi2::sim {
+
+/// Absolute simulated time since the start of the run.
+using Time = std::chrono::nanoseconds;
+
+/// Relative simulated time.
+using Duration = std::chrono::nanoseconds;
+
+inline constexpr Time kTimeZero{0};
+
+/// Largest representable time; used as "never".
+inline constexpr Time kTimeInfinity{std::chrono::nanoseconds::max()};
+
+/// Converts a floating-point number of seconds to a Duration (rounds to ns).
+constexpr Duration from_seconds(double seconds) {
+  return Duration{static_cast<std::int64_t>(seconds * 1e9 + (seconds >= 0 ? 0.5 : -0.5))};
+}
+
+/// Converts a Duration to floating-point seconds.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+
+/// Converts a Duration to floating-point milliseconds.
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d.count()) * 1e-6;
+}
+
+constexpr Duration from_millis(double millis) { return from_seconds(millis * 1e-3); }
+
+}  // namespace pi2::sim

@@ -1,0 +1,59 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace pi2::stats {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<const TimeSeries*>& series,
+                      pi2::sim::Duration bin, pi2::sim::Time start,
+                      pi2::sim::Time stop) {
+  if (names.size() != series.size() || series.empty()) return false;
+  FilePtr f{std::fopen(path.c_str(), "w")};
+  if (!f) return false;
+
+  std::fprintf(f.get(), "t_s");
+  for (const auto& name : names) std::fprintf(f.get(), ",%s", name.c_str());
+  std::fprintf(f.get(), "\n");
+
+  std::vector<std::vector<std::pair<double, double>>> binned;
+  binned.reserve(series.size());
+  for (const TimeSeries* s : series) {
+    binned.push_back(s->binned_mean(bin, start, stop));
+  }
+  const std::size_t rows = binned.front().size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fprintf(f.get(), "%.6f", binned.front()[r].first);
+    for (const auto& col : binned) {
+      std::fprintf(f.get(), ",%.9g", r < col.size() ? col[r].second : 0.0);
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return true;
+}
+
+bool write_cdf_csv(const std::string& path, const PercentileSampler& sampler,
+                   int points) {
+  FilePtr f{std::fopen(path.c_str(), "w")};
+  if (!f) return false;
+  std::fprintf(f.get(), "value,fraction\n");
+  for (const auto& [value, fraction] : sampler.cdf_points(points)) {
+    std::fprintf(f.get(), "%.9g,%.6f\n", value, fraction);
+  }
+  return true;
+}
+
+}  // namespace pi2::stats

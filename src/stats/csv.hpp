@@ -1,0 +1,26 @@
+// CSV export for time series and samplers, so bench output can be plotted
+// with any external tool (gnuplot/matplotlib) exactly like the paper's
+// figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/percentile.hpp"
+#include "stats/time_series.hpp"
+
+namespace pi2::stats {
+
+/// Writes aligned columns "t,<name0>,<name1>,..." of binned series values.
+/// All series are binned onto the same grid; returns false on I/O failure.
+bool write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<const TimeSeries*>& series,
+                      pi2::sim::Duration bin, pi2::sim::Time start,
+                      pi2::sim::Time stop);
+
+/// Writes a CDF as "value,fraction" rows.
+bool write_cdf_csv(const std::string& path, const PercentileSampler& sampler,
+                   int points = 200);
+
+}  // namespace pi2::stats

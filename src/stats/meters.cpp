@@ -1,0 +1,64 @@
+#include "stats/meters.hpp"
+
+#include <algorithm>
+
+namespace pi2::stats {
+
+using pi2::sim::Duration;
+using pi2::sim::Time;
+using pi2::sim::to_seconds;
+
+void RateMeter::roll_to(Time t) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = Time{(t.count() / window_.count()) * window_.count()};
+    return;
+  }
+  while (t >= window_start_ + window_) {
+    const double mbps =
+        static_cast<double>(window_bytes_) * 8.0 / to_seconds(window_) / 1e6;
+    series_.add(window_start_ + window_, mbps);
+    window_bytes_ = 0;
+    window_start_ += window_;
+  }
+}
+
+void RateMeter::add_bytes(Time t, std::int64_t bytes) {
+  roll_to(t);
+  window_bytes_ += bytes;
+  total_bytes_ += bytes;
+}
+
+void RateMeter::flush(Time t) { roll_to(t); }
+
+void UtilizationMeter::roll_to(Time t) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = Time{(t.count() / window_.count()) * window_.count()};
+    return;
+  }
+  while (t >= window_start_ + window_) {
+    series_.add(window_start_ + window_, window_busy_s_ / to_seconds(window_));
+    window_busy_s_ = 0.0;
+    window_start_ += window_;
+  }
+}
+
+void UtilizationMeter::add_busy(Time from, Time to) {
+  if (to <= from) return;
+  total_busy_s_ += to_seconds(to - from);
+  // Split the busy interval across window boundaries.
+  roll_to(from);
+  Time cursor = from;
+  while (cursor < to) {
+    const Time boundary = window_start_ + window_;
+    const Time end = std::min(to, boundary);
+    window_busy_s_ += to_seconds(end - cursor);
+    cursor = end;
+    if (cursor >= boundary) roll_to(cursor);
+  }
+}
+
+void UtilizationMeter::flush(Time t) { roll_to(t); }
+
+}  // namespace pi2::stats

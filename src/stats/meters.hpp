@@ -1,0 +1,71 @@
+// Throughput and utilization meters used by the experiment probes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/time_series.hpp"
+
+namespace pi2::stats {
+
+/// Per-flow (or per-class) throughput meter: accumulates delivered bytes and
+/// periodically converts them into a rate sample (Mb/s).
+class RateMeter {
+ public:
+  /// `window` is the sampling interval (the paper samples at 1 s).
+  explicit RateMeter(pi2::sim::Duration window = std::chrono::seconds{1})
+      : window_(window) {}
+
+  /// Records `bytes` delivered at time `t`. Closes windows as time advances.
+  void add_bytes(pi2::sim::Time t, std::int64_t bytes);
+
+  /// Closes any window containing `t` so that `series()` is complete up to t.
+  void flush(pi2::sim::Time t);
+
+  /// Rate samples in Mb/s, one per elapsed window.
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+  /// Total bytes delivered so far. Snapshot this at the start and end of a
+  /// measurement window to get an exact mean rate.
+  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  void roll_to(pi2::sim::Time t);
+
+  pi2::sim::Duration window_;
+  pi2::sim::Time window_start_{};
+  bool started_ = false;
+  std::int64_t window_bytes_ = 0;
+  std::int64_t total_bytes_ = 0;
+  TimeSeries series_;
+};
+
+/// Link utilization meter: integrates busy time of a link over windows.
+class UtilizationMeter {
+ public:
+  explicit UtilizationMeter(pi2::sim::Duration window = std::chrono::seconds{1})
+      : window_(window) {}
+
+  /// Records that the link was busy transmitting for [from, to).
+  void add_busy(pi2::sim::Time from, pi2::sim::Time to);
+
+  /// Utilization samples in [0, 1] per window; call flush(t) first.
+  void flush(pi2::sim::Time t);
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+  /// Cumulative busy seconds; snapshot at window edges for exact means.
+  [[nodiscard]] double total_busy_seconds() const { return total_busy_s_; }
+
+ private:
+  void roll_to(pi2::sim::Time t);
+
+  pi2::sim::Duration window_;
+  pi2::sim::Time window_start_{};
+  bool started_ = false;
+  double window_busy_s_ = 0.0;
+  double total_busy_s_ = 0.0;
+  TimeSeries series_;
+};
+
+}  // namespace pi2::stats

@@ -1,0 +1,37 @@
+// Streaming summary statistics (Welford) — O(1) memory per metric.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pi2::stats {
+
+/// Count / mean / variance / min / max over a stream of doubles.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other);
+
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pi2::stats

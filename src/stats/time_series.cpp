@@ -1,0 +1,98 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pi2::stats {
+
+using pi2::sim::Duration;
+using pi2::sim::Time;
+using pi2::sim::to_seconds;
+
+void TimeSeries::add(Time t, double value) {
+  assert(points_.empty() || t >= points_.back().t);
+  points_.push_back(Point{t, value});
+}
+
+std::vector<std::pair<double, double>> TimeSeries::binned(
+    Duration bin, Time start, Time stop, Fold fold) const {
+  std::vector<std::pair<double, double>> out;
+  if (bin.count() <= 0 || stop <= start) return out;
+  const auto nbins = static_cast<std::size_t>((stop - start + bin - Duration{1}) / bin);
+  out.reserve(nbins);
+  auto it = std::lower_bound(points_.begin(), points_.end(), start,
+                             [](const Point& p, Time t) { return p.t < t; });
+  double held = 0.0;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const Time lo = start + bin * static_cast<std::int64_t>(b);
+    const Time hi = std::min(lo + bin, stop);
+    double acc = 0.0;
+    std::size_t n = 0;
+    while (it != points_.end() && it->t < hi) {
+      if (fold == Fold::kMean) {
+        acc += it->value;
+      } else {
+        acc = n == 0 ? it->value : std::max(acc, it->value);
+      }
+      ++n;
+      ++it;
+    }
+    if (n > 0) held = fold == Fold::kMean ? acc / static_cast<double>(n) : acc;
+    out.emplace_back(to_seconds(lo + (hi - lo) / 2), held);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::binned_mean(Duration bin, Time start,
+                                                               Time stop) const {
+  return binned(bin, start, stop, Fold::kMean);
+}
+
+std::vector<std::pair<double, double>> TimeSeries::binned_max(Duration bin, Time start,
+                                                              Time stop) const {
+  return binned(bin, start, stop, Fold::kMax);
+}
+
+double TimeSeries::mean_over(Time start, Time stop) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.t >= start && p.t < stop) {
+      acc += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::max_over(Time start, Time stop) const {
+  double best = 0.0;
+  bool any = false;
+  for (const Point& p : points_) {
+    if (p.t >= start && p.t < stop) {
+      best = any ? std::max(best, p.value) : p.value;
+      any = true;
+    }
+  }
+  return best;
+}
+
+void TimeWeightedMean::update(Time t, double value) {
+  if (!started_) {
+    started_ = true;
+    first_t_ = t;
+  } else if (t > last_t_) {
+    weighted_sum_ += last_value_ * to_seconds(t - last_t_);
+  }
+  last_t_ = t;
+  last_value_ = value;
+}
+
+double TimeWeightedMean::mean_until(Time t) const {
+  if (!started_ || t <= first_t_) return 0.0;
+  double total = weighted_sum_;
+  if (t > last_t_) total += last_value_ * to_seconds(t - last_t_);
+  return total / to_seconds(t - first_t_);
+}
+
+}  // namespace pi2::stats

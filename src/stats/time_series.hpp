@@ -1,0 +1,68 @@
+// Time series recording and binned resampling for plot reproduction.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pi2::stats {
+
+/// An ordered sequence of (time, value) observations.
+class TimeSeries {
+ public:
+  struct Point {
+    pi2::sim::Time t;
+    double value;
+  };
+
+  /// Appends an observation; `t` must be non-decreasing.
+  void add(pi2::sim::Time t, double value);
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Mean of observations per fixed-width bin, as (bin centre seconds, mean).
+  /// Empty bins carry the previous bin's value (sample-and-hold), matching
+  /// how the paper's gnuplot traces render 1 s samples.
+  [[nodiscard]] std::vector<std::pair<double, double>> binned_mean(
+      pi2::sim::Duration bin, pi2::sim::Time start, pi2::sim::Time stop) const;
+
+  /// Maximum of observations per fixed-width bin (peak-delay plots).
+  [[nodiscard]] std::vector<std::pair<double, double>> binned_max(
+      pi2::sim::Duration bin, pi2::sim::Time start, pi2::sim::Time stop) const;
+
+  /// Mean value over [start, stop), ignoring observation spacing.
+  [[nodiscard]] double mean_over(pi2::sim::Time start, pi2::sim::Time stop) const;
+
+  /// Maximum value over [start, stop).
+  [[nodiscard]] double max_over(pi2::sim::Time start, pi2::sim::Time stop) const;
+
+ private:
+  enum class Fold { kMean, kMax };
+  [[nodiscard]] std::vector<std::pair<double, double>> binned(
+      pi2::sim::Duration bin, pi2::sim::Time start, pi2::sim::Time stop,
+      Fold fold) const;
+
+  std::vector<Point> points_;
+};
+
+/// Tracks a time-weighted mean of a piecewise-constant signal (e.g. queue
+/// backlog): `update(t, v)` records that the signal held its previous value
+/// up to time t, then became v.
+class TimeWeightedMean {
+ public:
+  void update(pi2::sim::Time t, double value);
+
+  /// Time-weighted mean over everything observed so far, up to time `t`.
+  [[nodiscard]] double mean_until(pi2::sim::Time t) const;
+
+ private:
+  bool started_ = false;
+  pi2::sim::Time last_t_{};
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  pi2::sim::Time first_t_{};
+};
+
+}  // namespace pi2::stats

@@ -1,0 +1,79 @@
+// Congestion-control algorithm interface.
+//
+// The window is kept in segments (MSS units) as a double; the sender floors
+// it when deciding whether to transmit. Algorithms receive ACK events from
+// the sender and adjust the window; the sender owns loss detection,
+// retransmission and ECN echo bookkeeping.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "net/ecn.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::tcp {
+
+/// Initial window (segments), per Linux of the paper's era (IW10).
+inline constexpr double kInitialWindow = 10.0;
+/// Floor for the congestion window (segments).
+inline constexpr double kMinWindow = 2.0;
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// ECN codepoint this sender stamps on data packets. Not-ECT for plain
+  /// Reno/Cubic, ECT(0) for ECN-Cubic, ECT(1) for DCTCP (the paper's
+  /// Scalable identifier).
+  [[nodiscard]] virtual net::Ecn ect() const { return net::Ecn::kNotEct; }
+
+  /// Window growth on a cumulative ACK of `newly_acked` segments.
+  /// `in_recovery` suppresses growth during fast recovery.
+  virtual void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt,
+                      pi2::sim::Time now, bool in_recovery) = 0;
+
+  /// Multiplicative decrease on loss or Classic ECN echo. The sender
+  /// guarantees at most one call per round trip.
+  virtual void on_congestion_event(pi2::sim::Time now) = 0;
+
+  /// Accurate per-ACK ECN accounting (DCTCP); `marked` says whether the
+  /// ACKed data crossed the bottleneck with CE set. Default: ignored.
+  virtual void on_ecn_sample(std::int64_t acked, bool marked, pi2::sim::Time now) {
+    (void)acked;
+    (void)marked;
+    (void)now;
+  }
+
+  /// Retransmission timeout: collapse to loss-recovery start state.
+  virtual void on_timeout(pi2::sim::Time now) = 0;
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  /// True if this control responds to the Scalable (linear) signal; used by
+  /// tests and probes, mirrors net::is_scalable of the packets it sends.
+  [[nodiscard]] bool is_scalable() const { return ect() == net::Ecn::kEct1; }
+
+ protected:
+  double cwnd_ = kInitialWindow;
+  double ssthresh_ = 1e9;  // effectively infinite until the first loss
+};
+
+/// Factory helpers (definitions in the per-algorithm sources).
+std::unique_ptr<CongestionControl> make_reno();
+std::unique_ptr<CongestionControl> make_cubic();
+std::unique_ptr<CongestionControl> make_ecn_cubic();
+std::unique_ptr<CongestionControl> make_dctcp();
+std::unique_ptr<CongestionControl> make_scalable();
+std::unique_ptr<CongestionControl> make_relentless();
+
+enum class CcType { kReno, kCubic, kEcnCubic, kDctcp, kScalable, kRelentless };
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcType type);
+[[nodiscard]] std::string_view to_string(CcType type);
+
+}  // namespace pi2::tcp

@@ -1,0 +1,64 @@
+// TCP Cubic (Ha, Rhee, Xu 2008) with the Linux CReno fallback.
+//
+// Window growth follows W(t) = C (t - K)^3 + W_max, with a TCP-friendly
+// estimate that takes over at small RTT/rate — the paper calls this mode
+// CReno (Reno response with beta = 0.7, equation (7): W = 1.68 / sqrt(p)).
+// Equation (8) gives the switch-over condition W * R^{3/2} < 3.5 between
+// CReno and pure Cubic (equation (6): W = 1.17 R^{3/4} / p^{3/4}).
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::tcp {
+
+class Cubic : public CongestionControl {
+ public:
+  /// Linux defaults: C = 0.4, beta = 0.7, fast convergence on.
+  struct Params {
+    double c = 0.4;
+    double beta = 0.7;
+    bool fast_convergence = true;
+    bool tcp_friendliness = true;  ///< enable the CReno region
+    /// HyStart delay-increase exit from slow start (Linux default since
+    /// 2.6.29): leave slow start when the RTT has risen by max(min_rtt/8,
+    /// 4 ms) over the minimum, long before the queue overflows.
+    bool hystart = true;
+  };
+
+  Cubic();
+  explicit Cubic(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cubic"; }
+
+  void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt, pi2::sim::Time now,
+              bool in_recovery) override;
+  void on_congestion_event(pi2::sim::Time now) override;
+  void on_timeout(pi2::sim::Time now) override;
+
+  /// True if the friendly (CReno) estimate currently exceeds the cubic
+  /// target — i.e. the flow is operating in its Reno mode.
+  [[nodiscard]] bool in_creno_mode() const { return creno_mode_; }
+
+ private:
+  void reset_epoch();
+
+  Params params_;
+  double w_max_ = 0.0;
+  double k_ = 0.0;           // seconds to return to w_max
+  double origin_ = 0.0;      // cwnd at epoch start (plateau origin)
+  pi2::sim::Time epoch_start_{pi2::sim::kTimeInfinity};
+  double tcp_cwnd_ = 0.0;    // Reno-friendly estimate
+  bool creno_mode_ = false;
+  double min_rtt_s_ = 1e9;   // HyStart baseline
+};
+
+/// Cubic that negotiates Classic ECN: data packets carry ECT(0) and the
+/// sender treats an ECE echo exactly like a loss (RFC 3168 semantics).
+class EcnCubic final : public Cubic {
+ public:
+  using Cubic::Cubic;
+  [[nodiscard]] std::string_view name() const override { return "ecn-cubic"; }
+  [[nodiscard]] net::Ecn ect() const override { return net::Ecn::kEct0; }
+};
+
+}  // namespace pi2::tcp

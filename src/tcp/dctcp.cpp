@@ -1,0 +1,62 @@
+#include "tcp/dctcp.hpp"
+
+#include <algorithm>
+
+namespace pi2::tcp {
+
+Dctcp::Dctcp() : Dctcp(Params{}) {}
+
+void Dctcp::end_observation_window() {
+  if (window_acked_ > 0) {
+    const double f =
+        static_cast<double>(window_marked_) / static_cast<double>(window_acked_);
+    alpha_ = (1.0 - params_.g) * alpha_ + params_.g * f;
+    if (window_marked_ > 0) {
+      // At most one reduction per observation window (~1 RTT).
+      cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), kMinWindow);
+      ssthresh_ = std::min(ssthresh_, cwnd_);  // leave slow start for good
+    }
+  }
+  window_acked_ = 0;
+  window_marked_ = 0;
+  acked_since_window_ = 0.0;
+}
+
+void Dctcp::on_ecn_sample(std::int64_t acked, bool marked, pi2::sim::Time /*now*/) {
+  window_acked_ += acked;
+  if (marked) window_marked_ += acked;
+}
+
+void Dctcp::on_ack(std::int64_t newly_acked, pi2::sim::Duration /*rtt*/,
+                   pi2::sim::Time /*now*/, bool in_recovery) {
+  // The observation window is one cwnd's worth of ACKed segments — a proxy
+  // for one RTT that needs no extra sequence plumbing.
+  acked_since_window_ += static_cast<double>(newly_acked);
+  if (acked_since_window_ >= cwnd_) end_observation_window();
+
+  if (in_recovery) return;
+  const auto acked = static_cast<double>(newly_acked);
+  if (in_slow_start()) {
+    // Exit slow start on the first mark of the current window.
+    if (window_marked_ > 0) {
+      ssthresh_ = std::max(cwnd_, kMinWindow);
+      return;
+    }
+    cwnd_ = std::min(cwnd_ + acked, std::max(ssthresh_, kMinWindow));
+  } else {
+    cwnd_ += acked / cwnd_;
+  }
+}
+
+void Dctcp::on_congestion_event(pi2::sim::Time /*now*/) {
+  // Packet loss: fall back to Reno-style halving (as Linux DCTCP does).
+  ssthresh_ = std::max(cwnd_ * 0.5, kMinWindow);
+  cwnd_ = ssthresh_;
+}
+
+void Dctcp::on_timeout(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * 0.5, kMinWindow);
+  cwnd_ = 1.0;
+}
+
+}  // namespace pi2::tcp

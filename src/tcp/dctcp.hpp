@@ -1,0 +1,49 @@
+// Data Center TCP (Alizadeh et al., SIGCOMM 2010), the paper's Scalable
+// congestion control.
+//
+// Window reduction is proportional to the fraction of CE-marked bytes per
+// observation window: alpha <- (1-g) alpha + g F, cwnd <- cwnd (1 - alpha/2).
+// Under a probabilistic (PI-driven) marker the steady state obeys
+// W = 2 / p' — paper equation (11) — which is what makes the linear PI
+// output directly usable as its congestion signal.
+//
+// Per the paper's modification, data packets carry ECT(1) so the network can
+// classify the flow as Scalable.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::tcp {
+
+class Dctcp final : public CongestionControl {
+ public:
+  struct Params {
+    double g = 1.0 / 16.0;   ///< EWMA gain (Linux default)
+    double alpha0 = 1.0;     ///< initial alpha (conservative, Linux default)
+  };
+
+  Dctcp();
+  explicit Dctcp(Params params) : params_(params), alpha_(params.alpha0) {}
+
+  [[nodiscard]] std::string_view name() const override { return "dctcp"; }
+  [[nodiscard]] net::Ecn ect() const override { return net::Ecn::kEct1; }
+
+  void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt, pi2::sim::Time now,
+              bool in_recovery) override;
+  void on_ecn_sample(std::int64_t acked, bool marked, pi2::sim::Time now) override;
+  void on_congestion_event(pi2::sim::Time now) override;
+  void on_timeout(pi2::sim::Time now) override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  void end_observation_window();
+
+  Params params_;
+  double alpha_;
+  std::int64_t window_acked_ = 0;
+  std::int64_t window_marked_ = 0;
+  double acked_since_window_ = 0.0;  // segments ACKed since the window began
+};
+
+}  // namespace pi2::tcp

@@ -1,0 +1,46 @@
+#include "tcp/congestion_control.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/scalable.hpp"
+
+namespace pi2::tcp {
+
+std::unique_ptr<CongestionControl> make_reno() { return std::make_unique<Reno>(); }
+std::unique_ptr<CongestionControl> make_cubic() { return std::make_unique<Cubic>(); }
+std::unique_ptr<CongestionControl> make_ecn_cubic() {
+  return std::make_unique<EcnCubic>();
+}
+std::unique_ptr<CongestionControl> make_dctcp() { return std::make_unique<Dctcp>(); }
+std::unique_ptr<CongestionControl> make_scalable() {
+  return std::make_unique<ScalableTcp>();
+}
+std::unique_ptr<CongestionControl> make_relentless() {
+  return std::make_unique<RelentlessTcp>();
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcType type) {
+  switch (type) {
+    case CcType::kReno: return make_reno();
+    case CcType::kCubic: return make_cubic();
+    case CcType::kEcnCubic: return make_ecn_cubic();
+    case CcType::kDctcp: return make_dctcp();
+    case CcType::kScalable: return make_scalable();
+    case CcType::kRelentless: return make_relentless();
+  }
+  return make_reno();
+}
+
+std::string_view to_string(CcType type) {
+  switch (type) {
+    case CcType::kReno: return "reno";
+    case CcType::kCubic: return "cubic";
+    case CcType::kEcnCubic: return "ecn-cubic";
+    case CcType::kDctcp: return "dctcp";
+    case CcType::kScalable: return "scalable";
+    case CcType::kRelentless: return "relentless";
+  }
+  return "?";
+}
+
+}  // namespace pi2::tcp

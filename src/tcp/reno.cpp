@@ -1,0 +1,30 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace pi2::tcp {
+
+void Reno::on_ack(std::int64_t newly_acked, pi2::sim::Duration /*rtt*/,
+                  pi2::sim::Time /*now*/, bool in_recovery) {
+  if (in_recovery) return;
+  const auto acked = static_cast<double>(newly_acked);
+  if (in_slow_start()) {
+    // Exponential growth, capped at ssthresh so we do not overshoot it.
+    cwnd_ = std::min(cwnd_ + acked, std::max(ssthresh_, kMinWindow));
+  } else {
+    // Additive increase: +1 segment per window's worth of ACKs.
+    cwnd_ += acked / cwnd_;
+  }
+}
+
+void Reno::on_congestion_event(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * beta_, kMinWindow);
+  cwnd_ = ssthresh_;
+}
+
+void Reno::on_timeout(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * beta_, kMinWindow);
+  cwnd_ = 1.0;
+}
+
+}  // namespace pi2::tcp

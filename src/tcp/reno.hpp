@@ -1,0 +1,28 @@
+// TCP Reno (NewReno-style window arithmetic).
+//
+// Steady state obeys W = 1.22 / sqrt(p) — paper equation (5); the property
+// tests validate the simulated flow against it.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::tcp {
+
+class Reno : public CongestionControl {
+ public:
+  /// `beta` is the multiplicative-decrease factor (0.5 for Reno, 0.7 for
+  /// CReno — Cubic's Reno-friendly mode uses this class via Cubic).
+  explicit Reno(double beta = 0.5) : beta_(beta) {}
+
+  [[nodiscard]] std::string_view name() const override { return "reno"; }
+
+  void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt, pi2::sim::Time now,
+              bool in_recovery) override;
+  void on_congestion_event(pi2::sim::Time now) override;
+  void on_timeout(pi2::sim::Time now) override;
+
+ private:
+  double beta_;
+};
+
+}  // namespace pi2::tcp

@@ -1,0 +1,75 @@
+#include "tcp/scalable.hpp"
+
+#include <algorithm>
+
+namespace pi2::tcp {
+
+ScalableTcp::ScalableTcp() : ScalableTcp(Params{}) {}
+
+void ScalableTcp::on_ack(std::int64_t newly_acked, pi2::sim::Duration /*rtt*/,
+                         pi2::sim::Time /*now*/, bool in_recovery) {
+  if (in_recovery) return;
+  const auto acked = static_cast<double>(newly_acked);
+  if (in_slow_start()) {
+    cwnd_ = std::min(cwnd_ + acked, std::max(ssthresh_, kMinWindow));
+  } else {
+    // MIMD: a segments of growth per ACKed segment.
+    cwnd_ += params_.a * acked;
+  }
+}
+
+void ScalableTcp::on_ecn_sample(std::int64_t /*acked*/, bool marked,
+                                pi2::sim::Time now) {
+  // One multiplicative decrease per RTT's worth of marks (the standard
+  // Scalable-TCP response, paced so a marking train is one event).
+  if (marked && now >= mark_holdoff_until_) {
+    cwnd_ = std::max(cwnd_ * (1.0 - params_.b), kMinWindow);
+    // Stay in congestion avoidance: a reduction must not drop the window
+    // below ssthresh or slow start would resume between marks.
+    ssthresh_ = cwnd_;
+    mark_holdoff_until_ = now + std::chrono::milliseconds{10};
+  }
+}
+
+void ScalableTcp::on_congestion_event(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * (1.0 - params_.b), kMinWindow);
+  cwnd_ = ssthresh_;
+}
+
+void ScalableTcp::on_timeout(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * (1.0 - params_.b), kMinWindow);
+  cwnd_ = 1.0;
+}
+
+void RelentlessTcp::on_ack(std::int64_t newly_acked, pi2::sim::Duration /*rtt*/,
+                           pi2::sim::Time /*now*/, bool in_recovery) {
+  if (in_recovery) return;
+  const auto acked = static_cast<double>(newly_acked);
+  if (in_slow_start()) {
+    cwnd_ = std::min(cwnd_ + acked, std::max(ssthresh_, kMinWindow));
+  } else {
+    cwnd_ += acked / cwnd_;  // Reno-style additive increase
+  }
+}
+
+void RelentlessTcp::on_ecn_sample(std::int64_t /*acked*/, bool marked,
+                                  pi2::sim::Time /*now*/) {
+  // Relentless: subtract exactly one segment per congestion signal.
+  if (marked) {
+    cwnd_ = std::max(cwnd_ - 1.0, kMinWindow);
+    ssthresh_ = cwnd_;  // stay in congestion avoidance
+  }
+}
+
+void RelentlessTcp::on_congestion_event(pi2::sim::Time /*now*/) {
+  // Loss: treated like a single-segment reduction too, but leave slow start.
+  ssthresh_ = std::max(cwnd_ * 0.5, kMinWindow);
+  cwnd_ = std::max(cwnd_ - 1.0, ssthresh_);
+}
+
+void RelentlessTcp::on_timeout(pi2::sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * 0.5, kMinWindow);
+  cwnd_ = 1.0;
+}
+
+}  // namespace pi2::tcp

@@ -1,0 +1,53 @@
+// The other Scalable congestion controls the paper names alongside DCTCP
+// (§5: "scalable congestion controls (DCTCP, Relentless, Scalable, ...)").
+//
+// Scalable TCP (Kelly 2003): MIMD — W += a per ACK (a = 0.01), W *= (1-b)
+// per congestion event (b = 0.125). Signals per RTT c = pW stay proportional
+// to a/b as W grows, so B = 1 in the paper's taxonomy: scalable.
+//
+// Relentless TCP (Mathis 2009): congestion avoidance like Reno, but each
+// loss/mark reduces the window by exactly the number of segments signalled
+// (W -= 1 per signal) instead of halving — again B = 1.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::tcp {
+
+class ScalableTcp final : public CongestionControl {
+ public:
+  struct Params {
+    double a = 0.01;   ///< per-ACK additive gain
+    double b = 0.125;  ///< multiplicative decrease per congestion event
+  };
+
+  ScalableTcp();
+  explicit ScalableTcp(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "scalable"; }
+  [[nodiscard]] net::Ecn ect() const override { return net::Ecn::kEct1; }
+
+  void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt, pi2::sim::Time now,
+              bool in_recovery) override;
+  void on_ecn_sample(std::int64_t acked, bool marked, pi2::sim::Time now) override;
+  void on_congestion_event(pi2::sim::Time now) override;
+  void on_timeout(pi2::sim::Time now) override;
+
+ private:
+  Params params_;
+  pi2::sim::Time mark_holdoff_until_{};
+};
+
+class RelentlessTcp final : public CongestionControl {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "relentless"; }
+  [[nodiscard]] net::Ecn ect() const override { return net::Ecn::kEct1; }
+
+  void on_ack(std::int64_t newly_acked, pi2::sim::Duration rtt, pi2::sim::Time now,
+              bool in_recovery) override;
+  void on_ecn_sample(std::int64_t acked, bool marked, pi2::sim::Time now) override;
+  void on_congestion_event(pi2::sim::Time now) override;
+  void on_timeout(pi2::sim::Time now) override;
+};
+
+}  // namespace pi2::tcp

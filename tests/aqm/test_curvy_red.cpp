@@ -1,0 +1,106 @@
+#include "aqm/curvy_red.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+using pi2::testing::signal_fraction;
+
+class CurvyRedTest : public ::testing::Test {
+ protected:
+  void install(CurvyRedAqm::Params params) {
+    params.weight = 1.0;  // track the instantaneous delay in unit tests
+    aqm_ = std::make_unique<CurvyRedAqm>(params);
+    aqm_->install(sim_, view_);
+  }
+  /// Feeds one packet to settle the EWMA at the pinned delay.
+  void settle(double delay_s) {
+    view_.set_delay_seconds(delay_s);
+    (void)aqm_->enqueue(make_data_packet());
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  std::unique_ptr<CurvyRedAqm> aqm_;
+};
+
+TEST_F(CurvyRedTest, NoSignalsBelowRampStart) {
+  install(CurvyRedAqm::Params{});
+  settle(0.002);  // below the 5 ms ramp start
+  EXPECT_DOUBLE_EQ(aqm_->scalable_probability(), 0.0);
+  EXPECT_EQ(signal_fraction(*aqm_, Ecn::kEct1, 2000), 0.0);
+}
+
+TEST_F(CurvyRedTest, RampIsLinearInDelay) {
+  install(CurvyRedAqm::Params{});
+  settle(0.020);  // (20 - 5) / 30 = 0.5 of the ramp
+  EXPECT_NEAR(aqm_->scalable_probability(), 0.5, 1e-9);
+  settle(0.035);  // full ramp
+  EXPECT_NEAR(aqm_->scalable_probability(), 1.0, 1e-9);
+}
+
+TEST_F(CurvyRedTest, ClassicIsCoupledSquare) {
+  install(CurvyRedAqm::Params{});
+  settle(0.020);
+  const double ps = aqm_->scalable_probability();
+  EXPECT_DOUBLE_EQ(aqm_->classic_probability(), (ps / 2.0) * (ps / 2.0));
+}
+
+TEST_F(CurvyRedTest, ScalableMarkedLinearlyClassicSquared) {
+  install(CurvyRedAqm::Params{});
+  settle(0.020);
+  const double ps = aqm_->scalable_probability();
+  const double f_scal = signal_fraction(*aqm_, Ecn::kEct1, 40000);
+  EXPECT_NEAR(f_scal, ps, 0.02);
+  const double f_classic = signal_fraction(*aqm_, Ecn::kNotEct, 40000);
+  EXPECT_NEAR(f_classic, (ps / 2.0) * (ps / 2.0), 0.01);
+}
+
+TEST_F(CurvyRedTest, NotEctDroppedEct0Marked) {
+  install(CurvyRedAqm::Params{});
+  settle(0.035);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kNotEct)),
+              QueueDiscipline::Verdict::kMark);
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST_F(CurvyRedTest, EwmaSmoothsSpikes) {
+  CurvyRedAqm::Params params;
+  params.weight = 0.05;
+  auto aqm = std::make_unique<CurvyRedAqm>(params);
+  Simulator sim{1};
+  FakeQueueView view;
+  aqm->install(sim, view);
+  view.set_delay_seconds(0.5);  // a sudden deep spike
+  (void)aqm->enqueue(make_data_packet());
+  // One sample at weight 0.05: avg ~ 25 ms, probability far below 1.
+  EXPECT_LT(aqm->scalable_probability(), 0.8);
+}
+
+TEST_F(CurvyRedTest, StandingQueueIsTheControlSignal) {
+  // Unlike PI2, halving the delay halves the ramp position immediately —
+  // Curvy RED cannot hold a fixed target under varying load, it needs a
+  // standing queue proportional to the required probability.
+  install(CurvyRedAqm::Params{});
+  settle(0.035);
+  const double high = aqm_->scalable_probability();
+  settle(0.0125);
+  EXPECT_NEAR(aqm_->scalable_probability(), 0.25, 1e-9);
+  EXPECT_LT(aqm_->scalable_probability(), high);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

@@ -1,0 +1,111 @@
+#include "aqm/pi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+using pi2::testing::signal_fraction;
+
+class PiTest : public ::testing::Test {
+ protected:
+  void install(PiAqm::Params params) {
+    pi_ = std::make_unique<PiAqm>(params);
+    pi_->install(sim_, view_);
+  }
+  void run_updates(double delay_s, int n) {
+    view_.set_delay_seconds(delay_s);
+    sim_.run_until(sim_.now() + pi_->params().t_update * n);
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  std::unique_ptr<PiAqm> pi_;
+};
+
+TEST_F(PiTest, AppliesProbabilityDirectly) {
+  install(PiAqm::Params{});
+  run_updates(0.100, 20);
+  const double p = pi_->classic_probability();
+  ASSERT_GT(p, 0.05);
+  const double f = signal_fraction(*pi_, Ecn::kNotEct, 20000);
+  EXPECT_NEAR(f, p, 3.0 * std::sqrt(p / 20000) + 0.01);
+}
+
+TEST_F(PiTest, ScalableAndClassicProbabilitiesCoincide) {
+  install(PiAqm::Params{});
+  run_updates(0.100, 20);
+  EXPECT_DOUBLE_EQ(pi_->classic_probability(), pi_->scalable_probability());
+}
+
+TEST_F(PiTest, MarksEcnCapableTraffic) {
+  install(PiAqm::Params{});
+  run_updates(0.200, 50);
+  ASSERT_GT(pi_->classic_probability(), 0.1);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_NE(pi_->enqueue(make_data_packet(Ecn::kEct1)),
+              QueueDiscipline::Verdict::kDrop);
+    EXPECT_NE(pi_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST_F(PiTest, DropsWhenEcnDisabled) {
+  PiAqm::Params params;
+  params.ecn = false;
+  install(params);
+  run_updates(0.200, 50);
+  ASSERT_GT(pi_->classic_probability(), 0.1);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_NE(pi_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kMark);
+  }
+}
+
+TEST_F(PiTest, ConvergesDownWhenQueueClears) {
+  install(PiAqm::Params{});
+  run_updates(0.200, 50);
+  const double high = pi_->classic_probability();
+  // The integral term drains p by alpha*target per update; give it enough
+  // intervals to hit the floor.
+  run_updates(0.0, 500);
+  EXPECT_LT(pi_->classic_probability(), high);
+  EXPECT_DOUBLE_EQ(pi_->classic_probability(), 0.0);
+}
+
+TEST_F(PiTest, MaxProbCapsOutput) {
+  PiAqm::Params params;
+  params.max_prob = 0.3;
+  install(params);
+  run_updates(1.0, 500);
+  EXPECT_DOUBLE_EQ(pi_->classic_probability(), 0.3);
+}
+
+TEST_F(PiTest, GainsAffectResponseSpeed) {
+  install(PiAqm::Params{});
+  run_updates(0.100, 5);
+  const double slow = pi_->classic_probability();
+
+  Simulator sim2{1};
+  FakeQueueView view2;
+  PiAqm::Params fast_params;
+  fast_params.alpha_hz = 0.625;
+  fast_params.beta_hz = 6.25;
+  PiAqm fast{fast_params};
+  fast.install(sim2, view2);
+  view2.set_delay_seconds(0.100);
+  sim2.run_until(fast_params.t_update * 5);
+  EXPECT_GT(fast.classic_probability(), slow);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

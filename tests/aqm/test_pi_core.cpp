@@ -1,0 +1,99 @@
+#include "aqm/pi_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pi2::aqm {
+namespace {
+
+TEST(PiCore, StartsAtZeroProbability) {
+  PiCore pi{0.125, 1.25};
+  EXPECT_DOUBLE_EQ(pi.prob(), 0.0);
+}
+
+TEST(PiCore, IntegralTermPushesTowardsTarget) {
+  PiCore pi{0.125, 1.25};
+  // Hold delay 100 ms above a 20 ms target: p must rise every update.
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    pi.update(0.120, 0.020);
+    EXPECT_GT(pi.prob(), prev);
+    prev = pi.prob();
+  }
+}
+
+TEST(PiCore, FirstUpdateMatchesEquation4) {
+  PiCore pi{0.125, 1.25};
+  // From rest: dp = alpha*(tau - tau0) + beta*(tau - 0).
+  pi.update(0.1, 0.02);
+  EXPECT_NEAR(pi.prob(), 0.125 * (0.1 - 0.02) + 1.25 * 0.1, 1e-12);
+}
+
+TEST(PiCore, ProportionalTermReactsToQueueGrowth) {
+  PiCore pi{0.125, 1.25};
+  pi.update(0.020, 0.020);  // on target: only records delay
+  const double base = pi.prob();
+  pi.update(0.030, 0.020);  // grew by 10 ms
+  // dp = alpha*10ms + beta*10ms.
+  EXPECT_NEAR(pi.prob() - base, 0.125 * 0.010 + 1.25 * 0.010, 1e-12);
+}
+
+TEST(PiCore, ShrinkingQueueReducesProbability) {
+  PiCore pi{0.125, 1.25};
+  for (int i = 0; i < 20; ++i) pi.update(0.1, 0.02);
+  const double high = pi.prob();
+  pi.update(0.0, 0.02);  // queue empties
+  EXPECT_LT(pi.prob(), high);
+}
+
+TEST(PiCore, ClampedToZero) {
+  PiCore pi{0.125, 1.25};
+  for (int i = 0; i < 100; ++i) pi.update(0.0, 0.02);
+  EXPECT_DOUBLE_EQ(pi.prob(), 0.0);
+}
+
+TEST(PiCore, ClampedToMax) {
+  PiCore pi{0.125, 1.25, 0.5};
+  for (int i = 0; i < 1000; ++i) pi.update(10.0, 0.02);
+  EXPECT_DOUBLE_EQ(pi.prob(), 0.5);
+}
+
+TEST(PiCore, SteadyAtTargetHoldsProbability) {
+  PiCore pi{0.125, 1.25};
+  for (int i = 0; i < 20; ++i) pi.update(0.1, 0.02);
+  const double p = pi.prob();
+  pi.update(pi.prev_qdelay_s(), pi.prev_qdelay_s());  // on (moved) target
+  EXPECT_NEAR(pi.prob(), p, 1e-12);
+}
+
+TEST(PiCore, DecayScalesProbability) {
+  PiCore pi{0.125, 1.25};
+  pi.update(0.1, 0.02);
+  const double p = pi.prob();
+  pi.decay(0.98);
+  EXPECT_DOUBLE_EQ(pi.prob(), p * 0.98);
+}
+
+TEST(PiCore, ResetClearsState) {
+  PiCore pi{0.125, 1.25};
+  pi.update(0.1, 0.02);
+  pi.reset();
+  EXPECT_DOUBLE_EQ(pi.prob(), 0.0);
+  EXPECT_DOUBLE_EQ(pi.prev_qdelay_s(), 0.0);
+}
+
+TEST(PiCore, DeltaDoesNotMutate) {
+  PiCore pi{0.125, 1.25};
+  const double d1 = pi.delta(0.1, 0.02);
+  const double d2 = pi.delta(0.1, 0.02);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_DOUBLE_EQ(pi.prob(), 0.0);
+}
+
+TEST(PiCore, GainsAreExposed) {
+  PiCore pi{0.3125, 3.125};
+  EXPECT_DOUBLE_EQ(pi.alpha_hz(), 0.3125);
+  EXPECT_DOUBLE_EQ(pi.beta_hz(), 3.125);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

@@ -1,0 +1,212 @@
+#include "aqm/pie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::from_millis;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+using pi2::testing::signal_fraction;
+
+PieAqm::Params test_params() {
+  PieAqm::Params p;
+  p.departure_rate_estimation = false;  // use the true link rate in tests
+  return p;
+}
+
+class PieTest : public ::testing::Test {
+ protected:
+  void install(PieAqm::Params params) {
+    pie_ = std::make_unique<PieAqm>(params);
+    pie_->install(sim_, view_);
+  }
+  /// Advances by `n` update intervals with the queue pinned at `delay_s`.
+  void run_updates(double delay_s, int n) {
+    view_.set_delay_seconds(delay_s);
+    sim_.run_until(sim_.now() + pie_->params().t_update * n);
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  std::unique_ptr<PieAqm> pie_;
+};
+
+TEST_F(PieTest, NoSignalsWhileQueueIsEmpty) {
+  install(test_params());
+  run_updates(0.0, 10);
+  EXPECT_DOUBLE_EQ(pie_->classic_probability(), 0.0);
+  EXPECT_EQ(pie_->enqueue(make_data_packet()), QueueDiscipline::Verdict::kAccept);
+}
+
+TEST_F(PieTest, ProbabilityRisesUnderSustainedOverload) {
+  install(test_params());
+  run_updates(0.200, 100);
+  EXPECT_GT(pie_->classic_probability(), 0.01);
+}
+
+TEST_F(PieTest, AutotuneSlowsGrowthAtTinyProbability) {
+  auto tuned = test_params();
+  auto untuned = test_params();
+  untuned.autotune = false;
+  untuned.heuristics = false;
+  tuned.heuristics = false;
+
+  install(tuned);
+  run_updates(0.050, 3);
+  const double p_tuned = pie_->classic_probability();
+
+  sim_.run_until(sim_.now());  // keep clock
+  Simulator sim2{1};
+  PieAqm pie2{untuned};
+  FakeQueueView view2;
+  pie2.install(sim2, view2);
+  view2.set_delay_seconds(0.050);
+  sim2.run_until(untuned.t_update * 3);
+  EXPECT_LT(p_tuned, pie2.classic_probability());
+}
+
+TEST_F(PieTest, BurstAllowanceSuppressesEarlyDrops) {
+  auto params = test_params();
+  params.burst_allowance = from_millis(100);
+  install(params);
+  // Crank the probability high while still inside the burst window is
+  // impossible (only 3 updates of 32 ms fit); every packet must pass.
+  view_.set_delay_seconds(0.5);
+  sim_.run_until(params.t_update * 2);
+  EXPECT_EQ(signal_fraction(*pie_, Ecn::kNotEct, 1000), 0.0);
+}
+
+TEST_F(PieTest, BareVariantDropsInsideBurstWindow) {
+  auto params = PieAqm::bare_params();
+  params.departure_rate_estimation = false;
+  install(params);
+  view_.set_delay_seconds(0.5);
+  sim_.run_until(params.t_update * 3);
+  EXPECT_GT(signal_fraction(*pie_, Ecn::kNotEct, 2000), 0.0);
+}
+
+TEST_F(PieTest, SafeguardSuppressesDropsAtLowProbabilityAndDelay) {
+  install(test_params());
+  run_updates(0.200, 40);  // raise p somewhat
+  const double p = pie_->classic_probability();
+  ASSERT_GT(p, 0.0);
+  if (p < 0.2) {
+    // Drop the measured delay below target/2; heuristics must gate drops.
+    run_updates(0.001, 1);
+    view_.set_delay_seconds(0.001);
+    EXPECT_EQ(signal_fraction(*pie_, Ecn::kNotEct, 1000), 0.0);
+  }
+}
+
+TEST_F(PieTest, DropFrequencyMatchesProbability) {
+  auto params = test_params();
+  params.heuristics = false;
+  params.autotune = false;
+  install(params);
+  run_updates(0.100, 30);
+  const double p = pie_->classic_probability();
+  ASSERT_GT(p, 0.02);
+  view_.backlog_bytes_value = 100000;  // keep the small-queue guard away
+  const double f = signal_fraction(*pie_, Ecn::kNotEct, 20000);
+  EXPECT_NEAR(f, p, 3.0 * std::sqrt(p / 20000) + 0.01);
+}
+
+TEST_F(PieTest, EcnMarkedBelowThresholdDroppedAbove) {
+  auto params = test_params();
+  params.heuristics = false;
+  params.autotune = false;
+  params.ecn_drop_threshold = 0.1;
+  install(params);
+  run_updates(0.050, 6);
+  ASSERT_LE(pie_->classic_probability(), 0.1);
+  ASSERT_GT(pie_->classic_probability(), 0.0);
+  // Below threshold: ECT packets can only be marked.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(pie_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+  run_updates(0.500, 200);
+  ASSERT_GT(pie_->classic_probability(), 0.1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(pie_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kMark);
+  }
+}
+
+TEST_F(PieTest, NotEctNeverMarked) {
+  auto params = test_params();
+  params.heuristics = false;
+  install(params);
+  run_updates(0.300, 100);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(pie_->enqueue(make_data_packet(Ecn::kNotEct)),
+              QueueDiscipline::Verdict::kMark);
+  }
+}
+
+TEST_F(PieTest, IdleDecayDrainsProbability) {
+  install(test_params());
+  run_updates(0.300, 60);
+  const double high = pie_->classic_probability();
+  ASSERT_GT(high, 0.0);
+  run_updates(0.0, 400);
+  EXPECT_LT(pie_->classic_probability(), high * 0.1);
+}
+
+TEST_F(PieTest, DeltaClampLimitsStepAtHighProbability) {
+  auto params = test_params();
+  install(params);
+  run_updates(0.300, 200);
+  const double p1 = pie_->classic_probability();
+  ASSERT_GE(p1, 0.1);
+  run_updates(10.0, 1);  // enormous error; dp must be clamped to 2%
+  EXPECT_LE(pie_->classic_probability() - p1, 0.02 + 1e-9);
+}
+
+TEST(PieTune, TableMatchesRfc8033Steps) {
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.05), 0.5);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.005), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.0005), 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.00005), 1.0 / 128.0);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.000005), 1.0 / 512.0);
+  EXPECT_DOUBLE_EQ(PieAqm::tune_factor(0.0000005), 1.0 / 2048.0);
+}
+
+TEST(PieTune, TracksSqrtTwoPWithinAFactor) {
+  // Figure 5: the stepped 'tune' broadly fits sqrt(2p). Check the ratio
+  // stays within a factor of ~2.9 across the table's range.
+  for (double p = 2e-6; p <= 0.5; p *= 1.7) {
+    const double tune = PieAqm::tune_factor(p);
+    const double ideal = std::sqrt(2.0 * p);
+    const double ratio = tune / ideal;
+    EXPECT_GT(ratio, 1.0 / 3.0) << "p=" << p;
+    EXPECT_LT(ratio, 3.0) << "p=" << p;
+  }
+}
+
+TEST(PieDefaults, MatchTable1) {
+  PieAqm::Params p;
+  EXPECT_EQ(p.target, from_millis(20));
+  EXPECT_DOUBLE_EQ(p.alpha_hz, 2.0 / 16.0);
+  EXPECT_DOUBLE_EQ(p.beta_hz, 20.0 / 16.0);
+  EXPECT_EQ(p.burst_allowance, from_millis(100));
+}
+
+TEST(PieDefaults, BareParamsDisableHeuristicsKeepAutotune) {
+  const auto p = PieAqm::bare_params();
+  EXPECT_FALSE(p.heuristics);
+  EXPECT_TRUE(p.autotune);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

@@ -1,0 +1,90 @@
+// PIE departure-rate estimation (the Linux/hardware path that converts
+// queue length to queuing delay without timestamps).
+#include <gtest/gtest.h>
+
+#include "aqm/pie.hpp"
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+
+TEST(PieDrate, EstimateConvergesToActualDrainRate) {
+  Simulator sim{1};
+  FakeQueueView view;
+  view.rate_bps = 10e6;
+  PieAqm::Params params;
+  params.departure_rate_estimation = true;
+  PieAqm pie{params};
+  pie.install(sim, view);
+
+  // Keep a deep queue (above the 16 kB measurement threshold) and dequeue
+  // 1500 B packets at exactly the link rate: 1.2 ms per packet.
+  view.backlog_bytes_value = 200000;
+  for (int i = 0; i < 200; ++i) {
+    sim.run_until(sim.now() + from_millis(1.2));
+    pie.dequeue(make_data_packet());
+  }
+  // qdelay estimate = backlog / estimated_rate should match backlog/true.
+  const double truth = 200000.0 * 8.0 / 10e6;
+  EXPECT_NEAR(pie.qdelay_estimate_s(), truth, truth * 0.1);
+}
+
+TEST(PieDrate, FallsBackToLinkRateWithoutSamples) {
+  Simulator sim{1};
+  FakeQueueView view;
+  view.rate_bps = 10e6;
+  PieAqm::Params params;
+  params.departure_rate_estimation = true;
+  PieAqm pie{params};
+  pie.install(sim, view);
+  view.backlog_bytes_value = 125000;  // 100 ms at 10 Mb/s
+  EXPECT_NEAR(pie.qdelay_estimate_s(), 0.1, 1e-9);
+}
+
+TEST(PieDrate, NoMeasurementBelowThreshold) {
+  // With less than 16 kB of backlog, no measurement cycle starts, so the
+  // estimate keeps tracking the true link rate.
+  Simulator sim{1};
+  FakeQueueView view;
+  view.rate_bps = 10e6;
+  PieAqm::Params params;
+  params.departure_rate_estimation = true;
+  PieAqm pie{params};
+  pie.install(sim, view);
+  view.backlog_bytes_value = 8000;
+  for (int i = 0; i < 50; ++i) {
+    sim.run_until(sim.now() + from_millis(1.2));
+    pie.dequeue(make_data_packet());
+  }
+  EXPECT_NEAR(pie.qdelay_estimate_s(), 8000.0 * 8.0 / 10e6, 1e-9);
+}
+
+TEST(PieDrate, TracksRateChange) {
+  Simulator sim{1};
+  FakeQueueView view;
+  view.rate_bps = 10e6;
+  PieAqm::Params params;
+  params.departure_rate_estimation = true;
+  PieAqm pie{params};
+  pie.install(sim, view);
+  view.backlog_bytes_value = 200000;
+  for (int i = 0; i < 100; ++i) {
+    sim.run_until(sim.now() + from_millis(1.2));
+    pie.dequeue(make_data_packet());
+  }
+  // Halve the drain rate: 2.4 ms per packet now.
+  for (int i = 0; i < 200; ++i) {
+    sim.run_until(sim.now() + from_millis(2.4));
+    pie.dequeue(make_data_packet());
+  }
+  const double truth = 200000.0 * 8.0 / 5e6;
+  EXPECT_NEAR(pie.qdelay_estimate_s(), truth, truth * 0.15);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "aqm/codel.hpp"
+#include "aqm/red.hpp"
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::from_millis;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+
+// ----------------------------------------------------------------- RED ----
+
+TEST(Red, NoSignalsBelowMinThreshold) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm red;
+  red.install(sim, view);
+  view.backlog_bytes_value = 1000;  // far below min_th
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(red.enqueue(make_data_packet()), QueueDiscipline::Verdict::kAccept);
+  }
+}
+
+TEST(Red, SignalsBetweenThresholds) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm::Params params;
+  params.weight = 1.0;  // track the instantaneous queue for the test
+  RedAqm red{params};
+  red.install(sim, view);
+  view.backlog_bytes_value = (params.min_th_bytes + params.max_th_bytes) / 2;
+  int signalled = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (red.enqueue(make_data_packet()) != QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  EXPECT_GT(signalled, 0);
+  // Mid-ramp: pb = max_p / 2 = 5%; the uniformization inflates it somewhat.
+  EXPECT_GT(signalled, 100);
+  EXPECT_LT(signalled, 2000);
+}
+
+TEST(Red, GentleModeRampsAboveMaxThreshold) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm::Params params;
+  params.weight = 1.0;
+  RedAqm red{params};
+  red.install(sim, view);
+  view.backlog_bytes_value = params.max_th_bytes * 3 / 2;  // in gentle ramp
+  int signalled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (red.enqueue(make_data_packet()) != QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  // pb ~ 0.55 there.
+  EXPECT_GT(signalled, 300);
+}
+
+TEST(Red, HardDropAtTwiceMaxThreshold) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm::Params params;
+  params.weight = 1.0;
+  params.ecn = false;
+  RedAqm red{params};
+  red.install(sim, view);
+  view.backlog_bytes_value = params.max_th_bytes * 2 + 1000;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(red.enqueue(make_data_packet()), QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST(Red, EwmaSmoothsBursts) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm red;  // default small weight
+  red.install(sim, view);
+  // A short burst above max_th must not move the average much.
+  view.backlog_bytes_value = 200000;
+  (void)red.enqueue(make_data_packet());
+  EXPECT_LT(red.avg_queue_bytes(), 1000.0);
+}
+
+TEST(Red, MarksEcnCapablePackets) {
+  Simulator sim{1};
+  FakeQueueView view;
+  RedAqm::Params params;
+  params.weight = 1.0;
+  RedAqm red{params};
+  red.install(sim, view);
+  view.backlog_bytes_value = params.max_th_bytes * 3 / 2;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(red.enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+// --------------------------------------------------------------- CoDel ----
+
+class CodelHarness {
+ public:
+  explicit CodelHarness(CodelAqm::Params params = {}) : codel_(params) {
+    codel_.install(sim_, view_);
+    view_.backlog_bytes_value = 100000;  // keep the small-queue guard away
+    view_.backlog_packets_value = 66;
+  }
+
+  /// Dequeues one packet whose sojourn time is `sojourn_ms`.
+  QueueDiscipline::Verdict dequeue_with_sojourn(double sojourn_ms) {
+    net::Packet p = make_data_packet();
+    p.enqueued_at = sim_.now() - from_millis(sojourn_ms);
+    const auto v = codel_.dequeue(p);
+    sim_.run_until(sim_.now() + from_millis(1));
+    return v;
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  CodelAqm codel_;
+};
+
+TEST(Codel, AcceptsWhileSojournBelowTarget) {
+  CodelHarness h;
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(h.dequeue_with_sojourn(2.0), QueueDiscipline::Verdict::kAccept);
+  }
+}
+
+TEST(Codel, SignalsAfterSojournAboveTargetForInterval) {
+  CodelHarness h;
+  int signalled = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (h.dequeue_with_sojourn(20.0) != QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  EXPECT_GT(signalled, 0);
+  EXPECT_EQ(h.codel_.drop_count(), signalled);
+}
+
+TEST(Codel, SignallingRateAccelerates) {
+  CodelHarness h;
+  int first_half = 0;
+  int second_half = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (h.dequeue_with_sojourn(50.0) != QueueDiscipline::Verdict::kAccept) {
+      (i < 1000 ? first_half : second_half) += 1;
+    }
+  }
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(Codel, RecoversWhenSojournFalls) {
+  CodelHarness h;
+  for (int i = 0; i < 500; ++i) h.dequeue_with_sojourn(50.0);
+  // Below target again: no more signals.
+  int signalled = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (h.dequeue_with_sojourn(1.0) != QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  EXPECT_EQ(signalled, 0);
+}
+
+TEST(Codel, MarksEcnCapableInsteadOfDropping) {
+  CodelHarness h;
+  for (int i = 0; i < 2000; ++i) {
+    net::Packet p = make_data_packet(Ecn::kEct0);
+    p.enqueued_at = h.sim_.now() - from_millis(50.0);
+    EXPECT_NE(h.codel_.dequeue(p), QueueDiscipline::Verdict::kDrop);
+    h.sim_.run_until(h.sim_.now() + from_millis(1));
+  }
+}
+
+TEST(Codel, EnqueueIsAlwaysAccept) {
+  CodelHarness h;
+  EXPECT_EQ(h.codel_.enqueue(make_data_packet()), QueueDiscipline::Verdict::kAccept);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

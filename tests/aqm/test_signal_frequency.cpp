@@ -1,0 +1,149 @@
+// Cross-AQM property: for every discipline, the empirical signalling
+// frequency at a pinned queue state must match the probability the
+// discipline itself reports, for each traffic class — the contract the
+// whole evaluation rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aqm/pie.hpp"
+#include "scenario/aqm_factory.hpp"
+#include "test_support.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+
+struct Case {
+  AqmType type;
+  double pinned_delay_s;
+};
+
+std::ostream& operator<<(std::ostream& os, const Case& c) {
+  return os << to_string(c.type) << "_at_" << c.pinned_delay_s << "s";
+}
+
+class SignalFrequency : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SignalFrequency, ClassicMatchesReportedProbability) {
+  const Case c = GetParam();
+  Simulator sim{1};
+  FakeQueueView view;
+  AqmConfig cfg;
+  cfg.type = c.type;
+  cfg.ecn = false;
+  if (c.type == AqmType::kPie || c.type == AqmType::kBarePie) {
+    // Bypass PIE's burst/safeguard heuristics and rate estimator so the
+    // frequency test isolates the decision stage.
+    cfg.type = AqmType::kBarePie;
+  }
+  auto disc = cfg.make();
+  auto* pie = dynamic_cast<pi2::aqm::PieAqm*>(disc.get());
+  if (pie != nullptr) {
+    // Re-make with estimation off: construct params directly.
+    auto params = aqm::PieAqm::bare_params();
+    params.departure_rate_estimation = false;
+    params.ecn = false;
+    disc = std::make_unique<pi2::aqm::PieAqm>(params);
+  }
+  disc->install(sim, view);
+  view.set_delay_seconds(c.pinned_delay_s);
+  sim.run_until(pi2::sim::from_seconds(5.0));  // let the controller settle
+  // Prime EWMA-based disciplines (Curvy RED) until their average has
+  // converged on the pinned state.
+  for (int i = 0; i < 500; ++i) (void)disc->enqueue(make_data_packet(Ecn::kNotEct));
+
+  const double reported = disc->classic_probability();
+  constexpr int kTrials = 60000;
+  int signalled = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (disc->enqueue(make_data_packet(Ecn::kNotEct)) !=
+        net::QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  const double f = static_cast<double>(signalled) / kTrials;
+  const double sigma = std::sqrt(std::max(reported, 1e-4) / kTrials);
+  EXPECT_NEAR(f, reported, 5.0 * sigma + 0.01) << "reported=" << reported;
+}
+
+TEST_P(SignalFrequency, ScalableMatchesReportedProbability) {
+  const Case c = GetParam();
+  Simulator sim{1};
+  FakeQueueView view;
+  AqmConfig cfg;
+  cfg.type = c.type;
+  auto disc = cfg.make();
+  if (auto* pie = dynamic_cast<pi2::aqm::PieAqm*>(disc.get())) {
+    auto params = pie->params();
+    params.departure_rate_estimation = false;
+    params.heuristics = false;
+    params.ecn_drop_threshold = 1.0;
+    disc = std::make_unique<pi2::aqm::PieAqm>(params);
+  }
+  disc->install(sim, view);
+  view.set_delay_seconds(c.pinned_delay_s);
+  sim.run_until(pi2::sim::from_seconds(5.0));
+  for (int i = 0; i < 500; ++i) (void)disc->enqueue(make_data_packet(Ecn::kEct1));
+
+  // The standalone Pi2Aqm is the Classic-only AQM of Figure 8: it applies
+  // the squared probability to *all* traffic (its scalable_probability()
+  // exposes the internal p'); every other discipline applies the scalable
+  // probability to ECT(1) packets directly.
+  const double reported = c.type == AqmType::kPi2 ? disc->classic_probability()
+                                                  : disc->scalable_probability();
+  constexpr int kTrials = 60000;
+  int signalled = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (disc->enqueue(make_data_packet(Ecn::kEct1)) !=
+        net::QueueDiscipline::Verdict::kAccept) {
+      ++signalled;
+    }
+  }
+  const double f = static_cast<double>(signalled) / kTrials;
+  const double sigma = std::sqrt(std::max(reported, 1e-4) / kTrials);
+  EXPECT_NEAR(f, reported, 5.0 * sigma + 0.01) << "reported=" << reported;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossAqmsAndDelays, SignalFrequency,
+    ::testing::Values(Case{AqmType::kPi, 0.05}, Case{AqmType::kPi, 0.15},
+                      Case{AqmType::kPi2, 0.05}, Case{AqmType::kPi2, 0.15},
+                      Case{AqmType::kCoupledPi2, 0.05},
+                      Case{AqmType::kCoupledPi2, 0.15},
+                      Case{AqmType::kBarePie, 0.05},
+                      Case{AqmType::kBarePie, 0.15},
+                      Case{AqmType::kCurvyRed, 0.02},
+                      Case{AqmType::kCurvyRed, 0.03}));
+
+// The central invariant of the whole paper, checked across every coupled
+// discipline: classic probability == (scalable probability / k)^2.
+class CouplingInvariant : public ::testing::TestWithParam<AqmType> {};
+
+TEST_P(CouplingInvariant, SquareLawHolds) {
+  Simulator sim{1};
+  FakeQueueView view;
+  AqmConfig cfg;
+  cfg.type = GetParam();
+  auto disc = cfg.make();
+  disc->install(sim, view);
+  view.set_delay_seconds(0.08);
+  sim.run_until(pi2::sim::from_seconds(5.0));
+  // Prime EWMA-based disciplines so their average reflects the state.
+  for (int i = 0; i < 500; ++i) (void)disc->enqueue(make_data_packet(Ecn::kNotEct));
+  const double ps = disc->scalable_probability();
+  const double pc = disc->classic_probability();
+  ASSERT_GT(ps, 0.0);
+  EXPECT_NEAR(pc, (ps / 2.0) * (ps / 2.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoupledAqms, CouplingInvariant,
+                         ::testing::Values(AqmType::kCoupledPi2,
+                                           AqmType::kCurvyRed));
+
+}  // namespace
+}  // namespace pi2::scenario

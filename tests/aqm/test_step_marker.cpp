@@ -1,0 +1,76 @@
+#include "aqm/step_marker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace pi2::aqm {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::from_millis;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+
+TEST(StepMarker, NoMarksBelowThreshold) {
+  Simulator sim{1};
+  FakeQueueView view;
+  StepMarkerAqm step;
+  step.install(sim, view);
+  view.set_delay_seconds(0.0005);  // half the 1 ms threshold
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(step.enqueue(make_data_packet(Ecn::kEct1)),
+              QueueDiscipline::Verdict::kAccept);
+  }
+  EXPECT_EQ(step.marks(), 0);
+}
+
+TEST(StepMarker, MarksEverythingAboveThreshold) {
+  Simulator sim{1};
+  FakeQueueView view;
+  StepMarkerAqm step;
+  step.install(sim, view);
+  view.set_delay_seconds(0.002);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(step.enqueue(make_data_packet(Ecn::kEct1)),
+              QueueDiscipline::Verdict::kMark);
+  }
+  EXPECT_EQ(step.marks(), 100);
+}
+
+TEST(StepMarker, NotEctPassesUnlessDropConfigured) {
+  Simulator sim{1};
+  FakeQueueView view;
+  StepMarkerAqm pass;  // default: mark-only
+  pass.install(sim, view);
+  view.set_delay_seconds(0.01);
+  EXPECT_EQ(pass.enqueue(make_data_packet(Ecn::kNotEct)),
+            QueueDiscipline::Verdict::kAccept);
+
+  StepMarkerAqm::Params params;
+  params.drop_not_ect = true;
+  StepMarkerAqm drop{params};
+  drop.install(sim, view);
+  EXPECT_EQ(drop.enqueue(make_data_packet(Ecn::kNotEct)),
+            QueueDiscipline::Verdict::kDrop);
+}
+
+TEST(StepMarker, ThresholdIsExactBoundary) {
+  Simulator sim{1};
+  FakeQueueView view;
+  StepMarkerAqm::Params params;
+  params.threshold = from_millis(10);
+  StepMarkerAqm step{params};
+  step.install(sim, view);
+  view.set_delay_seconds(0.010);  // exactly at threshold: mark
+  EXPECT_EQ(step.enqueue(make_data_packet(Ecn::kEct0)),
+            QueueDiscipline::Verdict::kMark);
+  view.set_delay_seconds(0.00999);
+  EXPECT_EQ(step.enqueue(make_data_packet(Ecn::kEct0)),
+            QueueDiscipline::Verdict::kAccept);
+}
+
+}  // namespace
+}  // namespace pi2::aqm

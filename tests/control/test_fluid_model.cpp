@@ -1,0 +1,172 @@
+#include "control/fluid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pi2::control {
+namespace {
+
+PiGains pie_gains(double tune = 1.0) { return {0.125 * tune, 1.25 * tune, 0.032}; }
+PiGains pi2_gains() { return {0.3125, 3.125, 0.032}; }
+PiGains scal_gains() { return {0.625, 6.25, 0.032}; }
+
+TEST(FluidModel, OperatingPointWindows) {
+  // W0^2 p = 2 for Reno-on-p; W0^2 p'^2 = 2 for Reno-on-p'^2; W0 p' = 2
+  // for the scalable control.
+  LoopModel reno{LoopType::kRenoP, 0.02, 0.1, pie_gains()};
+  EXPECT_NEAR(reno.w0() * reno.w0() * 0.02, 2.0, 1e-9);
+  LoopModel pi2m{LoopType::kRenoPSquared, 0.1, 0.1, pi2_gains()};
+  EXPECT_NEAR(pi2m.w0() * pi2m.w0() * 0.1 * 0.1, 2.0, 1e-9);
+  LoopModel scal{LoopType::kScalableP, 0.1, 0.1, scal_gains()};
+  EXPECT_NEAR(scal.w0() * 0.1, 2.0, 1e-9);
+}
+
+TEST(FluidModel, LowFrequencyGainDominatedByIntegrator) {
+  LoopModel m{LoopType::kRenoPSquared, 0.1, 0.1, pi2_gains()};
+  // |L| ~ 1/omega at low omega: one decade of omega = one decade of gain.
+  const double g1 = std::abs(m.eval(1e-4));
+  const double g2 = std::abs(m.eval(1e-3));
+  EXPECT_NEAR(g1 / g2, 10.0, 0.5);
+}
+
+TEST(FluidModel, MarginsExistForSaneConfigurations) {
+  for (double p : {0.01, 0.1, 0.5}) {
+    LoopModel m{LoopType::kRenoPSquared, p, 0.1, pi2_gains()};
+    EXPECT_TRUE(m.margins().has_value()) << p;
+  }
+}
+
+// The paper's headline analytic claims, as properties over the load range.
+
+class Pi2FlatGainMargin : public ::testing::TestWithParam<double> {};
+
+TEST_P(Pi2FlatGainMargin, PositiveEverywhere) {
+  // Figure 7: PI2 with 2.5x gains keeps a positive gain margin over the
+  // entire load range (this is the "responsiveness without instability"
+  // claim).
+  LoopModel m{LoopType::kRenoPSquared, GetParam(), 0.1, pi2_gains()};
+  const auto margins = m.margins();
+  ASSERT_TRUE(margins.has_value());
+  EXPECT_GT(margins->gain_margin_db, 0.0);
+  EXPECT_GT(margins->phase_margin_deg, 0.0);
+}
+
+TEST_P(Pi2FlatGainMargin, OnlySlightlyAbove10DbAtHighLoad) {
+  // Figure 7 / paper text: only for p' > 60% does the PI2 gain margin rise
+  // slightly above 10 dB.
+  const double p = GetParam();
+  LoopModel m{LoopType::kRenoPSquared, p, 0.1, pi2_gains()};
+  const auto margins = m.margins();
+  ASSERT_TRUE(margins.has_value());
+  if (p < 0.5) {
+    EXPECT_LT(margins->gain_margin_db, 10.0) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossLoad, Pi2FlatGainMargin,
+                         ::testing::Values(0.001, 0.003, 0.01, 0.03, 0.1, 0.3,
+                                           0.6, 1.0));
+
+class ScalablePiStable : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalablePiStable, DoubledGainsStillStable) {
+  // Figure 7 "scal pi": the scalable loop tolerates 2x the PI2 gains.
+  LoopModel m{LoopType::kScalableP, GetParam(), 0.1, scal_gains()};
+  const auto margins = m.margins();
+  ASSERT_TRUE(margins.has_value());
+  EXPECT_GT(margins->gain_margin_db, 0.0);
+  EXPECT_GT(margins->phase_margin_deg, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossLoad, ScalablePiStable,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.3, 1.0));
+
+TEST(FluidModel, FixedGainPiUnstableAtLowProbability) {
+  // Figure 4: without autotune (tune = 1), the plain PI loop on Reno has a
+  // negative gain margin at low p — the instability PIE's table fixes and
+  // PI2 removes structurally.
+  LoopModel low{LoopType::kRenoP, 1e-4, 0.1, pie_gains(1.0)};
+  const auto m_low = low.margins();
+  ASSERT_TRUE(m_low.has_value());
+  EXPECT_LT(m_low->gain_margin_db, 0.0);
+
+  LoopModel high{LoopType::kRenoP, 0.1, 0.1, pie_gains(1.0)};
+  const auto m_high = high.margins();
+  ASSERT_TRUE(m_high.has_value());
+  EXPECT_GT(m_high->gain_margin_db, 0.0);
+}
+
+TEST(FluidModel, GainMarginDiagonalInPForFixedTune) {
+  // Figure 4's diagonal: the gain margin increases monotonically with p for
+  // fixed gains.
+  double prev = -1e9;
+  for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5}) {
+    LoopModel m{LoopType::kRenoP, p, 0.1, pie_gains(0.5)};
+    const auto margins = m.margins();
+    ASSERT_TRUE(margins.has_value());
+    EXPECT_GT(margins->gain_margin_db, prev);
+    prev = margins->gain_margin_db;
+  }
+}
+
+TEST(FluidModel, AutotunedPieStaysStable) {
+  // PIE's stepped tune keeps the Reno loop stable across the table's range.
+  for (double p : {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5}) {
+    LoopModel m{LoopType::kRenoP, p, 0.1, pie_gains(pie_tune_factor(p))};
+    const auto margins = m.margins();
+    ASSERT_TRUE(margins.has_value()) << p;
+    EXPECT_GT(margins->gain_margin_db, 0.0) << p;
+  }
+}
+
+TEST(FluidModel, Pi2FlatterThanPieAcrossLoad) {
+  // The spread (max - min) of the gain margin across the load range must be
+  // far smaller for PI2 than for autotuned PIE — the "flattening" effect of
+  // the square.
+  double pie_min = 1e9;
+  double pie_max = -1e9;
+  double pi2_min = 1e9;
+  double pi2_max = -1e9;
+  for (double pp : {0.01, 0.03, 0.1, 0.3, 1.0}) {  // p' range
+    const double p = pp * pp;
+    LoopModel pie{LoopType::kRenoP, p, 0.1, pie_gains(pie_tune_factor(p))};
+    LoopModel pi2m{LoopType::kRenoPSquared, pp, 0.1, pi2_gains()};
+    const auto mp = pie.margins();
+    const auto m2 = pi2m.margins();
+    ASSERT_TRUE(mp && m2);
+    pie_min = std::min(pie_min, mp->gain_margin_db);
+    pie_max = std::max(pie_max, mp->gain_margin_db);
+    pi2_min = std::min(pi2_min, m2->gain_margin_db);
+    pi2_max = std::max(pi2_max, m2->gain_margin_db);
+  }
+  EXPECT_LT(pi2_max - pi2_min, pie_max - pie_min);
+}
+
+TEST(FluidModel, TuneFactorTracksSqrt2P) {
+  for (double p = 1e-6; p <= 0.5; p *= 3.0) {
+    const double ratio = pie_tune_factor(p) / sqrt_2p(p);
+    EXPECT_GT(ratio, 0.3) << p;
+    EXPECT_LT(ratio, 3.0) << p;
+  }
+}
+
+TEST(FluidModel, HigherRttLowersMargins) {
+  // A longer feedback delay erodes stability at the same operating point.
+  LoopModel fast{LoopType::kRenoPSquared, 0.1, 0.02, pi2_gains()};
+  LoopModel slow{LoopType::kRenoPSquared, 0.1, 0.2, pi2_gains()};
+  const auto mf = fast.margins();
+  const auto ms = slow.margins();
+  ASSERT_TRUE(mf && ms);
+  EXPECT_GT(mf->gain_margin_db, ms->gain_margin_db);
+}
+
+TEST(FluidModel, LoopGainRatioPi2OverPieIs3Point5) {
+  // Paper section 4: K_PI2 / K_PIE = 2.5 * sqrt(2) ~ 3.5, which the paper
+  // quotes as 5.5 dB — i.e. power decibels, 10 log10(3.5).
+  EXPECT_NEAR(2.5 * std::sqrt(2.0), 3.5, 0.05);
+  EXPECT_NEAR(10.0 * std::log10(2.5 * std::sqrt(2.0)), 5.5, 0.3);
+}
+
+}  // namespace
+}  // namespace pi2::control

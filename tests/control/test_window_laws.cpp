@@ -1,0 +1,93 @@
+#include "control/window_laws.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pi2::control {
+namespace {
+
+TEST(WindowLaws, RenoEquation5) {
+  EXPECT_NEAR(reno_window(0.01), 12.2, 1e-9);
+  EXPECT_NEAR(reno_window(1.0), 1.22, 1e-9);
+}
+
+TEST(WindowLaws, CRenoEquation7) {
+  EXPECT_NEAR(creno_window(0.01), 16.8, 1e-9);
+  EXPECT_GT(creno_window(0.01), reno_window(0.01));  // beta 0.7 > 0.5
+}
+
+TEST(WindowLaws, CubicEquation6) {
+  // W = 1.17 R^{3/4} / p^{3/4} at R = 1 s, p = 1.
+  EXPECT_NEAR(cubic_window(1.0, 1.0), 1.17, 1e-9);
+  // Quadrupling R at fixed p scales W by 4^{3/4}.
+  EXPECT_NEAR(cubic_window(0.01, 0.4) / cubic_window(0.01, 0.1),
+              std::pow(4.0, 0.75), 1e-9);
+}
+
+TEST(WindowLaws, DctcpEquations11And12) {
+  EXPECT_DOUBLE_EQ(dctcp_window_probabilistic(0.1), 20.0);
+  EXPECT_DOUBLE_EQ(dctcp_window_step(0.1), 200.0);
+  // Step marking has a steeper exponent: the two laws cross at p where
+  // 2/p = 2/p^2, i.e. p = 1.
+  EXPECT_DOUBLE_EQ(dctcp_window_probabilistic(1.0), dctcp_window_step(1.0));
+}
+
+TEST(WindowLaws, InverseLawsRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.5}) {
+    EXPECT_NEAR(reno_prob(reno_window(p)), p, 1e-12);
+    EXPECT_NEAR(creno_prob(creno_window(p)), p, 1e-12);
+    EXPECT_NEAR(dctcp_prob_probabilistic(dctcp_window_probabilistic(p)), p, 1e-12);
+  }
+}
+
+TEST(WindowLaws, CRenoSwitchOverEquation8) {
+  // Low rate / low RTT: CReno region. High W * R^{3/2}: pure Cubic.
+  EXPECT_TRUE(cubic_in_creno_region(20.0, 0.01));    // 20 * 0.001 = 0.02
+  EXPECT_FALSE(cubic_in_creno_region(1000.0, 0.1));  // 1000 * 0.0316 = 31.6
+}
+
+TEST(WindowLaws, CouplingEquation14) {
+  EXPECT_DOUBLE_EQ(coupled_classic_prob(0.2, 2.0), 0.01);
+  EXPECT_DOUBLE_EQ(coupled_classic_prob(1.0, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(coupled_classic_prob(0.0, 2.0), 0.0);
+}
+
+TEST(WindowLaws, DerivedKMatchesAppendixA) {
+  // k = 2 / 1.68: substituting W_creno = W_dctcp in (7) and (11).
+  EXPECT_NEAR(derived_coupling_factor(), 1.19047619, 1e-6);
+}
+
+TEST(WindowLaws, ScalabilityExponentEquation3) {
+  // B = 1/2 (Reno): c ~ W^{-1} -> unscalable.
+  EXPECT_DOUBLE_EQ(signals_per_rtt_exponent(0.5), -1.0);
+  // B = 3/4 (Cubic): c ~ W^{-1/3} -> unscalable.
+  EXPECT_NEAR(signals_per_rtt_exponent(0.75), -1.0 / 3.0, 1e-12);
+  // B = 1 (DCTCP probabilistic): c constant -> scalable.
+  EXPECT_DOUBLE_EQ(signals_per_rtt_exponent(1.0), 0.0);
+  // B = 2 (DCTCP step): c grows -> scalable.
+  EXPECT_DOUBLE_EQ(signals_per_rtt_exponent(2.0), 0.5);
+}
+
+// Parameterized check: signals per RTT c = p W shrink with load for Classic
+// laws and stay constant for DCTCP probabilistic, across 4 decades of p.
+class SignalsPerRtt : public ::testing::TestWithParam<double> {};
+
+TEST_P(SignalsPerRtt, RenoSignalsShrinkAsWindowGrows) {
+  const double p = GetParam();
+  const double c_here = p * reno_window(p);
+  const double c_lower = (p / 10.0) * reno_window(p / 10.0);
+  EXPECT_LT(c_lower, c_here);  // scaling up (lower p) -> fewer signals
+}
+
+TEST_P(SignalsPerRtt, DctcpSignalsConstant) {
+  const double p = GetParam();
+  EXPECT_NEAR(p * dctcp_window_probabilistic(p),
+              (p / 10.0) * dctcp_window_probabilistic(p / 10.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossProbabilities, SignalsPerRtt,
+                         ::testing::Values(0.5, 0.1, 0.01, 0.001, 0.0001));
+
+}  // namespace
+}  // namespace pi2::control

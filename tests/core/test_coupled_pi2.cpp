@@ -1,0 +1,137 @@
+#include "core/coupled_pi2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/window_laws.hpp"
+#include "test_support.hpp"
+
+namespace pi2::core {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+using pi2::testing::signal_fraction;
+
+class CoupledTest : public ::testing::Test {
+ protected:
+  void install(CoupledPi2Aqm::Params params) {
+    aqm_ = std::make_unique<CoupledPi2Aqm>(params);
+    aqm_->install(sim_, view_);
+  }
+  void run_updates(double delay_s, int n) {
+    view_.set_delay_seconds(delay_s);
+    sim_.run_until(sim_.now() + aqm_->params().t_update * n);
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  std::unique_ptr<CoupledPi2Aqm> aqm_;
+};
+
+TEST_F(CoupledTest, DefaultsMatchTable1) {
+  CoupledPi2Aqm::Params p;
+  EXPECT_DOUBLE_EQ(p.alpha_hz, 10.0 / 16.0);
+  EXPECT_DOUBLE_EQ(p.beta_hz, 100.0 / 16.0);
+  EXPECT_DOUBLE_EQ(p.k, 2.0);
+  EXPECT_EQ(p.target, pi2::sim::from_millis(20));
+}
+
+TEST_F(CoupledTest, CouplingLawEquation14) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.100, 20);
+  const double ps = aqm_->scalable_probability();
+  ASSERT_GT(ps, 0.1);
+  EXPECT_DOUBLE_EQ(aqm_->classic_probability(),
+                   control::coupled_classic_prob(ps, 2.0));
+}
+
+TEST_F(CoupledTest, ScalableMarkedLinearly) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.060, 20);
+  const double ps = aqm_->scalable_probability();
+  ASSERT_GT(ps, 0.1);
+  const double f = signal_fraction(*aqm_, Ecn::kEct1, 50000);
+  EXPECT_NEAR(f, ps, 4.0 * std::sqrt(ps / 50000) + 0.005);
+}
+
+TEST_F(CoupledTest, ClassicSignalledWithSquaredCoupledProbability) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.060, 20);
+  const double ps = aqm_->scalable_probability();
+  const double pc = aqm_->classic_probability();
+  ASSERT_GT(pc, 0.001);
+  const double f = signal_fraction(*aqm_, Ecn::kNotEct, 100000);
+  EXPECT_NEAR(f, pc, 4.0 * std::sqrt(pc / 100000) + 0.002);
+  EXPECT_LT(f, ps);  // Classic always signalled less than Scalable
+}
+
+TEST_F(CoupledTest, CePacketsTakeTheScalablePath) {
+  // CE (already marked upstream) classifies as Scalable per Figure 9.
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.200, 50);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kCe)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST_F(CoupledTest, Ect0MarkedNotDropped) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.200, 50);
+  ASSERT_GT(aqm_->classic_probability(), 0.01);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST_F(CoupledTest, NotEctDroppedNotMarked) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(0.200, 50);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kNotEct)),
+              QueueDiscipline::Verdict::kMark);
+  }
+}
+
+TEST_F(CoupledTest, OverloadCapsScalableAt100AndClassicAt25Percent) {
+  install(CoupledPi2Aqm::Params{});
+  run_updates(5.0, 3000);
+  EXPECT_NEAR(aqm_->scalable_probability(), 1.0, 1e-9);
+  EXPECT_NEAR(aqm_->classic_probability(), 0.25, 1e-9);
+  // At p_s = 1 every Scalable packet is marked.
+  EXPECT_DOUBLE_EQ(signal_fraction(*aqm_, Ecn::kEct1, 1000), 1.0);
+}
+
+TEST_F(CoupledTest, CouplingFactorKScalesClassicSignal) {
+  CoupledPi2Aqm::Params params;
+  params.k = 4.0;
+  install(params);
+  run_updates(0.100, 20);
+  const double ps = aqm_->scalable_probability();
+  EXPECT_DOUBLE_EQ(aqm_->classic_probability(), (ps / 4.0) * (ps / 4.0));
+}
+
+TEST_F(CoupledTest, DerivedCouplingFactorNear1Point19) {
+  EXPECT_NEAR(control::derived_coupling_factor(), 1.19, 0.005);
+}
+
+TEST_F(CoupledTest, EqualRateWindowsAtCoupledProbabilities) {
+  // The point of k: DCTCP at p_s and CReno at (p_s/k)^2 get equal windows
+  // when k matches the derived value.
+  const double k = control::derived_coupling_factor();
+  for (double ps = 0.02; ps <= 0.4; ps *= 2.0) {
+    const double pc = control::coupled_classic_prob(ps, k);
+    const double w_dctcp = control::dctcp_window_probabilistic(ps);
+    const double w_creno = control::creno_window(pc);
+    EXPECT_NEAR(w_dctcp / w_creno, 1.0, 1e-6) << "ps=" << ps;
+  }
+}
+
+}  // namespace
+}  // namespace pi2::core

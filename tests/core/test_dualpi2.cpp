@@ -1,0 +1,156 @@
+#include "core/dualpi2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace pi2::core {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::Packet;
+using pi2::sim::from_millis;
+using pi2::sim::from_seconds;
+using pi2::sim::Simulator;
+
+Packet packet_with(Ecn ecn, std::int32_t flow = 0) {
+  Packet p;
+  p.flow = flow;
+  p.ecn = ecn;
+  return p;
+}
+
+TEST(DualPi2, ClassifiesByEcnCodepoint) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  DualPi2Link link{sim, params};
+  link.send(packet_with(Ecn::kEct1));
+  link.send(packet_with(Ecn::kNotEct));
+  link.send(packet_with(Ecn::kEct0));
+  link.send(packet_with(Ecn::kCe));
+  EXPECT_EQ(link.counters().l_enqueued, 2);  // ECT(1) + CE
+  EXPECT_EQ(link.counters().c_enqueued, 2);  // Not-ECT + ECT(0)
+}
+
+TEST(DualPi2, DeliversBothClasses) {
+  Simulator sim{1};
+  DualPi2Link link{sim, DualPi2Link::Params{}};
+  int l = 0;
+  int c = 0;
+  link.set_departure_probe([&](const Packet&, pi2::sim::Duration, bool from_l) {
+    (from_l ? l : c) += 1;
+  });
+  for (int i = 0; i < 10; ++i) {
+    link.send(packet_with(Ecn::kEct1));
+    link.send(packet_with(Ecn::kNotEct));
+  }
+  sim.run_until(from_seconds(5));
+  EXPECT_EQ(l, 10);
+  EXPECT_EQ(c, 10);
+}
+
+TEST(DualPi2, LQueueGetsPriorityUnderTimeShift) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.rate_bps = 1.2e6;  // 10 ms per packet
+  DualPi2Link link{sim, params};
+  std::vector<bool> order;
+  link.set_departure_probe([&](const Packet&, pi2::sim::Duration, bool from_l) {
+    order.push_back(from_l);
+  });
+  // Fill C first, then L: with a 50 ms time shift, L packets jump ahead of
+  // the queued C packets.
+  for (int i = 0; i < 5; ++i) link.send(packet_with(Ecn::kNotEct));
+  for (int i = 0; i < 5; ++i) link.send(packet_with(Ecn::kEct1));
+  sim.run_until(from_seconds(5));
+  ASSERT_EQ(order.size(), 10u);
+  // First departure is C (transmission already started), then L drains.
+  EXPECT_FALSE(order[0]);
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(order[i]) << i;
+}
+
+TEST(DualPi2, NativeRampMarksLongSojourns) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.rate_bps = 1.2e6;  // 10 ms per packet: sojourn quickly exceeds 2 ms
+  DualPi2Link link{sim, params};
+  int marked = 0;
+  link.set_departure_probe([&](const Packet& p, pi2::sim::Duration, bool from_l) {
+    if (from_l && p.ecn == Ecn::kCe) ++marked;
+  });
+  for (int i = 0; i < 20; ++i) link.send(packet_with(Ecn::kEct1));
+  sim.run_until(from_seconds(5));
+  // Every packet past the first few has sojourn > l_min_th + l_range.
+  EXPECT_GT(marked, 10);
+}
+
+TEST(DualPi2, NoMarksWhenIdleAndShallow) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.rate_bps = 100e6;  // 0.12 ms per packet: far below the ramp
+  DualPi2Link link{sim, params};
+  int marked = 0;
+  link.set_departure_probe([&](const Packet& p, pi2::sim::Duration, bool from_l) {
+    if (from_l && p.ecn == Ecn::kCe) ++marked;
+  });
+  for (int i = 0; i < 10; ++i) {
+    link.send(packet_with(Ecn::kEct1));
+    sim.run_until(sim.now() + from_millis(10));  // drain: zero queue
+  }
+  EXPECT_EQ(marked, 0);
+}
+
+TEST(DualPi2, SharedBufferTailDrops) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.buffer_packets = 5;
+  params.rate_bps = 1e6;
+  DualPi2Link link{sim, params};
+  for (int i = 0; i < 20; ++i) link.send(packet_with(Ecn::kEct1));
+  EXPECT_GT(link.counters().tail_dropped, 0);
+}
+
+TEST(DualPi2, QueueDelaysAreTrackedSeparately) {
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.rate_bps = 1.2e6;
+  DualPi2Link link{sim, params};
+  for (int i = 0; i < 10; ++i) link.send(packet_with(Ecn::kNotEct));
+  EXPECT_GT(link.c_queue_delay(), from_millis(50));
+  EXPECT_EQ(link.l_queue_delay(), from_millis(0));
+}
+
+TEST(DualPi2, CoupledProbabilityReachesLQueue) {
+  // Sustain a deep C queue so the PI controller raises p'; L packets must
+  // then see coupled marking k*p' even with tiny L sojourn.
+  Simulator sim{1};
+  DualPi2Link::Params params;
+  params.rate_bps = 2e6;
+  DualPi2Link link{sim, params};
+  int l_marked = 0;
+  int l_total = 0;
+  link.set_departure_probe([&](const Packet& p, pi2::sim::Duration, bool from_l) {
+    if (from_l) {
+      ++l_total;
+      if (p.ecn == Ecn::kCe) ++l_marked;
+    }
+  });
+  // Keep the C queue loaded for 10 s while trickling L packets.
+  std::function<void()> feed = [&] {
+    for (int i = 0; i < 20; ++i) link.send(packet_with(Ecn::kNotEct));
+    link.send(packet_with(Ecn::kEct1));
+    if (sim.now() < from_seconds(10)) sim.after(from_millis(100), feed);
+  };
+  sim.after(from_millis(0), feed);
+  // Sample p' while the C queue is still loaded (it rightly collapses to
+  // zero once the feed stops and the queue drains).
+  sim.run_until(from_seconds(9));
+  const double p_prime_loaded = link.p_prime();
+  sim.run_until(from_seconds(11));
+  ASSERT_GT(l_total, 50);
+  EXPECT_GT(p_prime_loaded, 0.0);
+  EXPECT_GT(l_marked, 0);
+}
+
+}  // namespace
+}  // namespace pi2::core

@@ -1,0 +1,134 @@
+#include "core/pi2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+
+namespace pi2::core {
+namespace {
+
+using pi2::net::Ecn;
+using pi2::net::QueueDiscipline;
+using pi2::sim::Simulator;
+using pi2::testing::FakeQueueView;
+using pi2::testing::make_data_packet;
+using pi2::testing::signal_fraction;
+
+class Pi2Test : public ::testing::Test {
+ protected:
+  void install(Pi2Aqm::Params params) {
+    aqm_ = std::make_unique<Pi2Aqm>(params);
+    aqm_->install(sim_, view_);
+  }
+  void run_updates(double delay_s, int n) {
+    view_.set_delay_seconds(delay_s);
+    sim_.run_until(sim_.now() + aqm_->params().t_update * n);
+  }
+
+  Simulator sim_{1};
+  FakeQueueView view_;
+  std::unique_ptr<Pi2Aqm> aqm_;
+};
+
+TEST_F(Pi2Test, DefaultGainsAre2Point5TimesPie) {
+  Pi2Aqm::Params p;
+  EXPECT_DOUBLE_EQ(p.alpha_hz, 0.125 * 2.5);
+  EXPECT_DOUBLE_EQ(p.beta_hz, 1.25 * 2.5);
+}
+
+TEST_F(Pi2Test, AppliedProbabilityIsSquareOfInternal) {
+  install(Pi2Aqm::Params{});
+  run_updates(0.100, 20);
+  const double p_prime = aqm_->scalable_probability();
+  ASSERT_GT(p_prime, 0.05);
+  EXPECT_DOUBLE_EQ(aqm_->classic_probability(), p_prime * p_prime);
+}
+
+TEST_F(Pi2Test, DropFrequencyMatchesSquaredProbability) {
+  Pi2Aqm::Params params;
+  params.ecn = false;
+  install(params);
+  run_updates(0.050, 30);
+  const double p_prime = aqm_->scalable_probability();
+  const double p = p_prime * p_prime;
+  ASSERT_GT(p, 0.001);
+  const double f = signal_fraction(*aqm_, Ecn::kNotEct, 100000);
+  EXPECT_NEAR(f, p, 4.0 * std::sqrt(p / 100000) + 0.002);
+}
+
+TEST_F(Pi2Test, ThinkTwiceNeverSignalsMoreThanLinear) {
+  // The squared decision is strictly less likely than the linear one for
+  // any p' < 1: max(Y1, Y2) < p' implies Y1 < p'.
+  install(Pi2Aqm::Params{});
+  run_updates(0.100, 40);
+  const double p_prime = aqm_->scalable_probability();
+  ASSERT_GT(p_prime, 0.0);
+  const double f = signal_fraction(*aqm_, Ecn::kNotEct, 50000);
+  EXPECT_LT(f, p_prime);
+}
+
+TEST_F(Pi2Test, MarksClassicEcnWhenEnabled) {
+  install(Pi2Aqm::Params{});
+  run_updates(0.300, 100);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kDrop);
+  }
+}
+
+TEST_F(Pi2Test, DropsWhenEcnDisabled) {
+  Pi2Aqm::Params params;
+  params.ecn = false;
+  install(params);
+  run_updates(0.300, 100);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(aqm_->enqueue(make_data_packet(Ecn::kEct0)),
+              QueueDiscipline::Verdict::kMark);
+  }
+}
+
+TEST_F(Pi2Test, OverloadCapsClassicProbabilityAt25Percent) {
+  install(Pi2Aqm::Params{});
+  run_updates(5.0, 2000);  // gross overload
+  EXPECT_NEAR(aqm_->classic_probability(), 0.25, 1e-9);
+  EXPECT_NEAR(aqm_->scalable_probability(), 0.5, 1e-9);
+}
+
+TEST_F(Pi2Test, CustomOverloadCap) {
+  Pi2Aqm::Params params;
+  params.max_classic_prob = 0.04;
+  install(params);
+  run_updates(5.0, 2000);
+  EXPECT_NEAR(aqm_->classic_probability(), 0.04, 1e-9);
+}
+
+TEST_F(Pi2Test, NoSignalsAtZeroQueue) {
+  install(Pi2Aqm::Params{});
+  run_updates(0.0, 50);
+  EXPECT_DOUBLE_EQ(aqm_->classic_probability(), 0.0);
+  EXPECT_EQ(signal_fraction(*aqm_, Ecn::kNotEct, 1000), 0.0);
+}
+
+TEST_F(Pi2Test, ConvergesToTargetDelayProbability) {
+  // Pin the queue at exactly the target: after the transient the
+  // probability must hold steady (integral error is zero).
+  install(Pi2Aqm::Params{});
+  run_updates(0.020, 5);
+  const double p1 = aqm_->scalable_probability();
+  run_updates(0.020, 5);
+  EXPECT_NEAR(aqm_->scalable_probability(), p1, 1e-12);
+}
+
+TEST_F(Pi2Test, NoHeuristicsNoBurstAllowance) {
+  // Unlike PIE, PI2 signals from the very first packet if p' > 0 — there is
+  // no burst allowance or low-delay suppression to disable.
+  install(Pi2Aqm::Params{});
+  run_updates(0.500, 40);
+  ASSERT_GT(aqm_->scalable_probability(), 0.3);
+  EXPECT_GT(signal_fraction(*aqm_, Ecn::kNotEct, 5000), 0.0);
+}
+
+}  // namespace
+}  // namespace pi2::core

@@ -1,0 +1,162 @@
+// End-to-end coexistence properties (the paper's second contribution):
+// Cubic and DCTCP sharing one coupled-PI2 queue get roughly equal rates,
+// while PIE lets DCTCP starve Cubic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+using std::chrono::seconds;
+
+RunResult run_mix(AqmType aqm, int cubic_flows, int dctcp_flows, double link_mbps,
+                  double rtt_ms, double coupling_k = 2.0) {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = link_mbps * 1e6;
+  cfg.duration = Time{seconds{80}};
+  cfg.stats_start = Time{seconds{30}};
+  cfg.aqm.type = aqm;
+  cfg.aqm.coupling_k = coupling_k;
+  // The paper's PIE runs rework the mark->drop switchover to avoid the 10%
+  // discontinuity; always-mark is that rework.
+  cfg.aqm.ecn_drop_threshold = 1.0;
+  if (cubic_flows > 0) {
+    TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.count = cubic_flows;
+    cubic.base_rtt = from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(cubic);
+  }
+  if (dctcp_flows > 0) {
+    TcpFlowSpec dctcp;
+    dctcp.cc = tcp::CcType::kDctcp;
+    dctcp.count = dctcp_flows;
+    dctcp.base_rtt = from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(dctcp);
+  }
+  return run_dumbbell(cfg);
+}
+
+struct MixCase {
+  double link_mbps;
+  double rtt_ms;
+};
+
+class CoupledFairness : public ::testing::TestWithParam<MixCase> {};
+
+TEST_P(CoupledFairness, CubicAndDctcpWithinFactorTwo) {
+  const auto c = GetParam();
+  const auto r = run_mix(AqmType::kCoupledPi2, 1, 1, c.link_mbps, c.rtt_ms);
+  const double cubic = r.mean_goodput_mbps(tcp::CcType::kCubic);
+  const double dctcp = r.mean_goodput_mbps(tcp::CcType::kDctcp);
+  ASSERT_GT(cubic, 0.0);
+  ASSERT_GT(dctcp, 0.0);
+  const double ratio = cubic / dctcp;
+  // Figure 15: PI2 keeps the balance close to 1 over the whole range; we
+  // allow a factor of 2 per point.
+  EXPECT_GT(ratio, 0.5) << "link=" << c.link_mbps << " rtt=" << c.rtt_ms;
+  EXPECT_LT(ratio, 2.0) << "link=" << c.link_mbps << " rtt=" << c.rtt_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CoupledFairness,
+                         ::testing::Values(MixCase{12, 10}, MixCase{40, 10},
+                                           MixCase{40, 20}, MixCase{120, 10}));
+
+TEST(Coexistence, PieLetsDctcpStarveCubic) {
+  const auto r = run_mix(AqmType::kPie, 1, 1, 40, 10);
+  const double cubic = r.mean_goodput_mbps(tcp::CcType::kCubic);
+  const double dctcp = r.mean_goodput_mbps(tcp::CcType::kDctcp);
+  ASSERT_GT(cubic, 0.0);
+  // Figure 15: DCTCP behaves ~10x more aggressively under PIE.
+  EXPECT_GT(dctcp / cubic, 4.0);
+}
+
+TEST(Coexistence, CoupledQueueStaysNearTarget) {
+  const auto r = run_mix(AqmType::kCoupledPi2, 1, 1, 40, 10);
+  EXPECT_GT(r.mean_qdelay_ms, 5.0);
+  EXPECT_LT(r.mean_qdelay_ms, 35.0);
+  EXPECT_LT(r.p99_qdelay_ms, 80.0);
+}
+
+TEST(Coexistence, UtilizationStaysHighInBothAqms) {
+  for (auto aqm : {AqmType::kCoupledPi2, AqmType::kPie}) {
+    const auto r = run_mix(aqm, 1, 1, 40, 10);
+    EXPECT_GT(r.utilization, 0.85) << to_string(aqm);
+  }
+}
+
+TEST(Coexistence, EcnCubicVsCubicIsFairUnderBoth) {
+  // The control experiment of Figure 15: same congestion control with and
+  // without ECN must split the link evenly under both AQMs.
+  for (auto aqm : {AqmType::kCoupledPi2, AqmType::kPie}) {
+    DumbbellConfig cfg;
+    cfg.link_rate_bps = 40e6;
+    cfg.duration = Time{seconds{80}};
+    cfg.stats_start = Time{seconds{30}};
+    cfg.aqm.type = aqm;
+    cfg.aqm.ecn_drop_threshold = 1.0;
+    TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.base_rtt = from_millis(10);
+    TcpFlowSpec ecn_cubic;
+    ecn_cubic.cc = tcp::CcType::kEcnCubic;
+    ecn_cubic.base_rtt = from_millis(10);
+    cfg.tcp_flows = {cubic, ecn_cubic};
+    const auto r = run_dumbbell(cfg);
+    const double plain = r.mean_goodput_mbps(tcp::CcType::kCubic);
+    const double ecn = r.mean_goodput_mbps(tcp::CcType::kEcnCubic);
+    ASSERT_GT(plain, 0.0);
+    ASSERT_GT(ecn, 0.0);
+    EXPECT_GT(plain / ecn, 0.4) << to_string(aqm);
+    EXPECT_LT(plain / ecn, 2.5) << to_string(aqm);
+  }
+}
+
+class FlowCountFairness : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FlowCountFairness, BalanceHoldsAcrossFlowCounts) {
+  // Figure 19: the per-flow rate balance is insensitive to the number of
+  // concurrent flows of each type.
+  const auto [n_cubic, n_dctcp] = GetParam();
+  const auto r = run_mix(AqmType::kCoupledPi2, n_cubic, n_dctcp, 40, 10);
+  const double cubic = r.mean_goodput_mbps(tcp::CcType::kCubic);
+  const double dctcp = r.mean_goodput_mbps(tcp::CcType::kDctcp);
+  ASSERT_GT(cubic, 0.0);
+  ASSERT_GT(dctcp, 0.0);
+  EXPECT_GT(cubic / dctcp, 0.4);
+  EXPECT_LT(cubic / dctcp, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, FlowCountFairness,
+                         ::testing::Values(std::pair{1, 9}, std::pair{5, 5},
+                                           std::pair{9, 1}, std::pair{2, 8}));
+
+TEST(Coexistence, KEqualsTwoBeatsKEqualsOneForFairness) {
+  // Ablation: with k = 1 the Classic probability is too high relative to
+  // the Scalable one ((p_s)^2 instead of (p_s/2)^2), so Cubic gets less.
+  const auto k2 = run_mix(AqmType::kCoupledPi2, 1, 1, 40, 10, 2.0);
+  const auto k1 = run_mix(AqmType::kCoupledPi2, 1, 1, 40, 10, 1.0);
+  const double ratio_k2 = k2.mean_goodput_mbps(tcp::CcType::kCubic) /
+                          k2.mean_goodput_mbps(tcp::CcType::kDctcp);
+  const double ratio_k1 = k1.mean_goodput_mbps(tcp::CcType::kCubic) /
+                          k1.mean_goodput_mbps(tcp::CcType::kDctcp);
+  EXPECT_LT(std::abs(std::log(ratio_k2)), std::abs(std::log(ratio_k1)));
+  EXPECT_LT(ratio_k1, ratio_k2);  // k=1 under-serves Cubic
+}
+
+TEST(Coexistence, ScalableProbabilityIsTwiceSqrtClassic) {
+  // Section 4: p_s = k * sqrt(p_c) with k = 2 in steady state.
+  const auto r = run_mix(AqmType::kCoupledPi2, 1, 1, 40, 10);
+  const double ps = r.scalable_prob_samples.mean();
+  const double pc = r.classic_prob_samples.mean();
+  ASSERT_GT(ps, 0.0);
+  EXPECT_NEAR(ps / (2.0 * std::sqrt(pc)), 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace pi2::scenario

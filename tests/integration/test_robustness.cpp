@@ -1,0 +1,116 @@
+// Robustness properties: the headline results must not depend on the RNG
+// seed, on every flow sharing one RTT, or on the exact start order.
+#include <gtest/gtest.h>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+using std::chrono::seconds;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CoupledFairnessHoldsForEverySeed) {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 40e6;
+  cfg.duration = Time{seconds{60}};
+  cfg.stats_start = Time{seconds{20}};
+  cfg.seed = GetParam();
+  cfg.aqm.type = AqmType::kCoupledPi2;
+  TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.base_rtt = from_millis(10);
+  TcpFlowSpec dctcp;
+  dctcp.cc = tcp::CcType::kDctcp;
+  dctcp.base_rtt = from_millis(10);
+  cfg.tcp_flows = {cubic, dctcp};
+  const auto r = run_dumbbell(cfg);
+  const double ratio = r.mean_goodput_mbps(tcp::CcType::kCubic) /
+                       r.mean_goodput_mbps(tcp::CcType::kDctcp);
+  EXPECT_GT(ratio, 0.45) << "seed=" << GetParam();
+  EXPECT_LT(ratio, 2.2) << "seed=" << GetParam();
+  EXPECT_NEAR(r.mean_qdelay_ms, 20.0, 10.0) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u));
+
+TEST(Robustness, MixedRttFlowsShareUnderPi2) {
+  // Flows with different base RTTs through one PI2 queue: the usual TCP
+  // RTT bias remains (shorter RTT wins), but every flow stays alive and
+  // the queue holds its target — the AQM must not amplify the bias.
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 20e6;
+  cfg.duration = Time{seconds{60}};
+  cfg.stats_start = Time{seconds{20}};
+  cfg.aqm.type = AqmType::kPi2;
+  cfg.aqm.ecn = false;
+  TcpFlowSpec fast;
+  fast.cc = tcp::CcType::kReno;
+  fast.count = 2;
+  fast.base_rtt = from_millis(20);
+  TcpFlowSpec slow = fast;
+  slow.base_rtt = from_millis(120);
+  cfg.tcp_flows = {fast, slow};
+  const auto r = run_dumbbell(cfg);
+  ASSERT_EQ(r.flows.size(), 4u);
+  for (const auto& f : r.flows) EXPECT_GT(f.goodput_mbps, 0.3);
+  EXPECT_GT(r.flows[0].goodput_mbps, r.flows[2].goodput_mbps);  // RTT bias
+  EXPECT_NEAR(r.mean_qdelay_ms, 20.0, 10.0);
+  EXPECT_GT(r.utilization, 0.9);
+}
+
+TEST(Robustness, StaggeredVersusSimultaneousStartsConverge) {
+  auto run = [](pi2::sim::Duration stagger) {
+    DumbbellConfig cfg;
+    cfg.link_rate_bps = 10e6;
+    cfg.duration = Time{seconds{60}};
+    cfg.stats_start = Time{seconds{30}};
+    cfg.aqm.type = AqmType::kPi2;
+    cfg.aqm.ecn = false;
+    TcpFlowSpec flow;
+    flow.cc = tcp::CcType::kReno;
+    flow.count = 5;
+    flow.base_rtt = from_millis(50);
+    flow.stagger = stagger;
+    cfg.tcp_flows = {flow};
+    return run_dumbbell(cfg);
+  };
+  const auto together = run(pi2::sim::Duration{0});
+  const auto staggered = run(from_millis(200));
+  // Long-run aggregates are insensitive to the start pattern.
+  EXPECT_NEAR(together.utilization, staggered.utilization, 0.05);
+  EXPECT_NEAR(together.mean_qdelay_ms, staggered.mean_qdelay_ms, 8.0);
+}
+
+TEST(Robustness, EmptyWorkloadIsWellDefined) {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = Time{seconds{5}};
+  const auto r = run_dumbbell(cfg);  // no flows at all
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+  EXPECT_EQ(r.counters.forwarded, 0);
+  EXPECT_DOUBLE_EQ(r.mean_qdelay_ms, 0.0);
+}
+
+TEST(Robustness, SingleFlowSaturatesAloneAtTarget) {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = Time{seconds{60}};
+  cfg.stats_start = Time{seconds{20}};
+  cfg.aqm.type = AqmType::kPi2;
+  cfg.aqm.ecn = false;
+  TcpFlowSpec flow;
+  flow.cc = tcp::CcType::kReno;
+  flow.base_rtt = from_millis(50);
+  cfg.tcp_flows = {flow};
+  const auto r = run_dumbbell(cfg);
+  EXPECT_GT(r.mean_goodput_mbps(tcp::CcType::kReno), 8.5);
+  EXPECT_LT(r.p99_qdelay_ms, 60.0);
+}
+
+}  // namespace
+}  // namespace pi2::scenario

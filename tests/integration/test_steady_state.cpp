@@ -1,0 +1,129 @@
+// Property tests closing the loop between the packet simulator and the
+// paper's steady-state equations (Appendix A): run real flows through a real
+// AQM and check that the measured windows/probabilities obey the laws the
+// analysis assumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/window_laws.hpp"
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+using std::chrono::seconds;
+
+struct SteadyCase {
+  double link_mbps;
+  double rtt_ms;
+  int flows;
+};
+
+std::ostream& operator<<(std::ostream& os, const SteadyCase& c) {
+  return os << c.link_mbps << "Mbps_" << c.rtt_ms << "ms_" << c.flows << "flows";
+}
+
+RunResult run_steady(tcp::CcType cc, AqmType aqm, const SteadyCase& c,
+                     bool ecn = false) {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = c.link_mbps * 1e6;
+  cfg.duration = Time{seconds{60}};
+  cfg.stats_start = Time{seconds{20}};
+  cfg.aqm.type = aqm;
+  cfg.aqm.ecn = ecn;
+  TcpFlowSpec flow;
+  flow.cc = cc;
+  flow.count = c.flows;
+  flow.base_rtt = from_millis(c.rtt_ms);
+  cfg.tcp_flows = {flow};
+  return run_dumbbell(cfg);
+}
+
+/// Mean window per flow (in segments) implied by the measured goodput.
+double measured_window(const RunResult& r, tcp::CcType cc, double rtt_ms,
+                       double qdelay_ms) {
+  const double per_flow_mbps = r.mean_goodput_mbps(cc);
+  const double rtt_s = (rtt_ms + qdelay_ms) * 1e-3;
+  return per_flow_mbps * 1e6 / 8.0 * rtt_s / net::kDefaultMss;
+}
+
+// --- Reno over PI2: W = 1.22 / sqrt(p) --------------------------------------
+
+class RenoSteadyState : public ::testing::TestWithParam<SteadyCase> {};
+
+TEST_P(RenoSteadyState, MatchesEquation5WithinTolerance) {
+  const SteadyCase c = GetParam();
+  const auto r = run_steady(tcp::CcType::kReno, AqmType::kPi2, c);
+  const double p = r.observed_signal_rate();
+  ASSERT_GT(p, 1e-5);
+  const double w_measured = measured_window(r, tcp::CcType::kReno, c.rtt_ms,
+                                            r.mean_qdelay_ms);
+  const double w_law = control::reno_window(p);
+  // Packet-level effects (timeouts, slow start transients) put the
+  // simulated window within ~35% of the idealized law.
+  EXPECT_NEAR(w_measured / w_law, 1.0, 0.35) << "p=" << p << " W=" << w_measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RenoSteadyState,
+                         ::testing::Values(SteadyCase{10, 50, 2},
+                                           SteadyCase{10, 100, 5},
+                                           SteadyCase{40, 20, 4},
+                                           SteadyCase{20, 50, 10}));
+
+// --- DCTCP over linear PI: W = 2 / p' ---------------------------------------
+
+class DctcpSteadyState : public ::testing::TestWithParam<SteadyCase> {};
+
+TEST_P(DctcpSteadyState, MatchesEquation11WithinTolerance) {
+  const SteadyCase c = GetParam();
+  const auto r = run_steady(tcp::CcType::kDctcp, AqmType::kPi, c, /*ecn=*/true);
+  const double p = r.observed_signal_rate();
+  ASSERT_GT(p, 1e-4);
+  const double w_measured = measured_window(r, tcp::CcType::kDctcp, c.rtt_ms,
+                                            r.mean_qdelay_ms);
+  const double w_law = control::dctcp_window_probabilistic(p);
+  EXPECT_NEAR(w_measured / w_law, 1.0, 0.35) << "p=" << p << " W=" << w_measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DctcpSteadyState,
+                         ::testing::Values(SteadyCase{10, 20, 2},
+                                           SteadyCase{40, 10, 2},
+                                           SteadyCase{40, 20, 5}));
+
+// --- The square really is the compensation ---------------------------------
+
+TEST(SquareCompensation, RenoSignalRateEqualsSquaredInternalProbability) {
+  // With Reno over PI2, the observed drop frequency must track E[(p')^2].
+  // For Pi2Aqm the sampled classic probability *is* (p')^2, so its mean is
+  // exactly the expected signal rate (p' fluctuates, so comparing against
+  // (E p')^2 would be biased by the variance).
+  SteadyCase c{10, 100, 5};
+  const auto r = run_steady(tcp::CcType::kReno, AqmType::kPi2, c);
+  const double expected = r.classic_prob_samples.mean();  // E[(p')^2]
+  const double observed = r.observed_signal_rate();
+  ASSERT_GT(expected, 0.0);
+  EXPECT_NEAR(observed / expected, 1.0, 0.3);
+  // And the squared signal is always below the linear pseudo-probability.
+  EXPECT_LT(observed, r.scalable_prob_samples.mean());
+}
+
+TEST(SquareCompensation, CubicFallsBackToCRenoAtTheseScales) {
+  // At 10-40 Mb/s and small windows, equation (8) says Cubic operates in its
+  // Reno mode; its measured window must match the CReno law better than the
+  // pure-cubic law.
+  SteadyCase c{10, 50, 2};
+  const auto r = run_steady(tcp::CcType::kCubic, AqmType::kPi2, c);
+  const double p = r.observed_signal_rate();
+  ASSERT_GT(p, 1e-5);
+  const double w = measured_window(r, tcp::CcType::kCubic, c.rtt_ms,
+                                   r.mean_qdelay_ms);
+  EXPECT_TRUE(control::cubic_in_creno_region(w, (c.rtt_ms + r.mean_qdelay_ms) * 1e-3));
+  const double err_creno = std::abs(std::log(w / control::creno_window(p)));
+  EXPECT_LT(err_creno, 0.45) << "W=" << w << " p=" << p;
+}
+
+}  // namespace
+}  // namespace pi2::scenario

@@ -1,0 +1,38 @@
+#include "net/ecn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pi2::net {
+namespace {
+
+TEST(Ecn, CapabilityFollowsCodepoint) {
+  EXPECT_FALSE(ecn_capable(Ecn::kNotEct));
+  EXPECT_TRUE(ecn_capable(Ecn::kEct0));
+  EXPECT_TRUE(ecn_capable(Ecn::kEct1));
+  EXPECT_TRUE(ecn_capable(Ecn::kCe));
+}
+
+TEST(Ecn, ClassifierMatchesFigure9) {
+  // ECT(1) and CE take the Scalable path; ECT(0) and Not-ECT the Classic.
+  EXPECT_TRUE(is_scalable(Ecn::kEct1));
+  EXPECT_TRUE(is_scalable(Ecn::kCe));
+  EXPECT_FALSE(is_scalable(Ecn::kEct0));
+  EXPECT_FALSE(is_scalable(Ecn::kNotEct));
+}
+
+TEST(Ecn, WireValuesMatchRfc3168) {
+  EXPECT_EQ(static_cast<unsigned>(Ecn::kNotEct), 0b00u);
+  EXPECT_EQ(static_cast<unsigned>(Ecn::kEct1), 0b01u);
+  EXPECT_EQ(static_cast<unsigned>(Ecn::kEct0), 0b10u);
+  EXPECT_EQ(static_cast<unsigned>(Ecn::kCe), 0b11u);
+}
+
+TEST(Ecn, NamesAreDistinct) {
+  EXPECT_EQ(to_string(Ecn::kNotEct), "Not-ECT");
+  EXPECT_EQ(to_string(Ecn::kEct0), "ECT(0)");
+  EXPECT_EQ(to_string(Ecn::kEct1), "ECT(1)");
+  EXPECT_EQ(to_string(Ecn::kCe), "CE");
+}
+
+}  // namespace
+}  // namespace pi2::net

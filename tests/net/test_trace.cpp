@@ -1,0 +1,120 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace pi2::net {
+namespace {
+
+using pi2::sim::from_seconds;
+using pi2::sim::Simulator;
+
+Packet data_packet(std::int32_t flow, std::int64_t seq) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  return p;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : link_(sim_, config(), std::make_unique<FifoTailDrop>()) {
+    trace_.attach(link_);
+  }
+  static BottleneckLink::Config config() {
+    BottleneckLink::Config c;
+    c.rate_bps = 1.2e6;  // 10 ms per packet
+    c.buffer_packets = 4;
+    return c;
+  }
+
+  Simulator sim_{1};
+  BottleneckLink link_;
+  PacketTrace trace_;
+};
+
+TEST_F(TraceTest, RecordsEnqueueAndDeparturePairs) {
+  link_.send(data_packet(0, 0));
+  link_.send(data_packet(0, 1));
+  sim_.run();
+  EXPECT_EQ(trace_.count(TraceEventType::kEnqueue), 2);
+  EXPECT_EQ(trace_.count(TraceEventType::kDeparture), 2);
+}
+
+TEST_F(TraceTest, RecordsTailDrops) {
+  for (int i = 0; i < 10; ++i) link_.send(data_packet(0, i));
+  sim_.run();
+  EXPECT_EQ(trace_.count(TraceEventType::kDropTail), 5);  // 1 tx + 4 buffered
+}
+
+TEST_F(TraceTest, DepartureCarriesSojourn) {
+  link_.send(data_packet(0, 0));
+  link_.send(data_packet(0, 1));
+  sim_.run();
+  const auto records = trace_.for_flow(0);
+  double max_sojourn_ms = 0;
+  for (const auto& r : records) {
+    if (r.type == TraceEventType::kDeparture) {
+      max_sojourn_ms = std::max(max_sojourn_ms, pi2::sim::to_millis(r.sojourn));
+    }
+  }
+  EXPECT_NEAR(max_sojourn_ms, 20.0, 0.1);  // 10 ms wait + 10 ms serialization
+}
+
+TEST_F(TraceTest, PerFlowFilter) {
+  link_.send(data_packet(0, 0));
+  link_.send(data_packet(1, 0));
+  sim_.run();
+  EXPECT_EQ(trace_.for_flow(0).size(), 2u);  // enqueue + departure
+  EXPECT_EQ(trace_.for_flow(1).size(), 2u);
+  EXPECT_EQ(trace_.count(TraceEventType::kDeparture, 1), 1);
+}
+
+TEST_F(TraceTest, CapacityBoundsMemory) {
+  PacketTrace small{4};
+  small.attach(link_);
+  for (int i = 0; i < 10; ++i) link_.send(data_packet(0, i));
+  sim_.run();
+  EXPECT_LE(small.records().size(), 4u);
+  EXPECT_GT(small.dropped_records(), 0u);
+}
+
+TEST_F(TraceTest, CoexistsWithOtherProbes) {
+  int departures_seen = 0;
+  link_.add_departure_probe(
+      [&](const Packet&, pi2::sim::Duration) { ++departures_seen; });
+  link_.send(data_packet(0, 0));
+  sim_.run();
+  EXPECT_EQ(departures_seen, 1);
+  EXPECT_EQ(trace_.count(TraceEventType::kDeparture), 1);
+}
+
+TEST_F(TraceTest, CsvExportHasHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "pi2_trace_test.csv";
+  link_.send(data_packet(0, 0));
+  sim_.run();
+  ASSERT_TRUE(trace_.write_csv(path));
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t_s,event,flow,seq,size,ecn,sojourn_ms");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2);  // enqueue + departure
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ClearResets) {
+  link_.send(data_packet(0, 0));
+  sim_.run();
+  trace_.clear();
+  EXPECT_TRUE(trace_.records().empty());
+}
+
+}  // namespace
+}  // namespace pi2::net

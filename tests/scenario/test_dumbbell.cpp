@@ -1,0 +1,163 @@
+#include "scenario/dumbbell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "core/pi2.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+using std::chrono::seconds;
+
+DumbbellConfig base_config() {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = Time{seconds{30}};
+  cfg.stats_start = Time{seconds{10}};
+  TcpFlowSpec flow;
+  flow.cc = tcp::CcType::kReno;
+  flow.count = 2;
+  flow.base_rtt = from_millis(50);
+  cfg.tcp_flows = {flow};
+  cfg.aqm.type = AqmType::kPi2;
+  cfg.aqm.ecn = false;
+  return cfg;
+}
+
+TEST(Dumbbell, AchievesHighUtilization) {
+  const auto r = run_dumbbell(base_config());
+  EXPECT_GT(r.utilization, 0.85);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+TEST(Dumbbell, GoodputSumsToNearLinkRate) {
+  const auto r = run_dumbbell(base_config());
+  double total = 0.0;
+  for (const auto& f : r.flows) total += f.goodput_mbps;
+  EXPECT_GT(total, 8.5);
+  EXPECT_LT(total, 10.1);
+}
+
+TEST(Dumbbell, QueueDelayNearAqmTarget) {
+  const auto r = run_dumbbell(base_config());
+  EXPECT_GT(r.mean_qdelay_ms, 5.0);
+  EXPECT_LT(r.mean_qdelay_ms, 40.0);
+}
+
+TEST(Dumbbell, DeterministicForSameSeed) {
+  const auto a = run_dumbbell(base_config());
+  const auto b = run_dumbbell(base_config());
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].goodput_mbps, b.flows[i].goodput_mbps);
+  }
+  EXPECT_DOUBLE_EQ(a.mean_qdelay_ms, b.mean_qdelay_ms);
+  EXPECT_EQ(a.counters.aqm_dropped, b.counters.aqm_dropped);
+}
+
+TEST(Dumbbell, DifferentSeedsDiffer) {
+  auto cfg = base_config();
+  const auto a = run_dumbbell(cfg);
+  cfg.seed = 99;
+  const auto b = run_dumbbell(cfg);
+  EXPECT_NE(a.counters.aqm_dropped, b.counters.aqm_dropped);
+}
+
+TEST(Dumbbell, FlowChurnStartsAndStops) {
+  auto cfg = base_config();
+  TcpFlowSpec late;
+  late.cc = tcp::CcType::kReno;
+  late.count = 3;
+  late.start = Time{seconds{10}};
+  late.stop = Time{seconds{20}};
+  late.base_rtt = from_millis(50);
+  cfg.tcp_flows.push_back(late);
+  const auto r = run_dumbbell(cfg);
+  ASSERT_EQ(r.flows.size(), 5u);
+  // The late flows got some but less throughput (only active 1/3 of the
+  // stats window).
+  EXPECT_GT(r.flows[2].goodput_mbps, 0.0);
+  EXPECT_LT(r.flows[2].goodput_mbps, r.flows[0].goodput_mbps);
+}
+
+TEST(Dumbbell, UdpFlowsDeliverAtTheirRate) {
+  auto cfg = base_config();
+  UdpFlowSpec udp;
+  udp.rate_bps = 2e6;
+  udp.count = 1;
+  udp.base_rtt = from_millis(50);
+  cfg.udp_flows = {udp};
+  const auto r = run_dumbbell(cfg);
+  // UDP is unresponsive: it should get close to its sending rate while the
+  // TCP flows absorb the drops.
+  EXPECT_NEAR(r.mean_udp_goodput_mbps(), 2.0, 0.4);
+}
+
+TEST(Dumbbell, RateChangeTakesEffect) {
+  auto cfg = base_config();
+  cfg.rate_changes = {{Time{seconds{15}}, 2e6}};
+  const auto r = run_dumbbell(cfg);
+  // Total delivered rate after the change is bounded by the new rate.
+  const double late_rate =
+      r.total_throughput_series.mean_over(Time{seconds{20}}, Time{seconds{30}});
+  EXPECT_LT(late_rate, 2.6);
+}
+
+TEST(Dumbbell, StatsWindowExcludesWarmup) {
+  // An absurd 25 s warmup in a 30 s run leaves a 5 s stats window; per-packet
+  // samples must only come from it.
+  auto cfg = base_config();
+  cfg.stats_start = Time{seconds{25}};
+  const auto r = run_dumbbell(cfg);
+  // 5 s at ~833 pkt/s max.
+  EXPECT_LT(r.qdelay_ms_packets.count(), 6000);
+  EXPECT_GT(r.qdelay_ms_packets.count(), 100);
+}
+
+TEST(Dumbbell, ObservedSignalRateConsistentWithCounters) {
+  const auto r = run_dumbbell(base_config());
+  const double rate = r.observed_signal_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  EXPECT_GT(r.counters.aqm_dropped, 0);
+}
+
+TEST(AqmFactory, MakesEveryConfiguredType) {
+  for (auto type : {AqmType::kFifo, AqmType::kPie, AqmType::kBarePie, AqmType::kPi,
+                    AqmType::kPi2, AqmType::kCoupledPi2, AqmType::kRed,
+                    AqmType::kCodel}) {
+    AqmConfig cfg;
+    cfg.type = type;
+    EXPECT_NE(cfg.make(), nullptr) << to_string(type);
+  }
+}
+
+TEST(AqmFactory, GainOverridesPropagate) {
+  AqmConfig cfg;
+  cfg.type = AqmType::kPi2;
+  cfg.alpha_hz = 0.9;
+  cfg.beta_hz = 9.0;
+  auto aqm = cfg.make();
+  auto* pi2_aqm = dynamic_cast<core::Pi2Aqm*>(aqm.get());
+  ASSERT_NE(pi2_aqm, nullptr);
+  EXPECT_DOUBLE_EQ(pi2_aqm->params().alpha_hz, 0.9);
+  EXPECT_DOUBLE_EQ(pi2_aqm->params().beta_hz, 9.0);
+}
+
+TEST(AqmFactory, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (auto type : {AqmType::kFifo, AqmType::kPie, AqmType::kBarePie, AqmType::kPi,
+                    AqmType::kPi2, AqmType::kCoupledPi2, AqmType::kRed,
+                    AqmType::kCodel}) {
+    names.insert(to_string(type));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace pi2::scenario

@@ -1,0 +1,112 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pi2::sim {
+namespace {
+
+TEST(Scheduler, EmptyInitially) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.next_time(), kTimeInfinity);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time{30}, [&] { order.push_back(3); });
+  s.schedule_at(Time{10}, [&] { order.push_back(1); });
+  s.schedule_at(Time{20}, [&] { order.push_back(2); });
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(Time{100}, [&order, i] { order.push_back(i); });
+  }
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunNextReturnsEventTime) {
+  Scheduler s;
+  s.schedule_at(Time{55}, [] {});
+  EXPECT_EQ(s.run_next(), Time{55});
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle h = s.schedule_at(Time{10}, [&] { ran = true; });
+  h.cancel();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelIsIdempotent) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(Time{10}, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, PendingReflectsLifecycle) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(Time{10}, [] {});
+  EXPECT_TRUE(h.pending());
+  s.run_next();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, DefaultHandleIsNotPending) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, must not crash
+}
+
+TEST(Scheduler, CancelledEventDoesNotBlockNextTime) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(Time{10}, [] {});
+  s.schedule_at(Time{20}, [] {});
+  h.cancel();
+  EXPECT_EQ(s.next_time(), Time{20});
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time{10}, [&] {
+    order.push_back(1);
+    s.schedule_at(Time{15}, [&] { order.push_back(2); });
+  });
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, CountsExecutedEvents) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(Time{i}, [] {});
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  std::vector<std::int64_t> times;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t t = (i * 7919) % 1000;
+    s.schedule_at(Time{t}, [&times, t] { times.push_back(t); });
+  }
+  while (!s.empty()) s.run_next();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace pi2::sim

@@ -1,0 +1,108 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pi2::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), kTimeZero);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  Time seen{};
+  s.at(Time{100}, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time{100});
+  EXPECT_EQ(s.now(), Time{100});
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.at(Time{100}, [&] { ++count; });
+  s.at(Time{200}, [&] { ++count; });
+  s.run_until(Time{150});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), Time{150});
+  s.run_until(Time{250});
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundaryEvents) {
+  Simulator s;
+  bool ran = false;
+  s.at(Time{150}, [&] { ran = true; });
+  s.run_until(Time{150});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator s;
+  std::vector<std::int64_t> at;
+  s.at(Time{50}, [&] {
+    s.after(Duration{25}, [&] { at.push_back(s.now().count()); });
+  });
+  s.run();
+  EXPECT_EQ(at, (std::vector<std::int64_t>{75}));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  s.at(Time{100}, [&] {
+    // Scheduling in the past must execute "immediately" (at now), not warp
+    // the clock backwards.
+    s.at(Time{10}, [&] { EXPECT_EQ(s.now(), Time{100}); });
+  });
+  s.run();
+  EXPECT_EQ(s.now(), Time{100});
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator s;
+  s.at(Time{10}, [&] {
+    s.after(Duration{-50}, [&] { EXPECT_EQ(s.now(), Time{10}); });
+  });
+  s.run();
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator s;
+  s.run_until(Time{12345});
+  EXPECT_EQ(s.now(), Time{12345});
+}
+
+TEST(Simulator, EventCountTracksExecution) {
+  Simulator s;
+  for (int i = 1; i <= 5; ++i) s.at(Time{i}, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, RngIsSeededFromConstructor) {
+  Simulator a{5};
+  Simulator b{5};
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  Simulator c{6};
+  Simulator d{7};
+  EXPECT_NE(c.rng().next_u64(), d.rng().next_u64());
+}
+
+TEST(Simulator, PeriodicSelfReschedulingPattern) {
+  Simulator s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.after(Duration{10}, tick);
+  };
+  s.after(Duration{10}, tick);
+  s.run_until(Time{100});
+  EXPECT_EQ(ticks, 10);
+}
+
+}  // namespace
+}  // namespace pi2::sim

@@ -1,0 +1,40 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pi2::sim {
+namespace {
+
+TEST(Time, FromSecondsRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.0)), 0.0);
+  EXPECT_NEAR(to_seconds(from_seconds(1e-9)), 1e-9, 1e-18);
+}
+
+TEST(Time, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(from_seconds(1e-9 * 0.4).count(), 0);
+  EXPECT_EQ(from_seconds(1e-9 * 0.6).count(), 1);
+}
+
+TEST(Time, NegativeDurations) {
+  EXPECT_EQ(from_seconds(-1.0).count(), -1000000000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(-2.5)), -2.5);
+}
+
+TEST(Time, MillisecondHelpers) {
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(20.0)), 20.0);
+  EXPECT_EQ(from_millis(1.0), std::chrono::milliseconds{1});
+}
+
+TEST(Time, InfinityIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(kTimeInfinity, from_seconds(1e9));
+  EXPECT_GT(kTimeInfinity, kTimeZero);
+}
+
+TEST(Time, ChronoInteroperability) {
+  const Time t = std::chrono::seconds{2} + std::chrono::milliseconds{500};
+  EXPECT_DOUBLE_EQ(to_seconds(t), 2.5);
+}
+
+}  // namespace
+}  // namespace pi2::sim

@@ -1,0 +1,80 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pi2::stats {
+namespace {
+
+using pi2::sim::from_seconds;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "pi2_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndAlignedColumns) {
+  TimeSeries a;
+  TimeSeries b;
+  a.add(from_seconds(0.5), 1.0);
+  a.add(from_seconds(1.5), 3.0);
+  b.add(from_seconds(0.5), 10.0);
+  ASSERT_TRUE(write_series_csv(path_, {"a", "b"}, {&a, &b}, from_seconds(1.0),
+                               pi2::sim::kTimeZero, from_seconds(2.0)));
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("t_s,a,b"), std::string::npos);
+  EXPECT_NE(text.find("0.500000,1,10"), std::string::npos);
+  EXPECT_NE(text.find("1.500000,3,10"), std::string::npos);  // b held
+}
+
+TEST_F(CsvTest, RejectsMismatchedNames) {
+  TimeSeries a;
+  EXPECT_FALSE(write_series_csv(path_, {"a", "b"}, {&a}, from_seconds(1.0),
+                                pi2::sim::kTimeZero, from_seconds(1.0)));
+}
+
+TEST_F(CsvTest, RejectsUnwritablePath) {
+  TimeSeries a;
+  a.add(from_seconds(0.5), 1.0);
+  EXPECT_FALSE(write_series_csv("/nonexistent-dir/x.csv", {"a"}, {&a},
+                                from_seconds(1.0), pi2::sim::kTimeZero,
+                                from_seconds(1.0)));
+}
+
+TEST_F(CsvTest, CdfCsvIsMonotone) {
+  PercentileSampler s;
+  for (int i = 0; i < 500; ++i) s.add((i * 17) % 100);
+  ASSERT_TRUE(write_cdf_csv(path_, s, 50));
+  std::ifstream in{path_};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "value,fraction");
+  double prev_value = -1e18;
+  double prev_frac = -1.0;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    double value = 0.0;
+    double frac = 0.0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "%lf,%lf", &value, &frac), 2);
+    EXPECT_GE(value, prev_value);
+    EXPECT_GE(frac, prev_frac);
+    prev_value = value;
+    prev_frac = frac;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 50);
+}
+
+}  // namespace
+}  // namespace pi2::stats

@@ -1,0 +1,79 @@
+#include "stats/meters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pi2::stats {
+namespace {
+
+using pi2::sim::from_seconds;
+using pi2::sim::Time;
+
+Time at_s(double s) { return from_seconds(s); }
+
+TEST(RateMeter, ConvertsBytesPerWindowToMbps) {
+  RateMeter m{std::chrono::seconds{1}};
+  // 1.25 MB in one second = 10 Mb/s.
+  m.add_bytes(at_s(0.2), 1250000 / 2);
+  m.add_bytes(at_s(0.7), 1250000 / 2);
+  m.flush(at_s(2.0));
+  ASSERT_GE(m.series().size(), 1u);
+  EXPECT_NEAR(m.series().points()[0].value, 10.0, 1e-9);
+}
+
+TEST(RateMeter, EmptyWindowsProduceZeroSamples) {
+  RateMeter m{std::chrono::seconds{1}};
+  m.add_bytes(at_s(0.5), 1000);
+  m.flush(at_s(3.5));
+  ASSERT_EQ(m.series().size(), 3u);
+  EXPECT_GT(m.series().points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(m.series().points()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(m.series().points()[2].value, 0.0);
+}
+
+TEST(RateMeter, TotalBytesAccumulate) {
+  RateMeter m;
+  m.add_bytes(at_s(0.1), 100);
+  m.add_bytes(at_s(5.0), 200);
+  EXPECT_EQ(m.total_bytes(), 300);
+}
+
+TEST(UtilizationMeter, FullyBusyWindowIsOne) {
+  UtilizationMeter m{std::chrono::seconds{1}};
+  m.add_busy(at_s(0.0), at_s(1.0));
+  m.flush(at_s(2.0));
+  ASSERT_GE(m.series().size(), 1u);
+  EXPECT_NEAR(m.series().points()[0].value, 1.0, 1e-9);
+}
+
+TEST(UtilizationMeter, HalfBusyWindowIsHalf) {
+  UtilizationMeter m{std::chrono::seconds{1}};
+  m.add_busy(at_s(0.25), at_s(0.75));
+  m.flush(at_s(2.0));
+  EXPECT_NEAR(m.series().points()[0].value, 0.5, 1e-9);
+}
+
+TEST(UtilizationMeter, BusyIntervalSpanningWindows) {
+  UtilizationMeter m{std::chrono::seconds{1}};
+  m.add_busy(at_s(0.5), at_s(2.5));
+  m.flush(at_s(3.0));
+  ASSERT_GE(m.series().size(), 2u);
+  EXPECT_NEAR(m.series().points()[0].value, 0.5, 1e-9);
+  EXPECT_NEAR(m.series().points()[1].value, 1.0, 1e-9);
+}
+
+TEST(UtilizationMeter, TotalBusySecondsAccumulate) {
+  UtilizationMeter m;
+  m.add_busy(at_s(0), at_s(1));
+  m.add_busy(at_s(2), at_s(2.5));
+  EXPECT_NEAR(m.total_busy_seconds(), 1.5, 1e-9);
+}
+
+TEST(UtilizationMeter, IgnoresEmptyIntervals) {
+  UtilizationMeter m;
+  m.add_busy(at_s(1), at_s(1));
+  m.add_busy(at_s(2), at_s(1));  // reversed
+  EXPECT_DOUBLE_EQ(m.total_busy_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pi2::stats

@@ -1,0 +1,108 @@
+#include "stats/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pi2::stats {
+namespace {
+
+using pi2::sim::from_seconds;
+using pi2::sim::Time;
+
+Time at_s(double s) { return from_seconds(s); }
+
+TEST(TimeSeries, StartsEmpty) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+}
+
+TEST(TimeSeries, StoresPointsInOrder) {
+  TimeSeries ts;
+  ts.add(at_s(1), 10.0);
+  ts.add(at_s(2), 20.0);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(ts.points()[1].value, 20.0);
+}
+
+TEST(TimeSeries, BinnedMeanAveragesWithinBins) {
+  TimeSeries ts;
+  ts.add(at_s(0.1), 10.0);
+  ts.add(at_s(0.2), 30.0);
+  ts.add(at_s(1.5), 50.0);
+  const auto bins = ts.binned_mean(from_seconds(1.0), at_s(0), at_s(2));
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 20.0);
+  EXPECT_DOUBLE_EQ(bins[1].second, 50.0);
+  EXPECT_DOUBLE_EQ(bins[0].first, 0.5);  // bin centre
+  EXPECT_DOUBLE_EQ(bins[1].first, 1.5);
+}
+
+TEST(TimeSeries, BinnedMeanHoldsLastValueThroughEmptyBins) {
+  TimeSeries ts;
+  ts.add(at_s(0.5), 42.0);
+  const auto bins = ts.binned_mean(from_seconds(1.0), at_s(0), at_s(3));
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 42.0);
+  EXPECT_DOUBLE_EQ(bins[1].second, 42.0);  // sample-and-hold
+  EXPECT_DOUBLE_EQ(bins[2].second, 42.0);
+}
+
+TEST(TimeSeries, BinnedMaxPicksPeaks) {
+  TimeSeries ts;
+  ts.add(at_s(0.1), 5.0);
+  ts.add(at_s(0.9), 80.0);
+  ts.add(at_s(1.1), 7.0);
+  const auto bins = ts.binned_max(from_seconds(1.0), at_s(0), at_s(2));
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 80.0);
+  EXPECT_DOUBLE_EQ(bins[1].second, 7.0);
+}
+
+TEST(TimeSeries, BinnedRejectsDegenerateArgs) {
+  TimeSeries ts;
+  ts.add(at_s(1), 1.0);
+  EXPECT_TRUE(ts.binned_mean(from_seconds(0), at_s(0), at_s(2)).empty());
+  EXPECT_TRUE(ts.binned_mean(from_seconds(1), at_s(2), at_s(2)).empty());
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts;
+  ts.add(at_s(1), 10.0);
+  ts.add(at_s(2), 20.0);
+  ts.add(at_s(3), 90.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(at_s(0.5), at_s(2.5)), 15.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(at_s(5), at_s(6)), 0.0);
+}
+
+TEST(TimeSeries, MaxOverWindow) {
+  TimeSeries ts;
+  ts.add(at_s(1), 10.0);
+  ts.add(at_s(2), 90.0);
+  ts.add(at_s(3), 20.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(at_s(0), at_s(4)), 90.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(at_s(2.5), at_s(4)), 20.0);
+}
+
+TEST(TimeWeightedMean, ConstantSignal) {
+  TimeWeightedMean m;
+  m.update(at_s(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.mean_until(at_s(10)), 5.0);
+}
+
+TEST(TimeWeightedMean, StepSignalWeightsByDuration) {
+  TimeWeightedMean m;
+  m.update(at_s(0), 0.0);
+  m.update(at_s(9), 100.0);  // 0 for 9s, then 100 for 1s
+  EXPECT_DOUBLE_EQ(m.mean_until(at_s(10)), 10.0);
+}
+
+TEST(TimeWeightedMean, BeforeFirstSampleIsZero) {
+  TimeWeightedMean m;
+  EXPECT_DOUBLE_EQ(m.mean_until(at_s(1)), 0.0);
+  m.update(at_s(5), 7.0);
+  EXPECT_DOUBLE_EQ(m.mean_until(at_s(5)), 0.0);
+}
+
+}  // namespace
+}  // namespace pi2::stats

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tcp/congestion_control.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/reno.hpp"
+
+namespace pi2::tcp {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+
+constexpr pi2::sim::Duration kRtt = std::chrono::milliseconds{100};
+
+Time at_ms(double ms) { return from_millis(ms); }
+
+// ---------------------------------------------------------------- Reno ----
+
+TEST(Reno, StartsAtInitialWindowInSlowStart) {
+  Reno cc;
+  EXPECT_DOUBLE_EQ(cc.cwnd(), kInitialWindow);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Reno, SlowStartDoublesPerWindow) {
+  Reno cc;
+  // ACK a full window's worth one segment at a time.
+  const auto w = static_cast<int>(cc.cwnd());
+  for (int i = 0; i < w; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  EXPECT_NEAR(cc.cwnd(), 2.0 * kInitialWindow, 1e-9);
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneSegmentPerRtt) {
+  Reno cc;
+  cc.on_congestion_event(at_ms(0));  // leave slow start
+  const double w0 = cc.cwnd();
+  const auto w = static_cast<int>(w0);
+  for (int i = 0; i < w; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  EXPECT_NEAR(cc.cwnd(), w0 + 1.0, 0.15);
+}
+
+TEST(Reno, HalvesOnCongestion) {
+  Reno cc;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_congestion_event(at_ms(200));
+  EXPECT_NEAR(cc.cwnd(), before * 0.5, 1e-9);
+}
+
+TEST(Reno, CRenoUsesBeta07) {
+  Reno cc{0.7};
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_congestion_event(at_ms(200));
+  EXPECT_NEAR(cc.cwnd(), before * 0.7, 1e-9);
+}
+
+TEST(Reno, WindowNeverBelowMinimum) {
+  Reno cc;
+  for (int i = 0; i < 20; ++i) cc.on_congestion_event(at_ms(i));
+  EXPECT_GE(cc.cwnd(), kMinWindow);
+}
+
+TEST(Reno, TimeoutCollapsesToOneSegment) {
+  Reno cc;
+  for (int i = 0; i < 50; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  cc.on_timeout(at_ms(100));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Reno, RecoverySuppressesGrowth) {
+  Reno cc;
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  cc.on_ack(5, kRtt, at_ms(1), /*in_recovery=*/true);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0);
+}
+
+TEST(Reno, NotEcnCapable) {
+  Reno cc;
+  EXPECT_EQ(cc.ect(), net::Ecn::kNotEct);
+  EXPECT_FALSE(cc.is_scalable());
+}
+
+// --------------------------------------------------------------- Cubic ----
+
+TEST(Cubic, BetaIs07OnLoss) {
+  Cubic cc;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_congestion_event(at_ms(200));
+  EXPECT_NEAR(cc.cwnd(), before * 0.7, 1e-9);
+}
+
+TEST(Cubic, GrowsTowardsWmaxAfterReduction) {
+  Cubic::Params params;
+  params.hystart = false;
+  Cubic cc{params};
+  // Build a window then drop.
+  for (int i = 0; i < 200; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  cc.on_congestion_event(at_ms(300));
+  const double after_drop = cc.cwnd();
+  for (int i = 0; i < 2000; ++i) cc.on_ack(1, kRtt, at_ms(301 + i * 5), false);
+  EXPECT_GT(cc.cwnd(), after_drop);
+}
+
+TEST(Cubic, ConcaveRegionSlowsNearWmax) {
+  Cubic::Params params;
+  params.hystart = false;
+  params.tcp_friendliness = false;
+  Cubic cc{params};
+  for (int i = 0; i < 300; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  cc.on_congestion_event(at_ms(1000));
+  // Track growth rate over time: it should decelerate approaching w_max.
+  double t_ms = 1001.0;
+  double prev = cc.cwnd();
+  double first_delta = -1.0;
+  for (int rtt = 0; rtt < 4; ++rtt) {
+    for (int i = 0; i < static_cast<int>(cc.cwnd()); ++i) {
+      cc.on_ack(1, kRtt, at_ms(t_ms), false);
+      t_ms += 1.0;
+    }
+    const double delta = cc.cwnd() - prev;
+    if (first_delta < 0) first_delta = delta;
+    prev = cc.cwnd();
+  }
+  EXPECT_GT(first_delta, 0.0);
+}
+
+TEST(Cubic, FastConvergenceLowersWmaxOnBackToBackLosses) {
+  Cubic::Params p;
+  p.hystart = false;
+  Cubic cc{p};
+  for (int i = 0; i < 300; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double w1 = cc.cwnd();
+  cc.on_congestion_event(at_ms(400));
+  cc.on_congestion_event(at_ms(500));  // second loss below previous w_max
+  // With fast convergence, the ceiling is below w1 * 0.7.
+  EXPECT_LT(cc.cwnd(), w1 * 0.7);
+}
+
+TEST(Cubic, HystartExitsSlowStartOnDelayRise) {
+  Cubic cc;  // hystart on by default
+  // Feed ACKs with rising RTT: baseline 100 ms, then 150 ms (> +1/8).
+  for (int i = 0; i < 5; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  EXPECT_TRUE(cc.in_slow_start());
+  for (int i = 0; i < 5; ++i) {
+    cc.on_ack(1, std::chrono::milliseconds{150}, at_ms(10 + i), false);
+  }
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(Cubic, WithoutHystartSlowStartContinuesDespiteDelay) {
+  Cubic::Params p;
+  p.hystart = false;
+  Cubic cc{p};
+  for (int i = 0; i < 5; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  for (int i = 0; i < 5; ++i) {
+    cc.on_ack(1, std::chrono::milliseconds{150}, at_ms(10 + i), false);
+  }
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Cubic, GrowthBoundedPerAck) {
+  Cubic::Params p;
+  p.hystart = false;
+  Cubic cc{p};
+  cc.on_congestion_event(at_ms(0));
+  // Even with a huge cumulative ACK and stale epoch, growth per call is
+  // bounded by acked/2 (the cnt >= 2 rule).
+  const double before = cc.cwnd();
+  cc.on_ack(1000, kRtt, at_ms(60000), false);
+  EXPECT_LE(cc.cwnd() - before, 500.0 + 1e-9);
+}
+
+TEST(Cubic, TimeoutEntersSlowStartAtOne) {
+  Cubic cc;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  cc.on_timeout(at_ms(200));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+TEST(EcnCubic, UsesEct0) {
+  EcnCubic cc;
+  EXPECT_EQ(cc.ect(), net::Ecn::kEct0);
+  EXPECT_FALSE(cc.is_scalable());
+  EXPECT_EQ(cc.name(), "ecn-cubic");
+}
+
+// --------------------------------------------------------------- DCTCP ----
+
+TEST(Dctcp, UsesEct1AsScalableIdentifier) {
+  Dctcp cc;
+  EXPECT_EQ(cc.ect(), net::Ecn::kEct1);
+  EXPECT_TRUE(cc.is_scalable());
+}
+
+TEST(Dctcp, AlphaConvergesToMarkingFraction) {
+  Dctcp cc;
+  // Feed a long ACK stream at a constant 25% marking fraction (the mark
+  // pattern must run *across* observation windows, not reset per window).
+  std::int64_t k = 0;
+  for (int w = 0; w < 200; ++w) {
+    const auto win = static_cast<int>(cc.cwnd());
+    for (int i = 0; i < win; ++i, ++k) {
+      cc.on_ecn_sample(1, k % 4 == 0, at_ms(static_cast<double>(k)));
+      cc.on_ack(1, kRtt, at_ms(static_cast<double>(k)), false);
+    }
+  }
+  EXPECT_NEAR(cc.alpha(), 0.25, 0.08);
+}
+
+TEST(Dctcp, NoMarksMeansNoReduction) {
+  Dctcp cc;
+  cc.on_congestion_event(at_ms(0));  // exit slow start
+  const double w0 = cc.cwnd();
+  for (int i = 0; i < 200; ++i) {
+    cc.on_ecn_sample(1, false, at_ms(i));
+    cc.on_ack(1, kRtt, at_ms(i), false);
+  }
+  EXPECT_GE(cc.cwnd(), w0);  // growing, never reduced
+}
+
+TEST(Dctcp, ReductionProportionalToAlpha) {
+  Dctcp::Params p;
+  p.alpha0 = 0.5;
+  p.g = 0.0;  // freeze alpha to isolate the reduction law
+  Dctcp cc{p};
+  cc.on_congestion_event(at_ms(0));  // exit slow start
+  const double w0 = cc.cwnd();
+  // One observation window with marks -> one reduction by alpha/2 = 25%.
+  const auto win = static_cast<int>(w0) + 1;
+  for (int i = 0; i < win; ++i) {
+    cc.on_ecn_sample(1, true, at_ms(i));
+    cc.on_ack(1, kRtt, at_ms(i), true);  // recovery flag: no growth
+  }
+  EXPECT_NEAR(cc.cwnd(), w0 * 0.75, 0.5);
+}
+
+TEST(Dctcp, AtMostOneReductionPerWindow) {
+  Dctcp::Params p;
+  p.alpha0 = 1.0;
+  p.g = 0.0;
+  Dctcp cc{p};
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  // Half a window of fully marked ACKs: no boundary crossed yet.
+  const auto half = static_cast<int>(w0 / 2.0) - 1;
+  for (int i = 0; i < half; ++i) {
+    cc.on_ecn_sample(1, true, at_ms(i));
+    cc.on_ack(1, kRtt, at_ms(i), true);
+  }
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0);  // not yet
+}
+
+TEST(Dctcp, FirstMarkExitsSlowStart) {
+  Dctcp cc;
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ecn_sample(1, true, at_ms(0));
+  cc.on_ack(1, kRtt, at_ms(0), false);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(Dctcp, LossFallsBackToHalving) {
+  Dctcp cc;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_congestion_event(at_ms(200));
+  EXPECT_NEAR(cc.cwnd(), before * 0.5, 1e-9);
+}
+
+// ------------------------------------------------------------- Factory ----
+
+TEST(Factory, MakesEveryType) {
+  EXPECT_EQ(make_congestion_control(CcType::kReno)->name(), "reno");
+  EXPECT_EQ(make_congestion_control(CcType::kCubic)->name(), "cubic");
+  EXPECT_EQ(make_congestion_control(CcType::kEcnCubic)->name(), "ecn-cubic");
+  EXPECT_EQ(make_congestion_control(CcType::kDctcp)->name(), "dctcp");
+}
+
+TEST(Factory, NamesMatchToString) {
+  for (auto t : {CcType::kReno, CcType::kCubic, CcType::kEcnCubic, CcType::kDctcp}) {
+    EXPECT_EQ(make_congestion_control(t)->name(), to_string(t));
+  }
+}
+
+// Scaling-exponent sanity (paper equations (1)-(3) and Appendix A).
+TEST(ScalingTheory, ClassicControlsAreUnscalable) {
+  // B = 1/2 (Reno/CReno) and B = 3/4 (Cubic) give c shrinking with W.
+  EXPECT_LT(1.0 - 1.0 / 0.5, 0.0);
+  EXPECT_LT(1.0 - 1.0 / 0.75, 0.0);
+  // DCTCP: B = 1 (probabilistic) and B = 2 (step) give non-shrinking c.
+  EXPECT_GE(1.0 - 1.0 / 1.0, 0.0);
+  EXPECT_GE(1.0 - 1.0 / 2.0, 0.0);
+}
+
+}  // namespace
+}  // namespace pi2::tcp

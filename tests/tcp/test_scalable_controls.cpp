@@ -1,0 +1,104 @@
+#include "tcp/scalable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp/congestion_control.hpp"
+
+namespace pi2::tcp {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+
+constexpr pi2::sim::Duration kRtt = std::chrono::milliseconds{10};
+
+Time at_ms(double ms) { return from_millis(ms); }
+
+TEST(ScalableTcp, IdentifiesAsScalable) {
+  ScalableTcp cc;
+  EXPECT_EQ(cc.ect(), net::Ecn::kEct1);
+  EXPECT_TRUE(cc.is_scalable());
+  EXPECT_EQ(cc.name(), "scalable");
+}
+
+TEST(ScalableTcp, MimdGrowthProportionalToWindow) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));  // leave slow start
+  const double w0 = cc.cwnd();
+  // One window's worth of ACKs grows the window by a*W (MIMD), not by 1.
+  for (int i = 0; i < static_cast<int>(w0); ++i) {
+    cc.on_ack(1, kRtt, at_ms(i), false);
+  }
+  EXPECT_NEAR(cc.cwnd() - w0, 0.01 * w0, 0.02);
+}
+
+TEST(ScalableTcp, SmallMultiplicativeDecrease) {
+  ScalableTcp cc;
+  for (int i = 0; i < 200; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_congestion_event(at_ms(300));
+  EXPECT_NEAR(cc.cwnd(), before * 0.875, 1e-9);
+}
+
+TEST(ScalableTcp, MarkTrainCountsAsOneEventPerHoldoff) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  // A burst of marks within the holdoff window: only one reduction.
+  for (int i = 0; i < 5; ++i) cc.on_ecn_sample(1, true, at_ms(1));
+  EXPECT_NEAR(cc.cwnd(), w0 * 0.875, 1e-9);
+}
+
+TEST(ScalableTcp, SignalsPerRttConstantAcrossRates) {
+  // The defining property (B = 1): at equilibrium p*W = 2b/a-ish constant;
+  // here just check the response magnitude scales with W so c = pW is flat.
+  ScalableTcp small;
+  ScalableTcp large;
+  small.on_congestion_event(at_ms(0));
+  large.on_congestion_event(at_ms(0));
+  for (int i = 0; i < 5000; ++i) large.on_ack(1, kRtt, at_ms(i), false);
+  const double ws = small.cwnd();
+  const double wl = large.cwnd();
+  ASSERT_GT(wl, ws * 2);
+  // Same *fractional* reduction regardless of size.
+  small.on_congestion_event(at_ms(9999));
+  large.on_congestion_event(at_ms(9999));
+  EXPECT_NEAR(small.cwnd() / ws, large.cwnd() / wl, 1e-9);
+}
+
+TEST(RelentlessTcp, SubtractsOneSegmentPerMark) {
+  RelentlessTcp cc;
+  cc.on_congestion_event(at_ms(0));  // leave slow start
+  // Grow a bit first.
+  for (int i = 0; i < 400; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_ecn_sample(1, true, at_ms(500));
+  EXPECT_NEAR(cc.cwnd(), before - 1.0, 1e-9);
+  cc.on_ecn_sample(1, true, at_ms(501));
+  EXPECT_NEAR(cc.cwnd(), before - 2.0, 1e-9);
+}
+
+TEST(RelentlessTcp, UnmarkedAcksDoNotReduce) {
+  RelentlessTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  for (int i = 0; i < 50; ++i) cc.on_ecn_sample(1, false, at_ms(i));
+  EXPECT_GE(cc.cwnd(), w0);
+}
+
+TEST(RelentlessTcp, FloorAtMinWindow) {
+  RelentlessTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  for (int i = 0; i < 100; ++i) cc.on_ecn_sample(1, true, at_ms(i));
+  EXPECT_GE(cc.cwnd(), kMinWindow);
+}
+
+TEST(Factory, MakesScalableFamily) {
+  EXPECT_EQ(make_congestion_control(CcType::kScalable)->name(), "scalable");
+  EXPECT_EQ(make_congestion_control(CcType::kRelentless)->name(), "relentless");
+  EXPECT_TRUE(make_congestion_control(CcType::kScalable)->is_scalable());
+  EXPECT_TRUE(make_congestion_control(CcType::kRelentless)->is_scalable());
+}
+
+}  // namespace
+}  // namespace pi2::tcp

@@ -1,0 +1,166 @@
+// Edge cases of the sender state machine: RTO backoff, rewind/ACK races,
+// completion under loss, idempotent lifecycle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "tcp/endpoint.hpp"
+#include "tcp/reno.hpp"
+
+namespace pi2::tcp {
+namespace {
+
+using pi2::net::Packet;
+using pi2::sim::from_millis;
+using pi2::sim::Simulator;
+
+TEST(SenderEdges, RtoBacksOffExponentiallyInBlackhole) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  TcpSender sender{sim, config, make_reno()};
+  std::vector<pi2::sim::Time> sends;
+  sender.set_output([&](Packet) { sends.push_back(sim.now()); });
+  sender.start();
+  sim.run_until(from_millis(30000));
+  // Initial window, then one retransmission per RTO; gaps must grow.
+  ASSERT_GE(sender.timeouts(), 3);
+  std::vector<double> gaps;
+  for (std::size_t i = 11; i < sends.size(); ++i) {
+    gaps.push_back(pi2::sim::to_seconds(sends[i] - sends[i - 1]));
+  }
+  ASSERT_GE(gaps.size(), 2u);
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_GT(gaps[i], gaps[i - 1] * 1.5);
+  }
+}
+
+TEST(SenderEdges, BackoffResetsOnProgress) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  TcpSender sender{sim, config, make_reno()};
+  bool blackhole = true;
+  TcpReceiver receiver{sim, 0};
+  receiver.set_ack_path([&](Packet a) {
+    sim.after(from_millis(10), [&sender, a] { sender.on_ack(a); });
+  });
+  sender.set_output([&](Packet p) {
+    if (!blackhole) {
+      sim.after(from_millis(10), [&receiver, p] { receiver.on_data(p); });
+    }
+  });
+  sender.start();
+  sim.run_until(from_millis(5000));
+  const auto timeouts_during_blackhole = sender.timeouts();
+  ASSERT_GE(timeouts_during_blackhole, 2);
+  blackhole = false;
+  sim.run_until(from_millis(15000));
+  // Once the path heals, the flow makes progress and stops timing out.
+  EXPECT_GT(sender.snd_una(), 0);
+  EXPECT_LE(sender.timeouts(), timeouts_during_blackhole + 2);
+}
+
+TEST(SenderEdges, AckBeyondRewoundSndNxtDoesNotResendOldData) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  TcpSender sender{sim, config, make_reno()};
+  std::vector<std::int64_t> sent_seqs;
+  sender.set_output([&](Packet p) { sent_seqs.push_back(p.seq); });
+  sender.start();                      // sends 0..9
+  sim.run_until(from_millis(1500));    // RTO fires, go-back-N to 0
+  ASSERT_GE(sender.timeouts(), 1);
+  // Now a cumulative ACK for everything up to 10 arrives (the originals
+  // made it after all).
+  Packet ack;
+  ack.is_ack = true;
+  ack.ack_seq = 10;
+  ack.sent_at = sim.now() - from_millis(20);
+  sent_seqs.clear();
+  sender.on_ack(ack);
+  // Whatever is sent next must be new data (seq >= 10), never a re-send of
+  // ACKed segments.
+  for (const auto seq : sent_seqs) EXPECT_GE(seq, 10);
+  EXPECT_EQ(sender.snd_una(), 10);
+  EXPECT_GE(sender.snd_nxt(), 10);
+}
+
+TEST(SenderEdges, StartIsIdempotent) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  TcpSender sender{sim, config, make_reno()};
+  int sends = 0;
+  sender.set_output([&](Packet) { ++sends; });
+  sender.start();
+  sender.start();
+  sim.run_until(from_millis(1));
+  EXPECT_EQ(sends, 10);  // one initial window, not two
+}
+
+TEST(SenderEdges, StopPreventsRtoFiring) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  TcpSender sender{sim, config, make_reno()};
+  sender.set_output([](Packet) {});
+  sender.start();
+  sender.stop();
+  sim.run_until(from_millis(10000));
+  EXPECT_EQ(sender.timeouts(), 0);
+}
+
+TEST(SenderEdges, FiniteFlowCompletesDespiteLossOfLastSegment) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  config.total_segments = 20;
+  TcpSender sender{sim, config, make_reno()};
+  TcpReceiver receiver{sim, 0};
+  bool completed = false;
+  sender.set_completion_callback([&] { completed = true; });
+  int drops_left = 1;
+  sender.set_output([&](Packet p) {
+    if (p.seq == 19 && !p.retransmit && drops_left-- > 0) return;  // tail loss
+    sim.after(from_millis(10), [&receiver, p] { receiver.on_data(p); });
+  });
+  receiver.set_ack_path([&](Packet a) {
+    sim.after(from_millis(10), [&sender, a] { sender.on_ack(a); });
+  });
+  sender.start();
+  sim.run_until(from_millis(30000));
+  // Tail loss cannot produce 3 dup ACKs; only the RTO can recover it.
+  EXPECT_TRUE(completed);
+  EXPECT_GE(sender.timeouts(), 1);
+}
+
+TEST(SenderEdges, AcksAfterCompletionAreIgnored) {
+  Simulator sim{1};
+  TcpSender::Config config;
+  config.flow = 0;
+  config.total_segments = 5;
+  TcpSender sender{sim, config, make_reno()};
+  TcpReceiver receiver{sim, 0};
+  int completions = 0;
+  sender.set_completion_callback([&] { ++completions; });
+  sender.set_output([&](Packet p) {
+    sim.after(from_millis(10), [&receiver, p] { receiver.on_data(p); });
+  });
+  receiver.set_ack_path([&](Packet a) {
+    sim.after(from_millis(10), [&sender, a] { sender.on_ack(a); });
+  });
+  sender.start();
+  sim.run_until(from_millis(5000));
+  ASSERT_EQ(completions, 1);
+  Packet stray;
+  stray.is_ack = true;
+  stray.ack_seq = 5;
+  stray.sent_at = sim.now();
+  sender.on_ack(stray);  // must not crash or re-complete
+  EXPECT_EQ(completions, 1);
+}
+
+}  // namespace
+}  // namespace pi2::tcp

@@ -1,0 +1,82 @@
+#include "tcp/udp_sender.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace pi2::tcp {
+namespace {
+
+using pi2::sim::from_seconds;
+using pi2::sim::Simulator;
+
+TEST(UdpSender, SendsAtConfiguredRate) {
+  Simulator sim;
+  UdpSender::Config config;
+  config.rate_bps = 6e6;
+  config.packet_bytes = 1500;
+  UdpSender udp{sim, config};
+  std::int64_t bytes = 0;
+  udp.set_output([&](net::Packet p) { bytes += p.size; });
+  udp.start();
+  sim.run_until(from_seconds(10.0));
+  // 6 Mb/s for 10 s = 7.5 MB.
+  EXPECT_NEAR(static_cast<double>(bytes) * 8.0 / 10.0, 6e6, 6e6 * 0.01);
+}
+
+TEST(UdpSender, EvenlySpacedPackets) {
+  Simulator sim;
+  UdpSender::Config config;
+  config.rate_bps = 1.2e6;  // 1500 B -> 10 ms spacing
+  UdpSender udp{sim, config};
+  std::vector<pi2::sim::Time> times;
+  udp.set_output([&](net::Packet) { times.push_back(sim.now()); });
+  udp.start();
+  sim.run_until(from_seconds(0.1));
+  ASSERT_GE(times.size(), 3u);
+  const auto gap = times[1] - times[0];
+  EXPECT_EQ(gap, times[2] - times[1]);
+  EXPECT_NEAR(pi2::sim::to_millis(gap), 10.0, 0.01);
+}
+
+TEST(UdpSender, StopHaltsAndStartResumesIdempotently) {
+  Simulator sim;
+  UdpSender udp{sim, UdpSender::Config{}};
+  int sent = 0;
+  udp.set_output([&](net::Packet) { ++sent; });
+  udp.start();
+  udp.start();  // idempotent: no double timers
+  sim.run_until(from_seconds(0.01));
+  const int after_10ms = sent;
+  udp.stop();
+  sim.run_until(from_seconds(1.0));
+  EXPECT_EQ(sent, after_10ms);
+}
+
+TEST(UdpSender, PacketsCarryConfiguredEcnAndFlow) {
+  Simulator sim;
+  UdpSender::Config config;
+  config.flow = 7;
+  config.ecn = net::Ecn::kEct1;
+  UdpSender udp{sim, config};
+  net::Packet seen;
+  udp.set_output([&](net::Packet p) { seen = p; });
+  udp.start();
+  sim.run_until(from_seconds(0.001));
+  EXPECT_EQ(seen.flow, 7);
+  EXPECT_EQ(seen.ecn, net::Ecn::kEct1);
+}
+
+TEST(UdpSender, SequenceNumbersIncrease) {
+  Simulator sim;
+  UdpSender udp{sim, UdpSender::Config{}};
+  std::vector<std::int64_t> seqs;
+  udp.set_output([&](net::Packet p) { seqs.push_back(p.seq); });
+  udp.start();
+  sim.run_until(from_seconds(0.02));
+  ASSERT_GE(seqs.size(), 2u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], seqs[i - 1] + 1);
+}
+
+}  // namespace
+}  // namespace pi2::tcp

@@ -1,0 +1,66 @@
+// Shared helpers for the unit tests: a controllable QueueView and small
+// packet builders.
+#pragma once
+
+#include "net/packet.hpp"
+#include "net/queue_discipline.hpp"
+#include "sim/simulator.hpp"
+
+namespace pi2::testing {
+
+/// QueueView whose state the test sets directly.
+class FakeQueueView final : public net::QueueView {
+ public:
+  std::int64_t backlog_bytes_value = 0;
+  std::int64_t backlog_packets_value = 0;
+  double rate_bps = 10e6;
+
+  [[nodiscard]] std::int64_t backlog_bytes() const override {
+    return backlog_bytes_value;
+  }
+  [[nodiscard]] std::int64_t backlog_packets() const override {
+    return backlog_packets_value;
+  }
+  [[nodiscard]] double link_rate_bps() const override { return rate_bps; }
+  [[nodiscard]] pi2::sim::Duration queue_delay() const override {
+    return pi2::sim::from_seconds(static_cast<double>(backlog_bytes_value) * 8.0 /
+                                  rate_bps);
+  }
+
+  /// Sets the backlog so that queue_delay() reports `delay_s` seconds.
+  void set_delay_seconds(double delay_s) {
+    backlog_bytes_value = static_cast<std::int64_t>(delay_s * rate_bps / 8.0);
+    backlog_packets_value = backlog_bytes_value / net::kDefaultMss;
+  }
+};
+
+inline net::Packet make_data_packet(net::Ecn ecn = net::Ecn::kNotEct,
+                                    std::int32_t flow = 0, std::int64_t seq = 0) {
+  net::Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.ecn = ecn;
+  return p;
+}
+
+/// Runs `updates` AQM update intervals with the view pinned at the given
+/// queue delay, advancing the simulator clock.
+template <typename Aqm>
+void run_updates(pi2::sim::Simulator& sim, FakeQueueView& view, Aqm& /*aqm*/,
+                 double delay_s, int updates, pi2::sim::Duration t_update) {
+  view.set_delay_seconds(delay_s);
+  sim.run_until(sim.now() + t_update * updates);
+}
+
+/// Empirical signalling (drop or mark) frequency of a discipline at a fixed
+/// queue state, over `trials` packets.
+inline double signal_fraction(net::QueueDiscipline& aqm, net::Ecn ecn, int trials) {
+  int signalled = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = aqm.enqueue(make_data_packet(ecn));
+    if (v != net::QueueDiscipline::Verdict::kAccept) ++signalled;
+  }
+  return static_cast<double>(signalled) / trials;
+}
+
+}  // namespace pi2::testing
