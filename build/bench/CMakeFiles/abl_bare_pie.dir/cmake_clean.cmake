@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bare_pie.dir/abl_bare_pie.cpp.o"
+  "CMakeFiles/abl_bare_pie.dir/abl_bare_pie.cpp.o.d"
+  "abl_bare_pie"
+  "abl_bare_pie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bare_pie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_curvy_red.cpp" "bench/CMakeFiles/abl_curvy_red.dir/abl_curvy_red.cpp.o" "gcc" "bench/CMakeFiles/abl_curvy_red.dir/abl_curvy_red.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/pi2_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pi2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/pi2_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/pi2_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pi2_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pi2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pi2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

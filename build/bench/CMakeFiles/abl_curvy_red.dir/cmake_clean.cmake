@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_curvy_red.dir/abl_curvy_red.cpp.o"
+  "CMakeFiles/abl_curvy_red.dir/abl_curvy_red.cpp.o.d"
+  "abl_curvy_red"
+  "abl_curvy_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_curvy_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gain_sweep.dir/abl_gain_sweep.cpp.o"
+  "CMakeFiles/abl_gain_sweep.dir/abl_gain_sweep.cpp.o.d"
+  "abl_gain_sweep"
+  "abl_gain_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gain_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

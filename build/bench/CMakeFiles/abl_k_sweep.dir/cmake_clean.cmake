@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_k_sweep.dir/abl_k_sweep.cpp.o"
+  "CMakeFiles/abl_k_sweep.dir/abl_k_sweep.cpp.o.d"
+  "abl_k_sweep"
+  "abl_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

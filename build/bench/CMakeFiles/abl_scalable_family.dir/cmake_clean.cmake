@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scalable_family.dir/abl_scalable_family.cpp.o"
+  "CMakeFiles/abl_scalable_family.dir/abl_scalable_family.cpp.o.d"
+  "abl_scalable_family"
+  "abl_scalable_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scalable_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

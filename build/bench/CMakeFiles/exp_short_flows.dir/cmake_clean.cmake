@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_short_flows.dir/exp_short_flows.cpp.o"
+  "CMakeFiles/exp_short_flows.dir/exp_short_flows.cpp.o.d"
+  "exp_short_flows"
+  "exp_short_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_short_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dualpi2.dir/ext_dualpi2.cpp.o"
+  "CMakeFiles/ext_dualpi2.dir/ext_dualpi2.cpp.o.d"
+  "ext_dualpi2"
+  "ext_dualpi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dualpi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dualpi2.
+# This may be replaced when dependencies are built.

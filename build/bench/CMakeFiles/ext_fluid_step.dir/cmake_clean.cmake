@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fluid_step.dir/ext_fluid_step.cpp.o"
+  "CMakeFiles/ext_fluid_step.dir/ext_fluid_step.cpp.o.d"
+  "ext_fluid_step"
+  "ext_fluid_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fluid_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_bode_pie.dir/fig04_bode_pie.cpp.o"
+  "CMakeFiles/fig04_bode_pie.dir/fig04_bode_pie.cpp.o.d"
+  "fig04_bode_pie"
+  "fig04_bode_pie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bode_pie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

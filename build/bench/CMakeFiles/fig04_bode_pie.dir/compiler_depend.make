@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_bode_pie.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tune_vs_sqrt2p.dir/fig05_tune_vs_sqrt2p.cpp.o"
+  "CMakeFiles/fig05_tune_vs_sqrt2p.dir/fig05_tune_vs_sqrt2p.cpp.o.d"
+  "fig05_tune_vs_sqrt2p"
+  "fig05_tune_vs_sqrt2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tune_vs_sqrt2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

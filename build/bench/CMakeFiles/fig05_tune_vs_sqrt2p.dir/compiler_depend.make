@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_tune_vs_sqrt2p.
+# This may be replaced when dependencies are built.

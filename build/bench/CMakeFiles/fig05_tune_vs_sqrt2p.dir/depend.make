@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_tune_vs_sqrt2p.
+# This may be replaced when dependencies are built.

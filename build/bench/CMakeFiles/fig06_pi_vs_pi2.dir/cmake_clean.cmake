@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pi_vs_pi2.dir/fig06_pi_vs_pi2.cpp.o"
+  "CMakeFiles/fig06_pi_vs_pi2.dir/fig06_pi_vs_pi2.cpp.o.d"
+  "fig06_pi_vs_pi2"
+  "fig06_pi_vs_pi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pi_vs_pi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

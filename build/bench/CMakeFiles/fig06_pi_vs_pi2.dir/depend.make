@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_pi_vs_pi2.
+# This may be replaced when dependencies are built.

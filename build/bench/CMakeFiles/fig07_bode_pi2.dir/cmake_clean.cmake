@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bode_pi2.dir/fig07_bode_pi2.cpp.o"
+  "CMakeFiles/fig07_bode_pi2.dir/fig07_bode_pi2.cpp.o.d"
+  "fig07_bode_pi2"
+  "fig07_bode_pi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bode_pi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_bode_pi2.
+# This may be replaced when dependencies are built.

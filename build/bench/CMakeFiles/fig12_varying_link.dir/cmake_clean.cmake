@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_varying_link.dir/fig12_varying_link.cpp.o"
+  "CMakeFiles/fig12_varying_link.dir/fig12_varying_link.cpp.o.d"
+  "fig12_varying_link"
+  "fig12_varying_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_varying_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_varying_intensity.dir/fig13_varying_intensity.cpp.o"
+  "CMakeFiles/fig13_varying_intensity.dir/fig13_varying_intensity.cpp.o.d"
+  "fig13_varying_intensity"
+  "fig13_varying_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_varying_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_delay_cdf.dir/fig14_delay_cdf.cpp.o"
+  "CMakeFiles/fig14_delay_cdf.dir/fig14_delay_cdf.cpp.o.d"
+  "fig14_delay_cdf"
+  "fig14_delay_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_delay_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rate_balance.dir/fig15_rate_balance.cpp.o"
+  "CMakeFiles/fig15_rate_balance.dir/fig15_rate_balance.cpp.o.d"
+  "fig15_rate_balance"
+  "fig15_rate_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rate_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

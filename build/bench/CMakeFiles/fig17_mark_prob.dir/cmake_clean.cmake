@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_mark_prob.dir/fig17_mark_prob.cpp.o"
+  "CMakeFiles/fig17_mark_prob.dir/fig17_mark_prob.cpp.o.d"
+  "fig17_mark_prob"
+  "fig17_mark_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mark_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_mark_prob.
+# This may be replaced when dependencies are built.

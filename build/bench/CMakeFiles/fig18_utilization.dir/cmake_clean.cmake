@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_utilization.dir/fig18_utilization.cpp.o"
+  "CMakeFiles/fig18_utilization.dir/fig18_utilization.cpp.o.d"
+  "fig18_utilization"
+  "fig18_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

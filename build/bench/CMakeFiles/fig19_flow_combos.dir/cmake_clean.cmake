@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_flow_combos.dir/fig19_flow_combos.cpp.o"
+  "CMakeFiles/fig19_flow_combos.dir/fig19_flow_combos.cpp.o.d"
+  "fig19_flow_combos"
+  "fig19_flow_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_flow_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_normalized_rates.dir/fig20_normalized_rates.cpp.o"
+  "CMakeFiles/fig20_normalized_rates.dir/fig20_normalized_rates.cpp.o.d"
+  "fig20_normalized_rates"
+  "fig20_normalized_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_normalized_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

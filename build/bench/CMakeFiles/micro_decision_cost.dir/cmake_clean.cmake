@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_decision_cost.dir/micro_decision_cost.cpp.o"
+  "CMakeFiles/micro_decision_cost.dir/micro_decision_cost.cpp.o.d"
+  "micro_decision_cost"
+  "micro_decision_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decision_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_aqm.dir/custom_aqm.cpp.o"
+  "CMakeFiles/custom_aqm.dir/custom_aqm.cpp.o.d"
+  "custom_aqm"
+  "custom_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_latency.dir/gaming_latency.cpp.o"
+  "CMakeFiles/gaming_latency.dir/gaming_latency.cpp.o.d"
+  "gaming_latency"
+  "gaming_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

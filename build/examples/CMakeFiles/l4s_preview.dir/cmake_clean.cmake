@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l4s_preview.dir/l4s_preview.cpp.o"
+  "CMakeFiles/l4s_preview.dir/l4s_preview.cpp.o.d"
+  "l4s_preview"
+  "l4s_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l4s_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

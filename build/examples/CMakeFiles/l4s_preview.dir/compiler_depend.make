@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for l4s_preview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for l4s_preview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_sim_cli.dir/pi2_sim_cli.cpp.o"
+  "CMakeFiles/pi2_sim_cli.dir/pi2_sim_cli.cpp.o.d"
+  "pi2_sim_cli"
+  "pi2_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqm/codel.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/codel.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/codel.cpp.o.d"
+  "/root/repo/src/aqm/curvy_red.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/curvy_red.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/curvy_red.cpp.o.d"
+  "/root/repo/src/aqm/pi.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/pi.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/pi.cpp.o.d"
+  "/root/repo/src/aqm/pie.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/pie.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/pie.cpp.o.d"
+  "/root/repo/src/aqm/red.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/red.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/red.cpp.o.d"
+  "/root/repo/src/aqm/step_marker.cpp" "src/aqm/CMakeFiles/pi2_aqm.dir/step_marker.cpp.o" "gcc" "src/aqm/CMakeFiles/pi2_aqm.dir/step_marker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pi2_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

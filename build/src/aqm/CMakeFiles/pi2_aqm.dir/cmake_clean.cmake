@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_aqm.dir/codel.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/codel.cpp.o.d"
+  "CMakeFiles/pi2_aqm.dir/curvy_red.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/curvy_red.cpp.o.d"
+  "CMakeFiles/pi2_aqm.dir/pi.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/pi.cpp.o.d"
+  "CMakeFiles/pi2_aqm.dir/pie.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/pie.cpp.o.d"
+  "CMakeFiles/pi2_aqm.dir/red.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/red.cpp.o.d"
+  "CMakeFiles/pi2_aqm.dir/step_marker.cpp.o"
+  "CMakeFiles/pi2_aqm.dir/step_marker.cpp.o.d"
+  "libpi2_aqm.a"
+  "libpi2_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/fluid_model.cpp" "src/control/CMakeFiles/pi2_control.dir/fluid_model.cpp.o" "gcc" "src/control/CMakeFiles/pi2_control.dir/fluid_model.cpp.o.d"
+  "/root/repo/src/control/fluid_sim.cpp" "src/control/CMakeFiles/pi2_control.dir/fluid_sim.cpp.o" "gcc" "src/control/CMakeFiles/pi2_control.dir/fluid_sim.cpp.o.d"
+  "/root/repo/src/control/window_laws.cpp" "src/control/CMakeFiles/pi2_control.dir/window_laws.cpp.o" "gcc" "src/control/CMakeFiles/pi2_control.dir/window_laws.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqm/CMakeFiles/pi2_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pi2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

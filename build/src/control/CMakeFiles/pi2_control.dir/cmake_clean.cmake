@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_control.dir/fluid_model.cpp.o"
+  "CMakeFiles/pi2_control.dir/fluid_model.cpp.o.d"
+  "CMakeFiles/pi2_control.dir/fluid_sim.cpp.o"
+  "CMakeFiles/pi2_control.dir/fluid_sim.cpp.o.d"
+  "CMakeFiles/pi2_control.dir/window_laws.cpp.o"
+  "CMakeFiles/pi2_control.dir/window_laws.cpp.o.d"
+  "libpi2_control.a"
+  "libpi2_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coupled_pi2.cpp" "src/core/CMakeFiles/pi2_core.dir/coupled_pi2.cpp.o" "gcc" "src/core/CMakeFiles/pi2_core.dir/coupled_pi2.cpp.o.d"
+  "/root/repo/src/core/dualpi2.cpp" "src/core/CMakeFiles/pi2_core.dir/dualpi2.cpp.o" "gcc" "src/core/CMakeFiles/pi2_core.dir/dualpi2.cpp.o.d"
+  "/root/repo/src/core/pi2.cpp" "src/core/CMakeFiles/pi2_core.dir/pi2.cpp.o" "gcc" "src/core/CMakeFiles/pi2_core.dir/pi2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pi2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/pi2_aqm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_core.dir/coupled_pi2.cpp.o"
+  "CMakeFiles/pi2_core.dir/coupled_pi2.cpp.o.d"
+  "CMakeFiles/pi2_core.dir/dualpi2.cpp.o"
+  "CMakeFiles/pi2_core.dir/dualpi2.cpp.o.d"
+  "CMakeFiles/pi2_core.dir/pi2.cpp.o"
+  "CMakeFiles/pi2_core.dir/pi2.cpp.o.d"
+  "libpi2_core.a"
+  "libpi2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_net.dir/bottleneck_link.cpp.o"
+  "CMakeFiles/pi2_net.dir/bottleneck_link.cpp.o.d"
+  "CMakeFiles/pi2_net.dir/trace.cpp.o"
+  "CMakeFiles/pi2_net.dir/trace.cpp.o.d"
+  "libpi2_net.a"
+  "libpi2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

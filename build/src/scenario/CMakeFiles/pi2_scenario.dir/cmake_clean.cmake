@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_scenario.dir/aqm_factory.cpp.o"
+  "CMakeFiles/pi2_scenario.dir/aqm_factory.cpp.o.d"
+  "CMakeFiles/pi2_scenario.dir/dumbbell.cpp.o"
+  "CMakeFiles/pi2_scenario.dir/dumbbell.cpp.o.d"
+  "CMakeFiles/pi2_scenario.dir/short_flows.cpp.o"
+  "CMakeFiles/pi2_scenario.dir/short_flows.cpp.o.d"
+  "libpi2_scenario.a"
+  "libpi2_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

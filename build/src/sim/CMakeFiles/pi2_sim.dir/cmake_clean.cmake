@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_sim.dir/rng.cpp.o"
+  "CMakeFiles/pi2_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pi2_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pi2_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pi2_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pi2_sim.dir/simulator.cpp.o.d"
+  "libpi2_sim.a"
+  "libpi2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

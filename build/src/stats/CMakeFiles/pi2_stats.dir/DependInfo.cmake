@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv.cpp" "src/stats/CMakeFiles/pi2_stats.dir/csv.cpp.o" "gcc" "src/stats/CMakeFiles/pi2_stats.dir/csv.cpp.o.d"
+  "/root/repo/src/stats/meters.cpp" "src/stats/CMakeFiles/pi2_stats.dir/meters.cpp.o" "gcc" "src/stats/CMakeFiles/pi2_stats.dir/meters.cpp.o.d"
+  "/root/repo/src/stats/online_stats.cpp" "src/stats/CMakeFiles/pi2_stats.dir/online_stats.cpp.o" "gcc" "src/stats/CMakeFiles/pi2_stats.dir/online_stats.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/pi2_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/pi2_stats.dir/percentile.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/pi2_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/pi2_stats.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_stats.dir/csv.cpp.o"
+  "CMakeFiles/pi2_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/pi2_stats.dir/meters.cpp.o"
+  "CMakeFiles/pi2_stats.dir/meters.cpp.o.d"
+  "CMakeFiles/pi2_stats.dir/online_stats.cpp.o"
+  "CMakeFiles/pi2_stats.dir/online_stats.cpp.o.d"
+  "CMakeFiles/pi2_stats.dir/percentile.cpp.o"
+  "CMakeFiles/pi2_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/pi2_stats.dir/time_series.cpp.o"
+  "CMakeFiles/pi2_stats.dir/time_series.cpp.o.d"
+  "libpi2_stats.a"
+  "libpi2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cubic.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/cubic.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/cubic.cpp.o.d"
+  "/root/repo/src/tcp/dctcp.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/dctcp.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/dctcp.cpp.o.d"
+  "/root/repo/src/tcp/endpoint.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/endpoint.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/endpoint.cpp.o.d"
+  "/root/repo/src/tcp/factory.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/factory.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/factory.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/reno.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/reno.cpp.o.d"
+  "/root/repo/src/tcp/scalable.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/scalable.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/scalable.cpp.o.d"
+  "/root/repo/src/tcp/udp_sender.cpp" "src/tcp/CMakeFiles/pi2_tcp.dir/udp_sender.cpp.o" "gcc" "src/tcp/CMakeFiles/pi2_tcp.dir/udp_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pi2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pi2_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

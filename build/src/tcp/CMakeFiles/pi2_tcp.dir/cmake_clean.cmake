@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_tcp.dir/cubic.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/cubic.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/dctcp.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/dctcp.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/endpoint.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/factory.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/factory.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/reno.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/reno.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/scalable.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/scalable.cpp.o.d"
+  "CMakeFiles/pi2_tcp.dir/udp_sender.cpp.o"
+  "CMakeFiles/pi2_tcp.dir/udp_sender.cpp.o.d"
+  "libpi2_tcp.a"
+  "libpi2_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

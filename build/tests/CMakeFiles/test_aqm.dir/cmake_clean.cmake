@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqm.dir/aqm/test_curvy_red.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_curvy_red.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_pi.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_pi.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_pi_core.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_pi_core.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie_drate.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie_drate.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie_pi2_equivalence.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_pie_pi2_equivalence.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_red_codel.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_red_codel.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_signal_frequency.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_signal_frequency.cpp.o.d"
+  "CMakeFiles/test_aqm.dir/aqm/test_step_marker.cpp.o"
+  "CMakeFiles/test_aqm.dir/aqm/test_step_marker.cpp.o.d"
+  "test_aqm"
+  "test_aqm.pdb"
+  "test_aqm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

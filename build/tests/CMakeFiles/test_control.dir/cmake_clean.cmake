@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/test_fluid_model.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_fluid_model.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_fluid_sim.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_fluid_sim.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_window_laws.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_window_laws.cpp.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

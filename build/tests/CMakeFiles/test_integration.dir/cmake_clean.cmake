@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_coexistence.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_coexistence.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_marking_laws.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_marking_laws.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_stability.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_stability.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_steady_state.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_steady_state.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

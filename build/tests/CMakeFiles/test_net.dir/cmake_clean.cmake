@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_bottleneck_link.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_bottleneck_link.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ecn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ecn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_trace.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_trace.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

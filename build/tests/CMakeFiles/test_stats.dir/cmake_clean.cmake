@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_csv.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_csv.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_meters.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_meters.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_online_stats.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_online_stats.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_percentile.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_percentile.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_time_series.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_time_series.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/tcp/test_congestion_controls.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_congestion_controls.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/test_delayed_acks.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_delayed_acks.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/test_endpoint.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_endpoint.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/test_scalable_controls.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_scalable_controls.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/test_sender_edges.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_sender_edges.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/test_udp_sender.cpp.o"
+  "CMakeFiles/test_tcp.dir/tcp/test_udp_sender.cpp.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+  "test_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
