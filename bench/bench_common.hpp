@@ -2,8 +2,11 @@
 // formatting, and the link-rate x RTT sweep grids of Figures 15-18.
 //
 // Every binary prints the same rows/series the paper reports. By default a
-// reduced grid / shortened durations keep the whole suite runnable on one
-// core; pass --full for the paper-scale parameters.
+// reduced grid / shortened durations keep the whole suite runnable quickly;
+// pass --full for the paper-scale parameters. Sweep-based binaries fan their
+// grid points out over --jobs worker threads (the printed tables stay
+// byte-identical to a serial run) and can emit machine-readable per-point
+// records with --json.
 #pragma once
 
 #include <cstdio>
@@ -17,6 +20,18 @@ namespace pi2::bench {
 struct Options {
   bool full = false;
   std::uint64_t seed = 1;
+  /// Worker threads for sweep-based binaries. 0 = hardware_concurrency.
+  /// Output is identical for every value; only wall-clock changes.
+  unsigned jobs = 0;
+  /// If non-empty, sweep-based binaries write one JSON record per grid
+  /// point to this path (in addition to the printed table).
+  std::string json_path;
+  /// Overrides for smoke/CI runs (0 = use the quick/full mode defaults).
+  double duration_s_override = 0;
+  double stats_start_s_override = 0;
+  /// Caps the number of entries per grid axis (0 = no cap); --smoke uses
+  /// this to exercise the full sweep machinery in seconds.
+  int grid_cap = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -27,11 +42,23 @@ inline Options parse_options(int argc, char** argv) {
       opts.full = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (arg == "--smoke") {
+      opts.duration_s_override = 4.0;
+      opts.stats_start_s_override = 1.0;
+      opts.grid_cap = 2;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--full] [--seed N]\n"
-          "  --full   paper-scale grid and durations (slower)\n"
-          "  --seed N RNG seed (default 1)\n",
+          "usage: %s [--full] [--seed N] [--jobs N] [--json PATH] [--smoke]\n"
+          "  --full      paper-scale grid and durations (slower)\n"
+          "  --seed N    RNG seed (default 1)\n"
+          "  --jobs N    worker threads for sweep grids (default: all cores;\n"
+          "              tables are byte-identical for every N)\n"
+          "  --json PATH also write per-point JSON records to PATH\n"
+          "  --smoke     tiny grid and durations (CI race/smoke testing)\n",
           argv[0]);
       std::exit(0);
     }
@@ -45,23 +72,38 @@ inline void print_header(const char* figure, const char* description,
   std::printf("# mode: %s\n", opts.full ? "full (paper-scale)" : "quick (reduced)");
 }
 
+namespace detail {
+inline std::vector<double> capped(std::vector<double> grid, int cap) {
+  if (cap > 0 && static_cast<std::size_t>(cap) < grid.size()) {
+    grid.resize(static_cast<std::size_t>(cap));
+  }
+  return grid;
+}
+}  // namespace detail
+
 /// The evaluation grid of Figures 15-18 (link Mb/s x RTT ms).
 inline std::vector<double> link_grid(const Options& opts) {
-  if (opts.full) return {4, 12, 40, 120, 200};
-  return {4, 40, 120};
+  if (opts.full) return detail::capped({4, 12, 40, 120, 200}, opts.grid_cap);
+  return detail::capped({4, 40, 120}, opts.grid_cap);
 }
 
 inline std::vector<double> rtt_grid(const Options& opts) {
-  if (opts.full) return {5, 10, 20, 50, 100};
-  return {5, 20, 100};
+  if (opts.full) return detail::capped({5, 10, 20, 50, 100}, opts.grid_cap);
+  return detail::capped({5, 20, 100}, opts.grid_cap);
 }
 
 /// Durations for the steady-state runs.
 inline pi2::sim::Time run_duration(const Options& opts) {
+  if (opts.duration_s_override > 0) {
+    return pi2::sim::from_seconds(opts.duration_s_override);
+  }
   return pi2::sim::from_seconds(opts.full ? 100.0 : 40.0);
 }
 
 inline pi2::sim::Time stats_start(const Options& opts) {
+  if (opts.stats_start_s_override > 0) {
+    return pi2::sim::from_seconds(opts.stats_start_s_override);
+  }
   return pi2::sim::from_seconds(opts.full ? 30.0 : 15.0);
 }
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Produces BENCH_sweep.json: the repo's perf trajectory record.
+#
+#   bench/run_benchmarks.sh [output.json]
+#
+# Records (a) the micro_scheduler google-benchmark results — new scheduler
+# vs the in-binary legacy baseline — and (b) quick-grid sweep wall clock at
+# --jobs 1 vs --jobs $(nproc) for fig15_rate_balance. Compare the file
+# against the previous PR's copy to see per-event and end-to-end movement.
+#
+# Env: BUILD_DIR (default: build), JOBS (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_sweep.json}
+JOBS=${JOBS:-$(nproc)}
+
+if [[ ! -x "$BUILD_DIR/bench/micro_scheduler" ]]; then
+  echo "error: $BUILD_DIR/bench/micro_scheduler not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+"$BUILD_DIR/bench/micro_scheduler" --benchmark_format=json \
+  --benchmark_out_format=json >"$MICRO_JSON"
+
+BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" OUT="$OUT" \
+python3 - <<'PY'
+import json, os, subprocess, time
+
+build = os.environ["BUILD_DIR"]
+jobs = int(os.environ["JOBS"])
+fig15 = os.path.join(build, "bench", "fig15_rate_balance")
+
+def timed_sweep(n_jobs):
+    start = time.monotonic()
+    subprocess.run([fig15, "--jobs", str(n_jobs)], check=True,
+                   stdout=subprocess.DEVNULL)
+    return round(time.monotonic() - start, 3)
+
+wall = {n: timed_sweep(n) for n in sorted({1, jobs})}
+serial_s = wall[1]
+parallel_s = wall[jobs]
+
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+
+scheduler = {
+    b["name"]: {"cpu_time_ns": b["cpu_time"],
+                "items_per_second": b.get("items_per_second")}
+    for b in micro["benchmarks"]
+}
+
+out = {
+    "suite": "pi2-sweep",
+    "host_cores": os.cpu_count(),
+    "sweep_quick_fig15": {
+        "wall_s_by_jobs": {str(n): s for n, s in wall.items()},
+        # Meaningful only on multi-core hosts; 1.0-ish when jobs == 1.
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    },
+    "micro_scheduler": scheduler,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}: quick fig15 {serial_s}s @1 job, "
+      f"{parallel_s}s @{jobs} jobs")
+PY

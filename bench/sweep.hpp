@@ -1,11 +1,23 @@
 // The link-rate x RTT sweep engine behind Figures 15-18: for every grid
 // point run two scenarios (Cubic vs DCTCP, Cubic vs ECN-Cubic) under both
 // PIE and the coupled PI2, and hand each result to the figure's printer.
+//
+// Grid points are independent simulations, so they fan out across
+// --jobs worker threads via runner::ParallelRunner. Results are consumed in
+// submission order on the calling thread, which keeps every figure's table
+// byte-identical to a serial run regardless of the job count. Each point
+// seeds its own RNG stream from (base seed, point index) — no shared state.
 #pragma once
 
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runner/parallel_runner.hpp"
+#include "sim/rng.hpp"
 
 namespace pi2::bench {
 
@@ -15,27 +27,113 @@ struct SweepPoint {
   double link_mbps;
   double rtt_ms;
   scenario::RunResult result;
+  std::size_t index = 0;       ///< position in the submission order
+  std::uint64_t seed = 0;      ///< derived per-point RNG seed
 };
 
-/// Runs the full grid, invoking `consume` per point. Prints progress grouping
-/// headers; the consumer prints one row per point.
+inline const char* aqm_label(scenario::AqmType aqm) {
+  return aqm == scenario::AqmType::kPie ? "PIE" : "PI2(coupled)";
+}
+
+/// Streams one machine-readable record per sweep point as a JSON array.
+/// Used by --json to make runs comparable across PRs (BENCH_sweep.json).
+class SweepJsonWriter {
+ public:
+  SweepJsonWriter() = default;
+  explicit SweepJsonWriter(const std::string& path) {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "w");
+      if (file_ == nullptr)
+        std::fprintf(stderr, "warning: cannot open %s; no JSON written\n",
+                     path.c_str());
+    }
+    if (file_ != nullptr) std::fputs("[", file_);
+  }
+  SweepJsonWriter(const SweepJsonWriter&) = delete;
+  SweepJsonWriter& operator=(const SweepJsonWriter&) = delete;
+  ~SweepJsonWriter() {
+    if (file_ != nullptr) {
+      std::fputs("\n]\n", file_);
+      std::fclose(file_);
+    }
+  }
+
+  void add(const SweepPoint& p) {
+    if (file_ == nullptr) return;
+    const auto& c = p.result.window_counters;
+    std::fprintf(
+        file_,
+        "%s\n"
+        "  {\"index\": %zu, \"aqm\": \"%s\", \"mix\": \"%s\", "
+        "\"link_mbps\": %g, \"rtt_ms\": %g, \"seed\": %llu, "
+        "\"mean_qdelay_ms\": %.6g, \"p99_qdelay_ms\": %.6g, "
+        "\"utilization\": %.6g, \"signal_rate\": %.6g, "
+        "\"cubic_mbps\": %.6g, \"other_mbps\": %.6g, "
+        "\"enqueued\": %lld, \"forwarded\": %lld, \"aqm_dropped\": %lld, "
+        "\"tail_dropped\": %lld, \"marked\": %lld, "
+        "\"events_executed\": %llu}",
+        first_ ? "" : ",", p.index, aqm_label(p.aqm), to_string(p.mix),
+        p.link_mbps, p.rtt_ms, static_cast<unsigned long long>(p.seed),
+        p.result.mean_qdelay_ms, p.result.p99_qdelay_ms, p.result.utilization,
+        p.result.observed_signal_rate(),
+        p.result.mean_goodput_mbps(tcp::CcType::kCubic),
+        p.result.mean_goodput_mbps(other_cc(p.mix)),
+        static_cast<long long>(c.enqueued), static_cast<long long>(c.forwarded),
+        static_cast<long long>(c.aqm_dropped),
+        static_cast<long long>(c.tail_dropped), static_cast<long long>(c.marked),
+        static_cast<unsigned long long>(p.result.events_executed));
+    first_ = false;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+};
+
+/// Runs the full grid, invoking `consume` per point in grid order. Grid
+/// points execute on opts.jobs worker threads; `consume` (and the progress
+/// grouping headers) run on the calling thread only.
 inline void run_sweep(const Options& opts,
                       const std::function<void(const SweepPoint&)>& consume) {
+  struct GridPoint {
+    scenario::AqmType aqm;
+    MixKind mix;
+    double link_mbps;
+    double rtt_ms;
+  };
+  std::vector<GridPoint> grid;
   for (const auto aqm : {scenario::AqmType::kPie, scenario::AqmType::kCoupledPi2}) {
     for (const auto mix : {MixKind::kCubicVsEcnCubic, MixKind::kCubicVsDctcp}) {
-      std::printf("\n== %s, %s ==\n",
-                  aqm == scenario::AqmType::kPie ? "PIE" : "PI2(coupled)",
-                  to_string(mix));
       for (const double link : link_grid(opts)) {
         for (const double rtt : rtt_grid(opts)) {
-          SweepPoint point{aqm, mix, link, rtt,
-                           scenario::run_dumbbell(
-                               mix_config(aqm, mix, link, rtt, opts))};
-          consume(point);
+          grid.push_back(GridPoint{aqm, mix, link, rtt});
         }
       }
     }
   }
+  const std::size_t per_group = link_grid(opts).size() * rtt_grid(opts).size();
+
+  SweepJsonWriter json{opts.json_path};
+  const runner::ParallelRunner pool{opts.jobs};
+  pool.run_ordered<scenario::RunResult>(
+      grid.size(),
+      [&](std::size_t i) {
+        const GridPoint& g = grid[i];
+        auto cfg = mix_config(g.aqm, g.mix, g.link_mbps, g.rtt_ms, opts);
+        cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+        return scenario::run_dumbbell(cfg);
+      },
+      [&](std::size_t i, scenario::RunResult&& result) {
+        const GridPoint& g = grid[i];
+        if (i % per_group == 0) {
+          std::printf("\n== %s, %s ==\n", aqm_label(g.aqm), to_string(g.mix));
+        }
+        SweepPoint point{g.aqm,  g.mix, g.link_mbps,
+                         g.rtt_ms, std::move(result), i,
+                         sim::Rng::derive_seed(opts.seed, i)};
+        consume(point);
+        json.add(point);
+      });
 }
 
 }  // namespace pi2::bench

@@ -1,0 +1,79 @@
+#include "runner/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pi2::runner {
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) jobs_ = std::thread::hardware_concurrency();
+  if (jobs_ == 0) jobs_ = 1;
+}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& work,
+                         const std::function<void(std::size_t)>& consume) const {
+  if (count == 0) return;
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  if (workers <= 1) {
+    // Reference serial execution: no threads, no buffering.
+    for (std::size_t i = 0; i < count; ++i) {
+      work(i);
+      consume(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  // 0 = pending, 1 = done, 2 = failed. Guarded by `mutex`.
+  std::vector<unsigned char> state(count, 0);
+  std::exception_ptr error;
+
+  auto worker_loop = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      unsigned char outcome = 1;
+      try {
+        work(i);
+      } catch (...) {
+        outcome = 2;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        state[i] = outcome;
+      }
+      done_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker_loop);
+
+  // Consume the ordered prefix as it completes; stop at the first failure.
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned char outcome;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return state[i] != 0; });
+      outcome = state[i];
+    }
+    if (outcome != 1) break;
+    consume(i);
+  }
+
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pi2::runner

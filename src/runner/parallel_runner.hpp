@@ -1,0 +1,66 @@
+// Deterministic fan-out of independent tasks across N worker threads.
+//
+// The experiment sweeps behind the paper's figures run dozens of fully
+// independent simulations (each owns its Simulator, RNG and stats); the
+// runner executes them concurrently while keeping every observable output
+// identical to a serial run:
+//
+//  - Tasks are indexed 0..count-1 and claimed from a single atomic cursor —
+//    no per-thread queues, no work stealing — so scheduling cannot
+//    influence which task computes what.
+//  - Results are buffered per index and handed to the consumer strictly in
+//    submission order, on the calling thread. Anything the consumer prints
+//    is therefore byte-identical regardless of the job count.
+//  - Tasks must not share mutable state; each derives its randomness from
+//    Rng::derive_seed(base_seed, index), never from a shared generator.
+//
+// With jobs() == 1 (or count == 1) no threads are spawned at all and the
+// tasks run inline, which doubles as the reference serial execution.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pi2::runner {
+
+class ParallelRunner {
+ public:
+  /// `jobs` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ParallelRunner(unsigned jobs = 0);
+
+  /// Worker count this runner fans out to.
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Executes `work(i)` for every i in [0, count) across the workers, then
+  /// `consume(i)` for i = 0, 1, ... in order on the calling thread as soon
+  /// as each prefix of results is complete. `work` runs concurrently for
+  /// distinct indices and must not touch shared mutable state; `consume`
+  /// never runs concurrently with itself. The first exception thrown by
+  /// `work` stops consumption and is rethrown after all workers drain.
+  void run(std::size_t count, const std::function<void(std::size_t)>& work,
+           const std::function<void(std::size_t)>& consume) const;
+
+  /// Typed convenience: `produce(i)` builds a Result on a worker; `consume`
+  /// receives them in index order. Each buffered result is destroyed right
+  /// after consumption, so peak memory is bounded by the completion skew.
+  template <typename Result>
+  void run_ordered(
+      std::size_t count, const std::function<Result(std::size_t)>& produce,
+      const std::function<void(std::size_t, Result&&)>& consume) const {
+    std::vector<std::optional<Result>> results(count);
+    run(
+        count, [&](std::size_t i) { results[i].emplace(produce(i)); },
+        [&](std::size_t i) {
+          consume(i, std::move(*results[i]));
+          results[i].reset();
+        });
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace pi2::runner

@@ -232,6 +232,8 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
 
   result.mean_qdelay_ms = result.qdelay_ms_packets.mean();
   result.p99_qdelay_ms = result.qdelay_ms_packets.p99();
+  result.events_executed = sim.events_executed();
+  result.clamped_events = sim.clamped_events();
   return result;
 }
 

@@ -94,6 +94,12 @@ struct RunResult {
   double utilization = 0.0;                   ///< mean over stats window
 
   std::vector<FlowResult> flows;
+  /// Discrete events the run executed — a deterministic fingerprint of the
+  /// whole simulation, handy for serial-vs-parallel equivalence checks.
+  std::uint64_t events_executed = 0;
+  /// `Simulator::at` calls that targeted the past and were clamped to now.
+  /// A healthy run keeps this at 0; integration tests assert it.
+  std::uint64_t clamped_events = 0;
   /// Whole-run bottleneck counters (includes the warm-up transient).
   net::BottleneckLink::Counters counters;
   /// Counters restricted to the stats window [stats_start, duration).

@@ -66,4 +66,13 @@ double Rng::bounded_pareto(double shape, double lo, double hi) {
 
 Rng Rng::split() { return Rng{next_u64()}; }
 
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Two splitmix64 rounds over a golden-ratio-spaced offset: one round
+  // already decorrelates adjacent indices; the second guards against the
+  // (base, index) lattice structure leaking into the xoshiro seeding.
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace pi2::sim

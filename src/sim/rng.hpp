@@ -46,6 +46,13 @@ class Rng {
   /// parent state. Used to give each flow its own stream.
   Rng split();
 
+  /// Derives the seed of stream `index` from `base` without any shared
+  /// state: the same splitmix64 mixing split() relies on, applied to a
+  /// per-index offset. Safe to call concurrently; distinct indices yield
+  /// statistically independent streams. Used by the parallel experiment
+  /// runner to give every grid point its own reproducible stream.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace pi2::sim {
 
@@ -26,13 +26,19 @@ class Simulator {
   /// Root RNG; components should `split()` their own streams from it.
   Rng& rng() { return rng_; }
 
-  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
-  EventHandle at(Time when, std::function<void()> fn) {
-    return scheduler_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+  /// Schedules `fn` at absolute time `at`. Scheduling in the past is almost
+  /// always a component bug; the time is clamped to now and counted in
+  /// clamped_events() so harnesses can assert it never happens.
+  EventHandle at(Time when, UniqueFunction fn) {
+    if (when < now_) {
+      ++clamped_;
+      when = now_;
+    }
+    return scheduler_.schedule_at(when, std::move(fn));
   }
 
   /// Schedules `fn` after a relative delay (clamped to >= 0).
-  EventHandle after(Duration delay, std::function<void()> fn) {
+  EventHandle after(Duration delay, UniqueFunction fn) {
     return at(now_ + (delay.count() > 0 ? delay : Duration{0}), std::move(fn));
   }
 
@@ -46,10 +52,18 @@ class Simulator {
   /// Events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const { return scheduler_.executed(); }
 
+  /// Number of `at()` calls whose target time was in the past and got
+  /// clamped to now. Healthy runs keep this at 0.
+  [[nodiscard]] std::uint64_t clamped_events() const { return clamped_; }
+
+  /// The underlying scheduler (observability: heap occupancy, compactions).
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
+
  private:
   Time now_ = kTimeZero;
   Scheduler scheduler_;
   Rng rng_;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace pi2::sim

@@ -1,0 +1,126 @@
+// Move-only `void()` callable with small-buffer optimization.
+//
+// The scheduler stores one callback per event; with std::function every
+// capture beyond two pointers heap-allocates and every handle copy touches
+// an atomic refcount. Simulation callbacks are almost always small lambdas
+// (a couple of captured pointers), so a fixed inline buffer removes the
+// allocation from the per-event path entirely. Move-only semantics are
+// enough — the scheduler never copies a stored callback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pi2::sim {
+
+class UniqueFunction {
+ public:
+  /// Inline capture budget. Sized for the common scheduler callbacks (a few
+  /// pointers plus a small value); larger callables fall back to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVtable<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      vtable_ = &kHeapVtable<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(target()); }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    /// Move-constructs dst from src and destroys src. Null for heap-stored
+    /// callables, whose moves are a pointer swap.
+    void (*relocate)(void* src, void* dst);
+  };
+
+  template <typename Fn>
+  static void invoke_impl(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void destroy_inline(void* p) {
+    static_cast<Fn*>(p)->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_heap(void* p) {
+    delete static_cast<Fn*>(p);
+  }
+  template <typename Fn>
+  static void relocate_impl(void* src, void* dst) {
+    ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+    static_cast<Fn*>(src)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVtable{&invoke_impl<Fn>, &destroy_inline<Fn>,
+                                        &relocate_impl<Fn>};
+  template <typename Fn>
+  static constexpr VTable kHeapVtable{&invoke_impl<Fn>, &destroy_heap<Fn>,
+                                      nullptr};
+
+  [[nodiscard]] void* target() {
+    return heap_ != nullptr ? heap_ : static_cast<void*>(buffer_);
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      if (other.heap_ != nullptr) {
+        heap_ = other.heap_;
+        other.heap_ = nullptr;
+      } else {
+        vtable_->relocate(other.buffer_, buffer_);
+      }
+    }
+    other.vtable_ = nullptr;
+  }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(target());
+      heap_ = nullptr;
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  void* heap_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+};
+
+}  // namespace pi2::sim

@@ -39,7 +39,10 @@ RunResult run_mix(AqmType aqm, int cubic_flows, int dctcp_flows, double link_mbp
     dctcp.base_rtt = from_millis(rtt_ms);
     cfg.tcp_flows.push_back(dctcp);
   }
-  return run_dumbbell(cfg);
+  RunResult result = run_dumbbell(cfg);
+  // No component may schedule into the past; a clamp means broken timing.
+  EXPECT_EQ(result.clamped_events, 0u);
+  return result;
 }
 
 struct MixCase {

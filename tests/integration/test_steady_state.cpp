@@ -39,7 +39,10 @@ RunResult run_steady(tcp::CcType cc, AqmType aqm, const SteadyCase& c,
   flow.count = c.flows;
   flow.base_rtt = from_millis(c.rtt_ms);
   cfg.tcp_flows = {flow};
-  return run_dumbbell(cfg);
+  RunResult result = run_dumbbell(cfg);
+  // No component may schedule into the past; a clamp means broken timing.
+  EXPECT_EQ(result.clamped_events, 0u);
+  return result;
 }
 
 /// Mean window per flow (in segments) implied by the measured goodput.

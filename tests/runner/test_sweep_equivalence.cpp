@@ -1,0 +1,108 @@
+// Serial-vs-parallel equivalence of the experiment sweep: the fig15 quick
+// grid run with --jobs 1 and --jobs 4 must yield identical RunResult
+// streams — same order, bitwise-equal statistics — and two parallel
+// executions with the same seed must match each other. Run durations are
+// shortened via the Options overrides so the full 36-point grid stays
+// test-sized; the simulation code paths are exactly the figures'.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep.hpp"
+
+namespace pi2::bench {
+namespace {
+
+/// Everything observable about one sweep point, compared bitwise. Doubles
+/// are compared with exact equality on purpose: parallelism must not
+/// perturb a single bit of any statistic.
+struct PointDigest {
+  scenario::AqmType aqm;
+  MixKind mix;
+  double link_mbps;
+  double rtt_ms;
+  std::uint64_t seed;
+  double mean_qdelay_ms;
+  double p99_qdelay_ms;
+  double utilization;
+  double signal_rate;
+  std::uint64_t events_executed;
+  std::uint64_t clamped_events;
+  std::int64_t enqueued, forwarded, aqm_dropped, tail_dropped, marked;
+  std::vector<double> flow_goodputs;
+  std::vector<double> qdelay_series;
+
+  bool operator==(const PointDigest&) const = default;
+};
+
+PointDigest digest(const SweepPoint& p) {
+  PointDigest d{};
+  d.aqm = p.aqm;
+  d.mix = p.mix;
+  d.link_mbps = p.link_mbps;
+  d.rtt_ms = p.rtt_ms;
+  d.seed = p.seed;
+  d.mean_qdelay_ms = p.result.mean_qdelay_ms;
+  d.p99_qdelay_ms = p.result.p99_qdelay_ms;
+  d.utilization = p.result.utilization;
+  d.signal_rate = p.result.observed_signal_rate();
+  d.events_executed = p.result.events_executed;
+  d.clamped_events = p.result.clamped_events;
+  d.enqueued = p.result.window_counters.enqueued;
+  d.forwarded = p.result.window_counters.forwarded;
+  d.aqm_dropped = p.result.window_counters.aqm_dropped;
+  d.tail_dropped = p.result.window_counters.tail_dropped;
+  d.marked = p.result.window_counters.marked;
+  for (const auto& f : p.result.flows) d.flow_goodputs.push_back(f.goodput_mbps);
+  for (const auto& s : p.result.qdelay_ms_series.points()) {
+    d.qdelay_series.push_back(s.value);
+  }
+  return d;
+}
+
+Options test_options(unsigned jobs) {
+  Options opts;
+  opts.seed = 1;
+  opts.jobs = jobs;
+  // Quick grid (3x3 links x RTTs, both AQMs, both mixes = 36 points) with
+  // shortened runs so the whole sweep stays test-sized.
+  opts.duration_s_override = 5.0;
+  opts.stats_start_s_override = 2.0;
+  return opts;
+}
+
+std::vector<PointDigest> sweep_digests(unsigned jobs) {
+  std::vector<PointDigest> digests;
+  run_sweep(test_options(jobs),
+            [&](const SweepPoint& p) { digests.push_back(digest(p)); });
+  return digests;
+}
+
+TEST(SweepEquivalence, Fig15QuickGridJobs1VersusJobs4) {
+  const auto serial = sweep_digests(1);
+  const auto parallel = sweep_digests(4);
+  ASSERT_EQ(serial.size(), 36u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "grid point " << i << " diverged";
+  }
+}
+
+TEST(SweepEquivalence, ParallelRunsAreDeterministic) {
+  const auto first = sweep_digests(4);
+  const auto second = sweep_digests(4);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "grid point " << i << " diverged";
+  }
+}
+
+TEST(SweepEquivalence, NoClampedSchedulesAcrossTheGrid) {
+  for (const auto& d : sweep_digests(2)) {
+    EXPECT_EQ(d.clamped_events, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pi2::bench

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace pi2::sim {
@@ -94,6 +96,68 @@ TEST(Scheduler, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) s.schedule_at(Time{i}, [] {});
   while (!s.empty()) s.run_next();
   EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, CompactionBoundsHeapUnderCancelChurn) {
+  // Regression: the seed scheduler kept cancelled entries until they
+  // surfaced, so schedule/cancel churn (RTO timers) grew the heap without
+  // bound. Compaction must keep dead entries below half the heap.
+  Scheduler s;
+  constexpr int kTimers = 1'000'000;
+  EventHandle pending;
+  for (int i = 0; i < kTimers; ++i) {
+    pending.cancel();
+    // Far-future timer that will never fire before being replaced.
+    pending = s.schedule_at(Time{1'000'000'000 + i}, [] {});
+    EXPECT_LE(s.heap_size(), 2 * s.live_size() + 64)
+        << "heap carries unbounded cancelled garbage at i=" << i;
+  }
+  EXPECT_LE(s.heap_size(), 128u);
+  EXPECT_EQ(s.live_size(), 1u);
+  EXPECT_GT(s.compactions(), 0u);
+  pending.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, SlotReuseDoesNotConfuseStaleHandles) {
+  // After an event fires, its slab slot may be recycled for a new event; a
+  // stale handle to the fired event must not cancel or observe the new one.
+  Scheduler s;
+  EventHandle first = s.schedule_at(Time{1}, [] {});
+  s.run_next();  // fires `first`, freeing its slot
+  bool second_ran = false;
+  EventHandle second = s.schedule_at(Time{2}, [&] { second_ran = true; });
+  EXPECT_FALSE(first.pending());
+  first.cancel();  // stale: must be a no-op on the recycled slot
+  EXPECT_TRUE(second.pending());
+  s.run_next();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Scheduler, CancelInsideCallbackOfSameInstant) {
+  Scheduler s;
+  bool victim_ran = false;
+  EventHandle victim;
+  s.schedule_at(Time{10}, [&] { victim.cancel(); });
+  victim = s.schedule_at(Time{10}, [&] { victim_ran = true; });
+  while (!s.empty()) s.run_next();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(Scheduler, LargeCallbacksFallBackToHeapCorrectly) {
+  // Captures beyond UniqueFunction's inline buffer must still run and
+  // destroy correctly (heap fallback path).
+  Scheduler s;
+  auto big = std::make_shared<std::vector<int>>(1000, 7);
+  std::array<std::shared_ptr<std::vector<int>>, 8> copies;
+  copies.fill(big);
+  int seen = 0;
+  s.schedule_at(Time{1}, [copies, &seen] { seen = (*copies[7])[0]; });
+  copies.fill(nullptr);  // only the scheduled callback holds references now
+  EXPECT_EQ(big.use_count(), 9);
+  s.run_next();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(big.use_count(), 1);  // callback's captures were destroyed
 }
 
 TEST(Scheduler, ManyEventsStressOrdering) {

@@ -92,6 +92,33 @@ TEST(Simulator, RngIsSeededFromConstructor) {
   EXPECT_NE(c.rng().next_u64(), d.rng().next_u64());
 }
 
+TEST(Simulator, ClampedEventsCounterStartsAtZero) {
+  Simulator s;
+  s.at(Time{10}, [] {});
+  s.after(Duration{5}, [] {});
+  s.run();
+  EXPECT_EQ(s.clamped_events(), 0u);
+}
+
+TEST(Simulator, ClampedEventsCountsPastTimeSchedules) {
+  Simulator s;
+  s.at(Time{100}, [&] {
+    s.at(Time{10}, [] {});  // in the past: clamped and counted
+    s.at(Time{100}, [] {}); // exactly now: not a clamp
+  });
+  s.run();
+  EXPECT_EQ(s.clamped_events(), 1u);
+}
+
+TEST(Simulator, NegativeDelayAfterDoesNotCountAsClamp) {
+  // after() already clamps the delay to zero before calling at(), so it
+  // lands exactly on now — only genuinely-past absolute times are counted.
+  Simulator s;
+  s.at(Time{10}, [&] { s.after(Duration{-50}, [] {}); });
+  s.run();
+  EXPECT_EQ(s.clamped_events(), 0u);
+}
+
 TEST(Simulator, PeriodicSelfReschedulingPattern) {
   Simulator s;
   int ticks = 0;
