@@ -32,6 +32,17 @@ struct Options {
   /// Caps the number of entries per grid axis (0 = no cap); --smoke uses
   /// this to exercise the full sweep machinery in seconds.
   int grid_cap = 0;
+  /// Per-point wall-clock watchdog deadline in seconds (0 = no watchdog).
+  /// A point that exceeds it is retried once, then reported `timeout`.
+  double deadline_s = 0;
+  /// Extra attempts for a failed or stuck point.
+  int retries = 1;
+  /// Test hooks for the partial-failure path: force the given grid point to
+  /// throw / to stall for `hang_s` wall seconds (-1 = disabled). With a
+  /// deadline set, a hung point exercises the watchdog + retry machinery.
+  long long inject_fail = -1;
+  long long inject_hang = -1;
+  double hang_s = 2.0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -50,15 +61,32 @@ inline Options parse_options(int argc, char** argv) {
       opts.duration_s_override = 4.0;
       opts.stats_start_s_override = 1.0;
       opts.grid_cap = 2;
+    } else if (arg == "--deadline-s" && i + 1 < argc) {
+      opts.deadline_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      opts.retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--inject-fail" && i + 1 < argc) {
+      opts.inject_fail = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--inject-hang" && i + 1 < argc) {
+      opts.inject_hang = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--hang-s" && i + 1 < argc) {
+      opts.hang_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--jobs N] [--json PATH] [--smoke]\n"
+          "          [--deadline-s S] [--retries N]\n"
           "  --full      paper-scale grid and durations (slower)\n"
           "  --seed N    RNG seed (default 1)\n"
           "  --jobs N    worker threads for sweep grids (default: all cores;\n"
           "              tables are byte-identical for every N)\n"
           "  --json PATH also write per-point JSON records to PATH\n"
-          "  --smoke     tiny grid and durations (CI race/smoke testing)\n",
+          "  --smoke     tiny grid and durations (CI race/smoke testing)\n"
+          "  --deadline-s S  per-point wall-clock watchdog; a point past the\n"
+          "              deadline is retried once, then reported `timeout`\n"
+          "  --retries N retry budget per failed/stuck point (default 1)\n"
+          "  --inject-fail I / --inject-hang I / --hang-s S\n"
+          "              fault-injection test hooks: force point I to throw,\n"
+          "              or to stall S wall seconds (default 2)\n",
           argv[0]);
       std::exit(0);
     }

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
   double worst_pi2_log_ratio = 0.0;
   double best_pie_dctcp_ratio = 1e9;
-  run_sweep(opts, [&](const SweepPoint& p) {
+  const auto report = run_sweep(opts, [&](const SweepPoint& p) {
     const double cubic = p.result.mean_goodput_mbps(tcp::CcType::kCubic);
     const double other = p.result.mean_goodput_mbps(other_cc(p.mix));
     const double ratio = other > 0 ? cubic / other : 0.0;
@@ -43,5 +43,5 @@ int main(int argc, char** argv) {
   std::printf(
       "# expectation: PIE lets DCTCP dominate ~10x; PI2 keeps the balance\n"
       "# near 1 over the whole range; the ECN-Cubic control is fair under both.\n");
-  return 0;
+  return sweep_exit_code(report);
 }

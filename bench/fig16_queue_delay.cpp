@@ -12,12 +12,12 @@ int main(int argc, char** argv) {
   print_header("Figure 16", "queuing delay, one flow per congestion control", opts);
   std::printf("%-12s %-10s %-12s %-12s\n", "link[Mbps]", "rtt[ms]", "mean[ms]",
               "p99[ms]");
-  run_sweep(opts, [&](const SweepPoint& p) {
+  const auto report = run_sweep(opts, [&](const SweepPoint& p) {
     std::printf("%-12g %-10g %-12.2f %-12.2f\n", p.link_mbps, p.rtt_ms,
                 p.result.mean_qdelay_ms, p.result.p99_qdelay_ms);
   });
   std::printf(
       "\n# expectation: both AQMs hold ~20 ms mean; PI2's P99 lower than\n"
       "# PIE's at 4 Mb/s.\n");
-  return 0;
+  return sweep_exit_code(report);
 }

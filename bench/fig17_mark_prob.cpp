@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   print_header("Figure 17", "mark/drop probability [%], P25/mean/P99", opts);
   std::printf("%-12s %-10s | %-24s | %-24s\n", "link[Mbps]", "rtt[ms]",
               "classic p25/mean/p99", "scalable p25/mean/p99");
-  run_sweep(opts, [&](const SweepPoint& p) {
+  const auto report = run_sweep(opts, [&](const SweepPoint& p) {
     const auto& classic = p.result.classic_prob_samples;
     const auto& scal = p.result.scalable_prob_samples;
     std::printf("%-12g %-10g | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f\n",
@@ -23,5 +23,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\n# expectation: probabilities fall with BDP; under coupled PI2 the\n"
       "# scalable probability is ~2*sqrt(classic), well above it.\n");
-  return 0;
+  return sweep_exit_code(report);
 }

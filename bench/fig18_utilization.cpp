@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
                opts);
   std::printf("%-12s %-10s %-10s %-10s %-10s\n", "link[Mbps]", "rtt[ms]", "P1",
               "mean", "P99");
-  run_sweep(opts, [&](const SweepPoint& p) {
+  const auto report = run_sweep(opts, [&](const SweepPoint& p) {
     stats::PercentileSampler samples;
     for (const auto& point : p.result.utilization_series.points()) {
       if (point.t >= stats_start(opts)) samples.add(point.value);
@@ -23,5 +23,5 @@ int main(int argc, char** argv) {
                 samples.p99() * 100.0);
   });
   std::printf("\n# expectation: utilization >90%% across the grid for both AQMs.\n");
-  return 0;
+  return sweep_exit_code(report);
 }

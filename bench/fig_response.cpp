@@ -1,0 +1,151 @@
+// Responsiveness to a capacity step (the paper's section 4.4 regime): the
+// bottleneck drops from 40 to 10 Mb/s mid-run — a 4x capacity loss — then
+// recovers, and we measure how long each AQM needs to bring the queue delay
+// back to its 20 ms target band.
+//
+// The step is expressed as a FaultSchedule (two kRateStep events) replayed
+// by the FaultInjector, and both runs execute through the guarded runner
+// with the InvariantMonitor sampling alongside the stats probes — this
+// binary doubles as the end-to-end exercise of the fault-injection
+// subsystem (ctest: fault_injection_smoke).
+//
+// Headline: PI2's linearized law keeps its gain correct at high p, so it
+// re-converges after the drop at least as fast as PIE.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sweep.hpp"
+
+namespace {
+
+using namespace pi2;
+using namespace pi2::bench;
+
+struct ResponsePoint {
+  scenario::AqmType aqm;
+  scenario::RunResult result;
+};
+
+double duration_s(const Options& opts) {
+  if (opts.duration_s_override > 0) return opts.duration_s_override;
+  return opts.full ? 60.0 : 30.0;
+}
+
+/// First time after `step_at` from which the sampled queue delay stays
+/// inside the settle band for `hold` seconds; returns the settle latency in
+/// seconds, or -1 when the run never settles.
+double settle_after_s(const stats::TimeSeries& qdelay_ms, double step_at_s,
+                      double window_end_s, double band_ms, double hold_s) {
+  const auto& pts = qdelay_ms.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double t = sim::to_seconds(pts[i].t);
+    if (t < step_at_s || t + hold_s > window_end_s) continue;
+    bool held = true;
+    for (std::size_t j = i; j < pts.size(); ++j) {
+      const double tj = sim::to_seconds(pts[j].t);
+      if (tj > t + hold_s) break;
+      if (pts[j].value > band_ms) {
+        held = false;
+        break;
+      }
+    }
+    if (held) return t - step_at_s;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  print_header("Responsiveness", "40 -> 10 -> 40 Mb/s capacity step, PI2 vs PIE",
+               opts);
+
+  const double total_s = duration_s(opts);
+  const double down_s = total_s / 3.0;
+  const double up_s = 2.0 * total_s / 3.0;
+  const double hold_s = total_s >= 30.0 ? 2.0 : 0.5;
+  const double target_ms = 20.0;
+  const double band_ms = 2.0 * target_ms;  // "re-converged": within 2x target
+  const std::vector<scenario::AqmType> aqms{scenario::AqmType::kCoupledPi2,
+                                            scenario::AqmType::kPie};
+
+  std::printf("# step down at %.1f s, step up at %.1f s; settle = qdelay "
+              "held <= %.0f ms for %.1f s\n",
+              down_s, up_s, band_ms, hold_s);
+  std::printf("%-14s %-16s %-16s %-12s %-12s %-8s\n", "aqm",
+              "settle_drop[s]", "settle_rise[s]", "peak[ms]", "invariants",
+              "guards");
+
+  const runner::ParallelRunner pool{opts.jobs};
+  bool healthy = true;
+  std::vector<double> settle_drop(aqms.size(), -1.0);
+
+  const auto report = pool.run_ordered_guarded<scenario::RunResult>(
+      aqms.size(),
+      [&](std::size_t i) {
+        scenario::DumbbellConfig cfg;
+        cfg.link_rate_bps = 40e6;
+        cfg.aqm.type = aqms[i];
+        cfg.aqm.ecn_drop_threshold = 1.0;
+        cfg.duration = sim::from_seconds(total_s);
+        cfg.stats_start = sim::from_seconds(total_s / 10.0);
+        cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+        scenario::TcpFlowSpec cubic;
+        cubic.cc = tcp::CcType::kCubic;
+        cubic.count = 4;
+        cubic.base_rtt = sim::from_millis(10);
+        cfg.tcp_flows.push_back(cubic);
+        cfg.faults.rate_step(sim::from_seconds(down_s), 10e6)
+            .rate_step(sim::from_seconds(up_s), 40e6);
+        return scenario::run_dumbbell(cfg);
+      },
+      [&](std::size_t i, runner::TaskStatus status,
+          scenario::RunResult* result) {
+        if (status != runner::TaskStatus::kOk || result == nullptr) {
+          std::printf("%-14s point %s\n", aqm_label(aqms[i]),
+                      runner::to_string(status));
+          healthy = false;
+          return;
+        }
+        const double drop = settle_after_s(result->qdelay_ms_series, down_s,
+                                           up_s, band_ms, hold_s);
+        const double rise = settle_after_s(result->qdelay_ms_series, up_s,
+                                           total_s, band_ms, hold_s);
+        settle_drop[i] = drop;
+        double peak = 0.0;
+        for (const auto& p : result->qdelay_ms_series.points()) {
+          if (sim::to_seconds(p.t) >= down_s && p.value > peak) peak = p.value;
+        }
+        std::printf("%-14s %-16.2f %-16.2f %-12.1f %-12llu %-8llu\n",
+                    aqm_label(aqms[i]), drop, rise, peak,
+                    static_cast<unsigned long long>(result->violations.size()),
+                    static_cast<unsigned long long>(result->guard_events));
+        if (result->fault_counters.rate_changes != 2) {
+          std::printf("!! %s: expected 2 rate changes, injector applied %llu\n",
+                      aqm_label(aqms[i]),
+                      static_cast<unsigned long long>(
+                          result->fault_counters.rate_changes));
+          healthy = false;
+        }
+        // Whether/when a run settles is the experiment's *finding* (short
+        // smoke windows legitimately never settle); health is only about
+        // the machinery.
+        if (!result->violations.empty() || result->clamped_events != 0) {
+          healthy = false;
+        }
+      },
+      runner::GuardOptions{});
+
+  if (report.all_ok() && healthy && settle_drop[0] >= 0 &&
+      settle_drop[1] >= 0) {
+    std::printf("\n# PI2 settles %.2f s after the 4x drop vs PIE %.2f s (%s)\n",
+                settle_drop[0], settle_drop[1],
+                settle_drop[0] <= settle_drop[1] ? "PI2 at least as fast"
+                                                 : "PIE faster here");
+  }
+  std::printf("# points ok: %zu/%zu\n", report.ok_count(),
+              report.status.size());
+  return report.all_ok() && healthy ? 0 : 1;
+}

@@ -28,19 +28,42 @@ trap 'rm -f "$MICRO_JSON"' EXIT
 
 BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" OUT="$OUT" \
 python3 - <<'PY'
-import json, os, subprocess, time
+import json, os, subprocess, sys, tempfile, time
 
 build = os.environ["BUILD_DIR"]
 jobs = int(os.environ["JOBS"])
 fig15 = os.path.join(build, "bench", "fig15_rate_balance")
 
-def timed_sweep(n_jobs):
+def timed_sweep(n_jobs, json_path=None):
+    cmd = [fig15, "--jobs", str(n_jobs)]
+    if json_path:
+        cmd += ["--json", json_path]
     start = time.monotonic()
-    subprocess.run([fig15, "--jobs", str(n_jobs)], check=True,
-                   stdout=subprocess.DEVNULL)
+    # check=True also fails this script loudly when the sweep exits non-zero
+    # (i.e. any grid point failed or timed out).
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
     return round(time.monotonic() - start, 3)
 
-wall = {n: timed_sweep(n) for n in sorted({1, jobs})}
+points_json = tempfile.mktemp(suffix=".json")
+try:
+    wall = {n: timed_sweep(n, points_json if n == jobs else None)
+            for n in sorted({1, jobs})}
+    with open(points_json) as f:
+        points = json.load(f)
+finally:
+    if os.path.exists(points_json):
+        os.unlink(points_json)
+
+# Belt and braces: the binary already exits non-zero on failures, but the
+# per-point records are the ground truth — refuse to write a trajectory file
+# that silently contains failed or timed-out points.
+bad = [p for p in points if p.get("status") != "ok"]
+if bad:
+    for p in bad:
+        print(f"error: sweep point {p['index']} ({p.get('aqm')}, "
+              f"{p.get('mix')}) status={p['status']}: "
+              f"{p.get('error', '?')}", file=sys.stderr)
+    sys.exit(1)
 serial_s = wall[1]
 parallel_s = wall[jobs]
 

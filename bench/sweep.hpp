@@ -7,11 +7,22 @@
 // submission order on the calling thread, which keeps every figure's table
 // byte-identical to a serial run regardless of the job count. Each point
 // seeds its own RNG stream from (base seed, point index) — no shared state.
+//
+// Sweeps run through the *guarded* runner: a point that throws or exceeds
+// the --deadline-s wall-clock watchdog is retried (--retries, default 1)
+// and, if it still fails, reported as `failed`/`timeout` — in the printed
+// table, in the per-point JSON record, and in the returned RunReport — while
+// every other point completes normally. Callers exit non-zero when
+// !report.all_ok().
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
+#include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,8 +46,35 @@ inline const char* aqm_label(scenario::AqmType aqm) {
   return aqm == scenario::AqmType::kPie ? "PIE" : "PI2(coupled)";
 }
 
+/// Minimal JSON string escaping for error messages embedded in records.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Streams one machine-readable record per sweep point as a JSON array.
 /// Used by --json to make runs comparable across PRs (BENCH_sweep.json).
+/// Every record carries a "status" field ("ok" / "failed" / "timeout");
+/// failed and timed-out points get a reduced record with the error message
+/// instead of measurements, so downstream tooling can tell a missing point
+/// from a zero-valued one.
 class SweepJsonWriter {
  public:
   SweepJsonWriter() = default;
@@ -64,14 +102,16 @@ class SweepJsonWriter {
     std::fprintf(
         file_,
         "%s\n"
-        "  {\"index\": %zu, \"aqm\": \"%s\", \"mix\": \"%s\", "
+        "  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
+        "\"mix\": \"%s\", "
         "\"link_mbps\": %g, \"rtt_ms\": %g, \"seed\": %llu, "
         "\"mean_qdelay_ms\": %.6g, \"p99_qdelay_ms\": %.6g, "
         "\"utilization\": %.6g, \"signal_rate\": %.6g, "
         "\"cubic_mbps\": %.6g, \"other_mbps\": %.6g, "
         "\"enqueued\": %lld, \"forwarded\": %lld, \"aqm_dropped\": %lld, "
         "\"tail_dropped\": %lld, \"marked\": %lld, "
-        "\"events_executed\": %llu}",
+        "\"events_executed\": %llu, \"clamped_events\": %llu, "
+        "\"invariant_violations\": %llu, \"guard_events\": %llu}",
         first_ ? "" : ",", p.index, aqm_label(p.aqm), to_string(p.mix),
         p.link_mbps, p.rtt_ms, static_cast<unsigned long long>(p.seed),
         p.result.mean_qdelay_ms, p.result.p99_qdelay_ms, p.result.utilization,
@@ -81,7 +121,25 @@ class SweepJsonWriter {
         static_cast<long long>(c.enqueued), static_cast<long long>(c.forwarded),
         static_cast<long long>(c.aqm_dropped),
         static_cast<long long>(c.tail_dropped), static_cast<long long>(c.marked),
-        static_cast<unsigned long long>(p.result.events_executed));
+        static_cast<unsigned long long>(p.result.events_executed),
+        static_cast<unsigned long long>(p.result.clamped_events),
+        static_cast<unsigned long long>(p.result.violations.size()),
+        static_cast<unsigned long long>(p.result.guard_events));
+    first_ = false;
+  }
+
+  void add_failed(std::size_t index, scenario::AqmType aqm, MixKind mix,
+                  double link_mbps, double rtt_ms, runner::TaskStatus status,
+                  const std::string& message) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "%s\n"
+                 "  {\"index\": %zu, \"status\": \"%s\", \"aqm\": \"%s\", "
+                 "\"mix\": \"%s\", \"link_mbps\": %g, \"rtt_ms\": %g, "
+                 "\"error\": \"%s\"}",
+                 first_ ? "" : ",", index, runner::to_string(status),
+                 aqm_label(aqm), to_string(mix), link_mbps, rtt_ms,
+                 json_escape(message).c_str());
     first_ = false;
   }
 
@@ -90,11 +148,37 @@ class SweepJsonWriter {
   bool first_ = true;
 };
 
-/// Runs the full grid, invoking `consume` per point in grid order. Grid
-/// points execute on opts.jobs worker threads; `consume` (and the progress
-/// grouping headers) run on the calling thread only.
-inline void run_sweep(const Options& opts,
-                      const std::function<void(const SweepPoint&)>& consume) {
+namespace detail {
+/// Test hook honoring --inject-fail / --inject-hang: makes one grid point
+/// misbehave so the partial-failure path can be exercised end to end.
+inline void maybe_inject(const Options& opts, std::size_t i) {
+  if (opts.inject_fail >= 0 &&
+      static_cast<std::size_t>(opts.inject_fail) == i) {
+    throw std::runtime_error("injected failure (--inject-fail " +
+                             std::to_string(i) + ")");
+  }
+  if (opts.inject_hang >= 0 &&
+      static_cast<std::size_t>(opts.inject_hang) == i) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(opts.hang_s));
+  }
+}
+
+inline runner::GuardOptions guard_options(const Options& opts) {
+  runner::GuardOptions guard;
+  guard.deadline = std::chrono::milliseconds(
+      static_cast<long long>(opts.deadline_s * 1000.0));
+  guard.retries = opts.retries;
+  return guard;
+}
+}  // namespace detail
+
+/// Runs the full grid, invoking `consume` per completed point in grid order.
+/// Grid points execute on opts.jobs worker threads; `consume` (and the
+/// progress grouping headers) run on the calling thread only. Failed or
+/// timed-out points are announced on the table, recorded in the JSON stream
+/// and returned in the report — they never reach `consume`.
+inline runner::RunReport run_sweep(
+    const Options& opts, const std::function<void(const SweepPoint&)>& consume) {
   struct GridPoint {
     scenario::AqmType aqm;
     MixKind mix;
@@ -115,25 +199,72 @@ inline void run_sweep(const Options& opts,
 
   SweepJsonWriter json{opts.json_path};
   const runner::ParallelRunner pool{opts.jobs};
-  pool.run_ordered<scenario::RunResult>(
+
+  // Last attempt's exception message per point, for the failure records.
+  std::mutex error_mutex;
+  std::vector<std::string> last_error(grid.size());
+
+  runner::RunReport report = pool.run_ordered_guarded<scenario::RunResult>(
       grid.size(),
       [&](std::size_t i) {
-        const GridPoint& g = grid[i];
-        auto cfg = mix_config(g.aqm, g.mix, g.link_mbps, g.rtt_ms, opts);
-        cfg.seed = sim::Rng::derive_seed(opts.seed, i);
-        return scenario::run_dumbbell(cfg);
+        try {
+          detail::maybe_inject(opts, i);
+          const GridPoint& g = grid[i];
+          auto cfg = mix_config(g.aqm, g.mix, g.link_mbps, g.rtt_ms, opts);
+          cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+          return scenario::run_dumbbell(cfg);
+        } catch (const std::exception& ex) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          last_error[i] = ex.what();
+          throw;
+        }
       },
-      [&](std::size_t i, scenario::RunResult&& result) {
+      [&](std::size_t i, runner::TaskStatus status,
+          scenario::RunResult* result) {
         const GridPoint& g = grid[i];
         if (i % per_group == 0) {
           std::printf("\n== %s, %s ==\n", aqm_label(g.aqm), to_string(g.mix));
         }
-        SweepPoint point{g.aqm,  g.mix, g.link_mbps,
-                         g.rtt_ms, std::move(result), i,
-                         sim::Rng::derive_seed(opts.seed, i)};
-        consume(point);
-        json.add(point);
-      });
+        if (status == runner::TaskStatus::kOk && result != nullptr) {
+          SweepPoint point{g.aqm,  g.mix, g.link_mbps,
+                           g.rtt_ms, std::move(*result), i,
+                           sim::Rng::derive_seed(opts.seed, i)};
+          if (!point.result.violations.empty()) {
+            std::printf("!! point %zu: %llu invariant violation(s), see JSON\n",
+                        i, static_cast<unsigned long long>(
+                               point.result.violations.size()));
+          }
+          consume(point);
+          json.add(point);
+          return;
+        }
+        std::string message;
+        if (status == runner::TaskStatus::kTimeout) {
+          message = "wall-clock deadline exceeded (--deadline-s " +
+                    std::to_string(opts.deadline_s) + ")";
+        } else {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          message = last_error[i].empty() ? "unknown error" : last_error[i];
+        }
+        std::printf("!! point %zu (%s, %s, %g Mb/s, %g ms) %s: %s\n", i,
+                    aqm_label(g.aqm), to_string(g.mix), g.link_mbps, g.rtt_ms,
+                    runner::to_string(status), message.c_str());
+        json.add_failed(i, g.aqm, g.mix, g.link_mbps, g.rtt_ms, status,
+                        message);
+      },
+      detail::guard_options(opts));
+
+  if (!report.all_ok()) {
+    std::fprintf(stderr, "sweep: %zu of %zu points did not complete\n",
+                 report.failures.size(), report.status.size());
+  }
+  return report;
+}
+
+/// Exit code for a figure binary given its sweep report: 0 when every point
+/// completed, 1 otherwise (partial results were still printed/written).
+inline int sweep_exit_code(const runner::RunReport& report) {
+  return report.all_ok() ? 0 : 1;
 }
 
 }  // namespace pi2::bench

@@ -31,6 +31,7 @@ class PiAqm : public net::QueueDiscipline {
   Verdict enqueue(const net::Packet& packet) override;
 
   [[nodiscard]] double classic_probability() const override { return pi_.prob(); }
+  [[nodiscard]] std::uint64_t guard_events() const override { return pi_.guard_events(); }
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:

@@ -5,9 +5,17 @@
 // with alpha and beta in Hz and queue delays in seconds. The probability is
 // clamped to [0, max]. PIE applies its autotune scaling to the delta before
 // integration; PI2 integrates unscaled and squares on application.
+//
+// The integrator saturates instead of corrupting: a non-finite delta or
+// delay sample (NaN/inf from a poisoned rate estimate or a faulted link)
+// leaves the previous state untouched and bumps guard_events(), so one bad
+// sample cannot poison the probability for the rest of the run. The
+// InvariantMonitor reports a growing guard counter as a violation.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 
 namespace pi2::aqm {
 
@@ -22,9 +30,20 @@ class PiCore {
   }
 
   /// Integrates `dp` and records the delay sample for the next interval.
+  /// Non-finite inputs are rejected (state keeps its previous value) and
+  /// counted in guard_events().
   void integrate(double dp, double qdelay_s) {
-    prob_ = std::clamp(prob_ + dp, 0.0, max_prob_);
-    prev_qdelay_s_ = qdelay_s;
+    const double next = prob_ + dp;
+    if (std::isfinite(next)) {
+      prob_ = std::clamp(next, 0.0, max_prob_);
+    } else {
+      ++guard_events_;
+    }
+    if (std::isfinite(qdelay_s)) {
+      prev_qdelay_s_ = qdelay_s;
+    } else {
+      ++guard_events_;
+    }
   }
 
   /// Convenience: unscaled update (plain PI and PI2).
@@ -33,12 +52,22 @@ class PiCore {
   }
 
   /// Multiplies the probability by `factor` (PIE's idle decay).
-  void decay(double factor) { prob_ *= factor; }
+  void decay(double factor) {
+    const double next = prob_ * factor;
+    if (std::isfinite(next)) {
+      prob_ = std::clamp(next, 0.0, max_prob_);
+    } else {
+      ++guard_events_;
+    }
+  }
 
   [[nodiscard]] double prob() const { return prob_; }
   [[nodiscard]] double prev_qdelay_s() const { return prev_qdelay_s_; }
   [[nodiscard]] double alpha_hz() const { return alpha_hz_; }
   [[nodiscard]] double beta_hz() const { return beta_hz_; }
+
+  /// Times a non-finite delta/sample was rejected. Healthy runs keep this 0.
+  [[nodiscard]] std::uint64_t guard_events() const { return guard_events_; }
 
   void reset() {
     prob_ = 0.0;
@@ -51,6 +80,7 @@ class PiCore {
   double max_prob_;
   double prob_ = 0.0;
   double prev_qdelay_s_ = 0.0;
+  std::uint64_t guard_events_ = 0;
 };
 
 }  // namespace pi2::aqm

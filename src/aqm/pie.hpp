@@ -56,6 +56,7 @@ class PieAqm : public net::QueueDiscipline {
   Verdict dequeue(const net::Packet& packet) override;
 
   [[nodiscard]] double classic_probability() const override { return pi_.prob(); }
+  [[nodiscard]] std::uint64_t guard_events() const override { return pi_.guard_events(); }
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] double qdelay_estimate_s() const;
 

@@ -46,6 +46,7 @@ class CoupledPi2Aqm : public net::QueueDiscipline {
   [[nodiscard]] double classic_probability() const override;
   /// Scalable marking probability p_s.
   [[nodiscard]] double scalable_probability() const override { return pi_.prob(); }
+  [[nodiscard]] std::uint64_t guard_events() const override { return pi_.guard_events(); }
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:

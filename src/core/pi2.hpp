@@ -47,6 +47,7 @@ class Pi2Aqm : public net::QueueDiscipline {
   }
   /// The internal linear pseudo-probability p'.
   [[nodiscard]] double scalable_probability() const override { return pi_.prob(); }
+  [[nodiscard]] std::uint64_t guard_events() const override { return pi_.guard_events(); }
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:

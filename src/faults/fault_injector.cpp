@@ -1,0 +1,115 @@
+#include "faults/fault_injector.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pi2::faults {
+
+using net::BottleneckLink;
+using net::Packet;
+using pi2::sim::Duration;
+using pi2::sim::Time;
+
+FaultInjector::FaultInjector(pi2::sim::Simulator& sim, FaultSchedule schedule,
+                             std::uint64_t seed)
+    : sim_(sim),
+      schedule_(std::move(schedule)),
+      rng_(pi2::sim::Rng::derive_seed(seed, kSeedStream)) {}
+
+void FaultInjector::schedule_flap(BottleneckLink& link, const FaultEvent& e,
+                                  bool low) {
+  // Toggles until the window closes; the final transition restores the
+  // high rate so the link leaves the flap in its healthy state.
+  link.set_rate_bps(low ? e.rate_bps : e.rate2_bps);
+  ++counters_.rate_changes;
+  const Time next = sim_.now() + e.period;
+  if (next >= e.until) {
+    if (low) {
+      sim_.at(e.until, [this, &link, &e] {
+        link.set_rate_bps(e.rate2_bps);
+        ++counters_.rate_changes;
+      });
+    }
+    return;
+  }
+  sim_.at(next, [this, &link, &e, low] { schedule_flap(link, e, !low); });
+}
+
+void FaultInjector::attach(BottleneckLink& link) {
+  assert(schedule_.validate().empty() && "attach() requires a valid schedule");
+  for (const FaultEvent& e : schedule_.events) {
+    switch (e.kind) {
+      case FaultKind::kRateStep:
+        sim_.at(e.at, [this, &link, &e] {
+          link.set_rate_bps(e.rate_bps);
+          ++counters_.rate_changes;
+        });
+        break;
+      case FaultKind::kRateFlap:
+        sim_.at(e.at, [this, &link, &e] { schedule_flap(link, e, true); });
+        break;
+      case FaultKind::kRttStep:
+        sim_.at(e.at, [this, &e] {
+          if (rtt_setter_) {
+            rtt_setter_(e.rtt);
+            ++counters_.rtt_changes;
+          }
+        });
+        break;
+      case FaultKind::kBurstLoss:
+        sim_.at(e.at, [this, &e] { burst_remaining_ += e.burst_packets; });
+        break;
+      case FaultKind::kRandomLoss:
+      case FaultKind::kEcnBleach:
+      case FaultKind::kReorder:
+        break;  // handled per packet by the filter
+    }
+  }
+  if (schedule_.has_packet_faults()) {
+    link.set_ingress_filter(
+        [this](Packet& packet) { return filter(packet); });
+  }
+}
+
+BottleneckLink::IngressVerdict FaultInjector::filter(Packet& packet) {
+  BottleneckLink::IngressVerdict verdict;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++counters_.dropped;
+    verdict.action = BottleneckLink::IngressVerdict::Action::kDrop;
+    return verdict;
+  }
+  const Time now = sim_.now();
+  for (const FaultEvent& e : schedule_.events) {
+    const bool active = now >= e.at && now < e.until;
+    if (!active) continue;
+    switch (e.kind) {
+      case FaultKind::kRandomLoss:
+        if (rng_.uniform() < e.probability) {
+          ++counters_.dropped;
+          verdict.action = BottleneckLink::IngressVerdict::Action::kDrop;
+          return verdict;
+        }
+        break;
+      case FaultKind::kEcnBleach:
+        if (packet.ecn != net::Ecn::kNotEct && rng_.uniform() < e.probability) {
+          packet.ecn = net::Ecn::kNotEct;
+          ++counters_.bleached;
+        }
+        break;
+      case FaultKind::kReorder:
+        if (rng_.uniform() < e.probability) {
+          ++counters_.reordered;
+          verdict.action = BottleneckLink::IngressVerdict::Action::kDelay;
+          verdict.delay = e.extra_delay;
+          return verdict;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace pi2::faults

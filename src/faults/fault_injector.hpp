@@ -1,0 +1,70 @@
+// Replays a FaultSchedule against a live simulation.
+//
+// Scheduled state changes (rate steps/flaps, RTT steps) go through
+// Simulator::at; per-packet impairments (loss, ECN bleaching, reordering)
+// install themselves as the BottleneckLink's ingress filter. All randomness
+// comes from a dedicated Rng stream derived via Rng::derive_seed from the
+// run's seed and a fixed tag, so adding a schedule never perturbs any other
+// stream in the run and results stay deterministic and --jobs-invariant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/fault_schedule.hpp"
+#include "net/bottleneck_link.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pi2::faults {
+
+class FaultInjector {
+ public:
+  /// Stream tag mixed with the run seed for the injector's private Rng.
+  /// Distinct from flow indices used by derive_seed in the sweep engine.
+  static constexpr std::uint64_t kSeedStream = 0xfa17u;
+
+  struct Counters {
+    std::int64_t dropped = 0;       ///< burst + random loss discards
+    std::int64_t bleached = 0;      ///< packets whose ECN codepoint was cleared
+    std::int64_t reordered = 0;     ///< packets deflected through the scheduler
+    std::int64_t rate_changes = 0;  ///< rate step/flap transitions applied
+    std::int64_t rtt_changes = 0;   ///< RTT steps applied
+  };
+
+  /// `seed` is the *run* seed; the injector derives its own stream from it.
+  /// The schedule must already be validated (attach asserts on a malformed
+  /// one in debug builds and ignores invalid events otherwise).
+  FaultInjector(pi2::sim::Simulator& sim, FaultSchedule schedule,
+                std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Hook for RTT-step events; the scenario decides what an RTT change
+  /// means (the dumbbell applies it to every flow's base RTT). Without a
+  /// setter, RTT steps are ignored (and counted as applied = 0).
+  void set_rtt_setter(std::function<void(pi2::sim::Duration)> setter) {
+    rtt_setter_ = std::move(setter);
+  }
+
+  /// Schedules every event and, if the schedule has per-packet faults,
+  /// installs the ingress filter on `link`. Call once, before the run.
+  void attach(net::BottleneckLink& link);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  net::BottleneckLink::IngressVerdict filter(net::Packet& packet);
+  void schedule_flap(net::BottleneckLink& link, const FaultEvent& e, bool low);
+
+  pi2::sim::Simulator& sim_;
+  FaultSchedule schedule_;
+  pi2::sim::Rng rng_;
+  std::function<void(pi2::sim::Duration)> rtt_setter_;
+  Counters counters_;
+  std::int64_t burst_remaining_ = 0;
+};
+
+}  // namespace pi2::faults

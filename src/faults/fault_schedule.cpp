@@ -1,0 +1,178 @@
+#include "faults/fault_schedule.hpp"
+
+#include <cstdio>
+
+namespace pi2::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRateStep: return "rate-step";
+    case FaultKind::kRateFlap: return "rate-flap";
+    case FaultKind::kRttStep: return "rtt-step";
+    case FaultKind::kBurstLoss: return "burst-loss";
+    case FaultKind::kRandomLoss: return "random-loss";
+    case FaultKind::kEcnBleach: return "ecn-bleach";
+    case FaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+bool FaultSchedule::has_packet_faults() const {
+  for (const FaultEvent& e : events) {
+    switch (e.kind) {
+      case FaultKind::kBurstLoss:
+      case FaultKind::kRandomLoss:
+      case FaultKind::kEcnBleach:
+      case FaultKind::kReorder:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+FaultSchedule& FaultSchedule::rate_step(pi2::sim::Time at, double rate_bps) {
+  FaultEvent e;
+  e.kind = FaultKind::kRateStep;
+  e.at = at;
+  e.rate_bps = rate_bps;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::rate_flap(pi2::sim::Time at, pi2::sim::Time until,
+                                        double low_bps, double high_bps,
+                                        pi2::sim::Duration period) {
+  FaultEvent e;
+  e.kind = FaultKind::kRateFlap;
+  e.at = at;
+  e.until = until;
+  e.rate_bps = low_bps;
+  e.rate2_bps = high_bps;
+  e.period = period;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::rtt_step(pi2::sim::Time at, pi2::sim::Duration rtt) {
+  FaultEvent e;
+  e.kind = FaultKind::kRttStep;
+  e.at = at;
+  e.rtt = rtt;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::burst_loss(pi2::sim::Time at, int packets) {
+  FaultEvent e;
+  e.kind = FaultKind::kBurstLoss;
+  e.at = at;
+  e.burst_packets = packets;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::random_loss(pi2::sim::Time at, pi2::sim::Time until,
+                                          double probability) {
+  FaultEvent e;
+  e.kind = FaultKind::kRandomLoss;
+  e.at = at;
+  e.until = until;
+  e.probability = probability;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::ecn_bleach(pi2::sim::Time at, pi2::sim::Time until,
+                                         double fraction) {
+  FaultEvent e;
+  e.kind = FaultKind::kEcnBleach;
+  e.at = at;
+  e.until = until;
+  e.probability = fraction;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::reorder(pi2::sim::Time at, pi2::sim::Time until,
+                                      double fraction,
+                                      pi2::sim::Duration extra_delay) {
+  FaultEvent e;
+  e.kind = FaultKind::kReorder;
+  e.at = at;
+  e.until = until;
+  e.probability = fraction;
+  e.extra_delay = extra_delay;
+  events.push_back(e);
+  return *this;
+}
+
+namespace {
+
+std::string event_error(std::size_t index, FaultKind kind, const char* what) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "fault event #%zu (%s): %s", index,
+                to_string(kind), what);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultSchedule::validate() const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.at < pi2::sim::kTimeZero) {
+      return event_error(i, e.kind, "`at` must be >= 0 (events cannot target the past)");
+    }
+    const bool windowed = e.kind == FaultKind::kRateFlap ||
+                          e.kind == FaultKind::kRandomLoss ||
+                          e.kind == FaultKind::kEcnBleach ||
+                          e.kind == FaultKind::kReorder;
+    if (windowed && e.until <= e.at) {
+      return event_error(i, e.kind, "`until` must be after `at` (empty window)");
+    }
+    const bool probabilistic = e.kind == FaultKind::kRandomLoss ||
+                               e.kind == FaultKind::kEcnBleach ||
+                               e.kind == FaultKind::kReorder;
+    if (probabilistic && !(e.probability > 0.0 && e.probability <= 1.0)) {
+      return event_error(i, e.kind,
+                         "`probability` must be in (0, 1] (use no event instead of 0)");
+    }
+    switch (e.kind) {
+      case FaultKind::kRateStep:
+        if (!(e.rate_bps > 0.0)) {
+          return event_error(i, e.kind, "`rate_bps` must be > 0");
+        }
+        break;
+      case FaultKind::kRateFlap:
+        if (!(e.rate_bps > 0.0) || !(e.rate2_bps > 0.0)) {
+          return event_error(i, e.kind, "both flap rates must be > 0");
+        }
+        if (e.period <= pi2::sim::Duration{0}) {
+          return event_error(i, e.kind, "`period` must be > 0");
+        }
+        break;
+      case FaultKind::kRttStep:
+        if (e.rtt <= pi2::sim::Duration{0}) {
+          return event_error(i, e.kind, "`rtt` must be > 0");
+        }
+        break;
+      case FaultKind::kBurstLoss:
+        if (e.burst_packets <= 0) {
+          return event_error(i, e.kind, "`burst_packets` must be > 0");
+        }
+        break;
+      case FaultKind::kReorder:
+        if (e.extra_delay <= pi2::sim::Duration{0}) {
+          return event_error(i, e.kind, "`extra_delay` must be > 0");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return "";
+}
+
+}  // namespace pi2::faults

@@ -1,0 +1,90 @@
+// Scriptable impairments: a FaultSchedule is a list of timed fault events
+// that a FaultInjector replays against a running simulation.
+//
+// The paper's discriminating regimes for AQM designs are *dynamic*: load
+// steps, capacity changes and imperfect congestion signals (Briscoe's PI^2
+// parameters report and the Curvy RED insights report both stress them).
+// A schedule expresses those regimes declaratively so experiments stay
+// reproducible: the same schedule + seed gives a byte-identical run.
+//
+// Event kinds:
+//   kRateStep   — set the bottleneck rate at `at` (Figure 12-style steps).
+//   kRateFlap   — toggle the rate between rate_bps and rate2_bps every
+//                 `period` over [at, until) — a flapping backhaul.
+//   kRttStep    — set every flow's base RTT at `at` (path change).
+//   kBurstLoss  — drop the next `burst_packets` arrivals from `at`
+//                 (a microwave fade / outage burst).
+//   kRandomLoss — drop each arrival with `probability` over [at, until)
+//                 (bursty non-congestive loss).
+//   kEcnBleach  — clear the ECN codepoint (-> Not-ECT) on `probability` of
+//                 arrivals over [at, until) — ECN bleaching middleboxes.
+//   kReorder    — deflect `probability` of arrivals over [at, until),
+//                 re-offering each to the queue `extra_delay` later.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pi2::faults {
+
+enum class FaultKind {
+  kRateStep,
+  kRateFlap,
+  kRttStep,
+  kBurstLoss,
+  kRandomLoss,
+  kEcnBleach,
+  kReorder,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kRateStep;
+  pi2::sim::Time at{0};                         ///< start (absolute sim time)
+  pi2::sim::Time until{pi2::sim::kTimeInfinity};  ///< end of windowed events
+  double rate_bps = 0.0;        ///< kRateStep; kRateFlap low rate
+  double rate2_bps = 0.0;       ///< kRateFlap high rate
+  pi2::sim::Duration period{};  ///< kRateFlap toggle period
+  pi2::sim::Duration rtt{};     ///< kRttStep new base RTT
+  double probability = 0.0;     ///< kRandomLoss / kEcnBleach / kReorder
+  int burst_packets = 0;        ///< kBurstLoss length
+  pi2::sim::Duration extra_delay{};  ///< kReorder hold time
+};
+
+/// Ordered collection of fault events with fluent builders. Builders return
+/// *this so schedules read like scripts:
+///   FaultSchedule s;
+///   s.rate_step(at(20), 10e6).rate_step(at(40), 40e6)
+///    .random_loss(at(25), at(30), 0.01);
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// True if any event needs the per-packet ingress filter (loss, bleach,
+  /// reorder) as opposed to purely scheduled state changes.
+  [[nodiscard]] bool has_packet_faults() const;
+
+  FaultSchedule& rate_step(pi2::sim::Time at, double rate_bps);
+  FaultSchedule& rate_flap(pi2::sim::Time at, pi2::sim::Time until,
+                           double low_bps, double high_bps,
+                           pi2::sim::Duration period);
+  FaultSchedule& rtt_step(pi2::sim::Time at, pi2::sim::Duration rtt);
+  FaultSchedule& burst_loss(pi2::sim::Time at, int packets);
+  FaultSchedule& random_loss(pi2::sim::Time at, pi2::sim::Time until,
+                             double probability);
+  FaultSchedule& ecn_bleach(pi2::sim::Time at, pi2::sim::Time until,
+                            double fraction);
+  FaultSchedule& reorder(pi2::sim::Time at, pi2::sim::Time until,
+                         double fraction, pi2::sim::Duration extra_delay);
+
+  /// Returns "" when every event is well-formed, otherwise an actionable
+  /// message naming the offending event index, field and constraint.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace pi2::faults

@@ -22,15 +22,40 @@ Duration BottleneckLink::queue_delay() const {
 }
 
 void BottleneckLink::drop(const Packet& packet, DropReason reason) {
-  if (reason == DropReason::kAqm) {
-    ++counters_.aqm_dropped;
-  } else {
-    ++counters_.tail_dropped;
+  switch (reason) {
+    case DropReason::kAqm:
+      ++counters_.aqm_dropped;
+      break;
+    case DropReason::kTailDrop:
+      ++counters_.tail_dropped;
+      break;
+    case DropReason::kFault:
+      ++counters_.fault_dropped;
+      break;
   }
   for (const auto& probe : drop_probes_) probe(packet, reason);
 }
 
 void BottleneckLink::send(Packet packet) {
+  if (ingress_filter_) {
+    const IngressVerdict verdict = ingress_filter_(packet);
+    switch (verdict.action) {
+      case IngressVerdict::Action::kDrop:
+        drop(packet, DropReason::kFault);
+        return;
+      case IngressVerdict::Action::kDelay:
+        // Deflect through the scheduler; the re-offer bypasses the filter so
+        // a held packet cannot be deflected again.
+        sim_.after(verdict.delay, [this, packet]() mutable { accept(packet); });
+        return;
+      case IngressVerdict::Action::kPass:
+        break;
+    }
+  }
+  accept(std::move(packet));
+}
+
+void BottleneckLink::accept(Packet packet) {
   if (backlog_packets() >= config_.buffer_packets) {
     drop(packet, DropReason::kTailDrop);
     return;
@@ -62,6 +87,7 @@ void BottleneckLink::try_start_transmission() {
     backlog_bytes_ -= packet.size;
     switch (qdisc_->dequeue(packet)) {
       case QueueDiscipline::Verdict::kDrop:
+        ++counters_.dequeue_dropped;
         drop(packet, DropReason::kAqm);
         continue;  // offer the next head packet
       case QueueDiscipline::Verdict::kMark:

@@ -34,9 +34,24 @@ class BottleneckLink final : public QueueView {
     std::int64_t aqm_dropped = 0;
     std::int64_t tail_dropped = 0;
     std::int64_t marked = 0;
+    /// Packets discarded by the ingress fault filter (injected impairments;
+    /// never counted in aqm_dropped/tail_dropped).
+    std::int64_t fault_dropped = 0;
+    /// Subset of aqm_dropped decided at dequeue time. Needed for packet
+    /// conservation: these packets were counted in `enqueued` but never
+    /// reach `forwarded`.
+    std::int64_t dequeue_dropped = 0;
   };
 
-  enum class DropReason { kAqm, kTailDrop };
+  enum class DropReason { kAqm, kTailDrop, kFault };
+
+  /// Verdict of the ingress fault filter, applied before the AQM sees the
+  /// packet. kDelay re-offers the packet to the queue after `delay` via the
+  /// scheduler (packet reordering); re-injected packets bypass the filter.
+  struct IngressVerdict {
+    enum class Action { kPass, kDrop, kDelay } action = Action::kPass;
+    pi2::sim::Duration delay{};
+  };
 
   BottleneckLink(pi2::sim::Simulator& sim, Config config,
                  std::unique_ptr<QueueDiscipline> qdisc);
@@ -73,9 +88,18 @@ class BottleneckLink final : public QueueView {
     add_drop_probe(std::move(probe));
   }
 
-  /// Offers a packet to the queue. Applies the AQM verdict, then the buffer
-  /// limit; accepted packets are eventually delivered to the sink.
+  /// Offers a packet to the queue. The ingress fault filter (if any) runs
+  /// first and may drop, delay or mutate the packet (impairment injection);
+  /// then the AQM verdict and the buffer limit apply; accepted packets are
+  /// eventually delivered to the sink.
   void send(Packet packet);
+
+  /// Installs the impairment hook send() consults. The filter may mutate
+  /// the packet in place (e.g. clear its ECN codepoint). One filter at a
+  /// time; the fault subsystem composes its impairments internally.
+  void set_ingress_filter(std::function<IngressVerdict(Packet&)> filter) {
+    ingress_filter_ = std::move(filter);
+  }
 
   /// Changes the drain rate; applies from the next transmission start.
   void set_rate_bps(double bps) { config_.rate_bps = bps; }
@@ -84,6 +108,21 @@ class BottleneckLink final : public QueueView {
   [[nodiscard]] const pi2::sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] QueueDiscipline& qdisc() { return *qdisc_; }
   [[nodiscard]] const QueueDiscipline& qdisc() const { return *qdisc_; }
+
+  /// True while a packet is serializing on the wire (it has left the buffer
+  /// but is not yet counted in `forwarded`). Exposed for the packet
+  /// conservation invariant:
+  ///   enqueued == forwarded + backlog_packets + transmitting + dequeue_dropped
+  [[nodiscard]] bool transmitting() const { return transmitting_; }
+
+  /// Recomputes the byte backlog from the buffer contents. O(queue length);
+  /// the InvariantMonitor compares it against the incremental
+  /// backlog_bytes() accounting to catch drift/corruption.
+  [[nodiscard]] std::int64_t recount_backlog_bytes() const {
+    std::int64_t total = 0;
+    for (const Packet& p : buffer_) total += p.size;
+    return total;
+  }
 
   // QueueView:
   [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
@@ -94,6 +133,7 @@ class BottleneckLink final : public QueueView {
   [[nodiscard]] pi2::sim::Duration queue_delay() const override;
 
  private:
+  void accept(Packet packet);  ///< post-filter path: AQM + buffer limit
   void try_start_transmission();
   void finish_transmission(Packet packet, pi2::sim::Time started);
   void drop(const Packet& packet, DropReason reason);
@@ -106,6 +146,7 @@ class BottleneckLink final : public QueueView {
   bool transmitting_ = false;
   Counters counters_;
   std::function<void(Packet)> sink_;
+  std::function<IngressVerdict(Packet&)> ingress_filter_;
   std::vector<std::function<void(const Packet&, pi2::sim::Duration)>> departure_probes_;
   std::vector<std::function<void(pi2::sim::Time, pi2::sim::Time)>> busy_probes_;
   std::vector<std::function<void(const Packet&, DropReason)>> drop_probes_;

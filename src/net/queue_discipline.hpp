@@ -67,6 +67,11 @@ class QueueDiscipline {
     return classic_probability();
   }
 
+  /// Times the discipline's controller rejected a non-finite update (see
+  /// PiCore::guard_events). 0 for disciplines without such guards; the
+  /// InvariantMonitor reports growth as a violation.
+  [[nodiscard]] virtual std::uint64_t guard_events() const { return 0; }
+
  protected:
   [[nodiscard]] pi2::sim::Simulator& sim() const { return *sim_; }
   [[nodiscard]] const QueueView& view() const { return *view_; }

@@ -11,6 +11,7 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kDeparture: return "departure";
     case TraceEventType::kDropAqm: return "drop-aqm";
     case TraceEventType::kDropTail: return "drop-tail";
+    case TraceEventType::kDropFault: return "drop-fault";
   }
   return "?";
 }
@@ -35,11 +36,14 @@ void PacketTrace::attach(BottleneckLink& link) {
   const pi2::sim::Simulator* sim = &link.simulator();
   link.add_drop_probe(
       [this, sim](const Packet& p, BottleneckLink::DropReason reason) {
-        add({sim->now(),
-             reason == BottleneckLink::DropReason::kAqm
-                 ? TraceEventType::kDropAqm
-                 : TraceEventType::kDropTail,
-             p.flow, p.seq, p.size, p.ecn, pi2::sim::Duration{0}});
+        TraceEventType type = TraceEventType::kDropTail;
+        if (reason == BottleneckLink::DropReason::kAqm) {
+          type = TraceEventType::kDropAqm;
+        } else if (reason == BottleneckLink::DropReason::kFault) {
+          type = TraceEventType::kDropFault;
+        }
+        add({sim->now(), type, p.flow, p.seq, p.size, p.ecn,
+             pi2::sim::Duration{0}});
       });
 }
 

@@ -17,6 +17,7 @@ enum class TraceEventType : unsigned char {
   kDeparture,
   kDropAqm,
   kDropTail,
+  kDropFault,  ///< discarded by an injected impairment (fault subsystem)
 };
 
 [[nodiscard]] std::string_view to_string(TraceEventType type);

@@ -1,58 +1,186 @@
 #include "runner/parallel_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
-#include <exception>
+#include <deque>
 #include <mutex>
 #include <thread>
 
 namespace pi2::runner {
+
+const char* to_string(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kOk: return "ok";
+    case TaskStatus::kFailed: return "failed";
+    case TaskStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+std::string AggregateError::build_message(
+    const std::vector<TaskFailure>& failures) {
+  std::string msg = std::to_string(failures.size()) + " task(s) failed:";
+  for (const TaskFailure& f : failures) {
+    msg += " [" + std::to_string(f.index) + " " + to_string(f.status) + "] " +
+           f.message + ";";
+  }
+  if (!msg.empty() && msg.back() == ';') msg.pop_back();
+  return msg;
+}
+
+AggregateError::AggregateError(std::vector<TaskFailure> failures)
+    : std::runtime_error(build_message(failures)),
+      failures_(std::move(failures)) {}
 
 ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
   if (jobs_ == 0) jobs_ = std::thread::hardware_concurrency();
   if (jobs_ == 0) jobs_ = 1;
 }
 
-void ParallelRunner::run(std::size_t count,
-                         const std::function<void(std::size_t)>& work,
-                         const std::function<void(std::size_t)>& consume) const {
-  if (count == 0) return;
+namespace {
+
+/// Per-task lifecycle in a guarded run. Terminal cells map 1:1 to TaskStatus.
+enum class Cell : unsigned char { kPending, kRunning, kOk, kFailed, kTimeout };
+
+bool terminal(Cell c) { return c >= Cell::kOk; }
+
+TaskStatus to_status(Cell c) {
+  switch (c) {
+    case Cell::kOk: return TaskStatus::kOk;
+    case Cell::kFailed: return TaskStatus::kFailed;
+    default: return TaskStatus::kTimeout;
+  }
+}
+
+std::string deadline_message(std::chrono::milliseconds deadline, int attempts) {
+  return "exceeded " + std::to_string(deadline.count()) +
+         " ms wall-clock deadline (attempt " + std::to_string(attempts) + ")";
+}
+
+}  // namespace
+
+RunReport ParallelRunner::run_guarded_commit(
+    std::size_t count,
+    const std::function<std::function<void()>(std::size_t)>& work,
+    const std::function<void(std::size_t, TaskStatus)>& consume,
+    const GuardOptions& options) const {
+  RunReport report;
+  if (count == 0) return report;
+  const int max_attempts = 1 + std::max(0, options.retries);
+  const bool watchdog_enabled = options.deadline.count() > 0;
   const auto workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
-  if (workers <= 1) {
-    // Reference serial execution: no threads, no buffering.
+
+  report.status.assign(count, TaskStatus::kOk);
+
+  if (workers <= 1 && !watchdog_enabled) {
+    // Reference serial execution: no threads, no buffering. Retries run
+    // back-to-back on the calling thread.
     for (std::size_t i = 0; i < count; ++i) {
-      work(i);
-      consume(i);
+      TaskStatus status = TaskStatus::kFailed;
+      std::string message;
+      for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        try {
+          std::function<void()> commit = work(i);
+          if (commit) commit();
+          status = TaskStatus::kOk;
+          break;
+        } catch (const std::exception& e) {
+          message = e.what();
+        } catch (...) {
+          message = "unknown exception";
+        }
+      }
+      report.status[i] = status;
+      if (status != TaskStatus::kOk) {
+        report.failures.push_back({i, status, message});
+      }
+      consume(i, status);
     }
-    return;
+    return report;
   }
 
-  std::atomic<std::size_t> cursor{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  // 0 = pending, 1 = done, 2 = failed. Guarded by `mutex`.
-  std::vector<unsigned char> state(count, 0);
-  std::exception_ptr error;
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable work_cv;  ///< workers: retry arrived / all done
+    std::condition_variable done_cv;  ///< consumer + watchdog: task terminal
+    std::vector<Cell> state;
+    std::vector<int> attempts;           ///< attempts started
+    std::vector<std::uint32_t> generation;  ///< bumped per attempt start
+    std::vector<std::chrono::steady_clock::time_point> started;
+    std::vector<std::string> error;
+    std::deque<std::size_t> retry_queue;
+    std::size_t next = 0;
+    std::size_t terminal_count = 0;
+    std::size_t count = 0;
+  };
+  Shared s;
+  s.state.assign(count, Cell::kPending);
+  s.attempts.assign(count, 0);
+  s.generation.assign(count, 0);
+  s.started.assign(count, {});
+  s.error.assign(count, {});
+  s.count = count;
 
-  auto worker_loop = [&] {
+  auto mark_terminal = [&s](std::size_t i, Cell cell) {
+    // Caller holds s.mutex.
+    s.state[i] = cell;
+    ++s.terminal_count;
+    s.done_cv.notify_all();
+    if (s.terminal_count == s.count) s.work_cv.notify_all();
+  };
+
+  auto worker_loop = [&]() {
     for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      unsigned char outcome = 1;
-      try {
-        work(i);
-      } catch (...) {
-        outcome = 2;
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
-      }
+      std::size_t i;
+      std::uint32_t my_generation;
       {
-        std::lock_guard<std::mutex> lock(mutex);
-        state[i] = outcome;
+        std::unique_lock<std::mutex> lock(s.mutex);
+        s.work_cv.wait(lock, [&] {
+          return s.terminal_count == s.count || !s.retry_queue.empty() ||
+                 s.next < s.count;
+        });
+        if (s.terminal_count == s.count) return;
+        if (!s.retry_queue.empty()) {
+          i = s.retry_queue.front();
+          s.retry_queue.pop_front();
+        } else {
+          i = s.next++;
+        }
+        s.state[i] = Cell::kRunning;
+        ++s.attempts[i];
+        my_generation = ++s.generation[i];
+        s.started[i] = std::chrono::steady_clock::now();
       }
-      done_cv.notify_one();
+
+      std::function<void()> commit;
+      std::string message;
+      bool threw = false;
+      try {
+        commit = work(i);
+      } catch (const std::exception& e) {
+        threw = true;
+        message = e.what();
+      } catch (...) {
+        threw = true;
+        message = "unknown exception";
+      }
+
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (s.generation[i] != my_generation) continue;  // stale: superseded
+      if (!threw) {
+        if (commit) commit();
+        mark_terminal(i, Cell::kOk);
+      } else {
+        s.error[i] = std::move(message);
+        if (s.attempts[i] < max_attempts) {
+          s.state[i] = Cell::kPending;
+          s.retry_queue.push_back(i);
+          s.work_cv.notify_one();
+        } else {
+          mark_terminal(i, Cell::kFailed);
+        }
+      }
     }
   };
 
@@ -60,20 +188,104 @@ void ParallelRunner::run(std::size_t count,
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker_loop);
 
-  // Consume the ordered prefix as it completes; stop at the first failure.
+  // The watchdog retires attempts that exceed the wall-clock deadline. A
+  // retry is dispatched on a *fresh* thread because the pool worker running
+  // the stuck attempt cannot pick it up.
+  std::vector<std::thread> extra_threads;
+  std::thread watchdog;
+  if (watchdog_enabled) {
+    watchdog = std::thread([&] {
+      const auto tick = std::min<std::chrono::milliseconds>(
+          std::chrono::milliseconds{50},
+          std::max<std::chrono::milliseconds>(options.deadline / 4,
+                                              std::chrono::milliseconds{1}));
+      for (;;) {
+        unsigned spawn = 0;
+        {
+          std::unique_lock<std::mutex> lock(s.mutex);
+          if (s.done_cv.wait_for(lock, tick, [&] {
+                return s.terminal_count == s.count;
+              })) {
+            return;
+          }
+          const auto now = std::chrono::steady_clock::now();
+          for (std::size_t i = 0; i < s.count; ++i) {
+            if (s.state[i] != Cell::kRunning) continue;
+            if (now - s.started[i] < options.deadline) continue;
+            ++s.generation[i];  // the in-flight attempt is now stale
+            s.error[i] = deadline_message(options.deadline, s.attempts[i]);
+            if (s.attempts[i] < max_attempts) {
+              s.state[i] = Cell::kPending;
+              s.retry_queue.push_back(i);
+              s.work_cv.notify_one();
+              ++spawn;
+            } else {
+              mark_terminal(i, Cell::kTimeout);
+            }
+          }
+        }
+        for (unsigned k = 0; k < spawn; ++k) {
+          extra_threads.emplace_back(worker_loop);
+        }
+      }
+    });
+  }
+
+  // Consume the ordered prefix as indices become terminal; failed points
+  // are reported, not fatal.
   for (std::size_t i = 0; i < count; ++i) {
-    unsigned char outcome;
+    TaskStatus status;
+    std::string message;
     {
-      std::unique_lock<std::mutex> lock(mutex);
-      done_cv.wait(lock, [&] { return state[i] != 0; });
-      outcome = state[i];
+      std::unique_lock<std::mutex> lock(s.mutex);
+      s.done_cv.wait(lock, [&] { return terminal(s.state[i]); });
+      status = to_status(s.state[i]);
+      message = s.error[i];
     }
-    if (outcome != 1) break;
-    consume(i);
+    report.status[i] = status;
+    if (status != TaskStatus::kOk) {
+      report.failures.push_back({i, status, std::move(message)});
+    }
+    consume(i, status);
   }
 
   for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  if (watchdog.joinable()) watchdog.join();
+  for (std::thread& t : extra_threads) t.join();
+  return report;
+}
+
+RunReport ParallelRunner::run_guarded(
+    std::size_t count, const std::function<void(std::size_t)>& work,
+    const std::function<void(std::size_t, TaskStatus)>& consume,
+    const GuardOptions& options) const {
+  return run_guarded_commit(
+      count,
+      [&work](std::size_t i) {
+        work(i);
+        return std::function<void()>{};
+      },
+      consume, options);
+}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& work,
+                         const std::function<void(std::size_t)>& consume) const {
+  bool halted = false;
+  GuardOptions strict;
+  strict.retries = 0;
+  RunReport report = run_guarded(
+      count, work,
+      [&](std::size_t i, TaskStatus status) {
+        if (halted) return;
+        if (status == TaskStatus::kOk) {
+          consume(i);
+        } else {
+          halted = true;  // strict semantics: consumption stops here
+        }
+      },
+      strict);
+  if (!report.all_ok()) throw AggregateError(std::move(report.failures));
 }
 
 }  // namespace pi2::runner

@@ -5,26 +5,91 @@
 // runner executes them concurrently while keeping every observable output
 // identical to a serial run:
 //
-//  - Tasks are indexed 0..count-1 and claimed from a single atomic cursor —
-//    no per-thread queues, no work stealing — so scheduling cannot
-//    influence which task computes what.
+//  - Tasks are indexed 0..count-1 and claimed from a single cursor — no
+//    per-thread queues, no work stealing — so scheduling cannot influence
+//    which task computes what.
 //  - Results are buffered per index and handed to the consumer strictly in
 //    submission order, on the calling thread. Anything the consumer prints
 //    is therefore byte-identical regardless of the job count.
 //  - Tasks must not share mutable state; each derives its randomness from
 //    Rng::derive_seed(base_seed, index), never from a shared generator.
 //
-// With jobs() == 1 (or count == 1) no threads are spawned at all and the
-// tasks run inline, which doubles as the reference serial execution.
+// Failure hardening (run_guarded / run_ordered_guarded): a multi-hour sweep
+// must not lose every finished point because one point threw or wedged.
+// Guarded runs catch per-task exceptions, give each failed or stuck task one
+// retry (configurable), watch a per-task wall-clock deadline, and return a
+// RunReport with a terminal TaskStatus per index instead of aborting. The
+// strict run()/run_ordered() entry points keep throwing, but aggregate
+// *every* worker exception into one AggregateError rather than dropping all
+// but the first.
+//
+// With jobs() == 1 (or count == 1) and no deadline, no threads are spawned
+// at all and the tasks run inline, which doubles as the reference serial
+// execution.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace pi2::runner {
+
+/// Terminal state of one task in a guarded run.
+enum class TaskStatus : unsigned char {
+  kOk,       ///< work completed (possibly after a retry)
+  kFailed,   ///< every attempt threw
+  kTimeout,  ///< every attempt exceeded the wall-clock deadline
+};
+
+[[nodiscard]] const char* to_string(TaskStatus status);
+
+struct TaskFailure {
+  std::size_t index = 0;
+  TaskStatus status = TaskStatus::kFailed;
+  std::string message;  ///< what() of the last attempt, or the deadline note
+};
+
+/// Outcome of a guarded run: one terminal status per index plus the failure
+/// details, ordered by index.
+struct RunReport {
+  std::vector<TaskStatus> status;
+  std::vector<TaskFailure> failures;
+
+  [[nodiscard]] bool all_ok() const { return failures.empty(); }
+  [[nodiscard]] std::size_t ok_count() const {
+    return status.size() - failures.size();
+  }
+};
+
+/// Thrown by the strict entry points; carries *every* failed task, not just
+/// the first. Derives from std::runtime_error so existing catch sites and
+/// tests keep working; what() lists each failed index and message.
+class AggregateError : public std::runtime_error {
+ public:
+  explicit AggregateError(std::vector<TaskFailure> failures);
+  [[nodiscard]] const std::vector<TaskFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  static std::string build_message(const std::vector<TaskFailure>& failures);
+  std::vector<TaskFailure> failures_;
+};
+
+struct GuardOptions {
+  /// Per-attempt wall-clock deadline. zero = no watchdog. A task whose
+  /// attempt exceeds the deadline is marked stuck: its result (if the
+  /// attempt eventually finishes) is discarded and a retry is dispatched if
+  /// any remain, on a fresh thread so a wedged worker cannot starve it.
+  std::chrono::milliseconds deadline{0};
+  /// Extra attempts for a failed or stuck task (the ISSUE's "one retry").
+  int retries = 1;
+};
 
 class ParallelRunner {
  public:
@@ -34,18 +99,19 @@ class ParallelRunner {
   /// Worker count this runner fans out to.
   [[nodiscard]] unsigned jobs() const { return jobs_; }
 
-  /// Executes `work(i)` for every i in [0, count) across the workers, then
-  /// `consume(i)` for i = 0, 1, ... in order on the calling thread as soon
-  /// as each prefix of results is complete. `work` runs concurrently for
-  /// distinct indices and must not touch shared mutable state; `consume`
-  /// never runs concurrently with itself. The first exception thrown by
-  /// `work` stops consumption and is rethrown after all workers drain.
+  /// Strict API: executes `work(i)` for every i in [0, count), then
+  /// `consume(i)` in index order on the calling thread. `work` runs
+  /// concurrently for distinct indices and must not touch shared mutable
+  /// state; `consume` never runs concurrently with itself. Consumption
+  /// stops at the first failed index; every worker still drains, and all
+  /// failures are rethrown together as AggregateError.
   void run(std::size_t count, const std::function<void(std::size_t)>& work,
            const std::function<void(std::size_t)>& consume) const;
 
-  /// Typed convenience: `produce(i)` builds a Result on a worker; `consume`
-  /// receives them in index order. Each buffered result is destroyed right
-  /// after consumption, so peak memory is bounded by the completion skew.
+  /// Typed convenience over run(): `produce(i)` builds a Result on a
+  /// worker; `consume` receives them in index order. Each buffered result
+  /// is destroyed right after consumption, so peak memory is bounded by the
+  /// completion skew.
   template <typename Result>
   void run_ordered(
       std::size_t count, const std::function<Result(std::size_t)>& produce,
@@ -58,6 +124,59 @@ class ParallelRunner {
           results[i].reset();
         });
   }
+
+  /// Hardened API: like run(), but failures degrade instead of aborting.
+  /// `consume(i, status)` runs for *every* index in order once that index
+  /// is terminal — the caller decides how to render failed points. Returns
+  /// the full report; never throws for task failures.
+  ///
+  /// With a deadline set, a stuck attempt may still be executing `work`
+  /// while its retry runs on another thread, so `work` must be pure per
+  /// index (true for the simulation sweeps: each point only touches its own
+  /// state). Stragglers are joined before this call returns; the deadline
+  /// bounds when a point is *reported* stuck, not the thread's lifetime.
+  RunReport run_guarded(std::size_t count,
+                        const std::function<void(std::size_t)>& work,
+                        const std::function<void(std::size_t, TaskStatus)>& consume,
+                        const GuardOptions& options = {}) const;
+
+  /// Typed guarded runner: `consume` receives the produced result for kOk
+  /// indices and nullptr for failed/timed-out ones. Results from stale
+  /// (timed-out) attempts are discarded under the runner's lock, so the
+  /// consumer never observes a torn write.
+  template <typename Result>
+  RunReport run_ordered_guarded(
+      std::size_t count, const std::function<Result(std::size_t)>& produce,
+      const std::function<void(std::size_t, TaskStatus, Result*)>& consume,
+      const GuardOptions& options = {}) const {
+    std::vector<std::optional<Result>> results(count);
+    return run_guarded_commit(
+        count,
+        [&results, &produce](std::size_t i) {
+          Result local = produce(i);
+          // The commit closure runs under the runner's state lock and only
+          // if this attempt is still the live one.
+          return std::function<void()>(
+              [&results, i, r = std::move(local)]() mutable {
+                results[i].emplace(std::move(r));
+              });
+        },
+        [&](std::size_t i, TaskStatus status) {
+          consume(i, status, results[i] ? &*results[i] : nullptr);
+          results[i].reset();
+        },
+        options);
+  }
+
+  /// Building block for the guarded runners: `work` returns a commit
+  /// closure that the runner invokes under its state lock iff the attempt
+  /// is still live (not superseded by a timeout retry). Prefer
+  /// run_guarded/run_ordered_guarded.
+  RunReport run_guarded_commit(
+      std::size_t count,
+      const std::function<std::function<void()>(std::size_t)>& work,
+      const std::function<void(std::size_t, TaskStatus)>& consume,
+      const GuardOptions& options) const;
 
  private:
   unsigned jobs_;

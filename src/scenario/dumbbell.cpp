@@ -1,6 +1,8 @@
 #include "scenario/dumbbell.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -29,7 +31,114 @@ struct FlowContext {
   std::int64_t bytes_at_stats_start = 0;
 };
 
+/// Formats a validate() message: "<field> must <constraint> (got <value>)".
+std::string bad_field(const char* field, const char* constraint, double got) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%s must %s (got %g)", field, constraint, got);
+  return buf;
+}
+
 }  // namespace
+
+std::string DumbbellConfig::validate() const {
+  if (!(link_rate_bps > 0.0)) {
+    return bad_field("link_rate_bps", "be > 0", link_rate_bps);
+  }
+  if (buffer_packets <= 0) {
+    return bad_field("buffer_packets", "be > 0",
+                     static_cast<double>(buffer_packets));
+  }
+  if (duration <= pi2::sim::kTimeZero) {
+    return bad_field("duration", "be > 0 seconds", to_seconds(duration));
+  }
+  if (stats_start < pi2::sim::kTimeZero || stats_start > duration) {
+    return bad_field("stats_start", "lie within [0, duration]",
+                     to_seconds(stats_start));
+  }
+  if (sample_interval <= pi2::sim::Duration{0}) {
+    return bad_field("sample_interval", "be > 0 seconds",
+                     to_seconds(sample_interval));
+  }
+  if (aqm.target <= pi2::sim::Duration{0}) {
+    return bad_field("aqm.target", "be > 0 seconds", to_seconds(aqm.target));
+  }
+  if (aqm.t_update <= pi2::sim::Duration{0}) {
+    return bad_field("aqm.t_update", "be > 0 seconds", to_seconds(aqm.t_update));
+  }
+  if (!(aqm.coupling_k > 0.0)) {
+    return bad_field("aqm.coupling_k", "be > 0", aqm.coupling_k);
+  }
+  if (!(aqm.max_classic_prob > 0.0 && aqm.max_classic_prob <= 1.0)) {
+    return bad_field("aqm.max_classic_prob", "lie in (0, 1]",
+                     aqm.max_classic_prob);
+  }
+  if (aqm.alpha_hz && !(*aqm.alpha_hz > 0.0)) {
+    return bad_field("aqm.alpha_hz", "be > 0 when set", *aqm.alpha_hz);
+  }
+  if (aqm.beta_hz && !(*aqm.beta_hz > 0.0)) {
+    return bad_field("aqm.beta_hz", "be > 0 when set", *aqm.beta_hz);
+  }
+  if (aqm.ecn_drop_threshold &&
+      !(*aqm.ecn_drop_threshold >= 0.0 && *aqm.ecn_drop_threshold <= 1.0)) {
+    return bad_field("aqm.ecn_drop_threshold", "lie in [0, 1] when set",
+                     *aqm.ecn_drop_threshold);
+  }
+  for (std::size_t i = 0; i < tcp_flows.size(); ++i) {
+    const TcpFlowSpec& f = tcp_flows[i];
+    const std::string where = "tcp_flows[" + std::to_string(i) + "].";
+    if (f.count < 0) {
+      return where + bad_field("count", "be >= 0", f.count);
+    }
+    if (f.base_rtt <= pi2::sim::Duration{0}) {
+      return where + bad_field("base_rtt", "be > 0 seconds",
+                               to_seconds(f.base_rtt));
+    }
+    if (f.stagger < pi2::sim::Duration{0}) {
+      return where + bad_field("stagger", "be >= 0 seconds",
+                               to_seconds(f.stagger));
+    }
+    if (f.start < pi2::sim::kTimeZero) {
+      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
+    }
+    if (f.stop <= f.start) {
+      return where + bad_field("stop", "be after start", to_seconds(f.stop));
+    }
+    if (f.max_cwnd < 0.0) {
+      return where + bad_field("max_cwnd", "be >= 0 (0 = unlimited)", f.max_cwnd);
+    }
+  }
+  for (std::size_t i = 0; i < udp_flows.size(); ++i) {
+    const UdpFlowSpec& f = udp_flows[i];
+    const std::string where = "udp_flows[" + std::to_string(i) + "].";
+    if (f.count < 0) {
+      return where + bad_field("count", "be >= 0", f.count);
+    }
+    if (!(f.rate_bps > 0.0)) {
+      return where + bad_field("rate_bps", "be > 0", f.rate_bps);
+    }
+    if (f.base_rtt <= pi2::sim::Duration{0}) {
+      return where + bad_field("base_rtt", "be > 0 seconds",
+                               to_seconds(f.base_rtt));
+    }
+    if (f.start < pi2::sim::kTimeZero) {
+      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
+    }
+    if (f.stop <= f.start) {
+      return where + bad_field("stop", "be after start", to_seconds(f.stop));
+    }
+  }
+  for (std::size_t i = 0; i < rate_changes.size(); ++i) {
+    const RateChange& c = rate_changes[i];
+    const std::string where = "rate_changes[" + std::to_string(i) + "].";
+    if (c.at < pi2::sim::kTimeZero) {
+      return where + bad_field("at", "be >= 0 seconds", to_seconds(c.at));
+    }
+    if (!(c.rate_bps > 0.0)) {
+      return where + bad_field("rate_bps", "be > 0", c.rate_bps);
+    }
+  }
+  return faults.validate();
+}
 
 double RunResult::mean_goodput_mbps(tcp::CcType cc) const {
   double sum = 0.0;
@@ -64,6 +173,9 @@ double RunResult::observed_signal_rate() const {
 }
 
 RunResult run_dumbbell(const DumbbellConfig& config) {
+  if (std::string error = config.validate(); !error.empty()) {
+    throw std::invalid_argument("DumbbellConfig: " + error);
+  }
   pi2::sim::Simulator sim{config.seed};
 
   net::BottleneckLink::Config link_config;
@@ -165,6 +277,20 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     sim.at(change.at, [&link, change] { link.set_rate_bps(change.rate_bps); });
   }
 
+  // Scripted impairments: the injector replays the fault schedule through
+  // the link and the scheduler, from its own derived RNG stream.
+  faults::FaultInjector injector{sim, config.faults, config.seed};
+  injector.set_rtt_setter([&flows](Duration rtt) {
+    for (auto& flow : flows) flow->base_rtt = rtt;
+  });
+  injector.attach(link);
+
+  // Runtime invariant checking, sampled alongside the stats probes.
+  faults::InvariantMonitor::Config monitor_config;
+  monitor_config.interval = config.sample_interval;
+  faults::InvariantMonitor monitor{sim, link, monitor_config};
+  if (config.check_invariants) monitor.start();
+
   // Periodic sampling of queue delay and AQM probabilities.
   std::function<void()> sample = [&] {
     result.qdelay_ms_series.add(sim.now(), to_millis(link.queue_delay()));
@@ -234,6 +360,10 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   result.p99_qdelay_ms = result.qdelay_ms_packets.p99();
   result.events_executed = sim.events_executed();
   result.clamped_events = sim.clamped_events();
+  result.fault_counters = injector.counters();
+  result.violations = monitor.violations();
+  result.invariant_checks = monitor.checks_run();
+  result.guard_events = link.qdisc().guard_events();
   return result;
 }
 

@@ -11,8 +11,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/invariant_monitor.hpp"
 #include "net/bottleneck_link.hpp"
 #include "scenario/aqm_factory.hpp"
 #include "sim/time.hpp"
@@ -66,6 +70,20 @@ struct DumbbellConfig {
   std::uint64_t seed = 1;
   /// Queue-delay / probability sampling period for the time series.
   pi2::sim::Duration sample_interval = pi2::sim::from_millis(100);
+  /// Scripted impairments (rate steps/flaps, RTT steps, loss bursts, random
+  /// loss, ECN bleaching, reordering) replayed by a FaultInjector. The
+  /// injector's randomness comes from a stream derived from `seed`, so the
+  /// same schedule + seed is byte-identical at any --jobs value. RTT steps
+  /// apply to every flow's base RTT.
+  faults::FaultSchedule faults;
+  /// Samples the InvariantMonitor every sample_interval alongside the stats
+  /// probes; violations are returned in RunResult::violations.
+  bool check_invariants = true;
+
+  /// Returns "" when the config is well-formed, otherwise an actionable
+  /// message naming the offending field and constraint. run_dumbbell()
+  /// throws std::invalid_argument with this message.
+  [[nodiscard]] std::string validate() const;
 };
 
 struct FlowResult {
@@ -104,6 +122,15 @@ struct RunResult {
   net::BottleneckLink::Counters counters;
   /// Counters restricted to the stats window [stats_start, duration).
   net::BottleneckLink::Counters window_counters;
+  /// Impairments the FaultInjector actually applied (all zero without a
+  /// fault schedule).
+  faults::FaultInjector::Counters fault_counters;
+  /// Invariant violations the monitor observed (empty on a healthy run) and
+  /// how many periodic checks ran.
+  std::vector<faults::InvariantViolation> violations;
+  std::uint64_t invariant_checks = 0;
+  /// Non-finite controller updates rejected by the AQM's saturating guard.
+  std::uint64_t guard_events = 0;
 
   /// Mean goodput (Mb/s) across flows of a given congestion control.
   [[nodiscard]] double mean_goodput_mbps(tcp::CcType cc) const;

@@ -37,9 +37,12 @@ class Simulator {
     return scheduler_.schedule_at(when, std::move(fn));
   }
 
-  /// Schedules `fn` after a relative delay (clamped to >= 0).
+  /// Schedules `fn` after a relative delay. A negative delay targets the
+  /// past and is clamped to now by `at()`, which also counts it in
+  /// clamped_events() — negative delays are component bugs exactly like
+  /// absolute times in the past, and harnesses assert the counter stays 0.
   EventHandle after(Duration delay, UniqueFunction fn) {
-    return at(now_ + (delay.count() > 0 ? delay : Duration{0}), std::move(fn));
+    return at(now_ + delay, std::move(fn));
   }
 
   /// Runs events until the event queue is empty or `until` is reached.

@@ -1,0 +1,103 @@
+#include "faults/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pi2::faults {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::from_seconds;
+using pi2::sim::Time;
+
+TEST(FaultSchedule, BuildersChainAndPopulateEvents) {
+  FaultSchedule s;
+  s.rate_step(from_seconds(10), 10e6)
+      .rate_flap(from_seconds(20), from_seconds(30), 5e6, 40e6, from_seconds(1))
+      .rtt_step(from_seconds(15), from_millis(80))
+      .burst_loss(from_seconds(5), 25)
+      .random_loss(from_seconds(1), from_seconds(2), 0.01)
+      .ecn_bleach(from_seconds(3), from_seconds(4), 0.5)
+      .reorder(from_seconds(6), from_seconds(7), 0.02, from_millis(5));
+  ASSERT_EQ(s.events.size(), 7u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kRateStep);
+  EXPECT_DOUBLE_EQ(s.events[0].rate_bps, 10e6);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kRateFlap);
+  EXPECT_DOUBLE_EQ(s.events[1].rate2_bps, 40e6);
+  EXPECT_EQ(s.events[2].rtt, from_millis(80));
+  EXPECT_EQ(s.events[3].burst_packets, 25);
+  EXPECT_DOUBLE_EQ(s.events[4].probability, 0.01);
+  EXPECT_EQ(s.events[6].extra_delay, from_millis(5));
+  EXPECT_EQ(s.validate(), "");
+}
+
+TEST(FaultSchedule, PacketFaultDetection) {
+  FaultSchedule state_only;
+  state_only.rate_step(from_seconds(1), 1e6).rtt_step(from_seconds(2), from_millis(10));
+  EXPECT_FALSE(state_only.has_packet_faults());
+
+  FaultSchedule with_loss = state_only;
+  with_loss.random_loss(from_seconds(1), from_seconds(2), 0.1);
+  EXPECT_TRUE(with_loss.has_packet_faults());
+
+  FaultSchedule with_bleach;
+  with_bleach.ecn_bleach(from_seconds(1), from_seconds(2), 1.0);
+  EXPECT_TRUE(with_bleach.has_packet_faults());
+}
+
+TEST(FaultSchedule, EmptyScheduleIsValid) {
+  EXPECT_TRUE(FaultSchedule{}.empty());
+  EXPECT_EQ(FaultSchedule{}.validate(), "");
+}
+
+TEST(FaultSchedule, ValidateNamesOffendingEventAndField) {
+  FaultSchedule s;
+  s.rate_step(from_seconds(1), 10e6);   // fine
+  s.rate_step(from_seconds(2), 0.0);    // broken: rate must be > 0
+  const std::string msg = s.validate();
+  EXPECT_NE(msg.find("fault event #1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rate-step"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rate_bps"), std::string::npos) << msg;
+}
+
+TEST(FaultSchedule, ValidateRejectsNegativeStart) {
+  FaultSchedule s;
+  s.rate_step(Time{-1}, 10e6);
+  EXPECT_NE(s.validate().find("cannot target the past"), std::string::npos);
+}
+
+TEST(FaultSchedule, ValidateRejectsEmptyWindow) {
+  FaultSchedule s;
+  s.random_loss(from_seconds(5), from_seconds(5), 0.1);
+  EXPECT_NE(s.validate().find("empty window"), std::string::npos);
+}
+
+TEST(FaultSchedule, ValidateRejectsOutOfRangeProbability) {
+  for (const double p : {0.0, -0.5, 1.5}) {
+    FaultSchedule s;
+    s.random_loss(from_seconds(1), from_seconds(2), p);
+    EXPECT_NE(s.validate().find("probability"), std::string::npos) << p;
+  }
+}
+
+TEST(FaultSchedule, ValidateRejectsBadKindSpecificFields) {
+  FaultSchedule flap;
+  flap.rate_flap(from_seconds(1), from_seconds(2), 1e6, 2e6, from_seconds(0));
+  EXPECT_NE(flap.validate().find("period"), std::string::npos);
+
+  FaultSchedule rtt;
+  rtt.rtt_step(from_seconds(1), from_millis(0));
+  EXPECT_NE(rtt.validate().find("rtt"), std::string::npos);
+
+  FaultSchedule burst;
+  burst.burst_loss(from_seconds(1), 0);
+  EXPECT_NE(burst.validate().find("burst_packets"), std::string::npos);
+
+  FaultSchedule reorder;
+  reorder.reorder(from_seconds(1), from_seconds(2), 0.1, from_millis(0));
+  EXPECT_NE(reorder.validate().find("extra_delay"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pi2::faults

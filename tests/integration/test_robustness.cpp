@@ -96,6 +96,39 @@ TEST(Robustness, EmptyWorkloadIsWellDefined) {
   EXPECT_DOUBLE_EQ(r.mean_qdelay_ms, 0.0);
 }
 
+TEST(Robustness, Pi2RecoversFromImpairedLink) {
+  // The fault-injection integration pass: a capacity drop, random loss and
+  // ECN bleaching mid-run must neither break the scheduler (no clamped
+  // events) nor any runtime invariant, and PI2 must pull the queue back to
+  // its target after the capacity returns.
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 40e6;
+  cfg.duration = Time{seconds{60}};
+  cfg.stats_start = Time{seconds{40}};  // after the last impairment clears
+  cfg.aqm.type = AqmType::kCoupledPi2;
+  TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.base_rtt = from_millis(10);
+  TcpFlowSpec dctcp;
+  dctcp.cc = tcp::CcType::kDctcp;
+  dctcp.base_rtt = from_millis(10);
+  cfg.tcp_flows = {cubic, dctcp};
+  cfg.faults.rate_step(Time{seconds{10}}, 10e6)
+      .rate_step(Time{seconds{25}}, 40e6)
+      .random_loss(Time{seconds{15}}, Time{seconds{20}}, 0.01)
+      .ecn_bleach(Time{seconds{15}}, Time{seconds{20}}, 0.5);
+  const auto r = run_dumbbell(cfg);
+  EXPECT_EQ(r.clamped_events, 0u);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.size() << " violations";
+  EXPECT_EQ(r.guard_events, 0u);
+  EXPECT_GT(r.fault_counters.dropped, 0);
+  EXPECT_GT(r.fault_counters.bleached, 0);
+  EXPECT_EQ(r.fault_counters.rate_changes, 2);
+  // Post-recovery steady state: near target, high utilization.
+  EXPECT_NEAR(r.mean_qdelay_ms, 20.0, 10.0);
+  EXPECT_GT(r.utilization, 0.9);
+}
+
 TEST(Robustness, SingleFlowSaturatesAloneAtTarget) {
   DumbbellConfig cfg;
   cfg.link_rate_bps = 10e6;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -86,6 +89,153 @@ TEST(ParallelRunner, WorkerExceptionPropagatesToCaller) {
           [&](std::size_t) { ++consumed; }),
       std::runtime_error);
   EXPECT_LE(consumed.load(), 7);  // consumption stops at the failed index
+}
+
+TEST(ParallelRunner, AggregateErrorCarriesEveryFailure) {
+  // The old behavior dropped all but the first worker exception; the
+  // aggregate must name every failed index with its own message.
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelRunner pool{jobs};
+    try {
+      pool.run(
+          32,
+          [](std::size_t i) {
+            if (i == 3 || i == 17 || i == 31) {
+              throw std::runtime_error("boom-" + std::to_string(i));
+            }
+          },
+          [](std::size_t) {});
+      FAIL() << "expected AggregateError, jobs=" << jobs;
+    } catch (const AggregateError& err) {
+      ASSERT_EQ(err.failures().size(), 3u) << "jobs=" << jobs;
+      EXPECT_EQ(err.failures()[0].index, 3u);
+      EXPECT_EQ(err.failures()[1].index, 17u);
+      EXPECT_EQ(err.failures()[2].index, 31u);
+      EXPECT_EQ(err.failures()[1].message, "boom-17");
+      const std::string what = err.what();
+      EXPECT_NE(what.find("boom-3"), std::string::npos);
+      EXPECT_NE(what.find("boom-17"), std::string::npos);
+      EXPECT_NE(what.find("boom-31"), std::string::npos);
+    }
+  }
+}
+
+TEST(ParallelRunner, GuardedRunConsumesEveryIndexInOrder) {
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelRunner pool{jobs};
+    std::vector<std::size_t> order;
+    std::vector<TaskStatus> statuses;
+    const RunReport report = pool.run_guarded(
+        16,
+        [](std::size_t i) {
+          if (i % 5 == 0) throw std::runtime_error("bad");
+        },
+        [&](std::size_t i, TaskStatus status) {
+          order.push_back(i);
+          statuses.push_back(status);
+        },
+        GuardOptions{.deadline = {}, .retries = 0});
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected) << "jobs=" << jobs;
+    EXPECT_FALSE(report.all_ok());
+    EXPECT_EQ(report.failures.size(), 4u);  // 0, 5, 10, 15
+    EXPECT_EQ(report.ok_count(), 12u);
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(statuses[i],
+                i % 5 == 0 ? TaskStatus::kFailed : TaskStatus::kOk);
+      EXPECT_EQ(report.status[i], statuses[i]);
+    }
+  }
+}
+
+TEST(ParallelRunner, GuardedRetryRecoversFlakyTask) {
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelRunner pool{jobs};
+    std::atomic<int> attempts{0};
+    const RunReport report = pool.run_guarded(
+        8,
+        [&](std::size_t i) {
+          if (i == 2 && attempts.fetch_add(1) == 0) {
+            throw std::runtime_error("flaky");
+          }
+        },
+        [](std::size_t, TaskStatus) {},
+        GuardOptions{.deadline = {}, .retries = 1});
+    EXPECT_TRUE(report.all_ok()) << "jobs=" << jobs;
+    attempts = 0;
+  }
+}
+
+TEST(ParallelRunner, GuardedOrderedDeliversNullForFailedTasks) {
+  ParallelRunner pool{4};
+  std::vector<bool> got_value;
+  const RunReport report = pool.run_ordered_guarded<int>(
+      10,
+      [](std::size_t i) {
+        if (i == 4) throw std::runtime_error("no value");
+        return static_cast<int>(i) * 10;
+      },
+      [&](std::size_t i, TaskStatus status, int* value) {
+        got_value.push_back(value != nullptr);
+        if (value != nullptr) {
+          EXPECT_EQ(status, TaskStatus::kOk);
+          EXPECT_EQ(*value, static_cast<int>(i) * 10);
+        }
+      },
+      GuardOptions{.deadline = {}, .retries = 0});
+  ASSERT_EQ(got_value.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(got_value[i], i != 4);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 4u);
+  EXPECT_EQ(report.failures[0].message, "no value");
+}
+
+TEST(ParallelRunner, WatchdogTimesOutWedgedTaskAndKeepsOrder) {
+  // Task 3 sleeps far past the deadline on every attempt: it must be
+  // reported kTimeout while every other task completes, still in order.
+  ParallelRunner pool{2};
+  std::vector<std::size_t> order;
+  const RunReport report = pool.run_guarded(
+      8,
+      [](std::size_t i) {
+        if (i == 3) std::this_thread::sleep_for(std::chrono::milliseconds{400});
+      },
+      [&](std::size_t i, TaskStatus) { order.push_back(i); },
+      GuardOptions{.deadline = std::chrono::milliseconds{50}, .retries = 1});
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 3u);
+  EXPECT_EQ(report.failures[0].status, TaskStatus::kTimeout);
+  EXPECT_EQ(report.status[3], TaskStatus::kTimeout);
+}
+
+TEST(ParallelRunner, StaleResultFromTimedOutAttemptIsDiscarded) {
+  // The first attempt of task 0 outlives its deadline but eventually
+  // produces a value; the retry produces another. Exactly one commit must
+  // win and the consumer must observe a single coherent value.
+  ParallelRunner pool{2};
+  std::atomic<int> attempt{0};
+  int seen = -1;
+  int calls = 0;
+  const RunReport report = pool.run_ordered_guarded<int>(
+      1,
+      [&](std::size_t) {
+        const int a = attempt.fetch_add(1);
+        if (a == 0) std::this_thread::sleep_for(std::chrono::milliseconds{200});
+        return a;
+      },
+      [&](std::size_t, TaskStatus status, int* value) {
+        ++calls;
+        EXPECT_EQ(status, TaskStatus::kOk);
+        if (value != nullptr) seen = *value;
+      },
+      GuardOptions{.deadline = std::chrono::milliseconds{40}, .retries = 1});
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, 1);  // the retry's value, not the stale first attempt's
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "core/pi2.hpp"
@@ -125,6 +127,77 @@ TEST(Dumbbell, ObservedSignalRateConsistentWithCounters) {
   EXPECT_GE(rate, 0.0);
   EXPECT_LE(rate, 1.0);
   EXPECT_GT(r.counters.aqm_dropped, 0);
+}
+
+TEST(Dumbbell, RateStepViaFaultScheduleTakesEffect) {
+  // The FaultInjector path must constrain throughput exactly like the
+  // legacy rate_changes hook does.
+  auto cfg = base_config();
+  cfg.faults.rate_step(Time{seconds{15}}, 2e6);
+  const auto r = run_dumbbell(cfg);
+  const double late_rate =
+      r.total_throughput_series.mean_over(Time{seconds{20}}, Time{seconds{30}});
+  EXPECT_LT(late_rate, 2.6);
+  EXPECT_EQ(r.fault_counters.rate_changes, 1);
+}
+
+TEST(Dumbbell, InvariantMonitorRunsByDefault) {
+  const auto r = run_dumbbell(base_config());
+  EXPECT_GT(r.invariant_checks, 0u);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.guard_events, 0u);
+
+  auto cfg = base_config();
+  cfg.check_invariants = false;
+  EXPECT_EQ(run_dumbbell(cfg).invariant_checks, 0u);
+}
+
+TEST(DumbbellValidate, AcceptsWellFormedConfig) {
+  EXPECT_EQ(base_config().validate(), "");
+}
+
+TEST(DumbbellValidate, MessagesNameFieldAndConstraint) {
+  auto cfg = base_config();
+  cfg.link_rate_bps = 0;
+  EXPECT_NE(cfg.validate().find("link_rate_bps"), std::string::npos);
+  EXPECT_NE(cfg.validate().find("must be > 0"), std::string::npos);
+
+  cfg = base_config();
+  cfg.stats_start = cfg.duration + Time{seconds{1}};
+  EXPECT_NE(cfg.validate().find("stats_start"), std::string::npos);
+
+  cfg = base_config();
+  cfg.aqm.max_classic_prob = 1.5;
+  EXPECT_NE(cfg.validate().find("aqm.max_classic_prob"), std::string::npos);
+}
+
+TEST(DumbbellValidate, FlowErrorsCarryTheFlowIndex) {
+  auto cfg = base_config();
+  TcpFlowSpec bad;
+  bad.base_rtt = from_millis(0);
+  cfg.tcp_flows.push_back(bad);
+  const auto msg = cfg.validate();
+  EXPECT_NE(msg.find("tcp_flows[1].base_rtt"), std::string::npos) << msg;
+}
+
+TEST(DumbbellValidate, FaultScheduleErrorsPropagate) {
+  auto cfg = base_config();
+  cfg.faults.rate_step(Time{seconds{5}}, 0.0);
+  const auto msg = cfg.validate();
+  EXPECT_NE(msg.find("fault event #0"), std::string::npos) << msg;
+}
+
+TEST(DumbbellValidate, RunDumbbellThrowsOnMalformedConfig) {
+  auto cfg = base_config();
+  cfg.buffer_packets = 0;
+  try {
+    run_dumbbell(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string{err.what()}.find("DumbbellConfig: buffer_packets"),
+              std::string::npos)
+        << err.what();
+  }
 }
 
 TEST(AqmFactory, MakesEveryConfiguredType) {

@@ -110,11 +110,18 @@ TEST(Simulator, ClampedEventsCountsPastTimeSchedules) {
   EXPECT_EQ(s.clamped_events(), 1u);
 }
 
-TEST(Simulator, NegativeDelayAfterDoesNotCountAsClamp) {
-  // after() already clamps the delay to zero before calling at(), so it
-  // lands exactly on now — only genuinely-past absolute times are counted.
+TEST(Simulator, NegativeDelayAfterCountsAsClamp) {
+  // after() routes through at(), so a negative delay is clamped to now AND
+  // counted — a component computing nonsense delays can no longer hide.
   Simulator s;
   s.at(Time{10}, [&] { s.after(Duration{-50}, [] {}); });
+  s.run();
+  EXPECT_EQ(s.clamped_events(), 1u);
+}
+
+TEST(Simulator, ZeroDelayAfterIsNotAClamp) {
+  Simulator s;
+  s.at(Time{10}, [&] { s.after(Duration{0}, [] {}); });
   s.run();
   EXPECT_EQ(s.clamped_events(), 0u);
 }
