@@ -43,6 +43,12 @@ struct Options {
   long long inject_fail = -1;
   long long inject_hang = -1;
   double hang_s = 2.0;
+  /// If non-empty, every grid point writes a telemetry bundle (JSONL stream,
+  /// Prometheus snapshot, RunManifest) into this directory, plus a
+  /// sweep-wide aggregated snapshot. Byte-identical at any --jobs value.
+  std::string telemetry_dir;
+  /// Telemetry sampling cadence in simulated seconds (0 = 100 ms default).
+  double telemetry_interval_s = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -71,6 +77,10 @@ inline Options parse_options(int argc, char** argv) {
       opts.inject_hang = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--hang-s" && i + 1 < argc) {
       opts.hang_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      opts.telemetry_dir = argv[++i];
+    } else if (arg == "--telemetry-interval" && i + 1 < argc) {
+      opts.telemetry_interval_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--jobs N] [--json PATH] [--smoke]\n"
@@ -86,7 +96,11 @@ inline Options parse_options(int argc, char** argv) {
           "  --retries N retry budget per failed/stuck point (default 1)\n"
           "  --inject-fail I / --inject-hang I / --hang-s S\n"
           "              fault-injection test hooks: force point I to throw,\n"
-          "              or to stall S wall seconds (default 2)\n",
+          "              or to stall S wall seconds (default 2)\n"
+          "  --telemetry DIR  write per-point telemetry artifacts (JSONL,\n"
+          "              Prometheus snapshot, run manifest) into DIR\n"
+          "  --telemetry-interval S  telemetry sampling cadence in simulated\n"
+          "              seconds (default 0.1)\n",
           argv[0]);
       std::exit(0);
     }

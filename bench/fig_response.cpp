@@ -12,6 +12,7 @@
 // Headline: PI2's linearized law keeps its gain correct at high p, so it
 // re-converges after the drop at least as fast as PIE.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,7 +83,14 @@ int main(int argc, char** argv) {
   bool healthy = true;
   std::vector<double> settle_drop(aqms.size(), -1.0);
 
-  const auto report = pool.run_ordered_guarded<scenario::RunResult>(
+  // shared_ptr for the same reason as run_sweep: the runner's commit
+  // closure must stay copy-constructible.
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
+  const auto report = pool.run_ordered_guarded<PointOutcome>(
       aqms.size(),
       [&](std::size_t i) {
         scenario::DumbbellConfig cfg;
@@ -99,15 +107,27 @@ int main(int argc, char** argv) {
         cfg.tcp_flows.push_back(cubic);
         cfg.faults.rate_step(sim::from_seconds(down_s), 10e6)
             .rate_step(sim::from_seconds(up_s), 40e6);
-        return scenario::run_dumbbell(cfg);
+        PointOutcome outcome;
+        if (!opts.telemetry_dir.empty()) {
+          outcome.recorder = std::make_shared<telemetry::Recorder>(
+              bench::detail::point_recorder_config(opts, i));
+          cfg.recorder = outcome.recorder.get();
+        }
+        outcome.result = scenario::run_dumbbell(cfg);
+        return outcome;
       },
-      [&](std::size_t i, runner::TaskStatus status,
-          scenario::RunResult* result) {
-        if (status != runner::TaskStatus::kOk || result == nullptr) {
+      [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
+        if (status != runner::TaskStatus::kOk || outcome == nullptr) {
           std::printf("%-14s point %s\n", aqm_label(aqms[i]),
                       runner::to_string(status));
           healthy = false;
           return;
+        }
+        scenario::RunResult* result = &outcome->result;
+        if (outcome->recorder != nullptr) {
+          std::printf("# telemetry: %s\n",
+                      outcome->recorder->manifest_path().c_str());
+          outcome->recorder.reset();
         }
         const double drop = settle_after_s(result->qdelay_ms_series, down_s,
                                            up_s, band_ms, hold_s);

@@ -4,9 +4,13 @@
 #   bench/run_benchmarks.sh [output.json]
 #
 # Records (a) the micro_scheduler google-benchmark results — new scheduler
-# vs the in-binary legacy baseline — and (b) quick-grid sweep wall clock at
-# --jobs 1 vs --jobs $(nproc) for fig15_rate_balance. Compare the file
-# against the previous PR's copy to see per-event and end-to-end movement.
+# vs the in-binary legacy baseline — (b) the micro_probe_overhead results,
+# including the probes-attached vs detached dumbbell ratio (budget: <5%,
+# see EXPERIMENTS.md "Observability"), and (c) quick-grid sweep wall
+# clock at --jobs 1 vs --jobs $(nproc) for fig15_rate_balance, run with
+# --telemetry so every per-point record carries its RunManifest path.
+# Compare the file against the previous PR's copy to see per-event and
+# end-to-end movement.
 #
 # Env: BUILD_DIR (default: build), JOBS (default: nproc).
 set -euo pipefail
@@ -16,28 +20,37 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_sweep.json}
 JOBS=${JOBS:-$(nproc)}
 
-if [[ ! -x "$BUILD_DIR/bench/micro_scheduler" ]]; then
-  echo "error: $BUILD_DIR/bench/micro_scheduler not built (cmake --build $BUILD_DIR)" >&2
-  exit 1
-fi
+missing=0
+for bin in micro_scheduler micro_probe_overhead fig15_rate_balance; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
+    missing=1
+  fi
+done
+[[ $missing -eq 0 ]] || exit 1
 
 MICRO_JSON=$(mktemp)
-trap 'rm -f "$MICRO_JSON"' EXIT
+PROBE_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON" "$PROBE_JSON"' EXIT
 "$BUILD_DIR/bench/micro_scheduler" --benchmark_format=json \
   --benchmark_out_format=json >"$MICRO_JSON"
+"$BUILD_DIR/bench/micro_probe_overhead" --benchmark_format=json \
+  --benchmark_out_format=json >"$PROBE_JSON"
 
-BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" OUT="$OUT" \
+BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" \
+PROBE_JSON="$PROBE_JSON" OUT="$OUT" \
 python3 - <<'PY'
 import json, os, subprocess, sys, tempfile, time
 
 build = os.environ["BUILD_DIR"]
 jobs = int(os.environ["JOBS"])
 fig15 = os.path.join(build, "bench", "fig15_rate_balance")
+telemetry_dir = os.path.join(build, "bench", "telemetry_fig15")
 
 def timed_sweep(n_jobs, json_path=None):
     cmd = [fig15, "--jobs", str(n_jobs)]
     if json_path:
-        cmd += ["--json", json_path]
+        cmd += ["--json", json_path, "--telemetry", telemetry_dir]
     start = time.monotonic()
     # check=True also fails this script loudly when the sweep exits non-zero
     # (i.e. any grid point failed or timed out).
@@ -64,17 +77,44 @@ if bad:
               f"{p.get('mix')}) status={p['status']}: "
               f"{p.get('error', '?')}", file=sys.stderr)
     sys.exit(1)
+no_manifest = [p for p in points if not p.get("telemetry_manifest")]
+if no_manifest:
+    print(f"error: {len(no_manifest)} sweep point(s) missing a "
+          "telemetry_manifest path", file=sys.stderr)
+    sys.exit(1)
 serial_s = wall[1]
 parallel_s = wall[jobs]
 
-with open(os.environ["MICRO_JSON"]) as f:
-    micro = json.load(f)
+def load_benchmarks(env_key):
+    with open(os.environ[env_key]) as f:
+        data = json.load(f)
+    return {
+        b["name"]: {"cpu_time_ns": b["cpu_time"],
+                    "items_per_second": b.get("items_per_second")}
+        for b in data["benchmarks"]
+    }
 
-scheduler = {
-    b["name"]: {"cpu_time_ns": b["cpu_time"],
-                "items_per_second": b.get("items_per_second")}
-    for b in micro["benchmarks"]
-}
+scheduler = load_benchmarks("MICRO_JSON")
+probe = load_benchmarks("PROBE_JSON")
+
+def ratio_pct(baseline_name, loaded_name):
+    base = probe.get(baseline_name, {}).get("cpu_time_ns")
+    loaded = probe.get(loaded_name, {}).get("cpu_time_ns")
+    if not base or not loaded:
+        return None
+    return round((loaded / base - 1.0) * 100.0, 2)
+
+# Telemetry hot-path budget (<5%): dumbbell experiment with the pipeline
+# probes attached vs fully detached. The full-Recorder ratio (probes +
+# sampler + on-disk artifacts) and the bare link-cycle ratio (synthetic
+# worst case — its baseline does almost nothing per packet) are reported
+# alongside, not gated.
+overhead_pct = ratio_pct("BM_DumbbellRun_Baseline",
+                         "BM_DumbbellRun_ProbesAttached")
+recorder_pct = ratio_pct("BM_DumbbellRun_Baseline",
+                         "BM_DumbbellRun_FullRecorder")
+link_cycle_pct = ratio_pct("BM_LinkCycle_ProbesDetached",
+                           "BM_LinkCycle_TelemetryAttached")
 
 out = {
     "suite": "pi2-sweep",
@@ -83,12 +123,21 @@ out = {
         "wall_s_by_jobs": {str(n): s for n, s in wall.items()},
         # Meaningful only on multi-core hosts; 1.0-ish when jobs == 1.
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "telemetry_dir": telemetry_dir,
+        "telemetry_manifests": [p["telemetry_manifest"] for p in points],
     },
     "micro_scheduler": scheduler,
+    "micro_probe_overhead": probe,
+    # Budget is <5% (EXPERIMENTS.md, "Observability"). Informational here:
+    # microbenchmark noise on shared CI hosts makes a hard gate flaky.
+    "probe_overhead_pct": overhead_pct,
+    "full_recorder_overhead_pct": recorder_pct,
+    "probe_link_cycle_worst_case_pct": link_cycle_pct,
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 print(f"wrote {os.environ['OUT']}: quick fig15 {serial_s}s @1 job, "
-      f"{parallel_s}s @{jobs} jobs")
+      f"{parallel_s}s @{jobs} jobs; probe overhead "
+      f"{overhead_pct if overhead_pct is not None else '?'}%")
 PY

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -29,6 +30,7 @@
 #include "bench_common.hpp"
 #include "runner/parallel_runner.hpp"
 #include "sim/rng.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace pi2::bench {
 
@@ -40,6 +42,8 @@ struct SweepPoint {
   scenario::RunResult result;
   std::size_t index = 0;       ///< position in the submission order
   std::uint64_t seed = 0;      ///< derived per-point RNG seed
+  /// Path of the point's RunManifest ("" when --telemetry is off).
+  std::string manifest_path;
 };
 
 inline const char* aqm_label(scenario::AqmType aqm) {
@@ -111,7 +115,7 @@ class SweepJsonWriter {
         "\"enqueued\": %lld, \"forwarded\": %lld, \"aqm_dropped\": %lld, "
         "\"tail_dropped\": %lld, \"marked\": %lld, "
         "\"events_executed\": %llu, \"clamped_events\": %llu, "
-        "\"invariant_violations\": %llu, \"guard_events\": %llu}",
+        "\"invariant_violations\": %llu, \"guard_events\": %llu",
         first_ ? "" : ",", p.index, aqm_label(p.aqm), to_string(p.mix),
         p.link_mbps, p.rtt_ms, static_cast<unsigned long long>(p.seed),
         p.result.mean_qdelay_ms, p.result.p99_qdelay_ms, p.result.utilization,
@@ -125,6 +129,11 @@ class SweepJsonWriter {
         static_cast<unsigned long long>(p.result.clamped_events),
         static_cast<unsigned long long>(p.result.violations.size()),
         static_cast<unsigned long long>(p.result.guard_events));
+    if (!p.manifest_path.empty()) {
+      std::fprintf(file_, ", \"telemetry_manifest\": \"%s\"",
+                   json_escape(p.manifest_path).c_str());
+    }
+    std::fputs("}", file_);
     first_ = false;
   }
 
@@ -170,6 +179,23 @@ inline runner::GuardOptions guard_options(const Options& opts) {
   guard.retries = opts.retries;
   return guard;
 }
+
+inline std::string point_run_id(std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "point_%04zu", i);
+  return buf;
+}
+
+inline telemetry::RecorderConfig point_recorder_config(const Options& opts,
+                                                       std::size_t i) {
+  telemetry::RecorderConfig rc;
+  rc.dir = opts.telemetry_dir;
+  rc.run_id = point_run_id(i);
+  if (opts.telemetry_interval_s > 0) {
+    rc.interval = pi2::sim::from_seconds(opts.telemetry_interval_s);
+  }
+  return rc;
+}
 }  // namespace detail
 
 /// Runs the full grid, invoking `consume` per completed point in grid order.
@@ -200,11 +226,27 @@ inline runner::RunReport run_sweep(
   SweepJsonWriter json{opts.json_path};
   const runner::ParallelRunner pool{opts.jobs};
 
+  // Each attempt owns its telemetry recorder and hands it to the consuming
+  // thread inside the produced result (a stuck attempt's recorder is
+  // discarded with its stale result, so a retry never shares one). Caveat:
+  // a zombie attempt that outlives its deadline still writes the same
+  // artifact paths as its retry; artifacts of a *timed-out-then-retried*
+  // point are therefore best-effort, ok points are exact.
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+  telemetry::MetricsRegistry sweep_registry;  ///< submission-order aggregate
+  telemetry::SectionProfile sweep_profile;
+  // shared_ptr (not unique_ptr): the runner's commit closure is a
+  // std::function, which requires a copy-constructible capture.
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
   // Last attempt's exception message per point, for the failure records.
   std::mutex error_mutex;
   std::vector<std::string> last_error(grid.size());
 
-  runner::RunReport report = pool.run_ordered_guarded<scenario::RunResult>(
+  runner::RunReport report = pool.run_ordered_guarded<PointOutcome>(
       grid.size(),
       [&](std::size_t i) {
         try {
@@ -212,23 +254,35 @@ inline runner::RunReport run_sweep(
           const GridPoint& g = grid[i];
           auto cfg = mix_config(g.aqm, g.mix, g.link_mbps, g.rtt_ms, opts);
           cfg.seed = sim::Rng::derive_seed(opts.seed, i);
-          return scenario::run_dumbbell(cfg);
+          PointOutcome outcome;
+          if (telemetry_on) {
+            outcome.recorder = std::make_shared<telemetry::Recorder>(
+                detail::point_recorder_config(opts, i));
+            cfg.recorder = outcome.recorder.get();
+          }
+          outcome.result = scenario::run_dumbbell(cfg);
+          return outcome;
         } catch (const std::exception& ex) {
           const std::lock_guard<std::mutex> lock{error_mutex};
           last_error[i] = ex.what();
           throw;
         }
       },
-      [&](std::size_t i, runner::TaskStatus status,
-          scenario::RunResult* result) {
+      [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
         const GridPoint& g = grid[i];
         if (i % per_group == 0) {
           std::printf("\n== %s, %s ==\n", aqm_label(g.aqm), to_string(g.mix));
         }
-        if (status == runner::TaskStatus::kOk && result != nullptr) {
+        if (status == runner::TaskStatus::kOk && outcome != nullptr) {
           SweepPoint point{g.aqm,  g.mix, g.link_mbps,
-                           g.rtt_ms, std::move(*result), i,
-                           sim::Rng::derive_seed(opts.seed, i)};
+                           g.rtt_ms, std::move(outcome->result), i,
+                           sim::Rng::derive_seed(opts.seed, i), {}};
+          if (outcome->recorder != nullptr) {
+            point.manifest_path = outcome->recorder->manifest_path();
+            sweep_registry.merge_from(outcome->recorder->registry());
+            sweep_profile.merge_from(outcome->recorder->profile());
+            outcome->recorder.reset();
+          }
           if (!point.result.violations.empty()) {
             std::printf("!! point %zu: %llu invariant violation(s), see JSON\n",
                         i, static_cast<unsigned long long>(
@@ -253,6 +307,18 @@ inline runner::RunReport run_sweep(
                         message);
       },
       detail::guard_options(opts));
+
+  if (telemetry_on) {
+    // Sweep-wide aggregate (counters + histograms summed across points, in
+    // submission order) and the wall-clock section profile. Only the
+    // aggregate snapshot is byte-identical across --jobs values; wall-clock
+    // numbers go to stderr.
+    telemetry::PrometheusExporter aggregate{opts.telemetry_dir +
+                                            "/sweep_aggregate.prom"};
+    sweep_registry.freeze_gauges();
+    aggregate.finish(sweep_registry);
+    sweep_profile.print(stderr, "sweep wall-clock sections");
+  }
 
   if (!report.all_ok()) {
     std::fprintf(stderr, "sweep: %zu of %zu points did not complete\n",

@@ -7,10 +7,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "net/trace.hpp"
 #include "scenario/dumbbell.hpp"
 #include "stats/csv.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace {
 
@@ -33,7 +37,11 @@ void usage(const char* argv0) {
       "  --warmup S        stats window start (default duration/3)\n"
       "  --k X             coupling factor for coupled-pi2 (default 2)\n"
       "  --seed N          RNG seed (default 1)\n"
-      "  --csv PATH        write qdelay/throughput/prob series to CSV\n",
+      "  --csv PATH        write qdelay/throughput/prob series to CSV\n"
+      "  --trace PATH      write the per-packet event trace to PATH (CSV)\n"
+      "  --telemetry DIR   write telemetry artifacts (JSONL sample stream,\n"
+      "                    Prometheus snapshot, run manifest) into DIR\n"
+      "  --telemetry-interval S  telemetry sampling cadence (default 0.1 s)\n",
       argv0);
 }
 
@@ -59,6 +67,9 @@ int main(int argc, char** argv) {
   double warmup_s = -1.0;
   double rtt_ms = 100.0;
   std::string csv_path;
+  std::string trace_path;
+  std::string telemetry_dir;
+  double telemetry_interval_s = 0.0;
 
   struct Count {
     tcp::CcType cc;
@@ -110,6 +121,12 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--csv") {
       csv_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--telemetry") {
+      telemetry_dir = next();
+    } else if (arg == "--telemetry-interval") {
+      telemetry_interval_s = std::atof(next());
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -144,6 +161,20 @@ int main(int argc, char** argv) {
   cfg.duration = sim::from_seconds(duration_s);
   cfg.stats_start = sim::from_seconds(warmup_s >= 0 ? warmup_s : duration_s / 3.0);
 
+  net::PacketTrace trace;
+  if (!trace_path.empty()) cfg.trace = &trace;
+  std::unique_ptr<telemetry::Recorder> recorder;
+  if (!telemetry_dir.empty()) {
+    telemetry::RecorderConfig rc;
+    rc.dir = telemetry_dir;
+    rc.run_id = "cli";
+    if (telemetry_interval_s > 0) {
+      rc.interval = sim::from_seconds(telemetry_interval_s);
+    }
+    recorder = std::make_unique<telemetry::Recorder>(rc);
+    cfg.recorder = recorder.get();
+  }
+
   const auto r = scenario::run_dumbbell(cfg);
 
   std::printf("aqm=%s link=%.1fMbps rtt=%.0fms duration=%.0fs\n",
@@ -167,13 +198,26 @@ int main(int argc, char** argv) {
                 static_cast<long long>(f.timeouts));
   }
 
+  bool ok = true;
+  if (!trace_path.empty()) {
+    const bool trace_ok = trace.write_csv(trace_path);
+    std::printf("trace: %s %s (%zu records, %zu dropped)\n", trace_path.c_str(),
+                trace_ok ? "written" : "FAILED", trace.records().size(),
+                trace.dropped_records());
+    ok = ok && trace_ok;
+  }
+  if (recorder != nullptr) {
+    std::printf("telemetry: %s %s\n", recorder->manifest_path().c_str(),
+                recorder->ok() ? "written" : "FAILED");
+    ok = ok && recorder->ok();
+  }
   if (!csv_path.empty()) {
-    const bool ok = stats::write_series_csv(
+    const bool csv_ok = stats::write_series_csv(
         csv_path, {"qdelay_ms", "throughput_mbps", "classic_prob"},
         {&r.qdelay_ms_series, &r.total_throughput_series, &r.classic_prob_series},
         sim::from_seconds(1.0), sim::kTimeZero, cfg.duration);
-    std::printf("csv: %s %s\n", csv_path.c_str(), ok ? "written" : "FAILED");
-    return ok ? 0 : 1;
+    std::printf("csv: %s %s\n", csv_path.c_str(), csv_ok ? "written" : "FAILED");
+    ok = ok && csv_ok;
   }
-  return 0;
+  return ok ? 0 : 1;
 }

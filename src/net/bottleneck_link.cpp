@@ -33,7 +33,7 @@ void BottleneckLink::drop(const Packet& packet, DropReason reason) {
       ++counters_.fault_dropped;
       break;
   }
-  for (const auto& probe : drop_probes_) probe(packet, reason);
+  probes_.emit_drop(packet, reason);
 }
 
 void BottleneckLink::send(Packet packet) {
@@ -74,7 +74,7 @@ void BottleneckLink::accept(Packet packet) {
   packet.enqueued_at = sim_.now();
   ++counters_.enqueued;
   backlog_bytes_ += packet.size;
-  for (const auto& probe : enqueue_probes_) probe(packet);
+  probes_.emit_enqueue(packet);
   buffer_.push_back(packet);
   try_start_transmission();
 }
@@ -111,10 +111,8 @@ void BottleneckLink::try_start_transmission() {
 void BottleneckLink::finish_transmission(Packet packet, Time started) {
   transmitting_ = false;
   ++counters_.forwarded;
-  for (const auto& probe : busy_probes_) probe(started, sim_.now());
-  for (const auto& probe : departure_probes_) {
-    probe(packet, sim_.now() - packet.enqueued_at);
-  }
+  probes_.emit_busy(started, sim_.now());
+  probes_.emit_departure(packet, sim_.now() - packet.enqueued_at);
   if (sink_) sink_(packet);
   try_start_transmission();
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/probe_bus.hpp"
 #include "net/queue_discipline.hpp"
 #include "sim/simulator.hpp"
 
@@ -43,7 +44,9 @@ class BottleneckLink final : public QueueView {
     std::int64_t dequeue_dropped = 0;
   };
 
-  enum class DropReason { kAqm, kTailDrop, kFault };
+  /// Kept as a nested alias for source compatibility; the enum itself lives
+  /// at namespace scope (net/probe_bus.hpp) so the probe bus can carry it.
+  using DropReason = pi2::net::DropReason;
 
   /// Verdict of the ingress fault filter, applied before the AQM sees the
   /// packet. kDelay re-offers the packet to the queue after `delay` via the
@@ -59,32 +62,35 @@ class BottleneckLink final : public QueueView {
   /// Where departing packets go (e.g. a propagation-delay pipe).
   void set_sink(std::function<void(Packet)> sink) { sink_ = std::move(sink); }
 
-  /// Observers (all optional, multicast — every added probe fires).
-  /// `departure` receives the packet and its total time in the system
-  /// (queue wait + serialization). `busy` receives each transmission
-  /// interval, for utilization accounting.
-  void add_departure_probe(std::function<void(const Packet&, pi2::sim::Duration)> probe) {
-    departure_probes_.push_back(std::move(probe));
+  /// The probe bus every observer of this queue subscribes to (multicast —
+  /// every registered probe fires). PacketTrace, stats meters and telemetry
+  /// all attach here.
+  [[nodiscard]] ProbeBus& probes() { return probes_; }
+  [[nodiscard]] const ProbeBus& probes() const { return probes_; }
+
+  // Convenience forwarders onto the bus (the pre-bus public API).
+  void add_departure_probe(ProbeBus::DepartureProbe probe) {
+    probes_.add_departure(std::move(probe));
   }
-  void add_busy_probe(std::function<void(pi2::sim::Time, pi2::sim::Time)> probe) {
-    busy_probes_.push_back(std::move(probe));
+  void add_busy_probe(ProbeBus::BusyProbe probe) {
+    probes_.add_busy(std::move(probe));
   }
-  void add_drop_probe(std::function<void(const Packet&, DropReason)> probe) {
-    drop_probes_.push_back(std::move(probe));
+  void add_drop_probe(ProbeBus::DropProbe probe) {
+    probes_.add_drop(std::move(probe));
   }
   /// Fires when a packet is accepted into the queue (after AQM marking).
-  void add_enqueue_probe(std::function<void(const Packet&)> probe) {
-    enqueue_probes_.push_back(std::move(probe));
+  void add_enqueue_probe(ProbeBus::EnqueueProbe probe) {
+    probes_.add_enqueue(std::move(probe));
   }
 
   // Single-probe setters kept for convenience (equivalent to add_*).
-  void set_departure_probe(std::function<void(const Packet&, pi2::sim::Duration)> probe) {
+  void set_departure_probe(ProbeBus::DepartureProbe probe) {
     add_departure_probe(std::move(probe));
   }
-  void set_busy_probe(std::function<void(pi2::sim::Time, pi2::sim::Time)> probe) {
+  void set_busy_probe(ProbeBus::BusyProbe probe) {
     add_busy_probe(std::move(probe));
   }
-  void set_drop_probe(std::function<void(const Packet&, DropReason)> probe) {
+  void set_drop_probe(ProbeBus::DropProbe probe) {
     add_drop_probe(std::move(probe));
   }
 
@@ -147,10 +153,7 @@ class BottleneckLink final : public QueueView {
   Counters counters_;
   std::function<void(Packet)> sink_;
   std::function<IngressVerdict(Packet&)> ingress_filter_;
-  std::vector<std::function<void(const Packet&, pi2::sim::Duration)>> departure_probes_;
-  std::vector<std::function<void(pi2::sim::Time, pi2::sim::Time)>> busy_probes_;
-  std::vector<std::function<void(const Packet&, DropReason)>> drop_probes_;
-  std::vector<std::function<void(const Packet&)>> enqueue_probes_;
+  ProbeBus probes_;
 };
 
 /// Fixed-delay pipe: models propagation (and the uncongested reverse path).

@@ -25,26 +25,29 @@ void PacketTrace::add(TraceRecord record) {
 }
 
 void PacketTrace::attach(BottleneckLink& link) {
-  link.add_enqueue_probe([this](const Packet& p) {
+  attach(link.probes(), link.simulator());
+}
+
+void PacketTrace::attach(ProbeBus& bus, const pi2::sim::Simulator& sim) {
+  bus.add_enqueue([this](const Packet& p) {
     add({p.enqueued_at, TraceEventType::kEnqueue, p.flow, p.seq, p.size, p.ecn,
          pi2::sim::Duration{0}});
   });
-  link.add_departure_probe([this](const Packet& p, pi2::sim::Duration sojourn) {
+  bus.add_departure([this](const Packet& p, pi2::sim::Duration sojourn) {
     add({p.enqueued_at + sojourn, TraceEventType::kDeparture, p.flow, p.seq,
          p.size, p.ecn, sojourn});
   });
-  const pi2::sim::Simulator* sim = &link.simulator();
-  link.add_drop_probe(
-      [this, sim](const Packet& p, BottleneckLink::DropReason reason) {
-        TraceEventType type = TraceEventType::kDropTail;
-        if (reason == BottleneckLink::DropReason::kAqm) {
-          type = TraceEventType::kDropAqm;
-        } else if (reason == BottleneckLink::DropReason::kFault) {
-          type = TraceEventType::kDropFault;
-        }
-        add({sim->now(), type, p.flow, p.seq, p.size, p.ecn,
-             pi2::sim::Duration{0}});
-      });
+  const pi2::sim::Simulator* simp = &sim;
+  bus.add_drop([this, simp](const Packet& p, DropReason reason) {
+    TraceEventType type = TraceEventType::kDropTail;
+    if (reason == DropReason::kAqm) {
+      type = TraceEventType::kDropAqm;
+    } else if (reason == DropReason::kFault) {
+      type = TraceEventType::kDropFault;
+    }
+    add({simp->now(), type, p.flow, p.seq, p.size, p.ecn,
+         pi2::sim::Duration{0}});
+  });
 }
 
 std::vector<TraceRecord> PacketTrace::for_flow(std::int32_t flow) const {

@@ -41,6 +41,10 @@ class PacketTrace {
   /// probes (stats meters etc.) already registered.
   void attach(BottleneckLink& link);
 
+  /// Lower-level form: subscribe directly to a probe bus. The simulator is
+  /// needed to timestamp drop events (drops carry no enqueue time).
+  void attach(ProbeBus& bus, const pi2::sim::Simulator& sim);
+
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t dropped_records() const { return overflow_; }
 
@@ -53,10 +57,10 @@ class PacketTrace {
   /// Writes "t_s,event,flow,seq,size,ecn,sojourn_ms" rows.
   bool write_csv(const std::string& path) const;
 
-  void clear() {
-    records_.clear();
-    overflow_ = 0;
-  }
+  /// Discards the buffered records. The overflow counter is deliberately
+  /// preserved: it reports lifetime loss of visibility, and resetting it on
+  /// clear() would hide that a previous window overflowed.
+  void clear() { records_.clear(); }
 
  private:
   void add(TraceRecord record);

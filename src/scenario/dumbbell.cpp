@@ -6,9 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/endpoint.hpp"
 #include "tcp/udp_sender.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace pi2::scenario {
 
@@ -191,6 +194,7 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   std::vector<std::unique_ptr<FlowContext>> flows;
 
   // --- Wire the bottleneck's probes. -------------------------------------
+  if (config.trace != nullptr) config.trace->attach(link);
   link.set_busy_probe([&](Time from, Time to) { util_meter.add_busy(from, to); });
   link.set_departure_probe([&](const net::Packet& packet, Duration sojourn) {
     if (sim.now() >= config.stats_start) {
@@ -291,6 +295,61 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   faults::InvariantMonitor monitor{sim, link, monitor_config};
   if (config.check_invariants) monitor.start();
 
+  // --- Telemetry. ----------------------------------------------------------
+  telemetry::MetricsRegistry* probe_registry =
+      config.recorder != nullptr ? &config.recorder->registry() : config.registry;
+  if (probe_registry != nullptr) {
+    telemetry::MetricsRegistry& reg = *probe_registry;
+    telemetry::attach_link_probes(reg, link);
+    telemetry::attach_aqm_probes(reg, link.qdisc());
+    telemetry::attach_simulator_probes(reg, sim);
+    reg.gauge("tcp.retransmits", [&flows] {
+      std::int64_t n = 0;
+      for (const auto& flow : flows) {
+        if (flow->sender) n += flow->sender->retransmits();
+      }
+      return static_cast<double>(n);
+    });
+    reg.gauge("tcp.timeouts", [&flows] {
+      std::int64_t n = 0;
+      for (const auto& flow : flows) {
+        if (flow->sender) n += flow->sender->timeouts();
+      }
+      return static_cast<double>(n);
+    });
+    reg.gauge("faults.applied", [&injector] {
+      const faults::FaultInjector::Counters& fc = injector.counters();
+      return static_cast<double>(fc.dropped + fc.bleached + fc.reordered +
+                                 fc.rate_changes + fc.rtt_changes);
+    });
+  }
+  if (config.recorder != nullptr) {
+    telemetry::RunManifest& manifest = config.recorder->manifest();
+    manifest.seed = config.seed;
+    manifest.fault_digest = telemetry::fault_schedule_digest(config.faults);
+    manifest.build_flags = telemetry::build_flags_string();
+    manifest.set("link_rate_bps", config.link_rate_bps);
+    manifest.set("buffer_packets",
+                 static_cast<std::uint64_t>(config.buffer_packets));
+    manifest.set("aqm.type", std::string(to_string(config.aqm.type)));
+    manifest.set("aqm.target_ms", to_millis(config.aqm.target));
+    manifest.set("aqm.t_update_ms", to_millis(config.aqm.t_update));
+    manifest.set("aqm.ecn", std::string(config.aqm.ecn ? "true" : "false"));
+    manifest.set("aqm.coupling_k", config.aqm.coupling_k);
+    manifest.set("aqm.max_classic_prob", config.aqm.max_classic_prob);
+    if (config.aqm.alpha_hz) manifest.set("aqm.alpha_hz", *config.aqm.alpha_hz);
+    if (config.aqm.beta_hz) manifest.set("aqm.beta_hz", *config.aqm.beta_hz);
+    manifest.set("tcp_flow_specs",
+                 static_cast<std::uint64_t>(config.tcp_flows.size()));
+    manifest.set("udp_flow_specs",
+                 static_cast<std::uint64_t>(config.udp_flows.size()));
+    manifest.set("flows", static_cast<std::uint64_t>(flows.size()));
+    manifest.set("duration_s", to_seconds(config.duration));
+    manifest.set("stats_start_s", to_seconds(config.stats_start));
+    manifest.set("sample_interval_s", to_seconds(config.sample_interval));
+    config.recorder->start(sim);
+  }
+
   // Periodic sampling of queue delay and AQM probabilities.
   std::function<void()> sample = [&] {
     result.qdelay_ms_series.add(sim.now(), to_millis(link.queue_delay()));
@@ -316,7 +375,14 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   });
 
   // --- Run. ----------------------------------------------------------------
-  sim.run_until(config.duration);
+  {
+    std::unique_ptr<telemetry::ScopedTimer> timer;
+    if (config.recorder != nullptr) {
+      timer = std::make_unique<telemetry::ScopedTimer>(
+          config.recorder->profile().section("sim.run"));
+    }
+    sim.run_until(config.duration);
+  }
 
   // --- Collect results. ------------------------------------------------------
   util_meter.flush(config.duration);
@@ -364,6 +430,14 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   result.violations = monitor.violations();
   result.invariant_checks = monitor.checks_run();
   result.guard_events = link.qdisc().guard_events();
+
+  // Finish telemetry while the probed objects (link, flows, injector) are
+  // still alive: the final sample and manifest snapshot read bound gauges.
+  if (config.recorder != nullptr) {
+    config.recorder->finish(config.duration);
+  } else if (config.registry != nullptr) {
+    config.registry->freeze_gauges();
+  }
   return result;
 }
 

@@ -25,6 +25,15 @@
 #include "stats/time_series.hpp"
 #include "tcp/congestion_control.hpp"
 
+namespace pi2::net {
+class PacketTrace;
+}  // namespace pi2::net
+
+namespace pi2::telemetry {
+class MetricsRegistry;
+class Recorder;
+}  // namespace pi2::telemetry
+
 namespace pi2::scenario {
 
 struct TcpFlowSpec {
@@ -79,6 +88,21 @@ struct DumbbellConfig {
   /// Samples the InvariantMonitor every sample_interval alongside the stats
   /// probes; violations are returned in RunResult::violations.
   bool check_invariants = true;
+  /// Optional per-packet trace, attached to the bottleneck's probe bus for
+  /// the whole run. Borrowed; must outlive run_dumbbell().
+  net::PacketTrace* trace = nullptr;
+  /// Optional telemetry recorder. run_dumbbell() wires the link/AQM/TCP/
+  /// simulator probes into its registry, fills its manifest from this
+  /// config, starts its sampler and finishes its artifacts at `duration`.
+  /// Borrowed; must outlive run_dumbbell().
+  telemetry::Recorder* recorder = nullptr;
+  /// Optional bare metrics registry: wires the same pipeline probes as
+  /// `recorder` but with no sampler, exporters or manifest — for in-process
+  /// consumers (and the probe-overhead benchmark). Ignored when `recorder`
+  /// is set (the recorder's own registry wins). Bound gauges are frozen
+  /// before the probed objects go away. Borrowed; must outlive
+  /// run_dumbbell().
+  telemetry::MetricsRegistry* registry = nullptr;
 
   /// Returns "" when the config is well-formed, otherwise an actionable
   /// message naming the offending field and constraint. run_dumbbell()

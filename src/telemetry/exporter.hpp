@@ -1,0 +1,97 @@
+// Metric exporters: one interface, three wire formats.
+//
+//  - JsonlExporter: one flat JSON object per sample — the plotting format
+//    (each line is {"t_s": ..., "<metric>": value, ...}).
+//  - CsvExporter: same rows as aligned CSV columns (header from the first
+//    sample's metric set).
+//  - PrometheusExporter: text exposition format, written once at finish()
+//    as the run's final scrape-style snapshot (histograms with cumulative
+//    `le` buckets, counters/gauges with TYPE lines).
+//
+// All exporters produce byte-identical output for identical runs: metric
+// iteration order is sorted (MetricsRegistry guarantees it) and numbers are
+// printed with locale-independent printf formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pi2::telemetry {
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  /// False once an I/O error (or a failed open) has occurred.
+  [[nodiscard]] virtual bool ok() const = 0;
+
+  /// Called by the Sampler at every snapshot instant.
+  virtual void on_sample(pi2::sim::Time t, const MetricsRegistry& registry) = 0;
+
+  /// Called once when the run ends; flushes and closes. Returns ok().
+  virtual bool finish(const MetricsRegistry& registry) = 0;
+};
+
+/// Shared fopen/fclose plumbing for the file-backed exporters.
+class FileExporter : public Exporter {
+ public:
+  explicit FileExporter(const std::string& path);
+  ~FileExporter() override;
+  FileExporter(const FileExporter&) = delete;
+  FileExporter& operator=(const FileExporter&) = delete;
+
+  /// True while the file is healthy — including after a clean close (an
+  /// exporter that finished successfully stays ok()).
+  [[nodiscard]] bool ok() const override {
+    return (file_ != nullptr || closed_) && !failed_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ protected:
+  void close();
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  bool closed_ = false;
+
+ private:
+  std::string path_;
+};
+
+class JsonlExporter final : public FileExporter {
+ public:
+  explicit JsonlExporter(const std::string& path) : FileExporter(path) {}
+  void on_sample(pi2::sim::Time t, const MetricsRegistry& registry) override;
+  bool finish(const MetricsRegistry& registry) override;
+
+ private:
+  std::string line_;  ///< reused row buffer (one allocation per run)
+};
+
+class CsvExporter final : public FileExporter {
+ public:
+  explicit CsvExporter(const std::string& path) : FileExporter(path) {}
+  void on_sample(pi2::sim::Time t, const MetricsRegistry& registry) override;
+  bool finish(const MetricsRegistry& registry) override;
+
+ private:
+  std::vector<std::string> header_;
+  std::string line_;  ///< reused row buffer (one allocation per run)
+};
+
+class PrometheusExporter final : public FileExporter {
+ public:
+  explicit PrometheusExporter(const std::string& path) : FileExporter(path) {}
+  /// Snapshot format: only the final state is exposed, so per-sample calls
+  /// are no-ops.
+  void on_sample(pi2::sim::Time t, const MetricsRegistry& registry) override;
+  bool finish(const MetricsRegistry& registry) override;
+};
+
+/// Prometheus metric name: "link.sojourn_ms" -> "pi2_link_sojourn_ms".
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace pi2::telemetry

@@ -1,0 +1,219 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace pi2::telemetry {
+
+namespace {
+
+int octaves_for(const Histogram::Config& config) {
+  if (!(config.lowest > 0.0) || !(config.highest > config.lowest) ||
+      config.sub_buckets < 1) {
+    throw std::invalid_argument(
+        "Histogram::Config: need 0 < lowest < highest and sub_buckets >= 1");
+  }
+  return static_cast<int>(
+      std::ceil(std::log2(config.highest / config.lowest) - 1e-9));
+}
+
+}  // namespace
+
+Histogram::Histogram() : Histogram(Config{}) {}
+
+Histogram::Histogram(Config config)
+    : config_(config),
+      octaves_(octaves_for(config)),
+      inv_lowest_(1.0 / config.lowest),
+      sub_buckets_d_(static_cast<double>(config.sub_buckets)) {
+  // Bucket 0 = underflow [0, lowest); then octaves_ * sub_buckets log-linear
+  // bins; last bucket = overflow [highest, inf).
+  counts_.assign(static_cast<std::size_t>(octaves_ * config_.sub_buckets) + 2, 0);
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  if (!(v > 0.0) || v < config_.lowest) return 0;
+  if (v >= config_.highest) return counts_.size() - 1;
+  // v * inv_lowest_ is in [1, 2^octaves): the IEEE-754 exponent is the
+  // octave and the mantissa fraction (in [0, 1)) is the position within it.
+  // Direct bit extraction keeps record() at a handful of cycles — this is
+  // the per-packet hot path behind the sojourn probe.
+  const auto bits = std::bit_cast<std::uint64_t>(v * inv_lowest_);
+  const int octave = static_cast<int>((bits >> 52) & 0x7FF) - 1023;
+  const double frac =
+      static_cast<double>(bits & ((std::uint64_t{1} << 52) - 1)) * 0x1p-52;
+  const int sub = std::min(config_.sub_buckets - 1,
+                           static_cast<int>(frac * sub_buckets_d_));
+  const auto index = static_cast<std::size_t>(octave * config_.sub_buckets + sub) + 1;
+  return std::min(index, counts_.size() - 2);
+}
+
+double Histogram::bucket_lower_bound(std::size_t i) const {
+  if (i == 0) return 0.0;
+  if (i >= counts_.size() - 1) return config_.highest;
+  const auto linear = static_cast<int>(i - 1);
+  const int octave = linear / config_.sub_buckets;
+  const int sub = linear % config_.sub_buckets;
+  return config_.lowest * std::ldexp(1.0 + static_cast<double>(sub) /
+                                               static_cast<double>(config_.sub_buckets),
+                                     octave);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) const {
+  if (i >= counts_.size() - 1) return config_.highest;  // overflow: reported cap
+  return bucket_lower_bound(i + 1);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  ++counts_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo = bucket_lower_bound(i);
+      const double hi = std::min(bucket_upper_bound(i), max_);
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts_[i]);
+      return std::clamp(lo + (hi - lo) * within, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() ||
+      other.config_.lowest != config_.lowest ||
+      other.config_.highest != config_.highest) {
+    throw std::invalid_argument("Histogram::merge_from: bucket layouts differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  ++version_;
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  ++version_;
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::function<double()> fn) {
+  Gauge& g = gauge(name);
+  g.bind(std::move(fn));
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      Histogram::Config config) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  ++version_;
+  return histograms_.emplace(std::string{name}, Histogram{config}).first->second;
+}
+
+double MetricsRegistry::slot_value(const SnapshotSlot& slot) {
+  switch (slot.kind) {
+    case SnapshotSlot::Kind::kCounter:
+      return static_cast<double>(static_cast<const Counter*>(slot.src)->value());
+    case SnapshotSlot::Kind::kGauge:
+      return static_cast<const Gauge*>(slot.src)->value();
+    case SnapshotSlot::Kind::kHistCount:
+      return static_cast<double>(static_cast<const Histogram*>(slot.src)->count());
+    case SnapshotSlot::Kind::kHistMean:
+      return static_cast<const Histogram*>(slot.src)->mean();
+    case SnapshotSlot::Kind::kHistQuantile:
+      return static_cast<const Histogram*>(slot.src)->quantile(slot.q);
+    case SnapshotSlot::Kind::kHistMax:
+      return static_cast<const Histogram*>(slot.src)->max_value();
+  }
+  return 0.0;
+}
+
+void MetricsRegistry::rebuild_snapshot_cache() const {
+  using Kind = SnapshotSlot::Kind;
+  std::vector<std::pair<std::string, SnapshotSlot>> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size() * 6);
+  for (const auto& [name, c] : counters_) {
+    rows.emplace_back(name, SnapshotSlot{Kind::kCounter, &c});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.emplace_back(name, SnapshotSlot{Kind::kGauge, &g});
+  }
+  for (const auto& [name, h] : histograms_) {
+    rows.emplace_back(name + ".count", SnapshotSlot{Kind::kHistCount, &h});
+    rows.emplace_back(name + ".mean", SnapshotSlot{Kind::kHistMean, &h});
+    rows.emplace_back(name + ".p50", SnapshotSlot{Kind::kHistQuantile, &h, 0.50});
+    rows.emplace_back(name + ".p99", SnapshotSlot{Kind::kHistQuantile, &h, 0.99});
+    rows.emplace_back(name + ".p999", SnapshotSlot{Kind::kHistQuantile, &h, 0.999});
+    rows.emplace_back(name + ".max", SnapshotSlot{Kind::kHistMax, &h});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  snapshot_cache_.clear();
+  snapshot_slots_.clear();
+  snapshot_cache_.reserve(rows.size());
+  snapshot_slots_.reserve(rows.size());
+  for (auto& [name, slot] : rows) {
+    snapshot_cache_.emplace_back(std::move(name), 0.0);
+    snapshot_slots_.push_back(slot);
+  }
+  snapshot_version_ = version_;
+}
+
+const std::vector<std::pair<std::string, double>>& MetricsRegistry::snapshot_view()
+    const {
+  if (snapshot_version_ != version_) rebuild_snapshot_cache();
+  for (std::size_t i = 0; i < snapshot_slots_.size(); ++i) {
+    snapshot_cache_[i].second = slot_value(snapshot_slots_[i]);
+  }
+  return snapshot_cache_;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::snapshot() const {
+  return snapshot_view();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.config()).merge_from(h);
+  }
+}
+
+void MetricsRegistry::freeze_gauges() {
+  for (auto& entry : gauges_) entry.second.freeze();
+}
+
+}  // namespace pi2::telemetry

@@ -1,0 +1,200 @@
+// Metrics registry: named counters, gauges and log-linear histograms.
+//
+// The registry is the telemetry subsystem's core data structure. Hot-path
+// code resolves a metric once by name (a map lookup at wiring time) and then
+// holds a stable reference, so recording a sample is an increment or an
+// array-indexed bump — no allocation, no hashing, no locking. A simulation
+// is single-threaded, so the registry itself is not synchronized; the
+// parallel sweep aggregates per-worker registries on the consuming thread
+// via merge_from(), which keeps cross-worker totals deterministic.
+//
+// Histograms use HDR-style log-linear bins (octaves split into equal-width
+// sub-buckets), so tail quantiles of per-packet sojourn times (p99, p99.9)
+// cost a fixed array walk instead of storing every sample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pi2::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value: either set explicitly or bound to a callback that is
+/// evaluated at sampling time (e.g. "current backlog"). Bound gauges read
+/// live objects, so freeze() captures the final value before those objects
+/// go away (MetricsRegistry::freeze_gauges, called when a run finishes).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    fn_ = nullptr;
+  }
+  void bind(std::function<double()> fn) { fn_ = std::move(fn); }
+  [[nodiscard]] double value() const { return fn_ ? fn_() : value_; }
+
+  /// Evaluates a bound callback one last time and drops it.
+  void freeze() {
+    if (fn_) {
+      value_ = fn_();
+      fn_ = nullptr;
+    }
+  }
+
+ private:
+  double value_ = 0.0;
+  std::function<double()> fn_;
+};
+
+/// Log-linear histogram of non-negative values (HDR-style). The value range
+/// [lowest, highest) is covered by octaves each split into `sub_buckets`
+/// equal-width bins, plus an underflow bucket below `lowest` and an overflow
+/// bucket at `highest` and above. record() is allocation-free.
+class Histogram {
+ public:
+  struct Config {
+    double lowest = 1e-3;  ///< smallest resolvable value (> 0)
+    double highest = 1e6;  ///< values at/above land in the overflow bucket
+    int sub_buckets = 8;   ///< linear subdivisions per octave
+  };
+
+  // Split into two constructors: GCC rejects `Config config = {}` as a
+  // default argument because Config's member initializers are not usable
+  // until Histogram (the enclosing class) is complete.
+  Histogram();
+  explicit Histogram(Config config);
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min_value() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max_value() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Quantile q in [0, 1] with linear interpolation inside the bucket.
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Adds another histogram's population. The configurations must match
+  /// (same bucket layout); used for cross-worker aggregation.
+  void merge_from(const Histogram& other);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Bucket boundaries for exporters: bucket i covers
+  /// [upper_bound(i-1), upper_bound(i)); the last bucket is unbounded.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_upper_bound(std::size_t i) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+  [[nodiscard]] double bucket_lower_bound(std::size_t i) const;
+
+  Config config_;
+  int octaves_;
+  // Precomputed for the record() hot path: scaling by inv_lowest_ plus
+  // exponent/mantissa extraction replaces a division and a frexp call.
+  double inv_lowest_;
+  double sub_buckets_d_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> metric store with deterministic (sorted) iteration order, so
+/// every exporter emits byte-identical output for identical runs. Metric
+/// references are stable for the registry's lifetime (node-based storage).
+class MetricsRegistry {
+ public:
+  /// Finds or creates. The returned reference stays valid until the
+  /// registry is destroyed; hot paths should hold it instead of re-looking
+  /// up by name.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates a gauge bound to `fn` (overwrites any previous binding).
+  Gauge& gauge(std::string_view name, std::function<double()> fn);
+  Histogram& histogram(std::string_view name,
+                       Histogram::Config config = Histogram::Config{});
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Flattened, name-sorted view of everything: counters and gauges by
+  /// value, histograms expanded into .count/.mean/.p50/.p99/.p999/.max
+  /// pseudo-metrics. This is what the Sampler records and the row-oriented
+  /// exporters write.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Same rows as snapshot(), but returned by reference from a cache that
+  /// is only rebuilt when the metric set changes: steady-state sampling
+  /// refreshes values in place with zero allocations. The reference is
+  /// invalidated by the next snapshot_view()/snapshot() call or by
+  /// registering a new metric. Not thread-safe (mutable cache) — like the
+  /// rest of the registry, single-threaded by design.
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& snapshot_view() const;
+
+  /// Incremented whenever a metric is first registered; lets callers cache
+  /// per-metric wiring (e.g. the Sampler's TimeSeries slots) and rebuild it
+  /// only when the layout changes.
+  [[nodiscard]] std::uint64_t layout_version() const { return version_; }
+
+  /// Sums counters and histograms from `other` into this registry and
+  /// copies gauge values (last writer wins). Metrics missing here are
+  /// created. Deterministic when called in a deterministic order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Captures every bound gauge's current value and unbinds it. Call when
+  /// the objects gauges observe are about to go away.
+  void freeze_gauges();
+
+ private:
+  /// One row of the cached snapshot layout: how to recompute the row's
+  /// value from its source metric (map nodes are stable, so the pointers
+  /// survive later registrations).
+  struct SnapshotSlot {
+    enum class Kind { kCounter, kGauge, kHistCount, kHistMean, kHistQuantile, kHistMax };
+    Kind kind;
+    const void* src;
+    double q = 0.0;  ///< quantile, for kHistQuantile rows
+  };
+
+  [[nodiscard]] static double slot_value(const SnapshotSlot& slot);
+  void rebuild_snapshot_cache() const;
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::uint64_t version_ = 0;
+  mutable std::vector<std::pair<std::string, double>> snapshot_cache_;
+  mutable std::vector<SnapshotSlot> snapshot_slots_;
+  mutable std::uint64_t snapshot_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace pi2::telemetry

@@ -1,0 +1,45 @@
+#include "telemetry/recorder.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+namespace pi2::telemetry {
+
+Recorder::Recorder(RecorderConfig config)
+    : config_(std::move(config)), sampler_(registry_, config_.interval) {
+  std::error_code ec;  // a failed mkdir surfaces as exporter open failures
+  std::filesystem::create_directories(config_.dir, ec);
+  jsonl_ = std::make_unique<JsonlExporter>(jsonl_path());
+  prometheus_ = std::make_unique<PrometheusExporter>(prometheus_path());
+  sampler_.add_exporter(jsonl_.get());
+  sampler_.add_exporter(prometheus_.get());
+  if (config_.csv) {
+    csv_ = std::make_unique<CsvExporter>(csv_path());
+    sampler_.add_exporter(csv_.get());
+  }
+  manifest_.run_id = config_.run_id;
+  manifest_.build_flags = build_flags_string();
+}
+
+bool Recorder::ok() const {
+  if (finished_) return finish_ok_;
+  if (!jsonl_->ok() || !prometheus_->ok()) return false;
+  return !csv_ || csv_->ok();
+}
+
+bool Recorder::finish(pi2::sim::Time end) {
+  if (finished_) return finish_ok_;
+  finished_ = true;
+  sampler_.sample_at(end);
+  sampler_.stop();
+  registry_.freeze_gauges();
+  manifest_.capture_final(registry_);
+  bool ok = jsonl_->finish(registry_);
+  ok = prometheus_->finish(registry_) && ok;
+  if (csv_) ok = csv_->finish(registry_) && ok;
+  ok = manifest_.write_json(manifest_path()) && ok;
+  finish_ok_ = ok;
+  return ok;
+}
+
+}  // namespace pi2::telemetry

@@ -1,0 +1,49 @@
+// RunManifest: the reproducibility record written next to a run's metric
+// artifacts. It captures everything needed to replay the run byte-for-byte
+// — the flattened config, the RNG seed, a digest of the fault schedule, the
+// build flags — plus the final metric snapshot, so any sweep point can be
+// audited or re-run from its artifact directory alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "faults/fault_schedule.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pi2::telemetry {
+
+struct RunManifest {
+  std::string run_id;
+  std::uint64_t seed = 0;
+  /// Flattened config key/values (e.g. "link_rate_bps" -> "4e+07"). Sorted,
+  /// so the serialized manifest is deterministic.
+  std::map<std::string, std::string> config;
+  /// FNV-1a digest of the fault schedule (16 hex digits; the digest of an
+  /// empty schedule for un-faulted runs).
+  std::string fault_digest;
+  /// Compiler + build configuration the binary was produced with.
+  std::string build_flags;
+  /// Final metric snapshot, captured when the run finishes.
+  std::map<std::string, double> final_metrics;
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+
+  /// Fills final_metrics from the registry's flattened snapshot.
+  void capture_final(const MetricsRegistry& registry);
+
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+/// Order- and parameter-sensitive digest of a fault schedule (FNV-1a 64).
+[[nodiscard]] std::string fault_schedule_digest(const faults::FaultSchedule& schedule);
+
+/// Compiler version, language level, build type and sanitizer set baked
+/// into this binary.
+[[nodiscard]] std::string build_flags_string();
+
+}  // namespace pi2::telemetry

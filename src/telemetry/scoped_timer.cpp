@@ -1,0 +1,45 @@
+#include "telemetry/scoped_timer.hpp"
+
+#include <cstdio>
+
+namespace pi2::telemetry {
+
+SectionProfile::Section& SectionProfile::section(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = sections_.find(name);
+  if (it != sections_.end()) return it->second;
+  return sections_.try_emplace(std::string{name}).first->second;
+}
+
+std::vector<SectionProfile::Snapshot> SectionProfile::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<Snapshot> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, s] : sections_) {
+    out.push_back({name,
+                   static_cast<double>(s.ns.load(std::memory_order_relaxed)) * 1e-9,
+                   s.calls.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void SectionProfile::merge_from(const SectionProfile& other) {
+  for (const Snapshot& s : other.snapshot()) {
+    Section& mine = section(s.name);
+    mine.ns.fetch_add(static_cast<std::uint64_t>(s.seconds * 1e9),
+                      std::memory_order_relaxed);
+    mine.calls.fetch_add(s.calls, std::memory_order_relaxed);
+  }
+}
+
+void SectionProfile::print(std::FILE* out, const char* heading) const {
+  const auto sections = snapshot();
+  if (sections.empty()) return;
+  std::fprintf(out, "%s\n", heading);
+  for (const Snapshot& s : sections) {
+    std::fprintf(out, "  %-24s %10.3f s  (%llu calls)\n", s.name.c_str(),
+                 s.seconds, static_cast<unsigned long long>(s.calls));
+  }
+}
+
+}  // namespace pi2::telemetry

@@ -1,0 +1,74 @@
+// Wall-clock section profiling for the host-side hot paths (ParallelRunner
+// workers, Scheduler-driven run loops, exporter I/O).
+//
+// A SectionProfile owns named sections; a ScopedTimer adds the enclosing
+// scope's wall time to one section. Accumulation is atomic, so workers on
+// different threads can time into the same profile; section resolution takes
+// a mutex, so callers should resolve once and reuse the reference on hot
+// paths. Wall-clock numbers are inherently nondeterministic — they are
+// reported on stderr / in perf records, never in the byte-identical
+// per-run telemetry artifacts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pi2::telemetry {
+
+class SectionProfile {
+ public:
+  struct Section {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+  };
+
+  struct Snapshot {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  /// Finds or creates; the reference is stable for the profile's lifetime.
+  Section& section(std::string_view name);
+
+  /// Name-sorted totals.
+  [[nodiscard]] std::vector<Snapshot> snapshot() const;
+
+  /// Adds another profile's totals (per-run profiles into a sweep-wide one).
+  void merge_from(const SectionProfile& other);
+
+  /// Renders "name: total_s (calls)" lines to `out` (e.g. stderr).
+  void print(std::FILE* out, const char* heading) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Section, std::less<>> sections_;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(SectionProfile::Section& section)
+      : section_(section), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    section_.ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+        std::memory_order_relaxed);
+    section_.calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  SectionProfile::Section& section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pi2::telemetry

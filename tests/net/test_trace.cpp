@@ -116,5 +116,26 @@ TEST_F(TraceTest, ClearResets) {
   EXPECT_TRUE(trace_.records().empty());
 }
 
+TEST_F(TraceTest, CsvExportToUnwritablePathReturnsFalse) {
+  link_.send(data_packet(0, 0));
+  sim_.run();
+  // /dev/null/... fails with ENOTDIR for any user, including root.
+  EXPECT_FALSE(trace_.write_csv("/dev/null/pi2_trace_test.csv"));
+}
+
+TEST_F(TraceTest, ClearPreservesOverflowCounter) {
+  PacketTrace small{2};
+  small.attach(link_);
+  for (int i = 0; i < 10; ++i) link_.send(data_packet(0, i));
+  sim_.run();
+  const std::size_t overflowed = small.dropped_records();
+  ASSERT_GT(overflowed, 0u);
+  small.clear();
+  EXPECT_TRUE(small.records().empty());
+  // Lifetime loss-of-visibility survives a clear(): resetting it would hide
+  // that an earlier window overflowed.
+  EXPECT_EQ(small.dropped_records(), overflowed);
+}
+
 }  // namespace
 }  // namespace pi2::net

@@ -7,6 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "sweep.hpp"
@@ -102,6 +107,46 @@ TEST(SweepEquivalence, NoClampedSchedulesAcrossTheGrid) {
   for (const auto& d : sweep_digests(2)) {
     EXPECT_EQ(d.clamped_events, 0u);
   }
+}
+
+/// Every artifact file in `dir`, keyed by filename, with its full contents.
+std::map<std::string, std::string> artifact_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in{entry.path(), std::ios::binary};
+    std::ostringstream out;
+    out << in.rdbuf();
+    files[entry.path().filename().string()] = out.str();
+  }
+  return files;
+}
+
+TEST(SweepEquivalence, TelemetryArtifactsAreByteIdenticalAcrossJobs) {
+  const std::string dir1 = ::testing::TempDir() + "pi2_sweep_tel_j1";
+  const std::string dir2 = ::testing::TempDir() + "pi2_sweep_tel_j2";
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir2);
+  for (const auto& [jobs, dir] : {std::pair{1u, dir1}, std::pair{2u, dir2}}) {
+    Options opts = test_options(jobs);
+    opts.duration_s_override = 2.0;
+    opts.stats_start_s_override = 0.5;
+    opts.telemetry_dir = dir;
+    run_sweep(opts, [](const SweepPoint& p) {
+      EXPECT_FALSE(p.manifest_path.empty());
+    });
+  }
+  const auto first = artifact_bytes(dir1);
+  const auto second = artifact_bytes(dir2);
+  // 36 points x (jsonl + prom + manifest) + the sweep-level aggregate.
+  ASSERT_EQ(first.size(), 36u * 3u + 1u);
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [name, bytes] : first) {
+    ASSERT_TRUE(second.contains(name)) << name;
+    EXPECT_EQ(bytes, second.at(name)) << name << " diverged across --jobs";
+    EXPECT_FALSE(bytes.empty()) << name;
+  }
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir2);
 }
 
 }  // namespace

@@ -75,5 +75,36 @@ TEST(UtilizationMeter, IgnoresEmptyIntervals) {
   EXPECT_DOUBLE_EQ(m.total_busy_seconds(), 0.0);
 }
 
+TEST(RateMeter, SampleExactlyOnWindowEdgeOpensTheNextWindow) {
+  RateMeter m{std::chrono::seconds{1}};
+  m.add_bytes(at_s(0.5), 125000);  // window [0, 1)
+  m.add_bytes(at_s(1.0), 250000);  // exactly on the edge: belongs to [1, 2)
+  m.flush(at_s(2.0));
+  ASSERT_EQ(m.series().size(), 2u);
+  EXPECT_NEAR(m.series().points()[0].value, 1.0, 1e-9);  // 125 kB -> 1 Mb/s
+  EXPECT_NEAR(m.series().points()[1].value, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pi2::sim::to_seconds(m.series().points()[0].t), 1.0);
+}
+
+TEST(RateMeter, OutOfOrderFlushIsANoOp) {
+  RateMeter m{std::chrono::seconds{1}};
+  m.add_bytes(at_s(2.5), 1000);
+  m.flush(at_s(1.0));  // earlier than the last event: nothing to close
+  EXPECT_EQ(m.series().size(), 0u);
+  m.flush(at_s(3.0));  // forward flush still closes [2, 3) exactly once
+  ASSERT_EQ(m.series().size(), 1u);
+  EXPECT_GT(m.series().points()[0].value, 0.0);
+  EXPECT_EQ(m.total_bytes(), 1000);
+}
+
+TEST(UtilizationMeter, BusyIntervalEndingOnWindowEdge) {
+  UtilizationMeter m{std::chrono::seconds{1}};
+  m.add_busy(at_s(0.0), at_s(1.0));  // exactly fills [0, 1)
+  m.flush(at_s(2.0));
+  ASSERT_EQ(m.series().size(), 2u);
+  EXPECT_NEAR(m.series().points()[0].value, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.series().points()[1].value, 0.0);  // nothing leaked over
+}
+
 }  // namespace
 }  // namespace pi2::stats

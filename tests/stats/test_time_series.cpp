@@ -25,6 +25,26 @@ TEST(TimeSeries, StoresPointsInOrder) {
   EXPECT_DOUBLE_EQ(ts.points()[1].value, 20.0);
 }
 
+TEST(TimeSeries, SampleExactlyOnBinEdgeBelongsToTheLaterBin) {
+  TimeSeries ts;
+  ts.add(at_s(0.5), 10.0);
+  ts.add(at_s(1.0), 30.0);  // exactly on the [0,1)/[1,2) boundary
+  const auto bins = ts.binned_mean(from_seconds(1.0), at_s(0), at_s(2));
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(bins[1].second, 30.0);
+}
+
+TEST(TimeSeries, SampleExactlyAtStartIsIncludedAndAtStopExcluded) {
+  TimeSeries ts;
+  ts.add(at_s(1.0), 5.0);
+  ts.add(at_s(2.0), 50.0);
+  const auto bins = ts.binned_mean(from_seconds(1.0), at_s(1), at_s(2));
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 5.0);  // the t=2 point is outside [1, 2)
+  EXPECT_DOUBLE_EQ(ts.mean_over(at_s(1), at_s(2)), 5.0);
+}
+
 TEST(TimeSeries, BinnedMeanAveragesWithinBins) {
   TimeSeries ts;
   ts.add(at_s(0.1), 10.0);

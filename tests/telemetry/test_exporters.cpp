@@ -1,0 +1,117 @@
+#include "telemetry/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pi2::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(PrometheusName, MapsDotsAndDashesToUnderscores) {
+  EXPECT_EQ(prometheus_name("link.sojourn_ms"), "pi2_link_sojourn_ms");
+  EXPECT_EQ(prometheus_name("aqm.p"), "pi2_aqm_p");
+  EXPECT_EQ(prometheus_name("a-b c"), "pi2_a_b_c");
+}
+
+TEST(JsonlExporter, WritesOneObjectPerSampleSorted) {
+  MetricsRegistry reg;
+  reg.gauge("b").set(2.0);
+  reg.counter("a").inc(1);
+  const std::string path = temp_path("pi2_test_export.jsonl");
+  JsonlExporter exporter{path};
+  exporter.on_sample(pi2::sim::from_seconds(0.5), reg);
+  reg.gauge("b").set(3.0);
+  exporter.on_sample(pi2::sim::from_seconds(1.0), reg);
+  ASSERT_TRUE(exporter.finish(reg));
+  EXPECT_TRUE(exporter.ok());  // a cleanly finished exporter stays ok
+  EXPECT_EQ(slurp(path),
+            "{\"t_s\": 0.500000000, \"a\": 1, \"b\": 2}\n"
+            "{\"t_s\": 1.000000000, \"a\": 1, \"b\": 3}\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvExporter, HeaderFromFirstSampleLaterMetricsNotRetrofitted) {
+  MetricsRegistry reg;
+  reg.gauge("x").set(1.5);
+  const std::string path = temp_path("pi2_test_export.csv");
+  CsvExporter exporter{path};
+  exporter.on_sample(pi2::sim::from_seconds(1.0), reg);
+  reg.gauge("a").set(9.0);  // sorts before "x" but joined after the header
+  exporter.on_sample(pi2::sim::from_seconds(2.0), reg);
+  ASSERT_TRUE(exporter.finish(reg));
+  EXPECT_EQ(slurp(path),
+            "t_s,x\n"
+            "1.000000000,1.5\n"
+            "2.000000000,1.5\n");
+  std::remove(path.c_str());
+}
+
+TEST(PrometheusExporter, EmitsTypedFinalSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("tx").inc(7);
+  reg.gauge("p").set(0.25);
+  Histogram& h = reg.histogram("lat", Histogram::Config{1.0, 4.0, 1});
+  h.record(1.5);
+  h.record(3.0);
+  const std::string path = temp_path("pi2_test_export.prom");
+  PrometheusExporter exporter{path};
+  exporter.on_sample(pi2::sim::from_seconds(1.0), reg);  // no-op by design
+  ASSERT_TRUE(exporter.finish(reg));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("# TYPE pi2_tx counter\npi2_tx 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pi2_p gauge\npi2_p 0.25\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pi2_lat histogram\n"), std::string::npos);
+  // Cumulative buckets: [1,2) holds 1.5, [2,4) holds 3.0, +Inf total.
+  EXPECT_NE(text.find("pi2_lat_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("pi2_lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("pi2_lat_sum 4.5\npi2_lat_count 2\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FileExporter, UnwritablePathIsNotOkAndFinishFails) {
+  MetricsRegistry reg;
+  // /dev/null/... fails with ENOTDIR for any user, including root.
+  JsonlExporter exporter{"/dev/null/pi2_test.jsonl"};
+  EXPECT_FALSE(exporter.ok());
+  exporter.on_sample(pi2::sim::from_seconds(1.0), reg);  // must not crash
+  EXPECT_FALSE(exporter.finish(reg));
+}
+
+TEST(ExportersAreDeterministic, SameRegistrySameBytes) {
+  const std::string path_a = temp_path("pi2_test_det_a.jsonl");
+  const std::string path_b = temp_path("pi2_test_det_b.jsonl");
+  for (const std::string& path : {path_a, path_b}) {
+    MetricsRegistry reg;
+    reg.gauge("queue.delay_ms").set(17.25);
+    reg.counter("link.tx_bytes").inc(123456789);
+    reg.histogram("link.sojourn_ms").record(0.125);
+    JsonlExporter exporter{path};
+    exporter.on_sample(pi2::sim::from_seconds(2.5), reg);
+    ASSERT_TRUE(exporter.finish(reg));
+  }
+  const std::string a = slurp(path_a);
+  EXPECT_EQ(a, slurp(path_b));
+  EXPECT_FALSE(a.empty());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace pi2::telemetry

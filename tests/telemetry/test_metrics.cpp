@@ -1,0 +1,156 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pi2::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesIncrements) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("events"), &c);  // find-or-create returns same node
+}
+
+TEST(Gauge, BoundCallbackEvaluatesAtReadTime) {
+  MetricsRegistry reg;
+  double live = 1.0;
+  Gauge& g = reg.gauge("backlog", [&live] { return live; });
+  live = 7.0;
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.freeze();
+  live = 9.0;
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);  // frozen at the last bound read
+}
+
+TEST(Gauge, SetOverridesBinding) {
+  Gauge g;
+  g.bind([] { return 3.0; });
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(Histogram, CountsMeanMinMax) {
+  Histogram h{Histogram::Config{1e-3, 1e3, 8}};
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 3.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 3u);  // NaN ignored
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h{Histogram::Config{1.0, 16.0, 4}};
+  // Layout: underflow, 4 octaves x 4 sub-buckets, overflow.
+  ASSERT_EQ(h.bucket_count(), 18u);
+  h.record(0.5);    // below lowest -> underflow
+  h.record(0.0);    // non-positive -> underflow
+  h.record(16.0);   // at highest -> overflow
+  h.record(100.0);  // above highest -> overflow
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(17), 2u);
+  // 1.0 is exactly the first bin's lower edge; 1.25 the second bin's.
+  h.record(1.0);
+  h.record(1.25);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  // First bucket of the second octave covers [2, 2.5).
+  h.record(2.0);
+  h.record(2.49);
+  EXPECT_EQ(h.bucket_value(5), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(1), 1.25);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(4), 2.0);
+}
+
+TEST(Histogram, QuantilesBracketThePopulation) {
+  Histogram h{Histogram::Config{1e-3, 1e5, 8}};
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) / 10.0);
+  // Log-linear bins resolve to ~1/8 octave: allow that relative error.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 50.0 * 0.15);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 99.0 * 0.15);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min_value());
+  EXPECT_DOUBLE_EQ(Histogram{}.quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, MergeAddsPopulations) {
+  const Histogram::Config cfg{1e-3, 1e3, 8};
+  Histogram a{cfg};
+  Histogram b{cfg};
+  a.record(1.0);
+  b.record(100.0);
+  b.record(0.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min_value(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_value(), 100.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 101.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a{Histogram::Config{1e-3, 1e3, 8}};
+  Histogram b{Histogram::Config{1e-3, 1e6, 8}};
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsInvalidConfig) {
+  EXPECT_THROW(Histogram(Histogram::Config{0.0, 1.0, 8}), std::invalid_argument);
+  EXPECT_THROW(Histogram(Histogram::Config{2.0, 1.0, 8}), std::invalid_argument);
+  EXPECT_THROW(Histogram(Histogram::Config{1.0, 2.0, 0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
+  MetricsRegistry reg;
+  reg.counter("z.count").inc(3);
+  reg.gauge("a.gauge").set(1.5);
+  reg.histogram("m.hist").record(2.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 8u);  // 1 counter + 1 gauge + 6 histogram rows
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  EXPECT_EQ(snap.front().first, "a.gauge");
+  EXPECT_EQ(snap.back().first, "z.count");
+}
+
+TEST(MetricsRegistry, SnapshotViewTracksNewMetricsAndNewValues) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  const auto& first = reg.snapshot_view();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].second, 0.0);
+  c.inc(5);
+  EXPECT_DOUBLE_EQ(reg.snapshot_view()[0].second, 5.0);  // values refresh
+  const auto version = reg.layout_version();
+  reg.gauge("b").set(2.0);
+  EXPECT_GT(reg.layout_version(), version);
+  const auto& grown = reg.snapshot_view();
+  ASSERT_EQ(grown.size(), 2u);
+  EXPECT_EQ(grown[0].first, "b");  // still sorted after the rebuild
+  EXPECT_EQ(grown[1].first, "c");
+}
+
+TEST(MetricsRegistry, MergeSumsCountersAndCopiesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("n").inc(1);
+  b.counter("n").inc(2);
+  b.gauge("g").set(4.0);
+  b.histogram("h").record(1.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n").value(), 3u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 4.0);
+  EXPECT_EQ(a.histogram("h").count(), 1u);
+}
+
+}  // namespace
+}  // namespace pi2::telemetry
