@@ -83,6 +83,21 @@ int main(int argc, char** argv) {
   bool healthy = true;
   std::vector<double> settle_drop(aqms.size(), -1.0);
 
+  // --json: one flat record per AQM with the settle metrics, in the same
+  // array-of-flat-objects format the sweep binaries use (and the golden
+  // comparator parses).
+  std::FILE* json = nullptr;
+  bool json_first = true;
+  if (!opts.json_path.empty()) {
+    json = std::fopen(opts.json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s; no JSON written\n",
+                   opts.json_path.c_str());
+    } else {
+      std::fputs("[", json);
+    }
+  }
+
   // shared_ptr for the same reason as run_sweep: the runner's commit
   // closure must stay copy-constructible.
   struct PointOutcome {
@@ -120,6 +135,14 @@ int main(int argc, char** argv) {
         if (status != runner::TaskStatus::kOk || outcome == nullptr) {
           std::printf("%-14s point %s\n", aqm_label(aqms[i]),
                       runner::to_string(status));
+          if (json != nullptr) {
+            std::fprintf(json,
+                         "%s\n  {\"index\": %zu, \"status\": \"%s\", "
+                         "\"aqm\": \"%s\"}",
+                         json_first ? "" : ",", i, runner::to_string(status),
+                         aqm_label(aqms[i]));
+            json_first = false;
+          }
           healthy = false;
           return;
         }
@@ -142,6 +165,25 @@ int main(int argc, char** argv) {
                     aqm_label(aqms[i]), drop, rise, peak,
                     static_cast<unsigned long long>(result->violations.size()),
                     static_cast<unsigned long long>(result->guard_events));
+        if (json != nullptr) {
+          std::fprintf(
+              json,
+              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
+              "\"seed\": %llu, "
+              "\"settle_drop_s\": %.6g, \"settle_rise_s\": %.6g, "
+              "\"peak_qdelay_ms\": %.6g, \"mean_qdelay_ms\": %.6g, "
+              "\"utilization\": %.6g, "
+              "\"events_executed\": %llu, \"clamped_events\": %llu, "
+              "\"invariant_violations\": %llu, \"guard_events\": %llu}",
+              json_first ? "" : ",", i, aqm_label(aqms[i]),
+              static_cast<unsigned long long>(sim::Rng::derive_seed(opts.seed, i)),
+              drop, rise, peak, result->mean_qdelay_ms, result->utilization,
+              static_cast<unsigned long long>(result->events_executed),
+              static_cast<unsigned long long>(result->clamped_events),
+              static_cast<unsigned long long>(result->violations.size()),
+              static_cast<unsigned long long>(result->guard_events));
+          json_first = false;
+        }
         if (result->fault_counters.rate_changes != 2) {
           std::printf("!! %s: expected 2 rate changes, injector applied %llu\n",
                       aqm_label(aqms[i]),
@@ -157,6 +199,11 @@ int main(int argc, char** argv) {
         }
       },
       runner::GuardOptions{});
+
+  if (json != nullptr) {
+    std::fputs("\n]\n", json);
+    std::fclose(json);
+  }
 
   if (report.all_ok() && healthy && settle_drop[0] >= 0 &&
       settle_drop[1] >= 0) {

@@ -1,0 +1,190 @@
+#include "check/fuzzer.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace pi2::check {
+
+using pi2::sim::Duration;
+using pi2::sim::Rng;
+using pi2::sim::Time;
+using pi2::sim::from_millis;
+using pi2::sim::from_seconds;
+using pi2::sim::to_millis;
+using pi2::sim::to_seconds;
+
+namespace {
+
+template <typename T, std::size_t N>
+const T& pick(Rng& rng, const T (&options)[N]) {
+  return options[rng.uniform_below(N)];
+}
+
+bool chance(Rng& rng, double p) { return rng.uniform() < p; }
+
+/// The AQM pool. The coupled disciplines are drawn more often because the
+/// coupling-law oracle only bites there.
+scenario::AqmType draw_aqm(Rng& rng) {
+  static constexpr scenario::AqmType kPool[] = {
+      scenario::AqmType::kCoupledPi2, scenario::AqmType::kCoupledPi2,
+      scenario::AqmType::kPi2,        scenario::AqmType::kPi2,
+      scenario::AqmType::kPie,        scenario::AqmType::kBarePie,
+      scenario::AqmType::kPi,         scenario::AqmType::kRed,
+      scenario::AqmType::kCodel,      scenario::AqmType::kCurvyRed,
+      scenario::AqmType::kStep,       scenario::AqmType::kFifo,
+  };
+  return pick(rng, kPool);
+}
+
+tcp::CcType draw_cc(Rng& rng) {
+  static constexpr tcp::CcType kPool[] = {
+      tcp::CcType::kReno,   tcp::CcType::kCubic,    tcp::CcType::kEcnCubic,
+      tcp::CcType::kDctcp,  tcp::CcType::kScalable, tcp::CcType::kRelentless,
+  };
+  return pick(rng, kPool);
+}
+
+void draw_faults(Rng& rng, double duration_s, faults::FaultSchedule& out) {
+  const int n = static_cast<int>(rng.uniform_below(3)) + 1;
+  for (int i = 0; i < n; ++i) {
+    const Time at = from_seconds(rng.uniform(0.0, duration_s * 0.8));
+    const Time until =
+        at + from_seconds(rng.uniform(0.05, duration_s * 0.5) + 1e-3);
+    switch (rng.uniform_below(7)) {
+      case 0:
+        out.rate_step(at, rng.uniform(1e6, 20e6));
+        break;
+      case 1:
+        out.rate_flap(at, until, rng.uniform(1e6, 5e6), rng.uniform(5e6, 20e6),
+                      from_millis(rng.uniform(20.0, 200.0)));
+        break;
+      case 2:
+        out.rtt_step(at, from_millis(rng.uniform(2.0, 150.0)));
+        break;
+      case 3:
+        out.burst_loss(at, static_cast<int>(rng.uniform_below(20)) + 1);
+        break;
+      case 4:
+        out.random_loss(at, until, rng.uniform(1e-3, 0.05));
+        break;
+      case 5:
+        out.ecn_bleach(at, until, rng.uniform(0.05, 1.0));
+        break;
+      default:
+        out.reorder(at, until, rng.uniform(0.01, 0.2),
+                    from_millis(rng.uniform(0.5, 20.0)));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+scenario::DumbbellConfig ScenarioFuzzer::make_config(std::uint64_t index) const {
+  Rng rng{Rng::derive_seed(options_.base_seed, index)};
+  scenario::DumbbellConfig cfg;
+  cfg.seed = Rng::derive_seed(options_.base_seed, index);
+
+  const double duration_s =
+      rng.uniform(1.0, options_.max_duration_s > 1.0 ? options_.max_duration_s : 1.5);
+  cfg.duration = from_seconds(duration_s);
+  cfg.stats_start = from_seconds(duration_s * rng.uniform(0.1, 0.5));
+  cfg.sample_interval = from_millis(rng.uniform(10.0, 100.0));
+
+  static constexpr double kLinkMbps[] = {1, 2, 4, 8, 12, 20};
+  cfg.link_rate_bps = pick(rng, kLinkMbps) * 1e6;
+  static constexpr std::int64_t kBuffers[] = {25, 100, 1000, 40000};
+  cfg.buffer_packets = pick(rng, kBuffers);
+
+  cfg.aqm.type = draw_aqm(rng);
+  cfg.aqm.target = from_millis(rng.uniform(2.0, 40.0));
+  cfg.aqm.t_update = from_millis(rng.uniform(4.0, 64.0));
+  cfg.aqm.ecn = chance(rng, 0.8);
+  cfg.aqm.coupling_k = rng.uniform(1.0, 4.0);
+  cfg.aqm.max_classic_prob = rng.uniform(0.1, 1.0);
+  if (chance(rng, 0.2)) cfg.aqm.alpha_hz = rng.uniform(0.05, 2.0);
+  if (chance(rng, 0.2)) cfg.aqm.beta_hz = rng.uniform(0.5, 20.0);
+  if (chance(rng, 0.3)) cfg.aqm.ecn_drop_threshold = rng.uniform(0.0, 1.0);
+
+  const int tcp_specs = static_cast<int>(rng.uniform_below(3));
+  for (int i = 0; i < tcp_specs; ++i) {
+    scenario::TcpFlowSpec spec;
+    spec.cc = draw_cc(rng);
+    spec.count = static_cast<int>(rng.uniform_below(3)) + 1;
+    spec.base_rtt = from_millis(rng.uniform(2.0, 150.0));
+    spec.stagger = from_millis(rng.uniform(0.0, 100.0));
+    spec.start = from_seconds(rng.uniform(0.0, duration_s / 2.0));
+    if (chance(rng, 0.3)) {
+      spec.stop = spec.start + from_seconds(rng.uniform(0.2, duration_s));
+    }
+    static constexpr double kCwndCaps[] = {0.0, 50.0, 700.0};
+    spec.max_cwnd = pick(rng, kCwndCaps);
+    cfg.tcp_flows.push_back(spec);
+  }
+
+  const int udp_specs =
+      static_cast<int>(rng.uniform_below(cfg.tcp_flows.empty() ? 2 : 3));
+  for (int i = 0; i < udp_specs; ++i) {
+    scenario::UdpFlowSpec spec;
+    // Usually below capacity; occasionally an unresponsive overload.
+    spec.rate_bps = cfg.link_rate_bps *
+                    (chance(rng, 0.2) ? rng.uniform(1.0, 1.5) : rng.uniform(0.05, 0.6));
+    spec.count = 1;
+    spec.base_rtt = from_millis(rng.uniform(2.0, 150.0));
+    spec.start = from_seconds(rng.uniform(0.0, duration_s / 2.0));
+    if (chance(rng, 0.3)) {
+      spec.stop = spec.start + from_seconds(rng.uniform(0.2, duration_s));
+    }
+    static constexpr std::int32_t kPacketBytes[] = {200, 576, 1500};
+    spec.packet_bytes = pick(rng, kPacketBytes);
+    cfg.udp_flows.push_back(spec);
+  }
+
+  const int rate_changes = static_cast<int>(rng.uniform_below(3));
+  for (int i = 0; i < rate_changes; ++i) {
+    scenario::RateChange change;
+    change.at = from_seconds(rng.uniform(0.0, duration_s));
+    change.rate_bps = rng.uniform(1e6, 20e6);
+    cfg.rate_changes.push_back(change);
+  }
+
+  if (options_.allow_faults && chance(rng, 0.5)) {
+    draw_faults(rng, duration_s, cfg.faults);
+  }
+
+  if (std::string error = cfg.validate(); !error.empty()) {
+    throw std::logic_error("ScenarioFuzzer produced an invalid config (case " +
+                           std::to_string(index) + "): " + error);
+  }
+  return cfg;
+}
+
+std::string ScenarioFuzzer::describe(const scenario::DumbbellConfig& config) {
+  int tcp = 0;
+  for (const auto& f : config.tcp_flows) tcp += f.count;
+  int udp = 0;
+  for (const auto& f : config.udp_flows) udp += f.count;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "aqm=%s link=%.3gMbps buf=%lld dur=%.2fs tcp=%d udp=%d "
+                "rate_changes=%zu faults=%zu seed=%llu",
+                std::string(scenario::to_string(config.aqm.type)).c_str(),
+                config.link_rate_bps / 1e6,
+                static_cast<long long>(config.buffer_packets),
+                to_seconds(config.duration), tcp, udp,
+                config.rate_changes.size(), config.faults.events.size(),
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
+std::string ScenarioFuzzer::repro_command(std::uint64_t index) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "check_fuzz --seed %llu --case %llu",
+                static_cast<unsigned long long>(options_.base_seed),
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+}  // namespace pi2::check

@@ -1,0 +1,428 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "check/golden.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace pi2::check {
+
+using pi2::telemetry::MetricsRegistry;
+
+namespace {
+
+void fail(std::vector<OracleFailure>& failures, std::string oracle,
+          std::string detail) {
+  failures.push_back({std::move(oracle), std::move(detail)});
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, format);
+  std::vsnprintf(buf, sizeof buf, format, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// Looks up a (frozen) gauge; NaN when the registry never registered it.
+double gauge_value(const MetricsRegistry& registry, const char* name) {
+  const auto it = registry.gauges().find(name);
+  return it == registry.gauges().end() ? std::nan("")
+                                       : it->second.value();
+}
+
+/// Coupling factor of the p = (p'/k)^2 law, or 0 for disciplines without it.
+double coupling_k_of(const scenario::DumbbellConfig& config) {
+  switch (config.aqm.type) {
+    case scenario::AqmType::kPi2:
+      return 1.0;  // single-signal: p = (p')^2
+    case scenario::AqmType::kCoupledPi2:
+    case scenario::AqmType::kCurvyRed:
+      return config.aqm.coupling_k;
+    default:
+      return 0.0;
+  }
+}
+
+/// QueueView whose delay the coupling-law driver dials directly.
+class DrivenQueueView final : public net::QueueView {
+ public:
+  [[nodiscard]] std::int64_t backlog_bytes() const override { return bytes_; }
+  [[nodiscard]] std::int64_t backlog_packets() const override {
+    return bytes_ / net::kDefaultMss;
+  }
+  [[nodiscard]] double link_rate_bps() const override { return rate_bps_; }
+  [[nodiscard]] pi2::sim::Duration queue_delay() const override {
+    return pi2::sim::from_seconds(static_cast<double>(bytes_) * 8.0 / rate_bps_);
+  }
+  void set_delay_seconds(double s) {
+    bytes_ = static_cast<std::int64_t>(s * rate_bps_ / 8.0);
+  }
+
+ private:
+  std::int64_t bytes_ = 0;
+  double rate_bps_ = 10e6;
+};
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a, one byte at a time, over v's little-endian representation.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  mix_u64(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t result_digest(const scenario::RunResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  mix_u64(h, result.events_executed);
+  mix_u64(h, result.clamped_events);
+  mix_u64(h, result.invariant_checks);
+  mix_u64(h, result.guard_events);
+  mix_u64(h, static_cast<std::uint64_t>(result.violations.size()));
+  const auto mix_counters = [&h](const net::BottleneckLink::Counters& c) {
+    mix_u64(h, static_cast<std::uint64_t>(c.enqueued));
+    mix_u64(h, static_cast<std::uint64_t>(c.forwarded));
+    mix_u64(h, static_cast<std::uint64_t>(c.aqm_dropped));
+    mix_u64(h, static_cast<std::uint64_t>(c.tail_dropped));
+    mix_u64(h, static_cast<std::uint64_t>(c.marked));
+    mix_u64(h, static_cast<std::uint64_t>(c.fault_dropped));
+    mix_u64(h, static_cast<std::uint64_t>(c.dequeue_dropped));
+  };
+  mix_counters(result.counters);
+  mix_counters(result.window_counters);
+  mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.dropped));
+  mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.bleached));
+  mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.reordered));
+  mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.rate_changes));
+  mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.rtt_changes));
+  mix_double(h, result.mean_qdelay_ms);
+  mix_double(h, result.p99_qdelay_ms);
+  mix_double(h, result.utilization);
+  mix_u64(h, static_cast<std::uint64_t>(result.flows.size()));
+  for (const auto& flow : result.flows) {
+    mix_u64(h, static_cast<std::uint64_t>(flow.cc));
+    mix_u64(h, flow.is_udp ? 1 : 0);
+    mix_double(h, flow.goodput_mbps);
+    mix_u64(h, static_cast<std::uint64_t>(flow.retransmits));
+    mix_u64(h, static_cast<std::uint64_t>(flow.timeouts));
+  }
+  return h;
+}
+
+void check_conservation(const scenario::DumbbellConfig& config,
+                        const scenario::RunResult& result,
+                        const MetricsRegistry& registry,
+                        std::vector<OracleFailure>& failures) {
+  const auto& c = result.counters;
+
+  // Bus vs incremental counters: the departure probe fired exactly once per
+  // forwarded packet.
+  const auto hist = registry.histograms().find("link.sojourn_ms");
+  if (hist == registry.histograms().end()) {
+    fail(failures, "conservation", "histogram link.sojourn_ms missing");
+  } else if (hist->second.count() != static_cast<std::uint64_t>(c.forwarded)) {
+    fail(failures, "conservation",
+         fmt("departure-probe count %llu != forwarded %lld",
+             static_cast<unsigned long long>(hist->second.count()),
+             static_cast<long long>(c.forwarded)));
+  }
+
+  // Packet conservation: every accepted packet is forwarded, dropped at
+  // dequeue, still queued, or (at most one) mid-transmission at cutoff.
+  const double backlog = gauge_value(registry, "queue.backlog_packets");
+  if (std::isnan(backlog)) {
+    fail(failures, "conservation", "gauge queue.backlog_packets missing");
+  } else {
+    const std::int64_t slack = c.enqueued - c.forwarded - c.dequeue_dropped -
+                               static_cast<std::int64_t>(backlog);
+    if (slack < 0 || slack > 1) {
+      fail(failures, "conservation",
+           fmt("enqueued %lld != forwarded %lld + dequeue_dropped %lld + "
+               "backlog %.0f (+ 0/1 transmitting); slack %lld",
+               static_cast<long long>(c.enqueued),
+               static_cast<long long>(c.forwarded),
+               static_cast<long long>(c.dequeue_dropped), backlog,
+               static_cast<long long>(slack)));
+    }
+  }
+
+  // The frozen counter gauges and the RunResult were captured from the same
+  // object at the same instant — any drift means a probe lied.
+  const struct {
+    const char* name;
+    std::int64_t want;
+  } mirrored[] = {
+      {"link.enqueued", c.enqueued},         {"link.forwarded", c.forwarded},
+      {"link.aqm_dropped", c.aqm_dropped},   {"link.tail_dropped", c.tail_dropped},
+      {"link.marked", c.marked},             {"link.fault_dropped", c.fault_dropped},
+  };
+  for (const auto& m : mirrored) {
+    const double got = gauge_value(registry, m.name);
+    if (std::isnan(got) || static_cast<std::int64_t>(got) != m.want) {
+      fail(failures, "conservation",
+           fmt("gauge %s = %.0f != RunResult counter %lld", m.name, got,
+               static_cast<long long>(m.want)));
+    }
+  }
+
+  // Byte accounting: transmitted bytes bounded by the packet-size envelope
+  // of the configured flows (ACKs return over the reverse path and never
+  // cross the bottleneck).
+  const auto tx = registry.counters().find("link.tx_bytes");
+  if (tx == registry.counters().end()) {
+    fail(failures, "conservation", "counter link.tx_bytes missing");
+  } else {
+    std::int64_t min_size = 0;
+    std::int64_t max_size = 0;
+    if (!config.tcp_flows.empty()) {
+      min_size = max_size = net::kDefaultMss;
+    }
+    for (const auto& udp : config.udp_flows) {
+      const std::int64_t size = udp.packet_bytes;
+      min_size = min_size == 0 ? size : std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    const auto bytes = static_cast<std::int64_t>(tx->second.value());
+    if (c.forwarded == 0) {
+      if (bytes != 0) {
+        fail(failures, "conservation",
+             fmt("tx_bytes %lld with zero forwarded packets",
+                 static_cast<long long>(bytes)));
+      }
+    } else if (bytes < c.forwarded * min_size || bytes > c.forwarded * max_size) {
+      fail(failures, "conservation",
+           fmt("tx_bytes %lld outside [%lld, %lld] for %lld forwarded packets",
+               static_cast<long long>(bytes),
+               static_cast<long long>(c.forwarded * min_size),
+               static_cast<long long>(c.forwarded * max_size),
+               static_cast<long long>(c.forwarded)));
+    }
+  }
+
+  // The stats window is a sub-interval of the run.
+  const struct {
+    const char* name;
+    std::int64_t window, whole;
+  } windows[] = {
+      {"enqueued", result.window_counters.enqueued, c.enqueued},
+      {"forwarded", result.window_counters.forwarded, c.forwarded},
+      {"aqm_dropped", result.window_counters.aqm_dropped, c.aqm_dropped},
+      {"tail_dropped", result.window_counters.tail_dropped, c.tail_dropped},
+      {"marked", result.window_counters.marked, c.marked},
+      {"fault_dropped", result.window_counters.fault_dropped, c.fault_dropped},
+  };
+  for (const auto& w : windows) {
+    if (w.window < 0 || w.window > w.whole) {
+      fail(failures, "conservation",
+           fmt("window %s %lld exceeds whole-run %lld", w.name,
+               static_cast<long long>(w.window), static_cast<long long>(w.whole)));
+    }
+  }
+}
+
+void check_invariants_clean(const scenario::DumbbellConfig& config,
+                            const scenario::RunResult& result,
+                            std::vector<OracleFailure>& failures) {
+  for (const auto& violation : result.violations) {
+    fail(failures, "invariants",
+         fmt("monitor violation [%s] at t=%.3fs: %s", violation.check.c_str(),
+             pi2::sim::to_seconds(violation.at), violation.detail.c_str()));
+  }
+  if (result.clamped_events != 0) {
+    fail(failures, "invariants",
+         fmt("%llu events scheduled in the past and clamped",
+             static_cast<unsigned long long>(result.clamped_events)));
+  }
+  if (result.guard_events != 0) {
+    fail(failures, "invariants",
+         fmt("AQM rejected %llu non-finite controller updates",
+             static_cast<unsigned long long>(result.guard_events)));
+  }
+  if (config.check_invariants && result.invariant_checks == 0) {
+    fail(failures, "invariants", "invariant monitor never ran a check");
+  }
+}
+
+void check_coupling_law(const scenario::DumbbellConfig& config,
+                        std::vector<OracleFailure>& failures) {
+  const double k = coupling_k_of(config);
+  if (k <= 0.0) return;
+
+  // Drive the discipline alone across a deterministic ladder of queue
+  // states; the output law must hold at every operating point, including
+  // saturation.
+  pi2::sim::Simulator sim{config.seed};
+  DrivenQueueView view;
+  auto qdisc = config.aqm.make();
+  qdisc->install(sim, view);
+
+  const double target_s = pi2::sim::to_seconds(config.aqm.target);
+  const double ladder[] = {0.0,          target_s * 0.5, target_s,
+                           target_s * 2, target_s * 8,   target_s * 32};
+  for (const double delay_s : ladder) {
+    view.set_delay_seconds(delay_s);
+    // Let timer-driven controllers integrate and EWMA-driven ones observe.
+    sim.run_until(sim.now() + config.aqm.t_update * 5);
+    for (int i = 0; i < 32; ++i) {
+      (void)qdisc->enqueue(net::Packet{});
+    }
+    const double p_prime = qdisc->scalable_probability();
+    const double root = p_prime / k;
+    const double expected = root * root;
+    const double got = qdisc->classic_probability();
+    if (std::abs(got - expected) > 1e-12 ||
+        !std::isfinite(got) || !std::isfinite(p_prime)) {
+      fail(failures, "coupling-law",
+           fmt("%s at qdelay %.4fs: p = %.12g but (p'/k)^2 = %.12g "
+               "(p' = %.12g, k = %.3g)",
+               std::string(scenario::to_string(config.aqm.type)).c_str(),
+               delay_s, got, expected, p_prime, k));
+      return;  // one point is enough; later points would repeat the message
+    }
+  }
+}
+
+void check_coupling_snapshot(const scenario::DumbbellConfig& config,
+                             const MetricsRegistry& registry,
+                             std::vector<OracleFailure>& failures) {
+  const double k = coupling_k_of(config);
+  if (k <= 0.0) return;
+  const double p = gauge_value(registry, "aqm.p");
+  const double p_prime = gauge_value(registry, "aqm.p_prime");
+  if (std::isnan(p) || std::isnan(p_prime)) {
+    fail(failures, "coupling-law", "aqm.p / aqm.p_prime gauges missing");
+    return;
+  }
+  const double root = p_prime / k;
+  const double expected = root * root;
+  if (std::abs(p - expected) > 1e-12) {
+    fail(failures, "coupling-law",
+         fmt("final snapshot: aqm.p = %.12g but (p'/k)^2 = %.12g "
+             "(p' = %.12g, k = %.3g)",
+             p, expected, p_prime, k));
+  }
+}
+
+void check_telemetry_roundtrip(const std::string& jsonl_path,
+                               const MetricsRegistry& registry,
+                               std::vector<OracleFailure>& failures) {
+  std::ifstream in{jsonl_path};
+  if (!in) {
+    fail(failures, "telemetry", "cannot open " + jsonl_path);
+    return;
+  }
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  if (last.empty()) {
+    fail(failures, "telemetry", jsonl_path + " has no samples");
+    return;
+  }
+
+  JsonRecord row;
+  std::string error;
+  if (!parse_flat_object(last, &row, &error)) {
+    fail(failures, "telemetry", "final JSONL row unparsable: " + error);
+    return;
+  }
+  if (row.numbers.count("t_s") == 0) {
+    fail(failures, "telemetry", "final JSONL row lacks t_s");
+  }
+
+  // Recorder::finish() takes its last sample at the run end and then
+  // freezes, so the final row must equal the frozen snapshot — up to the
+  // exporter's 9-significant-digit float formatting.
+  const auto snapshot = registry.snapshot();
+  for (const auto& [name, value] : snapshot) {
+    const auto it = row.numbers.find(name);
+    if (it == row.numbers.end()) {
+      fail(failures, "telemetry", "final JSONL row missing metric " + name);
+      continue;
+    }
+    const double got = it->second;
+    const double diff = std::abs(got - value);
+    const double scale = std::max(std::abs(got), std::abs(value));
+    if (diff > 1e-9 && diff > 1e-7 * scale) {
+      fail(failures, "telemetry",
+           fmt("metric %s: JSONL %.12g != snapshot %.12g", name.c_str(), got,
+               value));
+    }
+  }
+  // Everything in the stream must exist in the registry, too.
+  if (row.numbers.size() != snapshot.size() + 1) {  // +1 for t_s
+    fail(failures, "telemetry",
+         fmt("final JSONL row has %zu fields, registry snapshot has %zu",
+             row.numbers.size(), snapshot.size()));
+  }
+}
+
+CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
+                             std::uint64_t index, const OracleOptions& options) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.seed = config.seed;
+
+  scenario::DumbbellConfig cfg = config;
+  std::unique_ptr<telemetry::Recorder> recorder;
+  telemetry::MetricsRegistry bare_registry;
+  if (!options.scratch_dir.empty()) {
+    telemetry::RecorderConfig rc;
+    rc.dir = options.scratch_dir;
+    rc.run_id = options.run_id.empty() ? "case_" + std::to_string(index)
+                                       : options.run_id;
+    rc.interval = cfg.sample_interval;
+    recorder = std::make_unique<telemetry::Recorder>(rc);
+    cfg.recorder = recorder.get();
+  } else {
+    cfg.registry = &bare_registry;
+  }
+
+  const scenario::RunResult result = scenario::run_dumbbell(cfg);
+  outcome.digest = result_digest(result);
+
+  const telemetry::MetricsRegistry& registry =
+      recorder ? recorder->registry() : bare_registry;
+  check_conservation(cfg, result, registry, outcome.failures);
+  check_invariants_clean(cfg, result, outcome.failures);
+  check_coupling_law(cfg, outcome.failures);
+  check_coupling_snapshot(cfg, registry, outcome.failures);
+  if (recorder) {
+    if (!recorder->ok()) {
+      fail(outcome.failures, "telemetry", "recorder reported an I/O failure");
+    } else {
+      check_telemetry_roundtrip(recorder->jsonl_path(), registry,
+                                outcome.failures);
+    }
+  }
+
+  if (!options.inject_failure.empty()) {
+    fail(outcome.failures, options.inject_failure,
+         "synthetic failure injected for self-test");
+  }
+  return outcome;
+}
+
+}  // namespace pi2::check

@@ -1,0 +1,104 @@
+// Metamorphic / property oracles run over every fuzzed scenario.
+//
+// None of these oracles knows the *right* queue delay or goodput for a
+// random config — instead each checks a relation that must hold for every
+// valid scenario:
+//
+//   conservation   — the probe bus and the link's incremental counters must
+//                    tell the same story: bus-counted departures equal the
+//                    forwarded counter, transmitted bytes stay within the
+//                    packet-size envelope, and every accepted packet is
+//                    accounted for (forwarded + dequeue-dropped + final
+//                    backlog + at most one in flight).
+//   invariants     — the InvariantMonitor stayed clean, no event was
+//                    clamped into the past, no non-finite controller update
+//                    was rejected, and the monitor actually ran.
+//   coupling-law   — disciplines implementing the paper's coupled output
+//                    (PI2, coupled PI2, Curvy RED) satisfy p = (p'/k)^2 at
+//                    every sampled operating point, both driven directly
+//                    across queue states and in the run's final snapshot.
+//   telemetry      — the JSONL stream parses back, and its final row equals
+//                    the registry's final (frozen) snapshot value for value.
+//
+// Batch-level oracles (seed-stream independence, --jobs invariance) compare
+// result_digest() fingerprints across executions; the digest folds every
+// deterministic observable of a run into 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::telemetry {
+class MetricsRegistry;
+}  // namespace pi2::telemetry
+
+namespace pi2::check {
+
+struct OracleFailure {
+  std::string oracle;  ///< "conservation", "invariants", "coupling-law", ...
+  std::string detail;  ///< observed values, actionable
+};
+
+struct CaseOutcome {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t digest = 0;  ///< fingerprint of the RunResult
+  std::vector<OracleFailure> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+struct OracleOptions {
+  /// Directory for the telemetry round-trip artifacts; "" disables that
+  /// oracle (the other oracles still use an in-process registry).
+  std::string scratch_dir;
+  /// Artifact stem inside scratch_dir (defaults to "case_<index>").
+  std::string run_id;
+  /// Self-test hook: a non-empty name forces one synthetic failure with
+  /// this oracle label, proving the failure path (shrinker, repro command)
+  /// end to end without needing a real bug.
+  std::string inject_failure;
+};
+
+/// Runs `config` once and applies every oracle. The run itself uses a
+/// telemetry recorder (when scratch_dir is set) or a bare registry, so the
+/// probe-bus cross-checks always have data.
+CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
+                             std::uint64_t index, const OracleOptions& options = {});
+
+/// 64-bit FNV-1a fingerprint of a run's deterministic observables. Two
+/// executions of the same config (any thread, any batch) must agree.
+[[nodiscard]] std::uint64_t result_digest(const scenario::RunResult& result);
+
+// Granular checks, exposed so the unit suite can exercise each oracle's
+// failure detection directly. Each appends to `failures` on violation.
+
+void check_conservation(const scenario::DumbbellConfig& config,
+                        const scenario::RunResult& result,
+                        const telemetry::MetricsRegistry& registry,
+                        std::vector<OracleFailure>& failures);
+
+void check_invariants_clean(const scenario::DumbbellConfig& config,
+                            const scenario::RunResult& result,
+                            std::vector<OracleFailure>& failures);
+
+/// Direct-drive sampling: instantiates config.aqm's discipline, walks the
+/// queue through a deterministic ladder of delays and asserts the coupled
+/// output law at every update. No-op for disciplines without the law.
+void check_coupling_law(const scenario::DumbbellConfig& config,
+                        std::vector<OracleFailure>& failures);
+
+/// End-of-run coupling check on the frozen aqm.p / aqm.p_prime gauges.
+void check_coupling_snapshot(const scenario::DumbbellConfig& config,
+                             const telemetry::MetricsRegistry& registry,
+                             std::vector<OracleFailure>& failures);
+
+/// Parses the JSONL stream at `jsonl_path` and compares its final row
+/// against `registry`'s (frozen) snapshot.
+void check_telemetry_roundtrip(const std::string& jsonl_path,
+                               const telemetry::MetricsRegistry& registry,
+                               std::vector<OracleFailure>& failures);
+
+}  // namespace pi2::check

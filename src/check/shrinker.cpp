@@ -1,0 +1,133 @@
+#include "check/shrinker.hpp"
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pi2::check {
+
+namespace {
+
+using scenario::DumbbellConfig;
+
+/// One simplification attempt: returns true and fills `out` when the
+/// transformation applies to `in` (i.e. would actually change it).
+using Transform = bool (*)(const DumbbellConfig& in, DumbbellConfig& out);
+
+bool drop_last_tcp_spec(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.tcp_flows.empty()) return false;
+  out = in;
+  out.tcp_flows.pop_back();
+  return true;
+}
+
+bool drop_last_udp_spec(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.udp_flows.empty()) return false;
+  out = in;
+  out.udp_flows.pop_back();
+  return true;
+}
+
+bool halve_flow_counts(const DumbbellConfig& in, DumbbellConfig& out) {
+  bool changed = false;
+  out = in;
+  for (auto& spec : out.tcp_flows) {
+    if (spec.count > 1) {
+      spec.count /= 2;
+      changed = true;
+    }
+  }
+  for (auto& spec : out.udp_flows) {
+    if (spec.count > 1) {
+      spec.count /= 2;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool clear_faults(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.faults.events.empty()) return false;
+  out = in;
+  out.faults = faults::FaultSchedule{};
+  return true;
+}
+
+bool drop_half_faults(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.faults.events.size() < 2) return false;
+  out = in;
+  out.faults.events.resize(in.faults.events.size() / 2);
+  return true;
+}
+
+bool drop_rate_changes(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.rate_changes.empty()) return false;
+  out = in;
+  out.rate_changes.clear();
+  return true;
+}
+
+bool halve_duration(const DumbbellConfig& in, DumbbellConfig& out) {
+  const double duration_s = pi2::sim::to_seconds(in.duration);
+  if (duration_s <= 0.5) return false;
+  out = in;
+  out.duration = in.duration / 2;
+  // Keep the stats window inside the run and flow/fault times sensible; the
+  // validate() gate rejects anything this leaves inconsistent.
+  if (out.stats_start >= out.duration) out.stats_start = out.duration / 2;
+  return true;
+}
+
+bool shrink_buffer(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (in.buffer_packets <= 25) return false;
+  out = in;
+  out.buffer_packets = std::max<std::int64_t>(25, in.buffer_packets / 8);
+  return true;
+}
+
+bool reset_aqm_overrides(const DumbbellConfig& in, DumbbellConfig& out) {
+  if (!in.aqm.alpha_hz && !in.aqm.beta_hz && !in.aqm.ecn_drop_threshold) {
+    return false;
+  }
+  out = in;
+  out.aqm.alpha_hz.reset();
+  out.aqm.beta_hz.reset();
+  out.aqm.ecn_drop_threshold.reset();
+  return true;
+}
+
+constexpr Transform kTransforms[] = {
+    // Biggest simplifications first, so early budget goes to large cuts.
+    clear_faults,       drop_last_tcp_spec, drop_last_udp_spec,
+    drop_rate_changes,  halve_duration,     halve_flow_counts,
+    drop_half_faults,   shrink_buffer,      reset_aqm_overrides,
+};
+
+}  // namespace
+
+ShrinkResult shrink(const DumbbellConfig& failing,
+                    const ShrinkPredicate& still_fails,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.config = failing;
+
+  bool progressed = true;
+  while (progressed && result.evaluations < options.max_evals) {
+    progressed = false;
+    for (const Transform transform : kTransforms) {
+      if (result.evaluations >= options.max_evals) break;
+      DumbbellConfig candidate;
+      if (!transform(result.config, candidate)) continue;
+      if (!candidate.validate().empty()) continue;
+      ++result.evaluations;
+      if (still_fails(candidate)) {
+        result.config = candidate;
+        ++result.accepted_steps;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pi2::check

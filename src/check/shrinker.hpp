@@ -1,0 +1,43 @@
+// Shrinking minimizer: bisects a failing DumbbellConfig toward a minimal
+// configuration that still trips an oracle.
+//
+// A fuzzed failure usually arrives wrapped in noise — three flow specs, a
+// fault schedule, a long duration — of which only a sliver matters. The
+// shrinker applies a fixed menu of simplifications (drop a flow spec, halve
+// a count, clear the fault schedule, halve the duration, ...) greedily:
+// a candidate is kept iff it still validates AND the caller's predicate
+// still reports failure. Rounds repeat until a whole pass accepts nothing
+// or the evaluation budget is spent.
+//
+// Everything is deterministic: the transformation order is fixed and the
+// predicate re-runs the same seeded simulation, so a shrink is itself
+// replayable.
+#pragma once
+
+#include <functional>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::check {
+
+struct ShrinkOptions {
+  /// Maximum predicate evaluations (each one re-runs the scenario).
+  int max_evals = 200;
+};
+
+struct ShrinkResult {
+  scenario::DumbbellConfig config;  ///< smallest still-failing config found
+  int evaluations = 0;              ///< predicate calls spent
+  int accepted_steps = 0;           ///< simplifications that kept the failure
+};
+
+/// Returns true when the candidate config still exhibits the failure.
+using ShrinkPredicate = std::function<bool(const scenario::DumbbellConfig&)>;
+
+/// Minimizes `failing` under `still_fails`. The input config is assumed to
+/// fail (it is returned unchanged if nothing smaller still does).
+ShrinkResult shrink(const scenario::DumbbellConfig& failing,
+                    const ShrinkPredicate& still_fails,
+                    const ShrinkOptions& options = {});
+
+}  // namespace pi2::check

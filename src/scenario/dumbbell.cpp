@@ -1,5 +1,6 @@
 #include "scenario/dumbbell.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -44,8 +45,8 @@ std::string bad_field(const char* field, const char* constraint, double got) {
 }  // namespace
 
 std::string DumbbellConfig::validate() const {
-  if (!(link_rate_bps > 0.0)) {
-    return bad_field("link_rate_bps", "be > 0", link_rate_bps);
+  if (!(link_rate_bps > 0.0) || !std::isfinite(link_rate_bps)) {
+    return bad_field("link_rate_bps", "be finite and > 0", link_rate_bps);
   }
   if (buffer_packets <= 0) {
     return bad_field("buffer_packets", "be > 0",
@@ -68,18 +69,18 @@ std::string DumbbellConfig::validate() const {
   if (aqm.t_update <= pi2::sim::Duration{0}) {
     return bad_field("aqm.t_update", "be > 0 seconds", to_seconds(aqm.t_update));
   }
-  if (!(aqm.coupling_k > 0.0)) {
-    return bad_field("aqm.coupling_k", "be > 0", aqm.coupling_k);
+  if (!(aqm.coupling_k > 0.0) || !std::isfinite(aqm.coupling_k)) {
+    return bad_field("aqm.coupling_k", "be finite and > 0", aqm.coupling_k);
   }
   if (!(aqm.max_classic_prob > 0.0 && aqm.max_classic_prob <= 1.0)) {
     return bad_field("aqm.max_classic_prob", "lie in (0, 1]",
                      aqm.max_classic_prob);
   }
-  if (aqm.alpha_hz && !(*aqm.alpha_hz > 0.0)) {
-    return bad_field("aqm.alpha_hz", "be > 0 when set", *aqm.alpha_hz);
+  if (aqm.alpha_hz && (!(*aqm.alpha_hz > 0.0) || !std::isfinite(*aqm.alpha_hz))) {
+    return bad_field("aqm.alpha_hz", "be finite and > 0 when set", *aqm.alpha_hz);
   }
-  if (aqm.beta_hz && !(*aqm.beta_hz > 0.0)) {
-    return bad_field("aqm.beta_hz", "be > 0 when set", *aqm.beta_hz);
+  if (aqm.beta_hz && (!(*aqm.beta_hz > 0.0) || !std::isfinite(*aqm.beta_hz))) {
+    return bad_field("aqm.beta_hz", "be finite and > 0 when set", *aqm.beta_hz);
   }
   if (aqm.ecn_drop_threshold &&
       !(*aqm.ecn_drop_threshold >= 0.0 && *aqm.ecn_drop_threshold <= 1.0)) {
@@ -106,8 +107,10 @@ std::string DumbbellConfig::validate() const {
     if (f.stop <= f.start) {
       return where + bad_field("stop", "be after start", to_seconds(f.stop));
     }
-    if (f.max_cwnd < 0.0) {
-      return where + bad_field("max_cwnd", "be >= 0 (0 = unlimited)", f.max_cwnd);
+    if (!(f.max_cwnd >= 0.0) || !std::isfinite(f.max_cwnd)) {
+      return where +
+             bad_field("max_cwnd", "be finite and >= 0 (0 = unlimited)",
+                       f.max_cwnd);
     }
   }
   for (std::size_t i = 0; i < udp_flows.size(); ++i) {
@@ -116,8 +119,12 @@ std::string DumbbellConfig::validate() const {
     if (f.count < 0) {
       return where + bad_field("count", "be >= 0", f.count);
     }
-    if (!(f.rate_bps > 0.0)) {
-      return where + bad_field("rate_bps", "be > 0", f.rate_bps);
+    if (!(f.rate_bps > 0.0) || !std::isfinite(f.rate_bps)) {
+      return where + bad_field("rate_bps", "be finite and > 0", f.rate_bps);
+    }
+    if (f.packet_bytes <= 0 || f.packet_bytes > 65535) {
+      return where + bad_field("packet_bytes", "lie in [1, 65535]",
+                               static_cast<double>(f.packet_bytes));
     }
     if (f.base_rtt <= pi2::sim::Duration{0}) {
       return where + bad_field("base_rtt", "be > 0 seconds",
@@ -136,9 +143,14 @@ std::string DumbbellConfig::validate() const {
     if (c.at < pi2::sim::kTimeZero) {
       return where + bad_field("at", "be >= 0 seconds", to_seconds(c.at));
     }
-    if (!(c.rate_bps > 0.0)) {
-      return where + bad_field("rate_bps", "be > 0", c.rate_bps);
+    if (!(c.rate_bps > 0.0) || !std::isfinite(c.rate_bps)) {
+      return where + bad_field("rate_bps", "be finite and > 0", c.rate_bps);
     }
+  }
+  if (recorder != nullptr &&
+      recorder->sampler().interval() <= pi2::sim::Duration{0}) {
+    return bad_field("recorder.interval", "be > 0 seconds",
+                     to_seconds(recorder->sampler().interval()));
   }
   return faults.validate();
 }
@@ -259,6 +271,7 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     tcp::UdpSender::Config uc;
     uc.flow = flow_id;
     uc.rate_bps = spec.rate_bps;
+    uc.packet_bytes = spec.packet_bytes;
     ctx->udp = std::make_unique<tcp::UdpSender>(sim, uc);
     ctx->udp->set_output([&link](net::Packet p) { link.send(std::move(p)); });
     FlowContext* raw = ctx.get();

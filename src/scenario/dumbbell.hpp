@@ -55,6 +55,9 @@ struct TcpFlowSpec {
 struct UdpFlowSpec {
   double rate_bps = 6e6;
   int count = 1;
+  /// Wire size of each constant-rate datagram. The paper's unresponsive
+  /// load uses MTU-sized packets; the fuzzer also exercises small ones.
+  std::int32_t packet_bytes = net::kDefaultMss;
   pi2::sim::Time start{0};
   pi2::sim::Time stop{pi2::sim::kTimeInfinity};
   pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);

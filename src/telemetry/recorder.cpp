@@ -30,8 +30,10 @@ bool Recorder::ok() const {
 bool Recorder::finish(pi2::sim::Time end) {
   if (finished_) return finish_ok_;
   finished_ = true;
-  sampler_.sample_at(end);
+  // Stop first so the final sample does not count the sampler's own pending
+  // tick in the scheduler gauges it is about to record.
   sampler_.stop();
+  sampler_.sample_final(end);
   registry_.freeze_gauges();
   manifest_.capture_final(registry_);
   bool ok = jsonl_->finish(registry_);

@@ -32,6 +32,15 @@ void Sampler::tick() {
 
 void Sampler::sample_at(pi2::sim::Time t) {
   if (sampled_any_ && t <= last_sample_) return;
+  do_sample(t);
+}
+
+void Sampler::sample_final(pi2::sim::Time t) {
+  if (sampled_any_ && t < last_sample_) return;
+  do_sample(t);
+}
+
+void Sampler::do_sample(pi2::sim::Time t) {
   sampled_any_ = true;
   last_sample_ = t;
   ++samples_;

@@ -36,6 +36,13 @@ class Sampler {
   /// end of a run). Skipped if `t` was already sampled by the periodic tick.
   void sample_at(pi2::sim::Time t);
 
+  /// Takes the end-of-run snapshot at `t` even if the periodic tick already
+  /// sampled that instant. When the run ends exactly on a tick boundary the
+  /// tick may fire before the last same-timestamp events, leaving the final
+  /// row stale; this re-samples so the stream always closes with the frozen
+  /// end state.
+  void sample_final(pi2::sim::Time t);
+
   [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
   [[nodiscard]] pi2::sim::Duration interval() const { return interval_; }
 
@@ -46,6 +53,7 @@ class Sampler {
 
  private:
   void tick();
+  void do_sample(pi2::sim::Time t);
 
   MetricsRegistry& registry_;
   pi2::sim::Duration interval_;

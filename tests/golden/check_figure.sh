@@ -1,0 +1,13 @@
+#!/bin/sh
+# Golden-figure regression check: run a figure binary on the deterministic
+# quick grid (--smoke --seed 1; --jobs only changes wall-clock, never output)
+# and compare its --json records against the committed baseline with the
+# per-metric tolerance bands of check_golden.
+#
+# usage: check_figure.sh FIG_BINARY BASELINE CHECK_GOLDEN WORKDIR [extra...]
+set -eu
+fig="$1"; baseline="$2"; checker="$3"; workdir="$4"; shift 4
+mkdir -p "$workdir"
+candidate="$workdir/candidate.json"
+"$fig" --smoke --seed 1 --jobs 2 --json "$candidate" "$@" > "$workdir/stdout.txt"
+exec "$checker" "$baseline" "$candidate"

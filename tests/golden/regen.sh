@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerates every committed golden baseline from a build directory.
+# Run after an intentional behaviour change, then commit the diff:
+#
+#   tests/golden/regen.sh build
+#
+# Baselines use the same flags the golden_* ctests use, so a regenerated
+# baseline always starts green.
+set -eu
+build="${1:?usage: regen.sh BUILD_DIR}"
+here="$(cd "$(dirname "$0")" && pwd)"
+regen() {
+  bin="$build/bench/$1"
+  out="$here/$2"
+  echo "regen: $2 <- $1 --smoke --seed 1 --jobs 2"
+  "$bin" --smoke --seed 1 --jobs 2 --json "$out" > /dev/null
+}
+regen fig15_rate_balance fig15.json
+regen fig16_queue_delay fig16.json
+regen fig17_mark_prob fig17.json
+regen fig18_utilization fig18.json
+regen fig_response fig_response.json
+echo "done; diff and commit tests/golden/*.json"

@@ -1,0 +1,264 @@
+// check_fuzz: the deterministic scenario-fuzzing driver.
+//
+// Batch mode (default) derives --cases configs from --seed, runs every
+// oracle on each over --jobs worker threads, then re-runs a sample of cases
+// serially to prove the batch results are --jobs-invariant and that distinct
+// cases drew independent streams. Single-case mode (--case I) replays one
+// case exactly as it ran inside any batch.
+//
+// On the first oracle failure the shrinking minimizer bisects the config
+// toward a minimal still-failing scenario and a one-line repro command is
+// printed (and written to --repro-out for CI artifacts):
+//
+//   repro: check_fuzz --seed S --case I
+//
+// --inject-oracle-fail I forces a synthetic failure at case I, proving the
+// whole failure path (detection -> shrink -> repro line) end to end.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "check/oracles.hpp"
+#include "check/shrinker.hpp"
+#include "runner/parallel_runner.hpp"
+
+namespace {
+
+using namespace pi2;
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 200;
+  long long single_case = -1;
+  unsigned jobs = 0;
+  std::string scratch;
+  long long inject_case = -1;
+  std::string repro_out;
+  int shrink_evals = 40;
+  std::uint64_t recheck = 5;
+  bool verbose = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cases" && i + 1 < argc) {
+      args.cases = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--case" && i + 1 < argc) {
+      args.single_case = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--scratch" && i + 1 < argc) {
+      args.scratch = argv[++i];
+    } else if (arg == "--inject-oracle-fail" && i + 1 < argc) {
+      args.inject_case = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--repro-out" && i + 1 < argc) {
+      args.repro_out = argv[++i];
+    } else if (arg == "--shrink-evals" && i + 1 < argc) {
+      args.shrink_evals = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--recheck" && i + 1 < argc) {
+      args.recheck = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--verbose" || arg == "-v") {
+      args.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: check_fuzz [--seed N] [--cases N] [--case I] [--jobs N]\n"
+          "                  [--scratch DIR] [--repro-out PATH]\n"
+          "                  [--inject-oracle-fail I] [--shrink-evals N]\n"
+          "                  [--recheck N] [--verbose]\n"
+          "  --seed N     base seed; case i uses stream derive_seed(N, i)\n"
+          "  --cases N    batch size (default 200)\n"
+          "  --case I     replay exactly one case and exit\n"
+          "  --jobs N     worker threads (default: all cores)\n"
+          "  --scratch DIR  telemetry artifacts per case (enables the JSONL\n"
+          "               parse-back oracle)\n"
+          "  --repro-out PATH  write the repro command of the first failing\n"
+          "               case to PATH (CI artifact)\n"
+          "  --inject-oracle-fail I  self-test: force case I to fail\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+check::OracleOptions oracle_options(const Args& args, std::uint64_t index,
+                                    const char* run_prefix) {
+  check::OracleOptions options;
+  options.scratch_dir = args.scratch;
+  options.run_id = std::string(run_prefix) + "_" + std::to_string(index);
+  if (args.inject_case >= 0 &&
+      index == static_cast<std::uint64_t>(args.inject_case)) {
+    options.inject_failure = "injected";
+  }
+  return options;
+}
+
+void print_failures(const check::ScenarioFuzzer& fuzzer,
+                    const check::CaseOutcome& outcome,
+                    const scenario::DumbbellConfig& config) {
+  std::printf("case %llu FAILED (%s)\n",
+              static_cast<unsigned long long>(outcome.index),
+              check::ScenarioFuzzer::describe(config).c_str());
+  for (const auto& failure : outcome.failures) {
+    std::printf("  [%s] %s\n", failure.oracle.c_str(), failure.detail.c_str());
+  }
+  std::printf("repro: %s\n", fuzzer.repro_command(outcome.index).c_str());
+}
+
+/// Shrinks the failing case and prints the minimal scenario. The predicate
+/// preserves the injection hook so the synthetic self-test failure shrinks
+/// like a real one.
+void shrink_and_report(const Args& args, const check::ScenarioFuzzer& fuzzer,
+                       const scenario::DumbbellConfig& config,
+                       std::uint64_t index) {
+  check::ShrinkOptions shrink_options;
+  shrink_options.max_evals = args.shrink_evals;
+  const auto result = check::shrink(
+      config,
+      [&](const scenario::DumbbellConfig& candidate) {
+        // Shrink evaluations skip the telemetry artifacts (pure speed); a
+        // telemetry-oracle failure simply stops shrinking at the original.
+        check::OracleOptions options;
+        if (args.inject_case >= 0 &&
+            index == static_cast<std::uint64_t>(args.inject_case)) {
+          options.inject_failure = "injected";
+        }
+        return !check::run_case_oracles(candidate, index, options).ok();
+      },
+      shrink_options);
+  std::printf("shrunk (%d evals, %d steps): %s\n", result.evaluations,
+              result.accepted_steps,
+              check::ScenarioFuzzer::describe(result.config).c_str());
+  std::printf("repro: %s\n", fuzzer.repro_command(index).c_str());
+
+  if (!args.repro_out.empty()) {
+    if (std::FILE* out = std::fopen(args.repro_out.c_str(), "w")) {
+      std::fprintf(out, "%s\n", fuzzer.repro_command(index).c_str());
+      std::fprintf(out, "# minimal: %s\n",
+                   check::ScenarioFuzzer::describe(result.config).c_str());
+      std::fclose(out);
+    }
+  }
+}
+
+int run_single_case(const Args& args, const check::ScenarioFuzzer& fuzzer) {
+  const auto index = static_cast<std::uint64_t>(args.single_case);
+  const auto config = fuzzer.make_config(index);
+  std::printf("case %llu: %s\n", static_cast<unsigned long long>(index),
+              check::ScenarioFuzzer::describe(config).c_str());
+  const auto outcome =
+      check::run_case_oracles(config, index, oracle_options(args, index, "case"));
+
+  // Same-process determinism: a second run must produce the same digest.
+  const auto again =
+      check::run_case_oracles(config, index, oracle_options(args, index, "again"));
+  if (again.digest != outcome.digest) {
+    std::printf("NONDETERMINISM: digest %016llx vs %016llx on identical runs\n",
+                static_cast<unsigned long long>(outcome.digest),
+                static_cast<unsigned long long>(again.digest));
+    return 1;
+  }
+
+  if (!outcome.ok()) {
+    print_failures(fuzzer, outcome, config);
+    shrink_and_report(args, fuzzer, config, index);
+    return 1;
+  }
+  std::printf("case %llu ok (digest %016llx)\n",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(outcome.digest));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  check::FuzzOptions fuzz_options;
+  fuzz_options.base_seed = args.seed;
+  const check::ScenarioFuzzer fuzzer{fuzz_options};
+
+  if (args.single_case >= 0) return run_single_case(args, fuzzer);
+
+  std::printf("# check_fuzz: %llu cases from seed %llu\n",
+              static_cast<unsigned long long>(args.cases),
+              static_cast<unsigned long long>(args.seed));
+
+  const runner::ParallelRunner pool{args.jobs};
+  std::vector<check::CaseOutcome> outcomes(args.cases);
+  const auto report = pool.run_ordered_guarded<check::CaseOutcome>(
+      args.cases,
+      [&](std::size_t i) {
+        const auto config = fuzzer.make_config(i);
+        return check::run_case_oracles(config, i, oracle_options(args, i, "case"));
+      },
+      [&](std::size_t i, runner::TaskStatus status, check::CaseOutcome* outcome) {
+        if (status == runner::TaskStatus::kOk && outcome != nullptr) {
+          outcomes[i] = *outcome;
+          if (args.verbose) {
+            std::printf("case %zu %s\n", i,
+                        outcome->ok() ? "ok" : "FAILED");
+          }
+        } else {
+          outcomes[i].index = i;
+          outcomes[i].failures.push_back(
+              {"harness", std::string("case crashed or timed out: ") +
+                              runner::to_string(status)});
+        }
+      },
+      runner::GuardOptions{});
+
+  // Seed-stream independence at fuzz scale: distinct cases must have drawn
+  // distinct per-case seeds (derive_seed collisions would silently halve
+  // coverage).
+  std::set<std::uint64_t> seeds;
+  for (const auto& outcome : outcomes) seeds.insert(outcome.seed);
+  if (seeds.size() != outcomes.size()) {
+    std::printf("FAIL: only %zu distinct case seeds across %zu cases\n",
+                seeds.size(), outcomes.size());
+    return 1;
+  }
+
+  // --jobs invariance: replay a sample of cases serially (fresh configs,
+  // same streams) and compare digests against the batch run.
+  const std::uint64_t recheck =
+      args.recheck < args.cases ? args.recheck : args.cases;
+  for (std::uint64_t i = 0; i < recheck; ++i) {
+    const std::uint64_t index = i * (args.cases / (recheck ? recheck : 1));
+    const auto config = fuzzer.make_config(index);
+    const auto serial = check::run_case_oracles(
+        config, index, oracle_options(args, index, "recheck"));
+    if (serial.digest != outcomes[index].digest) {
+      std::printf("FAIL: case %llu digest differs serial %016llx vs batch "
+                  "%016llx (--jobs variance)\n",
+                  static_cast<unsigned long long>(index),
+                  static_cast<unsigned long long>(serial.digest),
+                  static_cast<unsigned long long>(outcomes[index].digest));
+      return 1;
+    }
+  }
+
+  std::uint64_t failed = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.ok()) continue;
+    ++failed;
+    if (failed == 1) {
+      const auto config = fuzzer.make_config(outcome.index);
+      print_failures(fuzzer, outcome, config);
+      shrink_and_report(args, fuzzer, config, outcome.index);
+    }
+  }
+  std::printf("# %llu/%llu cases clean, %llu recheck digests stable\n",
+              static_cast<unsigned long long>(args.cases - failed),
+              static_cast<unsigned long long>(args.cases),
+              static_cast<unsigned long long>(recheck));
+  return failed == 0 ? 0 : 1;
+}

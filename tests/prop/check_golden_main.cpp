@@ -1,0 +1,57 @@
+// check_golden: compares a figure binary's --json output against a committed
+// baseline with per-metric relative tolerance bands.
+//
+//   check_golden BASELINE CANDIDATE          exit 0 iff within bands
+//   check_golden --self-test BASELINE OUT    perturb a copy of BASELINE into
+//                                            OUT; exit 0 iff the comparator
+//                                            flags the perturbation
+//
+// The self-test proves the bands actually bite: a comparator that passes
+// everything would make every golden test green forever.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "check/golden.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pi2::check;
+  const GoldenOptions options = default_golden_options();
+
+  if (argc == 4 && std::strcmp(argv[1], "--self-test") == 0) {
+    const std::string baseline = argv[2];
+    const std::string out = argv[3];
+    const std::string field = write_perturbed_copy(baseline, out, options);
+    if (field.empty()) {
+      std::printf("self-test: could not perturb %s\n", baseline.c_str());
+      return 1;
+    }
+    const auto mismatches = compare_golden(baseline, out, options);
+    if (mismatches.empty()) {
+      std::printf("self-test FAILED: perturbed \"%s\" but the comparator saw "
+                  "no mismatch\n",
+                  field.c_str());
+      return 1;
+    }
+    std::printf("self-test ok: perturbed \"%s\", comparator flagged %zu "
+                "mismatch(es):\n",
+                field.c_str(), mismatches.size());
+    for (const auto& m : mismatches) std::printf("  %s\n", m.c_str());
+    return 0;
+  }
+
+  if (argc != 3) {
+    std::printf("usage: check_golden BASELINE CANDIDATE\n"
+                "       check_golden --self-test BASELINE OUT\n");
+    return 2;
+  }
+
+  const auto mismatches = compare_golden(argv[1], argv[2], options);
+  if (mismatches.empty()) {
+    std::printf("golden ok: %s within tolerance of %s\n", argv[2], argv[1]);
+    return 0;
+  }
+  std::printf("golden MISMATCH (%zu):\n", mismatches.size());
+  for (const auto& m : mismatches) std::printf("  %s\n", m.c_str());
+  return 1;
+}

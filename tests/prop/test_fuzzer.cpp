@@ -1,0 +1,110 @@
+// ScenarioFuzzer: derivation determinism, validity-by-construction, stream
+// independence and parameter-space coverage.
+#include "check/fuzzer.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::check {
+namespace {
+
+TEST(ScenarioFuzzer, SameIndexSameConfig) {
+  const ScenarioFuzzer fuzzer;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto a = fuzzer.make_config(i);
+    const auto b = fuzzer.make_config(i);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.link_rate_bps, b.link_rate_bps);
+    EXPECT_EQ(a.buffer_packets, b.buffer_packets);
+    EXPECT_EQ(a.aqm.type, b.aqm.type);
+    EXPECT_EQ(a.aqm.coupling_k, b.aqm.coupling_k);
+    EXPECT_EQ(a.tcp_flows.size(), b.tcp_flows.size());
+    EXPECT_EQ(a.udp_flows.size(), b.udp_flows.size());
+    EXPECT_EQ(a.faults.events.size(), b.faults.events.size());
+    EXPECT_EQ(ScenarioFuzzer::describe(a), ScenarioFuzzer::describe(b));
+  }
+}
+
+TEST(ScenarioFuzzer, EveryCaseValidates) {
+  const ScenarioFuzzer fuzzer;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto cfg = fuzzer.make_config(i);
+    EXPECT_EQ(cfg.validate(), "") << "case " << i;
+  }
+}
+
+TEST(ScenarioFuzzer, CaseSeedsMatchDeriveSeedAndAreDistinct) {
+  FuzzOptions options;
+  options.base_seed = 42;
+  const ScenarioFuzzer fuzzer{options};
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto cfg = fuzzer.make_config(i);
+    EXPECT_EQ(cfg.seed, sim::Rng::derive_seed(42, i));
+    seeds.insert(cfg.seed);
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(ScenarioFuzzer, DifferentBaseSeedsDifferentConfigs) {
+  FuzzOptions a_options;
+  a_options.base_seed = 1;
+  FuzzOptions b_options;
+  b_options.base_seed = 2;
+  const ScenarioFuzzer a{a_options};
+  const ScenarioFuzzer b{b_options};
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    if (ScenarioFuzzer::describe(a.make_config(i)) !=
+        ScenarioFuzzer::describe(b.make_config(i))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 15);  // near-certain with independent streams
+}
+
+TEST(ScenarioFuzzer, CoversTheParameterSpace) {
+  const ScenarioFuzzer fuzzer;
+  std::set<scenario::AqmType> aqms;
+  int with_faults = 0;
+  int with_udp = 0;
+  int with_tcp = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const auto cfg = fuzzer.make_config(i);
+    aqms.insert(cfg.aqm.type);
+    if (!cfg.faults.events.empty()) ++with_faults;
+    if (!cfg.udp_flows.empty()) ++with_udp;
+    if (!cfg.tcp_flows.empty()) ++with_tcp;
+  }
+  EXPECT_EQ(aqms.size(), 10u) << "all AqmTypes should appear in 300 draws";
+  EXPECT_GT(with_faults, 50);
+  EXPECT_GT(with_udp, 50);
+  EXPECT_GT(with_tcp, 100);
+}
+
+TEST(ScenarioFuzzer, RespectsMaxDurationAndFaultGate) {
+  FuzzOptions options;
+  options.max_duration_s = 2.0;
+  options.allow_faults = false;
+  const ScenarioFuzzer fuzzer{options};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto cfg = fuzzer.make_config(i);
+    EXPECT_LE(sim::to_seconds(cfg.duration), 2.0);
+    EXPECT_TRUE(cfg.faults.events.empty());
+  }
+}
+
+TEST(ScenarioFuzzer, ReproCommandNamesSeedAndCase) {
+  FuzzOptions options;
+  options.base_seed = 7;
+  const ScenarioFuzzer fuzzer{options};
+  EXPECT_EQ(fuzzer.repro_command(13), "check_fuzz --seed 7 --case 13");
+}
+
+}  // namespace
+}  // namespace pi2::check

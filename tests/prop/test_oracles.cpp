@@ -1,0 +1,240 @@
+// Oracle unit tests: each check must pass on healthy inputs AND detect the
+// corruption it exists for (an oracle that can't fail verifies nothing).
+#include "check/oracles.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pi2::check {
+namespace {
+
+scenario::DumbbellConfig small_config(scenario::AqmType aqm) {
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = sim::from_seconds(2.0);
+  cfg.stats_start = sim::from_seconds(0.5);
+  cfg.aqm.type = aqm;
+  scenario::TcpFlowSpec flow;
+  flow.cc = tcp::CcType::kCubic;
+  flow.count = 2;
+  flow.base_rtt = sim::from_millis(20);
+  cfg.tcp_flows.push_back(flow);
+  return cfg;
+}
+
+TEST(Oracles, CleanRunPassesAllOracles) {
+  const auto outcome = run_case_oracles(small_config(scenario::AqmType::kCoupledPi2), 0);
+  for (const auto& f : outcome.failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.detail;
+  }
+  EXPECT_NE(outcome.digest, 0u);
+}
+
+TEST(Oracles, DigestIsDeterministicAcrossRuns) {
+  const auto cfg = small_config(scenario::AqmType::kPi2);
+  const auto a = run_case_oracles(cfg, 0);
+  const auto b = run_case_oracles(cfg, 0);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Oracles, DigestSeesCounterChanges) {
+  scenario::RunResult a;
+  a.counters.forwarded = 100;
+  scenario::RunResult b = a;
+  b.counters.forwarded = 101;
+  EXPECT_NE(result_digest(a), result_digest(b));
+  scenario::RunResult c = a;
+  c.mean_qdelay_ms = 1e-9;
+  EXPECT_NE(result_digest(a), result_digest(c));
+}
+
+TEST(Oracles, InjectedFailureSurfaces) {
+  OracleOptions options;
+  options.inject_failure = "injected";
+  const auto outcome =
+      run_case_oracles(small_config(scenario::AqmType::kPie), 3, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.failures.back().oracle, "injected");
+}
+
+TEST(Oracles, ConservationDetectsMissingMetrics) {
+  // An empty registry means the probe wiring never happened: the oracle must
+  // say so rather than silently pass.
+  const auto cfg = small_config(scenario::AqmType::kPi2);
+  scenario::RunResult result;
+  result.counters.forwarded = 10;
+  telemetry::MetricsRegistry empty;
+  std::vector<OracleFailure> failures;
+  check_conservation(cfg, result, empty, failures);
+  EXPECT_FALSE(failures.empty());
+}
+
+TEST(Oracles, ConservationDetectsCounterDrift) {
+  const auto cfg = small_config(scenario::AqmType::kPi2);
+  scenario::RunResult result;
+  result.counters.enqueued = 50;
+  result.counters.forwarded = 10;  // 40 packets unaccounted for
+  telemetry::MetricsRegistry registry;
+  registry.histogram("link.sojourn_ms");  // count 0 != forwarded 10
+  registry.gauge("queue.backlog_packets").set(0.0);
+  std::vector<OracleFailure> failures;
+  check_conservation(cfg, result, registry, failures);
+  bool saw_probe_drift = false;
+  bool saw_conservation = false;
+  for (const auto& f : failures) {
+    if (f.detail.find("departure-probe") != std::string::npos) {
+      saw_probe_drift = true;
+    }
+    if (f.detail.find("slack") != std::string::npos) saw_conservation = true;
+  }
+  EXPECT_TRUE(saw_probe_drift);
+  EXPECT_TRUE(saw_conservation);
+}
+
+TEST(Oracles, InvariantsCleanDetectsClampsGuardsAndViolations) {
+  const auto cfg = small_config(scenario::AqmType::kPi2);
+  {
+    scenario::RunResult result;
+    result.invariant_checks = 5;
+    result.clamped_events = 1;
+    std::vector<OracleFailure> failures;
+    check_invariants_clean(cfg, result, failures);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].oracle, "invariants");
+  }
+  {
+    scenario::RunResult result;
+    result.invariant_checks = 5;
+    result.guard_events = 2;
+    std::vector<OracleFailure> failures;
+    check_invariants_clean(cfg, result, failures);
+    EXPECT_EQ(failures.size(), 1u);
+  }
+  {
+    scenario::RunResult result;
+    result.invariant_checks = 5;
+    result.violations.push_back({sim::from_seconds(1.0), "prob-finite", "p=nan"});
+    std::vector<OracleFailure> failures;
+    check_invariants_clean(cfg, result, failures);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].detail.find("prob-finite"), std::string::npos);
+  }
+  {
+    // check_invariants enabled but the monitor never ran: suspicious.
+    scenario::RunResult result;
+    std::vector<OracleFailure> failures;
+    check_invariants_clean(cfg, result, failures);
+    EXPECT_EQ(failures.size(), 1u);
+  }
+}
+
+TEST(Oracles, CouplingLawHoldsForCoupledDisciplines) {
+  for (const auto type : {scenario::AqmType::kPi2, scenario::AqmType::kCoupledPi2,
+                          scenario::AqmType::kCurvyRed}) {
+    auto cfg = small_config(type);
+    cfg.aqm.coupling_k = 2.0;
+    std::vector<OracleFailure> failures;
+    check_coupling_law(cfg, failures);
+    for (const auto& f : failures) {
+      ADD_FAILURE() << scenario::to_string(type) << ": " << f.detail;
+    }
+  }
+}
+
+TEST(Oracles, CouplingLawSkipsUncoupledDisciplines) {
+  for (const auto type : {scenario::AqmType::kPie, scenario::AqmType::kFifo,
+                          scenario::AqmType::kCodel}) {
+    auto cfg = small_config(type);
+    std::vector<OracleFailure> failures;
+    check_coupling_law(cfg, failures);
+    EXPECT_TRUE(failures.empty());
+  }
+}
+
+TEST(Oracles, CouplingSnapshotDetectsDecoupledGauges) {
+  auto cfg = small_config(scenario::AqmType::kCoupledPi2);
+  cfg.aqm.coupling_k = 2.0;
+  telemetry::MetricsRegistry registry;
+  registry.gauge("aqm.p_prime").set(0.4);
+  registry.gauge("aqm.p").set(0.04);  // (0.4/2)^2 = 0.04: consistent
+  std::vector<OracleFailure> failures;
+  check_coupling_snapshot(cfg, registry, failures);
+  EXPECT_TRUE(failures.empty());
+
+  registry.gauge("aqm.p").set(0.05);  // decoupled
+  check_coupling_snapshot(cfg, registry, failures);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].oracle, "coupling-law");
+}
+
+TEST(Oracles, TelemetryRoundtripMatchesAndDetectsDrift) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.jsonl";
+  telemetry::MetricsRegistry registry;
+  registry.counter("x").inc(5);
+  registry.gauge("y").set(1.5);
+
+  {
+    std::ofstream out{path};
+    out << "{\"t_s\": 0.5, \"x\": 2, \"y\": 0.1}\n";
+    out << "{\"t_s\": 1.0, \"x\": 5, \"y\": 1.5}\n";
+  }
+  std::vector<OracleFailure> failures;
+  check_telemetry_roundtrip(path, registry, failures);
+  for (const auto& f : failures) ADD_FAILURE() << f.detail;
+
+  {
+    std::ofstream out{path};
+    out << "{\"t_s\": 1.0, \"x\": 6, \"y\": 1.5}\n";  // x drifted
+  }
+  failures.clear();
+  check_telemetry_roundtrip(path, registry, failures);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].detail.find("metric x"), std::string::npos);
+
+  {
+    std::ofstream out{path};
+    out << "{\"t_s\": 1.0, \"x\": 5}\n";  // y missing
+  }
+  failures.clear();
+  check_telemetry_roundtrip(path, registry, failures);
+  EXPECT_FALSE(failures.empty());
+}
+
+TEST(Oracles, ScratchDirEnablesTelemetryOracle) {
+  OracleOptions options;
+  options.scratch_dir = ::testing::TempDir() + "/oracle_scratch";
+  options.run_id = "unit";
+  const auto outcome =
+      run_case_oracles(small_config(scenario::AqmType::kCoupledPi2), 0, options);
+  for (const auto& f : outcome.failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.detail;
+  }
+  // The artifact set must actually exist for the oracle to have run.
+  std::ifstream jsonl{options.scratch_dir + "/unit.jsonl"};
+  EXPECT_TRUE(jsonl.good());
+}
+
+TEST(Oracles, FuzzedCasesAreCleanAtUnitScale) {
+  // A miniature of the check_fuzz_smoke ctest, inside the unit suite so a
+  // plain `ctest -R test_check` still exercises end-to-end cases.
+  const ScenarioFuzzer fuzzer;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto cfg = fuzzer.make_config(i);
+    const auto outcome = run_case_oracles(cfg, i);
+    for (const auto& f : outcome.failures) {
+      ADD_FAILURE() << "case " << i << " ("
+                    << ScenarioFuzzer::describe(cfg) << "): [" << f.oracle
+                    << "] " << f.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pi2::check

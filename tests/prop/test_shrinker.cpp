@@ -1,0 +1,104 @@
+// Shrinker: greedy minimization under a failure predicate, with validity
+// and budget guarantees.
+#include "check/shrinker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::check {
+namespace {
+
+/// A deliberately noisy config: everything the shrinker knows how to cut.
+scenario::DumbbellConfig noisy_config() {
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = sim::from_seconds(8.0);
+  cfg.stats_start = sim::from_seconds(2.0);
+  cfg.buffer_packets = 40000;
+  cfg.aqm.type = scenario::AqmType::kCoupledPi2;
+  cfg.aqm.alpha_hz = 0.5;
+  cfg.aqm.beta_hz = 5.0;
+  scenario::TcpFlowSpec tcp;
+  tcp.count = 4;
+  cfg.tcp_flows.push_back(tcp);
+  cfg.tcp_flows.push_back(tcp);
+  scenario::UdpFlowSpec udp;
+  udp.rate_bps = 2e6;
+  cfg.udp_flows.push_back(udp);
+  cfg.rate_changes.push_back({sim::from_seconds(3.0), 5e6});
+  cfg.faults.rate_step(sim::from_seconds(1.0), 5e6)
+      .burst_loss(sim::from_seconds(2.0), 5);
+  return cfg;
+}
+
+TEST(Shrinker, AlwaysFailingPredicateShrinksToMinimum) {
+  const auto result =
+      shrink(noisy_config(), [](const scenario::DumbbellConfig&) { return true; });
+  EXPECT_TRUE(result.config.faults.events.empty());
+  EXPECT_TRUE(result.config.tcp_flows.empty());
+  EXPECT_TRUE(result.config.udp_flows.empty());
+  EXPECT_TRUE(result.config.rate_changes.empty());
+  EXPECT_LE(sim::to_seconds(result.config.duration), 0.5 + 1e-9);
+  EXPECT_FALSE(result.config.aqm.alpha_hz.has_value());
+  EXPECT_EQ(result.config.validate(), "");
+  EXPECT_GT(result.accepted_steps, 5);
+}
+
+TEST(Shrinker, PreservesTheFailureTrigger) {
+  // "Failure" depends on the UDP flow being present: the shrinker must cut
+  // everything else but keep it.
+  const auto result = shrink(noisy_config(), [](const scenario::DumbbellConfig& c) {
+    return !c.udp_flows.empty();
+  });
+  ASSERT_EQ(result.config.udp_flows.size(), 1u);
+  EXPECT_TRUE(result.config.tcp_flows.empty());
+  EXPECT_TRUE(result.config.faults.events.empty());
+  EXPECT_EQ(result.config.validate(), "");
+}
+
+TEST(Shrinker, NeverFailingSmallerReturnsOriginal) {
+  const auto original = noisy_config();
+  int calls = 0;
+  const auto result = shrink(original, [&](const scenario::DumbbellConfig&) {
+    ++calls;
+    return false;  // nothing smaller reproduces
+  });
+  EXPECT_EQ(result.accepted_steps, 0);
+  EXPECT_EQ(result.evaluations, calls);
+  EXPECT_EQ(result.config.tcp_flows.size(), original.tcp_flows.size());
+  EXPECT_EQ(result.config.faults.events.size(), original.faults.events.size());
+  EXPECT_EQ(result.config.duration, original.duration);
+}
+
+TEST(Shrinker, RespectsTheEvaluationBudget) {
+  ShrinkOptions options;
+  options.max_evals = 3;
+  const auto result = shrink(
+      noisy_config(), [](const scenario::DumbbellConfig&) { return true; },
+      options);
+  EXPECT_LE(result.evaluations, 3);
+}
+
+TEST(Shrinker, CandidatesAlwaysValidate) {
+  // Every candidate the predicate sees must already be validate()-clean.
+  const auto result = shrink(noisy_config(), [](const scenario::DumbbellConfig& c) {
+    EXPECT_EQ(c.validate(), "");
+    return true;
+  });
+  EXPECT_EQ(result.config.validate(), "");
+}
+
+TEST(Shrinker, ShrinksRealFuzzedConfigs) {
+  const ScenarioFuzzer fuzzer;
+  const auto cfg = fuzzer.make_config(1);
+  const auto result =
+      shrink(cfg, [](const scenario::DumbbellConfig&) { return true; });
+  EXPECT_EQ(result.config.validate(), "");
+  EXPECT_LE(sim::to_seconds(result.config.duration),
+            sim::to_seconds(cfg.duration));
+}
+
+}  // namespace
+}  // namespace pi2::check

@@ -66,6 +66,89 @@ TEST(ScalableTcp, SignalsPerRttConstantAcrossRates) {
   EXPECT_NEAR(small.cwnd() / ws, large.cwnd() / wl, 1e-9);
 }
 
+TEST(ScalableTcp, ExactMimdPerAckArithmetic) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));  // leave slow start
+  double expected = cc.cwnd();
+  // In congestion avoidance every ACKed segment adds exactly a = 0.01,
+  // regardless of the current window (MIMD, not Reno's 1/W).
+  cc.on_ack(1, kRtt, at_ms(1), false);
+  expected += 0.01;
+  EXPECT_DOUBLE_EQ(cc.cwnd(), expected);
+  cc.on_ack(3, kRtt, at_ms(2), false);
+  expected += 3 * 0.01;
+  EXPECT_DOUBLE_EQ(cc.cwnd(), expected);
+}
+
+TEST(ScalableTcp, RecoveryAcksDoNotGrow) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  for (int i = 0; i < 50; ++i) cc.on_ack(1, kRtt, at_ms(i), true);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0);
+}
+
+TEST(ScalableTcp, SlowStartAfterTimeoutCapsExactlyAtSsthresh) {
+  ScalableTcp cc;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, kRtt, at_ms(i), false);
+  const double before = cc.cwnd();
+  cc.on_timeout(at_ms(200));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), before * 0.875);
+  EXPECT_TRUE(cc.in_slow_start());
+  // Slow start grows by the ACKed amount, clamped to ssthresh exactly.
+  cc.on_ack(4, kRtt, at_ms(201), false);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);
+  for (int i = 0; i < 1000 && cc.in_slow_start(); ++i) {
+    cc.on_ack(8, kRtt, at_ms(202 + i), false);
+  }
+  EXPECT_DOUBLE_EQ(cc.cwnd(), before * 0.875);
+}
+
+TEST(ScalableTcp, HoldoffExpiryAllowsTheNextReduction) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  const double w0 = cc.cwnd();
+  cc.on_ecn_sample(1, true, at_ms(0));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0 * 0.875);
+  cc.on_ecn_sample(1, true, at_ms(9.999));  // still inside the 10 ms holdoff
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0 * 0.875);
+  cc.on_ecn_sample(1, true, at_ms(10));  // holdoff expired: second event
+  EXPECT_DOUBLE_EQ(cc.cwnd(), w0 * 0.875 * 0.875);
+}
+
+TEST(ScalableTcp, ReductionKeepsCongestionAvoidance) {
+  // ssthresh tracks the reduced window so marks never re-enter slow start.
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  cc.on_ecn_sample(1, true, at_ms(1));
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), cc.cwnd());
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(ScalableTcp, CustomGainParamsAreApplied) {
+  ScalableTcp::Params params;
+  params.a = 0.05;
+  params.b = 0.5;
+  ScalableTcp cc{params};
+  cc.on_congestion_event(at_ms(0));  // 10 * 0.5 = 5
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);
+  cc.on_ack(1, kRtt, at_ms(1), false);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.05);
+  cc.on_ecn_sample(1, true, at_ms(2));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.05 * 0.5);
+}
+
+TEST(ScalableTcp, MarksFloorAtMinWindow) {
+  ScalableTcp cc;
+  cc.on_congestion_event(at_ms(0));
+  for (int i = 0; i < 100; ++i) {
+    cc.on_ecn_sample(1, true, at_ms(20.0 * i));  // each outside the holdoff
+  }
+  EXPECT_DOUBLE_EQ(cc.cwnd(), kMinWindow);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), kMinWindow);
+}
+
 TEST(RelentlessTcp, SubtractsOneSegmentPerMark) {
   RelentlessTcp cc;
   cc.on_congestion_event(at_ms(0));  // leave slow start

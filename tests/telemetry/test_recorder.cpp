@@ -116,5 +116,21 @@ TEST(Sampler, FinalSampleAtRunEndIsDeduplicated) {
   EXPECT_EQ(sampler.series().at("g").size(), 2u);
 }
 
+TEST(Sampler, SampleFinalResamplesATickBoundaryEnd) {
+  // When the run ends exactly on a periodic tick the tick may have run
+  // before the last same-timestamp events; the forced end-of-run sample must
+  // capture the post-event values anyway.
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.0);
+  Sampler sampler{reg, pi2::sim::from_millis(100)};
+  sampler.sample_at(pi2::sim::from_seconds(2.0));  // the colliding tick
+  reg.gauge("g").set(5.0);  // a same-timestamp event updates the metric
+  sampler.sample_final(pi2::sim::from_seconds(2.0));
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  const auto& series = sampler.series().at("g");
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.points().back().value, 5.0);
+}
+
 }  // namespace
 }  // namespace pi2::telemetry
