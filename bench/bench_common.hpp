@@ -18,6 +18,9 @@
 namespace pi2::bench {
 
 struct Options {
+  /// argv[0], captured so the default journal name can be derived from the
+  /// binary when --json is unset.
+  std::string argv0;
   bool full = false;
   std::uint64_t seed = 1;
   /// Worker threads for sweep-based binaries. 0 = hardware_concurrency.
@@ -37,6 +40,16 @@ struct Options {
   double deadline_s = 0;
   /// Extra attempts for a failed or stuck point.
   int retries = 1;
+  /// Base delay (ms) before the first retry of a point; doubles per further
+  /// attempt, with deterministic seed-derived jitter (0 = retry immediately).
+  long long backoff_ms = 0;
+  /// Resume from the run journal: completed grid points found in it are
+  /// replayed (byte-identical output) instead of re-simulated. Requires the
+  /// same grid/seed/duration flags as the interrupted run.
+  bool resume = false;
+  /// Journal path override. Empty = derived from --json (`<json>.journal`)
+  /// or `<argv0 basename>.journal` when --json is unset.
+  std::string journal_path;
   /// Test hooks for the partial-failure path: force the given grid point to
   /// throw / to stall for `hang_s` wall seconds (-1 = disabled). With a
   /// deadline set, a hung point exercises the watchdog + retry machinery.
@@ -53,6 +66,7 @@ struct Options {
 
 inline Options parse_options(int argc, char** argv) {
   Options opts;
+  if (argc > 0 && argv[0] != nullptr) opts.argv0 = argv[0];
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") {
@@ -71,6 +85,12 @@ inline Options parse_options(int argc, char** argv) {
       opts.deadline_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--retries" && i + 1 < argc) {
       opts.retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--backoff-ms" && i + 1 < argc) {
+      opts.backoff_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg == "--journal" && i + 1 < argc) {
+      opts.journal_path = argv[++i];
     } else if (arg == "--inject-fail" && i + 1 < argc) {
       opts.inject_fail = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--inject-hang" && i + 1 < argc) {
@@ -84,7 +104,8 @@ inline Options parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--jobs N] [--json PATH] [--smoke]\n"
-          "          [--deadline-s S] [--retries N]\n"
+          "          [--deadline-s S] [--retries N] [--backoff-ms MS]\n"
+          "          [--resume] [--journal PATH]\n"
           "  --full      paper-scale grid and durations (slower)\n"
           "  --seed N    RNG seed (default 1)\n"
           "  --jobs N    worker threads for sweep grids (default: all cores;\n"
@@ -94,6 +115,13 @@ inline Options parse_options(int argc, char** argv) {
           "  --deadline-s S  per-point wall-clock watchdog; a point past the\n"
           "              deadline is retried once, then reported `timeout`\n"
           "  --retries N retry budget per failed/stuck point (default 1)\n"
+          "  --backoff-ms MS  base retry backoff, doubling per attempt with\n"
+          "              deterministic seed-derived jitter (default 0)\n"
+          "  --resume    replay completed points from the run journal and\n"
+          "              only re-simulate the missing ones; the final output\n"
+          "              is byte-identical to an uninterrupted run\n"
+          "  --journal PATH  journal location (default: <json>.journal, or\n"
+          "              <binary>.journal without --json)\n"
           "  --inject-fail I / --inject-hang I / --hang-s S\n"
           "              fault-injection test hooks: force point I to throw,\n"
           "              or to stall S wall seconds (default 2)\n"

@@ -134,9 +134,15 @@ out = {
     "full_recorder_overhead_pct": recorder_pct,
     "probe_link_cycle_worst_case_pct": link_cycle_pct,
 }
-with open(os.environ["OUT"], "w") as f:
+# Atomic publish: a reader (or a killed run) must never see a partial
+# trajectory file — write the tmp sibling, fsync, then rename over OUT.
+tmp_out = os.environ["OUT"] + ".tmp"
+with open(tmp_out, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
+    f.flush()
+    os.fsync(f.fileno())
+os.replace(tmp_out, os.environ["OUT"])
 print(f"wrote {os.environ['OUT']}: quick fig15 {serial_s}s @1 job, "
       f"{parallel_s}s @{jobs} jobs; probe overhead "
       f"{overhead_pct if overhead_pct is not None else '?'}%")

@@ -9,14 +9,23 @@
 // seeds its own RNG stream from (base seed, point index) — no shared state.
 //
 // Sweeps run through the *guarded* runner: a point that throws or exceeds
-// the --deadline-s wall-clock watchdog is retried (--retries, default 1)
-// and, if it still fails, reported as `failed`/`timeout` — in the printed
-// table, in the per-point JSON record, and in the returned RunReport — while
-// every other point completes normally. Callers exit non-zero when
-// !report.all_ok().
+// the --deadline-s wall-clock watchdog is retried (--retries, default 1,
+// with --backoff-ms exponential backoff) and, if it still fails, reported as
+// `failed`/`timeout` — in the printed table, in the per-point JSON record,
+// and in the returned RunReport — while every other point completes
+// normally. Callers exit non-zero when !report.all_ok().
+//
+// Sweeps are also *durable*: every completed point is appended (fsync'd) to
+// a run journal before it is consumed, SIGINT/SIGTERM stop the sweep at a
+// point boundary (exit code 75 = interrupted-but-resumable), and --resume
+// replays journaled points through the unchanged consume path so the final
+// table and --json output are byte-identical to an uninterrupted run. The
+// --json artifact itself is written atomically (tmp + fsync + rename): an
+// interrupted or crashed sweep leaves no half-written JSON behind.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -28,6 +37,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "durable/atomic_file.hpp"
+#include "durable/journal.hpp"
+#include "durable/result_codec.hpp"
+#include "durable/shutdown.hpp"
+#include "durable/status.hpp"
 #include "runner/parallel_runner.hpp"
 #include "sim/rng.hpp"
 #include "telemetry/recorder.hpp"
@@ -79,32 +93,32 @@ inline std::string json_escape(const std::string& s) {
 /// failed and timed-out points get a reduced record with the error message
 /// instead of measurements, so downstream tooling can tell a missing point
 /// from a zero-valued one.
+///
+/// The file is written through durable::AtomicFile: records accumulate in
+/// `<path>.tmp` and the destination only appears on commit(). abort() (the
+/// interrupted-sweep path) drops the tmp, so readers never see a torn array.
 class SweepJsonWriter {
  public:
   SweepJsonWriter() = default;
   explicit SweepJsonWriter(const std::string& path) {
-    if (!path.empty()) {
-      file_ = std::fopen(path.c_str(), "w");
-      if (file_ == nullptr)
-        std::fprintf(stderr, "warning: cannot open %s; no JSON written\n",
-                     path.c_str());
+    if (path.empty()) return;
+    file_ = std::make_unique<durable::AtomicFile>(path);
+    if (!file_->healthy()) {
+      std::fprintf(stderr, "warning: %s; no JSON written\n",
+                   file_->status().message().c_str());
+      file_.reset();
+      return;
     }
-    if (file_ != nullptr) std::fputs("[", file_);
+    file_->write("[");
   }
   SweepJsonWriter(const SweepJsonWriter&) = delete;
   SweepJsonWriter& operator=(const SweepJsonWriter&) = delete;
-  ~SweepJsonWriter() {
-    if (file_ != nullptr) {
-      std::fputs("\n]\n", file_);
-      std::fclose(file_);
-    }
-  }
+  ~SweepJsonWriter() = default;  // un-committed AtomicFile aborts itself
 
   void add(const SweepPoint& p) {
     if (file_ == nullptr) return;
     const auto& c = p.result.window_counters;
-    std::fprintf(
-        file_,
+    file_->printf(
         "%s\n"
         "  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
         "\"mix\": \"%s\", "
@@ -130,10 +144,10 @@ class SweepJsonWriter {
         static_cast<unsigned long long>(p.result.violations.size()),
         static_cast<unsigned long long>(p.result.guard_events));
     if (!p.manifest_path.empty()) {
-      std::fprintf(file_, ", \"telemetry_manifest\": \"%s\"",
-                   json_escape(p.manifest_path).c_str());
+      file_->printf(", \"telemetry_manifest\": \"%s\"",
+                    json_escape(p.manifest_path).c_str());
     }
-    std::fputs("}", file_);
+    file_->write("}");
     first_ = false;
   }
 
@@ -141,25 +155,47 @@ class SweepJsonWriter {
                   double link_mbps, double rtt_ms, runner::TaskStatus status,
                   const std::string& message) {
     if (file_ == nullptr) return;
-    std::fprintf(file_,
-                 "%s\n"
-                 "  {\"index\": %zu, \"status\": \"%s\", \"aqm\": \"%s\", "
-                 "\"mix\": \"%s\", \"link_mbps\": %g, \"rtt_ms\": %g, "
-                 "\"error\": \"%s\"}",
-                 first_ ? "" : ",", index, runner::to_string(status),
-                 aqm_label(aqm), to_string(mix), link_mbps, rtt_ms,
-                 json_escape(message).c_str());
+    file_->printf(
+        "%s\n"
+        "  {\"index\": %zu, \"status\": \"%s\", \"aqm\": \"%s\", "
+        "\"mix\": \"%s\", \"link_mbps\": %g, \"rtt_ms\": %g, "
+        "\"error\": \"%s\"}",
+        first_ ? "" : ",", index, runner::to_string(status), aqm_label(aqm),
+        to_string(mix), link_mbps, rtt_ms, json_escape(message).c_str());
     first_ = false;
   }
 
+  /// Seals the array and atomically publishes the destination file.
+  bool commit() {
+    if (file_ == nullptr) return true;
+    file_->write("\n]\n");
+    const durable::Status status = file_->commit();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: sweep JSON not written: %s\n",
+                   status.message().c_str());
+    }
+    file_.reset();
+    return status.ok();
+  }
+
+  /// Drops the tmp file; the destination (if any) is left untouched. Used
+  /// when a sweep is interrupted so no incomplete JSON array ever exists.
+  void abort() {
+    if (file_ == nullptr) return;
+    file_->abort();
+    file_.reset();
+  }
+
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<durable::AtomicFile> file_;
   bool first_ = true;
 };
 
 namespace detail {
 /// Test hook honoring --inject-fail / --inject-hang: makes one grid point
-/// misbehave so the partial-failure path can be exercised end to end.
+/// misbehave so the partial-failure path can be exercised end to end. The
+/// hang polls the shutdown flag so an interrupted sweep still stops at a
+/// point boundary instead of waiting out the full stall.
 inline void maybe_inject(const Options& opts, std::size_t i) {
   if (opts.inject_fail >= 0 &&
       static_cast<std::size_t>(opts.inject_fail) == i) {
@@ -168,15 +204,27 @@ inline void maybe_inject(const Options& opts, std::size_t i) {
   }
   if (opts.inject_hang >= 0 &&
       static_cast<std::size_t>(opts.inject_hang) == i) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(opts.hang_s));
+    const auto end = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(opts.hang_s));
+    while (std::chrono::steady_clock::now() < end) {
+      if (durable::ShutdownController::requested()) {
+        throw durable::InterruptedError(
+            "injected hang interrupted by shutdown request");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   }
 }
 
 inline runner::GuardOptions guard_options(const Options& opts) {
   runner::GuardOptions guard;
-  guard.deadline = std::chrono::milliseconds(
+  guard.retry.attempt_deadline = std::chrono::milliseconds(
       static_cast<long long>(opts.deadline_s * 1000.0));
-  guard.retries = opts.retries;
+  guard.retry.max_attempts = 1 + std::max(0, opts.retries);
+  guard.retry.backoff_base = std::chrono::milliseconds(opts.backoff_ms);
+  guard.retry.jitter_seed = opts.seed;
+  guard.cancel = durable::ShutdownController::flag();
   return guard;
 }
 
@@ -196,6 +244,51 @@ inline telemetry::RecorderConfig point_recorder_config(const Options& opts,
   }
   return rc;
 }
+
+/// Journal location: --journal wins, then `<json>.journal`, then
+/// `<binary basename>.journal` in the working directory.
+inline std::string journal_path(const Options& opts) {
+  if (!opts.journal_path.empty()) return opts.journal_path;
+  if (!opts.json_path.empty()) return opts.json_path + ".journal";
+  std::string base = opts.argv0.empty() ? "sweep" : opts.argv0;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return base + ".journal";
+}
+
+/// Digest of everything that determines the sweep's results: seed, grid
+/// axes, durations. A journal whose header disagrees is from a different
+/// campaign and its cached points are refused on --resume.
+inline std::uint64_t campaign_key(const Options& opts) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-sweep-campaign-v1");
+  h.mix_u64(opts.seed);
+  h.mix_u64(static_cast<std::uint64_t>(run_duration(opts).count()));
+  h.mix_u64(static_cast<std::uint64_t>(stats_start(opts).count()));
+  const std::vector<double> links = link_grid(opts);
+  const std::vector<double> rtts = rtt_grid(opts);
+  h.mix_u64(links.size());
+  for (const double v : links) h.mix_double(v);
+  h.mix_u64(rtts.size());
+  for (const double v : rtts) h.mix_double(v);
+  return h.state;
+}
+
+/// Per-point journal key: position plus every parameter the point's
+/// simulation depends on.
+inline std::uint64_t point_key(std::size_t index, scenario::AqmType aqm,
+                               MixKind mix, double link_mbps, double rtt_ms,
+                               std::uint64_t derived_seed) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-sweep-point-v1");
+  h.mix_u64(index);
+  h.mix_u64(static_cast<std::uint64_t>(aqm));
+  h.mix_u64(static_cast<std::uint64_t>(mix));
+  h.mix_double(link_mbps);
+  h.mix_double(rtt_ms);
+  h.mix_u64(derived_seed);
+  return h.state;
+}
 }  // namespace detail
 
 /// Runs the full grid, invoking `consume` per completed point in grid order.
@@ -203,6 +296,13 @@ inline telemetry::RecorderConfig point_recorder_config(const Options& opts,
 /// progress grouping headers) run on the calling thread only. Failed or
 /// timed-out points are announced on the table, recorded in the JSON stream
 /// and returned in the report — they never reach `consume`.
+///
+/// Durability: each completed point is journaled (append + fsync) *before*
+/// it is consumed; with --resume, journaled points are decoded and pushed
+/// through the same ordered consume path without re-simulating. On
+/// SIGINT/SIGTERM the runner stops at a point boundary, an `interrupted`
+/// marker is journaled, and the --json tmp file is dropped un-renamed;
+/// sweep_exit_code() then reports 75 (resume with --resume).
 inline runner::RunReport run_sweep(
     const Options& opts, const std::function<void(const SweepPoint&)>& consume) {
   struct GridPoint {
@@ -210,18 +310,78 @@ inline runner::RunReport run_sweep(
     MixKind mix;
     double link_mbps;
     double rtt_ms;
+    std::uint64_t seed = 0;  ///< derived per-point RNG seed
+    std::uint64_t key = 0;   ///< journal key
   };
   std::vector<GridPoint> grid;
   for (const auto aqm : {scenario::AqmType::kPie, scenario::AqmType::kCoupledPi2}) {
     for (const auto mix : {MixKind::kCubicVsEcnCubic, MixKind::kCubicVsDctcp}) {
       for (const double link : link_grid(opts)) {
         for (const double rtt : rtt_grid(opts)) {
-          grid.push_back(GridPoint{aqm, mix, link, rtt});
+          GridPoint g{aqm, mix, link, rtt, 0, 0};
+          g.seed = sim::Rng::derive_seed(opts.seed, grid.size());
+          g.key = detail::point_key(grid.size(), aqm, mix, link, rtt, g.seed);
+          grid.push_back(g);
         }
       }
     }
   }
   const std::size_t per_group = link_grid(opts).size() * rtt_grid(opts).size();
+
+  durable::ShutdownController::install();
+  const std::uint64_t campaign = detail::campaign_key(opts);
+  const std::string journal_file = detail::journal_path(opts);
+
+  // --resume: decode every journaled point up front; decode failures (a
+  // payload from an incompatible build, say) simply re-run that point.
+  std::vector<std::unique_ptr<scenario::RunResult>> replay(grid.size());
+  std::size_t replayed = 0;
+  bool journal_keep = false;
+  if (opts.resume) {
+    const durable::LoadedJournal loaded =
+        durable::load_journal(journal_file, campaign);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different campaign "
+                   "(header %016llx, expected %016llx); ignoring it\n",
+                   journal_file.c_str(),
+                   static_cast<unsigned long long>(loaded.header_key),
+                   static_cast<unsigned long long>(campaign));
+    }
+    if (loaded.dropped > 0) {
+      std::fprintf(stderr,
+                   "resume: dropped %zu torn/corrupt journal record(s); "
+                   "affected points re-run\n",
+                   loaded.dropped);
+    }
+    if (loaded.header_ok) {
+      journal_keep = true;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto it = loaded.points.find(grid[i].key);
+        if (it == loaded.points.end()) continue;
+        auto result = std::make_unique<scenario::RunResult>();
+        if (durable::decode_result(it->second, *result).ok()) {
+          replay[i] = std::move(result);
+          ++replayed;
+        } else {
+          std::fprintf(stderr,
+                       "resume: undecodable payload for point %zu; re-running\n",
+                       i);
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %zu point(s) from %s%s\n",
+                   replayed, grid.size(), journal_file.c_str(),
+                   loaded.interrupted > 0 ? " (previous run was interrupted)"
+                                          : "");
+    }
+  }
+
+  durable::JournalWriter journal{journal_file, campaign, journal_keep};
+  if (!journal.healthy()) {
+    std::fprintf(stderr, "warning: run journal unavailable (%s); "
+                 "this sweep will not be resumable\n",
+                 journal.status().message().c_str());
+  }
 
   SweepJsonWriter json{opts.json_path};
   const runner::ParallelRunner pool{opts.jobs};
@@ -245,15 +405,22 @@ inline runner::RunReport run_sweep(
   // Last attempt's exception message per point, for the failure records.
   std::mutex error_mutex;
   std::vector<std::string> last_error(grid.size());
+  std::size_t interrupted_points = 0;
 
   runner::RunReport report = pool.run_ordered_guarded<PointOutcome>(
       grid.size(),
       [&](std::size_t i) {
+        if (replay[i] != nullptr) {
+          PointOutcome outcome;
+          outcome.result = *replay[i];
+          return outcome;
+        }
         try {
           detail::maybe_inject(opts, i);
           const GridPoint& g = grid[i];
           auto cfg = mix_config(g.aqm, g.mix, g.link_mbps, g.rtt_ms, opts);
-          cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+          cfg.seed = g.seed;
+          cfg.stop = durable::ShutdownController::flag();
           PointOutcome outcome;
           if (telemetry_on) {
             outcome.recorder = std::make_shared<telemetry::Recorder>(
@@ -270,18 +437,33 @@ inline runner::RunReport run_sweep(
       },
       [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
         const GridPoint& g = grid[i];
+        if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_points;  // summarized once after the run
+          return;
+        }
         if (i % per_group == 0) {
           std::printf("\n== %s, %s ==\n", aqm_label(g.aqm), to_string(g.mix));
         }
         if (status == runner::TaskStatus::kOk && outcome != nullptr) {
           SweepPoint point{g.aqm,  g.mix, g.link_mbps,
                            g.rtt_ms, std::move(outcome->result), i,
-                           sim::Rng::derive_seed(opts.seed, i), {}};
+                           g.seed, {}};
           if (outcome->recorder != nullptr) {
             point.manifest_path = outcome->recorder->manifest_path();
             sweep_registry.merge_from(outcome->recorder->registry());
             sweep_profile.merge_from(outcome->recorder->profile());
             outcome->recorder.reset();
+          } else if (telemetry_on && replay[i] != nullptr) {
+            // Replayed points re-use the interrupted run's artifacts; the
+            // manifest path is deterministic, so the JSON record matches.
+            point.manifest_path = opts.telemetry_dir + "/" +
+                                  detail::point_run_id(i) + ".manifest.json";
+          }
+          if (replay[i] == nullptr && journal.healthy()) {
+            // Journal *before* consume: a crash while printing still leaves
+            // the point recoverable.
+            (void)journal.append_point(g.key,
+                                       durable::encode_result(point.result));
           }
           if (!point.result.violations.empty()) {
             std::printf("!! point %zu: %llu invariant violation(s), see JSON\n",
@@ -308,19 +490,49 @@ inline runner::RunReport run_sweep(
       },
       detail::guard_options(opts));
 
-  if (telemetry_on) {
-    // Sweep-wide aggregate (counters + histograms summed across points, in
-    // submission order) and the wall-clock section profile. Only the
-    // aggregate snapshot is byte-identical across --jobs values; wall-clock
-    // numbers go to stderr.
-    telemetry::PrometheusExporter aggregate{opts.telemetry_dir +
-                                            "/sweep_aggregate.prom"};
-    sweep_registry.freeze_gauges();
-    aggregate.finish(sweep_registry);
-    sweep_profile.print(stderr, "sweep wall-clock sections");
+  const bool interrupted = durable::ShutdownController::requested();
+  if (interrupted) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    json.abort();
+    std::fprintf(stderr,
+                 "sweep: interrupted — %zu point(s) unfinished; completed "
+                 "work is journaled in %s, re-run with --resume to finish\n",
+                 interrupted_points, journal_file.c_str());
+  } else {
+    json.commit();
+  }
+  if (!journal.healthy()) {
+    std::fprintf(stderr, "warning: journal write failed (%s); "
+                 "a --resume of this run may repeat completed points\n",
+                 journal.status().message().c_str());
   }
 
-  if (!report.all_ok()) {
+  if (telemetry_on && !interrupted) {
+    if (replayed > 0) {
+      // Replayed points carry no fresh recorder, so a sweep-wide aggregate
+      // would silently undercount. Skip it rather than publish a lie.
+      std::fprintf(stderr,
+                   "sweep: %zu replayed point(s) have no fresh telemetry; "
+                   "skipping sweep_aggregate.prom\n",
+                   replayed);
+    } else {
+      // Sweep-wide aggregate (counters + histograms summed across points, in
+      // submission order) and the wall-clock section profile. Only the
+      // aggregate snapshot is byte-identical across --jobs values; wall-clock
+      // numbers go to stderr.
+      telemetry::PrometheusExporter aggregate{opts.telemetry_dir +
+                                              "/sweep_aggregate.prom"};
+      sweep_registry.freeze_gauges();
+      aggregate.finish(sweep_registry);
+      sweep_profile.print(stderr, "sweep wall-clock sections");
+    }
+  }
+
+  if (!interrupted && !report.all_ok()) {
     std::fprintf(stderr, "sweep: %zu of %zu points did not complete\n",
                  report.failures.size(), report.status.size());
   }
@@ -328,8 +540,13 @@ inline runner::RunReport run_sweep(
 }
 
 /// Exit code for a figure binary given its sweep report: 0 when every point
-/// completed, 1 otherwise (partial results were still printed/written).
+/// completed, 75 (EX_TEMPFAIL) when the sweep was interrupted by
+/// SIGINT/SIGTERM and can be finished with --resume, 1 otherwise (partial
+/// results were still printed/written).
 inline int sweep_exit_code(const runner::RunReport& report) {
+  if (durable::ShutdownController::requested()) {
+    return durable::ShutdownController::kExitInterrupted;
+  }
   return report.all_ok() ? 0 : 1;
 }
 

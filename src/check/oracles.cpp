@@ -10,6 +10,8 @@
 #include <string>
 
 #include "check/golden.hpp"
+#include "durable/journal.hpp"
+#include "durable/result_codec.hpp"
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -379,6 +381,43 @@ void check_telemetry_roundtrip(const std::string& jsonl_path,
   }
 }
 
+void check_journal_roundtrip(const scenario::RunResult& result,
+                             std::vector<OracleFailure>& failures) {
+  durable::JournalRecord record;
+  record.kind = "point";
+  record.key = result_digest(result);
+  record.payload = durable::encode_result(result);
+  const std::string line = durable::encode_record(record);
+
+  durable::JournalRecord parsed;
+  const durable::Status parse_status = durable::parse_record(line, parsed);
+  if (!parse_status.ok()) {
+    fail(failures, "journal",
+         "record line failed to parse back: " + parse_status.message());
+    return;
+  }
+  if (parsed.kind != record.kind || parsed.key != record.key ||
+      parsed.payload != record.payload) {
+    fail(failures, "journal", "record round-trip altered kind/key/payload");
+    return;
+  }
+  scenario::RunResult decoded;
+  const durable::Status decode_status =
+      durable::decode_result(parsed.payload, decoded);
+  if (!decode_status.ok()) {
+    fail(failures, "journal",
+         "payload failed to decode: " + decode_status.message());
+    return;
+  }
+  const std::uint64_t got = result_digest(decoded);
+  if (got != record.key) {
+    fail(failures, "journal",
+         fmt("digest %016llx != %016llx after journal round-trip",
+             static_cast<unsigned long long>(got),
+             static_cast<unsigned long long>(record.key)));
+  }
+}
+
 CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
                              std::uint64_t index, const OracleOptions& options) {
   CaseOutcome outcome;
@@ -409,6 +448,7 @@ CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
   check_invariants_clean(cfg, result, outcome.failures);
   check_coupling_law(cfg, outcome.failures);
   check_coupling_snapshot(cfg, registry, outcome.failures);
+  check_journal_roundtrip(result, outcome.failures);
   if (recorder) {
     if (!recorder->ok()) {
       fail(outcome.failures, "telemetry", "recorder reported an I/O failure");

@@ -19,6 +19,10 @@
 //                    across queue states and in the run's final snapshot.
 //   telemetry      — the JSONL stream parses back, and its final row equals
 //                    the registry's final (frozen) snapshot value for value.
+//   journal        — the durable run-journal codec round-trips the result:
+//                    encode -> journal record line -> parse -> decode must
+//                    preserve the result_digest() fingerprint, or --resume
+//                    could silently replay an altered result.
 //
 // Batch-level oracles (seed-stream independence, --jobs invariance) compare
 // result_digest() fingerprints across executions; the digest folds every
@@ -100,5 +104,11 @@ void check_coupling_snapshot(const scenario::DumbbellConfig& config,
 void check_telemetry_roundtrip(const std::string& jsonl_path,
                                const telemetry::MetricsRegistry& registry,
                                std::vector<OracleFailure>& failures);
+
+/// Round-trips `result` through the durable journal codec (payload + record
+/// line) and compares result_digest() before and after — the property the
+/// --resume machinery's byte-identical replay depends on.
+void check_journal_roundtrip(const scenario::RunResult& result,
+                             std::vector<OracleFailure>& failures);
 
 }  // namespace pi2::check

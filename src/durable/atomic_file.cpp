@@ -1,0 +1,192 @@
+#include "durable/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define PI2_DURABLE_POSIX 1
+#endif
+
+namespace pi2::durable {
+
+namespace {
+
+// Process-wide fault plan. The switches are atomics so a test can arm them
+// while sweep workers write concurrently without a data race; real runs
+// never touch them (armed_ stays false and the checks reduce to one load).
+std::atomic<bool> g_faults_armed{false};
+std::atomic<bool> g_fail_open{false};
+std::atomic<bool> g_fail_commit{false};
+std::atomic<long long> g_write_budget{-1};
+
+/// fsync the directory containing `path` so the rename itself is durable.
+Status sync_parent_dir(const std::string& path) {
+#ifdef PI2_DURABLE_POSIX
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::io_error(dir, errno, "open directory for fsync");
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::io_error(dir, errno, "fsync directory");
+  }
+  ::close(fd);
+  return status;
+#else
+  (void)path;
+  return {};
+#endif
+}
+
+}  // namespace
+
+bool inject_write_fault(std::size_t size) {
+  if (!g_faults_armed.load(std::memory_order_relaxed)) return false;
+  long long budget = g_write_budget.load(std::memory_order_relaxed);
+  for (;;) {
+    if (budget < 0) return false;  // write faults not configured (-1 sentinel)
+    // Exhausted budgets stay at their floor instead of going negative: a
+    // full disk keeps failing every write, it does not recover after one.
+    if (budget < static_cast<long long>(size)) return true;
+    if (g_write_budget.compare_exchange_weak(
+            budget, budget - static_cast<long long>(size),
+            std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+}
+
+void AtomicFile::set_faults(const Faults& faults) {
+  g_fail_open.store(faults.fail_open, std::memory_order_relaxed);
+  g_fail_commit.store(faults.fail_commit, std::memory_order_relaxed);
+  g_write_budget.store(faults.fail_write_after_bytes, std::memory_order_relaxed);
+  g_faults_armed.store(true, std::memory_order_release);
+}
+
+void AtomicFile::clear_faults() {
+  g_faults_armed.store(false, std::memory_order_release);
+  g_fail_open.store(false, std::memory_order_relaxed);
+  g_fail_commit.store(false, std::memory_order_relaxed);
+  g_write_budget.store(-1, std::memory_order_relaxed);
+}
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    status_ = Status::invalid("AtomicFile: empty path");
+    return;
+  }
+  if (g_faults_armed.load(std::memory_order_acquire) &&
+      g_fail_open.load(std::memory_order_relaxed)) {
+    status_ = Status::io_error(tmp_path(), EIO, "open (injected fault)");
+    return;
+  }
+  file_ = std::fopen(tmp_path().c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::io_error(tmp_path(), errno, "open");
+  }
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) abort();
+}
+
+bool AtomicFile::write(const void* data, std::size_t size) {
+  if (!healthy()) return false;
+  if (inject_write_fault(size)) {
+    status_ = Status::io_error(tmp_path(), ENOSPC, "write (injected fault)");
+    return false;
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    status_ = Status::io_error(tmp_path(), errno, "write");
+    return false;
+  }
+  return true;
+}
+
+bool AtomicFile::printf(const char* format, ...) {
+  if (!healthy()) return false;
+  va_list args;
+  va_start(args, format);
+  char stack_buf[512];
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof stack_buf, format, copy);
+  va_end(copy);
+  bool ok = false;
+  if (needed < 0) {
+    status_ = Status::invalid("AtomicFile::printf: bad format");
+  } else if (static_cast<std::size_t>(needed) < sizeof stack_buf) {
+    ok = write(stack_buf, static_cast<std::size_t>(needed));
+  } else {
+    std::vector<char> heap_buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), format, args);
+    ok = write(heap_buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return ok;
+}
+
+Status AtomicFile::commit() {
+  if (committed_ || aborted_) return status_;
+  if (file_ == nullptr || !status_.ok()) {
+    abort();
+    if (status_.ok()) status_ = Status::invalid("commit after abort");
+    return status_;
+  }
+  const bool inject_commit_fail =
+      g_faults_armed.load(std::memory_order_acquire) &&
+      g_fail_commit.load(std::memory_order_relaxed);
+  if (std::fflush(file_) != 0) {
+    status_ = Status::io_error(tmp_path(), errno, "flush");
+  }
+#ifdef PI2_DURABLE_POSIX
+  if (status_.ok() && (inject_commit_fail || ::fsync(fileno(file_)) != 0)) {
+    status_ = Status::io_error(tmp_path(), inject_commit_fail ? EIO : errno,
+                               inject_commit_fail ? "fsync (injected fault)"
+                                                  : "fsync");
+  }
+#else
+  if (status_.ok() && inject_commit_fail) {
+    status_ = Status::io_error(tmp_path(), EIO, "fsync (injected fault)");
+  }
+#endif
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::io_error(tmp_path(), errno, "close");
+  }
+  file_ = nullptr;
+  if (!status_.ok()) {
+    std::remove(tmp_path().c_str());
+    aborted_ = true;
+    return status_;
+  }
+  if (std::rename(tmp_path().c_str(), path_.c_str()) != 0) {
+    status_ = Status::io_error(path_, errno, "rename");
+    std::remove(tmp_path().c_str());
+    aborted_ = true;
+    return status_;
+  }
+  status_.update(sync_parent_dir(path_));
+  committed_ = true;
+  return status_;
+}
+
+void AtomicFile::abort() {
+  if (committed_ || aborted_) return;
+  aborted_ = true;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!path_.empty()) std::remove(tmp_path().c_str());
+}
+
+Status atomic_write_file(const std::string& path, const std::string& contents) {
+  AtomicFile file{path};
+  file.write(contents);
+  return file.commit();
+}
+
+}  // namespace pi2::durable

@@ -1,0 +1,105 @@
+// AtomicFile: crash-safe artifact writes (tmp file + fsync + rename).
+//
+// Every artifact this repo writes — telemetry JSONL/CSV/Prometheus streams,
+// run manifests, sweep --json records, benchmark trajectories — must be
+// either absent or complete on disk. A bare fopen(path, "w") violates that
+// the moment a process dies mid-write: the reader later finds a torn file
+// that parses halfway. AtomicFile writes to `<path>.tmp`, then on commit()
+// flushes, fsyncs, closes, renames over the destination and fsyncs the
+// containing directory (POSIX), so the destination name only ever points at
+// complete bytes. A destructor without commit() aborts: the tmp file is
+// removed and the destination untouched.
+//
+// Errors are never swallowed: every write is checked, and the first failure
+// (with path + errno) is latched into status(). Once failed, subsequent
+// writes are no-ops and commit() refuses to rename a half-written file.
+//
+// Fault injection (tests): set_faults() arms a process-wide budget of bytes
+// after which writes fail with ENOSPC, plus open/commit failure switches —
+// the "disk full" and "unwritable directory" error paths are unit-testable
+// without actually filling a disk.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "durable/status.hpp"
+
+namespace pi2::durable {
+
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing. Failure is latched in status(), not
+  /// thrown, so callers can treat a broken writer as a sink and surface the
+  /// error once at commit time.
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Appends `size` bytes. Returns false (and latches status) on failure.
+  bool write(const void* data, std::size_t size);
+  bool write(const std::string& data) { return write(data.data(), data.size()); }
+
+  /// printf-style convenience over write(); formats into an internal buffer
+  /// so the byte-counting fault hook sees every byte.
+  bool printf(const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Flush + fsync + close + rename(tmp, path) + directory fsync. Idempotent:
+  /// later calls return the first outcome. Refuses (and removes the tmp) if
+  /// any prior write failed.
+  Status commit();
+
+  /// Drops the tmp file without touching the destination. Idempotent; the
+  /// destructor calls it when commit() was never reached.
+  void abort();
+
+  /// True while writes are still landing (open succeeded, no error, not yet
+  /// committed or aborted).
+  [[nodiscard]] bool healthy() const {
+    return file_ != nullptr && status_.ok();
+  }
+  /// True once commit() succeeded.
+  [[nodiscard]] bool committed() const { return committed_; }
+  /// First error observed (open, write, or commit), or ok.
+  [[nodiscard]] const Status& status() const { return status_; }
+  /// Destination path (the tmp path is `path() + ".tmp"`).
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // --- test fault hook ------------------------------------------------------
+  struct Faults {
+    /// Fail every open attempt (unreachable device).
+    bool fail_open = false;
+    /// Process-wide byte budget; once this many bytes have been written
+    /// across all AtomicFiles, further writes fail with ENOSPC (-1 = off).
+    long long fail_write_after_bytes = -1;
+    /// Fail the commit-time fsync/rename step.
+    bool fail_commit = false;
+  };
+  /// Arms the process-wide fault plan (tests only; clear with clear_faults).
+  static void set_faults(const Faults& faults);
+  static void clear_faults();
+
+ private:
+  [[nodiscard]] std::string tmp_path() const { return path_ + ".tmp"; }
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+  bool committed_ = false;
+  bool aborted_ = false;
+};
+
+/// One-shot convenience: atomically replaces `path` with `contents`.
+[[nodiscard]] Status atomic_write_file(const std::string& path,
+                                       const std::string& contents);
+
+/// Consumes `size` bytes from the process-wide injected write budget;
+/// returns true when the write must fail (simulated disk-full). Writers
+/// outside AtomicFile (the journal appender) call this so every durable
+/// write path honors one fault plan. Always false when faults are unarmed.
+[[nodiscard]] bool inject_write_fault(std::size_t size);
+
+}  // namespace pi2::durable

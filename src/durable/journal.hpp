@@ -1,0 +1,120 @@
+// Run journal: the append-only completion log that makes sweeps resumable.
+//
+// One JSONL record is appended — and fsync'd — per completed unit of work
+// (a sweep grid point, a fuzz case), keyed by a digest of the unit's config
+// and seed. On restart with --resume, journaled units are skipped and their
+// cached payloads replayed, so the final table/JSON is byte-identical to an
+// uninterrupted run while only the missing work re-executes.
+//
+// Record format (one per line):
+//
+//   {"kind":"<header|point|interrupted>","key":"<16 hex>",
+//    "payload":"<escaped bytes>","crc":"<16 hex>"}
+//
+// `crc` is FNV-1a over kind+key+payload. A record that fails to parse or
+// whose crc mismatches is *dropped* (counted in LoadedJournal::dropped) —
+// the classic torn final line after a SIGKILL re-runs that point instead of
+// silently reusing garbage. Records after a torn line are still recovered.
+//
+// The first record is a `header` keyed by a digest of the whole campaign
+// (grid, seed, durations). Loading a journal whose header key differs from
+// the caller's refuses the cached points: a stale journal from a different
+// campaign can never leak results into this one.
+//
+// `interrupted` markers are appended by the graceful-shutdown path; load()
+// surfaces them so a resumed run can report what it recovered from.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "durable/status.hpp"
+
+namespace pi2::durable {
+
+struct JournalRecord {
+  std::string kind;        ///< "header", "point" or "interrupted"
+  std::uint64_t key = 0;   ///< config+seed digest of the unit
+  std::string payload;     ///< opaque serialized result (may be empty)
+};
+
+/// Serializes a record to its single-line wire form (newline included).
+[[nodiscard]] std::string encode_record(const JournalRecord& record);
+
+/// Parses one line (with or without trailing newline). Returns kCorrupt on
+/// structural damage or crc mismatch; `record` is only valid on kOk.
+[[nodiscard]] Status parse_record(const std::string& line, JournalRecord& record);
+
+/// Everything recovered from an on-disk journal.
+struct LoadedJournal {
+  bool exists = false;            ///< the file was present and readable
+  bool header_ok = false;         ///< first record is a header with the
+                                  ///< caller's campaign key
+  std::uint64_t header_key = 0;   ///< key of the header actually found
+  std::size_t interrupted = 0;    ///< interrupted markers seen
+  std::size_t dropped = 0;        ///< torn/corrupt records skipped
+  /// Completed units by key (last record wins). Empty unless header_ok.
+  std::map<std::uint64_t, std::string> points;
+
+  [[nodiscard]] bool has(std::uint64_t key) const {
+    return points.find(key) != points.end();
+  }
+};
+
+/// Reads the journal at `path`, dropping corrupt records. `campaign_key`
+/// must match the header for the cached points to be trusted.
+[[nodiscard]] LoadedJournal load_journal(const std::string& path,
+                                         std::uint64_t campaign_key);
+
+/// Appender. Every append is flushed and fsync'd before returning, so a
+/// record that was reported written survives a SIGKILL one instruction
+/// later. Shares AtomicFile's injectable write-fault budget.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending; writes a header record (and truncates any
+  /// prior content) unless `keep_existing` — the resume path loads first,
+  /// then reopens with keep_existing=true.
+  JournalWriter(std::string path, std::uint64_t campaign_key, bool keep_existing);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends + fsyncs one completed-unit record.
+  Status append_point(std::uint64_t key, const std::string& payload);
+  /// Appends + fsyncs a graceful-shutdown marker.
+  Status append_interrupted(const std::string& reason);
+
+  [[nodiscard]] bool healthy() const { return file_ != nullptr && status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Status append(const JournalRecord& record);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+/// FNV-1a 64-bit streaming hasher — the digest behind journal keys and
+/// record crcs. Deliberately tiny and dependency-free.
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  void mix_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state ^= bytes[i];
+      state *= 0x100000001b3ull;
+    }
+  }
+  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix_double(double v) { mix_bytes(&v, sizeof v); }
+  void mix_string(const std::string& s) {
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace pi2::durable

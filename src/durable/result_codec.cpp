@@ -1,0 +1,311 @@
+#include "durable/result_codec.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace pi2::durable {
+
+namespace {
+
+constexpr const char* kMagic = "pi2-result-v1";
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, " %" PRIx64, v);
+  out += buf;
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  // Two's-complement via u64 keeps negatives (none expected, but exact).
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, " %016" PRIx64, bits);
+  out += buf;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  if (s.empty()) return;
+  out += ' ';
+  char buf[4];
+  for (const char c : s) {
+    std::snprintf(buf, sizeof buf, "%02x", static_cast<unsigned char>(c));
+    out += buf;
+  }
+}
+
+void put_series(std::string& out, const stats::TimeSeries& series) {
+  put_u64(out, series.size());
+  for (const auto& point : series.points()) {
+    put_i64(out, point.t.count());
+    put_double(out, point.value);
+  }
+}
+
+/// Full reservoir snapshot (classic/scalable probability samplers).
+void put_sampler(std::string& out, const stats::PercentileSampler& sampler) {
+  put_i64(out, sampler.count());
+  put_double(out, sampler.sum());
+  put_u64(out, sampler.retained().size());
+  for (const double x : sampler.retained()) put_double(out, x);
+}
+
+/// count+sum only (the per-packet sojourn sampler; see header).
+void put_sampler_lite(std::string& out, const stats::PercentileSampler& sampler) {
+  put_i64(out, sampler.count());
+  put_double(out, sampler.sum());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : in_(payload) {}
+
+  bool u64(std::uint64_t& v) {
+    std::string tok;
+    if (!(in_ >> tok)) return fail();
+    v = 0;
+    if (tok.empty() || tok.size() > 16) return fail();
+    for (const char c : tok) {
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else return fail();
+    }
+    return true;
+  }
+
+  bool i64(std::int64_t& v) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool real(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  bool str(std::string& out) {
+    std::uint64_t size = 0;
+    if (!u64(size)) return false;
+    if (size > (1u << 20)) return fail();  // sanity bound on string fields
+    out.clear();
+    if (size == 0) return true;
+    std::string hex;
+    if (!(in_ >> hex) || hex.size() != size * 2) return fail();
+    out.reserve(size);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      unsigned byte = 0;
+      for (int k = 0; k < 2; ++k) {
+        const char c = hex[i + static_cast<std::size_t>(k)];
+        byte <<= 4;
+        if (c >= '0' && c <= '9') byte |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') byte |= static_cast<unsigned>(c - 'a' + 10);
+        else return fail();
+      }
+      out += static_cast<char>(byte);
+    }
+    return true;
+  }
+
+  bool series(stats::TimeSeries& out) {
+    std::uint64_t size = 0;
+    if (!u64(size)) return false;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      std::int64_t t_ns = 0;
+      double value = 0.0;
+      if (!i64(t_ns) || !real(value)) return false;
+      out.add(pi2::sim::Time{t_ns}, value);
+    }
+    return true;
+  }
+
+  bool sampler(stats::PercentileSampler& out) {
+    std::int64_t seen = 0;
+    double sum = 0.0;
+    std::uint64_t retained = 0;
+    if (!i64(seen) || !real(sum) || !u64(retained)) return false;
+    std::vector<double> samples;
+    samples.reserve(retained);
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      double x = 0.0;
+      if (!real(x)) return false;
+      samples.push_back(x);
+    }
+    out.restore(seen, sum, std::move(samples));
+    return true;
+  }
+
+  bool sampler_lite(stats::PercentileSampler& out) {
+    std::int64_t seen = 0;
+    double sum = 0.0;
+    if (!i64(seen) || !real(sum)) return false;
+    out.restore(seen, sum, {});
+    return true;
+  }
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// True once every token has been consumed. Trailing bytes mean the payload
+  /// is not what encode_result() produced (e.g. two records glued together).
+  [[nodiscard]] bool exhausted() {
+    std::string extra;
+    return !(in_ >> extra);
+  }
+
+ private:
+  bool fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::istringstream in_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string encode_result(const scenario::RunResult& result) {
+  std::string out = kMagic;
+  put_u64(out, result.events_executed);
+  put_u64(out, result.clamped_events);
+  put_u64(out, result.invariant_checks);
+  put_u64(out, result.guard_events);
+
+  const auto put_counters = [&out](const net::BottleneckLink::Counters& c) {
+    put_i64(out, c.enqueued);
+    put_i64(out, c.forwarded);
+    put_i64(out, c.aqm_dropped);
+    put_i64(out, c.tail_dropped);
+    put_i64(out, c.marked);
+    put_i64(out, c.fault_dropped);
+    put_i64(out, c.dequeue_dropped);
+  };
+  put_counters(result.counters);
+  put_counters(result.window_counters);
+
+  put_i64(out, result.fault_counters.dropped);
+  put_i64(out, result.fault_counters.bleached);
+  put_i64(out, result.fault_counters.reordered);
+  put_i64(out, result.fault_counters.rate_changes);
+  put_i64(out, result.fault_counters.rtt_changes);
+
+  put_double(out, result.mean_qdelay_ms);
+  put_double(out, result.p99_qdelay_ms);
+  put_double(out, result.utilization);
+
+  put_series(out, result.qdelay_ms_series);
+  put_series(out, result.classic_prob_series);
+  put_series(out, result.total_throughput_series);
+  put_series(out, result.utilization_series);
+
+  put_sampler(out, result.classic_prob_samples);
+  put_sampler(out, result.scalable_prob_samples);
+  put_sampler_lite(out, result.qdelay_ms_packets);
+
+  put_u64(out, result.flows.size());
+  for (const auto& flow : result.flows) {
+    put_u64(out, static_cast<std::uint64_t>(flow.cc));
+    put_u64(out, flow.is_udp ? 1 : 0);
+    put_double(out, flow.goodput_mbps);
+    put_i64(out, flow.retransmits);
+    put_i64(out, flow.timeouts);
+  }
+
+  put_u64(out, result.violations.size());
+  for (const auto& violation : result.violations) {
+    put_i64(out, violation.at.count());
+    put_string(out, violation.check);
+    put_string(out, violation.detail);
+  }
+  return out;
+}
+
+Status decode_result(const std::string& payload, scenario::RunResult& result) {
+  std::istringstream magic_in(payload);
+  std::string magic;
+  if (!(magic_in >> magic) || magic != kMagic) {
+    return Status::corrupt("result payload: bad magic");
+  }
+  Reader reader(payload.substr(magic.size()));
+  scenario::RunResult out;
+
+  bool ok = reader.u64(out.events_executed) && reader.u64(out.clamped_events) &&
+            reader.u64(out.invariant_checks) && reader.u64(out.guard_events);
+
+  const auto read_counters = [&reader](net::BottleneckLink::Counters& c) {
+    return reader.i64(c.enqueued) && reader.i64(c.forwarded) &&
+           reader.i64(c.aqm_dropped) && reader.i64(c.tail_dropped) &&
+           reader.i64(c.marked) && reader.i64(c.fault_dropped) &&
+           reader.i64(c.dequeue_dropped);
+  };
+  ok = ok && read_counters(out.counters) && read_counters(out.window_counters);
+
+  ok = ok && reader.i64(out.fault_counters.dropped) &&
+       reader.i64(out.fault_counters.bleached) &&
+       reader.i64(out.fault_counters.reordered) &&
+       reader.i64(out.fault_counters.rate_changes) &&
+       reader.i64(out.fault_counters.rtt_changes);
+
+  ok = ok && reader.real(out.mean_qdelay_ms) && reader.real(out.p99_qdelay_ms) &&
+       reader.real(out.utilization);
+
+  ok = ok && reader.series(out.qdelay_ms_series) &&
+       reader.series(out.classic_prob_series) &&
+       reader.series(out.total_throughput_series) &&
+       reader.series(out.utilization_series);
+
+  ok = ok && reader.sampler(out.classic_prob_samples) &&
+       reader.sampler(out.scalable_prob_samples) &&
+       reader.sampler_lite(out.qdelay_ms_packets);
+
+  std::uint64_t flow_count = 0;
+  ok = ok && reader.u64(flow_count) && flow_count <= (1u << 20);
+  for (std::uint64_t i = 0; ok && i < flow_count; ++i) {
+    scenario::FlowResult flow;
+    std::uint64_t cc = 0;
+    std::uint64_t is_udp = 0;
+    ok = reader.u64(cc) && reader.u64(is_udp) && reader.real(flow.goodput_mbps) &&
+         reader.i64(flow.retransmits) && reader.i64(flow.timeouts);
+    if (ok) {
+      flow.cc = static_cast<tcp::CcType>(cc);
+      flow.is_udp = is_udp != 0;
+      out.flows.push_back(flow);
+    }
+  }
+
+  std::uint64_t violation_count = 0;
+  ok = ok && reader.u64(violation_count) && violation_count <= (1u << 20);
+  for (std::uint64_t i = 0; ok && i < violation_count; ++i) {
+    faults::InvariantViolation violation;
+    std::int64_t at_ns = 0;
+    ok = reader.i64(at_ns) && reader.str(violation.check) &&
+         reader.str(violation.detail);
+    if (ok) {
+      violation.at = pi2::sim::Time{at_ns};
+      out.violations.push_back(std::move(violation));
+    }
+  }
+
+  if (!ok || reader.failed()) {
+    return Status::corrupt("result payload: truncated or malformed");
+  }
+  if (!reader.exhausted()) {
+    return Status::corrupt("result payload: trailing bytes");
+  }
+  result = std::move(out);
+  return {};
+}
+
+}  // namespace pi2::durable

@@ -1,0 +1,42 @@
+#include "durable/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pi2::durable {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stateless.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds RetryPolicy::backoff_before(std::uint64_t task_index,
+                                                      int attempt) const {
+  if (attempt <= 0 || backoff_base.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  double delay = static_cast<double>(backoff_base.count()) *
+                 std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  delay = std::min(delay, static_cast<double>(backoff_max.count()));
+  if (jitter_fraction > 0.0) {
+    const std::uint64_t h =
+        mix64(jitter_seed ^ mix64(task_index ^ (static_cast<std::uint64_t>(
+                                                    attempt)
+                                                << 32)));
+    // Map the hash to [-1, 1) and scale by the jitter fraction.
+    const double unit =
+        (static_cast<double>(h >> 11) / 9007199254740992.0) * 2.0 - 1.0;
+    delay *= 1.0 + jitter_fraction * unit;
+  }
+  delay = std::clamp(delay, 0.0, static_cast<double>(backoff_max.count()));
+  return std::chrono::milliseconds{static_cast<long long>(delay + 0.5)};
+}
+
+}  // namespace pi2::durable

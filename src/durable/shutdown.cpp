@@ -1,0 +1,49 @@
+#include "durable/shutdown.hpp"
+
+#include <csignal>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PI2_DURABLE_POSIX 1
+#endif
+
+namespace pi2::durable {
+
+std::atomic<bool> ShutdownController::flag_{false};
+std::atomic<int> ShutdownController::signal_{0};
+std::atomic<bool> ShutdownController::installed_{false};
+
+namespace {
+
+// Async-signal-safe: only atomics and _exit.
+void handle_signal(int sig) {
+  if (ShutdownController::requested()) {
+#ifdef PI2_DURABLE_POSIX
+    _exit(128 + sig);  // second signal: the user really means it
+#endif
+  }
+  ShutdownController::request(sig);
+}
+
+}  // namespace
+
+void ShutdownController::install() {
+  bool expected = false;
+  if (!installed_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return;
+  }
+#ifdef PI2_DURABLE_POSIX
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocking calls wake up
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+#endif
+}
+
+}  // namespace pi2::durable

@@ -1,0 +1,62 @@
+// ShutdownController: turn SIGINT/SIGTERM into a safe-boundary stop.
+//
+// A sweep killed with ^C used to die wherever the instruction pointer
+// happened to be — half-written JSON, a telemetry directory missing its
+// manifest, a journal without its final record. The controller installs
+// async-signal-safe handlers that only set an atomic flag; the simulator
+// polls that flag every few thousand events and the scheduler stops
+// claiming new tasks, so the process unwinds at a well-defined boundary:
+// samplers take their final sample, artifacts commit (marked interrupted),
+// the journal gets an `interrupted` record, and the process exits with
+// kExitInterrupted (75, EX_TEMPFAIL) so scripts can distinguish
+// "interrupted but resumable" from success (0) and real failure (1).
+//
+// A second signal skips the graceful path entirely (_exit(128+sig)) so a
+// wedged run can always be killed from the keyboard.
+#pragma once
+
+#include <atomic>
+
+namespace pi2::durable {
+
+class ShutdownController {
+ public:
+  /// Exit code for an interrupted-but-resumable run (EX_TEMPFAIL).
+  static constexpr int kExitInterrupted = 75;
+
+  /// Installs SIGINT/SIGTERM handlers (idempotent). Call once near the top
+  /// of main, before spawning workers.
+  static void install();
+
+  /// True once a shutdown signal has been received.
+  [[nodiscard]] static bool requested() {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// The signal number that triggered shutdown (0 if none).
+  [[nodiscard]] static int signal_number() {
+    return signal_.load(std::memory_order_acquire);
+  }
+
+  /// Pointer suitable for DumbbellConfig::stop — the simulator polls it.
+  [[nodiscard]] static const std::atomic<bool>* flag() { return &flag_; }
+
+  /// Programmatic trigger (tests and in-process cancellation).
+  static void request(int sig = 0) {
+    signal_.store(sig, std::memory_order_release);
+    flag_.store(true, std::memory_order_release);
+  }
+
+  /// Clears the flag (tests only; handlers stay installed).
+  static void reset() {
+    flag_.store(false, std::memory_order_release);
+    signal_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static std::atomic<bool> flag_;
+  static std::atomic<int> signal_;
+  static std::atomic<bool> installed_;
+};
+
+}  // namespace pi2::durable

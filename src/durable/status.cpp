@@ -1,0 +1,41 @@
+#include "durable/status.hpp"
+
+#include <cstring>
+
+namespace pi2::durable {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kInterrupted: return "interrupted";
+    case StatusCode::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+Status Status::io_error(const std::string& path, int errno_value,
+                        const std::string& what) {
+  std::string message = "io-error: " + what + ": " + path;
+  if (errno_value != 0) {
+    message += ": ";
+    message += std::strerror(errno_value);
+    message += " (errno " + std::to_string(errno_value) + ")";
+  }
+  return Status{StatusCode::kIoError, std::move(message)};
+}
+
+Status Status::corrupt(const std::string& what) {
+  return Status{StatusCode::kCorrupt, "corrupt: " + what};
+}
+
+Status Status::interrupted(const std::string& what) {
+  return Status{StatusCode::kInterrupted, "interrupted: " + what};
+}
+
+Status Status::invalid(const std::string& what) {
+  return Status{StatusCode::kInvalid, "invalid: " + what};
+}
+
+}  // namespace pi2::durable

@@ -1,0 +1,73 @@
+// Status: the durable subsystem's small error taxonomy.
+//
+// Every filesystem-touching operation in src/durable (and the exporters
+// built on it) reports a Status instead of dropping errors on the floor: an
+// I/O failure carries the path and errno so a sweep that dies on a full
+// disk at 3 a.m. says *which* artifact failed and *why*, not just `false`.
+//
+// Codes:
+//   kOk           — success (the default-constructed Status).
+//   kIoError      — open/write/fsync/rename/close failed; message carries
+//                   path + strerror(errno).
+//   kCorrupt      — parse-back failed a structural or digest check (torn
+//                   journal record, truncated payload). The payload must be
+//                   discarded and the work re-done, never silently reused.
+//   kInterrupted  — the operation was cut short by a shutdown request.
+//   kInvalid      — caller error (empty path, malformed argument).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pi2::durable {
+
+enum class StatusCode : unsigned char {
+  kOk,
+  kIoError,
+  kCorrupt,
+  kInterrupted,
+  kInvalid,
+};
+
+[[nodiscard]] const char* to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// I/O failure on `path`; `errno_value` (0 = unknown) is rendered via
+  /// strerror so the message is actionable as-is.
+  [[nodiscard]] static Status io_error(const std::string& path, int errno_value,
+                                       const std::string& what);
+  [[nodiscard]] static Status corrupt(const std::string& what);
+  [[nodiscard]] static Status interrupted(const std::string& what);
+  [[nodiscard]] static Status invalid(const std::string& what);
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  /// "" for kOk; "<code>: <detail>" otherwise.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Keeps the first error: assigning onto a non-ok Status is a no-op, so
+  /// chains of writes preserve the root cause.
+  void update(const Status& next) {
+    if (ok() && !next.ok()) *this = next;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown when a run is cut short by a shutdown request at a safe boundary.
+/// Callers that catch it must treat the work as *not done* (it is re-run on
+/// resume) — partial results are never committed under this exception.
+class InterruptedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pi2::durable

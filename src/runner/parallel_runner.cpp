@@ -13,6 +13,7 @@ const char* to_string(TaskStatus status) {
     case TaskStatus::kOk: return "ok";
     case TaskStatus::kFailed: return "failed";
     case TaskStatus::kTimeout: return "timeout";
+    case TaskStatus::kInterrupted: return "interrupted";
   }
   return "?";
 }
@@ -40,7 +41,14 @@ ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
 namespace {
 
 /// Per-task lifecycle in a guarded run. Terminal cells map 1:1 to TaskStatus.
-enum class Cell : unsigned char { kPending, kRunning, kOk, kFailed, kTimeout };
+enum class Cell : unsigned char {
+  kPending,
+  kRunning,
+  kOk,
+  kFailed,
+  kTimeout,
+  kInterrupted,
+};
 
 bool terminal(Cell c) { return c >= Cell::kOk; }
 
@@ -48,6 +56,7 @@ TaskStatus to_status(Cell c) {
   switch (c) {
     case Cell::kOk: return TaskStatus::kOk;
     case Cell::kFailed: return TaskStatus::kFailed;
+    case Cell::kInterrupted: return TaskStatus::kInterrupted;
     default: return TaskStatus::kTimeout;
   }
 }
@@ -55,6 +64,21 @@ TaskStatus to_status(Cell c) {
 std::string deadline_message(std::chrono::milliseconds deadline, int attempts) {
   return "exceeded " + std::to_string(deadline.count()) +
          " ms wall-clock deadline (attempt " + std::to_string(attempts) + ")";
+}
+
+constexpr const char* kCancelledMessage = "cancelled before completion";
+
+/// Sleeps `delay` in small slices, returning early once `cancel` is set so
+/// a backoff never delays a graceful shutdown.
+void interruptible_sleep(std::chrono::milliseconds delay,
+                         const std::atomic<bool>* cancel) {
+  constexpr std::chrono::milliseconds kSlice{50};
+  while (delay.count() > 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return;
+    const auto chunk = std::min(delay, kSlice);
+    std::this_thread::sleep_for(chunk);
+    delay -= chunk;
+  }
 }
 
 }  // namespace
@@ -66,20 +90,38 @@ RunReport ParallelRunner::run_guarded_commit(
     const GuardOptions& options) const {
   RunReport report;
   if (count == 0) return report;
-  const int max_attempts = 1 + std::max(0, options.retries);
-  const bool watchdog_enabled = options.deadline.count() > 0;
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  const auto deadline = options.retry.attempt_deadline;
+  const bool watchdog_enabled = deadline.count() > 0;
   const auto workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_acquire);
+  };
 
   report.status.assign(count, TaskStatus::kOk);
 
   if (workers <= 1 && !watchdog_enabled) {
     // Reference serial execution: no threads, no buffering. Retries run
-    // back-to-back on the calling thread.
+    // back-to-back (after their backoff) on the calling thread.
     for (std::size_t i = 0; i < count; ++i) {
       TaskStatus status = TaskStatus::kFailed;
       std::string message;
       for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (cancelled()) {
+          status = TaskStatus::kInterrupted;
+          if (message.empty()) message = kCancelledMessage;
+          break;
+        }
+        if (attempt > 1) {
+          interruptible_sleep(options.retry.backoff_before(i, attempt - 1),
+                              options.cancel);
+          if (cancelled()) {
+            status = TaskStatus::kInterrupted;
+            break;
+          }
+        }
         try {
           std::function<void()> commit = work(i);
           if (commit) commit();
@@ -89,6 +131,14 @@ RunReport ParallelRunner::run_guarded_commit(
           message = e.what();
         } catch (...) {
           message = "unknown exception";
+        }
+        // A failure observed after cancellation is an interruption, not a
+        // retryable fault: the task most likely aborted *because* of the
+        // shutdown (simulator stop flag), and shutdown must not wait for
+        // pointless retries either way.
+        if (cancelled()) {
+          status = TaskStatus::kInterrupted;
+          break;
         }
       }
       report.status[i] = status;
@@ -113,6 +163,7 @@ RunReport ParallelRunner::run_guarded_commit(
     std::size_t next = 0;
     std::size_t terminal_count = 0;
     std::size_t count = 0;
+    bool cancel_drained = false;  ///< pending tasks already swept on cancel
   };
   Shared s;
   s.state.assign(count, Cell::kPending);
@@ -130,17 +181,36 @@ RunReport ParallelRunner::run_guarded_commit(
     if (s.terminal_count == s.count) s.work_cv.notify_all();
   };
 
+  // On cancellation, every not-yet-started task (unclaimed or queued for
+  // retry) goes terminal as kInterrupted. In-flight attempts are left to
+  // finish; their own commit path observes the flag. Caller holds s.mutex.
+  auto drain_pending_on_cancel = [&s, &mark_terminal] {
+    if (s.cancel_drained) return;
+    s.cancel_drained = true;
+    s.retry_queue.clear();
+    s.next = s.count;
+    for (std::size_t i = 0; i < s.count; ++i) {
+      if (s.state[i] == Cell::kPending) {  // unclaimed or queued for retry
+        s.error[i] = kCancelledMessage;
+        mark_terminal(i, Cell::kInterrupted);
+      }
+    }
+    s.work_cv.notify_all();
+  };
+
   auto worker_loop = [&]() {
     for (;;) {
       std::size_t i;
       std::uint32_t my_generation;
+      std::chrono::milliseconds backoff{0};
       {
         std::unique_lock<std::mutex> lock(s.mutex);
-        s.work_cv.wait(lock, [&] {
-          return s.terminal_count == s.count || !s.retry_queue.empty() ||
-                 s.next < s.count;
-        });
-        if (s.terminal_count == s.count) return;
+        for (;;) {
+          if (cancelled()) drain_pending_on_cancel();
+          if (s.terminal_count == s.count) return;
+          if (!s.retry_queue.empty() || s.next < s.count) break;
+          s.work_cv.wait(lock);
+        }
         if (!s.retry_queue.empty()) {
           i = s.retry_queue.front();
           s.retry_queue.pop_front();
@@ -150,8 +220,15 @@ RunReport ParallelRunner::run_guarded_commit(
         s.state[i] = Cell::kRunning;
         ++s.attempts[i];
         my_generation = ++s.generation[i];
-        s.started[i] = std::chrono::steady_clock::now();
+        if (s.attempts[i] > 1) {
+          backoff = options.retry.backoff_before(i, s.attempts[i] - 1);
+        }
+        // The deadline clock starts when the attempt actually begins, after
+        // any backoff sleep.
+        s.started[i] = std::chrono::steady_clock::now() + backoff;
       }
+
+      if (backoff.count() > 0) interruptible_sleep(backoff, options.cancel);
 
       std::function<void()> commit;
       std::string message;
@@ -173,7 +250,10 @@ RunReport ParallelRunner::run_guarded_commit(
         mark_terminal(i, Cell::kOk);
       } else {
         s.error[i] = std::move(message);
-        if (s.attempts[i] < max_attempts) {
+        if (cancelled()) {
+          // Aborted by shutdown (or failed during it): terminal, no retry.
+          mark_terminal(i, Cell::kInterrupted);
+        } else if (s.attempts[i] < max_attempts) {
           s.state[i] = Cell::kPending;
           s.retry_queue.push_back(i);
           s.work_cv.notify_one();
@@ -197,7 +277,7 @@ RunReport ParallelRunner::run_guarded_commit(
     watchdog = std::thread([&] {
       const auto tick = std::min<std::chrono::milliseconds>(
           std::chrono::milliseconds{50},
-          std::max<std::chrono::milliseconds>(options.deadline / 4,
+          std::max<std::chrono::milliseconds>(deadline / 4,
                                               std::chrono::milliseconds{1}));
       for (;;) {
         unsigned spawn = 0;
@@ -208,13 +288,18 @@ RunReport ParallelRunner::run_guarded_commit(
               })) {
             return;
           }
+          if (cancelled()) drain_pending_on_cancel();
           const auto now = std::chrono::steady_clock::now();
           for (std::size_t i = 0; i < s.count; ++i) {
             if (s.state[i] != Cell::kRunning) continue;
-            if (now - s.started[i] < options.deadline) continue;
+            if (now - s.started[i] < deadline) continue;
             ++s.generation[i];  // the in-flight attempt is now stale
-            s.error[i] = deadline_message(options.deadline, s.attempts[i]);
-            if (s.attempts[i] < max_attempts) {
+            s.error[i] = deadline_message(deadline, s.attempts[i]);
+            if (cancelled()) {
+              // No fresh threads during shutdown; the stuck attempt is
+              // abandoned as interrupted.
+              mark_terminal(i, Cell::kInterrupted);
+            } else if (s.attempts[i] < max_attempts) {
               s.state[i] = Cell::kPending;
               s.retry_queue.push_back(i);
               s.work_cv.notify_one();
@@ -273,7 +358,7 @@ void ParallelRunner::run(std::size_t count,
                          const std::function<void(std::size_t)>& consume) const {
   bool halted = false;
   GuardOptions strict;
-  strict.retries = 0;
+  strict.retry.max_attempts = 1;
   RunReport report = run_guarded(
       count, work,
       [&](std::size_t i, TaskStatus status) {

@@ -16,18 +16,21 @@
 //
 // Failure hardening (run_guarded / run_ordered_guarded): a multi-hour sweep
 // must not lose every finished point because one point threw or wedged.
-// Guarded runs catch per-task exceptions, give each failed or stuck task one
-// retry (configurable), watch a per-task wall-clock deadline, and return a
-// RunReport with a terminal TaskStatus per index instead of aborting. The
-// strict run()/run_ordered() entry points keep throwing, but aggregate
-// *every* worker exception into one AggregateError rather than dropping all
-// but the first.
+// Guarded runs catch per-task exceptions, retry failed or stuck tasks under
+// a configurable durable::RetryPolicy (attempt count, per-attempt wall-clock
+// deadline, exponential backoff with deterministic jitter), honor an
+// optional cancellation flag for graceful shutdown, and return a RunReport
+// with a terminal TaskStatus per index instead of aborting. The strict
+// run()/run_ordered() entry points keep throwing, but aggregate *every*
+// worker exception into one AggregateError rather than dropping all but the
+// first.
 //
 // With jobs() == 1 (or count == 1) and no deadline, no threads are spawned
 // at all and the tasks run inline, which doubles as the reference serial
 // execution.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <functional>
@@ -37,13 +40,17 @@
 #include <utility>
 #include <vector>
 
+#include "durable/retry.hpp"
+
 namespace pi2::runner {
 
 /// Terminal state of one task in a guarded run.
 enum class TaskStatus : unsigned char {
-  kOk,       ///< work completed (possibly after a retry)
-  kFailed,   ///< every attempt threw
-  kTimeout,  ///< every attempt exceeded the wall-clock deadline
+  kOk,           ///< work completed (possibly after a retry)
+  kFailed,       ///< every attempt threw
+  kTimeout,      ///< every attempt exceeded the wall-clock deadline
+  kInterrupted,  ///< cancelled by the GuardOptions::cancel flag before
+                 ///< completing (graceful shutdown); never retried
 };
 
 [[nodiscard]] const char* to_string(TaskStatus status);
@@ -82,13 +89,24 @@ class AggregateError : public std::runtime_error {
 };
 
 struct GuardOptions {
-  /// Per-attempt wall-clock deadline. zero = no watchdog. A task whose
-  /// attempt exceeds the deadline is marked stuck: its result (if the
-  /// attempt eventually finishes) is discarded and a retry is dispatched if
-  /// any remain, on a fresh thread so a wedged worker cannot starve it.
-  std::chrono::milliseconds deadline{0};
-  /// Extra attempts for a failed or stuck task (the ISSUE's "one retry").
-  int retries = 1;
+  /// Unified retry policy (attempts, per-attempt deadline, backoff).
+  ///
+  /// `retry.attempt_deadline` drives the watchdog: zero = no watchdog; a
+  /// task whose attempt exceeds the deadline is marked stuck, its result
+  /// (if the attempt eventually finishes) is discarded and a retry is
+  /// dispatched if any attempts remain, on a fresh thread so a wedged
+  /// worker cannot starve it. `retry.backoff_*` delays each retry with a
+  /// deterministic, seed-derived jitter — never wall-clock randomness — so
+  /// guarded runs stay reproducible. The default policy (2 attempts, no
+  /// deadline, no backoff) matches the runner's historical "one retry".
+  durable::RetryPolicy retry{};
+  /// Optional cancellation flag (graceful shutdown). Once it reads true, no
+  /// new task or retry attempt starts: pending tasks go terminal with
+  /// TaskStatus::kInterrupted (consume still runs for them, in order), and
+  /// an in-flight attempt that fails is not retried. An in-flight attempt
+  /// that *succeeds* after cancellation still commits — completed work is
+  /// never thrown away. Borrowed; must outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class ParallelRunner {

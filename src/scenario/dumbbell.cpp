@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "durable/status.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/endpoint.hpp"
@@ -192,6 +193,7 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     throw std::invalid_argument("DumbbellConfig: " + error);
   }
   pi2::sim::Simulator sim{config.seed};
+  sim.set_stop_flag(config.stop);
 
   net::BottleneckLink::Config link_config;
   link_config.rate_bps = config.link_rate_bps;
@@ -395,6 +397,24 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
           config.recorder->profile().section("sim.run"));
     }
     sim.run_until(config.duration);
+  }
+
+  if (sim.stopped()) {
+    // Graceful shutdown: the simulation halted at an event boundary before
+    // `duration`. Commit what telemetry exists — final sample at the stop
+    // time, manifest marked `interrupted` — while the probed objects are
+    // still alive, then report the run as not-done: a resumed sweep re-runs
+    // this point from scratch and atomically overwrites these artifacts.
+    if (config.recorder != nullptr) {
+      config.recorder->manifest().set("interrupted", std::string("true"));
+      config.recorder->finish(sim.now());
+    } else if (config.registry != nullptr) {
+      config.registry->freeze_gauges();
+    }
+    throw durable::InterruptedError(
+        "run interrupted by shutdown request at t=" +
+        std::to_string(to_seconds(sim.now())) + "s (of " +
+        std::to_string(to_seconds(config.duration)) + "s)");
   }
 
   // --- Collect results. ------------------------------------------------------

@@ -9,6 +9,7 @@
 // AQM's internal probabilities.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -106,6 +107,13 @@ struct DumbbellConfig {
   /// before the probed objects go away. Borrowed; must outlive
   /// run_dumbbell().
   telemetry::MetricsRegistry* registry = nullptr;
+  /// Optional graceful-shutdown flag (durable::ShutdownController::flag()).
+  /// The simulator polls it at event boundaries; once set, run_dumbbell()
+  /// finishes the recorder's artifacts at the stop time (manifest marked
+  /// `interrupted`) and throws durable::InterruptedError — the run's results
+  /// are *not* returned and must be recomputed on resume. Borrowed; must
+  /// outlive run_dumbbell(). nullptr disables polling.
+  const std::atomic<bool>* stop = nullptr;
 
   /// Returns "" when the config is well-formed, otherwise an actionable
   /// message naming the offending field and constraint. run_dumbbell()

@@ -2,10 +2,20 @@
 
 namespace pi2::sim {
 
+bool Simulator::should_stop() {
+  if (stop_ == nullptr) return false;
+  if (scheduler_.executed() % kStopPollInterval != 0) return false;
+  if (!stop_->load(std::memory_order_acquire)) return false;
+  stopped_ = true;
+  return true;
+}
+
 void Simulator::run_until(Time until) {
+  stopped_ = false;
   // The clock must advance *before* the event executes, so that callbacks
   // observe now() == their scheduled time.
   while (!scheduler_.empty() && scheduler_.next_time() <= until) {
+    if (should_stop()) return;
     now_ = scheduler_.next_time();
     scheduler_.run_next();
   }
@@ -13,7 +23,9 @@ void Simulator::run_until(Time until) {
 }
 
 void Simulator::run() {
+  stopped_ = false;
   while (!scheduler_.empty()) {
+    if (should_stop()) return;
     now_ = scheduler_.next_time();
     scheduler_.run_next();
   }

@@ -25,6 +25,14 @@ void PercentileSampler::add(double x) {
   }
 }
 
+void PercentileSampler::restore(std::int64_t seen, double sum,
+                                std::vector<double> samples) {
+  seen_ = seen;
+  sum_ = sum;
+  samples_ = std::move(samples);
+  sorted_ = false;
+}
+
 void PercentileSampler::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

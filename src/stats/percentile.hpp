@@ -38,6 +38,19 @@ class PercentileSampler {
     return seen_ > 0 ? sum_ / static_cast<double>(seen_) : 0.0;
   }
 
+  /// Sum of every observed sample (exact, independent of the reservoir).
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// The retained reservoir in its current order. Together with count() and
+  /// sum() this is the sampler's full statistical state: quantile(), mean()
+  /// and cdf_at() depend on nothing else.
+  [[nodiscard]] const std::vector<double>& retained() const { return samples_; }
+
+  /// Restores the statistical state captured by count()/sum()/retained() —
+  /// the resume path rebuilds a sampler from its journaled snapshot so all
+  /// derived statistics are bit-identical to the original run's.
+  void restore(std::int64_t seen, double sum, std::vector<double> samples);
+
   /// Empirical CDF evaluated at `x`: fraction of samples <= x.
   [[nodiscard]] double cdf_at(double x) const;
 

@@ -26,23 +26,8 @@ void append_f9(std::string& out, double v) {
 
 }  // namespace
 
-FileExporter::FileExporter(const std::string& path) : path_(path) {
-  file_ = std::fopen(path.c_str(), "w");
-  failed_ = file_ == nullptr;
-}
-
-FileExporter::~FileExporter() { close(); }
-
-void FileExporter::close() {
-  if (file_ != nullptr) {
-    if (std::fclose(file_) != 0) failed_ = true;
-    file_ = nullptr;
-    closed_ = true;
-  }
-}
-
 void JsonlExporter::on_sample(pi2::sim::Time t, const MetricsRegistry& registry) {
-  if (file_ == nullptr) return;
+  if (!file_.healthy()) return;
   line_.clear();
   line_ += "{\"t_s\": ";
   append_f9(line_, pi2::sim::to_seconds(t));
@@ -53,26 +38,23 @@ void JsonlExporter::on_sample(pi2::sim::Time t, const MetricsRegistry& registry)
     append_g9(line_, value);
   }
   line_ += "}\n";
-  if (std::fwrite(line_.data(), 1, line_.size(), file_) != line_.size()) {
-    failed_ = true;
-  }
+  file_.write(line_);
 }
 
-bool JsonlExporter::finish(const MetricsRegistry&) {
-  close();
-  return ok();
-}
+bool JsonlExporter::finish(const MetricsRegistry&) { return commit(); }
 
 void CsvExporter::on_sample(pi2::sim::Time t, const MetricsRegistry& registry) {
-  if (file_ == nullptr) return;
+  if (!file_.healthy()) return;
   const auto& snapshot = registry.snapshot_view();
   if (header_.empty()) {
-    std::fputs("t_s", file_);
+    line_ = "t_s";
     for (const auto& [name, value] : snapshot) {
       header_.push_back(name);
-      std::fprintf(file_, ",%s", name.c_str());
+      line_ += ',';
+      line_ += name;
     }
-    std::fputs("\n", file_);
+    line_ += '\n';
+    file_.write(line_);
   }
   line_.clear();
   append_f9(line_, pi2::sim::to_seconds(t));
@@ -88,33 +70,27 @@ void CsvExporter::on_sample(pi2::sim::Time t, const MetricsRegistry& registry) {
   }
   line_.append(header_.size() - column, ',');
   line_ += '\n';
-  if (std::fwrite(line_.data(), 1, line_.size(), file_) != line_.size()) {
-    failed_ = true;
-  }
+  file_.write(line_);
 }
 
-bool CsvExporter::finish(const MetricsRegistry&) {
-  close();
-  return ok();
-}
+bool CsvExporter::finish(const MetricsRegistry&) { return commit(); }
 
 void PrometheusExporter::on_sample(pi2::sim::Time, const MetricsRegistry&) {}
 
 bool PrometheusExporter::finish(const MetricsRegistry& registry) {
-  if (file_ == nullptr) return false;
   for (const auto& [name, c] : registry.counters()) {
     const std::string prom = prometheus_name(name);
-    std::fprintf(file_, "# TYPE %s counter\n%s %llu\n", prom.c_str(),
-                 prom.c_str(), static_cast<unsigned long long>(c.value()));
+    file_.printf("# TYPE %s counter\n%s %llu\n", prom.c_str(), prom.c_str(),
+                 static_cast<unsigned long long>(c.value()));
   }
   for (const auto& [name, g] : registry.gauges()) {
     const std::string prom = prometheus_name(name);
-    std::fprintf(file_, "# TYPE %s gauge\n%s %.9g\n", prom.c_str(),
-                 prom.c_str(), g.value());
+    file_.printf("# TYPE %s gauge\n%s %.9g\n", prom.c_str(), prom.c_str(),
+                 g.value());
   }
   for (const auto& [name, h] : registry.histograms()) {
     const std::string prom = prometheus_name(name);
-    std::fprintf(file_, "# TYPE %s histogram\n", prom.c_str());
+    file_.printf("# TYPE %s histogram\n", prom.c_str());
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bucket_count(); ++i) {
       cumulative += h.bucket_value(i);
@@ -122,19 +98,18 @@ bool PrometheusExporter::finish(const MetricsRegistry& registry) {
       // bucket so the exposition stays parseable and bounded in size.
       if (h.bucket_value(i) == 0 && i != 0 && i + 1 != h.bucket_count()) continue;
       if (i + 1 == h.bucket_count()) {
-        std::fprintf(file_, "%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+        file_.printf("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
                      static_cast<unsigned long long>(cumulative));
       } else {
-        std::fprintf(file_, "%s_bucket{le=\"%.9g\"} %llu\n", prom.c_str(),
+        file_.printf("%s_bucket{le=\"%.9g\"} %llu\n", prom.c_str(),
                      h.bucket_upper_bound(i),
                      static_cast<unsigned long long>(cumulative));
       }
     }
-    std::fprintf(file_, "%s_sum %.9g\n%s_count %llu\n", prom.c_str(), h.sum(),
+    file_.printf("%s_sum %.9g\n%s_count %llu\n", prom.c_str(), h.sum(),
                  prom.c_str(), static_cast<unsigned long long>(h.count()));
   }
-  close();
-  return ok();
+  return commit();
 }
 
 std::string prometheus_name(const std::string& name) {

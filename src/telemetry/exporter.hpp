@@ -11,12 +11,19 @@
 // All exporters produce byte-identical output for identical runs: metric
 // iteration order is sorted (MetricsRegistry guarantees it) and numbers are
 // printed with locale-independent printf formatting.
+//
+// Durability: the file-backed exporters write through durable::AtomicFile —
+// rows land in `<path>.tmp` and the destination only appears at finish(),
+// complete and fsync'd. A run killed mid-sample leaves no torn artifact,
+// and every I/O failure (open, write, fsync, rename) is captured as a
+// durable::Status with path + errno instead of being silently dropped.
 #pragma once
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "durable/atomic_file.hpp"
+#include "durable/status.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -32,33 +39,30 @@ class Exporter {
   /// Called by the Sampler at every snapshot instant.
   virtual void on_sample(pi2::sim::Time t, const MetricsRegistry& registry) = 0;
 
-  /// Called once when the run ends; flushes and closes. Returns ok().
+  /// Called once when the run ends; commits the artifact (tmp -> final
+  /// rename). Returns ok().
   virtual bool finish(const MetricsRegistry& registry) = 0;
 };
 
-/// Shared fopen/fclose plumbing for the file-backed exporters.
+/// Shared AtomicFile plumbing for the file-backed exporters.
 class FileExporter : public Exporter {
  public:
-  explicit FileExporter(const std::string& path);
-  ~FileExporter() override;
+  explicit FileExporter(const std::string& path) : file_(path) {}
   FileExporter(const FileExporter&) = delete;
   FileExporter& operator=(const FileExporter&) = delete;
 
-  /// True while the file is healthy — including after a clean close (an
-  /// exporter that finished successfully stays ok()).
-  [[nodiscard]] bool ok() const override {
-    return (file_ != nullptr || closed_) && !failed_;
-  }
-  [[nodiscard]] const std::string& path() const { return path_; }
+  /// True while the artifact is healthy — including after a clean commit
+  /// (an exporter that finished successfully stays ok()).
+  [[nodiscard]] bool ok() const override { return file_.status().ok(); }
+  /// First error observed (open, write or commit), or ok. The message
+  /// carries the offending path and errno.
+  [[nodiscard]] const durable::Status& status() const { return file_.status(); }
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
 
  protected:
-  void close();
-  std::FILE* file_ = nullptr;
-  bool failed_ = false;
-  bool closed_ = false;
-
- private:
-  std::string path_;
+  /// Commits the tmp file over the destination; idempotent.
+  bool commit() { return file_.commit().ok(); }
+  durable::AtomicFile file_;
 };
 
 class JsonlExporter final : public FileExporter {

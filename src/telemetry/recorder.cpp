@@ -27,6 +27,15 @@ bool Recorder::ok() const {
   return !csv_ || csv_->ok();
 }
 
+durable::Status Recorder::status() const {
+  durable::Status status;
+  status.update(jsonl_->status());
+  status.update(prometheus_->status());
+  if (csv_) status.update(csv_->status());
+  status.update(manifest_status_);
+  return status;
+}
+
 bool Recorder::finish(pi2::sim::Time end) {
   if (finished_) return finish_ok_;
   finished_ = true;
@@ -39,7 +48,8 @@ bool Recorder::finish(pi2::sim::Time end) {
   bool ok = jsonl_->finish(registry_);
   ok = prometheus_->finish(registry_) && ok;
   if (csv_) ok = csv_->finish(registry_) && ok;
-  ok = manifest_.write_json(manifest_path()) && ok;
+  manifest_status_ = manifest_.write_json(manifest_path());
+  ok = manifest_status_.ok() && ok;
   finish_ok_ = ok;
   return ok;
 }

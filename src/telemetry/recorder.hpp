@@ -51,6 +51,10 @@ class Recorder {
   /// False once any exporter failed to open or write.
   [[nodiscard]] bool ok() const;
 
+  /// First error observed across the bundle's artifacts (exporters and, at
+  /// finish time, the manifest write) — path + errno, never a bare false.
+  [[nodiscard]] durable::Status status() const;
+
   /// Starts the periodic sampling chain on `sim` (harness-called).
   void start(pi2::sim::Simulator& sim) { sampler_.start(sim); }
 
@@ -80,6 +84,7 @@ class Recorder {
   Sampler sampler_;
   bool finished_ = false;
   bool finish_ok_ = false;
+  durable::Status manifest_status_;  ///< outcome of the finish-time write
 };
 
 }  // namespace pi2::telemetry

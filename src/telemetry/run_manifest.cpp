@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "durable/atomic_file.hpp"
+
 namespace pi2::telemetry {
 
 namespace {
@@ -100,12 +102,8 @@ std::string RunManifest::to_json() const {
   return out;
 }
 
-bool RunManifest::write_json(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string json = to_json();
-  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  return std::fclose(f) == 0 && wrote;
+durable::Status RunManifest::write_json(const std::string& path) const {
+  return durable::atomic_write_file(path, to_json());
 }
 
 std::string fault_schedule_digest(const faults::FaultSchedule& schedule) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "durable/status.hpp"
 #include "faults/fault_schedule.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -36,7 +37,9 @@ struct RunManifest {
   void capture_final(const MetricsRegistry& registry);
 
   [[nodiscard]] std::string to_json() const;
-  bool write_json(const std::string& path) const;
+  /// Atomically replaces `path` (tmp + fsync + rename); on failure the
+  /// Status carries the path and errno and no partial manifest exists.
+  [[nodiscard]] durable::Status write_json(const std::string& path) const;
 };
 
 /// Order- and parameter-sensitive digest of a fault schedule (FNV-1a 64).

@@ -1,0 +1,147 @@
+// AtomicFile: the destination path must never point at partial bytes —
+// present exactly when a commit() succeeded, absent (or the old version)
+// otherwise. The injected fault plan drives the disk-full / unwritable /
+// failed-rename paths without needing a real broken disk.
+#include "durable/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace pi2::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "pi2_atomic_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { AtomicFile::clear_faults(); }
+};
+
+TEST_F(AtomicFileTest, DestinationAppearsOnlyAfterCommit) {
+  const std::string path = temp_path("commit.txt");
+  fs::remove(path);
+  {
+    AtomicFile file{path};
+    ASSERT_TRUE(file.healthy());
+    EXPECT_TRUE(file.write("hello "));
+    EXPECT_TRUE(file.printf("%s %d", "world", 42));
+    EXPECT_FALSE(fs::exists(path)) << "no destination before commit";
+    EXPECT_TRUE(fs::exists(path + ".tmp"));
+    EXPECT_TRUE(file.commit().ok());
+    EXPECT_TRUE(file.committed());
+  }
+  EXPECT_EQ(slurp(path), "hello world 42");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, CommitIsIdempotent) {
+  const std::string path = temp_path("idem.txt");
+  AtomicFile file{path};
+  file.write("x");
+  EXPECT_TRUE(file.commit().ok());
+  EXPECT_TRUE(file.commit().ok());  // second call returns the first outcome
+  fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, AbortDropsTmpAndPreservesOldDestination) {
+  const std::string path = temp_path("abort.txt");
+  { std::ofstream(path) << "previous version"; }
+  {
+    AtomicFile file{path};
+    file.write("half-written replacement");
+    file.abort();
+  }
+  EXPECT_EQ(slurp(path), "previous version");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, DestructorWithoutCommitAborts) {
+  const std::string path = temp_path("dtor.txt");
+  fs::remove(path);
+  { AtomicFile file{path}; file.write("torn"); }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryLatchesIoError) {
+  AtomicFile file{"/dev/null/nope/artifact.json"};
+  EXPECT_FALSE(file.healthy());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+  EXPECT_NE(file.status().message().find("/dev/null/nope/artifact.json"),
+            std::string::npos)
+      << "error must name the offending path: " << file.status().message();
+  EXPECT_FALSE(file.write("ignored"));  // sink, not crash
+  EXPECT_FALSE(file.commit().ok());
+}
+
+TEST_F(AtomicFileTest, InjectedDiskFullFailsWriteAndRefusesCommit) {
+  const std::string path = temp_path("enospc.txt");
+  fs::remove(path);
+  AtomicFile::Faults faults;
+  faults.fail_write_after_bytes = 8;
+  AtomicFile::set_faults(faults);
+  AtomicFile file{path};
+  EXPECT_TRUE(file.write("12345678"));  // exactly the budget
+  EXPECT_FALSE(file.write("overflow"));
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+  EXPECT_NE(file.status().message().find(path), std::string::npos);
+  EXPECT_FALSE(file.commit().ok()) << "a half-written file must not be renamed";
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(AtomicFileTest, InjectedOpenFailure) {
+  AtomicFile::Faults faults;
+  faults.fail_open = true;
+  AtomicFile::set_faults(faults);
+  AtomicFile file{temp_path("openfail.txt")};
+  EXPECT_FALSE(file.healthy());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(AtomicFileTest, InjectedCommitFailureLeavesNoDestination) {
+  const std::string path = temp_path("commitfail.txt");
+  fs::remove(path);
+  AtomicFile::Faults faults;
+  faults.fail_commit = true;
+  AtomicFile::set_faults(faults);
+  AtomicFile file{path};
+  EXPECT_TRUE(file.write("content"));
+  EXPECT_FALSE(file.commit().ok());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(AtomicFileTest, AtomicWriteFileConvenience) {
+  const std::string path = temp_path("oneshot.json");
+  ASSERT_TRUE(atomic_write_file(path, "{\"ok\": true}\n").ok());
+  EXPECT_EQ(slurp(path), "{\"ok\": true}\n");
+  EXPECT_FALSE(atomic_write_file("/dev/null/nope/x.json", "data").ok());
+  fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, InjectWriteFaultSharesTheBudget) {
+  EXPECT_FALSE(inject_write_fault(1 << 20)) << "unarmed plan never fails";
+  AtomicFile::Faults faults;
+  faults.fail_write_after_bytes = 4;
+  AtomicFile::set_faults(faults);
+  EXPECT_FALSE(inject_write_fault(4));
+  EXPECT_TRUE(inject_write_fault(1)) << "budget exhausted -> simulated ENOSPC";
+  AtomicFile::clear_faults();
+  EXPECT_FALSE(inject_write_fault(1));
+}
+
+}  // namespace
+}  // namespace pi2::durable

@@ -1,0 +1,235 @@
+// Run journal: every record that load_journal() hands back must be exactly
+// what was appended — torn or corrupted lines are dropped (the point re-runs)
+// and a journal from a different campaign is refused wholesale.
+#include "durable/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "durable/atomic_file.hpp"
+
+namespace pi2::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kCampaign = 0xfeedfacecafebeefull;
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "pi2_journal_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(JournalRecord, EncodeParseRoundtrip) {
+  JournalRecord record;
+  record.kind = "point";
+  record.key = 0x0123456789abcdefull;
+  record.payload = "tokens with \"quotes\"\nnewlines\tand \\ backslashes \x01";
+  const std::string line = encode_record(record);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "record must be one line";
+
+  JournalRecord parsed;
+  ASSERT_TRUE(parse_record(line, parsed).ok());
+  EXPECT_EQ(parsed.kind, record.kind);
+  EXPECT_EQ(parsed.key, record.key);
+  EXPECT_EQ(parsed.payload, record.payload);
+}
+
+TEST(JournalRecord, CrcMismatchIsCorrupt) {
+  JournalRecord record;
+  record.kind = "point";
+  record.key = 7;
+  record.payload = "payload";
+  std::string line = encode_record(record);
+  const auto pos = line.find("payload");
+  line[pos] = 'q';  // flip one payload byte; crc no longer matches
+  JournalRecord parsed;
+  const Status status = parse_record(line, parsed);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+}
+
+TEST(JournalRecord, StructuralDamageIsCorrupt) {
+  JournalRecord parsed;
+  EXPECT_EQ(parse_record("", parsed).code(), StatusCode::kCorrupt);
+  EXPECT_EQ(parse_record("{\"kind\":\"point\"}", parsed).code(),
+            StatusCode::kCorrupt);
+  EXPECT_EQ(parse_record("not json at all", parsed).code(),
+            StatusCode::kCorrupt);
+}
+
+TEST(Journal, WriteThenLoadRoundtrip) {
+  const std::string path = temp_path("roundtrip.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, /*keep_existing=*/false};
+    ASSERT_TRUE(writer.healthy());
+    EXPECT_TRUE(writer.append_point(1, "alpha").ok());
+    EXPECT_TRUE(writer.append_point(2, "beta").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_TRUE(loaded.exists);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_EQ(loaded.header_key, kCampaign);
+  EXPECT_EQ(loaded.dropped, 0u);
+  ASSERT_EQ(loaded.points.size(), 2u);
+  EXPECT_EQ(loaded.points.at(1), "alpha");
+  EXPECT_EQ(loaded.points.at(2), "beta");
+  EXPECT_TRUE(loaded.has(1));
+  EXPECT_FALSE(loaded.has(3));
+  fs::remove(path);
+}
+
+TEST(Journal, MissingFileLoadsEmpty) {
+  const LoadedJournal loaded = load_journal(temp_path("nope.jsonl"), kCampaign);
+  EXPECT_FALSE(loaded.exists);
+  EXPECT_FALSE(loaded.header_ok);
+  EXPECT_TRUE(loaded.points.empty());
+}
+
+TEST(Journal, ForeignCampaignIsRefused) {
+  const std::string path = temp_path("foreign.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "alpha").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign + 1);
+  EXPECT_TRUE(loaded.exists);
+  EXPECT_FALSE(loaded.header_ok);
+  EXPECT_EQ(loaded.header_key, kCampaign);
+  EXPECT_TRUE(loaded.points.empty()) << "stale points must never leak";
+  fs::remove(path);
+}
+
+TEST(Journal, TornFinalLineIsDroppedNotReused) {
+  const std::string path = temp_path("torn.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "complete-point").ok());
+    EXPECT_TRUE(writer.append_point(2, "about-to-be-torn").ok());
+  }
+  // SIGKILL mid-append: truncate the file inside the last record.
+  std::string bytes = slurp(path);
+  bytes.resize(bytes.size() - 25);
+  { std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes; }
+
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_EQ(loaded.dropped, 1u) << "the torn record is counted, not reused";
+  ASSERT_EQ(loaded.points.size(), 1u);
+  EXPECT_EQ(loaded.points.at(1), "complete-point");
+  EXPECT_FALSE(loaded.has(2)) << "point 2 must re-run";
+  fs::remove(path);
+}
+
+TEST(Journal, RecordsAfterAGarbageLineAreStillRecovered) {
+  const std::string path = temp_path("midgarbage.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "before").ok());
+  }
+  { std::ofstream(path, std::ios::app) << "garbage interlude\n"; }
+  {
+    JournalWriter writer{path, kCampaign, /*keep_existing=*/true};
+    EXPECT_TRUE(writer.append_point(2, "after").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_EQ(loaded.dropped, 1u);
+  EXPECT_EQ(loaded.points.size(), 2u);
+  EXPECT_EQ(loaded.points.at(2), "after");
+  fs::remove(path);
+}
+
+TEST(Journal, KeepExistingAppendsWithoutTruncating) {
+  const std::string path = temp_path("keep.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "first-run").ok());
+  }
+  {
+    JournalWriter writer{path, kCampaign, /*keep_existing=*/true};
+    EXPECT_TRUE(writer.append_point(2, "resumed-run").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_TRUE(loaded.header_ok) << "keep_existing must not write a 2nd header";
+  EXPECT_EQ(loaded.points.size(), 2u);
+  fs::remove(path);
+}
+
+TEST(Journal, FreshWriterTruncatesAForeignJournal) {
+  const std::string path = temp_path("truncate.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "old").ok());
+  }
+  { JournalWriter writer{path, kCampaign + 1, false}; }
+  const LoadedJournal loaded = load_journal(path, kCampaign + 1);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_TRUE(loaded.points.empty());
+  fs::remove(path);
+}
+
+TEST(Journal, InterruptedMarkerIsSurfaced) {
+  const std::string path = temp_path("interrupted.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "done").ok());
+    EXPECT_TRUE(writer.append_interrupted("signal 15").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_EQ(loaded.interrupted, 1u);
+  EXPECT_EQ(loaded.points.size(), 1u);
+  fs::remove(path);
+}
+
+TEST(Journal, LastRecordWinsForDuplicateKeys) {
+  const std::string path = temp_path("dupes.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    EXPECT_TRUE(writer.append_point(1, "first").ok());
+    EXPECT_TRUE(writer.append_point(1, "second").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_EQ(loaded.points.at(1), "second");
+  fs::remove(path);
+}
+
+TEST(Journal, InjectedDiskFullLatchesIoError) {
+  const std::string path = temp_path("enospc.jsonl");
+  fs::remove(path);
+  JournalWriter writer{path, kCampaign, false};
+  ASSERT_TRUE(writer.healthy());
+  AtomicFile::Faults faults;
+  faults.fail_write_after_bytes = 0;  // every further durable write fails
+  AtomicFile::set_faults(faults);
+  const Status status = writer.append_point(1, "doomed");
+  AtomicFile::clear_faults();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(writer.healthy());
+  EXPECT_NE(writer.status().message().find(path), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(Journal, UnwritablePathReportsIoError) {
+  JournalWriter writer{"/dev/null/nope/run.journal", kCampaign, false};
+  EXPECT_FALSE(writer.healthy());
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(writer.append_point(1, "x").ok());
+}
+
+}  // namespace
+}  // namespace pi2::durable

@@ -1,0 +1,147 @@
+// RunResult codec: a decoded result must be indistinguishable from the
+// original for everything downstream of run_sweep — exact bit patterns, not
+// approximately-equal doubles.
+#include "durable/result_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "check/oracles.hpp"
+#include "scenario/dumbbell.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::durable {
+namespace {
+
+bool same_bits(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof ba);
+  std::memcpy(&bb, &b, sizeof bb);
+  return ba == bb;
+}
+
+scenario::RunResult small_real_result() {
+  scenario::DumbbellConfig cfg;
+  cfg.duration = pi2::sim::from_seconds(2.0);
+  cfg.stats_start = pi2::sim::from_seconds(0.5);
+  cfg.seed = 7;
+  scenario::TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.count = 2;
+  cubic.base_rtt = pi2::sim::from_millis(10);
+  cfg.tcp_flows.push_back(cubic);
+  return scenario::run_dumbbell(cfg);
+}
+
+TEST(ResultCodec, RealRunRoundtripsWithIdenticalDigest) {
+  const scenario::RunResult original = small_real_result();
+  const std::string payload = encode_result(original);
+  EXPECT_EQ(payload.find('\n'), std::string::npos)
+      << "payload must be journal-line safe";
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(payload, decoded).ok());
+
+  // The oracle digest folds every deterministic observable of a run; equal
+  // digests mean downstream consumers cannot tell the copies apart.
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(original));
+
+  // Spot-check the fields the figure printers and --json records read.
+  EXPECT_TRUE(same_bits(decoded.mean_qdelay_ms, original.mean_qdelay_ms));
+  EXPECT_TRUE(same_bits(decoded.p99_qdelay_ms, original.p99_qdelay_ms));
+  EXPECT_TRUE(same_bits(decoded.utilization, original.utilization));
+  EXPECT_EQ(decoded.events_executed, original.events_executed);
+  EXPECT_EQ(decoded.window_counters.forwarded, original.window_counters.forwarded);
+  EXPECT_EQ(decoded.window_counters.marked, original.window_counters.marked);
+  ASSERT_EQ(decoded.flows.size(), original.flows.size());
+  for (std::size_t i = 0; i < decoded.flows.size(); ++i) {
+    EXPECT_TRUE(same_bits(decoded.flows[i].goodput_mbps,
+                          original.flows[i].goodput_mbps));
+  }
+  ASSERT_EQ(decoded.qdelay_ms_series.points().size(),
+            original.qdelay_ms_series.points().size());
+  for (std::size_t i = 0; i < decoded.qdelay_ms_series.points().size(); ++i) {
+    EXPECT_EQ(decoded.qdelay_ms_series.points()[i].t,
+              original.qdelay_ms_series.points()[i].t);
+    EXPECT_TRUE(same_bits(decoded.qdelay_ms_series.points()[i].value,
+                          original.qdelay_ms_series.points()[i].value));
+  }
+  // Per-packet sampler: count and sum survive (quantiles deliberately
+  // don't; see the codec header).
+  EXPECT_EQ(decoded.qdelay_ms_packets.count(), original.qdelay_ms_packets.count());
+  EXPECT_TRUE(same_bits(decoded.qdelay_ms_packets.mean(),
+                        original.qdelay_ms_packets.mean()));
+  EXPECT_EQ(decoded.classic_prob_samples.count(),
+            original.classic_prob_samples.count());
+}
+
+TEST(ResultCodec, AwkwardDoublesRoundTripExactly) {
+  scenario::RunResult result;
+  result.mean_qdelay_ms = 0.1;  // not representable exactly: bit test matters
+  result.p99_qdelay_ms = -0.0;
+  result.utilization = std::numeric_limits<double>::denorm_min();
+  scenario::FlowResult flow;
+  flow.goodput_mbps = std::numeric_limits<double>::infinity();
+  result.flows.push_back(flow);
+
+  scenario::RunResult decoded;
+  const std::string payload = encode_result(result);
+  ASSERT_TRUE(decode_result(payload, decoded).ok());
+  EXPECT_TRUE(same_bits(decoded.mean_qdelay_ms, 0.1));
+  EXPECT_TRUE(same_bits(decoded.p99_qdelay_ms, -0.0));
+  EXPECT_TRUE(same_bits(decoded.utilization,
+                        std::numeric_limits<double>::denorm_min()));
+  ASSERT_EQ(decoded.flows.size(), 1u);
+  EXPECT_TRUE(same_bits(decoded.flows[0].goodput_mbps,
+                        std::numeric_limits<double>::infinity()));
+}
+
+TEST(ResultCodec, ViolationsSurviveTheTrip) {
+  scenario::RunResult result;
+  faults::InvariantViolation violation;
+  violation.at = pi2::sim::from_millis(1234);
+  violation.check = "backlog";
+  violation.detail = "negative backlog: -1 bytes";
+  result.violations.push_back(violation);
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(encode_result(result), decoded).ok());
+  ASSERT_EQ(decoded.violations.size(), 1u);
+  EXPECT_EQ(decoded.violations[0].at, violation.at);
+  EXPECT_EQ(decoded.violations[0].check, "backlog");
+  EXPECT_EQ(decoded.violations[0].detail, "negative backlog: -1 bytes");
+}
+
+TEST(ResultCodec, StructuralDamageIsCorruptNeverGarbage) {
+  scenario::RunResult decoded;
+  EXPECT_EQ(decode_result("", decoded).code(), StatusCode::kCorrupt);
+  EXPECT_EQ(decode_result("wrong-magic 1 2 3", decoded).code(),
+            StatusCode::kCorrupt);
+
+  const scenario::RunResult blank;
+  const std::string payload = encode_result(blank);
+  // Truncations at every prefix must fail structurally, not crash or
+  // half-populate.
+  for (std::size_t cut = 0; cut + 1 < payload.size(); cut += 7) {
+    scenario::RunResult victim;
+    EXPECT_FALSE(decode_result(payload.substr(0, cut), victim).ok())
+        << "truncation at " << cut << " must be rejected";
+  }
+  // Trailing garbage is also structural damage.
+  EXPECT_FALSE(decode_result(payload + " deadbeef", decoded).ok());
+}
+
+TEST(ResultCodec, EmptyResultRoundtrips) {
+  const scenario::RunResult empty;
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(encode_result(empty), decoded).ok());
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(empty));
+}
+
+}  // namespace
+}  // namespace pi2::durable

@@ -1,0 +1,113 @@
+// RetryPolicy: deterministic backoff schedules — exponential growth, cap,
+// and seed-derived jitter that never consults the wall clock.
+#include "durable/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+
+namespace pi2::durable {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicy, DefaultsAreValid) {
+  const RetryPolicy policy;
+  EXPECT_TRUE(policy.valid());
+  EXPECT_EQ(policy.max_attempts, 2);
+}
+
+TEST(RetryPolicy, ValidRejectsBadShapes) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.valid());
+  policy = {};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_FALSE(policy.valid());
+  policy = {};
+  policy.jitter_fraction = 1.5;
+  EXPECT_FALSE(policy.valid());
+  policy = {};
+  policy.attempt_deadline = milliseconds{-1};
+  EXPECT_FALSE(policy.valid());
+}
+
+TEST(RetryPolicy, NoBackoffBaseMeansImmediateRetry) {
+  const RetryPolicy policy;  // backoff_base = 0
+  EXPECT_EQ(policy.backoff_before(0, 1), milliseconds{0});
+  EXPECT_EQ(policy.backoff_before(5, 3), milliseconds{0});
+}
+
+TEST(RetryPolicy, AttemptZeroNeverSleeps) {
+  RetryPolicy policy;
+  policy.backoff_base = milliseconds{100};
+  EXPECT_EQ(policy.backoff_before(0, 0), milliseconds{0});
+  EXPECT_EQ(policy.backoff_before(0, -1), milliseconds{0});
+}
+
+TEST(RetryPolicy, ExponentialDoublingWithoutJitter) {
+  RetryPolicy policy;
+  policy.backoff_base = milliseconds{100};
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.backoff_before(0, 1), milliseconds{100});
+  EXPECT_EQ(policy.backoff_before(0, 2), milliseconds{200});
+  EXPECT_EQ(policy.backoff_before(0, 3), milliseconds{400});
+}
+
+TEST(RetryPolicy, BackoffIsCapped) {
+  RetryPolicy policy;
+  policy.backoff_base = milliseconds{100};
+  policy.backoff_multiplier = 10.0;
+  policy.jitter_fraction = 0.0;
+  policy.backoff_max = milliseconds{250};
+  EXPECT_EQ(policy.backoff_before(0, 1), milliseconds{100});
+  EXPECT_EQ(policy.backoff_before(0, 2), milliseconds{250});
+  EXPECT_EQ(policy.backoff_before(0, 9), milliseconds{250});
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.backoff_base = milliseconds{1000};
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.25;
+  policy.jitter_seed = 42;
+
+  std::set<long long> distinct;
+  for (std::uint64_t task = 0; task < 32; ++task) {
+    const auto a = policy.backoff_before(task, 1);
+    const auto b = policy.backoff_before(task, 1);
+    EXPECT_EQ(a, b) << "same (seed, task, attempt) -> same delay";
+    EXPECT_GE(a.count(), 750) << "jitter below -25%";
+    EXPECT_LE(a.count(), 1250) << "jitter above +25%";
+    distinct.insert(a.count());
+  }
+  EXPECT_GT(distinct.size(), 8u) << "jitter must actually spread tasks";
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool any_differs = false;
+  for (std::uint64_t task = 0; task < 32; ++task) {
+    if (other.backoff_before(task, 1) != policy.backoff_before(task, 1)) {
+      any_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differs) << "jitter_seed must influence the schedule";
+}
+
+TEST(RetryPolicy, JitterNeverExceedsBackoffMax) {
+  RetryPolicy policy;
+  policy.backoff_base = milliseconds{1000};
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 1.0;
+  policy.backoff_max = milliseconds{1000};
+  for (std::uint64_t task = 0; task < 64; ++task) {
+    EXPECT_LE(policy.backoff_before(task, 1).count(), 1000);
+    EXPECT_GE(policy.backoff_before(task, 1).count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pi2::durable

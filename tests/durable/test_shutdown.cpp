@@ -1,0 +1,129 @@
+// ShutdownController + the safe-boundary stop chain: flag -> simulator stop
+// -> run_dumbbell unwinds with InterruptedError, telemetry artifacts
+// committed and marked interrupted.
+//
+// Signal delivery itself (SIGTERM mid-sweep) is covered end to end by the
+// resume_kill.sh ctest; here the flag is raised programmatically so the test
+// stays in-process and deterministic.
+#include "durable/shutdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "durable/status.hpp"
+#include "scenario/dumbbell.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace pi2::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The controller is process-global; every test leaves it clean.
+class ShutdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ShutdownController::reset(); }
+  void TearDown() override { ShutdownController::reset(); }
+};
+
+TEST_F(ShutdownTest, RequestSetsFlagAndSignal) {
+  EXPECT_FALSE(ShutdownController::requested());
+  EXPECT_EQ(ShutdownController::signal_number(), 0);
+  ShutdownController::request(SIGTERM);
+  EXPECT_TRUE(ShutdownController::requested());
+  EXPECT_EQ(ShutdownController::signal_number(), SIGTERM);
+  EXPECT_TRUE(ShutdownController::flag()->load());
+}
+
+TEST_F(ShutdownTest, InstallIsIdempotent) {
+  ShutdownController::install();
+  ShutdownController::install();  // second call is a no-op, not a crash
+  EXPECT_FALSE(ShutdownController::requested());
+}
+
+TEST_F(ShutdownTest, ExitCodeIsExTempfail) {
+  EXPECT_EQ(ShutdownController::kExitInterrupted, 75);
+}
+
+TEST_F(ShutdownTest, SimulatorStopsAtEventBoundary) {
+  sim::Simulator sim;
+  std::atomic<bool> stop{false};
+  sim.set_stop_flag(&stop);
+  // Self-rescheduling event chain: would run forever without the stop flag.
+  std::uint64_t executed = 0;
+  std::function<void()> tick = [&] {
+    ++executed;
+    if (executed == 100) stop.store(true, std::memory_order_release);
+    sim.after(sim::from_millis(1), tick);
+  };
+  sim.after(sim::from_millis(1), tick);
+  sim.run_until(sim::from_seconds(3600));
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_GE(executed, 100u);
+  // The poll interval is 1024 events; the run must end well before the hour
+  // of simulated time it was asked for.
+  EXPECT_LT(executed, 100u + 2048u);
+}
+
+TEST_F(ShutdownTest, RunDumbbellThrowsInterruptedAndMarksManifest) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "pi2_shutdown_run";
+  fs::remove_all(dir);
+
+  std::atomic<bool> stop{true};  // stop immediately: first poll sees it
+  telemetry::Recorder recorder{[&] {
+    telemetry::RecorderConfig rc;
+    rc.dir = dir;
+    rc.run_id = "interrupted_run";
+    return rc;
+  }()};
+
+  scenario::DumbbellConfig cfg;
+  cfg.duration = sim::from_seconds(2.0);
+  cfg.stats_start = sim::from_seconds(0.5);
+  scenario::TcpFlowSpec flow;
+  flow.cc = tcp::CcType::kCubic;
+  flow.count = 1;
+  flow.base_rtt = sim::from_millis(10);
+  cfg.tcp_flows.push_back(flow);
+  cfg.stop = &stop;
+  cfg.recorder = &recorder;
+
+  EXPECT_THROW(scenario::run_dumbbell(cfg), InterruptedError);
+
+  // The artifacts were still committed (no torn tmp files) and the manifest
+  // records the interruption.
+  const std::string manifest_path = dir + "/interrupted_run.manifest.json";
+  ASSERT_TRUE(fs::exists(manifest_path));
+  EXPECT_FALSE(fs::exists(manifest_path + ".tmp"));
+  std::ifstream in(manifest_path);
+  const std::string manifest{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_NE(manifest.find("\"interrupted\": \"true\""), std::string::npos)
+      << manifest;
+  fs::remove_all(dir);
+}
+
+TEST_F(ShutdownTest, RunDumbbellUnstoppedDoesNotThrow) {
+  std::atomic<bool> stop{false};
+  scenario::DumbbellConfig cfg;
+  cfg.duration = sim::from_seconds(1.0);
+  cfg.stats_start = sim::from_seconds(0.25);
+  scenario::TcpFlowSpec flow;
+  flow.cc = tcp::CcType::kCubic;
+  flow.count = 1;
+  flow.base_rtt = sim::from_millis(10);
+  cfg.tcp_flows.push_back(flow);
+  cfg.stop = &stop;
+  const auto result = scenario::run_dumbbell(cfg);
+  EXPECT_GT(result.events_executed, 0u);
+}
+
+}  // namespace
+}  // namespace pi2::durable

@@ -1,0 +1,69 @@
+// Status taxonomy: factories carry path/errno, update() keeps the first
+// error, InterruptedError unwinds as a std::runtime_error.
+#include "durable/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+namespace pi2::durable {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(Status, IoErrorCarriesPathAndErrno) {
+  const Status status = Status::io_error("/data/run.json", ENOSPC, "write");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("/data/run.json"), std::string::npos);
+  EXPECT_NE(status.message().find("write"), std::string::npos);
+  // strerror(ENOSPC) mentions space on every libc we build against.
+  EXPECT_NE(status.message().find("space"), std::string::npos);
+}
+
+TEST(Status, FactoriesSetTheirCodes) {
+  EXPECT_EQ(Status::corrupt("torn record").code(), StatusCode::kCorrupt);
+  EXPECT_EQ(Status::interrupted("signal").code(), StatusCode::kInterrupted);
+  EXPECT_EQ(Status::invalid("empty path").code(), StatusCode::kInvalid);
+}
+
+TEST(Status, UpdateKeepsFirstError) {
+  Status status;
+  status.update(Status());  // ok onto ok: still ok
+  EXPECT_TRUE(status.ok());
+  const Status first = Status::io_error("a", EACCES, "open");
+  status.update(first);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  status.update(Status::corrupt("later failure"));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), first.message());
+  status.update(Status());  // ok never clears an error
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kIoError), "io-error");
+  EXPECT_STREQ(to_string(StatusCode::kCorrupt), "corrupt");
+  EXPECT_STREQ(to_string(StatusCode::kInterrupted), "interrupted");
+  EXPECT_STREQ(to_string(StatusCode::kInvalid), "invalid");
+}
+
+TEST(InterruptedError, IsARuntimeError) {
+  try {
+    throw InterruptedError("stopped at t=1s");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("stopped"), std::string::npos);
+    return;
+  }
+  FAIL() << "InterruptedError must be catchable as std::runtime_error";
+}
+
+}  // namespace
+}  // namespace pi2::durable

@@ -5,15 +5,22 @@
 #   tests/golden/regen.sh build
 #
 # Baselines use the same flags the golden_* ctests use, so a regenerated
-# baseline always starts green.
+# baseline always starts green. Baseline writes are atomic (the figure
+# binaries publish --json via tmp + fsync + rename), so an interrupted
+# regen leaves the previous baseline intact, never a torn file. The run
+# journal each sweep keeps for --resume is pointed at a scratch directory
+# so it never lands next to the committed baselines.
 set -eu
 build="${1:?usage: regen.sh BUILD_DIR}"
 here="$(cd "$(dirname "$0")" && pwd)"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
 regen() {
   bin="$build/bench/$1"
   out="$here/$2"
   echo "regen: $2 <- $1 --smoke --seed 1 --jobs 2"
-  "$bin" --smoke --seed 1 --jobs 2 --json "$out" > /dev/null
+  "$bin" --smoke --seed 1 --jobs 2 --json "$out" \
+    --journal "$scratch/$2.journal" > /dev/null
 }
 regen fig15_rate_balance fig15.json
 regen fig16_queue_delay fig16.json

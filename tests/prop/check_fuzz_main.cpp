@@ -14,10 +14,17 @@
 //
 // --inject-oracle-fail I forces a synthetic failure at case I, proving the
 // whole failure path (detection -> shrink -> repro line) end to end.
+//
+// Batch runs are durable: each finished case's outcome is journaled
+// (fsync'd), SIGINT/SIGTERM stop the batch at a case boundary (exit 75),
+// and --resume replays journaled outcomes instead of re-running the cases —
+// the batch-level oracles (seed independence, --jobs invariance) still run
+// over the combined set.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,7 +32,11 @@
 #include "check/fuzzer.hpp"
 #include "check/oracles.hpp"
 #include "check/shrinker.hpp"
+#include "durable/journal.hpp"
+#include "durable/shutdown.hpp"
+#include "durable/status.hpp"
 #include "runner/parallel_runner.hpp"
+#include "sim/rng.hpp"
 
 namespace {
 
@@ -42,6 +53,8 @@ struct Args {
   int shrink_evals = 40;
   std::uint64_t recheck = 5;
   bool verbose = false;
+  bool resume = false;
+  std::string journal_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -68,12 +81,17 @@ Args parse_args(int argc, char** argv) {
       args.recheck = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--verbose" || arg == "-v") {
       args.verbose = true;
+    } else if (arg == "--resume") {
+      args.resume = true;
+    } else if (arg == "--journal" && i + 1 < argc) {
+      args.journal_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: check_fuzz [--seed N] [--cases N] [--case I] [--jobs N]\n"
           "                  [--scratch DIR] [--repro-out PATH]\n"
           "                  [--inject-oracle-fail I] [--shrink-evals N]\n"
           "                  [--recheck N] [--verbose]\n"
+          "                  [--resume] [--journal PATH]\n"
           "  --seed N     base seed; case i uses stream derive_seed(N, i)\n"
           "  --cases N    batch size (default 200)\n"
           "  --case I     replay exactly one case and exit\n"
@@ -82,11 +100,135 @@ Args parse_args(int argc, char** argv) {
           "               parse-back oracle)\n"
           "  --repro-out PATH  write the repro command of the first failing\n"
           "               case to PATH (CI artifact)\n"
-          "  --inject-oracle-fail I  self-test: force case I to fail\n");
+          "  --inject-oracle-fail I  self-test: force case I to fail\n"
+          "  --resume     replay journaled case outcomes from an interrupted\n"
+          "               batch; only missing cases re-run\n"
+          "  --journal PATH  journal location (default check_fuzz.journal)\n");
       std::exit(0);
     }
   }
   return args;
+}
+
+// --- CaseOutcome <-> journal payload -------------------------------------
+// Same exactness rules as the RunResult codec: integers in hex, strings as
+// length + hex bytes, one line of space-separated tokens.
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, " %llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  if (s.empty()) return;
+  out += ' ';
+  for (const char c : s) {
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x", static_cast<unsigned char>(c));
+    out += buf;
+  }
+}
+
+std::string encode_outcome(const check::CaseOutcome& outcome) {
+  std::string out = "pi2-fuzz-outcome-v1";
+  put_u64(out, outcome.index);
+  put_u64(out, outcome.seed);
+  put_u64(out, outcome.digest);
+  put_u64(out, outcome.failures.size());
+  for (const auto& failure : outcome.failures) {
+    put_string(out, failure.oracle);
+    put_string(out, failure.detail);
+  }
+  return out;
+}
+
+/// Token reader for decode_outcome; any structural mismatch sets fail.
+struct OutcomeReader {
+  const std::string& s;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  std::string next() {
+    while (pos < s.size() && s[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < s.size() && s[pos] != ' ') ++pos;
+    if (pos == start) fail = true;
+    return s.substr(start, pos - start);
+  }
+  std::uint64_t u64() {
+    const std::string tok = next();
+    if (fail) return 0;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(tok.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') fail = true;
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (fail || n > (1u << 20)) {
+      fail = true;
+      return {};
+    }
+    if (n == 0) return {};
+    const std::string tok = next();
+    if (fail || tok.size() != 2 * n) {
+      fail = true;
+      return {};
+    }
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < tok.size(); i += 2) {
+      unsigned byte = 0;
+      if (std::sscanf(tok.c_str() + i, "%2x", &byte) != 1) {
+        fail = true;
+        return {};
+      }
+      out += static_cast<char>(byte);
+    }
+    return out;
+  }
+};
+
+bool decode_outcome(const std::string& payload, check::CaseOutcome& outcome) {
+  OutcomeReader r{payload};
+  if (r.next() != "pi2-fuzz-outcome-v1" || r.fail) return false;
+  check::CaseOutcome built;
+  built.index = r.u64();
+  built.seed = r.u64();
+  built.digest = r.u64();
+  const std::uint64_t n = r.u64();
+  if (r.fail || n > (1u << 20)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    check::OracleFailure failure;
+    failure.oracle = r.str();
+    failure.detail = r.str();
+    if (r.fail) return false;
+    built.failures.push_back(std::move(failure));
+  }
+  outcome = std::move(built);
+  return true;
+}
+
+/// Everything the batch's outcomes depend on; a journal from a different
+/// configuration is refused on --resume.
+std::uint64_t fuzz_campaign_key(const Args& args) {
+  pi2::durable::Fnv1a h;
+  h.mix_string("pi2-fuzz-campaign-v1");
+  h.mix_u64(args.seed);
+  h.mix_u64(args.cases);
+  h.mix_u64(static_cast<std::uint64_t>(args.inject_case + 1));
+  h.mix_u64(args.scratch.empty() ? 0 : 1);  // scratch gates an oracle
+  return h.state;
+}
+
+std::uint64_t fuzz_case_key(const Args& args, std::uint64_t index) {
+  pi2::durable::Fnv1a h;
+  h.mix_string("pi2-fuzz-case-v1");
+  h.mix_u64(index);
+  h.mix_u64(sim::Rng::derive_seed(args.seed, index));
+  return h.state;
 }
 
 check::OracleOptions oracle_options(const Args& args, std::uint64_t index,
@@ -192,21 +334,66 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(args.cases),
               static_cast<unsigned long long>(args.seed));
 
+  durable::ShutdownController::install();
+  const std::uint64_t campaign = fuzz_campaign_key(args);
+  const std::string journal_file =
+      args.journal_path.empty() ? "check_fuzz.journal" : args.journal_path;
+
   const runner::ParallelRunner pool{args.jobs};
   std::vector<check::CaseOutcome> outcomes(args.cases);
+  std::vector<bool> replayed(args.cases, false);
+  bool journal_keep = false;
+  if (args.resume) {
+    const durable::LoadedJournal loaded =
+        durable::load_journal(journal_file, campaign);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different batch; ignoring\n",
+                   journal_file.c_str());
+    }
+    if (loaded.header_ok) {
+      journal_keep = true;
+      std::size_t count = 0;
+      for (std::uint64_t i = 0; i < args.cases; ++i) {
+        const auto it = loaded.points.find(fuzz_case_key(args, i));
+        if (it == loaded.points.end()) continue;
+        if (decode_outcome(it->second, outcomes[i])) {
+          replayed[i] = true;
+          ++count;
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %llu case(s) from %s\n",
+                   count, static_cast<unsigned long long>(args.cases),
+                   journal_file.c_str());
+    }
+  }
+  durable::JournalWriter journal{journal_file, campaign, journal_keep};
+
+  runner::GuardOptions guard;
+  guard.cancel = durable::ShutdownController::flag();
+  std::size_t interrupted_cases = 0;
+
   const auto report = pool.run_ordered_guarded<check::CaseOutcome>(
       args.cases,
       [&](std::size_t i) {
-        const auto config = fuzzer.make_config(i);
+        if (replayed[i]) return outcomes[i];
+        auto config = fuzzer.make_config(i);
+        config.stop = durable::ShutdownController::flag();
         return check::run_case_oracles(config, i, oracle_options(args, i, "case"));
       },
       [&](std::size_t i, runner::TaskStatus status, check::CaseOutcome* outcome) {
         if (status == runner::TaskStatus::kOk && outcome != nullptr) {
           outcomes[i] = *outcome;
+          if (!replayed[i] && journal.healthy()) {
+            (void)journal.append_point(fuzz_case_key(args, i),
+                                       encode_outcome(outcomes[i]));
+          }
           if (args.verbose) {
             std::printf("case %zu %s\n", i,
                         outcome->ok() ? "ok" : "FAILED");
           }
+        } else if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_cases;
         } else {
           outcomes[i].index = i;
           outcomes[i].failures.push_back(
@@ -214,7 +401,20 @@ int main(int argc, char** argv) {
                               runner::to_string(status)});
         }
       },
-      runner::GuardOptions{});
+      guard);
+
+  if (durable::ShutdownController::requested()) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    std::fprintf(stderr,
+                 "check_fuzz: interrupted — %zu case(s) unfinished; re-run "
+                 "with --resume to finish (journal: %s)\n",
+                 interrupted_cases, journal_file.c_str());
+    return durable::ShutdownController::kExitInterrupted;
+  }
 
   // Seed-stream independence at fuzz scale: distinct cases must have drawn
   // distinct per-case seeds (derive_seed collisions would silently halve

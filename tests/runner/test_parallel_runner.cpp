@@ -134,7 +134,7 @@ TEST(ParallelRunner, GuardedRunConsumesEveryIndexInOrder) {
           order.push_back(i);
           statuses.push_back(status);
         },
-        GuardOptions{.deadline = {}, .retries = 0});
+        GuardOptions{.retry = {.max_attempts = 1}});
     std::vector<std::size_t> expected(16);
     std::iota(expected.begin(), expected.end(), 0);
     EXPECT_EQ(order, expected) << "jobs=" << jobs;
@@ -161,7 +161,7 @@ TEST(ParallelRunner, GuardedRetryRecoversFlakyTask) {
           }
         },
         [](std::size_t, TaskStatus) {},
-        GuardOptions{.deadline = {}, .retries = 1});
+        GuardOptions{.retry = {.max_attempts = 2}});
     EXPECT_TRUE(report.all_ok()) << "jobs=" << jobs;
     attempts = 0;
   }
@@ -183,7 +183,7 @@ TEST(ParallelRunner, GuardedOrderedDeliversNullForFailedTasks) {
           EXPECT_EQ(*value, static_cast<int>(i) * 10);
         }
       },
-      GuardOptions{.deadline = {}, .retries = 0});
+      GuardOptions{.retry = {.max_attempts = 1}});
   ASSERT_EQ(got_value.size(), 10u);
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(got_value[i], i != 4);
   ASSERT_EQ(report.failures.size(), 1u);
@@ -202,7 +202,8 @@ TEST(ParallelRunner, WatchdogTimesOutWedgedTaskAndKeepsOrder) {
         if (i == 3) std::this_thread::sleep_for(std::chrono::milliseconds{400});
       },
       [&](std::size_t i, TaskStatus) { order.push_back(i); },
-      GuardOptions{.deadline = std::chrono::milliseconds{50}, .retries = 1});
+      GuardOptions{.retry = {.max_attempts = 2,
+                             .attempt_deadline = std::chrono::milliseconds{50}}});
   std::vector<std::size_t> expected(8);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);
@@ -210,6 +211,97 @@ TEST(ParallelRunner, WatchdogTimesOutWedgedTaskAndKeepsOrder) {
   EXPECT_EQ(report.failures[0].index, 3u);
   EXPECT_EQ(report.failures[0].status, TaskStatus::kTimeout);
   EXPECT_EQ(report.status[3], TaskStatus::kTimeout);
+}
+
+TEST(ParallelRunner, CancelledBeforeStartInterruptsEveryTask) {
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelRunner pool{jobs};
+    std::atomic<bool> cancel{true};
+    std::atomic<int> ran{0};
+    std::vector<std::size_t> order;
+    std::vector<TaskStatus> statuses;
+    const RunReport report = pool.run_guarded(
+        8, [&](std::size_t) { ++ran; },
+        [&](std::size_t i, TaskStatus status) {
+          order.push_back(i);
+          statuses.push_back(status);
+        },
+        GuardOptions{.cancel = &cancel});
+    EXPECT_EQ(ran.load(), 0) << "no task may start after cancellation";
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected) << "interrupted tasks are still consumed";
+    for (const TaskStatus s : statuses) {
+      EXPECT_EQ(s, TaskStatus::kInterrupted);
+    }
+    EXPECT_EQ(report.ok_count(), 0u);
+    EXPECT_FALSE(report.all_ok());
+  }
+}
+
+TEST(ParallelRunner, CancelMidRunKeepsFinishedWorkAndInterruptsTheRest) {
+  // Serial pool: task 3 raises the flag while running. Work already done
+  // (0..3, including the raiser — completed work is never thrown away)
+  // stays kOk; everything after goes kInterrupted without running.
+  ParallelRunner pool{1};
+  std::atomic<bool> cancel{false};
+  std::atomic<int> ran{0};
+  const RunReport report = pool.run_guarded(
+      8,
+      [&](std::size_t i) {
+        ++ran;
+        if (i == 3) cancel.store(true);
+      },
+      [](std::size_t, TaskStatus) {}, GuardOptions{.cancel = &cancel});
+  EXPECT_EQ(ran.load(), 4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report.status[i],
+              i <= 3 ? TaskStatus::kOk : TaskStatus::kInterrupted)
+        << "index " << i;
+  }
+  EXPECT_EQ(report.ok_count(), 4u);
+}
+
+TEST(ParallelRunner, FailedAttemptAfterCancelIsNotRetried) {
+  ParallelRunner pool{1};
+  std::atomic<bool> cancel{false};
+  std::atomic<int> attempts{0};
+  const RunReport report = pool.run_guarded(
+      1,
+      [&](std::size_t) {
+        ++attempts;
+        cancel.store(true);
+        throw std::runtime_error("failed during shutdown");
+      },
+      [](std::size_t, TaskStatus) {},
+      GuardOptions{.retry = {.max_attempts = 5}, .cancel = &cancel});
+  EXPECT_EQ(attempts.load(), 1) << "no retries once shutdown is requested";
+  EXPECT_FALSE(report.all_ok());
+}
+
+TEST(ParallelRunner, BackoffRetryRecoversARepeatedlyFailingTask) {
+  // Two failures, then success — within max_attempts = 3, with a real (but
+  // tiny) exponential backoff between attempts.
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelRunner pool{jobs};
+    std::atomic<int> attempts{0};
+    const RunReport report = pool.run_guarded(
+        4,
+        [&](std::size_t i) {
+          if (i == 2 && attempts.fetch_add(1) < 2) {
+            throw std::runtime_error("flaky twice");
+          }
+        },
+        [](std::size_t, TaskStatus) {},
+        GuardOptions{.retry = {.max_attempts = 3,
+                               .backoff_base = std::chrono::milliseconds{1},
+                               .backoff_multiplier = 2.0,
+                               .jitter_fraction = 0.1,
+                               .jitter_seed = 7}});
+    EXPECT_TRUE(report.all_ok()) << "jobs=" << jobs;
+    EXPECT_EQ(attempts.load(), 3) << "jobs=" << jobs;
+    attempts = 0;
+  }
 }
 
 TEST(ParallelRunner, StaleResultFromTimedOutAttemptIsDiscarded) {
@@ -232,7 +324,8 @@ TEST(ParallelRunner, StaleResultFromTimedOutAttemptIsDiscarded) {
         EXPECT_EQ(status, TaskStatus::kOk);
         if (value != nullptr) seen = *value;
       },
-      GuardOptions{.deadline = std::chrono::milliseconds{40}, .retries = 1});
+      GuardOptions{.retry = {.max_attempts = 2,
+                             .attempt_deadline = std::chrono::milliseconds{40}}});
   EXPECT_TRUE(report.all_ok());
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(seen, 1);  // the retry's value, not the stale first attempt's

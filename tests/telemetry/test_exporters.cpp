@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "durable/atomic_file.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -92,6 +94,56 @@ TEST(FileExporter, UnwritablePathIsNotOkAndFinishFails) {
   EXPECT_FALSE(exporter.ok());
   exporter.on_sample(pi2::sim::from_seconds(1.0), reg);  // must not crash
   EXPECT_FALSE(exporter.finish(reg));
+  EXPECT_EQ(exporter.status().code(), durable::StatusCode::kIoError);
+  EXPECT_NE(exporter.status().message().find("/dev/null/pi2_test.jsonl"),
+            std::string::npos)
+      << "error must name the offending path: " << exporter.status().message();
+}
+
+/// Fault-injection tests share the process-global AtomicFile fault plan.
+class FileExporterFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { durable::AtomicFile::clear_faults(); }
+};
+
+TEST_F(FileExporterFaultTest, DiskFullMidStreamLatchesAndLeavesNoArtifact) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.0);
+  const std::string path = temp_path("pi2_test_enospc.jsonl");
+  std::remove(path.c_str());
+  JsonlExporter exporter{path};
+  ASSERT_TRUE(exporter.ok());
+
+  // The disk fills up after the exporter has already streamed one sample.
+  exporter.on_sample(pi2::sim::from_seconds(1.0), reg);
+  ASSERT_TRUE(exporter.ok());
+  durable::AtomicFile::Faults faults;
+  faults.fail_write_after_bytes = 0;
+  durable::AtomicFile::set_faults(faults);
+  exporter.on_sample(pi2::sim::from_seconds(2.0), reg);
+
+  EXPECT_FALSE(exporter.ok()) << "a failed row write must not be silent";
+  EXPECT_EQ(exporter.status().code(), durable::StatusCode::kIoError);
+  EXPECT_NE(exporter.status().message().find(path), std::string::npos);
+  EXPECT_FALSE(exporter.finish(reg)) << "finish must refuse a damaged stream";
+  // Half a metric stream is worse than none: no destination file.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FileExporterFaultTest, FailedCommitLeavesNoTornSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("tx").inc(3);
+  const std::string path = temp_path("pi2_test_commitfail.prom");
+  std::remove(path.c_str());
+  PrometheusExporter exporter{path};
+  ASSERT_TRUE(exporter.ok());
+  durable::AtomicFile::Faults faults;
+  faults.fail_commit = true;
+  durable::AtomicFile::set_faults(faults);
+  EXPECT_FALSE(exporter.finish(reg));
+  EXPECT_EQ(exporter.status().code(), durable::StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(ExportersAreDeterministic, SameRegistrySameBytes) {

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "durable/atomic_file.hpp"
 #include "scenario/dumbbell.hpp"
 #include "telemetry/run_manifest.hpp"
 
@@ -90,6 +92,65 @@ TEST(Recorder, UnwritableDirectoryReportsNotOk) {
   EXPECT_FALSE(recorder.ok());
   EXPECT_FALSE(recorder.finish(pi2::sim::from_seconds(1.0)));
   EXPECT_FALSE(recorder.ok());  // finish() caches the failure
+  EXPECT_EQ(recorder.status().code(), durable::StatusCode::kIoError);
+  EXPECT_NE(recorder.status().message().find("/dev/null/pi2_rec"),
+            std::string::npos)
+      << "error must name the offending path: " << recorder.status().message();
+}
+
+TEST(Recorder, DiskFullAtFinishSurfacesTheFirstError) {
+  const std::string dir = ::testing::TempDir() + "pi2_rec_enospc";
+  std::filesystem::remove_all(dir);
+  RecorderConfig rc;
+  rc.dir = dir;
+  rc.run_id = "full";
+  Recorder recorder{rc};
+  ASSERT_TRUE(recorder.ok());
+  recorder.registry().gauge("g").set(1.0);
+
+  durable::AtomicFile::Faults faults;
+  faults.fail_write_after_bytes = 0;  // the disk fills before finish()
+  durable::AtomicFile::set_faults(faults);
+  const bool finished = recorder.finish(pi2::sim::from_seconds(1.0));
+  durable::AtomicFile::clear_faults();
+
+  EXPECT_FALSE(finished);
+  EXPECT_FALSE(recorder.ok());
+  EXPECT_EQ(recorder.status().code(), durable::StatusCode::kIoError);
+  EXPECT_NE(recorder.status().message().find(dir), std::string::npos);
+  // No torn artifacts: every destination is absent, not half-written.
+  EXPECT_FALSE(std::filesystem::exists(recorder.jsonl_path()));
+  EXPECT_FALSE(std::filesystem::exists(recorder.prometheus_path()));
+  EXPECT_FALSE(std::filesystem::exists(recorder.manifest_path()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunManifest, WriteJsonToUnwritableDirReportsPathAndErrno) {
+  RunManifest manifest;
+  manifest.run_id = "m";
+  const durable::Status status =
+      manifest.write_json("/dev/null/pi2_manifest.json");
+  EXPECT_EQ(status.code(), durable::StatusCode::kIoError);
+  EXPECT_NE(status.message().find("/dev/null/pi2_manifest.json"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("errno"), std::string::npos)
+      << "message must carry the OS error: " << status.message();
+}
+
+TEST(RunManifest, FailedWriteLeavesNeitherDestinationNorTmp) {
+  const std::string path =
+      ::testing::TempDir() + "pi2_manifest_commitfail.json";
+  std::filesystem::remove(path);
+  RunManifest manifest;
+  manifest.run_id = "m";
+  durable::AtomicFile::Faults faults;
+  faults.fail_commit = true;
+  durable::AtomicFile::set_faults(faults);
+  const durable::Status status = manifest.write_json(path);
+  durable::AtomicFile::clear_faults();
+  EXPECT_EQ(status.code(), durable::StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 TEST(Recorder, BareRegistryCollectsProbesWithoutArtifacts) {
