@@ -62,6 +62,19 @@ struct Options {
   std::string telemetry_dir;
   /// Telemetry sampling cadence in simulated seconds (0 = 100 ms default).
   double telemetry_interval_s = 0;
+  /// Background load added to every grid point's mix, as either N extra
+  /// packet Reno flows or a fluid spec of N modelled Reno flows. The two are
+  /// the same scenario rendered by different engine tiers — the golden
+  /// fluid-vs-packet agreement test runs one figure both ways.
+  int packet_background = 0;
+  int fluid_background = 0;
+  /// Drop grid links below this rate. The fluid-vs-packet agreement test
+  /// uses it to stay inside the mean-field model's validity envelope: the
+  /// Appendix-B window law W = sqrt(2/p) is the small-p approximation, so at
+  /// links where the equilibrium marking probability is ~0.1+ (4 Mb/s on
+  /// this grid) real timeout-dominated TCP and the fluid tier diverge by
+  /// construction.
+  double min_link_mbps = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -81,6 +94,14 @@ inline Options parse_options(int argc, char** argv) {
       opts.duration_s_override = 4.0;
       opts.stats_start_s_override = 1.0;
       opts.grid_cap = 2;
+    } else if (arg == "--duration-s" && i + 1 < argc) {
+      opts.duration_s_override = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--stats-start-s" && i + 1 < argc) {
+      opts.stats_start_s_override = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--grid-cap" && i + 1 < argc) {
+      opts.grid_cap = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--min-link-mbps" && i + 1 < argc) {
+      opts.min_link_mbps = std::strtod(argv[++i], nullptr);
     } else if (arg == "--deadline-s" && i + 1 < argc) {
       opts.deadline_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--retries" && i + 1 < argc) {
@@ -101,6 +122,10 @@ inline Options parse_options(int argc, char** argv) {
       opts.telemetry_dir = argv[++i];
     } else if (arg == "--telemetry-interval" && i + 1 < argc) {
       opts.telemetry_interval_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--packet-background" && i + 1 < argc) {
+      opts.packet_background = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--fluid-background" && i + 1 < argc) {
+      opts.fluid_background = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--jobs N] [--json PATH] [--smoke]\n"
@@ -112,6 +137,13 @@ inline Options parse_options(int argc, char** argv) {
           "              tables are byte-identical for every N)\n"
           "  --json PATH also write per-point JSON records to PATH\n"
           "  --smoke     tiny grid and durations (CI race/smoke testing)\n"
+          "  --duration-s S / --stats-start-s S / --grid-cap N\n"
+          "              override the run duration, stats-window start and\n"
+          "              per-axis grid size (later flags win, so they can\n"
+          "              refine --smoke; 0 = keep the mode default)\n"
+          "  --min-link-mbps X  drop grid links below X Mb/s (fluid-tier\n"
+          "              agreement runs stay in the mean-field validity\n"
+          "              envelope this way)\n"
           "  --deadline-s S  per-point wall-clock watchdog; a point past the\n"
           "              deadline is retried once, then reported `timeout`\n"
           "  --retries N retry budget per failed/stuck point (default 1)\n"
@@ -128,7 +160,11 @@ inline Options parse_options(int argc, char** argv) {
           "  --telemetry DIR  write per-point telemetry artifacts (JSONL,\n"
           "              Prometheus snapshot, run manifest) into DIR\n"
           "  --telemetry-interval S  telemetry sampling cadence in simulated\n"
-          "              seconds (default 0.1)\n",
+          "              seconds (default 0.1)\n"
+          "  --packet-background N / --fluid-background N\n"
+          "              add N background Reno flows to every grid point, as\n"
+          "              real packet flows or as one fluid spec of N modelled\n"
+          "              flows (the same load at different engine tiers)\n",
           argv[0]);
       std::exit(0);
     }
@@ -153,8 +189,13 @@ inline std::vector<double> capped(std::vector<double> grid, int cap) {
 
 /// The evaluation grid of Figures 15-18 (link Mb/s x RTT ms).
 inline std::vector<double> link_grid(const Options& opts) {
-  if (opts.full) return detail::capped({4, 12, 40, 120, 200}, opts.grid_cap);
-  return detail::capped({4, 40, 120}, opts.grid_cap);
+  std::vector<double> grid = opts.full
+                                 ? std::vector<double>{4, 12, 40, 120, 200}
+                                 : std::vector<double>{4, 40, 120};
+  if (opts.min_link_mbps > 0) {
+    std::erase_if(grid, [&](double mbps) { return mbps < opts.min_link_mbps; });
+  }
+  return detail::capped(std::move(grid), opts.grid_cap);
 }
 
 inline std::vector<double> rtt_grid(const Options& opts) {
@@ -211,6 +252,22 @@ inline scenario::DumbbellConfig mix_config(scenario::AqmType aqm, MixKind kind,
     other.count = n_other;
     other.base_rtt = pi2::sim::from_millis(rtt_ms);
     cfg.tcp_flows.push_back(other);
+  }
+  // Background load, at either engine tier. Reno in both renderings so the
+  // per-cc foreground means (cubic_mbps / other_mbps) stay comparable.
+  if (opts.packet_background > 0) {
+    scenario::TcpFlowSpec bg;
+    bg.cc = tcp::CcType::kReno;
+    bg.count = opts.packet_background;
+    bg.base_rtt = pi2::sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(bg);
+  }
+  if (opts.fluid_background > 0) {
+    scenario::FluidFlowSpec bg;
+    bg.cc = tcp::CcType::kReno;
+    bg.count = opts.fluid_background;
+    bg.base_rtt = pi2::sim::from_millis(rtt_ms);
+    cfg.fluid_flows.push_back(bg);
   }
   return cfg;
 }

@@ -6,9 +6,12 @@
 # Records (a) the micro_scheduler google-benchmark results — new scheduler
 # vs the in-binary legacy baseline — (b) the micro_probe_overhead results,
 # including the probes-attached vs detached dumbbell ratio (budget: <5%,
-# see EXPERIMENTS.md "Observability"), and (c) quick-grid sweep wall
-# clock at --jobs 1 vs --jobs $(nproc) for fig15_rate_balance, run with
-# --telemetry so every per-point record carries its RunManifest path.
+# see EXPERIMENTS.md "Observability"), (c) quick-grid sweep wall clock at
+# --jobs 1 / 2 / $(nproc) for fig15_rate_balance (realized speedup is
+# parallel-vs-serial), run with --telemetry so every per-point record
+# carries its RunManifest path, and (d) the micro_flow_scale per-N
+# events/s + bytes-per-flow table for the hybrid fluid/packet engine,
+# including its ≥10× scheduler-events acceptance gate.
 # Compare the file against the previous PR's copy to see per-event and
 # end-to-end movement.
 #
@@ -21,7 +24,8 @@ OUT=${1:-BENCH_sweep.json}
 JOBS=${JOBS:-$(nproc)}
 
 missing=0
-for bin in micro_scheduler micro_probe_overhead fig15_rate_balance; do
+for bin in micro_scheduler micro_probe_overhead fig15_rate_balance \
+           micro_flow_scale; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     missing=1
@@ -31,14 +35,18 @@ done
 
 MICRO_JSON=$(mktemp)
 PROBE_JSON=$(mktemp)
-trap 'rm -f "$MICRO_JSON" "$PROBE_JSON"' EXIT
+FLOW_SCALE_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON" "$PROBE_JSON" "$FLOW_SCALE_JSON"' EXIT
 "$BUILD_DIR/bench/micro_scheduler" --benchmark_format=json \
   --benchmark_out_format=json >"$MICRO_JSON"
 "$BUILD_DIR/bench/micro_probe_overhead" --benchmark_format=json \
   --benchmark_out_format=json >"$PROBE_JSON"
+# Full grid (N up to 10⁵ fluid background flows); exits non-zero — failing
+# this script — if the ≥10× scheduler-events gate regresses.
+"$BUILD_DIR/bench/micro_flow_scale" --json "$FLOW_SCALE_JSON"
 
 BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" \
-PROBE_JSON="$PROBE_JSON" OUT="$OUT" \
+PROBE_JSON="$PROBE_JSON" FLOW_SCALE_JSON="$FLOW_SCALE_JSON" OUT="$OUT" \
 python3 - <<'PY'
 import json, os, subprocess, sys, tempfile, time
 
@@ -60,7 +68,7 @@ def timed_sweep(n_jobs, json_path=None):
 points_json = tempfile.mktemp(suffix=".json")
 try:
     wall = {n: timed_sweep(n, points_json if n == jobs else None)
-            for n in sorted({1, jobs})}
+            for n in sorted({1, 2, jobs})}
     with open(points_json) as f:
         points = json.load(f)
 finally:
@@ -96,6 +104,8 @@ def load_benchmarks(env_key):
 
 scheduler = load_benchmarks("MICRO_JSON")
 probe = load_benchmarks("PROBE_JSON")
+with open(os.environ["FLOW_SCALE_JSON"]) as f:
+    flow_scale = json.load(f)
 
 def ratio_pct(baseline_name, loaded_name):
     base = probe.get(baseline_name, {}).get("cpu_time_ns")
@@ -128,6 +138,10 @@ out = {
     },
     "micro_scheduler": scheduler,
     "micro_probe_overhead": probe,
+    # Hybrid fluid/packet engine: per-N events/sim-s + bytes-per-flow table
+    # and the ≥10x scheduler-events gate (the binary already failed the
+    # script above if the gate regressed).
+    "micro_flow_scale": flow_scale,
     # Budget is <5% (EXPERIMENTS.md, "Observability"). Informational here:
     # microbenchmark noise on shared CI hosts makes a hard gate flaky.
     "probe_overhead_pct": overhead_pct,

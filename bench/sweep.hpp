@@ -100,7 +100,12 @@ inline std::string json_escape(const std::string& s) {
 class SweepJsonWriter {
  public:
   SweepJsonWriter() = default;
-  explicit SweepJsonWriter(const std::string& path) {
+  /// `with_background` adds a "background_mbps" field (aggregate goodput of
+  /// the Reno background tier, packet or fluid) to each record. Off by
+  /// default so baselines without a background keep their exact field set.
+  explicit SweepJsonWriter(const std::string& path,
+                           bool with_background = false)
+      : with_background_(with_background) {
     if (path.empty()) return;
     file_ = std::make_unique<durable::AtomicFile>(path);
     if (!file_->healthy()) {
@@ -143,6 +148,18 @@ class SweepJsonWriter {
         static_cast<unsigned long long>(p.result.clamped_events),
         static_cast<unsigned long long>(p.result.violations.size()),
         static_cast<unsigned long long>(p.result.guard_events));
+    if (with_background_) {
+      // The background load is Reno at either engine tier (bench_common
+      // mix_config); the aggregate rate is the mean-field quantity the two
+      // renderings must agree on, so the fluid golden gates it directly.
+      double background_mbps = 0.0;
+      for (const auto& flow : p.result.flows) {
+        if (flow.cc == tcp::CcType::kReno && !flow.is_udp) {
+          background_mbps += flow.goodput_mbps * flow.count;
+        }
+      }
+      file_->printf(", \"background_mbps\": %.6g", background_mbps);
+    }
     if (!p.manifest_path.empty()) {
       file_->printf(", \"telemetry_manifest\": \"%s\"",
                     json_escape(p.manifest_path).c_str());
@@ -189,6 +206,7 @@ class SweepJsonWriter {
  private:
   std::unique_ptr<durable::AtomicFile> file_;
   bool first_ = true;
+  bool with_background_ = false;
 };
 
 namespace detail {
@@ -271,6 +289,10 @@ inline std::uint64_t campaign_key(const Options& opts) {
   for (const double v : links) h.mix_double(v);
   h.mix_u64(rtts.size());
   for (const double v : rtts) h.mix_double(v);
+  // Background load changes every point's results, so a journal from a
+  // different background mix must be refused on --resume.
+  h.mix_u64(static_cast<std::uint64_t>(opts.packet_background));
+  h.mix_u64(static_cast<std::uint64_t>(opts.fluid_background));
   return h.state;
 }
 
@@ -383,7 +405,8 @@ inline runner::RunReport run_sweep(
                  journal.status().message().c_str());
   }
 
-  SweepJsonWriter json{opts.json_path};
+  SweepJsonWriter json{opts.json_path,
+                       opts.packet_background > 0 || opts.fluid_background > 0};
   const runner::ParallelRunner pool{opts.jobs};
 
   // Each attempt owns its telemetry recorder and hands it to the consuming

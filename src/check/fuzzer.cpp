@@ -142,6 +142,33 @@ scenario::DumbbellConfig ScenarioFuzzer::make_config(std::uint64_t index) const 
     cfg.udp_flows.push_back(spec);
   }
 
+  // Fluid-mix cases: ~1 in 3 runs adds fluid background specs so the fluid
+  // conservation oracle and the hybrid coupling path see random operating
+  // points. Counts reach into the thousands — cheap by construction.
+  if (chance(rng, 0.35)) {
+    const int fluid_specs = static_cast<int>(rng.uniform_below(2)) + 1;
+    for (int i = 0; i < fluid_specs; ++i) {
+      scenario::FluidFlowSpec spec;
+      spec.cc = draw_cc(rng);
+      static constexpr double kCounts[] = {1, 10, 100, 1000, 5000};
+      spec.count = pick(rng, kCounts);
+      spec.base_rtt = from_millis(rng.uniform(2.0, 150.0));
+      spec.start = from_seconds(rng.uniform(0.0, duration_s / 2.0));
+      if (chance(rng, 0.3)) {
+        spec.stop = spec.start + from_seconds(rng.uniform(0.2, duration_s));
+      }
+      cfg.fluid_flows.push_back(spec);
+    }
+    static constexpr double kFluidDtMs[] = {0.5, 1.0, 2.0, 5.0};
+    cfg.fluid_dt = from_millis(pick(rng, kFluidDtMs));
+  }
+
+  // Batched ACK clock: exercised on a fraction of cases so the batching
+  // path faces the full oracle suite too.
+  if (chance(rng, 0.25)) {
+    cfg.ack_quantum = from_millis(rng.uniform(0.1, 2.0));
+  }
+
   const int rate_changes = static_cast<int>(rng.uniform_below(3));
   for (int i = 0; i < rate_changes; ++i) {
     scenario::RateChange change;
@@ -166,15 +193,18 @@ std::string ScenarioFuzzer::describe(const scenario::DumbbellConfig& config) {
   for (const auto& f : config.tcp_flows) tcp += f.count;
   int udp = 0;
   for (const auto& f : config.udp_flows) udp += f.count;
+  double fluid = 0;
+  for (const auto& f : config.fluid_flows) fluid += f.count;
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "aqm=%s link=%.3gMbps buf=%lld dur=%.2fs tcp=%d udp=%d "
-                "rate_changes=%zu faults=%zu seed=%llu",
+                "fluid=%g ack_q=%.2gms rate_changes=%zu faults=%zu seed=%llu",
                 std::string(scenario::to_string(config.aqm.type)).c_str(),
                 config.link_rate_bps / 1e6,
                 static_cast<long long>(config.buffer_packets),
-                to_seconds(config.duration), tcp, udp,
-                config.rate_changes.size(), config.faults.events.size(),
+                to_seconds(config.duration), tcp, udp, fluid,
+                to_millis(config.ack_quantum), config.rate_changes.size(),
+                config.faults.events.size(),
                 static_cast<unsigned long long>(config.seed));
   return buf;
 }

@@ -235,6 +235,10 @@ std::vector<std::string> compare_golden(const std::string& baseline_path,
                          std::to_string(baseline.size()) + " vs candidate " +
                          std::to_string(candidate.size()));
   }
+  const auto ignored = [&options](const std::string& key) {
+    return std::find(options.ignore_fields.begin(), options.ignore_fields.end(),
+                     key) != options.ignore_fields.end();
+  };
   const std::size_t n = std::min(baseline.size(), candidate.size());
   for (std::size_t i = 0; i < n; ++i) {
     const JsonRecord& b = baseline[i];
@@ -242,6 +246,7 @@ std::vector<std::string> compare_golden(const std::string& baseline_path,
     const std::string label = record_label(baseline, i);
 
     for (const auto& [key, value] : b.strings) {
+      if (ignored(key)) continue;
       const auto it = c.strings.find(key);
       if (it == c.strings.end()) {
         mismatches.push_back(label + ": candidate missing field \"" + key + "\"");
@@ -251,6 +256,7 @@ std::vector<std::string> compare_golden(const std::string& baseline_path,
       }
     }
     for (const auto& [key, value] : b.numbers) {
+      if (ignored(key)) continue;
       const auto it = c.numbers.find(key);
       if (it == c.numbers.end()) {
         mismatches.push_back(label + ": candidate missing field \"" + key + "\"");
@@ -284,6 +290,7 @@ std::vector<std::string> compare_golden(const std::string& baseline_path,
     }
     for (const auto& [key, value] : c.numbers) {
       (void)value;
+      if (ignored(key)) continue;
       if (b.numbers.count(key) == 0 && b.strings.count(key) == 0) {
         mismatches.push_back(label + ": candidate has extra field \"" + key + "\"");
       }

@@ -47,6 +47,12 @@ struct GoldenOptions {
   std::map<std::string, double> metric_rel_tol;
   /// Fields that must match bit-exactly (beyond the always-exact strings).
   std::vector<std::string> exact_fields = {"index", "seed", "link_mbps", "rtt_ms"};
+  /// Fields skipped entirely — not compared, and allowed to be missing on
+  /// either side. For baselines whose candidate is produced by a different
+  /// engine tier (e.g. fluid background vs packet background on the same
+  /// figure): the headline metrics must still agree, but packet/event
+  /// counts legitimately differ by construction.
+  std::vector<std::string> ignore_fields;
 };
 
 /// The tolerance table used by the committed baselines: tight bands on the

@@ -11,6 +11,7 @@
 
 #include "check/golden.hpp"
 #include "durable/journal.hpp"
+#include "faults/fault_schedule.hpp"
 #include "durable/result_codec.hpp"
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
@@ -121,10 +122,17 @@ std::uint64_t result_digest(const scenario::RunResult& result) {
   mix_double(h, result.mean_qdelay_ms);
   mix_double(h, result.p99_qdelay_ms);
   mix_double(h, result.utilization);
+  mix_double(h, result.fluid.arrival_bytes);
+  mix_double(h, result.fluid.served_bytes);
+  mix_double(h, result.fluid.dropped_bytes);
+  mix_double(h, result.fluid.final_backlog_bytes);
+  mix_u64(h, result.fluid.ticks);
   mix_u64(h, static_cast<std::uint64_t>(result.flows.size()));
   for (const auto& flow : result.flows) {
     mix_u64(h, static_cast<std::uint64_t>(flow.cc));
     mix_u64(h, flow.is_udp ? 1 : 0);
+    mix_u64(h, flow.is_fluid ? 1 : 0);
+    mix_double(h, flow.count);
     mix_double(h, flow.goodput_mbps);
     mix_u64(h, static_cast<std::uint64_t>(flow.retransmits));
     mix_u64(h, static_cast<std::uint64_t>(flow.timeouts));
@@ -263,6 +271,70 @@ void check_invariants_clean(const scenario::DumbbellConfig& config,
   }
   if (config.check_invariants && result.invariant_checks == 0) {
     fail(failures, "invariants", "invariant monitor never ran a check");
+  }
+}
+
+void check_fluid(const scenario::DumbbellConfig& config,
+                 const scenario::RunResult& result,
+                 std::vector<OracleFailure>& failures) {
+  const scenario::FluidStats& f = result.fluid;
+  if (config.fluid_flows.empty()) {
+    if (f.ticks != 0 || f.arrival_bytes != 0.0 || f.served_bytes != 0.0 ||
+        f.dropped_bytes != 0.0 || f.final_backlog_bytes != 0.0) {
+      fail(failures, "fluid",
+           fmt("fluid stats nonzero without fluid specs "
+               "(arrival=%g served=%g dropped=%g backlog=%g ticks=%llu)",
+               f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+               f.final_backlog_bytes, static_cast<unsigned long long>(f.ticks)));
+    }
+    return;
+  }
+  if (f.ticks == 0) {
+    fail(failures, "fluid", "fluid specs configured but the ensemble never ticked");
+  }
+  if (!std::isfinite(f.arrival_bytes) || f.arrival_bytes < 0.0 ||
+      !std::isfinite(f.served_bytes) || f.served_bytes < 0.0 ||
+      !std::isfinite(f.dropped_bytes) || f.dropped_bytes < 0.0 ||
+      !std::isfinite(f.final_backlog_bytes) || f.final_backlog_bytes < 0.0) {
+    fail(failures, "fluid",
+         fmt("fluid accounting not finite/non-negative "
+             "(arrival=%g served=%g dropped=%g backlog=%g)",
+             f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+             f.final_backlog_bytes));
+    return;
+  }
+  // Conservation: every offered byte was carried, tail-dropped at the shared
+  // buffer, or is still queued.
+  const double residual = f.arrival_bytes - f.served_bytes - f.dropped_bytes -
+                          f.final_backlog_bytes;
+  const double scale = std::max(1.0, f.arrival_bytes);
+  if (std::abs(residual) / scale > 1e-6) {
+    fail(failures, "fluid",
+         fmt("fluid bytes not conserved: arrival %g != served %g + dropped %g "
+             "+ backlog %g (residual %g)",
+             f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+             f.final_backlog_bytes, residual));
+  }
+  // The link cannot have carried more fluid than its fastest configured
+  // rate sustained for the whole run. Fault-injected rate steps and flaps
+  // retune the bottleneck too, so they widen the bound alongside the
+  // scenario's own rate_changes.
+  double max_rate_bps = config.link_rate_bps;
+  for (const scenario::RateChange& change : config.rate_changes) {
+    max_rate_bps = std::max(max_rate_bps, change.rate_bps);
+  }
+  for (const faults::FaultEvent& event : config.faults.events) {
+    if (event.kind == faults::FaultKind::kRateStep ||
+        event.kind == faults::FaultKind::kRateFlap) {
+      max_rate_bps = std::max({max_rate_bps, event.rate_bps, event.rate2_bps});
+    }
+  }
+  const double cap_bytes =
+      max_rate_bps * pi2::sim::to_seconds(config.duration) / 8.0;
+  if (f.served_bytes > cap_bytes * (1.0 + 1e-6)) {
+    fail(failures, "fluid",
+         fmt("fluid served %g bytes exceeds whole-run link capacity %g",
+             f.served_bytes, cap_bytes));
   }
 }
 
@@ -446,6 +518,7 @@ CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
       recorder ? recorder->registry() : bare_registry;
   check_conservation(cfg, result, registry, outcome.failures);
   check_invariants_clean(cfg, result, outcome.failures);
+  check_fluid(cfg, result, outcome.failures);
   check_coupling_law(cfg, outcome.failures);
   check_coupling_snapshot(cfg, registry, outcome.failures);
   check_journal_roundtrip(result, outcome.failures);

@@ -13,6 +13,9 @@
 //   invariants     — the InvariantMonitor stayed clean, no event was
 //                    clamped into the past, no non-finite controller update
 //                    was rejected, and the monitor actually ran.
+//   fluid          — hybrid fluid/packet runs conserve fluid bytes
+//                    (arrival == served + final backlog), never serve more
+//                    than the link could carry, and tick iff configured.
 //   coupling-law   — disciplines implementing the paper's coupled output
 //                    (PI2, coupled PI2, Curvy RED) satisfy p = (p'/k)^2 at
 //                    every sampled operating point, both driven directly
@@ -87,6 +90,14 @@ void check_conservation(const scenario::DumbbellConfig& config,
 void check_invariants_clean(const scenario::DumbbellConfig& config,
                             const scenario::RunResult& result,
                             std::vector<OracleFailure>& failures);
+
+/// Fluid-tier accounting: bytes conserved (arrival == served + final
+/// backlog), all quantities finite and non-negative, served never exceeds
+/// what the link could have carried, and the ensemble actually ticked iff
+/// fluid specs were configured.
+void check_fluid(const scenario::DumbbellConfig& config,
+                 const scenario::RunResult& result,
+                 std::vector<OracleFailure>& failures);
 
 /// Direct-drive sampling: instantiates config.aqm's discipline, walks the
 /// queue through a deterministic ladder of delays and asserts the coupled

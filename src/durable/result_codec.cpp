@@ -10,7 +10,10 @@ namespace pi2::durable {
 
 namespace {
 
-constexpr const char* kMagic = "pi2-result-v1";
+// v2: fluid-tier stats (arrival/served/dropped/backlog/ticks) and the
+// per-flow is_fluid flag joined the payload; v1 journals decode as corrupt
+// and their points are re-simulated rather than silently misread.
+constexpr const char* kMagic = "pi2-result-v2";
 
 void put_u64(std::string& out, std::uint64_t v) {
   char buf[24];
@@ -201,6 +204,12 @@ std::string encode_result(const scenario::RunResult& result) {
   put_i64(out, result.fault_counters.rate_changes);
   put_i64(out, result.fault_counters.rtt_changes);
 
+  put_double(out, result.fluid.arrival_bytes);
+  put_double(out, result.fluid.served_bytes);
+  put_double(out, result.fluid.dropped_bytes);
+  put_double(out, result.fluid.final_backlog_bytes);
+  put_u64(out, result.fluid.ticks);
+
   put_double(out, result.mean_qdelay_ms);
   put_double(out, result.p99_qdelay_ms);
   put_double(out, result.utilization);
@@ -218,6 +227,8 @@ std::string encode_result(const scenario::RunResult& result) {
   for (const auto& flow : result.flows) {
     put_u64(out, static_cast<std::uint64_t>(flow.cc));
     put_u64(out, flow.is_udp ? 1 : 0);
+    put_u64(out, flow.is_fluid ? 1 : 0);
+    put_double(out, flow.count);
     put_double(out, flow.goodput_mbps);
     put_i64(out, flow.retransmits);
     put_i64(out, flow.timeouts);
@@ -258,6 +269,12 @@ Status decode_result(const std::string& payload, scenario::RunResult& result) {
        reader.i64(out.fault_counters.rate_changes) &&
        reader.i64(out.fault_counters.rtt_changes);
 
+  ok = ok && reader.real(out.fluid.arrival_bytes) &&
+       reader.real(out.fluid.served_bytes) &&
+       reader.real(out.fluid.dropped_bytes) &&
+       reader.real(out.fluid.final_backlog_bytes) &&
+       reader.u64(out.fluid.ticks);
+
   ok = ok && reader.real(out.mean_qdelay_ms) && reader.real(out.p99_qdelay_ms) &&
        reader.real(out.utilization);
 
@@ -276,11 +293,14 @@ Status decode_result(const std::string& payload, scenario::RunResult& result) {
     scenario::FlowResult flow;
     std::uint64_t cc = 0;
     std::uint64_t is_udp = 0;
-    ok = reader.u64(cc) && reader.u64(is_udp) && reader.real(flow.goodput_mbps) &&
+    std::uint64_t is_fluid = 0;
+    ok = reader.u64(cc) && reader.u64(is_udp) && reader.u64(is_fluid) &&
+         reader.real(flow.count) && reader.real(flow.goodput_mbps) &&
          reader.i64(flow.retransmits) && reader.i64(flow.timeouts);
     if (ok) {
       flow.cc = static_cast<tcp::CcType>(cc);
       flow.is_udp = is_udp != 0;
+      flow.is_fluid = is_fluid != 0;
       out.flows.push_back(flow);
     }
   }

@@ -66,7 +66,10 @@ void InvariantMonitor::check_now() {
          format("scalable probability p' = %g outside [0, 1]", ps));
   }
 
-  // Backlogs non-negative and byte accounting consistent.
+  // Backlogs non-negative and byte accounting consistent. The drift check
+  // targets the packet buffer's running counter specifically: the AQM-facing
+  // backlog_bytes() additionally includes the fluid tier, whose backlog is
+  // modelled rather than recountable from buffer contents.
   const std::int64_t bytes = link_.backlog_bytes();
   const std::int64_t packets = link_.backlog_packets();
   if (bytes < 0) {
@@ -77,11 +80,12 @@ void InvariantMonitor::check_now() {
     fail("backlog-packets", format_ll("backlog_packets = %lld is negative",
                                       static_cast<long long>(packets)));
   }
+  const std::int64_t packet_bytes = link_.packet_backlog_bytes();
   const std::int64_t recount = link_.recount_backlog_bytes();
-  if (bytes != recount) {
+  if (packet_bytes != recount) {
     fail("backlog-drift",
-         format_ll("incremental backlog_bytes = %lld but buffer recount = %lld",
-                   static_cast<long long>(bytes),
+         format_ll("incremental packet_backlog_bytes = %lld but buffer recount = %lld",
+                   static_cast<long long>(packet_bytes),
                    static_cast<long long>(recount)));
   }
 

@@ -1,5 +1,6 @@
 #include "net/bottleneck_link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -18,7 +19,26 @@ BottleneckLink::BottleneckLink(pi2::sim::Simulator& sim, Config config,
 }
 
 Duration BottleneckLink::queue_delay() const {
-  return from_seconds(static_cast<double>(backlog_bytes_) * 8.0 / config_.rate_bps);
+  // Aggregate (packet + fluid) backlog over the full link rate: the sojourn
+  // time a byte arriving now would see, which is what the AQM regulates.
+  return from_seconds(static_cast<double>(backlog_bytes()) * 8.0 / config_.rate_bps);
+}
+
+double BottleneckLink::packet_rate_bps() const {
+  // The fluid tier is served work-conserving from the same capacity, so
+  // packets serialize at what remains. Floor at 1% of the link so a fluid
+  // overload slows the packet tier down rather than stalling it outright.
+  return std::max(config_.rate_bps - fluid_rate_bps_, 0.01 * config_.rate_bps);
+}
+
+void BottleneckLink::audit_backlog() const {
+#ifndef NDEBUG
+  if (--audit_countdown_ == 0) {
+    audit_countdown_ = 256;
+    assert(packet_backlog_bytes_ == recount_backlog_bytes() &&
+           "packet backlog counter drifted from buffer contents");
+  }
+#endif
 }
 
 void BottleneckLink::drop(const Packet& packet, DropReason reason) {
@@ -73,7 +93,8 @@ void BottleneckLink::accept(Packet packet) {
   }
   packet.enqueued_at = sim_.now();
   ++counters_.enqueued;
-  backlog_bytes_ += packet.size;
+  packet_backlog_bytes_ += packet.size;
+  audit_backlog();
   probes_.emit_enqueue(packet);
   buffer_.push_back(packet);
   try_start_transmission();
@@ -84,7 +105,8 @@ void BottleneckLink::try_start_transmission() {
   while (!buffer_.empty()) {
     Packet packet = buffer_.front();
     buffer_.pop_front();
-    backlog_bytes_ -= packet.size;
+    packet_backlog_bytes_ -= packet.size;
+    audit_backlog();
     switch (qdisc_->dequeue(packet)) {
       case QueueDiscipline::Verdict::kDrop:
         ++counters_.dequeue_dropped;
@@ -99,7 +121,7 @@ void BottleneckLink::try_start_transmission() {
     }
     const Time started = sim_.now();
     const Duration tx_time =
-        from_seconds(static_cast<double>(packet.size) * 8.0 / config_.rate_bps);
+        from_seconds(static_cast<double>(packet.size) * 8.0 / packet_rate_bps());
     transmitting_ = true;
     sim_.after(tx_time, [this, packet, started]() mutable {
       finish_transmission(std::move(packet), started);

@@ -110,6 +110,28 @@ class BottleneckLink final : public QueueView {
   /// Changes the drain rate; applies from the next transmission start.
   void set_rate_bps(double bps) { config_.rate_bps = bps; }
 
+  /// Injects the fluid-tier queue state (hybrid fluid/packet runs). The
+  /// fluid backlog joins the AQM's view of the queue (backlog_bytes and
+  /// queue_delay) so the controller reacts to the aggregate congestion, and
+  /// the fluid service rate reduces the capacity packets serialize at.
+  /// Called once per fluid tick by the scenario glue; both zero when no
+  /// fluid flows are configured.
+  void set_fluid_state(std::int64_t fluid_backlog_bytes,
+                       double fluid_rate_bps) {
+    fluid_backlog_bytes_ = fluid_backlog_bytes;
+    fluid_rate_bps_ = fluid_rate_bps;
+  }
+  [[nodiscard]] std::int64_t fluid_backlog_bytes() const {
+    return fluid_backlog_bytes_;
+  }
+
+  /// Byte backlog of the packet buffer alone, excluding the fluid tier.
+  /// This is the quantity conserved by enqueue/dequeue/drop accounting (the
+  /// InvariantMonitor cross-checks it against recount_backlog_bytes()).
+  [[nodiscard]] std::int64_t packet_backlog_bytes() const {
+    return packet_backlog_bytes_;
+  }
+
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] const pi2::sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] QueueDiscipline& qdisc() { return *qdisc_; }
@@ -123,15 +145,20 @@ class BottleneckLink final : public QueueView {
 
   /// Recomputes the byte backlog from the buffer contents. O(queue length);
   /// the InvariantMonitor compares it against the incremental
-  /// backlog_bytes() accounting to catch drift/corruption.
+  /// packet_backlog_bytes() accounting to catch drift/corruption. Never on
+  /// the AQM decision path — backlog_bytes() is the O(1) running counter.
   [[nodiscard]] std::int64_t recount_backlog_bytes() const {
     std::int64_t total = 0;
     for (const Packet& p : buffer_) total += p.size;
     return total;
   }
 
-  // QueueView:
-  [[nodiscard]] std::int64_t backlog_bytes() const override { return backlog_bytes_; }
+  // QueueView. backlog_bytes is the congestion signal the AQM integrates:
+  // packet buffer plus the fluid tier's backlog, so PI2 regulates the
+  // aggregate queue in hybrid runs.
+  [[nodiscard]] std::int64_t backlog_bytes() const override {
+    return packet_backlog_bytes_ + fluid_backlog_bytes_;
+  }
   [[nodiscard]] std::int64_t backlog_packets() const override {
     return static_cast<std::int64_t>(buffer_.size());
   }
@@ -143,12 +170,22 @@ class BottleneckLink final : public QueueView {
   void try_start_transmission();
   void finish_transmission(Packet packet, pi2::sim::Time started);
   void drop(const Packet& packet, DropReason reason);
+  /// Capacity left for packets after the fluid tier's service share.
+  [[nodiscard]] double packet_rate_bps() const;
+  /// Debug-build sampled audit: every 256th mutation recounts the buffer
+  /// and asserts it matches the running counter. Compiles away in Release.
+  void audit_backlog() const;
 
   pi2::sim::Simulator& sim_;
   Config config_;
   std::unique_ptr<QueueDiscipline> qdisc_;
   std::deque<Packet> buffer_;
-  std::int64_t backlog_bytes_ = 0;
+  std::int64_t packet_backlog_bytes_ = 0;
+  std::int64_t fluid_backlog_bytes_ = 0;
+  double fluid_rate_bps_ = 0.0;
+#ifndef NDEBUG
+  mutable std::uint32_t audit_countdown_ = 256;
+#endif
   bool transmitting_ = false;
   Counters counters_;
   std::function<void(Packet)> sink_;

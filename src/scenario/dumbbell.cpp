@@ -1,16 +1,23 @@
 #include "scenario/dumbbell.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "control/fluid_flow.hpp"
 #include "durable/status.hpp"
+#include "net/batch_pipe.hpp"
+#include "net/packet_pool.hpp"
 #include "net/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/endpoint.hpp"
+#include "tcp/flow_table.hpp"
 #include "tcp/udp_sender.hpp"
 #include "telemetry/probes.hpp"
 #include "telemetry/recorder.hpp"
@@ -18,23 +25,20 @@
 namespace pi2::scenario {
 
 using pi2::sim::Duration;
+using pi2::sim::from_seconds;
 using pi2::sim::Time;
 using pi2::sim::to_millis;
 using pi2::sim::to_seconds;
 
 namespace {
 
-/// Everything belonging to one flow, TCP or UDP.
-struct FlowContext {
-  tcp::CcType cc{};
-  bool is_udp = false;
-  Duration base_rtt{};
-  std::unique_ptr<tcp::TcpSender> sender;
-  std::unique_ptr<tcp::TcpReceiver> receiver;
-  std::unique_ptr<tcp::UdpSender> udp;
-  stats::RateMeter goodput;
-  std::int64_t bytes_at_stats_start = 0;
-};
+/// Signal routing for a fluid spec: the cc families that mark with ECT(1)
+/// integrate against p', everything else against p.
+control::FluidSignal fluid_signal_for(tcp::CcType cc) {
+  return tcp::make_congestion_control(cc)->is_scalable()
+             ? control::FluidSignal::kScalable
+             : control::FluidSignal::kClassic;
+}
 
 /// Formats a validate() message: "<field> must <constraint> (got <value>)".
 std::string bad_field(const char* field, const char* constraint, double got) {
@@ -138,6 +142,33 @@ std::string DumbbellConfig::validate() const {
       return where + bad_field("stop", "be after start", to_seconds(f.stop));
     }
   }
+  for (std::size_t i = 0; i < fluid_flows.size(); ++i) {
+    const FluidFlowSpec& f = fluid_flows[i];
+    const std::string where = "fluid_flows[" + std::to_string(i) + "].";
+    if (!(f.count >= 0.0) || !std::isfinite(f.count)) {
+      return where + bad_field("count", "be finite and >= 0", f.count);
+    }
+    if (f.base_rtt <= pi2::sim::Duration{0}) {
+      return where + bad_field("base_rtt", "be > 0 seconds",
+                               to_seconds(f.base_rtt));
+    }
+    if (f.mss_bytes <= 0 || f.mss_bytes > 65535) {
+      return where + bad_field("mss_bytes", "lie in [1, 65535]",
+                               static_cast<double>(f.mss_bytes));
+    }
+    if (f.start < pi2::sim::kTimeZero) {
+      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
+    }
+    if (f.stop <= f.start) {
+      return where + bad_field("stop", "be after start", to_seconds(f.stop));
+    }
+  }
+  if (fluid_dt <= pi2::sim::Duration{0}) {
+    return bad_field("fluid_dt", "be > 0 seconds", to_seconds(fluid_dt));
+  }
+  if (ack_quantum < pi2::sim::Duration{0}) {
+    return bad_field("ack_quantum", "be >= 0 seconds", to_seconds(ack_quantum));
+  }
   for (std::size_t i = 0; i < rate_changes.size(); ++i) {
     const RateChange& c = rate_changes[i];
     const std::string where = "rate_changes[" + std::to_string(i) + "].";
@@ -160,7 +191,7 @@ double RunResult::mean_goodput_mbps(tcp::CcType cc) const {
   double sum = 0.0;
   int n = 0;
   for (const FlowResult& f : flows) {
-    if (!f.is_udp && f.cc == cc) {
+    if (!f.is_udp && !f.is_fluid && f.cc == cc) {
       sum += f.goodput_mbps;
       ++n;
     }
@@ -205,11 +236,22 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   stats::RateMeter total_meter{std::chrono::seconds{1}};
   double busy_at_stats_start = 0.0;
 
-  std::vector<std::unique_ptr<FlowContext>> flows;
+  tcp::FlowTable flows;
+
+  // Bytes the link served for packets since the last fluid tick; the fluid
+  // tier is work-conserving from the residual capacity.
+  double pkt_bytes_this_tick = 0.0;
+  // Wall-clock seconds the link spent serializing packets (at the residual
+  // rate when fluid is active) — the fluid tier's utilization credit is
+  // computed against this measured total.
+  double packet_busy_s = 0.0;
 
   // --- Wire the bottleneck's probes. -------------------------------------
   if (config.trace != nullptr) config.trace->attach(link);
-  link.set_busy_probe([&](Time from, Time to) { util_meter.add_busy(from, to); });
+  link.set_busy_probe([&](Time from, Time to) {
+    util_meter.add_busy(from, to);
+    packet_busy_s += to_seconds(to - from);
+  });
   link.set_departure_probe([&](const net::Packet& packet, Duration sojourn) {
     if (sim.now() >= config.stats_start) {
       result.qdelay_ms_packets.add(to_millis(sojourn));
@@ -217,71 +259,111 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     (void)packet;
   });
 
+  // Delivery of a propagated packet to its endpoint (either side of the
+  // propagation hop schedules this).
+  auto deliver_data = [&flows, &sim](const net::Packet& packet) {
+    if (flows.kind(packet.flow) == tcp::FlowTable::Kind::kUdp) {
+      flows.goodput(packet.flow).add_bytes(sim.now(), packet.size);
+    } else {
+      flows.receiver(packet.flow)->on_data(packet);
+    }
+  };
+  auto deliver_ack = [&flows](const net::Packet& ack) {
+    flows.sender(ack.flow)->on_ack(ack);
+  };
+
+  // ACK-clock batching (config.ack_quantum > 0): both propagation hops run
+  // through BatchDelayPipes bucketed by half-RTT, so same-quantum packets
+  // share one scheduler event and one pooled slab. With quantum == 0 every
+  // packet keeps its own exactly-timed event (the legacy path).
+  const bool batched = config.ack_quantum > Duration{0};
+  net::PacketSlabPool slab_pool;
+  std::deque<net::BatchDelayPipe> data_pipes;  // deque: stable refs as buckets appear
+  std::deque<net::BatchDelayPipe> ack_pipes;
+  std::unordered_map<std::int64_t, std::size_t> bucket_by_half_rtt;
+  std::vector<std::size_t> bucket_of_flow;
+  auto bucket_for = [&](Duration half_rtt) {
+    const auto [it, inserted] =
+        bucket_by_half_rtt.try_emplace(half_rtt.count(), data_pipes.size());
+    if (inserted) {
+      data_pipes.emplace_back(sim, half_rtt, config.ack_quantum, slab_pool);
+      data_pipes.back().set_sink(deliver_data);
+      ack_pipes.emplace_back(sim, half_rtt, config.ack_quantum, slab_pool);
+      ack_pipes.back().set_sink(deliver_ack);
+    }
+    return it->second;
+  };
+
   // Forward path: after the bottleneck, packets propagate base_rtt/2 to the
   // flow's receiver; ACKs return after another base_rtt/2.
   link.set_sink([&](net::Packet packet) {
-    if (packet.flow < 0 || packet.flow >= static_cast<std::int32_t>(flows.size())) {
+    if (!flows.contains(packet.flow)) return;
+    pkt_bytes_this_tick += packet.size;
+    total_meter.add_bytes(sim.now(), packet.size);
+    if (batched) {
+      data_pipes[bucket_of_flow[static_cast<std::size_t>(packet.flow)]].send(
+          std::move(packet));
       return;
     }
-    FlowContext& flow = *flows[static_cast<std::size_t>(packet.flow)];
-    sim.after(flow.base_rtt / 2, [&flow, packet, &sim]() {
-      if (flow.is_udp) {
-        flow.goodput.add_bytes(sim.now(), packet.size);
-      } else {
-        flow.receiver->on_data(packet);
-      }
-    });
-    total_meter.add_bytes(sim.now(), packet.size);
+    sim.after(flows.half_rtt(packet.flow),
+              [&deliver_data, packet] { deliver_data(packet); });
   });
 
   // --- Create flows. ------------------------------------------------------
   auto add_tcp_flow = [&](const TcpFlowSpec& spec, int index_in_spec) {
-    const auto flow_id = static_cast<std::int32_t>(flows.size());
-    auto ctx = std::make_unique<FlowContext>();
-    ctx->cc = spec.cc;
-    ctx->base_rtt = spec.base_rtt;
-
     tcp::TcpSender::Config sc;
-    sc.flow = flow_id;
+    sc.flow = static_cast<std::int32_t>(flows.size());
     sc.max_cwnd = spec.max_cwnd;
-    ctx->sender = std::make_unique<tcp::TcpSender>(
+    auto sender = std::make_unique<tcp::TcpSender>(
         sim, sc, tcp::make_congestion_control(spec.cc));
-    ctx->receiver = std::make_unique<tcp::TcpReceiver>(sim, flow_id);
+    auto receiver = std::make_unique<tcp::TcpReceiver>(sim, sc.flow);
+    const std::int32_t flow_id =
+        flows.add_tcp(spec.cc, spec.base_rtt, std::move(sender),
+                      std::move(receiver));
+    bucket_of_flow.push_back(batched ? bucket_for(spec.base_rtt / 2) : 0);
 
-    FlowContext* raw = ctx.get();
-    ctx->sender->set_output([&link](net::Packet p) { link.send(std::move(p)); });
-    ctx->receiver->set_delivery_probe([raw, &sim](const net::Packet& p) {
-      raw->goodput.add_bytes(sim.now(), p.size);
-    });
-    ctx->receiver->set_ack_path([raw, &sim](net::Packet ack) {
-      sim.after(raw->base_rtt / 2, [raw, ack] { raw->sender->on_ack(ack); });
-    });
+    flows.sender(flow_id)->set_output(
+        [&link](net::Packet p) { link.send(std::move(p)); });
+    flows.receiver(flow_id)->set_delivery_probe(
+        [&flows, flow_id, &sim](const net::Packet& p) {
+          flows.goodput(flow_id).add_bytes(sim.now(), p.size);
+        });
+    if (batched) {
+      flows.receiver(flow_id)->set_ack_path(
+          [&ack_pipes, &bucket_of_flow, flow_id](net::Packet ack) {
+            ack_pipes[bucket_of_flow[static_cast<std::size_t>(flow_id)]].send(
+                std::move(ack));
+          });
+    } else {
+      flows.receiver(flow_id)->set_ack_path(
+          [&flows, flow_id, &sim](net::Packet ack) {
+            sim.after(flows.half_rtt(flow_id), [&flows, flow_id, ack] {
+              flows.sender(flow_id)->on_ack(ack);
+            });
+          });
+    }
 
     const Time start = spec.start + spec.stagger * index_in_spec;
-    sim.at(start, [raw] { raw->sender->start(); });
+    sim.at(start, [&flows, flow_id] { flows.sender(flow_id)->start(); });
     if (spec.stop < pi2::sim::kTimeInfinity) {
-      sim.at(spec.stop, [raw] { raw->sender->stop(); });
+      sim.at(spec.stop, [&flows, flow_id] { flows.sender(flow_id)->stop(); });
     }
-    flows.push_back(std::move(ctx));
   };
 
   auto add_udp_flow = [&](const UdpFlowSpec& spec) {
-    const auto flow_id = static_cast<std::int32_t>(flows.size());
-    auto ctx = std::make_unique<FlowContext>();
-    ctx->is_udp = true;
-    ctx->base_rtt = spec.base_rtt;
     tcp::UdpSender::Config uc;
-    uc.flow = flow_id;
+    uc.flow = static_cast<std::int32_t>(flows.size());
     uc.rate_bps = spec.rate_bps;
     uc.packet_bytes = spec.packet_bytes;
-    ctx->udp = std::make_unique<tcp::UdpSender>(sim, uc);
-    ctx->udp->set_output([&link](net::Packet p) { link.send(std::move(p)); });
-    FlowContext* raw = ctx.get();
-    sim.at(spec.start, [raw] { raw->udp->start(); });
+    auto udp = std::make_unique<tcp::UdpSender>(sim, uc);
+    const std::int32_t flow_id = flows.add_udp(spec.base_rtt, std::move(udp));
+    bucket_of_flow.push_back(batched ? bucket_for(spec.base_rtt / 2) : 0);
+    flows.udp(flow_id)->set_output(
+        [&link](net::Packet p) { link.send(std::move(p)); });
+    sim.at(spec.start, [&flows, flow_id] { flows.udp(flow_id)->start(); });
     if (spec.stop < pi2::sim::kTimeInfinity) {
-      sim.at(spec.stop, [raw] { raw->udp->stop(); });
+      sim.at(spec.stop, [&flows, flow_id] { flows.udp(flow_id)->stop(); });
     }
-    flows.push_back(std::move(ctx));
   };
 
   for (const TcpFlowSpec& spec : config.tcp_flows) {
@@ -289,6 +371,110 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   }
   for (const UdpFlowSpec& spec : config.udp_flows) {
     for (int i = 0; i < spec.count; ++i) add_udp_flow(spec);
+  }
+
+  // --- Fluid tier. ---------------------------------------------------------
+  // One ensemble integrates every fluid spec against the live AQM signal;
+  // its tick also runs the fluid/packet capacity split: packets get exact
+  // service, the fluid tier is served work-conserving from what remains,
+  // and the un-served remainder becomes backlog the AQM sees.
+  std::unique_ptr<control::FluidFlowEnsemble> fluid;
+  double fluid_backlog_bytes = 0.0;
+  double fluid_arrival_bytes = 0.0;
+  double fluid_served_bytes = 0.0;
+  double fluid_dropped_bytes = 0.0;
+  std::vector<double> spec_arrival_bytes(config.fluid_flows.size(), 0.0);
+  std::vector<double> spec_arrival_at_stats_start(config.fluid_flows.size(),
+                                                  0.0);
+  if (!config.fluid_flows.empty()) {
+    control::FluidFlowEnsemble::Config fluid_config;
+    fluid_config.dt_s = to_seconds(config.fluid_dt);
+    fluid = std::make_unique<control::FluidFlowEnsemble>(sim, fluid_config);
+    for (const FluidFlowSpec& spec : config.fluid_flows) {
+      control::FluidFlowSpec fs;
+      fs.signal = fluid_signal_for(spec.cc);
+      fs.count = spec.count;
+      fs.base_rtt_s = to_seconds(spec.base_rtt);
+      fs.mss_bytes = spec.mss_bytes;
+      fs.start_s = to_seconds(spec.start);
+      fs.stop_s = to_seconds(spec.stop);
+      fluid->add_spec(fs);
+    }
+    control::FluidFlowEnsemble::Sources sources;
+    sources.classic_probability = [&link] {
+      return link.qdisc().classic_probability();
+    };
+    sources.scalable_probability = [&link] {
+      return link.qdisc().scalable_probability();
+    };
+    sources.queue_delay_s = [&link] {
+      return to_seconds(link.queue_delay());
+    };
+    fluid->set_sources(std::move(sources));
+    const double dt_s = to_seconds(config.fluid_dt);
+    // Utilization bookkeeping across ticks: `target` is the cumulative
+    // full-rate-equivalent busy time of everything the link carried
+    // ((pkt + served)·8/C per tick); `credited` is what the fluid tier has
+    // already added on top of the measured packet serialization time.
+    fluid->set_tick_sink([&, dt_s, target_busy_s = 0.0, credited_busy_s = 0.0,
+                          last_packet_busy_s = 0.0](double aggregate_bps) mutable {
+      const double rate_bps = link.link_rate_bps();
+      const double cap_bytes = rate_bps * dt_s / 8.0;
+      const double pkt_bytes = std::exchange(pkt_bytes_this_tick, 0.0);
+      const double avail = std::max(cap_bytes - pkt_bytes, 0.0);
+      const double demand = aggregate_bps * dt_s / 8.0;
+      fluid_backlog_bytes += demand;
+      fluid_arrival_bytes += demand;
+      for (std::size_t i = 0; i < spec_arrival_bytes.size(); ++i) {
+        spec_arrival_bytes[i] += fluid->spec_rate_bps(i) * dt_s / 8.0;
+      }
+      const double served = std::min(fluid_backlog_bytes, avail);
+      fluid_backlog_bytes -= served;
+      fluid_served_bytes += served;
+      // Tail-drop analog: the fluid tier shares the link's buffer. Whatever
+      // backlog the buffer cannot hold beyond the packets already queued is
+      // discarded, exactly like the buffer-limit drop on the packet path —
+      // without it a fluid overshoot would integrate into an unbounded
+      // standing queue no real buffered flow could ever build.
+      const double buffer_bytes =
+          static_cast<double>(config.buffer_packets) * net::kDefaultMss;
+      const double fluid_room = std::max(
+          buffer_bytes - static_cast<double>(link.packet_backlog_bytes()), 0.0);
+      if (fluid_backlog_bytes > fluid_room) {
+        fluid_dropped_bytes += fluid_backlog_bytes - fluid_room;
+        fluid_backlog_bytes = fluid_room;
+      }
+      link.set_fluid_state(std::llround(fluid_backlog_bytes),
+                           served * 8.0 / dt_s);
+      // Credit the carried fluid bytes to the run's utilization and
+      // throughput accounting — without this, a mostly-fluid run would
+      // report only the foreground share as "utilization". The busy probe
+      // already recorded the packets' wall time at the *residual* rate, so
+      // the fluid credit per tick is whatever keeps the cumulative busy
+      // total (measured packet time + credits) tracking the cumulative
+      // full-rate-equivalent target; the comparison is cumulative because a
+      // single packet's serialization spans many ticks at a small residual
+      // rate while its bytes land in one.
+      target_busy_s += (pkt_bytes + served) * 8.0 / rate_bps;
+      // Never credit more than the tick's idle time: packets that finished
+      // serializing this tick already claimed their share of it, and a tick
+      // cannot hold more than dt of busy time without pushing a stats window
+      // above 100% utilization.
+      const double busy_in_tick = packet_busy_s - last_packet_busy_s;
+      last_packet_busy_s = packet_busy_s;
+      const double credit =
+          std::clamp(target_busy_s - (packet_busy_s + credited_busy_s), 0.0,
+                     std::max(dt_s - busy_in_tick, 0.0));
+      if (credit > 0.0) {
+        util_meter.add_busy(sim.now() - from_seconds(credit), sim.now());
+        credited_busy_s += credit;
+      }
+      if (served > 0.0) {
+        total_meter.add_bytes(sim.now(),
+                              static_cast<std::int64_t>(std::llround(served)));
+      }
+    });
+    fluid->start();
   }
 
   // --- Schedules. ----------------------------------------------------------
@@ -299,8 +485,11 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   // Scripted impairments: the injector replays the fault schedule through
   // the link and the scheduler, from its own derived RNG stream.
   faults::FaultInjector injector{sim, config.faults, config.seed};
-  injector.set_rtt_setter([&flows](Duration rtt) {
-    for (auto& flow : flows) flow->base_rtt = rtt;
+  injector.set_rtt_setter([&flows, &data_pipes, &ack_pipes](Duration rtt) {
+    flows.set_all_base_rtt(rtt);
+    // RTT steps apply to every flow, so every half-RTT bucket moves too.
+    for (net::BatchDelayPipe& pipe : data_pipes) pipe.set_delay(rtt / 2);
+    for (net::BatchDelayPipe& pipe : ack_pipes) pipe.set_delay(rtt / 2);
   });
   injector.attach(link);
 
@@ -319,19 +508,19 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     telemetry::attach_aqm_probes(reg, link.qdisc());
     telemetry::attach_simulator_probes(reg, sim);
     reg.gauge("tcp.retransmits", [&flows] {
-      std::int64_t n = 0;
-      for (const auto& flow : flows) {
-        if (flow->sender) n += flow->sender->retransmits();
-      }
-      return static_cast<double>(n);
+      return static_cast<double>(flows.total_retransmits());
     });
     reg.gauge("tcp.timeouts", [&flows] {
-      std::int64_t n = 0;
-      for (const auto& flow : flows) {
-        if (flow->sender) n += flow->sender->timeouts();
-      }
-      return static_cast<double>(n);
+      return static_cast<double>(flows.total_timeouts());
     });
+    if (fluid) {
+      reg.gauge("fluid.backlog_bytes",
+                [&fluid_backlog_bytes] { return fluid_backlog_bytes; });
+      reg.gauge("fluid.aggregate_bps",
+                [&f = *fluid] { return f.aggregate_rate_bps(); });
+      reg.gauge("fluid.active_flows",
+                [&f = *fluid] { return f.active_flow_count(); });
+    }
     reg.gauge("faults.applied", [&injector] {
       const faults::FaultInjector::Counters& fc = injector.counters();
       return static_cast<double>(fc.dropped + fc.bleached + fc.reordered +
@@ -358,6 +547,8 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
                  static_cast<std::uint64_t>(config.tcp_flows.size()));
     manifest.set("udp_flow_specs",
                  static_cast<std::uint64_t>(config.udp_flows.size()));
+    manifest.set("fluid_flow_specs",
+                 static_cast<std::uint64_t>(config.fluid_flows.size()));
     manifest.set("flows", static_cast<std::uint64_t>(flows.size()));
     manifest.set("duration_s", to_seconds(config.duration));
     manifest.set("stats_start_s", to_seconds(config.stats_start));
@@ -384,9 +575,10 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   sim.at(config.stats_start, [&] {
     busy_at_stats_start = util_meter.total_busy_seconds();
     counters_at_stats_start = link.counters();
-    for (auto& flow : flows) {
-      flow->bytes_at_stats_start = flow->goodput.total_bytes();
+    for (std::int32_t f = 0; f < static_cast<std::int32_t>(flows.size()); ++f) {
+      flows.bytes_at_stats_start(f) = flows.goodput(f).total_bytes();
     }
+    spec_arrival_at_stats_start = spec_arrival_bytes;
   });
 
   // --- Run. ----------------------------------------------------------------
@@ -440,20 +632,41 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     result.utilization = busy / stats_span_s;
   }
 
-  for (auto& flow : flows) {
+  for (std::int32_t f = 0; f < static_cast<std::int32_t>(flows.size()); ++f) {
     FlowResult fr;
-    fr.cc = flow->cc;
-    fr.is_udp = flow->is_udp;
+    fr.cc = flows.cc(f);
+    fr.is_udp = flows.kind(f) == tcp::FlowTable::Kind::kUdp;
     if (stats_span_s > 0.0) {
-      const auto bytes = flow->goodput.total_bytes() - flow->bytes_at_stats_start;
+      const auto bytes =
+          flows.goodput(f).total_bytes() - flows.bytes_at_stats_start(f);
       fr.goodput_mbps = static_cast<double>(bytes) * 8.0 / stats_span_s / 1e6;
     }
-    if (flow->sender) {
-      fr.retransmits = flow->sender->retransmits();
-      fr.timeouts = flow->sender->timeouts();
+    if (const tcp::TcpSender* sender = flows.sender(f)) {
+      fr.retransmits = sender->retransmits();
+      fr.timeouts = sender->timeouts();
     }
     result.flows.push_back(fr);
   }
+  // One FlowResult per fluid spec: goodput is the windowed offered rate
+  // averaged over the spec's `count` modelled flows.
+  for (std::size_t i = 0; i < config.fluid_flows.size(); ++i) {
+    const FluidFlowSpec& spec = config.fluid_flows[i];
+    FlowResult fr;
+    fr.cc = spec.cc;
+    fr.is_fluid = true;
+    fr.count = spec.count;
+    if (stats_span_s > 0.0 && spec.count > 0.0) {
+      const double bytes =
+          spec_arrival_bytes[i] - spec_arrival_at_stats_start[i];
+      fr.goodput_mbps = bytes * 8.0 / stats_span_s / 1e6 / spec.count;
+    }
+    result.flows.push_back(fr);
+  }
+  result.fluid.arrival_bytes = fluid_arrival_bytes;
+  result.fluid.served_bytes = fluid_served_bytes;
+  result.fluid.dropped_bytes = fluid_dropped_bytes;
+  result.fluid.final_backlog_bytes = fluid_backlog_bytes;
+  result.fluid.ticks = fluid ? fluid->ticks() : 0;
 
   result.mean_qdelay_ms = result.qdelay_ms_packets.mean();
   result.p99_qdelay_ms = result.qdelay_ms_packets.p99();

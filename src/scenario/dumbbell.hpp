@@ -64,6 +64,23 @@ struct UdpFlowSpec {
   pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
 };
 
+/// N background flows modelled as one fluid ODE (Appendix B window
+/// dynamics driven by the live AQM signal) instead of N packet senders:
+/// O(1) state and one scheduler tick per fluid_dt regardless of count, so
+/// 10⁵–10⁶ flows of load can share the bottleneck with a handful of
+/// packet-accurate foreground flows. The congestion control picks the
+/// window law and signal: Reno/Cubic-family specs integrate eq. (15)
+/// against the Classic probability p, DCTCP/Scalable-family specs
+/// integrate eq. (22) against the Scalable probability p'.
+struct FluidFlowSpec {
+  tcp::CcType cc = tcp::CcType::kReno;
+  double count = 1000.0;
+  pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
+  std::int32_t mss_bytes = net::kDefaultMss;
+  pi2::sim::Time start{0};
+  pi2::sim::Time stop{pi2::sim::kTimeInfinity};
+};
+
 struct RateChange {
   pi2::sim::Time at{0};
   double rate_bps = 10e6;
@@ -75,7 +92,23 @@ struct DumbbellConfig {
   AqmConfig aqm;
   std::vector<TcpFlowSpec> tcp_flows;
   std::vector<UdpFlowSpec> udp_flows;
+  /// Fluid-tier background load (see FluidFlowSpec). The fluid backlog
+  /// joins the AQM's queue signal and consumes link capacity, closing the
+  /// loop with the packet flows.
+  std::vector<FluidFlowSpec> fluid_flows;
   std::vector<RateChange> rate_changes;
+  /// Integration/tick period of the fluid tier (one scheduler event per
+  /// tick, shared by all fluid specs).
+  pi2::sim::Duration fluid_dt = pi2::sim::from_millis(1);
+  /// ACK-clock batching quantum. 0 (default) schedules one event per packet
+  /// per propagation hop, exactly like always. > 0 routes the propagation
+  /// hops through BatchDelayPipes: packets from all flows in the same RTT
+  /// bucket whose delivery falls in the same quantum share one scheduler
+  /// event and one pooled allocation, so the scheduler sees O(buckets ×
+  /// quanta) timers instead of O(packets). Delivery is deferred to the end
+  /// of the quantum (≤ one quantum of added latency); keep it well under
+  /// base_rtt (e.g. 1 ms at 100 ms RTT).
+  pi2::sim::Duration ack_quantum{0};
   pi2::sim::Time duration{std::chrono::seconds{100}};
   /// Aggregate statistics (percentiles, means) cover [stats_start, duration);
   /// time series cover the whole run.
@@ -124,9 +157,28 @@ struct DumbbellConfig {
 struct FlowResult {
   tcp::CcType cc{};
   bool is_udp = false;
+  /// One FlowResult per fluid *spec*; goodput_mbps is then the mean over
+  /// the spec's `count` modelled flows.
+  bool is_fluid = false;
+  /// Modelled flows behind this result: 1 for packet/UDP flows, the spec's
+  /// `count` for fluid specs — goodput_mbps * count is the aggregate rate.
+  double count = 1.0;
   double goodput_mbps = 0.0;  ///< mean over the stats window
   std::int64_t retransmits = 0;
   std::int64_t timeouts = 0;
+};
+
+/// Aggregate fluid-tier accounting over the whole run (all zero when no
+/// fluid flows are configured). Conservation must hold exactly —
+/// arrival == served + final_backlog — and the fuzz oracles verify it.
+struct FluidStats {
+  double arrival_bytes = 0.0;  ///< demand the fluid tier offered
+  double served_bytes = 0.0;   ///< demand the link actually carried
+  /// Demand discarded because the shared buffer was full — the fluid tier's
+  /// tail-drop analog. Conservation: arrival == served + dropped + backlog.
+  double dropped_bytes = 0.0;
+  double final_backlog_bytes = 0.0;
+  std::uint64_t ticks = 0;  ///< fluid integration steps executed
 };
 
 struct RunResult {
@@ -147,6 +199,7 @@ struct RunResult {
   double utilization = 0.0;                   ///< mean over stats window
 
   std::vector<FlowResult> flows;
+  FluidStats fluid;
   /// Discrete events the run executed — a deterministic fingerprint of the
   /// whole simulation, handy for serial-vs-parallel equivalence checks.
   std::uint64_t events_executed = 0;
@@ -167,7 +220,9 @@ struct RunResult {
   /// Non-finite controller updates rejected by the AQM's saturating guard.
   std::uint64_t guard_events = 0;
 
-  /// Mean goodput (Mb/s) across flows of a given congestion control.
+  /// Mean goodput (Mb/s) across packet flows of a given congestion control
+  /// (fluid specs are excluded — they model background load, and figures
+  /// compare foreground fidelity).
   [[nodiscard]] double mean_goodput_mbps(tcp::CcType cc) const;
   /// Mean goodput (Mb/s) across UDP flows.
   [[nodiscard]] double mean_udp_goodput_mbps() const;

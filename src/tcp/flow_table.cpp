@@ -1,0 +1,85 @@
+#include "tcp/flow_table.hpp"
+
+#include <utility>
+
+#include "tcp/endpoint.hpp"
+#include "tcp/udp_sender.hpp"
+
+namespace pi2::tcp {
+
+FlowTable::FlowTable() = default;
+FlowTable::~FlowTable() = default;
+
+std::int32_t FlowTable::add_tcp(CcType cc, pi2::sim::Duration base_rtt,
+                                std::unique_ptr<TcpSender> sender,
+                                std::unique_ptr<TcpReceiver> receiver) {
+  const auto id = static_cast<std::int32_t>(kind_.size());
+  half_rtt_.push_back(base_rtt / 2);
+  kind_.push_back(Kind::kTcp);
+  Cold& cold = cold_.emplace_back();
+  cold.cc = cc;
+  cold.sender = std::move(sender);
+  cold.receiver = std::move(receiver);
+  return id;
+}
+
+std::int32_t FlowTable::add_udp(pi2::sim::Duration base_rtt,
+                                std::unique_ptr<UdpSender> udp) {
+  const auto id = static_cast<std::int32_t>(kind_.size());
+  half_rtt_.push_back(base_rtt / 2);
+  kind_.push_back(Kind::kUdp);
+  Cold& cold = cold_.emplace_back();
+  cold.udp = std::move(udp);
+  return id;
+}
+
+void FlowTable::set_all_base_rtt(pi2::sim::Duration rtt) {
+  const pi2::sim::Duration half = rtt / 2;
+  for (pi2::sim::Duration& h : half_rtt_) h = half;
+}
+
+TcpSender* FlowTable::sender(std::int32_t flow) {
+  return cold_[static_cast<std::size_t>(flow)].sender.get();
+}
+
+const TcpSender* FlowTable::sender(std::int32_t flow) const {
+  return cold_[static_cast<std::size_t>(flow)].sender.get();
+}
+
+TcpReceiver* FlowTable::receiver(std::int32_t flow) {
+  return cold_[static_cast<std::size_t>(flow)].receiver.get();
+}
+
+UdpSender* FlowTable::udp(std::int32_t flow) {
+  return cold_[static_cast<std::size_t>(flow)].udp.get();
+}
+
+CcType FlowTable::cc(std::int32_t flow) const {
+  return cold_[static_cast<std::size_t>(flow)].cc;
+}
+
+stats::RateMeter& FlowTable::goodput(std::int32_t flow) {
+  return cold_[static_cast<std::size_t>(flow)].goodput;
+}
+
+std::int64_t& FlowTable::bytes_at_stats_start(std::int32_t flow) {
+  return cold_[static_cast<std::size_t>(flow)].bytes_at_stats_start;
+}
+
+std::int64_t FlowTable::total_retransmits() const {
+  std::int64_t n = 0;
+  for (const Cold& c : cold_) {
+    if (c.sender) n += c.sender->retransmits();
+  }
+  return n;
+}
+
+std::int64_t FlowTable::total_timeouts() const {
+  std::int64_t n = 0;
+  for (const Cold& c : cold_) {
+    if (c.sender) n += c.sender->timeouts();
+  }
+  return n;
+}
+
+}  // namespace pi2::tcp

@@ -18,13 +18,25 @@ trap 'rm -rf "$scratch"' EXIT
 regen() {
   bin="$build/bench/$1"
   out="$here/$2"
-  echo "regen: $2 <- $1 --smoke --seed 1 --jobs 2"
+  name="$2"
+  shift 2
+  echo "regen: $name <- with extra args: $*"
   "$bin" --smoke --seed 1 --jobs 2 --json "$out" \
-    --journal "$scratch/$2.journal" > /dev/null
+    --journal "$scratch/$name.journal" "$@" > /dev/null
 }
 regen fig15_rate_balance fig15.json
 regen fig16_queue_delay fig16.json
 regen fig17_mark_prob fig17.json
 regen fig18_utilization fig18.json
 regen fig_response fig_response.json
+# The fluid-agreement baseline is the *packet* rendering of the background
+# load; the golden_fluid_fig15..18 ctests run their candidates with
+# --fluid-background 2 against it (figs 15-18 share one sweep engine and
+# JSON schema, so one baseline covers all four). Flags must match the ctest
+# registration in tests/CMakeLists.txt: links >= 40 Mb/s keep the
+# equilibrium marking probability inside the mean-field model's small-p
+# validity envelope, and the 20 s runs let the fluid transient settle
+# before the stats window.
+regen fig15_rate_balance fig15_fluid.json --packet-background 2 \
+  --min-link-mbps 40 --duration-s 20 --stats-start-s 8
 echo "done; diff and commit tests/golden/*.json"

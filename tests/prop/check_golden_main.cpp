@@ -1,7 +1,15 @@
 // check_golden: compares a figure binary's --json output against a committed
 // baseline with per-metric relative tolerance bands.
 //
-//   check_golden BASELINE CANDIDATE          exit 0 iff within bands
+//   check_golden [--ignore a,b,c] [--tol-scale X] BASELINE CANDIDATE
+//                                            exit 0 iff within bands;
+//                                            --ignore skips the named fields
+//                                            entirely (cross-engine-tier
+//                                            comparisons where counts differ
+//                                            by construction); --tol-scale
+//                                            widens every relative band by X
+//                                            (cross-tier runs agree in shape,
+//                                            not to same-engine noise levels)
 //   check_golden --self-test BASELINE OUT    perturb a copy of BASELINE into
 //                                            OUT; exit 0 iff the comparator
 //                                            flags the perturbation
@@ -9,6 +17,7 @@
 // The self-test proves the bands actually bite: a comparator that passes
 // everything would make every golden test green forever.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -16,11 +25,57 @@
 
 int main(int argc, char** argv) {
   using namespace pi2::check;
-  const GoldenOptions options = default_golden_options();
+  GoldenOptions options = default_golden_options();
 
-  if (argc == 4 && std::strcmp(argv[1], "--self-test") == 0) {
-    const std::string baseline = argv[2];
-    const std::string out = argv[3];
+  int arg = 1;
+  while (arg + 1 < argc) {
+    if (std::strcmp(argv[arg], "--ignore") == 0) {
+      std::string list = argv[arg + 1];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string field =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!field.empty()) options.ignore_fields.push_back(field);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--tol") == 0) {
+      // --tol NAME=V sets an explicit relative band for one metric; used by
+      // cross-tier comparisons to declare, per field, how closely the two
+      // engine renderings are required to agree.
+      const std::string spec = argv[arg + 1];
+      const std::size_t eq = spec.find('=');
+      const double value =
+          eq == std::string::npos ? -1.0 : std::strtod(spec.c_str() + eq + 1,
+                                                       nullptr);
+      if (eq == std::string::npos || eq == 0 || !(value >= 0.0)) {
+        std::printf("check_golden: --tol expects NAME=VALUE with VALUE >= 0\n");
+        return 2;
+      }
+      options.metric_rel_tol[spec.substr(0, eq)] = value;
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--tol-scale") == 0) {
+      const double scale = std::strtod(argv[arg + 1], nullptr);
+      if (!(scale > 0.0)) {
+        std::printf("check_golden: --tol-scale needs a value > 0\n");
+        return 2;
+      }
+      options.default_rel_tol *= scale;
+      // Zero-width bands stay zero: machinery-health fields (invariant
+      // violations, clamped events) are regressions at any scale.
+      for (auto& [metric, tol] : options.metric_rel_tol) tol *= scale;
+      arg += 2;
+    } else {
+      break;
+    }
+  }
+
+  if (argc - arg == 3 && std::strcmp(argv[arg], "--self-test") == 0) {
+    const std::string baseline = argv[arg + 1];
+    const std::string out = argv[arg + 2];
     const std::string field = write_perturbed_copy(baseline, out, options);
     if (field.empty()) {
       std::printf("self-test: could not perturb %s\n", baseline.c_str());
@@ -40,15 +95,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (argc != 3) {
-    std::printf("usage: check_golden BASELINE CANDIDATE\n"
-                "       check_golden --self-test BASELINE OUT\n");
+  if (argc - arg != 2) {
+    std::printf(
+        "usage: check_golden [--ignore a,b,c] [--tol NAME=V] [--tol-scale X]\n"
+        "                    BASELINE CANDIDATE\n"
+        "       check_golden --self-test BASELINE OUT\n");
     return 2;
   }
 
-  const auto mismatches = compare_golden(argv[1], argv[2], options);
+  const auto mismatches = compare_golden(argv[arg], argv[arg + 1], options);
   if (mismatches.empty()) {
-    std::printf("golden ok: %s within tolerance of %s\n", argv[2], argv[1]);
+    std::printf("golden ok: %s within tolerance of %s\n", argv[arg + 1],
+                argv[arg]);
     return 0;
   }
   std::printf("golden MISMATCH (%zu):\n", mismatches.size());
