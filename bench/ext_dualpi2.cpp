@@ -4,13 +4,17 @@
 // Scalable traffic keeps sub-millisecond queuing delay while Classic traffic
 // gets its own 20 ms-target queue, with rate fairness preserved by the same
 // k = 2 coupling.
+//
+// Runs through the first-class scenario path (AqmType::kDualPi2 behind
+// run_dumbbell) rather than wiring the queue by hand, so the invariant
+// monitor's band-conservation and coupled-law checks ride along; per-queue
+// delay is recovered from the packet trace (Cubic departures sit in the C
+// band, DCTCP departures in L).
 #include <cstdio>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "core/dualpi2.hpp"
+#include "net/trace.hpp"
 #include "stats/percentile.hpp"
-#include "tcp/endpoint.hpp"
 
 int main(int argc, char** argv) {
   using namespace pi2;
@@ -19,69 +23,51 @@ int main(int argc, char** argv) {
                       "DualPI2: L-queue latency isolation with rate fairness",
                       opts);
 
-  const double duration_s = opts.full ? 100.0 : 40.0;
+  const double duration_s = opts.duration_s_override > 0
+                                ? opts.duration_s_override
+                                : (opts.full ? 100.0 : 40.0);
+  const double stats_start_s = opts.stats_start_s_override > 0
+                                   ? opts.stats_start_s_override
+                                   : duration_s * 0.3;
   const double rtt_ms = 10.0;
 
+  bool healthy = true;
   for (const double link_mbps : {40.0, 120.0}) {
-    sim::Simulator simulator{opts.seed};
-    core::DualPi2Link::Params params;
-    params.rate_bps = link_mbps * 1e6;
-    core::DualPi2Link link{simulator, params};
+    scenario::DumbbellConfig cfg;
+    cfg.link_rate_bps = link_mbps * 1e6;
+    cfg.aqm.type = scenario::AqmType::kDualPi2;
+    cfg.duration = sim::from_seconds(duration_s);
+    cfg.stats_start = sim::from_seconds(stats_start_s);
+    cfg.seed = opts.seed;
+
+    // One Cubic and one DCTCP flow through the dual queue. Spec order fixes
+    // the flow ids: 0 = Cubic (Classic band), 1 = DCTCP (L band).
+    scenario::TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.base_rtt = sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(cubic);
+    scenario::TcpFlowSpec dctcp;
+    dctcp.cc = tcp::CcType::kDctcp;
+    dctcp.base_rtt = sim::from_millis(rtt_ms);
+    cfg.tcp_flows.push_back(dctcp);
+
+    net::PacketTrace trace{1u << 22};
+    cfg.trace = &trace;
+
+    const scenario::RunResult result = scenario::run_dumbbell(cfg);
 
     stats::PercentileSampler l_delay_ms;
     stats::PercentileSampler c_delay_ms;
-    const auto stats_from = sim::from_seconds(duration_s * 0.3);
-    link.set_departure_probe(
-        [&](const net::Packet&, sim::Duration sojourn, bool from_l) {
-          if (simulator.now() < stats_from) return;
-          (from_l ? l_delay_ms : c_delay_ms).add(sim::to_millis(sojourn));
-        });
-
-    // One Cubic and one DCTCP flow through the dual queue.
-    struct Flow {
-      std::unique_ptr<tcp::TcpSender> sender;
-      std::unique_ptr<tcp::TcpReceiver> receiver;
-      std::int64_t delivered = 0;
-      std::int64_t delivered_at_stats = 0;
-    };
-    Flow flows[2];
-    const tcp::CcType ccs[2] = {tcp::CcType::kCubic, tcp::CcType::kDctcp};
-    for (int i = 0; i < 2; ++i) {
-      tcp::TcpSender::Config sc;
-      sc.flow = i;
-      sc.max_cwnd = 700;
-      flows[i].sender = std::make_unique<tcp::TcpSender>(
-          simulator, sc, tcp::make_congestion_control(ccs[i]));
-      flows[i].receiver = std::make_unique<tcp::TcpReceiver>(simulator, i);
-      auto* flow = &flows[i];
-      flows[i].sender->set_output([&link](net::Packet p) { link.send(p); });
-      flows[i].receiver->set_delivery_probe(
-          [flow](const net::Packet& p) { flow->delivered += p.size; });
-      flows[i].receiver->set_ack_path([&simulator, flow, rtt_ms](net::Packet a) {
-        simulator.after(sim::from_millis(rtt_ms / 2),
-                        [flow, a] { flow->sender->on_ack(a); });
-      });
-      simulator.at(sim::from_millis(i * 100.0),
-                   [flow] { flow->sender->start(); });
+    const auto stats_from = sim::from_seconds(stats_start_s);
+    for (const net::TraceRecord& rec : trace.records()) {
+      if (rec.type != net::TraceEventType::kDeparture || rec.t < stats_from) {
+        continue;
+      }
+      (rec.flow == 1 ? l_delay_ms : c_delay_ms).add(sim::to_millis(rec.sojourn));
     }
-    link.set_sink([&](net::Packet p) {
-      auto* flow = &flows[p.flow];
-      simulator.after(sim::from_millis(rtt_ms / 2),
-                      [flow, p] { flow->receiver->on_data(p); });
-    });
-    simulator.at(stats_from, [&] {
-      for (auto& flow : flows) flow.delivered_at_stats = flow.delivered;
-    });
 
-    simulator.run_until(sim::from_seconds(duration_s));
-
-    const double span_s = duration_s * 0.7;
-    const double cubic_mbps =
-        static_cast<double>(flows[0].delivered - flows[0].delivered_at_stats) *
-        8.0 / span_s / 1e6;
-    const double dctcp_mbps =
-        static_cast<double>(flows[1].delivered - flows[1].delivered_at_stats) *
-        8.0 / span_s / 1e6;
+    const double cubic_mbps = result.mean_goodput_mbps(tcp::CcType::kCubic);
+    const double dctcp_mbps = result.mean_goodput_mbps(tcp::CcType::kDctcp);
 
     std::printf("\n== link %.0f Mb/s, RTT %.0f ms ==\n", link_mbps, rtt_ms);
     std::printf("L queue delay [ms]: mean=%.3f p99=%.3f\n", l_delay_ms.mean(),
@@ -90,14 +76,26 @@ int main(int argc, char** argv) {
                 c_delay_ms.p99());
     std::printf("cubic=%.2f Mb/s dctcp=%.2f Mb/s ratio=%.3f\n", cubic_mbps,
                 dctcp_mbps, dctcp_mbps > 0 ? cubic_mbps / dctcp_mbps : 0.0);
-    std::printf("marks: L=%lld C=%lld drops: C=%lld\n",
-                static_cast<long long>(link.counters().l_marked),
-                static_cast<long long>(link.counters().c_marked),
-                static_cast<long long>(link.counters().c_dropped));
+    std::printf("marks: L=%lld C=%lld drops: C=%lld  (window)\n",
+                static_cast<long long>(result.window_band_l.marked),
+                static_cast<long long>(result.window_band_c.marked),
+                static_cast<long long>(result.window_band_c.aqm_dropped));
+    if (trace.dropped_records() != 0) {
+      std::printf("# trace overflow: %zu record(s) lost\n",
+                  trace.dropped_records());
+    }
+    if (!result.violations.empty() || result.clamped_events != 0 ||
+        result.guard_events != 0) {
+      std::printf("!! %llu violation(s), %llu clamped, %llu guard trip(s)\n",
+                  static_cast<unsigned long long>(result.violations.size()),
+                  static_cast<unsigned long long>(result.clamped_events),
+                  static_cast<unsigned long long>(result.guard_events));
+      healthy = false;
+    }
   }
   std::printf(
       "\n# expectation: the L (DCTCP) queue holds ~1 ms delay — an order of\n"
       "# magnitude below the single queue's 20 ms — while rates stay within\n"
       "# ~2x (the single-queue paper's fairness carried over to the DualQ).\n");
-  return 0;
+  return healthy ? 0 : 1;
 }

@@ -1,0 +1,333 @@
+// Overload campaign (RFC 9332 §4.2 / aqmt-style): an unresponsive UDP flood
+// sweeps 0.5x..2x of a 10 Mb/s bottleneck, stamped Not-ECT / ECT(0) /
+// ECT(1), against a 1 Cubic + 1 DCTCP mix behind the first-class DualPI2
+// qdisc. Measures who keeps what share of the link, how the AQM splits its
+// signals between ECN marks and drops as the coupled probability saturates
+// (the l_drop switchover), and what happens to queue delay under overload.
+//
+// Like the sweep binaries, runs are durable: each completed point is
+// journaled (fsync'd) before its row prints, SIGINT/SIGTERM stop at a run
+// boundary (exit 75), --resume replays journaled runs byte-identically, and
+// --json is written atomically. The --smoke --seed 1 --json output is a
+// committed golden figure (tests/golden/fig_overload.json); the smoke grid
+// is ordered so the 2x Not-ECT flood — the acceptance case — survives the
+// axis cap.
+//
+// Headline: overload protection keeps the Classic queue governed (delay
+// bounded by the PI target band, not the buffer) while the flood's losses
+// move from ECN marks to squared-probability drops; guard counters stay 0.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep.hpp"
+
+namespace {
+
+using namespace pi2;
+using namespace pi2::bench;
+
+struct OverloadPoint {
+  double udp_mult;      ///< UDP rate as a multiple of the link rate
+  net::Ecn ecn;         ///< codepoint the flood stamps
+  const char* ecn_name;
+};
+
+double duration_s(const Options& opts) {
+  if (opts.duration_s_override > 0) return opts.duration_s_override;
+  return opts.full ? 60.0 : 20.0;
+}
+
+std::uint64_t overload_campaign_key(const Options& opts, double total_s,
+                                    std::size_t points) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-overload-campaign-v1");
+  h.mix_u64(opts.seed);
+  h.mix_double(total_s);
+  h.mix_u64(points);
+  return h.state;
+}
+
+std::uint64_t overload_point_key(std::size_t index, const OverloadPoint& p,
+                                 std::uint64_t derived_seed) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-overload-point-v1");
+  h.mix_u64(index);
+  h.mix_double(p.udp_mult);
+  h.mix_u64(static_cast<std::uint64_t>(p.ecn));
+  h.mix_u64(derived_seed);
+  return h.state;
+}
+
+template <typename T>
+void cap_axis(std::vector<T>& axis, int cap) {
+  if (cap > 0 && axis.size() > static_cast<std::size_t>(cap)) {
+    axis.resize(static_cast<std::size_t>(cap));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  print_header("Overload",
+               "DualPI2 vs unresponsive UDP floods (0.5x-2x link, per-ECN)",
+               opts);
+  durable::ShutdownController::install();
+
+  const double total_s = duration_s(opts);
+  const double stats_start_s = opts.stats_start_s_override > 0
+                                   ? opts.stats_start_s_override
+                                   : total_s / 4.0;
+  const double link_mbps = 10.0;
+  const double rtt_ms = 10.0;
+
+  // Axes ordered so --smoke's cap of 2 keeps the acceptance cases: the 2x
+  // flood and both the drop-only (Not-ECT) and L-queue (ECT(1)) codepoints.
+  std::vector<double> mults{2.0, 1.0, 0.5, 1.5};
+  std::vector<std::pair<net::Ecn, const char*>> codepoints{
+      {net::Ecn::kNotEct, "not-ect"},
+      {net::Ecn::kEct1, "ect1"},
+      {net::Ecn::kEct0, "ect0"},
+  };
+  cap_axis(mults, opts.grid_cap);
+  cap_axis(codepoints, opts.grid_cap);
+
+  std::vector<OverloadPoint> grid;
+  for (const auto& [ecn, name] : codepoints) {
+    for (const double mult : mults) {
+      grid.push_back({mult, ecn, name});
+    }
+  }
+
+  std::printf("# link %.0f Mb/s, RTT %.0f ms, %.0f s/run; flood = 1 UDP "
+              "sender, mix = 1 Cubic + 1 DCTCP\n",
+              link_mbps, rtt_ms, total_s);
+  std::printf("%-9s %-9s %-7s %-7s %-7s %-9s %-9s %-11s %-11s %-9s %-7s\n",
+              "ecn", "udp_mult", "cubic", "dctcp", "udp", "qdelay", "p99",
+              "L mark/drop", "C mark/drop", "tail L/C", "guards");
+
+  const runner::ParallelRunner pool{opts.jobs};
+  bool healthy = true;
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+
+  const std::uint64_t campaign =
+      overload_campaign_key(opts, total_s, grid.size());
+  const std::string journal_file = bench::detail::journal_path(opts);
+  std::vector<std::uint64_t> keys(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    keys[i] = overload_point_key(i, grid[i], sim::Rng::derive_seed(opts.seed, i));
+  }
+
+  // --resume: replay journaled runs through the unchanged print path.
+  std::vector<std::unique_ptr<scenario::RunResult>> replay(grid.size());
+  bool journal_keep = false;
+  if (opts.resume) {
+    const durable::LoadedJournal loaded =
+        durable::load_journal(journal_file, campaign);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different campaign; "
+                   "ignoring it\n",
+                   journal_file.c_str());
+    }
+    if (loaded.header_ok) {
+      journal_keep = true;
+      std::size_t replayed = 0;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto it = loaded.points.find(keys[i]);
+        if (it == loaded.points.end()) continue;
+        auto result = std::make_unique<scenario::RunResult>();
+        if (durable::decode_result(it->second, *result).ok()) {
+          replay[i] = std::move(result);
+          ++replayed;
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %zu run(s) from %s\n",
+                   replayed, grid.size(), journal_file.c_str());
+    }
+  }
+  durable::JournalWriter journal{journal_file, campaign, journal_keep};
+
+  std::unique_ptr<durable::AtomicFile> json;
+  bool json_first = true;
+  if (!opts.json_path.empty()) {
+    json = std::make_unique<durable::AtomicFile>(opts.json_path);
+    if (!json->healthy()) {
+      std::fprintf(stderr, "warning: %s; no JSON written\n",
+                   json->status().message().c_str());
+      json.reset();
+    } else {
+      json->write("[");
+    }
+  }
+
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
+  std::size_t interrupted_points = 0;
+  runner::GuardOptions guard;
+  guard.cancel = durable::ShutdownController::flag();
+
+  const auto report = pool.run_ordered_guarded<PointOutcome>(
+      grid.size(),
+      [&](std::size_t i) {
+        if (replay[i] != nullptr) {
+          PointOutcome outcome;
+          outcome.result = *replay[i];
+          return outcome;
+        }
+        const OverloadPoint& p = grid[i];
+        scenario::DumbbellConfig cfg;
+        cfg.link_rate_bps = link_mbps * 1e6;
+        cfg.aqm.type = scenario::AqmType::kDualPi2;
+        // RFC 9332 overload protection assumes the Classic drop probability
+        // can ramp all the way to 1: a 2x unresponsive flood needs 50%+ drop
+        // to keep the queue governed, which the paper's single-queue 25% cap
+        // (kDefaultMaxClassicProb) would forbid.
+        cfg.aqm.max_classic_prob = 1.0;
+        cfg.duration = sim::from_seconds(total_s);
+        cfg.stats_start = sim::from_seconds(stats_start_s);
+        cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+        cfg.stop = durable::ShutdownController::flag();
+        scenario::TcpFlowSpec cubic;
+        cubic.cc = tcp::CcType::kCubic;
+        cubic.base_rtt = sim::from_millis(rtt_ms);
+        cfg.tcp_flows.push_back(cubic);
+        scenario::TcpFlowSpec dctcp;
+        dctcp.cc = tcp::CcType::kDctcp;
+        dctcp.base_rtt = sim::from_millis(rtt_ms);
+        cfg.tcp_flows.push_back(dctcp);
+        scenario::UdpFlowSpec flood;
+        flood.rate_bps = p.udp_mult * cfg.link_rate_bps;
+        flood.ecn = p.ecn;
+        flood.base_rtt = sim::from_millis(rtt_ms);
+        cfg.udp_flows.push_back(flood);
+        PointOutcome outcome;
+        if (telemetry_on) {
+          outcome.recorder = std::make_shared<telemetry::Recorder>(
+              bench::detail::point_recorder_config(opts, i));
+          cfg.recorder = outcome.recorder.get();
+        }
+        outcome.result = scenario::run_dumbbell(cfg);
+        return outcome;
+      },
+      [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
+        const OverloadPoint& p = grid[i];
+        if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_points;
+          return;
+        }
+        if (status != runner::TaskStatus::kOk || outcome == nullptr) {
+          std::printf("%-9s %-9.2f point %s\n", p.ecn_name, p.udp_mult,
+                      runner::to_string(status));
+          if (json != nullptr) {
+            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
+                         "\"ecn\": \"%s\", \"udp_mult\": %.3g}",
+                         json_first ? "" : ",", i, runner::to_string(status),
+                         p.ecn_name, p.udp_mult);
+            json_first = false;
+          }
+          healthy = false;
+          return;
+        }
+        scenario::RunResult* result = &outcome->result;
+        if (replay[i] == nullptr && journal.healthy()) {
+          (void)journal.append_point(keys[i], durable::encode_result(*result));
+        }
+        if (outcome->recorder != nullptr) {
+          std::printf("# telemetry: %s\n",
+                      outcome->recorder->manifest_path().c_str());
+          outcome->recorder.reset();
+        }
+        const auto& l = result->window_band_l;
+        const auto& c = result->window_band_c;
+        const double cubic_mbps = result->mean_goodput_mbps(tcp::CcType::kCubic);
+        const double dctcp_mbps = result->mean_goodput_mbps(tcp::CcType::kDctcp);
+        const double udp_mbps = result->mean_udp_goodput_mbps();
+        std::printf(
+            "%-9s %-9.2f %-7.2f %-7.2f %-7.2f %-9.2f %-9.2f %5lld/%-5lld "
+            "%5lld/%-5lld %4lld/%-4lld %-7llu\n",
+            p.ecn_name, p.udp_mult, cubic_mbps, dctcp_mbps, udp_mbps,
+            result->mean_qdelay_ms, result->p99_qdelay_ms,
+            static_cast<long long>(l.marked),
+            static_cast<long long>(l.aqm_dropped),
+            static_cast<long long>(c.marked),
+            static_cast<long long>(c.aqm_dropped),
+            static_cast<long long>(l.tail_dropped),
+            static_cast<long long>(c.tail_dropped),
+            static_cast<unsigned long long>(result->guard_events));
+        if (json != nullptr) {
+          json->printf(
+              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"ecn\": \"%s\", "
+              "\"seed\": %llu, \"link_mbps\": %.6g, \"rtt_ms\": %.6g, "
+              "\"udp_mult\": %.6g, "
+              "\"cubic_mbps\": %.6g, \"dctcp_mbps\": %.6g, \"udp_mbps\": %.6g, "
+              "\"utilization\": %.6g, \"mean_qdelay_ms\": %.6g, "
+              "\"p99_qdelay_ms\": %.6g, "
+              "\"l_enqueued\": %lld, \"l_marked\": %lld, \"l_dropped\": %lld, "
+              "\"l_tail_dropped\": %lld, "
+              "\"c_enqueued\": %lld, \"c_marked\": %lld, \"c_dropped\": %lld, "
+              "\"c_tail_dropped\": %lld, "
+              "\"invariant_violations\": %llu, \"guard_events\": %llu}",
+              json_first ? "" : ",", i, p.ecn_name,
+              static_cast<unsigned long long>(sim::Rng::derive_seed(opts.seed, i)),
+              link_mbps, rtt_ms, p.udp_mult, cubic_mbps, dctcp_mbps, udp_mbps,
+              result->utilization, result->mean_qdelay_ms,
+              result->p99_qdelay_ms, static_cast<long long>(l.enqueued),
+              static_cast<long long>(l.marked),
+              static_cast<long long>(l.aqm_dropped),
+              static_cast<long long>(l.tail_dropped),
+              static_cast<long long>(c.enqueued),
+              static_cast<long long>(c.marked),
+              static_cast<long long>(c.aqm_dropped),
+              static_cast<long long>(c.tail_dropped),
+              static_cast<unsigned long long>(result->violations.size()),
+              static_cast<unsigned long long>(result->guard_events));
+          json_first = false;
+        }
+        // Health is the machinery, not the finding: a clean overload run has
+        // no invariant violations, no clamped events and no guard trips.
+        if (!result->violations.empty() || result->clamped_events != 0 ||
+            result->guard_events != 0) {
+          healthy = false;
+        }
+      },
+      guard);
+
+  if (durable::ShutdownController::requested()) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    if (json != nullptr) json->abort();
+    std::fprintf(stderr,
+                 "overload: interrupted — %zu run(s) unfinished; re-run with "
+                 "--resume to finish (journal: %s)\n",
+                 interrupted_points, journal_file.c_str());
+    return durable::ShutdownController::kExitInterrupted;
+  }
+  if (json != nullptr) {
+    json->write("\n]\n");
+    const durable::Status status = json->commit();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: JSON not written: %s\n",
+                   status.message().c_str());
+    }
+  }
+
+  std::printf(
+      "\n# expectation: floods above 1x lose their excess to drops (Not-ECT) "
+      "or to the\n"
+      "# l_drop switchover (ECT(1): marks give way to squared-probability "
+      "drops), while\n"
+      "# the Classic queue's delay stays governed by the PI target, not the "
+      "buffer.\n");
+  std::printf("# points ok: %zu/%zu\n", report.ok_count(),
+              report.status.size());
+  return report.all_ok() && healthy ? 0 : 1;
+}

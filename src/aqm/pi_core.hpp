@@ -19,6 +19,11 @@
 
 namespace pi2::aqm {
 
+/// Overload cap on the applied Classic drop/mark probability (paper §5:
+/// 25%). Shared by the whole PI2 family (PI2, coupled PI2, DualPI2) so the
+/// default cannot drift between the core AQMs and the scenario factory.
+inline constexpr double kDefaultMaxClassicProb = 0.25;
+
 class PiCore {
  public:
   PiCore(double alpha_hz, double beta_hz, double max_prob = 1.0)

@@ -25,10 +25,11 @@ const T& pick(Rng& rng, const T (&options)[N]) {
 bool chance(Rng& rng, double p) { return rng.uniform() < p; }
 
 /// The AQM pool. The coupled disciplines are drawn more often because the
-/// coupling-law oracle only bites there.
+/// coupling-law, dualq and overload oracles only bite there.
 scenario::AqmType draw_aqm(Rng& rng) {
   static constexpr scenario::AqmType kPool[] = {
       scenario::AqmType::kCoupledPi2, scenario::AqmType::kCoupledPi2,
+      scenario::AqmType::kDualPi2,    scenario::AqmType::kDualPi2,
       scenario::AqmType::kPi2,        scenario::AqmType::kPi2,
       scenario::AqmType::kPie,        scenario::AqmType::kBarePie,
       scenario::AqmType::kPi,         scenario::AqmType::kRed,
@@ -107,6 +108,13 @@ scenario::DumbbellConfig ScenarioFuzzer::make_config(std::uint64_t index) const 
   if (chance(rng, 0.2)) cfg.aqm.alpha_hz = rng.uniform(0.05, 2.0);
   if (chance(rng, 0.2)) cfg.aqm.beta_hz = rng.uniform(0.5, 20.0);
   if (chance(rng, 0.3)) cfg.aqm.ecn_drop_threshold = rng.uniform(0.0, 1.0);
+  // DualPI2 knobs (drawn for every case; only kDualPi2 consumes them).
+  cfg.aqm.t_shift = from_millis(rng.uniform(0.0, 60.0));
+  if (chance(rng, 0.4)) cfg.aqm.l_drop_percent = rng.uniform(2.0, 60.0);
+  if (chance(rng, 0.25)) {
+    cfg.aqm.l_thresh_packets = static_cast<std::int64_t>(rng.uniform_below(64)) + 1;
+  }
+  const bool dualq = cfg.aqm.type == scenario::AqmType::kDualPi2;
 
   const int tcp_specs = static_cast<int>(rng.uniform_below(3));
   for (int i = 0; i < tcp_specs; ++i) {
@@ -124,14 +132,26 @@ scenario::DumbbellConfig ScenarioFuzzer::make_config(std::uint64_t index) const 
     cfg.tcp_flows.push_back(spec);
   }
 
+  // DualPI2 cases always get at least one UDP spec so the unresponsive
+  // overload machinery (L-queue flood routing, l_drop switchover) is hit.
   const int udp_specs =
-      static_cast<int>(rng.uniform_below(cfg.tcp_flows.empty() ? 2 : 3));
+      static_cast<int>(rng.uniform_below(cfg.tcp_flows.empty() ? 2 : 3)) +
+      (dualq ? 1 : 0);
   for (int i = 0; i < udp_specs; ++i) {
     scenario::UdpFlowSpec spec;
-    // Usually below capacity; occasionally an unresponsive overload.
-    spec.rate_bps = cfg.link_rate_bps *
-                    (chance(rng, 0.2) ? rng.uniform(1.0, 1.5) : rng.uniform(0.05, 0.6));
+    // Usually below capacity; occasionally an unresponsive overload — and
+    // for DualPI2, often and up to 2x the link (the RFC 9332 campaign).
+    spec.rate_bps =
+        cfg.link_rate_bps *
+        (chance(rng, dualq ? 0.5 : 0.2) ? rng.uniform(1.0, dualq ? 2.0 : 1.5)
+                                        : rng.uniform(0.05, 0.6));
     spec.count = 1;
+    // Spread floods across codepoints: Not-ECT stays Classic (drop-only),
+    // ECT(1) floods the L queue, ECT(0) is the ECN-capable Classic case.
+    static constexpr net::Ecn kCodepoints[] = {net::Ecn::kNotEct, net::Ecn::kNotEct,
+                                               net::Ecn::kEct0, net::Ecn::kEct1,
+                                               net::Ecn::kEct1};
+    spec.ecn = pick(rng, kCodepoints);
     spec.base_rtt = from_millis(rng.uniform(2.0, 150.0));
     spec.start = from_seconds(rng.uniform(0.0, duration_s / 2.0));
     if (chance(rng, 0.3)) {

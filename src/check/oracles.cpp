@@ -10,6 +10,7 @@
 #include <string>
 
 #include "check/golden.hpp"
+#include "core/dualpi2.hpp"
 #include "durable/journal.hpp"
 #include "faults/fault_schedule.hpp"
 #include "durable/result_codec.hpp"
@@ -70,6 +71,13 @@ class DrivenQueueView final : public net::QueueView {
   [[nodiscard]] pi2::sim::Duration queue_delay() const override {
     return pi2::sim::from_seconds(static_cast<double>(bytes_) * 8.0 / rate_bps_);
   }
+  /// DualPI2's PI controller samples the Classic band's head sojourn; feed
+  /// it the driven delay so the two-queue law can be exercised too.
+  [[nodiscard]] pi2::sim::Duration band_head_sojourn(
+      std::size_t band) const override {
+    return band == core::DualPi2Qdisc::kCBand ? queue_delay()
+                                              : pi2::sim::Duration{};
+  }
   void set_delay_seconds(double s) {
     bytes_ = static_cast<std::int64_t>(s * rate_bps_ / 8.0);
   }
@@ -114,6 +122,18 @@ std::uint64_t result_digest(const scenario::RunResult& result) {
   };
   mix_counters(result.counters);
   mix_counters(result.window_counters);
+  const auto mix_band = [&h](const net::BottleneckLink::BandCounters& b) {
+    mix_u64(h, static_cast<std::uint64_t>(b.enqueued));
+    mix_u64(h, static_cast<std::uint64_t>(b.forwarded));
+    mix_u64(h, static_cast<std::uint64_t>(b.marked));
+    mix_u64(h, static_cast<std::uint64_t>(b.aqm_dropped));
+    mix_u64(h, static_cast<std::uint64_t>(b.tail_dropped));
+    mix_u64(h, static_cast<std::uint64_t>(b.dequeue_dropped));
+  };
+  mix_band(result.band_l);
+  mix_band(result.band_c);
+  mix_band(result.window_band_l);
+  mix_band(result.window_band_c);
   mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.dropped));
   mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.bleached));
   mix_u64(h, static_cast<std::uint64_t>(result.fault_counters.reordered));
@@ -340,6 +360,40 @@ void check_fluid(const scenario::DumbbellConfig& config,
 
 void check_coupling_law(const scenario::DumbbellConfig& config,
                         std::vector<OracleFailure>& failures) {
+  // DualPI2 publishes a different pair: classic = (p')^2, scalable = the
+  // overload-clamped coupled probability min(k * p', 1). Drive it across the
+  // same ladder and assert that law instead of the single-queue one.
+  if (config.aqm.type == scenario::AqmType::kDualPi2) {
+    const double k = config.aqm.coupling_k;
+    pi2::sim::Simulator sim{config.seed};
+    DrivenQueueView view;
+    auto qdisc = config.aqm.make();
+    qdisc->install(sim, view);
+
+    const double target_s = pi2::sim::to_seconds(config.aqm.target);
+    const double ladder[] = {0.0,          target_s * 0.5, target_s,
+                             target_s * 2, target_s * 8,   target_s * 32};
+    for (const double delay_s : ladder) {
+      view.set_delay_seconds(delay_s);
+      sim.run_until(sim.now() + config.aqm.t_update * 5);
+      const double pc = qdisc->classic_probability();
+      const double ps = qdisc->scalable_probability();
+      const double expected =
+          pc >= 0.0 ? std::min(k * std::sqrt(pc), 1.0) : std::nan("");
+      if (!std::isfinite(pc) || !std::isfinite(ps) || pc < 0.0 ||
+          pc > config.aqm.max_classic_prob + 1e-12 ||
+          std::abs(ps - expected) > 1e-12) {
+        fail(failures, "coupling-law",
+             fmt("dualpi2 at qdelay %.4fs: p_CL = %.12g but "
+                 "min(k*sqrt(p_C), 1) = %.12g (p_C = %.12g, k = %.3g, "
+                 "cap = %.3g)",
+                 delay_s, ps, expected, pc, k, config.aqm.max_classic_prob));
+        return;
+      }
+    }
+    return;
+  }
+
   const double k = coupling_k_of(config);
   if (k <= 0.0) return;
 
@@ -380,6 +434,23 @@ void check_coupling_law(const scenario::DumbbellConfig& config,
 void check_coupling_snapshot(const scenario::DumbbellConfig& config,
                              const MetricsRegistry& registry,
                              std::vector<OracleFailure>& failures) {
+  if (config.aqm.type == scenario::AqmType::kDualPi2) {
+    const double p = gauge_value(registry, "aqm.p");
+    const double p_prime = gauge_value(registry, "aqm.p_prime");
+    if (std::isnan(p) || std::isnan(p_prime)) {
+      fail(failures, "coupling-law", "aqm.p / aqm.p_prime gauges missing");
+      return;
+    }
+    const double expected =
+        std::min(config.aqm.coupling_k * std::sqrt(std::max(p, 0.0)), 1.0);
+    if (std::abs(p_prime - expected) > 1e-12) {
+      fail(failures, "coupling-law",
+           fmt("final snapshot: aqm.p_prime = %.12g but min(k*sqrt(p), 1) = "
+               "%.12g (p = %.12g, k = %.3g)",
+               p_prime, expected, p, config.aqm.coupling_k));
+    }
+    return;
+  }
   const double k = coupling_k_of(config);
   if (k <= 0.0) return;
   const double p = gauge_value(registry, "aqm.p");
@@ -395,6 +466,102 @@ void check_coupling_snapshot(const scenario::DumbbellConfig& config,
          fmt("final snapshot: aqm.p = %.12g but (p'/k)^2 = %.12g "
              "(p' = %.12g, k = %.3g)",
              p, expected, p_prime, k));
+  }
+}
+
+void check_dualq(const scenario::DumbbellConfig& config,
+                 const scenario::RunResult& result,
+                 std::vector<OracleFailure>& failures) {
+  using BandCounters = net::BottleneckLink::BandCounters;
+  struct Field {
+    const char* name;
+    std::int64_t BandCounters::*band;
+  };
+  static constexpr Field kFields[] = {
+      {"enqueued", &BandCounters::enqueued},
+      {"forwarded", &BandCounters::forwarded},
+      {"marked", &BandCounters::marked},
+      {"aqm_dropped", &BandCounters::aqm_dropped},
+      {"tail_dropped", &BandCounters::tail_dropped},
+      {"dequeue_dropped", &BandCounters::dequeue_dropped},
+  };
+
+  if (config.aqm.type != scenario::AqmType::kDualPi2) {
+    // Single-queue runs must not invent per-band traffic.
+    for (const auto* b : {&result.band_l, &result.band_c,
+                          &result.window_band_l, &result.window_band_c}) {
+      for (const Field& f : kFields) {
+        if (b->*f.band != 0) {
+          fail(failures, "dualq",
+               fmt("single-queue run reports band %s = %lld", f.name,
+                   static_cast<long long>(b->*f.band)));
+          return;
+        }
+      }
+    }
+    return;
+  }
+
+  // L + C slices must reproduce the aggregate counters exactly — every
+  // packet the link counted went through exactly one band.
+  const struct {
+    const char* scope;
+    const BandCounters* l;
+    const BandCounters* c;
+    const net::BottleneckLink::Counters* whole;
+  } scopes[] = {
+      {"whole-run", &result.band_l, &result.band_c, &result.counters},
+      {"window", &result.window_band_l, &result.window_band_c,
+       &result.window_counters},
+  };
+  for (const auto& scope : scopes) {
+    const struct {
+      const char* name;
+      std::int64_t sum;
+      std::int64_t want;
+    } checks[] = {
+        {"enqueued", scope.l->enqueued + scope.c->enqueued,
+         scope.whole->enqueued},
+        {"forwarded", scope.l->forwarded + scope.c->forwarded,
+         scope.whole->forwarded},
+        {"marked", scope.l->marked + scope.c->marked, scope.whole->marked},
+        {"aqm_dropped", scope.l->aqm_dropped + scope.c->aqm_dropped,
+         scope.whole->aqm_dropped},
+        {"tail_dropped", scope.l->tail_dropped + scope.c->tail_dropped,
+         scope.whole->tail_dropped},
+        {"dequeue_dropped", scope.l->dequeue_dropped + scope.c->dequeue_dropped,
+         scope.whole->dequeue_dropped},
+    };
+    for (const auto& check : checks) {
+      if (check.sum != check.want) {
+        fail(failures, "dualq",
+             fmt("%s L+C %s sums to %lld but aggregate counter says %lld",
+                 scope.scope, check.name, static_cast<long long>(check.sum),
+                 static_cast<long long>(check.want)));
+      }
+    }
+  }
+
+  // The stats window is a sub-interval of the run, per band too.
+  const struct {
+    const char* name;
+    const BandCounters* window;
+    const BandCounters* whole;
+  } bands[] = {
+      {"L", &result.window_band_l, &result.band_l},
+      {"C", &result.window_band_c, &result.band_c},
+  };
+  for (const auto& band : bands) {
+    for (const Field& f : kFields) {
+      const std::int64_t window = band.window->*f.band;
+      const std::int64_t whole = band.whole->*f.band;
+      if (window < 0 || window > whole) {
+        fail(failures, "dualq",
+             fmt("band %s window %s %lld exceeds whole-run %lld", band.name,
+                 f.name, static_cast<long long>(window),
+                 static_cast<long long>(whole)));
+      }
+    }
   }
 }
 
@@ -521,6 +688,7 @@ CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
   check_fluid(cfg, result, outcome.failures);
   check_coupling_law(cfg, outcome.failures);
   check_coupling_snapshot(cfg, registry, outcome.failures);
+  check_dualq(cfg, result, outcome.failures);
   check_journal_roundtrip(result, outcome.failures);
   if (recorder) {
     if (!recorder->ok()) {

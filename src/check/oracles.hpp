@@ -20,6 +20,14 @@
 //                    (PI2, coupled PI2, Curvy RED) satisfy p = (p'/k)^2 at
 //                    every sampled operating point, both driven directly
 //                    across queue states and in the run's final snapshot.
+//                    DualPI2 publishes the overload-clamped coupled law
+//                    instead: p_CL = min(k * p', 1) with p_C = (p')^2, so
+//                    scalable == min(k * sqrt(classic), 1) everywhere.
+//   dualq          — two-queue (DualPI2) runs slice every counter per band;
+//                    the L + C slices must sum exactly to the aggregate
+//                    counters (whole run and stats window), and windows
+//                    never exceed whole-run totals. Single-queue runs must
+//                    report all-zero band slices.
 //   telemetry      — the JSONL stream parses back, and its final row equals
 //                    the registry's final (frozen) snapshot value for value.
 //   journal        — the durable run-journal codec round-trips the result:
@@ -109,6 +117,12 @@ void check_coupling_law(const scenario::DumbbellConfig& config,
 void check_coupling_snapshot(const scenario::DumbbellConfig& config,
                              const telemetry::MetricsRegistry& registry,
                              std::vector<OracleFailure>& failures);
+
+/// Two-queue accounting: DualPI2 band slices sum to the aggregate counters
+/// (whole run and stats window); single-queue runs keep them all zero.
+void check_dualq(const scenario::DumbbellConfig& config,
+                 const scenario::RunResult& result,
+                 std::vector<OracleFailure>& failures);
 
 /// Parses the JSONL stream at `jsonl_path` and compares its final row
 /// against `registry`'s (frozen) snapshot.

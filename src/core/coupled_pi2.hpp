@@ -33,7 +33,7 @@ class CoupledPi2Aqm : public net::QueueDiscipline {
     double alpha_hz = 0.625;
     double beta_hz = 6.25;
     double k = 2.0;  ///< coupling factor between Scalable and Classic
-    double max_classic_prob = 0.25;
+    double max_classic_prob = pi2::aqm::kDefaultMaxClassicProb;
   };
 
   CoupledPi2Aqm();

@@ -1,6 +1,7 @@
 #include "core/dualpi2.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace pi2::core {
@@ -12,13 +13,77 @@ using pi2::sim::from_seconds;
 using pi2::sim::to_seconds;
 using pi2::sim::Time;
 
-DualPi2Link::DualPi2Link(pi2::sim::Simulator& sim, Params params)
-    : sim_(sim),
-      params_(params),
+// --- DualPi2Core -------------------------------------------------------------
+
+DualPi2Core::DualPi2Core(const DualPi2Params& params)
+    : params_(params),
+      // p' is the base probability: Classic applies (p')^2, L applies k*p'.
+      // Capping p' at sqrt(max_classic_prob) bounds the applied Classic
+      // probability at the overload cap (with the defaults k*p' then
+      // saturates at exactly 2*sqrt(0.25) = 1).
       pi_(params.alpha_hz, params.beta_hz,
-          std::min(1.0, params.k * std::sqrt(std::clamp(params.max_classic_prob,
-                                                        0.0, 1.0)))),
-      rng_(sim.rng().split()) {
+          std::sqrt(std::clamp(params.max_classic_prob, 0.0, 1.0))) {}
+
+double DualPi2Core::p_coupled() const {
+  return std::min(params_.k * pi_.prob(), 1.0);
+}
+
+void DualPi2Core::update(double c_delay_s) {
+  pi_.update(c_delay_s, to_seconds(params_.target));
+  // Overload hysteresis on the coupled probability: engage at the l_drop
+  // threshold, re-arm only once the controller has backed off to half of
+  // it, so the switchover cannot chatter around the boundary.
+  const double engage = params_.l_drop_percent / 100.0;
+  if (engage <= 0.0) {
+    overloaded_ = true;  // l_drop 0: always in drop mode
+    return;
+  }
+  const double coupled = params_.k * pi_.prob();
+  if (!overloaded_) {
+    if (coupled >= engage) overloaded_ = true;
+  } else if (coupled < 0.5 * engage) {
+    overloaded_ = false;
+  }
+}
+
+double DualPi2Core::l_native(double sojourn_s, std::int64_t l_backlog_packets) {
+  if (!std::isfinite(sojourn_s)) {
+    ++guard_events_;
+    sojourn_s = 0.0;
+  }
+  if (params_.l_thresh_packets > 0 &&
+      l_backlog_packets >= params_.l_thresh_packets) {
+    return 1.0;
+  }
+  const double min_th = to_seconds(params_.l_min_th);
+  const double range = std::max(to_seconds(params_.l_range), 1e-9);
+  return std::clamp((sojourn_s - min_th) / range, 0.0, 1.0);
+}
+
+DualPi2Core::Signal DualPi2Core::classic_signal(pi2::sim::Rng& rng,
+                                                bool ecn_capable) {
+  // "Think twice to drop": P[signal] = (p')^2.
+  if (std::max(rng.uniform(), rng.uniform()) >= pi_.prob()) return Signal::kNone;
+  if (!ecn_capable || overloaded_) return Signal::kDrop;
+  return Signal::kMark;
+}
+
+DualPi2Core::Signal DualPi2Core::l_signal(pi2::sim::Rng& rng, double sojourn_s,
+                                          std::int64_t l_backlog_packets) {
+  const double p_l = std::max(l_native(sojourn_s, l_backlog_packets), p_coupled());
+  if (overloaded_) {
+    // RFC 9332 overload: ECN marking is no longer sufficient (the flood may
+    // ignore CE), so the L queue drops with the same squared probability
+    // the Classic queue applies; survivors still carry the mark.
+    if (std::max(rng.uniform(), rng.uniform()) < pi_.prob()) return Signal::kDrop;
+  }
+  return rng.uniform() < p_l ? Signal::kMark : Signal::kNone;
+}
+
+// --- DualPi2Link -------------------------------------------------------------
+
+DualPi2Link::DualPi2Link(pi2::sim::Simulator& sim, Params params)
+    : sim_(sim), params_(params), core_(params), rng_(sim.rng().split()) {
   schedule_update();
 }
 
@@ -46,26 +111,27 @@ void DualPi2Link::update() {
   if (!c_queue_.empty()) {
     c_delay_s = to_seconds(sim_.now() - c_queue_.front().enqueued_at);
   }
-  pi_.update(c_delay_s, to_seconds(params_.target));
+  core_.update(c_delay_s);
 }
 
 void DualPi2Link::send(Packet packet) {
+  const bool scalable = net::is_scalable(packet.ecn);
   if (total_backlog_packets() >= params_.buffer_packets) {
     ++counters_.tail_dropped;
+    ++(scalable ? counters_.l_tail_dropped : counters_.c_tail_dropped);
     return;
   }
-  const bool scalable = net::is_scalable(packet.ecn);
   if (!scalable) {
-    // Classic: squared, coupled signal at enqueue.
-    const double p_root = pi_.prob() / params_.k;
-    if (std::max(rng_.uniform(), rng_.uniform()) < p_root) {
-      if (net::ecn_capable(packet.ecn)) {
+    switch (core_.classic_signal(rng_, net::ecn_capable(packet.ecn))) {
+      case DualPi2Core::Signal::kMark:
         packet.ecn = Ecn::kCe;
         ++counters_.c_marked;
-      } else {
+        break;
+      case DualPi2Core::Signal::kDrop:
         ++counters_.c_dropped;
         return;
-      }
+      case DualPi2Core::Signal::kNone:
+        break;
     }
   }
   packet.enqueued_at = sim_.now();
@@ -83,48 +149,50 @@ void DualPi2Link::send(Packet packet) {
 
 void DualPi2Link::try_start_transmission() {
   if (transmitting_) return;
-  if (l_queue_.empty() && c_queue_.empty()) return;
-
-  // Time-shifted FIFO: compare head sojourns, crediting the L queue.
-  bool from_l;
-  const Time now = sim_.now();
-  if (l_queue_.empty()) {
-    from_l = false;
-  } else if (c_queue_.empty()) {
-    from_l = true;
-  } else {
-    const Duration l_sojourn = now - l_queue_.front().enqueued_at + params_.t_shift;
-    const Duration c_sojourn = now - c_queue_.front().enqueued_at;
-    from_l = l_sojourn >= c_sojourn;
-  }
-
-  Packet packet = from_l ? l_queue_.front() : c_queue_.front();
-  if (from_l) {
-    l_queue_.pop_front();
-    l_backlog_bytes_ -= packet.size;
-    // L-queue marking at dequeue: max of the native sojourn ramp and the
-    // coupled probability k * p'.
-    const double sojourn_s = to_seconds(now - packet.enqueued_at);
-    const double min_th = to_seconds(params_.l_min_th);
-    const double range = std::max(to_seconds(params_.l_range), 1e-9);
-    const double native = std::clamp((sojourn_s - min_th) / range, 0.0, 1.0);
-    const double p_cl = std::min(params_.k * pi_.prob(), 1.0);
-    const double p_l = std::max(native, p_cl);
-    if (rng_.uniform() < p_l) {
-      packet.ecn = Ecn::kCe;
-      ++counters_.l_marked;
+  while (!l_queue_.empty() || !c_queue_.empty()) {
+    // Time-shifted FIFO: compare head sojourns, crediting the L queue.
+    bool from_l;
+    const Time now = sim_.now();
+    if (l_queue_.empty()) {
+      from_l = false;
+    } else if (c_queue_.empty()) {
+      from_l = true;
+    } else {
+      const Duration l_sojourn = now - l_queue_.front().enqueued_at + params_.t_shift;
+      const Duration c_sojourn = now - c_queue_.front().enqueued_at;
+      from_l = l_sojourn >= c_sojourn;
     }
-  } else {
-    c_queue_.pop_front();
-    c_backlog_bytes_ -= packet.size;
-  }
 
-  const Duration tx_time =
-      from_seconds(static_cast<double>(packet.size) * 8.0 / params_.rate_bps);
-  transmitting_ = true;
-  sim_.after(tx_time, [this, packet, from_l]() mutable {
-    finish_transmission(std::move(packet), from_l);
-  });
+    Packet packet = from_l ? l_queue_.front() : c_queue_.front();
+    if (from_l) {
+      const auto l_backlog = static_cast<std::int64_t>(l_queue_.size());
+      l_queue_.pop_front();
+      l_backlog_bytes_ -= packet.size;
+      const double sojourn_s = to_seconds(now - packet.enqueued_at);
+      switch (core_.l_signal(rng_, sojourn_s, l_backlog)) {
+        case DualPi2Core::Signal::kMark:
+          packet.ecn = Ecn::kCe;
+          ++counters_.l_marked;
+          break;
+        case DualPi2Core::Signal::kDrop:
+          ++counters_.l_dropped;
+          continue;  // offer the next head packet
+        case DualPi2Core::Signal::kNone:
+          break;
+      }
+    } else {
+      c_queue_.pop_front();
+      c_backlog_bytes_ -= packet.size;
+    }
+
+    const Duration tx_time =
+        from_seconds(static_cast<double>(packet.size) * 8.0 / params_.rate_bps);
+    transmitting_ = true;
+    sim_.after(tx_time, [this, packet, from_l]() mutable {
+      finish_transmission(std::move(packet), from_l);
+    });
+    return;
+  }
 }
 
 void DualPi2Link::finish_transmission(Packet packet, bool from_l) {
@@ -134,6 +202,62 @@ void DualPi2Link::finish_transmission(Packet packet, bool from_l) {
   }
   if (sink_) sink_(packet);
   try_start_transmission();
+}
+
+// --- DualPi2Qdisc ------------------------------------------------------------
+
+void DualPi2Qdisc::install(pi2::sim::Simulator& sim, const net::QueueView& view) {
+  QueueDiscipline::install(sim, view);
+  schedule_update();
+}
+
+void DualPi2Qdisc::schedule_update() {
+  sim().after(params_.t_update, [this] {
+    // Same controller input as the link: the C head packet's sojourn.
+    core_.update(to_seconds(view().band_head_sojourn(kCBand)));
+    schedule_update();
+  });
+}
+
+std::size_t DualPi2Qdisc::select_band() {
+  const net::QueueView& v = view();
+  if (v.band_backlog_packets(kLBand) == 0) return kCBand;
+  if (v.band_backlog_packets(kCBand) == 0) return kLBand;
+  return v.band_head_sojourn(kLBand) + params_.t_shift >=
+                 v.band_head_sojourn(kCBand)
+             ? kLBand
+             : kCBand;
+}
+
+DualPi2Qdisc::Verdict DualPi2Qdisc::enqueue(const net::Packet& packet) {
+  if (net::is_scalable(packet.ecn)) return Verdict::kAccept;  // signalled at dequeue
+  switch (core_.classic_signal(rng(), net::ecn_capable(packet.ecn))) {
+    case DualPi2Core::Signal::kMark:
+      return Verdict::kMark;
+    case DualPi2Core::Signal::kDrop:
+      return Verdict::kDrop;
+    case DualPi2Core::Signal::kNone:
+      break;
+  }
+  return Verdict::kAccept;
+}
+
+DualPi2Qdisc::Verdict DualPi2Qdisc::dequeue_band(const net::Packet& packet,
+                                                 std::size_t band) {
+  if (band != kLBand) return Verdict::kAccept;  // C was signalled at enqueue
+  const double sojourn_s = to_seconds(sim().now() - packet.enqueued_at);
+  // The head packet has already left the band's FIFO, so the view's count
+  // excludes it; add it back for the l_thresh comparison.
+  const std::int64_t l_backlog = view().band_backlog_packets(kLBand) + 1;
+  switch (core_.l_signal(rng(), sojourn_s, l_backlog)) {
+    case DualPi2Core::Signal::kMark:
+      return Verdict::kMark;
+    case DualPi2Core::Signal::kDrop:
+      return Verdict::kDrop;
+    case DualPi2Core::Signal::kNone:
+      break;
+  }
+  return Verdict::kAccept;
 }
 
 }  // namespace pi2::core

@@ -32,7 +32,7 @@ class Pi2Aqm : public net::QueueDiscipline {
     /// Overload cap on the applied Classic probability (paper §5: 25%).
     /// Beyond it the queue grows and tail-drop takes over, which also
     /// controls unresponsive traffic. Internally caps p' at sqrt(cap).
-    double max_classic_prob = 0.25;
+    double max_classic_prob = pi2::aqm::kDefaultMaxClassicProb;
   };
 
   Pi2Aqm();

@@ -13,7 +13,8 @@ namespace {
 // v2: fluid-tier stats (arrival/served/dropped/backlog/ticks) and the
 // per-flow is_fluid flag joined the payload; v1 journals decode as corrupt
 // and their points are re-simulated rather than silently misread.
-constexpr const char* kMagic = "pi2-result-v2";
+// v3: DualPI2's per-band (L/C queue) counter slices, whole-run and window.
+constexpr const char* kMagic = "pi2-result-v3";
 
 void put_u64(std::string& out, std::uint64_t v) {
   char buf[24];
@@ -198,6 +199,19 @@ std::string encode_result(const scenario::RunResult& result) {
   put_counters(result.counters);
   put_counters(result.window_counters);
 
+  const auto put_band = [&out](const net::BottleneckLink::BandCounters& b) {
+    put_i64(out, b.enqueued);
+    put_i64(out, b.forwarded);
+    put_i64(out, b.marked);
+    put_i64(out, b.aqm_dropped);
+    put_i64(out, b.tail_dropped);
+    put_i64(out, b.dequeue_dropped);
+  };
+  put_band(result.band_l);
+  put_band(result.band_c);
+  put_band(result.window_band_l);
+  put_band(result.window_band_c);
+
   put_i64(out, result.fault_counters.dropped);
   put_i64(out, result.fault_counters.bleached);
   put_i64(out, result.fault_counters.reordered);
@@ -262,6 +276,14 @@ Status decode_result(const std::string& payload, scenario::RunResult& result) {
            reader.i64(c.dequeue_dropped);
   };
   ok = ok && read_counters(out.counters) && read_counters(out.window_counters);
+
+  const auto read_band = [&reader](net::BottleneckLink::BandCounters& b) {
+    return reader.i64(b.enqueued) && reader.i64(b.forwarded) &&
+           reader.i64(b.marked) && reader.i64(b.aqm_dropped) &&
+           reader.i64(b.tail_dropped) && reader.i64(b.dequeue_dropped);
+  };
+  ok = ok && read_band(out.band_l) && read_band(out.band_c) &&
+       read_band(out.window_band_l) && read_band(out.window_band_c);
 
   ok = ok && reader.i64(out.fault_counters.dropped) &&
        reader.i64(out.fault_counters.bleached) &&

@@ -1,5 +1,6 @@
 #include "faults/invariant_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -100,6 +101,48 @@ void InvariantMonitor::check_now() {
                    "dequeue-drops = %lld",
                    static_cast<long long>(c.enqueued),
                    static_cast<long long>(accounted)));
+  }
+
+  // Multi-band (DualQ) invariants: per-band packet conservation, band
+  // counters summing to the aggregate, and the coupled law.
+  if (link_.band_count() > 1) {
+    std::int64_t band_enqueued = 0;
+    std::int64_t band_forwarded = 0;
+    for (std::size_t b = 0; b < link_.band_count(); ++b) {
+      const auto& bc = link_.band_counters(b);
+      band_enqueued += bc.enqueued;
+      band_forwarded += bc.forwarded;
+      const std::int64_t band_accounted =
+          bc.forwarded + link_.band_backlog_packets(b) +
+          ((link_.transmitting() && link_.transmitting_band() == b) ? 1 : 0) +
+          bc.dequeue_dropped;
+      if (bc.enqueued != band_accounted) {
+        fail("band-conservation",
+             format_ll("band enqueued = %lld but forwarded+backlog+in-flight+"
+                       "dequeue-drops = %lld",
+                       static_cast<long long>(bc.enqueued),
+                       static_cast<long long>(band_accounted)));
+      }
+    }
+    if (band_enqueued != c.enqueued || band_forwarded != c.forwarded) {
+      fail("band-sum",
+           format_ll("band counters sum to %lld enqueued / %lld forwarded, "
+                     "aggregate disagrees",
+                     static_cast<long long>(band_enqueued),
+                     static_cast<long long>(band_forwarded)));
+    }
+    // Coupled law p_CL = min(k * p', 1): the discipline publishes the
+    // coupled probability as scalable_probability() and (p')^2 as
+    // classic_probability(), so ps must equal min(k * sqrt(pc), 1).
+    const double k = link_.qdisc().coupling_factor();
+    if (k > 0.0 && std::isfinite(pc) && pc >= 0.0) {
+      const double expected = std::min(k * std::sqrt(pc), 1.0);
+      if (std::isfinite(ps) && std::abs(ps - expected) > 1e-9) {
+        fail("coupled-law",
+             format("scalable probability %g != min(k*sqrt(p_C), 1) = %g", ps,
+                    expected));
+      }
+    }
   }
 
   // No events scheduled into the past since the last check.

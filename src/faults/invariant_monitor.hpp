@@ -14,7 +14,10 @@
 //       enqueued == forwarded + backlog + transmitting + dequeue_dropped;
 //   * the simulated clock is monotone across samples;
 //   * Simulator::clamped_events() stays zero (no event targeted the past);
-//   * the discipline's PiCore guard counter stays zero (no NaN rejected).
+//   * the discipline's PiCore guard counter stays zero (no NaN rejected);
+//   * multi-band queues (DualPI2) additionally: per-band packet
+//     conservation, band counters summing to the aggregate, and the coupled
+//     law p_CL = min(k * p', 1) between the published probabilities.
 #pragma once
 
 #include <cstdint>

@@ -15,7 +15,17 @@ BottleneckLink::BottleneckLink(pi2::sim::Simulator& sim, Config config,
     : sim_(sim), config_(config), qdisc_(std::move(qdisc)) {
   assert(config_.rate_bps > 0);
   assert(qdisc_ != nullptr);
+  const std::size_t bands = std::max<std::size_t>(qdisc_->band_count(), 1);
+  bands_.resize(bands);
+  band_counters_.resize(bands);
+  band_backlog_bytes_.resize(bands, 0);
   qdisc_->install(sim_, *this);
+}
+
+pi2::sim::Duration BottleneckLink::band_head_sojourn(std::size_t band) const {
+  const auto& q = bands_[band];
+  if (q.empty()) return {};
+  return sim_.now() - q.front().enqueued_at;
 }
 
 Duration BottleneckLink::queue_delay() const {
@@ -76,45 +86,60 @@ void BottleneckLink::send(Packet packet) {
 }
 
 void BottleneckLink::accept(Packet packet) {
+  // Classify on the arrival codepoint, before any CE mark the enqueue
+  // verdict applies (a marked Classic packet must stay in its band).
+  const std::size_t band = bands_.size() == 1 ? 0 : qdisc_->classify(packet);
   if (backlog_packets() >= config_.buffer_packets) {
+    ++band_counters_[band].tail_dropped;
     drop(packet, DropReason::kTailDrop);
     return;
   }
   switch (qdisc_->enqueue(packet)) {
     case QueueDiscipline::Verdict::kDrop:
+      ++band_counters_[band].aqm_dropped;
       drop(packet, DropReason::kAqm);
       return;
     case QueueDiscipline::Verdict::kMark:
       packet.ecn = Ecn::kCe;
       ++counters_.marked;
+      ++band_counters_[band].marked;
       break;
     case QueueDiscipline::Verdict::kAccept:
       break;
   }
   packet.enqueued_at = sim_.now();
   ++counters_.enqueued;
+  ++band_counters_[band].enqueued;
   packet_backlog_bytes_ += packet.size;
+  band_backlog_bytes_[band] += packet.size;
   audit_backlog();
   probes_.emit_enqueue(packet);
-  buffer_.push_back(packet);
+  bands_[band].push_back(packet);
   try_start_transmission();
 }
 
 void BottleneckLink::try_start_transmission() {
   if (transmitting_) return;
-  while (!buffer_.empty()) {
-    Packet packet = buffer_.front();
-    buffer_.pop_front();
+  while (backlog_packets() > 0) {
+    const std::size_t band = bands_.size() == 1 ? 0 : qdisc_->select_band();
+    auto& queue = bands_[band];
+    assert(!queue.empty() && "select_band() returned an empty band");
+    Packet packet = queue.front();
+    queue.pop_front();
     packet_backlog_bytes_ -= packet.size;
+    band_backlog_bytes_[band] -= packet.size;
     audit_backlog();
-    switch (qdisc_->dequeue(packet)) {
+    switch (qdisc_->dequeue_band(packet, band)) {
       case QueueDiscipline::Verdict::kDrop:
         ++counters_.dequeue_dropped;
+        ++band_counters_[band].dequeue_dropped;
+        ++band_counters_[band].aqm_dropped;
         drop(packet, DropReason::kAqm);
         continue;  // offer the next head packet
       case QueueDiscipline::Verdict::kMark:
         packet.ecn = Ecn::kCe;
         ++counters_.marked;
+        ++band_counters_[band].marked;
         break;
       case QueueDiscipline::Verdict::kAccept:
         break;
@@ -123,6 +148,7 @@ void BottleneckLink::try_start_transmission() {
     const Duration tx_time =
         from_seconds(static_cast<double>(packet.size) * 8.0 / packet_rate_bps());
     transmitting_ = true;
+    transmitting_band_ = band;
     sim_.after(tx_time, [this, packet, started]() mutable {
       finish_transmission(std::move(packet), started);
     });
@@ -133,6 +159,7 @@ void BottleneckLink::try_start_transmission() {
 void BottleneckLink::finish_transmission(Packet packet, Time started) {
   transmitting_ = false;
   ++counters_.forwarded;
+  ++band_counters_[transmitting_band_].forwarded;
   probes_.emit_busy(started, sim_.now());
   probes_.emit_departure(packet, sim_.now() - packet.enqueued_at);
   if (sink_) sink_(packet);

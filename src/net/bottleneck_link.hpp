@@ -44,6 +44,21 @@ class BottleneckLink final : public QueueView {
     std::int64_t dequeue_dropped = 0;
   };
 
+  /// Per-band slice of the aggregate counters (multi-band disciplines:
+  /// DualPI2's L queue is band 0, C is band 1). Single-band queues keep one
+  /// slice that mirrors the aggregate (minus fault_dropped, which happens
+  /// before classification). aqm_dropped includes the dequeue_dropped
+  /// subset, matching the aggregate semantics; tail_dropped attributes the
+  /// shared-buffer drops to the band the packet would have joined.
+  struct BandCounters {
+    std::int64_t enqueued = 0;
+    std::int64_t forwarded = 0;
+    std::int64_t marked = 0;
+    std::int64_t aqm_dropped = 0;
+    std::int64_t tail_dropped = 0;
+    std::int64_t dequeue_dropped = 0;
+  };
+
   /// Kept as a nested alias for source compatibility; the enum itself lives
   /// at namespace scope (net/probe_bus.hpp) so the probe bus can carry it.
   using DropReason = pi2::net::DropReason;
@@ -133,6 +148,9 @@ class BottleneckLink final : public QueueView {
   }
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const BandCounters& band_counters(std::size_t band) const {
+    return band_counters_[band];
+  }
   [[nodiscard]] const pi2::sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] QueueDiscipline& qdisc() { return *qdisc_; }
   [[nodiscard]] const QueueDiscipline& qdisc() const { return *qdisc_; }
@@ -142,6 +160,9 @@ class BottleneckLink final : public QueueView {
   /// conservation invariant:
   ///   enqueued == forwarded + backlog_packets + transmitting + dequeue_dropped
   [[nodiscard]] bool transmitting() const { return transmitting_; }
+  /// Band the in-flight packet came from; meaningful only while
+  /// transmitting() (per-band conservation needs the attribution).
+  [[nodiscard]] std::size_t transmitting_band() const { return transmitting_band_; }
 
   /// Recomputes the byte backlog from the buffer contents. O(queue length);
   /// the InvariantMonitor compares it against the incremental
@@ -149,7 +170,9 @@ class BottleneckLink final : public QueueView {
   /// the AQM decision path — backlog_bytes() is the O(1) running counter.
   [[nodiscard]] std::int64_t recount_backlog_bytes() const {
     std::int64_t total = 0;
-    for (const Packet& p : buffer_) total += p.size;
+    for (const auto& band : bands_) {
+      for (const Packet& p : band) total += p.size;
+    }
     return total;
   }
 
@@ -160,10 +183,20 @@ class BottleneckLink final : public QueueView {
     return packet_backlog_bytes_ + fluid_backlog_bytes_;
   }
   [[nodiscard]] std::int64_t backlog_packets() const override {
-    return static_cast<std::int64_t>(buffer_.size());
+    std::int64_t total = 0;
+    for (const auto& band : bands_) total += static_cast<std::int64_t>(band.size());
+    return total;
   }
   [[nodiscard]] double link_rate_bps() const override { return config_.rate_bps; }
   [[nodiscard]] pi2::sim::Duration queue_delay() const override;
+  [[nodiscard]] std::size_t band_count() const override { return bands_.size(); }
+  [[nodiscard]] std::int64_t band_backlog_bytes(std::size_t band) const override {
+    return band_backlog_bytes_[band];
+  }
+  [[nodiscard]] std::int64_t band_backlog_packets(std::size_t band) const override {
+    return static_cast<std::int64_t>(bands_[band].size());
+  }
+  [[nodiscard]] pi2::sim::Duration band_head_sojourn(std::size_t band) const override;
 
  private:
   void accept(Packet packet);  ///< post-filter path: AQM + buffer limit
@@ -179,7 +212,11 @@ class BottleneckLink final : public QueueView {
   pi2::sim::Simulator& sim_;
   Config config_;
   std::unique_ptr<QueueDiscipline> qdisc_;
-  std::deque<Packet> buffer_;
+  /// One FIFO per discipline band (size 1 for every single-queue AQM; the
+  /// single-band path is behaviourally identical to the old flat buffer).
+  std::vector<std::deque<Packet>> bands_;
+  std::vector<BandCounters> band_counters_;
+  std::vector<std::int64_t> band_backlog_bytes_;
   std::int64_t packet_backlog_bytes_ = 0;
   std::int64_t fluid_backlog_bytes_ = 0;
   double fluid_rate_bps_ = 0.0;
@@ -187,6 +224,7 @@ class BottleneckLink final : public QueueView {
   mutable std::uint32_t audit_countdown_ = 256;
 #endif
   bool transmitting_ = false;
+  std::size_t transmitting_band_ = 0;
   Counters counters_;
   std::function<void(Packet)> sink_;
   std::function<IngressVerdict(Packet&)> ingress_filter_;

@@ -26,6 +26,24 @@ class QueueView {
   /// PIE/DOCSIS approach of converting queue length to delay with a rate
   /// estimate instead of timestamping every packet.
   [[nodiscard]] virtual pi2::sim::Duration queue_delay() const = 0;
+
+  // Per-band views for multi-band disciplines (DualPI2's L/C queues).
+  // Single-band queues fall back to the aggregate.
+  [[nodiscard]] virtual std::size_t band_count() const { return 1; }
+  [[nodiscard]] virtual std::int64_t band_backlog_bytes(std::size_t band) const {
+    (void)band;
+    return backlog_bytes();
+  }
+  [[nodiscard]] virtual std::int64_t band_backlog_packets(std::size_t band) const {
+    (void)band;
+    return backlog_packets();
+  }
+  /// Sojourn time of the band's head packet; zero when the band is empty.
+  /// Multi-band schedulers (time-shifted FIFO) compare these.
+  [[nodiscard]] virtual pi2::sim::Duration band_head_sojourn(std::size_t band) const {
+    (void)band;
+    return {};
+  }
 };
 
 class QueueDiscipline {
@@ -56,6 +74,38 @@ class QueueDiscipline {
     (void)packet;
     return Verdict::kAccept;
   }
+
+  /// Number of FIFO bands the owning queue must maintain (DualPI2: 2,
+  /// everything else: 1).
+  [[nodiscard]] virtual std::size_t band_count() const { return 1; }
+
+  /// Band an arriving packet files into (0..band_count()-1). Must be pure
+  /// (no RNG, no state mutation): the queue also calls it for per-band drop
+  /// accounting. Always evaluated on the arrival codepoint, before any CE
+  /// mark this discipline's enqueue verdict applies.
+  [[nodiscard]] virtual std::size_t classify(const Packet& packet) const {
+    (void)packet;
+    return 0;
+  }
+
+  /// Band the scheduler should serve next. Called only while the queue is
+  /// non-empty; must return a non-empty band.
+  [[nodiscard]] virtual std::size_t select_band() { return 0; }
+
+  /// Dequeue decision carrying the band the packet was filed under. The
+  /// band disambiguates packets whose codepoint changed after
+  /// classification (a Classic ECT(0) packet CE-marked at enqueue would
+  /// otherwise re-classify as Scalable). Defaults to the band-less
+  /// dequeue() for single-band disciplines.
+  virtual Verdict dequeue_band(const Packet& packet, std::size_t band) {
+    (void)band;
+    return dequeue(packet);
+  }
+
+  /// DualQ coupling factor k; 0 for uncoupled/single-queue disciplines.
+  /// Lets the InvariantMonitor and oracles check the coupled law
+  /// p_CL = min(k * p', 1) without downcasting.
+  [[nodiscard]] virtual double coupling_factor() const { return 0.0; }
 
   /// Current probability the controller would apply to a Classic packet
   /// (drop probability p). For introspection/probes only.

@@ -7,6 +7,7 @@
 #include "aqm/red.hpp"
 #include "aqm/step_marker.hpp"
 #include "core/coupled_pi2.hpp"
+#include "core/dualpi2.hpp"
 #include "core/pi2.hpp"
 
 namespace pi2::scenario {
@@ -23,6 +24,7 @@ std::string_view to_string(AqmType type) {
     case AqmType::kCodel: return "codel";
     case AqmType::kCurvyRed: return "curvy-red";
     case AqmType::kStep: return "step";
+    case AqmType::kDualPi2: return "dualpi2";
   }
   return "?";
 }
@@ -92,6 +94,19 @@ std::unique_ptr<net::QueueDiscipline> AqmConfig::make() const {
       aqm::StepMarkerAqm::Params p;
       p.threshold = target;  // reuse the target knob as the step threshold
       return std::make_unique<aqm::StepMarkerAqm>(p);
+    }
+    case AqmType::kDualPi2: {
+      core::DualPi2Qdisc::Params p;
+      p.target = target;
+      p.t_update = t_update;
+      if (alpha_hz) p.alpha_hz = *alpha_hz;
+      if (beta_hz) p.beta_hz = *beta_hz;
+      p.k = coupling_k;
+      p.max_classic_prob = max_classic_prob;
+      p.t_shift = t_shift;
+      p.l_drop_percent = l_drop_percent;
+      p.l_thresh_packets = l_thresh_packets;
+      return std::make_unique<core::DualPi2Qdisc>(p);
     }
   }
   return std::make_unique<net::FifoTailDrop>();

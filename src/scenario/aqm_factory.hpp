@@ -3,10 +3,12 @@
 // varies (target delay, gains, ECN handling, coupling factor).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string_view>
 
+#include "aqm/pi_core.hpp"
 #include "net/queue_discipline.hpp"
 #include "sim/time.hpp"
 
@@ -23,6 +25,7 @@ enum class AqmType {
   kCodel,
   kCurvyRed,  ///< the DualQ draft's coupled RED-like example ([13])
   kStep,      ///< DCTCP's instantaneous step marker (Appendix A, eq (12))
+  kDualPi2,   ///< DualQ Coupled AQM (RFC 9332) with overload protection
 };
 
 [[nodiscard]] std::string_view to_string(AqmType type);
@@ -38,8 +41,16 @@ struct AqmConfig {
   bool ecn = true;
   /// PIE only: probability above which ECN traffic is dropped, not marked.
   std::optional<double> ecn_drop_threshold;
-  double coupling_k = 2.0;         ///< coupled PI2 only
-  double max_classic_prob = 0.25;  ///< PI2 family overload cap
+  double coupling_k = 2.0;  ///< coupled PI2 / DualPI2 only
+  /// PI2 family overload cap.
+  double max_classic_prob = pi2::aqm::kDefaultMaxClassicProb;
+  /// DualPI2 only: time-shifted scheduler credit for the L queue.
+  pi2::sim::Duration t_shift = pi2::sim::from_millis(30);
+  /// DualPI2 only: overload switchover threshold in percent of the coupled
+  /// probability k*p' (sch_pi2 default 100: engage when it saturates).
+  double l_drop_percent = 100.0;
+  /// DualPI2 only: L backlog in packets that saturates the native ramp.
+  std::int64_t l_thresh_packets = 3000;
 
   /// Builds the configured discipline.
   [[nodiscard]] std::unique_ptr<net::QueueDiscipline> make() const;

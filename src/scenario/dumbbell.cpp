@@ -92,6 +92,17 @@ std::string DumbbellConfig::validate() const {
     return bad_field("aqm.ecn_drop_threshold", "lie in [0, 1] when set",
                      *aqm.ecn_drop_threshold);
   }
+  if (aqm.t_shift < pi2::sim::Duration{0}) {
+    return bad_field("aqm.t_shift", "be >= 0 seconds", to_seconds(aqm.t_shift));
+  }
+  if (!(aqm.l_drop_percent >= 0.0 && aqm.l_drop_percent <= 100.0)) {
+    return bad_field("aqm.l_drop_percent", "lie in [0, 100]",
+                     aqm.l_drop_percent);
+  }
+  if (aqm.l_thresh_packets < 0) {
+    return bad_field("aqm.l_thresh_packets", "be >= 0",
+                     static_cast<double>(aqm.l_thresh_packets));
+  }
   for (std::size_t i = 0; i < tcp_flows.size(); ++i) {
     const TcpFlowSpec& f = tcp_flows[i];
     const std::string where = "tcp_flows[" + std::to_string(i) + "].";
@@ -355,6 +366,7 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     uc.flow = static_cast<std::int32_t>(flows.size());
     uc.rate_bps = spec.rate_bps;
     uc.packet_bytes = spec.packet_bytes;
+    uc.ecn = spec.ecn;
     auto udp = std::make_unique<tcp::UdpSender>(sim, uc);
     const std::int32_t flow_id = flows.add_udp(spec.base_rtt, std::move(udp));
     bucket_of_flow.push_back(batched ? bucket_for(spec.base_rtt / 2) : 0);
@@ -526,6 +538,31 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
       return static_cast<double>(fc.dropped + fc.bleached + fc.reordered +
                                  fc.rate_changes + fc.rtt_changes);
     });
+    if (link.band_count() > 1) {
+      // Per-queue probes for the DualQ: L/C head delay and the mark/drop
+      // split the overload campaign plots. Registered only for multi-band
+      // disciplines so single-queue telemetry snapshots are unchanged.
+      reg.gauge("dualq.l_delay_ms", [&link] {
+        return to_millis(link.band_head_sojourn(0));
+      });
+      reg.gauge("dualq.c_delay_ms", [&link] {
+        return to_millis(link.band_head_sojourn(1));
+      });
+      reg.gauge("dualq.l_marked", [&link] {
+        return static_cast<double>(link.band_counters(0).marked);
+      });
+      reg.gauge("dualq.l_dropped", [&link] {
+        return static_cast<double>(link.band_counters(0).aqm_dropped);
+      });
+      reg.gauge("dualq.c_marked", [&link] {
+        return static_cast<double>(link.band_counters(1).marked);
+      });
+      reg.gauge("dualq.c_dropped", [&link] {
+        return static_cast<double>(link.band_counters(1).aqm_dropped);
+      });
+      reg.gauge("dualq.coupling_k",
+                [&link] { return link.qdisc().coupling_factor(); });
+    }
   }
   if (config.recorder != nullptr) {
     telemetry::RunManifest& manifest = config.recorder->manifest();
@@ -541,6 +578,12 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
     manifest.set("aqm.ecn", std::string(config.aqm.ecn ? "true" : "false"));
     manifest.set("aqm.coupling_k", config.aqm.coupling_k);
     manifest.set("aqm.max_classic_prob", config.aqm.max_classic_prob);
+    if (config.aqm.type == AqmType::kDualPi2) {
+      manifest.set("aqm.t_shift_ms", to_millis(config.aqm.t_shift));
+      manifest.set("aqm.l_drop_percent", config.aqm.l_drop_percent);
+      manifest.set("aqm.l_thresh_packets",
+                   static_cast<std::uint64_t>(config.aqm.l_thresh_packets));
+    }
     if (config.aqm.alpha_hz) manifest.set("aqm.alpha_hz", *config.aqm.alpha_hz);
     if (config.aqm.beta_hz) manifest.set("aqm.beta_hz", *config.aqm.beta_hz);
     manifest.set("tcp_flow_specs",
@@ -571,10 +614,17 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   sim.after(config.sample_interval, sample);
 
   // Snapshot cumulative counters at the start of the stats window.
+  const bool dualq = link.band_count() > 1;
   net::BottleneckLink::Counters counters_at_stats_start{};
+  net::BottleneckLink::BandCounters band_l_at_stats_start{};
+  net::BottleneckLink::BandCounters band_c_at_stats_start{};
   sim.at(config.stats_start, [&] {
     busy_at_stats_start = util_meter.total_busy_seconds();
     counters_at_stats_start = link.counters();
+    if (dualq) {
+      band_l_at_stats_start = link.band_counters(0);
+      band_c_at_stats_start = link.band_counters(1);
+    }
     for (std::int32_t f = 0; f < static_cast<std::int32_t>(flows.size()); ++f) {
       flows.bytes_at_stats_start(f) = flows.goodput(f).total_bytes();
     }
@@ -625,6 +675,27 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
       result.counters.tail_dropped - counters_at_stats_start.tail_dropped;
   result.window_counters.marked =
       result.counters.marked - counters_at_stats_start.marked;
+  result.window_counters.fault_dropped =
+      result.counters.fault_dropped - counters_at_stats_start.fault_dropped;
+  result.window_counters.dequeue_dropped =
+      result.counters.dequeue_dropped - counters_at_stats_start.dequeue_dropped;
+  if (dualq) {
+    result.band_l = link.band_counters(0);
+    result.band_c = link.band_counters(1);
+    const auto band_window = [](const net::BottleneckLink::BandCounters& whole,
+                                const net::BottleneckLink::BandCounters& at) {
+      net::BottleneckLink::BandCounters w;
+      w.enqueued = whole.enqueued - at.enqueued;
+      w.forwarded = whole.forwarded - at.forwarded;
+      w.marked = whole.marked - at.marked;
+      w.aqm_dropped = whole.aqm_dropped - at.aqm_dropped;
+      w.tail_dropped = whole.tail_dropped - at.tail_dropped;
+      w.dequeue_dropped = whole.dequeue_dropped - at.dequeue_dropped;
+      return w;
+    };
+    result.window_band_l = band_window(result.band_l, band_l_at_stats_start);
+    result.window_band_c = band_window(result.band_c, band_c_at_stats_start);
+  }
 
   const double stats_span_s = to_seconds(config.duration - config.stats_start);
   if (stats_span_s > 0.0) {

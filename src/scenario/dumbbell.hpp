@@ -59,6 +59,10 @@ struct UdpFlowSpec {
   /// Wire size of each constant-rate datagram. The paper's unresponsive
   /// load uses MTU-sized packets; the fuzzer also exercises small ones.
   std::int32_t packet_bytes = net::kDefaultMss;
+  /// ECN codepoint the sender stamps on its datagrams. DualPI2 routes
+  /// ECT(1) floods into the L queue (the RFC 9332 overload scenario);
+  /// Not-ECT floods stay Classic and are dropped, not marked.
+  net::Ecn ecn = net::Ecn::kNotEct;
   pi2::sim::Time start{0};
   pi2::sim::Time stop{pi2::sim::kTimeInfinity};
   pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
@@ -210,6 +214,13 @@ struct RunResult {
   net::BottleneckLink::Counters counters;
   /// Counters restricted to the stats window [stats_start, duration).
   net::BottleneckLink::Counters window_counters;
+  /// Per-queue counter slices for multi-band AQMs (DualPI2: band_l is the
+  /// Scalable L queue, band_c the Classic queue). All zero for single-queue
+  /// disciplines. The check oracles enforce band_l + band_c == counters.
+  net::BottleneckLink::BandCounters band_l;
+  net::BottleneckLink::BandCounters band_c;
+  net::BottleneckLink::BandCounters window_band_l;
+  net::BottleneckLink::BandCounters window_band_c;
   /// Impairments the FaultInjector actually applied (all zero without a
   /// fault schedule).
   faults::FaultInjector::Counters fault_counters;

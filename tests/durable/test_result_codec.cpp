@@ -101,6 +101,38 @@ TEST(ResultCodec, AwkwardDoublesRoundTripExactly) {
                         std::numeric_limits<double>::infinity()));
 }
 
+TEST(ResultCodec, BandCountersSurviveTheTrip) {
+  scenario::RunResult result;
+  result.band_l.enqueued = 101;
+  result.band_l.forwarded = 90;
+  result.band_l.marked = 7;
+  result.band_l.aqm_dropped = 11;
+  result.band_l.tail_dropped = 3;
+  result.band_l.dequeue_dropped = 5;
+  result.band_c.enqueued = 202;
+  result.band_c.dequeue_dropped = 1;
+  result.window_band_l.marked = 4;
+  result.window_band_c.tail_dropped = 2;
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(encode_result(result), decoded).ok());
+  EXPECT_EQ(decoded.band_l.enqueued, 101);
+  EXPECT_EQ(decoded.band_l.forwarded, 90);
+  EXPECT_EQ(decoded.band_l.marked, 7);
+  EXPECT_EQ(decoded.band_l.aqm_dropped, 11);
+  EXPECT_EQ(decoded.band_l.tail_dropped, 3);
+  EXPECT_EQ(decoded.band_l.dequeue_dropped, 5);
+  EXPECT_EQ(decoded.band_c.enqueued, 202);
+  EXPECT_EQ(decoded.band_c.dequeue_dropped, 1);
+  EXPECT_EQ(decoded.window_band_l.marked, 4);
+  EXPECT_EQ(decoded.window_band_c.tail_dropped, 2);
+  // The digest folds the band slices, so altering one must change it.
+  scenario::RunResult tweaked = result;
+  tweaked.window_band_c.tail_dropped = 0;
+  EXPECT_NE(check::result_digest(tweaked), check::result_digest(result));
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(result));
+}
+
 TEST(ResultCodec, ViolationsSurviveTheTrip) {
   scenario::RunResult result;
   faults::InvariantViolation violation;

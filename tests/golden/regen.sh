@@ -29,6 +29,7 @@ regen fig16_queue_delay fig16.json
 regen fig17_mark_prob fig17.json
 regen fig18_utilization fig18.json
 regen fig_response fig_response.json
+regen fig_overload fig_overload.json
 # The fluid-agreement baseline is the *packet* rendering of the background
 # load; the golden_fluid_fig15..18 ctests run their candidates with
 # --fluid-background 2 against it (figs 15-18 share one sweep engine and

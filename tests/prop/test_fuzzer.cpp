@@ -81,7 +81,7 @@ TEST(ScenarioFuzzer, CoversTheParameterSpace) {
     if (!cfg.udp_flows.empty()) ++with_udp;
     if (!cfg.tcp_flows.empty()) ++with_tcp;
   }
-  EXPECT_EQ(aqms.size(), 10u) << "all AqmTypes should appear in 300 draws";
+  EXPECT_EQ(aqms.size(), 11u) << "all AqmTypes should appear in 300 draws";
   EXPECT_GT(with_faults, 50);
   EXPECT_GT(with_udp, 50);
   EXPECT_GT(with_tcp, 100);

@@ -1,0 +1,94 @@
+// End-to-end DualPI2 through the first-class scenario path: ECT-codepoint
+// routing into the L/C bands, per-band counter conservation against the
+// aggregate link counters, and RFC 9332 overload protection shedding an
+// unresponsive Not-ECT flood while the Classic delay stays governed.
+#include <gtest/gtest.h>
+
+#include "scenario/dumbbell.hpp"
+
+namespace pi2::scenario {
+namespace {
+
+using pi2::sim::from_millis;
+using pi2::sim::Time;
+using std::chrono::seconds;
+
+DumbbellConfig dualpi2_config() {
+  DumbbellConfig cfg;
+  cfg.link_rate_bps = 10e6;
+  cfg.duration = Time{seconds{12}};
+  cfg.stats_start = Time{seconds{4}};
+  cfg.aqm.type = AqmType::kDualPi2;
+  TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.base_rtt = from_millis(10);
+  cfg.tcp_flows = {cubic};
+  return cfg;
+}
+
+void expect_band_conservation(const RunResult& r) {
+  EXPECT_EQ(r.band_l.enqueued + r.band_c.enqueued, r.counters.enqueued);
+  EXPECT_EQ(r.band_l.forwarded + r.band_c.forwarded, r.counters.forwarded);
+  EXPECT_EQ(r.band_l.marked + r.band_c.marked, r.counters.marked);
+  EXPECT_EQ(r.band_l.aqm_dropped + r.band_c.aqm_dropped,
+            r.counters.aqm_dropped);
+  EXPECT_EQ(r.band_l.tail_dropped + r.band_c.tail_dropped,
+            r.counters.tail_dropped);
+}
+
+TEST(DualPi2Scenario, Ect1FloodRoutesToLBand) {
+  auto cfg = dualpi2_config();
+  UdpFlowSpec flood;
+  flood.rate_bps = 1.5 * cfg.link_rate_bps;
+  flood.ecn = net::Ecn::kEct1;
+  flood.base_rtt = from_millis(10);
+  cfg.udp_flows = {flood};
+  const auto r = run_dumbbell(cfg);
+  // The flood fills the L band; the Cubic flow keeps the C band in use.
+  EXPECT_GT(r.band_l.enqueued, 0);
+  EXPECT_GT(r.band_c.enqueued, 0);
+  expect_band_conservation(r);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.guard_events, 0u);
+  EXPECT_EQ(r.clamped_events, 0u);
+}
+
+TEST(DualPi2Scenario, NotEctTrafficStaysClassic) {
+  auto cfg = dualpi2_config();
+  UdpFlowSpec udp;
+  udp.rate_bps = 2e6;
+  udp.ecn = net::Ecn::kNotEct;
+  udp.base_rtt = from_millis(10);
+  cfg.udp_flows = {udp};
+  const auto r = run_dumbbell(cfg);
+  // Nothing here carries ECT(1)/CE on arrival, so the L band must stay idle.
+  EXPECT_EQ(r.band_l.enqueued, 0);
+  EXPECT_EQ(r.band_l.forwarded, 0);
+  EXPECT_EQ(r.band_c.enqueued, r.counters.enqueued);
+  expect_band_conservation(r);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.guard_events, 0u);
+}
+
+TEST(DualPi2Scenario, OverloadShedsUnresponsiveNotEctFlood) {
+  auto cfg = dualpi2_config();
+  // The campaign configuration: lift the Classic cap so drops can shed a
+  // 2x unresponsive flood (a 25% cap cannot remove 50% of the arrivals).
+  cfg.aqm.max_classic_prob = 1.0;
+  UdpFlowSpec flood;
+  flood.rate_bps = 2.0 * cfg.link_rate_bps;
+  flood.ecn = net::Ecn::kNotEct;
+  flood.base_rtt = from_millis(10);
+  cfg.udp_flows = {flood};
+  const auto r = run_dumbbell(cfg);
+  // The PI controller must shed the excess via Classic drops and keep the
+  // queue governed instead of letting it grow toward the buffer limit.
+  EXPECT_GT(r.window_band_c.aqm_dropped, 0);
+  EXPECT_LT(r.mean_qdelay_ms, 100.0);
+  expect_band_conservation(r);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.guard_events, 0u);
+}
+
+}  // namespace
+}  // namespace pi2::scenario
