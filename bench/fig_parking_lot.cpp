@@ -1,0 +1,363 @@
+// Parking-lot fairness campaign: one long flow crosses a chain of 1..3
+// AQM-managed 10 Mb/s bottlenecks while each hop also carries its own
+// one-hop cross flow. Classic end-to-end congestion control pays once per
+// congested hop, so the long flow's share must fall below the cross flows'
+// as soon as hops > 1 — the per-hop table shows each bottleneck's queue
+// delay and marking doing that work.
+//
+// Durable like the sweep binaries: each completed point is journaled
+// (codec v4 keeps the per-link slices) before its row prints, SIGINT/
+// SIGTERM stop at a point boundary (exit 75), --resume replays journaled
+// points byte-identically, and --json is written atomically. The --smoke
+// --seed 1 --json output is a committed golden figure
+// (tests/golden/fig_parking_lot.json); the hops axis is ordered {3, 1, 2}
+// so the cap keeps the acceptance case (3 hops) and the single-hop control.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace pi2;
+using namespace pi2::bench;
+
+struct ParkingPoint {
+  int hops;
+  scenario::AqmType aqm;
+  const char* aqm_name;
+};
+
+double duration_s(const Options& opts) {
+  if (opts.duration_s_override > 0) return opts.duration_s_override;
+  return opts.full ? 60.0 : 20.0;
+}
+
+std::uint64_t parking_campaign_key(const Options& opts, double total_s,
+                                   std::size_t points) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-parking-campaign-v1");
+  h.mix_u64(opts.seed);
+  h.mix_double(total_s);
+  h.mix_u64(points);
+  return h.state;
+}
+
+std::uint64_t parking_point_key(std::size_t index, const ParkingPoint& p,
+                                std::uint64_t derived_seed) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-parking-point-v1");
+  h.mix_u64(index);
+  h.mix_u64(static_cast<std::uint64_t>(p.hops));
+  h.mix_u64(static_cast<std::uint64_t>(p.aqm));
+  h.mix_u64(derived_seed);
+  return h.state;
+}
+
+template <typename T>
+void cap_axis(std::vector<T>& axis, int cap) {
+  if (cap > 0 && axis.size() > static_cast<std::size_t>(cap)) {
+    axis.resize(static_cast<std::size_t>(cap));
+  }
+}
+
+/// The N-hop parking lot: nodes n0..nN, one long Cubic flow over the whole
+/// chain, one Cubic cross flow per hop, every hop the same rate and AQM.
+topology::TopologyConfig parking_lot(const ParkingPoint& p, double link_mbps,
+                                     double rtt_ms, double total_s,
+                                     double stats_start_s,
+                                     std::uint64_t seed) {
+  topology::TopologyConfig cfg;
+  for (int i = 0; i <= p.hops; ++i) {
+    cfg.nodes.push_back("n" + std::to_string(i));
+  }
+  for (int i = 0; i < p.hops; ++i) {
+    topology::LinkSpec link;
+    link.from = cfg.nodes[static_cast<std::size_t>(i)];
+    link.to = cfg.nodes[static_cast<std::size_t>(i) + 1];
+    link.rate_bps = link_mbps * 1e6;
+    link.aqm.type = p.aqm;
+    link.aqm.ecn = true;
+    cfg.links.push_back(link);
+  }
+  scenario::TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.count = 1;
+  cubic.base_rtt = sim::from_millis(rtt_ms);
+  topology::TcpRoute longflow;
+  longflow.spec = cubic;
+  longflow.path = cfg.nodes;
+  cfg.tcp_flows.push_back(longflow);
+  for (int i = 0; i < p.hops; ++i) {
+    topology::TcpRoute cross;
+    cross.spec = cubic;
+    cross.path = {cfg.nodes[static_cast<std::size_t>(i)],
+                  cfg.nodes[static_cast<std::size_t>(i) + 1]};
+    cfg.tcp_flows.push_back(cross);
+  }
+  cfg.duration = sim::from_seconds(total_s);
+  cfg.stats_start = sim::from_seconds(stats_start_s);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  print_header("Parking lot",
+               "long flow vs per-hop cross flows over 1-3 chained bottlenecks",
+               opts);
+  durable::ShutdownController::install();
+
+  const double total_s = duration_s(opts);
+  const double stats_start_s = opts.stats_start_s_override > 0
+                                   ? opts.stats_start_s_override
+                                   : total_s / 4.0;
+  const double link_mbps = 10.0;
+  const double rtt_ms = 10.0;
+
+  // Hops ordered so --smoke's cap of 2 keeps the acceptance case (3 hops,
+  // where the long flow must lose) next to the single-hop control.
+  std::vector<int> hops{3, 1, 2};
+  std::vector<std::pair<scenario::AqmType, const char*>> aqms{
+      {scenario::AqmType::kCoupledPi2, "coupled-pi2"},
+      {scenario::AqmType::kPie, "pie"},
+  };
+  cap_axis(hops, opts.grid_cap);
+  cap_axis(aqms, opts.grid_cap);
+
+  std::vector<ParkingPoint> grid;
+  for (const auto& [aqm, name] : aqms) {
+    for (const int h : hops) {
+      grid.push_back({h, aqm, name});
+    }
+  }
+
+  std::printf("# chain of 10 Mb/s links, RTT %.0f ms, %.0f s/run; 1 long "
+              "Cubic + 1 Cubic cross flow per hop\n",
+              rtt_ms, total_s);
+  std::printf("%-12s %-5s %-7s %-7s %-7s %-8s %-21s %-21s\n", "aqm", "hops",
+              "long", "cross", "ratio", "util", "qdelay/hop (ms)",
+              "signals/hop");
+
+  const runner::ParallelRunner pool{opts.jobs};
+  bool healthy = true;
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+
+  const std::uint64_t campaign =
+      parking_campaign_key(opts, total_s, grid.size());
+  const std::string journal_file = bench::detail::journal_path(opts);
+  std::vector<std::uint64_t> keys(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    keys[i] =
+        parking_point_key(i, grid[i], sim::Rng::derive_seed(opts.seed, i));
+  }
+
+  // --resume: codec v4 round-trips the per-link slices, so replayed points
+  // print the same per-hop columns as fresh runs.
+  std::vector<std::unique_ptr<scenario::RunResult>> replay(grid.size());
+  bool journal_keep = false;
+  if (opts.resume) {
+    const durable::LoadedJournal loaded =
+        durable::load_journal(journal_file, campaign);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different campaign; "
+                   "ignoring it\n",
+                   journal_file.c_str());
+    }
+    if (loaded.header_ok) {
+      journal_keep = true;
+      std::size_t replayed = 0;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto it = loaded.points.find(keys[i]);
+        if (it == loaded.points.end()) continue;
+        auto result = std::make_unique<scenario::RunResult>();
+        if (durable::decode_result(it->second, *result).ok()) {
+          replay[i] = std::move(result);
+          ++replayed;
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %zu run(s) from %s\n",
+                   replayed, grid.size(), journal_file.c_str());
+    }
+  }
+  durable::JournalWriter journal{journal_file, campaign, journal_keep};
+
+  std::unique_ptr<durable::AtomicFile> json;
+  bool json_first = true;
+  if (!opts.json_path.empty()) {
+    json = std::make_unique<durable::AtomicFile>(opts.json_path);
+    if (!json->healthy()) {
+      std::fprintf(stderr, "warning: %s; no JSON written\n",
+                   json->status().message().c_str());
+      json.reset();
+    } else {
+      json->write("[");
+    }
+  }
+
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
+  std::size_t interrupted_points = 0;
+  runner::GuardOptions guard;
+  guard.cancel = durable::ShutdownController::flag();
+
+  const auto report = pool.run_ordered_guarded<PointOutcome>(
+      grid.size(),
+      [&](std::size_t i) {
+        if (replay[i] != nullptr) {
+          PointOutcome outcome;
+          outcome.result = *replay[i];
+          return outcome;
+        }
+        auto cfg =
+            parking_lot(grid[i], link_mbps, rtt_ms, total_s, stats_start_s,
+                        sim::Rng::derive_seed(opts.seed, i));
+        cfg.stop = durable::ShutdownController::flag();
+        PointOutcome outcome;
+        if (telemetry_on) {
+          outcome.recorder = std::make_shared<telemetry::Recorder>(
+              bench::detail::point_recorder_config(opts, i));
+          cfg.recorder = outcome.recorder.get();
+        }
+        outcome.result = topology::to_run_result(topology::run_topology(cfg));
+        return outcome;
+      },
+      [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
+        const ParkingPoint& p = grid[i];
+        if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_points;
+          return;
+        }
+        if (status != runner::TaskStatus::kOk || outcome == nullptr) {
+          std::printf("%-12s %-5d point %s\n", p.aqm_name, p.hops,
+                      runner::to_string(status));
+          if (json != nullptr) {
+            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
+                         "\"aqm\": \"%s\", \"hops\": %d}",
+                         json_first ? "" : ",", i, runner::to_string(status),
+                         p.aqm_name, p.hops);
+            json_first = false;
+          }
+          healthy = false;
+          return;
+        }
+        scenario::RunResult* result = &outcome->result;
+        if (replay[i] == nullptr && journal.healthy()) {
+          (void)journal.append_point(keys[i], durable::encode_result(*result));
+        }
+        if (outcome->recorder != nullptr) {
+          std::printf("# telemetry: %s\n",
+                      outcome->recorder->manifest_path().c_str());
+          outcome->recorder.reset();
+        }
+        // Flow order is the route order: flows[0] is the long flow,
+        // flows[1..hops] the cross flows.
+        const double long_mbps = result->flows[0].goodput_mbps;
+        double cross_sum = 0.0;
+        for (int h = 0; h < p.hops; ++h) {
+          cross_sum += result->flows[static_cast<std::size_t>(h) + 1]
+                           .goodput_mbps;
+        }
+        const double cross_mbps = cross_sum / p.hops;
+        const double ratio = cross_mbps > 0 ? long_mbps / cross_mbps : 0.0;
+        double util_min = 1.0;
+        char qdelay_col[64] = "";
+        char marks_col[64] = "";
+        std::size_t q_at = 0;
+        std::size_t m_at = 0;
+        for (const auto& link : result->links) {
+          if (link.utilization < util_min) util_min = link.utilization;
+          q_at += static_cast<std::size_t>(std::snprintf(
+              qdelay_col + q_at, sizeof(qdelay_col) - q_at, "%s%.2f",
+              q_at == 0 ? "" : "/", link.mean_qdelay_ms));
+          m_at += static_cast<std::size_t>(std::snprintf(
+              marks_col + m_at, sizeof(marks_col) - m_at, "%s%lld",
+              m_at == 0 ? "" : "/",
+              static_cast<long long>(link.counters.marked +
+                                     link.counters.aqm_dropped)));
+        }
+        std::printf("%-12s %-5d %-7.2f %-7.2f %-7.2f %-8.3f %-21s %-21s\n",
+                    p.aqm_name, p.hops, long_mbps, cross_mbps, ratio,
+                    util_min, qdelay_col, marks_col);
+        if (json != nullptr) {
+          json->printf(
+              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
+              "\"hops\": %d, \"seed\": %llu, \"link_mbps\": %.6g, "
+              "\"rtt_ms\": %.6g, "
+              "\"long_mbps\": %.6g, \"cross_mbps\": %.6g, \"ratio\": %.6g, "
+              "\"util_min\": %.6g",
+              json_first ? "" : ",", i, p.aqm_name, p.hops,
+              static_cast<unsigned long long>(
+                  sim::Rng::derive_seed(opts.seed, i)),
+              link_mbps, rtt_ms, long_mbps, cross_mbps, ratio, util_min);
+          for (std::size_t h = 0; h < result->links.size(); ++h) {
+            const auto& link = result->links[h];
+            json->printf(
+                ", \"hop%zu_qdelay_ms\": %.6g, \"hop%zu_marked\": %lld, "
+                "\"hop%zu_dropped\": %lld",
+                h, link.mean_qdelay_ms, h,
+                static_cast<long long>(link.counters.marked), h,
+                static_cast<long long>(link.counters.aqm_dropped));
+          }
+          json->printf(", \"invariant_violations\": %llu, "
+                       "\"guard_events\": %llu}",
+                       static_cast<unsigned long long>(
+                           result->violations.size()),
+                       static_cast<unsigned long long>(result->guard_events));
+          json_first = false;
+        }
+        // Health covers the machinery and the headline ordering: beyond one
+        // hop the long flow must not out-throughput the cross flows.
+        if (!result->violations.empty() || result->clamped_events != 0 ||
+            result->guard_events != 0) {
+          healthy = false;
+        }
+        if (p.hops > 1 && long_mbps >= cross_mbps) {
+          std::printf("# UNHEALTHY: long flow (%.2f Mb/s) >= cross mean "
+                      "(%.2f Mb/s) over %d hops\n",
+                      long_mbps, cross_mbps, p.hops);
+          healthy = false;
+        }
+      },
+      guard);
+
+  if (durable::ShutdownController::requested()) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    if (json != nullptr) json->abort();
+    std::fprintf(stderr,
+                 "parking-lot: interrupted — %zu run(s) unfinished; re-run "
+                 "with --resume to finish (journal: %s)\n",
+                 interrupted_points, journal_file.c_str());
+    return durable::ShutdownController::kExitInterrupted;
+  }
+  if (json != nullptr) {
+    json->write("\n]\n");
+    const durable::Status status = json->commit();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: JSON not written: %s\n",
+                   status.message().c_str());
+    }
+  }
+
+  std::printf(
+      "\n# expectation: the ratio column sits near 1.0 at one hop and falls "
+      "below 1.0\n"
+      "# beyond it — the long flow pays every hop's marking while each cross "
+      "flow pays one.\n");
+  std::printf("# points ok: %zu/%zu\n", report.ok_count(),
+              report.status.size());
+  return report.all_ok() && healthy ? 0 : 1;
+}

@@ -1,0 +1,343 @@
+// RTT-mix fairness campaign: three sender branches at 10/50/100 ms base RTT
+// feed one AQM-managed 10 Mb/s bottleneck through uncongested 40 Mb/s FIFO
+// access links — the classic RTT-unfairness matrix, swept across the
+// paper's AQMs. Each branch runs 1 Cubic + 1 DCTCP flow, so the matrix
+// also shows how the Classic/Scalable split interacts with RTT bias.
+// Reported per point: per-branch goodput, the 10ms/100ms ratio, Jain's
+// index over the branches, and the bottleneck's queue delay.
+//
+// Durable like the sweep binaries: journaled points (codec v4), exit 75 on
+// SIGINT/SIGTERM, --resume replay, atomic --json. The --smoke --seed 1
+// --json output is a committed golden figure (tests/golden/fig_rtt_mix.json).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace pi2;
+using namespace pi2::bench;
+
+struct RttMixPoint {
+  scenario::AqmType aqm;
+  const char* aqm_name;
+};
+
+constexpr double kBranchRttMs[] = {10.0, 50.0, 100.0};
+constexpr std::size_t kBranches = 3;
+constexpr int kFlowsPerBranch = 2;  // 1 Cubic + 1 DCTCP
+
+double duration_s(const Options& opts) {
+  if (opts.duration_s_override > 0) return opts.duration_s_override;
+  return opts.full ? 60.0 : 20.0;
+}
+
+std::uint64_t rtt_mix_campaign_key(const Options& opts, double total_s,
+                                   std::size_t points) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-rttmix-campaign-v1");
+  h.mix_u64(opts.seed);
+  h.mix_double(total_s);
+  h.mix_u64(points);
+  return h.state;
+}
+
+std::uint64_t rtt_mix_point_key(std::size_t index, const RttMixPoint& p,
+                                std::uint64_t derived_seed) {
+  durable::Fnv1a h;
+  h.mix_string("pi2-rttmix-point-v1");
+  h.mix_u64(index);
+  h.mix_u64(static_cast<std::uint64_t>(p.aqm));
+  h.mix_u64(derived_seed);
+  return h.state;
+}
+
+template <typename T>
+void cap_axis(std::vector<T>& axis, int cap) {
+  if (cap > 0 && axis.size() > static_cast<std::size_t>(cap)) {
+    axis.resize(static_cast<std::size_t>(cap));
+  }
+}
+
+/// Branch topology: r10/r50/r100 -> agg over FIFO access links, agg -> sink
+/// over the AQM bottleneck. The bottleneck is links[0], so it owns the
+/// flattened result's top-level series and telemetry scope.
+topology::TopologyConfig rtt_mix(const RttMixPoint& p, double link_mbps,
+                                 double total_s, double stats_start_s,
+                                 std::uint64_t seed) {
+  topology::TopologyConfig cfg;
+  cfg.nodes = {"agg", "sink", "r10", "r50", "r100"};
+  topology::LinkSpec bottleneck;
+  bottleneck.name = "bottleneck";
+  bottleneck.from = "agg";
+  bottleneck.to = "sink";
+  bottleneck.rate_bps = link_mbps * 1e6;
+  bottleneck.aqm.type = p.aqm;
+  bottleneck.aqm.ecn = true;
+  cfg.links.push_back(bottleneck);
+  for (std::size_t b = 0; b < kBranches; ++b) {
+    topology::LinkSpec access;
+    access.from = cfg.nodes[2 + b];
+    access.to = "agg";
+    access.rate_bps = 40e6;  // never the bottleneck
+    access.aqm.type = scenario::AqmType::kFifo;
+    cfg.links.push_back(access);
+  }
+  for (std::size_t b = 0; b < kBranches; ++b) {
+    const std::vector<std::string> path = {cfg.nodes[2 + b], "agg", "sink"};
+    scenario::TcpFlowSpec cubic;
+    cubic.cc = tcp::CcType::kCubic;
+    cubic.count = 1;
+    cubic.base_rtt = sim::from_millis(kBranchRttMs[b]);
+    cfg.tcp_flows.push_back({cubic, path});
+    scenario::TcpFlowSpec dctcp;
+    dctcp.cc = tcp::CcType::kDctcp;
+    dctcp.count = 1;
+    dctcp.base_rtt = sim::from_millis(kBranchRttMs[b]);
+    cfg.tcp_flows.push_back({dctcp, path});
+  }
+  cfg.duration = sim::from_seconds(total_s);
+  cfg.stats_start = sim::from_seconds(stats_start_s);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  print_header("RTT mix",
+               "10/50/100 ms branches sharing one bottleneck, per AQM",
+               opts);
+  durable::ShutdownController::install();
+
+  const double total_s = duration_s(opts);
+  const double stats_start_s = opts.stats_start_s_override > 0
+                                   ? opts.stats_start_s_override
+                                   : total_s / 4.0;
+  const double link_mbps = 10.0;
+
+  // Ordered so --smoke's cap of 2 keeps the paper's AQM next to DualPI2.
+  std::vector<RttMixPoint> grid{
+      {scenario::AqmType::kCoupledPi2, "coupled-pi2"},
+      {scenario::AqmType::kDualPi2, "dualpi2"},
+      {scenario::AqmType::kPie, "pie"},
+  };
+  cap_axis(grid, opts.grid_cap);
+
+  std::printf("# bottleneck %.0f Mb/s; per branch: 1 Cubic + 1 DCTCP at "
+              "10/50/100 ms base RTT, %.0f s/run\n",
+              link_mbps, total_s);
+  std::printf("%-12s %-8s %-8s %-8s %-9s %-6s %-8s %-8s\n", "aqm",
+              "b10", "b50", "b100", "r10/100", "jain", "qdelay", "p99");
+
+  const runner::ParallelRunner pool{opts.jobs};
+  bool healthy = true;
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+
+  const std::uint64_t campaign =
+      rtt_mix_campaign_key(opts, total_s, grid.size());
+  const std::string journal_file = bench::detail::journal_path(opts);
+  std::vector<std::uint64_t> keys(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    keys[i] =
+        rtt_mix_point_key(i, grid[i], sim::Rng::derive_seed(opts.seed, i));
+  }
+
+  std::vector<std::unique_ptr<scenario::RunResult>> replay(grid.size());
+  bool journal_keep = false;
+  if (opts.resume) {
+    const durable::LoadedJournal loaded =
+        durable::load_journal(journal_file, campaign);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different campaign; "
+                   "ignoring it\n",
+                   journal_file.c_str());
+    }
+    if (loaded.header_ok) {
+      journal_keep = true;
+      std::size_t replayed = 0;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto it = loaded.points.find(keys[i]);
+        if (it == loaded.points.end()) continue;
+        auto result = std::make_unique<scenario::RunResult>();
+        if (durable::decode_result(it->second, *result).ok()) {
+          replay[i] = std::move(result);
+          ++replayed;
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %zu run(s) from %s\n",
+                   replayed, grid.size(), journal_file.c_str());
+    }
+  }
+  durable::JournalWriter journal{journal_file, campaign, journal_keep};
+
+  std::unique_ptr<durable::AtomicFile> json;
+  bool json_first = true;
+  if (!opts.json_path.empty()) {
+    json = std::make_unique<durable::AtomicFile>(opts.json_path);
+    if (!json->healthy()) {
+      std::fprintf(stderr, "warning: %s; no JSON written\n",
+                   json->status().message().c_str());
+      json.reset();
+    } else {
+      json->write("[");
+    }
+  }
+
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
+  std::size_t interrupted_points = 0;
+  runner::GuardOptions guard;
+  guard.cancel = durable::ShutdownController::flag();
+
+  const auto report = pool.run_ordered_guarded<PointOutcome>(
+      grid.size(),
+      [&](std::size_t i) {
+        if (replay[i] != nullptr) {
+          PointOutcome outcome;
+          outcome.result = *replay[i];
+          return outcome;
+        }
+        auto cfg = rtt_mix(grid[i], link_mbps, total_s, stats_start_s,
+                           sim::Rng::derive_seed(opts.seed, i));
+        cfg.stop = durable::ShutdownController::flag();
+        PointOutcome outcome;
+        if (telemetry_on) {
+          outcome.recorder = std::make_shared<telemetry::Recorder>(
+              bench::detail::point_recorder_config(opts, i));
+          cfg.recorder = outcome.recorder.get();
+        }
+        outcome.result = topology::to_run_result(topology::run_topology(cfg));
+        return outcome;
+      },
+      [&](std::size_t i, runner::TaskStatus status, PointOutcome* outcome) {
+        const RttMixPoint& p = grid[i];
+        if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_points;
+          return;
+        }
+        if (status != runner::TaskStatus::kOk || outcome == nullptr) {
+          std::printf("%-12s point %s\n", p.aqm_name,
+                      runner::to_string(status));
+          if (json != nullptr) {
+            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
+                         "\"aqm\": \"%s\"}",
+                         json_first ? "" : ",", i, runner::to_string(status),
+                         p.aqm_name);
+            json_first = false;
+          }
+          healthy = false;
+          return;
+        }
+        scenario::RunResult* result = &outcome->result;
+        if (replay[i] == nullptr && journal.healthy()) {
+          (void)journal.append_point(keys[i], durable::encode_result(*result));
+        }
+        if (outcome->recorder != nullptr) {
+          std::printf("# telemetry: %s\n",
+                      outcome->recorder->manifest_path().c_str());
+          outcome->recorder.reset();
+        }
+        // Flow order is the route order: branch b owns flows[2b] (Cubic)
+        // and flows[2b+1] (DCTCP).
+        double branch_mbps[kBranches] = {};
+        for (std::size_t b = 0; b < kBranches; ++b) {
+          for (int f = 0; f < kFlowsPerBranch; ++f) {
+            branch_mbps[b] +=
+                result->flows[b * kFlowsPerBranch +
+                              static_cast<std::size_t>(f)]
+                    .goodput_mbps;
+          }
+        }
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (const double g : branch_mbps) {
+          sum += g;
+          sum_sq += g * g;
+        }
+        const double jain =
+            sum_sq > 0 ? (sum * sum) / (kBranches * sum_sq) : 0.0;
+        const double ratio =
+            branch_mbps[2] > 0 ? branch_mbps[0] / branch_mbps[2] : 0.0;
+        std::printf("%-12s %-8.2f %-8.2f %-8.2f %-9.2f %-6.3f %-8.2f %-8.2f\n",
+                    p.aqm_name, branch_mbps[0], branch_mbps[1],
+                    branch_mbps[2], ratio, jain, result->mean_qdelay_ms,
+                    result->p99_qdelay_ms);
+        if (json != nullptr) {
+          json->printf(
+              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
+              "\"seed\": %llu, \"link_mbps\": %.6g, "
+              "\"rtt10_mbps\": %.6g, \"rtt50_mbps\": %.6g, "
+              "\"rtt100_mbps\": %.6g, \"ratio_10_100\": %.6g, "
+              "\"jain\": %.6g, \"utilization\": %.6g, "
+              "\"mean_qdelay_ms\": %.6g, \"p99_qdelay_ms\": %.6g, "
+              "\"marked\": %lld, \"aqm_dropped\": %lld, "
+              "\"invariant_violations\": %llu, \"guard_events\": %llu}",
+              json_first ? "" : ",", i, p.aqm_name,
+              static_cast<unsigned long long>(
+                  sim::Rng::derive_seed(opts.seed, i)),
+              link_mbps, branch_mbps[0], branch_mbps[1], branch_mbps[2],
+              ratio, jain, result->utilization, result->mean_qdelay_ms,
+              result->p99_qdelay_ms,
+              static_cast<long long>(result->counters.marked),
+              static_cast<long long>(result->counters.aqm_dropped),
+              static_cast<unsigned long long>(result->violations.size()),
+              static_cast<unsigned long long>(result->guard_events));
+          json_first = false;
+        }
+        // Health is machinery plus basic liveness: every branch must get a
+        // share, and the Jain index must be a valid fairness value.
+        if (!result->violations.empty() || result->clamped_events != 0 ||
+            result->guard_events != 0) {
+          healthy = false;
+        }
+        for (std::size_t b = 0; b < kBranches; ++b) {
+          if (branch_mbps[b] <= 0.0) {
+            std::printf("# UNHEALTHY: branch %zu starved (%.3f Mb/s)\n", b,
+                        branch_mbps[b]);
+            healthy = false;
+          }
+        }
+      },
+      guard);
+
+  if (durable::ShutdownController::requested()) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    if (json != nullptr) json->abort();
+    std::fprintf(stderr,
+                 "rtt-mix: interrupted — %zu run(s) unfinished; re-run with "
+                 "--resume to finish (journal: %s)\n",
+                 interrupted_points, journal_file.c_str());
+    return durable::ShutdownController::kExitInterrupted;
+  }
+  if (json != nullptr) {
+    json->write("\n]\n");
+    const durable::Status status = json->commit();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: JSON not written: %s\n",
+                   status.message().c_str());
+    }
+  }
+
+  std::printf(
+      "\n# expectation: short-RTT branches out-throughput long ones "
+      "(ratio > 1); the AQMs\n"
+      "# differ in how far Jain's index falls and where the queue delay "
+      "settles.\n");
+  std::printf("# points ok: %zu/%zu\n", report.ok_count(),
+              report.status.size());
+  return report.all_ok() && healthy ? 0 : 1;
+}

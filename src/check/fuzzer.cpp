@@ -1,5 +1,6 @@
 #include "check/fuzzer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -208,6 +209,147 @@ scenario::DumbbellConfig ScenarioFuzzer::make_config(std::uint64_t index) const 
   return cfg;
 }
 
+topology::TopologyConfig ScenarioFuzzer::make_topology_config(
+    std::uint64_t index) const {
+  // Offset the derivation index so topology case i never shares a stream
+  // with dumbbell case i of the same batch.
+  const std::uint64_t seed =
+      Rng::derive_seed(options_.base_seed, (1ull << 32) + index);
+  Rng rng{seed};
+  topology::TopologyConfig cfg;
+  cfg.seed = seed;
+
+  const double max_s =
+      options_.max_duration_s > 1.0
+          ? (options_.max_duration_s < 2.5 ? options_.max_duration_s : 2.5)
+          : 1.5;
+  const double duration_s = rng.uniform(1.0, max_s);
+  cfg.duration = from_seconds(duration_s);
+  cfg.stats_start = from_seconds(duration_s * rng.uniform(0.1, 0.4));
+  cfg.sample_interval = from_millis(rng.uniform(20.0, 100.0));
+
+  // A chain of 2-4 links, each with its own AQM, rate, buffer and faults.
+  const int hops = static_cast<int>(rng.uniform_below(3)) + 2;
+  for (int i = 0; i <= hops; ++i) {
+    cfg.nodes.push_back("n" + std::to_string(i));
+  }
+  bool any_rtt_fault = false;
+  for (int i = 0; i < hops; ++i) {
+    topology::LinkSpec link;
+    link.from = cfg.nodes[static_cast<std::size_t>(i)];
+    link.to = cfg.nodes[static_cast<std::size_t>(i) + 1];
+    static constexpr double kLinkMbps[] = {2, 4, 8, 12, 20};
+    link.rate_bps = pick(rng, kLinkMbps) * 1e6;
+    static constexpr std::int64_t kBuffers[] = {50, 200, 1000, 40000};
+    link.buffer_packets = pick(rng, kBuffers);
+    link.delay = from_millis(rng.uniform(0.0, 10.0));
+    link.aqm.type = draw_aqm(rng);
+    link.aqm.target = from_millis(rng.uniform(2.0, 40.0));
+    link.aqm.t_update = from_millis(rng.uniform(4.0, 64.0));
+    link.aqm.ecn = chance(rng, 0.8);
+    link.aqm.coupling_k = rng.uniform(1.0, 4.0);
+    link.aqm.max_classic_prob = rng.uniform(0.1, 1.0);
+    link.aqm.t_shift = from_millis(rng.uniform(0.0, 60.0));
+    if (chance(rng, 0.4)) link.aqm.l_drop_percent = rng.uniform(2.0, 60.0);
+    if (chance(rng, 0.2)) {
+      scenario::RateChange change;
+      change.at = from_seconds(rng.uniform(0.0, duration_s));
+      change.rate_bps = rng.uniform(1e6, 20e6);
+      link.rate_changes.push_back(change);
+    }
+    if (options_.allow_faults && chance(rng, 0.4)) {
+      draw_faults(rng, duration_s, link.faults);
+      for (const faults::FaultEvent& event : link.faults.events) {
+        if (event.kind == faults::FaultKind::kRttStep) any_rtt_fault = true;
+      }
+    }
+    cfg.links.push_back(std::move(link));
+  }
+
+  const auto path_of = [&cfg](int a, int b) {
+    std::vector<std::string> path;
+    for (int i = a; i <= b; ++i) {
+      path.push_back(cfg.nodes[static_cast<std::size_t>(i)]);
+    }
+    return path;
+  };
+
+  // One long flow crossing every hop (the parking-lot victim), then per-hop
+  // cross traffic so every link sees its own load.
+  {
+    topology::TcpRoute route;
+    route.spec.cc = draw_cc(rng);
+    route.spec.count = static_cast<int>(rng.uniform_below(2)) + 1;
+    route.spec.base_rtt = from_millis(rng.uniform(5.0, 100.0));
+    route.path = path_of(0, hops);
+    cfg.tcp_flows.push_back(std::move(route));
+  }
+  for (int i = 0; i < hops; ++i) {
+    if (!chance(rng, 0.6)) continue;
+    topology::TcpRoute route;
+    route.spec.cc = draw_cc(rng);
+    route.spec.count = static_cast<int>(rng.uniform_below(2)) + 1;
+    route.spec.base_rtt = from_millis(rng.uniform(5.0, 100.0));
+    route.spec.start = from_seconds(rng.uniform(0.0, duration_s / 2.0));
+    route.path = path_of(i, i + 1);
+    cfg.tcp_flows.push_back(std::move(route));
+  }
+
+  // Optional unresponsive UDP load over a sub-path of the chain.
+  if (chance(rng, 0.4)) {
+    const int a = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(hops)));
+    const int b = a + 1 +
+                  static_cast<int>(rng.uniform_below(
+                      static_cast<std::uint64_t>(hops - a)));
+    double min_rate = cfg.links[static_cast<std::size_t>(a)].rate_bps;
+    for (int i = a; i < b; ++i) {
+      min_rate = std::min(min_rate,
+                          cfg.links[static_cast<std::size_t>(i)].rate_bps);
+    }
+    topology::UdpRoute route;
+    route.spec.rate_bps = min_rate * rng.uniform(0.05, 0.8);
+    route.spec.count = 1;
+    static constexpr net::Ecn kCodepoints[] = {net::Ecn::kNotEct,
+                                               net::Ecn::kEct0, net::Ecn::kEct1};
+    route.spec.ecn = pick(rng, kCodepoints);
+    route.spec.base_rtt = from_millis(rng.uniform(2.0, 100.0));
+    static constexpr std::int32_t kPacketBytes[] = {200, 576, 1500};
+    route.spec.packet_bytes = pick(rng, kPacketBytes);
+    route.path = path_of(a, b);
+    cfg.udp_flows.push_back(std::move(route));
+  }
+
+  // Optional fluid ensemble on one link (fluid routes are single-hop).
+  if (chance(rng, 0.3)) {
+    const int a = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(hops)));
+    topology::FluidRoute route;
+    route.spec.cc = draw_cc(rng);
+    static constexpr double kCounts[] = {1, 10, 100, 1000};
+    route.spec.count = pick(rng, kCounts);
+    route.spec.base_rtt = from_millis(rng.uniform(2.0, 100.0));
+    route.path = path_of(a, a + 1);
+    cfg.fluid_flows.push_back(std::move(route));
+    static constexpr double kFluidDtMs[] = {0.5, 1.0, 2.0};
+    cfg.fluid_dt = from_millis(pick(rng, kFluidDtMs));
+  }
+
+  // The batched ACK clock cannot coexist with per-link RTT steps in a
+  // multi-link topology (validate() rejects it), so only quantize when no
+  // link drew one.
+  if (!any_rtt_fault && chance(rng, 0.2)) {
+    cfg.ack_quantum = from_millis(rng.uniform(0.1, 2.0));
+  }
+
+  if (std::string error = cfg.validate(); !error.empty()) {
+    throw std::logic_error(
+        "ScenarioFuzzer produced an invalid topology (case " +
+        std::to_string(index) + "): " + error);
+  }
+  return cfg;
+}
+
 std::string ScenarioFuzzer::describe(const scenario::DumbbellConfig& config) {
   int tcp = 0;
   for (const auto& f : config.tcp_flows) tcp += f.count;
@@ -229,9 +371,45 @@ std::string ScenarioFuzzer::describe(const scenario::DumbbellConfig& config) {
   return buf;
 }
 
+std::string ScenarioFuzzer::describe(const topology::TopologyConfig& config) {
+  std::string links;
+  for (const auto& link : config.links) {
+    char part[64];
+    std::snprintf(part, sizeof part, "%s%s@%.3gMbps", links.empty() ? "" : ",",
+                  std::string(scenario::to_string(link.aqm.type)).c_str(),
+                  link.rate_bps / 1e6);
+    links += part;
+  }
+  int tcp = 0;
+  for (const auto& r : config.tcp_flows) tcp += r.spec.count;
+  int udp = 0;
+  for (const auto& r : config.udp_flows) udp += r.spec.count;
+  double fluid = 0;
+  for (const auto& r : config.fluid_flows) fluid += r.spec.count;
+  std::size_t fault_events = 0;
+  for (const auto& link : config.links) fault_events += link.faults.events.size();
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "links=%zu [%s] dur=%.2fs tcp=%d udp=%d fluid=%g ack_q=%.2gms "
+                "faults=%zu seed=%llu",
+                config.links.size(), links.c_str(),
+                to_seconds(config.duration), tcp, udp, fluid,
+                to_millis(config.ack_quantum), fault_events,
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
 std::string ScenarioFuzzer::repro_command(std::uint64_t index) const {
   char buf[96];
   std::snprintf(buf, sizeof buf, "check_fuzz --seed %llu --case %llu",
+                static_cast<unsigned long long>(options_.base_seed),
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string ScenarioFuzzer::topology_repro_command(std::uint64_t index) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "check_fuzz --seed %llu --topo-case %llu",
                 static_cast<unsigned long long>(options_.base_seed),
                 static_cast<unsigned long long>(index));
   return buf;

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "scenario/dumbbell.hpp"
+#include "topology/topology.hpp"
 
 namespace pi2::check {
 
@@ -43,11 +44,25 @@ class ScenarioFuzzer {
   /// config, on any thread, regardless of other cases.
   [[nodiscard]] scenario::DumbbellConfig make_config(std::uint64_t index) const;
 
+  /// Derives topology case `index`: a 2-4 link chain with per-link AQMs,
+  /// rates, buffers and optional fault schedules, one long flow crossing
+  /// every hop, per-hop cross traffic, and optional UDP / fluid routes.
+  /// Drawn from a stream disjoint from make_config's, with the same purity
+  /// contract: same (base_seed, index) -> same topology, on any thread.
+  [[nodiscard]] topology::TopologyConfig make_topology_config(
+      std::uint64_t index) const;
+
   /// One-line human summary of a config (AQM, link, flows, faults).
   [[nodiscard]] static std::string describe(const scenario::DumbbellConfig& config);
 
+  /// One-line summary of a topology case (per-link AQM/rate, flow counts).
+  [[nodiscard]] static std::string describe(const topology::TopologyConfig& config);
+
   /// The one-line replay command for case `index`.
   [[nodiscard]] std::string repro_command(std::uint64_t index) const;
+
+  /// The replay command for topology case `index`.
+  [[nodiscard]] std::string topology_repro_command(std::uint64_t index) const;
 
   [[nodiscard]] const FuzzOptions& options() const { return options_; }
 

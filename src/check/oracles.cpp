@@ -19,6 +19,7 @@
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
+#include "topology/topology.hpp"
 
 namespace pi2::check {
 
@@ -48,13 +49,13 @@ double gauge_value(const MetricsRegistry& registry, const char* name) {
 }
 
 /// Coupling factor of the p = (p'/k)^2 law, or 0 for disciplines without it.
-double coupling_k_of(const scenario::DumbbellConfig& config) {
-  switch (config.aqm.type) {
+double coupling_k_of(const scenario::AqmConfig& aqm) {
+  switch (aqm.type) {
     case scenario::AqmType::kPi2:
       return 1.0;  // single-signal: p = (p')^2
     case scenario::AqmType::kCoupledPi2:
     case scenario::AqmType::kCurvyRed:
-      return config.aqm.coupling_k;
+      return aqm.coupling_k;
     default:
       return 0.0;
   }
@@ -100,6 +101,14 @@ void mix_double(std::uint64_t& h, double v) {
   static_assert(sizeof bits == sizeof v);
   std::memcpy(&bits, &v, sizeof bits);
   mix_u64(h, bits);
+}
+
+void mix_bytes(std::uint64_t& h, const std::string& s) {
+  mix_u64(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
 }
 
 }  // namespace
@@ -156,6 +165,33 @@ std::uint64_t result_digest(const scenario::RunResult& result) {
     mix_double(h, flow.goodput_mbps);
     mix_u64(h, static_cast<std::uint64_t>(flow.retransmits));
     mix_u64(h, static_cast<std::uint64_t>(flow.timeouts));
+  }
+  mix_u64(h, static_cast<std::uint64_t>(result.links.size()));
+  for (const auto& link : result.links) {
+    mix_bytes(h, link.name);
+    mix_double(h, link.mean_qdelay_ms);
+    mix_double(h, link.p99_qdelay_ms);
+    mix_double(h, link.utilization);
+    mix_counters(link.counters);
+    mix_counters(link.window_counters);
+    mix_u64(h, static_cast<std::uint64_t>(link.fault_counters.dropped));
+    mix_u64(h, static_cast<std::uint64_t>(link.fault_counters.bleached));
+    mix_u64(h, static_cast<std::uint64_t>(link.fault_counters.reordered));
+    mix_u64(h, static_cast<std::uint64_t>(link.fault_counters.rate_changes));
+    mix_u64(h, static_cast<std::uint64_t>(link.fault_counters.rtt_changes));
+    mix_u64(h, link.guard_events);
+    mix_u64(h, static_cast<std::uint64_t>(link.final_backlog_packets));
+  }
+  return h;
+}
+
+std::uint64_t topology_result_digest(const topology::TopologyResult& result) {
+  std::uint64_t h =
+      result_digest(topology::to_run_result(topology::TopologyResult{result}));
+  // The flattening keeps every per-link slice but drops the flow->route
+  // assignment; fold it back in so re-routed flows change the fingerprint.
+  for (const std::int32_t route : result.flow_route) {
+    mix_u64(h, static_cast<std::uint64_t>(route));
   }
   return h;
 }
@@ -358,60 +394,66 @@ void check_fluid(const scenario::DumbbellConfig& config,
   }
 }
 
-void check_coupling_law(const scenario::DumbbellConfig& config,
+void check_coupling_law(const scenario::AqmConfig& aqm, std::uint64_t seed,
+                        const std::string& where,
                         std::vector<OracleFailure>& failures) {
+  // Failure details carry the caller's scope (the link name in topologies);
+  // the single-bottleneck path passes "" and keeps the legacy message text.
+  const std::string at = where.empty() ? std::string() : where + ": ";
+
   // DualPI2 publishes a different pair: classic = (p')^2, scalable = the
   // overload-clamped coupled probability min(k * p', 1). Drive it across the
   // same ladder and assert that law instead of the single-queue one.
-  if (config.aqm.type == scenario::AqmType::kDualPi2) {
-    const double k = config.aqm.coupling_k;
-    pi2::sim::Simulator sim{config.seed};
+  if (aqm.type == scenario::AqmType::kDualPi2) {
+    const double k = aqm.coupling_k;
+    pi2::sim::Simulator sim{seed};
     DrivenQueueView view;
-    auto qdisc = config.aqm.make();
+    auto qdisc = aqm.make();
     qdisc->install(sim, view);
 
-    const double target_s = pi2::sim::to_seconds(config.aqm.target);
+    const double target_s = pi2::sim::to_seconds(aqm.target);
     const double ladder[] = {0.0,          target_s * 0.5, target_s,
                              target_s * 2, target_s * 8,   target_s * 32};
     for (const double delay_s : ladder) {
       view.set_delay_seconds(delay_s);
-      sim.run_until(sim.now() + config.aqm.t_update * 5);
+      sim.run_until(sim.now() + aqm.t_update * 5);
       const double pc = qdisc->classic_probability();
       const double ps = qdisc->scalable_probability();
       const double expected =
           pc >= 0.0 ? std::min(k * std::sqrt(pc), 1.0) : std::nan("");
       if (!std::isfinite(pc) || !std::isfinite(ps) || pc < 0.0 ||
-          pc > config.aqm.max_classic_prob + 1e-12 ||
+          pc > aqm.max_classic_prob + 1e-12 ||
           std::abs(ps - expected) > 1e-12) {
         fail(failures, "coupling-law",
-             fmt("dualpi2 at qdelay %.4fs: p_CL = %.12g but "
+             fmt("%sdualpi2 at qdelay %.4fs: p_CL = %.12g but "
                  "min(k*sqrt(p_C), 1) = %.12g (p_C = %.12g, k = %.3g, "
                  "cap = %.3g)",
-                 delay_s, ps, expected, pc, k, config.aqm.max_classic_prob));
+                 at.c_str(), delay_s, ps, expected, pc, k,
+                 aqm.max_classic_prob));
         return;
       }
     }
     return;
   }
 
-  const double k = coupling_k_of(config);
+  const double k = coupling_k_of(aqm);
   if (k <= 0.0) return;
 
   // Drive the discipline alone across a deterministic ladder of queue
   // states; the output law must hold at every operating point, including
   // saturation.
-  pi2::sim::Simulator sim{config.seed};
+  pi2::sim::Simulator sim{seed};
   DrivenQueueView view;
-  auto qdisc = config.aqm.make();
+  auto qdisc = aqm.make();
   qdisc->install(sim, view);
 
-  const double target_s = pi2::sim::to_seconds(config.aqm.target);
+  const double target_s = pi2::sim::to_seconds(aqm.target);
   const double ladder[] = {0.0,          target_s * 0.5, target_s,
                            target_s * 2, target_s * 8,   target_s * 32};
   for (const double delay_s : ladder) {
     view.set_delay_seconds(delay_s);
     // Let timer-driven controllers integrate and EWMA-driven ones observe.
-    sim.run_until(sim.now() + config.aqm.t_update * 5);
+    sim.run_until(sim.now() + aqm.t_update * 5);
     for (int i = 0; i < 32; ++i) {
       (void)qdisc->enqueue(net::Packet{});
     }
@@ -422,13 +464,19 @@ void check_coupling_law(const scenario::DumbbellConfig& config,
     if (std::abs(got - expected) > 1e-12 ||
         !std::isfinite(got) || !std::isfinite(p_prime)) {
       fail(failures, "coupling-law",
-           fmt("%s at qdelay %.4fs: p = %.12g but (p'/k)^2 = %.12g "
+           fmt("%s%s at qdelay %.4fs: p = %.12g but (p'/k)^2 = %.12g "
                "(p' = %.12g, k = %.3g)",
-               std::string(scenario::to_string(config.aqm.type)).c_str(),
+               at.c_str(),
+               std::string(scenario::to_string(aqm.type)).c_str(),
                delay_s, got, expected, p_prime, k));
       return;  // one point is enough; later points would repeat the message
     }
   }
+}
+
+void check_coupling_law(const scenario::DumbbellConfig& config,
+                        std::vector<OracleFailure>& failures) {
+  check_coupling_law(config.aqm, config.seed, "", failures);
 }
 
 void check_coupling_snapshot(const scenario::DumbbellConfig& config,
@@ -451,7 +499,7 @@ void check_coupling_snapshot(const scenario::DumbbellConfig& config,
     }
     return;
   }
-  const double k = coupling_k_of(config);
+  const double k = coupling_k_of(config.aqm);
   if (k <= 0.0) return;
   const double p = gauge_value(registry, "aqm.p");
   const double p_prime = gauge_value(registry, "aqm.p_prime");
@@ -690,6 +738,303 @@ CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
   check_coupling_snapshot(cfg, registry, outcome.failures);
   check_dualq(cfg, result, outcome.failures);
   check_journal_roundtrip(result, outcome.failures);
+  if (recorder) {
+    if (!recorder->ok()) {
+      fail(outcome.failures, "telemetry", "recorder reported an I/O failure");
+    } else {
+      check_telemetry_roundtrip(recorder->jsonl_path(), registry,
+                                outcome.failures);
+    }
+  }
+
+  if (!options.inject_failure.empty()) {
+    fail(outcome.failures, options.inject_failure,
+         "synthetic failure injected for self-test");
+  }
+  return outcome;
+}
+
+void check_topology_links(const topology::TopologyConfig& config,
+                          const topology::TopologyResult& result,
+                          std::vector<OracleFailure>& failures) {
+  using BandCounters = net::BottleneckLink::BandCounters;
+  if (result.links.size() != config.links.size()) {
+    fail(failures, "conservation",
+         fmt("result has %zu link slices for %zu configured links",
+             result.links.size(), config.links.size()));
+    return;
+  }
+
+  // Which links carry fluid routes (a fluid path crosses exactly one link).
+  std::vector<bool> carries_fluid(config.links.size(), false);
+  for (const auto& route : config.fluid_flows) {
+    if (route.path.size() == 2) {
+      const int li = config.link_between(route.path[0], route.path[1]);
+      if (li >= 0) carries_fluid[static_cast<std::size_t>(li)] = true;
+    }
+  }
+
+  for (std::size_t li = 0; li < result.links.size(); ++li) {
+    const topology::LinkResult& link = result.links[li];
+    const auto& c = link.counters;
+    const char* name = link.name.c_str();
+
+    // Exact per-link conservation: the slice records the end-of-run queue
+    // occupancy, so unlike the gauge-based dumbbell oracle there is no
+    // one-packet slack — the books must balance to zero.
+    const std::int64_t residual = c.enqueued - c.forwarded -
+                                  c.dequeue_dropped - link.final_backlog_packets -
+                                  (link.final_transmitting ? 1 : 0);
+    if (residual != 0) {
+      fail(failures, "conservation",
+           fmt("link %s: enqueued %lld != forwarded %lld + dequeue_dropped "
+               "%lld + backlog %lld + transmitting %d (residual %lld)",
+               name, static_cast<long long>(c.enqueued),
+               static_cast<long long>(c.forwarded),
+               static_cast<long long>(c.dequeue_dropped),
+               static_cast<long long>(link.final_backlog_packets),
+               link.final_transmitting ? 1 : 0,
+               static_cast<long long>(residual)));
+    }
+
+    // The stats window is a sub-interval of the run, per link.
+    const struct {
+      const char* field;
+      std::int64_t window, whole;
+    } windows[] = {
+        {"enqueued", link.window_counters.enqueued, c.enqueued},
+        {"forwarded", link.window_counters.forwarded, c.forwarded},
+        {"aqm_dropped", link.window_counters.aqm_dropped, c.aqm_dropped},
+        {"tail_dropped", link.window_counters.tail_dropped, c.tail_dropped},
+        {"marked", link.window_counters.marked, c.marked},
+        {"fault_dropped", link.window_counters.fault_dropped, c.fault_dropped},
+        {"dequeue_dropped", link.window_counters.dequeue_dropped,
+         c.dequeue_dropped},
+    };
+    for (const auto& w : windows) {
+      if (w.window < 0 || w.window > w.whole) {
+        fail(failures, "conservation",
+             fmt("link %s: window %s %lld exceeds whole-run %lld", name,
+                 w.field, static_cast<long long>(w.window),
+                 static_cast<long long>(w.whole)));
+      }
+    }
+
+    // Per-band slicing, per link: DualPI2 links split every counter into
+    // L + C exactly; single-queue links must keep the bands all zero.
+    struct Field {
+      const char* field;
+      std::int64_t BandCounters::*band;
+    };
+    static constexpr Field kFields[] = {
+        {"enqueued", &BandCounters::enqueued},
+        {"forwarded", &BandCounters::forwarded},
+        {"marked", &BandCounters::marked},
+        {"aqm_dropped", &BandCounters::aqm_dropped},
+        {"tail_dropped", &BandCounters::tail_dropped},
+        {"dequeue_dropped", &BandCounters::dequeue_dropped},
+    };
+    if (config.links[li].aqm.type == scenario::AqmType::kDualPi2) {
+      const struct {
+        const char* scope;
+        const BandCounters* l;
+        const BandCounters* c;
+        const net::BottleneckLink::Counters* whole;
+      } scopes[] = {
+          {"whole-run", &link.band_l, &link.band_c, &c},
+          {"window", &link.window_band_l, &link.window_band_c,
+           &link.window_counters},
+      };
+      for (const auto& scope : scopes) {
+        const struct {
+          const char* field;
+          std::int64_t sum, want;
+        } checks[] = {
+            {"enqueued", scope.l->enqueued + scope.c->enqueued,
+             scope.whole->enqueued},
+            {"forwarded", scope.l->forwarded + scope.c->forwarded,
+             scope.whole->forwarded},
+            {"marked", scope.l->marked + scope.c->marked, scope.whole->marked},
+            {"aqm_dropped", scope.l->aqm_dropped + scope.c->aqm_dropped,
+             scope.whole->aqm_dropped},
+            {"tail_dropped", scope.l->tail_dropped + scope.c->tail_dropped,
+             scope.whole->tail_dropped},
+            {"dequeue_dropped",
+             scope.l->dequeue_dropped + scope.c->dequeue_dropped,
+             scope.whole->dequeue_dropped},
+        };
+        for (const auto& check : checks) {
+          if (check.sum != check.want) {
+            fail(failures, "dualq",
+                 fmt("link %s: %s L+C %s sums to %lld but aggregate says %lld",
+                     name, scope.scope, check.field,
+                     static_cast<long long>(check.sum),
+                     static_cast<long long>(check.want)));
+          }
+        }
+      }
+    } else {
+      for (const auto* b : {&link.band_l, &link.band_c, &link.window_band_l,
+                            &link.window_band_c}) {
+        for (const Field& f : kFields) {
+          if (b->*f.band != 0) {
+            fail(failures, "dualq",
+                 fmt("link %s: single-queue link reports band %s = %lld", name,
+                     f.field, static_cast<long long>(b->*f.band)));
+          }
+        }
+      }
+    }
+
+    // Per-link fluid accounting mirrors check_fluid, scoped to the links
+    // that actually carry fluid routes.
+    const scenario::FluidStats& f = link.fluid;
+    if (!carries_fluid[li]) {
+      if (f.ticks != 0 || f.arrival_bytes != 0.0 || f.served_bytes != 0.0 ||
+          f.dropped_bytes != 0.0 || f.final_backlog_bytes != 0.0) {
+        fail(failures, "fluid",
+             fmt("link %s: fluid stats nonzero without fluid routes "
+                 "(arrival=%g served=%g dropped=%g backlog=%g ticks=%llu)",
+                 name, f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+                 f.final_backlog_bytes,
+                 static_cast<unsigned long long>(f.ticks)));
+      }
+      continue;
+    }
+    if (f.ticks == 0) {
+      fail(failures, "fluid",
+           fmt("link %s: fluid routes configured but the ensemble never "
+               "ticked", name));
+    }
+    if (!std::isfinite(f.arrival_bytes) || f.arrival_bytes < 0.0 ||
+        !std::isfinite(f.served_bytes) || f.served_bytes < 0.0 ||
+        !std::isfinite(f.dropped_bytes) || f.dropped_bytes < 0.0 ||
+        !std::isfinite(f.final_backlog_bytes) || f.final_backlog_bytes < 0.0) {
+      fail(failures, "fluid",
+           fmt("link %s: fluid accounting not finite/non-negative "
+               "(arrival=%g served=%g dropped=%g backlog=%g)",
+               name, f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+               f.final_backlog_bytes));
+      continue;
+    }
+    const double residual_bytes = f.arrival_bytes - f.served_bytes -
+                                  f.dropped_bytes - f.final_backlog_bytes;
+    const double scale = std::max(1.0, f.arrival_bytes);
+    if (std::abs(residual_bytes) / scale > 1e-6) {
+      fail(failures, "fluid",
+           fmt("link %s: fluid bytes not conserved: arrival %g != served %g "
+               "+ dropped %g + backlog %g (residual %g)",
+               name, f.arrival_bytes, f.served_bytes, f.dropped_bytes,
+               f.final_backlog_bytes, residual_bytes));
+    }
+    double max_rate_bps = config.links[li].rate_bps;
+    for (const scenario::RateChange& change : config.links[li].rate_changes) {
+      max_rate_bps = std::max(max_rate_bps, change.rate_bps);
+    }
+    for (const faults::FaultEvent& event : config.links[li].faults.events) {
+      if (event.kind == faults::FaultKind::kRateStep ||
+          event.kind == faults::FaultKind::kRateFlap) {
+        max_rate_bps = std::max({max_rate_bps, event.rate_bps, event.rate2_bps});
+      }
+    }
+    const double cap_bytes =
+        max_rate_bps * pi2::sim::to_seconds(config.duration) / 8.0;
+    if (f.served_bytes > cap_bytes * (1.0 + 1e-6)) {
+      fail(failures, "fluid",
+           fmt("link %s: fluid served %g bytes exceeds whole-run link "
+               "capacity %g", name, f.served_bytes, cap_bytes));
+    }
+  }
+}
+
+CaseOutcome run_topology_case_oracles(const topology::TopologyConfig& config,
+                                      std::uint64_t index,
+                                      const OracleOptions& options) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.seed = config.seed;
+
+  topology::TopologyConfig cfg = config;
+  std::unique_ptr<telemetry::Recorder> recorder;
+  telemetry::MetricsRegistry bare_registry;
+  if (!options.scratch_dir.empty()) {
+    telemetry::RecorderConfig rc;
+    rc.dir = options.scratch_dir;
+    rc.run_id = options.run_id.empty() ? "case_" + std::to_string(index)
+                                       : options.run_id;
+    rc.interval = cfg.sample_interval;
+    recorder = std::make_unique<telemetry::Recorder>(rc);
+    cfg.recorder = recorder.get();
+  } else {
+    cfg.registry = &bare_registry;
+  }
+
+  topology::TopologyResult result = topology::run_topology(cfg);
+  outcome.digest = topology_result_digest(result);
+
+  check_topology_links(cfg, result, outcome.failures);
+
+  // Invariants, across every link's monitor.
+  for (const auto& violation : result.violations) {
+    fail(outcome.failures, "invariants",
+         fmt("monitor violation [%s] at t=%.3fs: %s", violation.check.c_str(),
+             pi2::sim::to_seconds(violation.at), violation.detail.c_str()));
+  }
+  if (result.clamped_events != 0) {
+    fail(outcome.failures, "invariants",
+         fmt("%llu events scheduled in the past and clamped",
+             static_cast<unsigned long long>(result.clamped_events)));
+  }
+  if (cfg.check_invariants && result.invariant_checks == 0) {
+    fail(outcome.failures, "invariants", "invariant monitor never ran a check");
+  }
+  for (const auto& link : result.links) {
+    if (link.guard_events != 0) {
+      fail(outcome.failures, "invariants",
+           fmt("link %s: AQM rejected %llu non-finite controller updates",
+               link.name.c_str(),
+               static_cast<unsigned long long>(link.guard_events)));
+    }
+  }
+
+  // The coupled output law must hold for every link's discipline.
+  for (const auto& link : cfg.links) {
+    check_coupling_law(link.aqm, cfg.seed, "link " + link.display_name(),
+                       outcome.failures);
+  }
+
+  // Probe-bus cross-check: links[0] owns the legacy unprefixed gauges,
+  // later links the "topo.<name>."-prefixed ones; each mirrored gauge must
+  // agree with the slice's counter.
+  const telemetry::MetricsRegistry& registry =
+      recorder ? recorder->registry() : bare_registry;
+  for (std::size_t li = 0; li < result.links.size(); ++li) {
+    const topology::LinkResult& link = result.links[li];
+    const std::string prefix =
+        li == 0 ? std::string("link.") : "topo." + link.name + ".";
+    const struct {
+      const char* field;
+      std::int64_t want;
+    } mirrored[] = {
+        {"forwarded", link.counters.forwarded},
+        {"marked", link.counters.marked},
+        {"aqm_dropped", link.counters.aqm_dropped},
+    };
+    for (const auto& m : mirrored) {
+      const double got = gauge_value(registry, (prefix + m.field).c_str());
+      if (std::isnan(got) || static_cast<std::int64_t>(got) != m.want) {
+        fail(outcome.failures, "conservation",
+             fmt("gauge %s%s = %.0f != link slice counter %lld",
+                 prefix.c_str(), m.field, got,
+                 static_cast<long long>(m.want)));
+      }
+    }
+  }
+
+  // Durable round-trip: the flattened result must survive the v4 codec with
+  // every per-link slice intact (the digest folds them).
+  check_journal_roundtrip(topology::to_run_result(std::move(result)),
+                          outcome.failures);
   if (recorder) {
     if (!recorder->ok()) {
       fail(outcome.failures, "telemetry", "recorder reported an I/O failure");

@@ -50,6 +50,11 @@ namespace pi2::telemetry {
 class MetricsRegistry;
 }  // namespace pi2::telemetry
 
+namespace pi2::topology {
+struct TopologyConfig;
+struct TopologyResult;
+}  // namespace pi2::topology
+
 namespace pi2::check {
 
 struct OracleFailure {
@@ -83,9 +88,24 @@ struct OracleOptions {
 CaseOutcome run_case_oracles(const scenario::DumbbellConfig& config,
                              std::uint64_t index, const OracleOptions& options = {});
 
+/// Topology analogue of run_case_oracles: runs `config` through
+/// run_topology() and applies the per-link oracles (exact conservation per
+/// link, window bounds, per-band slicing, per-link fluid accounting), the
+/// coupling law for every distinct link AQM, the invariant checks, the
+/// telemetry cross-checks (unprefixed gauges for links[0], "topo.<name>."
+/// gauges beyond) and the v4 journal round-trip.
+CaseOutcome run_topology_case_oracles(const topology::TopologyConfig& config,
+                                      std::uint64_t index,
+                                      const OracleOptions& options = {});
+
 /// 64-bit FNV-1a fingerprint of a run's deterministic observables. Two
 /// executions of the same config (any thread, any batch) must agree.
 [[nodiscard]] std::uint64_t result_digest(const scenario::RunResult& result);
+
+/// Fingerprint of a TopologyResult: the flattened RunResult digest (which
+/// folds every per-link slice) plus the flow->route assignment.
+[[nodiscard]] std::uint64_t topology_result_digest(
+    const topology::TopologyResult& result);
 
 // Granular checks, exposed so the unit suite can exercise each oracle's
 // failure detection directly. Each appends to `failures` on violation.
@@ -112,6 +132,20 @@ void check_fluid(const scenario::DumbbellConfig& config,
 /// output law at every update. No-op for disciplines without the law.
 void check_coupling_law(const scenario::DumbbellConfig& config,
                         std::vector<OracleFailure>& failures);
+
+/// Same direct-drive check for a bare AQM config (per-link in topologies).
+/// `where` prefixes the failure detail (e.g. the link name).
+void check_coupling_law(const scenario::AqmConfig& aqm, std::uint64_t seed,
+                        const std::string& where,
+                        std::vector<OracleFailure>& failures);
+
+/// Per-link topology accounting: exact conservation (enqueued == forwarded +
+/// dequeue_dropped + final backlog + final in-flight), stats-window bounds,
+/// DualPI2 band slicing and fluid byte conservation, each applied to every
+/// link's slice of `result`.
+void check_topology_links(const topology::TopologyConfig& config,
+                          const topology::TopologyResult& result,
+                          std::vector<OracleFailure>& failures);
 
 /// End-of-run coupling check on the frozen aqm.p / aqm.p_prime gauges.
 void check_coupling_snapshot(const scenario::DumbbellConfig& config,

@@ -14,7 +14,12 @@ namespace {
 // per-flow is_fluid flag joined the payload; v1 journals decode as corrupt
 // and their points are re-simulated rather than silently misread.
 // v3: DualPI2's per-band (L/C queue) counter slices, whole-run and window.
-constexpr const char* kMagic = "pi2-result-v3";
+// v4: per-link result slices (multi-bottleneck topologies) appended after
+// the violations section. v3 payloads stay readable — the links section is
+// strictly trailing, so a v3 record decodes with `links` empty, which is
+// exactly what a v3-era (single-link) run would have carried.
+constexpr const char* kMagic = "pi2-result-v4";
+constexpr const char* kMagicV3 = "pi2-result-v3";
 
 void put_u64(std::string& out, std::uint64_t v) {
   char buf[24];
@@ -254,15 +259,33 @@ std::string encode_result(const scenario::RunResult& result) {
     put_string(out, violation.check);
     put_string(out, violation.detail);
   }
+
+  put_u64(out, result.links.size());
+  for (const auto& link : result.links) {
+    put_string(out, link.name);
+    put_double(out, link.mean_qdelay_ms);
+    put_double(out, link.p99_qdelay_ms);
+    put_double(out, link.utilization);
+    put_counters(link.counters);
+    put_counters(link.window_counters);
+    put_i64(out, link.fault_counters.dropped);
+    put_i64(out, link.fault_counters.bleached);
+    put_i64(out, link.fault_counters.reordered);
+    put_i64(out, link.fault_counters.rate_changes);
+    put_i64(out, link.fault_counters.rtt_changes);
+    put_u64(out, link.guard_events);
+    put_i64(out, link.final_backlog_packets);
+  }
   return out;
 }
 
 Status decode_result(const std::string& payload, scenario::RunResult& result) {
   std::istringstream magic_in(payload);
   std::string magic;
-  if (!(magic_in >> magic) || magic != kMagic) {
+  if (!(magic_in >> magic) || (magic != kMagic && magic != kMagicV3)) {
     return Status::corrupt("result payload: bad magic");
   }
+  const bool has_links = magic == kMagic;
   Reader reader(payload.substr(magic.size()));
   scenario::RunResult out;
 
@@ -337,6 +360,25 @@ Status decode_result(const std::string& payload, scenario::RunResult& result) {
     if (ok) {
       violation.at = pi2::sim::Time{at_ns};
       out.violations.push_back(std::move(violation));
+    }
+  }
+
+  if (has_links) {
+    std::uint64_t link_count = 0;
+    ok = ok && reader.u64(link_count) && link_count <= (1u << 20);
+    for (std::uint64_t i = 0; ok && i < link_count; ++i) {
+      scenario::LinkSlice link;
+      ok = reader.str(link.name) && reader.real(link.mean_qdelay_ms) &&
+           reader.real(link.p99_qdelay_ms) && reader.real(link.utilization) &&
+           read_counters(link.counters) && read_counters(link.window_counters) &&
+           reader.i64(link.fault_counters.dropped) &&
+           reader.i64(link.fault_counters.bleached) &&
+           reader.i64(link.fault_counters.reordered) &&
+           reader.i64(link.fault_counters.rate_changes) &&
+           reader.i64(link.fault_counters.rtt_changes) &&
+           reader.u64(link.guard_events) &&
+           reader.i64(link.final_backlog_packets);
+      if (ok) out.links.push_back(std::move(link));
     }
   }
 

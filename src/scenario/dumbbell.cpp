@@ -1,53 +1,16 @@
 #include "scenario/dumbbell.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <deque>
-#include <memory>
 #include <stdexcept>
-#include <unordered_map>
-#include <utility>
-#include <vector>
 
-#include "control/fluid_flow.hpp"
-#include "durable/status.hpp"
-#include "net/batch_pipe.hpp"
-#include "net/packet_pool.hpp"
-#include "net/trace.hpp"
-#include "sim/simulator.hpp"
-#include "tcp/endpoint.hpp"
-#include "tcp/flow_table.hpp"
-#include "tcp/udp_sender.hpp"
-#include "telemetry/probes.hpp"
+#include "scenario/wiring.hpp"
 #include "telemetry/recorder.hpp"
+#include "topology/dumbbell_adapter.hpp"
+#include "topology/topology.hpp"
 
 namespace pi2::scenario {
 
-using pi2::sim::Duration;
-using pi2::sim::from_seconds;
-using pi2::sim::Time;
-using pi2::sim::to_millis;
 using pi2::sim::to_seconds;
-
-namespace {
-
-/// Signal routing for a fluid spec: the cc families that mark with ECT(1)
-/// integrate against p', everything else against p.
-control::FluidSignal fluid_signal_for(tcp::CcType cc) {
-  return tcp::make_congestion_control(cc)->is_scalable()
-             ? control::FluidSignal::kScalable
-             : control::FluidSignal::kClassic;
-}
-
-/// Formats a validate() message: "<field> must <constraint> (got <value>)".
-std::string bad_field(const char* field, const char* constraint, double got) {
-  char buf[192];
-  std::snprintf(buf, sizeof buf, "%s must %s (got %g)", field, constraint, got);
-  return buf;
-}
-
-}  // namespace
 
 std::string DumbbellConfig::validate() const {
   if (!(link_rate_bps > 0.0) || !std::isfinite(link_rate_bps)) {
@@ -68,110 +31,24 @@ std::string DumbbellConfig::validate() const {
     return bad_field("sample_interval", "be > 0 seconds",
                      to_seconds(sample_interval));
   }
-  if (aqm.target <= pi2::sim::Duration{0}) {
-    return bad_field("aqm.target", "be > 0 seconds", to_seconds(aqm.target));
-  }
-  if (aqm.t_update <= pi2::sim::Duration{0}) {
-    return bad_field("aqm.t_update", "be > 0 seconds", to_seconds(aqm.t_update));
-  }
-  if (!(aqm.coupling_k > 0.0) || !std::isfinite(aqm.coupling_k)) {
-    return bad_field("aqm.coupling_k", "be finite and > 0", aqm.coupling_k);
-  }
-  if (!(aqm.max_classic_prob > 0.0 && aqm.max_classic_prob <= 1.0)) {
-    return bad_field("aqm.max_classic_prob", "lie in (0, 1]",
-                     aqm.max_classic_prob);
-  }
-  if (aqm.alpha_hz && (!(*aqm.alpha_hz > 0.0) || !std::isfinite(*aqm.alpha_hz))) {
-    return bad_field("aqm.alpha_hz", "be finite and > 0 when set", *aqm.alpha_hz);
-  }
-  if (aqm.beta_hz && (!(*aqm.beta_hz > 0.0) || !std::isfinite(*aqm.beta_hz))) {
-    return bad_field("aqm.beta_hz", "be finite and > 0 when set", *aqm.beta_hz);
-  }
-  if (aqm.ecn_drop_threshold &&
-      !(*aqm.ecn_drop_threshold >= 0.0 && *aqm.ecn_drop_threshold <= 1.0)) {
-    return bad_field("aqm.ecn_drop_threshold", "lie in [0, 1] when set",
-                     *aqm.ecn_drop_threshold);
-  }
-  if (aqm.t_shift < pi2::sim::Duration{0}) {
-    return bad_field("aqm.t_shift", "be >= 0 seconds", to_seconds(aqm.t_shift));
-  }
-  if (!(aqm.l_drop_percent >= 0.0 && aqm.l_drop_percent <= 100.0)) {
-    return bad_field("aqm.l_drop_percent", "lie in [0, 100]",
-                     aqm.l_drop_percent);
-  }
-  if (aqm.l_thresh_packets < 0) {
-    return bad_field("aqm.l_thresh_packets", "be >= 0",
-                     static_cast<double>(aqm.l_thresh_packets));
-  }
+  if (std::string e = validate_aqm(aqm, "aqm."); !e.empty()) return e;
   for (std::size_t i = 0; i < tcp_flows.size(); ++i) {
-    const TcpFlowSpec& f = tcp_flows[i];
     const std::string where = "tcp_flows[" + std::to_string(i) + "].";
-    if (f.count < 0) {
-      return where + bad_field("count", "be >= 0", f.count);
-    }
-    if (f.base_rtt <= pi2::sim::Duration{0}) {
-      return where + bad_field("base_rtt", "be > 0 seconds",
-                               to_seconds(f.base_rtt));
-    }
-    if (f.stagger < pi2::sim::Duration{0}) {
-      return where + bad_field("stagger", "be >= 0 seconds",
-                               to_seconds(f.stagger));
-    }
-    if (f.start < pi2::sim::kTimeZero) {
-      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
-    }
-    if (f.stop <= f.start) {
-      return where + bad_field("stop", "be after start", to_seconds(f.stop));
-    }
-    if (!(f.max_cwnd >= 0.0) || !std::isfinite(f.max_cwnd)) {
-      return where +
-             bad_field("max_cwnd", "be finite and >= 0 (0 = unlimited)",
-                       f.max_cwnd);
+    if (std::string e = validate_tcp_spec(tcp_flows[i], where); !e.empty()) {
+      return e;
     }
   }
   for (std::size_t i = 0; i < udp_flows.size(); ++i) {
-    const UdpFlowSpec& f = udp_flows[i];
     const std::string where = "udp_flows[" + std::to_string(i) + "].";
-    if (f.count < 0) {
-      return where + bad_field("count", "be >= 0", f.count);
-    }
-    if (!(f.rate_bps > 0.0) || !std::isfinite(f.rate_bps)) {
-      return where + bad_field("rate_bps", "be finite and > 0", f.rate_bps);
-    }
-    if (f.packet_bytes <= 0 || f.packet_bytes > 65535) {
-      return where + bad_field("packet_bytes", "lie in [1, 65535]",
-                               static_cast<double>(f.packet_bytes));
-    }
-    if (f.base_rtt <= pi2::sim::Duration{0}) {
-      return where + bad_field("base_rtt", "be > 0 seconds",
-                               to_seconds(f.base_rtt));
-    }
-    if (f.start < pi2::sim::kTimeZero) {
-      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
-    }
-    if (f.stop <= f.start) {
-      return where + bad_field("stop", "be after start", to_seconds(f.stop));
+    if (std::string e = validate_udp_spec(udp_flows[i], where); !e.empty()) {
+      return e;
     }
   }
   for (std::size_t i = 0; i < fluid_flows.size(); ++i) {
-    const FluidFlowSpec& f = fluid_flows[i];
     const std::string where = "fluid_flows[" + std::to_string(i) + "].";
-    if (!(f.count >= 0.0) || !std::isfinite(f.count)) {
-      return where + bad_field("count", "be finite and >= 0", f.count);
-    }
-    if (f.base_rtt <= pi2::sim::Duration{0}) {
-      return where + bad_field("base_rtt", "be > 0 seconds",
-                               to_seconds(f.base_rtt));
-    }
-    if (f.mss_bytes <= 0 || f.mss_bytes > 65535) {
-      return where + bad_field("mss_bytes", "lie in [1, 65535]",
-                               static_cast<double>(f.mss_bytes));
-    }
-    if (f.start < pi2::sim::kTimeZero) {
-      return where + bad_field("start", "be >= 0 seconds", to_seconds(f.start));
-    }
-    if (f.stop <= f.start) {
-      return where + bad_field("stop", "be after start", to_seconds(f.stop));
+    if (std::string e = validate_fluid_spec(fluid_flows[i], where);
+        !e.empty()) {
+      return e;
     }
   }
   if (fluid_dt <= pi2::sim::Duration{0}) {
@@ -181,13 +58,10 @@ std::string DumbbellConfig::validate() const {
     return bad_field("ack_quantum", "be >= 0 seconds", to_seconds(ack_quantum));
   }
   for (std::size_t i = 0; i < rate_changes.size(); ++i) {
-    const RateChange& c = rate_changes[i];
     const std::string where = "rate_changes[" + std::to_string(i) + "].";
-    if (c.at < pi2::sim::kTimeZero) {
-      return where + bad_field("at", "be >= 0 seconds", to_seconds(c.at));
-    }
-    if (!(c.rate_bps > 0.0) || !std::isfinite(c.rate_bps)) {
-      return where + bad_field("rate_bps", "be finite and > 0", c.rate_bps);
+    if (std::string e = validate_rate_change(rate_changes[i], where);
+        !e.empty()) {
+      return e;
     }
   }
   if (recorder != nullptr &&
@@ -234,528 +108,11 @@ RunResult run_dumbbell(const DumbbellConfig& config) {
   if (std::string error = config.validate(); !error.empty()) {
     throw std::invalid_argument("DumbbellConfig: " + error);
   }
-  pi2::sim::Simulator sim{config.seed};
-  sim.set_stop_flag(config.stop);
-
-  net::BottleneckLink::Config link_config;
-  link_config.rate_bps = config.link_rate_bps;
-  link_config.buffer_packets = config.buffer_packets;
-  net::BottleneckLink link{sim, link_config, config.aqm.make()};
-
-  RunResult result;
-  stats::UtilizationMeter util_meter{std::chrono::seconds{1}};
-  stats::RateMeter total_meter{std::chrono::seconds{1}};
-  double busy_at_stats_start = 0.0;
-
-  tcp::FlowTable flows;
-
-  // Bytes the link served for packets since the last fluid tick; the fluid
-  // tier is work-conserving from the residual capacity.
-  double pkt_bytes_this_tick = 0.0;
-  // Wall-clock seconds the link spent serializing packets (at the residual
-  // rate when fluid is active) — the fluid tier's utilization credit is
-  // computed against this measured total.
-  double packet_busy_s = 0.0;
-
-  // --- Wire the bottleneck's probes. -------------------------------------
-  if (config.trace != nullptr) config.trace->attach(link);
-  link.set_busy_probe([&](Time from, Time to) {
-    util_meter.add_busy(from, to);
-    packet_busy_s += to_seconds(to - from);
-  });
-  link.set_departure_probe([&](const net::Packet& packet, Duration sojourn) {
-    if (sim.now() >= config.stats_start) {
-      result.qdelay_ms_packets.add(to_millis(sojourn));
-    }
-    (void)packet;
-  });
-
-  // Delivery of a propagated packet to its endpoint (either side of the
-  // propagation hop schedules this).
-  auto deliver_data = [&flows, &sim](const net::Packet& packet) {
-    if (flows.kind(packet.flow) == tcp::FlowTable::Kind::kUdp) {
-      flows.goodput(packet.flow).add_bytes(sim.now(), packet.size);
-    } else {
-      flows.receiver(packet.flow)->on_data(packet);
-    }
-  };
-  auto deliver_ack = [&flows](const net::Packet& ack) {
-    flows.sender(ack.flow)->on_ack(ack);
-  };
-
-  // ACK-clock batching (config.ack_quantum > 0): both propagation hops run
-  // through BatchDelayPipes bucketed by half-RTT, so same-quantum packets
-  // share one scheduler event and one pooled slab. With quantum == 0 every
-  // packet keeps its own exactly-timed event (the legacy path).
-  const bool batched = config.ack_quantum > Duration{0};
-  net::PacketSlabPool slab_pool;
-  std::deque<net::BatchDelayPipe> data_pipes;  // deque: stable refs as buckets appear
-  std::deque<net::BatchDelayPipe> ack_pipes;
-  std::unordered_map<std::int64_t, std::size_t> bucket_by_half_rtt;
-  std::vector<std::size_t> bucket_of_flow;
-  auto bucket_for = [&](Duration half_rtt) {
-    const auto [it, inserted] =
-        bucket_by_half_rtt.try_emplace(half_rtt.count(), data_pipes.size());
-    if (inserted) {
-      data_pipes.emplace_back(sim, half_rtt, config.ack_quantum, slab_pool);
-      data_pipes.back().set_sink(deliver_data);
-      ack_pipes.emplace_back(sim, half_rtt, config.ack_quantum, slab_pool);
-      ack_pipes.back().set_sink(deliver_ack);
-    }
-    return it->second;
-  };
-
-  // Forward path: after the bottleneck, packets propagate base_rtt/2 to the
-  // flow's receiver; ACKs return after another base_rtt/2.
-  link.set_sink([&](net::Packet packet) {
-    if (!flows.contains(packet.flow)) return;
-    pkt_bytes_this_tick += packet.size;
-    total_meter.add_bytes(sim.now(), packet.size);
-    if (batched) {
-      data_pipes[bucket_of_flow[static_cast<std::size_t>(packet.flow)]].send(
-          std::move(packet));
-      return;
-    }
-    sim.after(flows.half_rtt(packet.flow),
-              [&deliver_data, packet] { deliver_data(packet); });
-  });
-
-  // --- Create flows. ------------------------------------------------------
-  auto add_tcp_flow = [&](const TcpFlowSpec& spec, int index_in_spec) {
-    tcp::TcpSender::Config sc;
-    sc.flow = static_cast<std::int32_t>(flows.size());
-    sc.max_cwnd = spec.max_cwnd;
-    auto sender = std::make_unique<tcp::TcpSender>(
-        sim, sc, tcp::make_congestion_control(spec.cc));
-    auto receiver = std::make_unique<tcp::TcpReceiver>(sim, sc.flow);
-    const std::int32_t flow_id =
-        flows.add_tcp(spec.cc, spec.base_rtt, std::move(sender),
-                      std::move(receiver));
-    bucket_of_flow.push_back(batched ? bucket_for(spec.base_rtt / 2) : 0);
-
-    flows.sender(flow_id)->set_output(
-        [&link](net::Packet p) { link.send(std::move(p)); });
-    flows.receiver(flow_id)->set_delivery_probe(
-        [&flows, flow_id, &sim](const net::Packet& p) {
-          flows.goodput(flow_id).add_bytes(sim.now(), p.size);
-        });
-    if (batched) {
-      flows.receiver(flow_id)->set_ack_path(
-          [&ack_pipes, &bucket_of_flow, flow_id](net::Packet ack) {
-            ack_pipes[bucket_of_flow[static_cast<std::size_t>(flow_id)]].send(
-                std::move(ack));
-          });
-    } else {
-      flows.receiver(flow_id)->set_ack_path(
-          [&flows, flow_id, &sim](net::Packet ack) {
-            sim.after(flows.half_rtt(flow_id), [&flows, flow_id, ack] {
-              flows.sender(flow_id)->on_ack(ack);
-            });
-          });
-    }
-
-    const Time start = spec.start + spec.stagger * index_in_spec;
-    sim.at(start, [&flows, flow_id] { flows.sender(flow_id)->start(); });
-    if (spec.stop < pi2::sim::kTimeInfinity) {
-      sim.at(spec.stop, [&flows, flow_id] { flows.sender(flow_id)->stop(); });
-    }
-  };
-
-  auto add_udp_flow = [&](const UdpFlowSpec& spec) {
-    tcp::UdpSender::Config uc;
-    uc.flow = static_cast<std::int32_t>(flows.size());
-    uc.rate_bps = spec.rate_bps;
-    uc.packet_bytes = spec.packet_bytes;
-    uc.ecn = spec.ecn;
-    auto udp = std::make_unique<tcp::UdpSender>(sim, uc);
-    const std::int32_t flow_id = flows.add_udp(spec.base_rtt, std::move(udp));
-    bucket_of_flow.push_back(batched ? bucket_for(spec.base_rtt / 2) : 0);
-    flows.udp(flow_id)->set_output(
-        [&link](net::Packet p) { link.send(std::move(p)); });
-    sim.at(spec.start, [&flows, flow_id] { flows.udp(flow_id)->start(); });
-    if (spec.stop < pi2::sim::kTimeInfinity) {
-      sim.at(spec.stop, [&flows, flow_id] { flows.udp(flow_id)->stop(); });
-    }
-  };
-
-  for (const TcpFlowSpec& spec : config.tcp_flows) {
-    for (int i = 0; i < spec.count; ++i) add_tcp_flow(spec, i);
-  }
-  for (const UdpFlowSpec& spec : config.udp_flows) {
-    for (int i = 0; i < spec.count; ++i) add_udp_flow(spec);
-  }
-
-  // --- Fluid tier. ---------------------------------------------------------
-  // One ensemble integrates every fluid spec against the live AQM signal;
-  // its tick also runs the fluid/packet capacity split: packets get exact
-  // service, the fluid tier is served work-conserving from what remains,
-  // and the un-served remainder becomes backlog the AQM sees.
-  std::unique_ptr<control::FluidFlowEnsemble> fluid;
-  double fluid_backlog_bytes = 0.0;
-  double fluid_arrival_bytes = 0.0;
-  double fluid_served_bytes = 0.0;
-  double fluid_dropped_bytes = 0.0;
-  std::vector<double> spec_arrival_bytes(config.fluid_flows.size(), 0.0);
-  std::vector<double> spec_arrival_at_stats_start(config.fluid_flows.size(),
-                                                  0.0);
-  if (!config.fluid_flows.empty()) {
-    control::FluidFlowEnsemble::Config fluid_config;
-    fluid_config.dt_s = to_seconds(config.fluid_dt);
-    fluid = std::make_unique<control::FluidFlowEnsemble>(sim, fluid_config);
-    for (const FluidFlowSpec& spec : config.fluid_flows) {
-      control::FluidFlowSpec fs;
-      fs.signal = fluid_signal_for(spec.cc);
-      fs.count = spec.count;
-      fs.base_rtt_s = to_seconds(spec.base_rtt);
-      fs.mss_bytes = spec.mss_bytes;
-      fs.start_s = to_seconds(spec.start);
-      fs.stop_s = to_seconds(spec.stop);
-      fluid->add_spec(fs);
-    }
-    control::FluidFlowEnsemble::Sources sources;
-    sources.classic_probability = [&link] {
-      return link.qdisc().classic_probability();
-    };
-    sources.scalable_probability = [&link] {
-      return link.qdisc().scalable_probability();
-    };
-    sources.queue_delay_s = [&link] {
-      return to_seconds(link.queue_delay());
-    };
-    fluid->set_sources(std::move(sources));
-    const double dt_s = to_seconds(config.fluid_dt);
-    // Utilization bookkeeping across ticks: `target` is the cumulative
-    // full-rate-equivalent busy time of everything the link carried
-    // ((pkt + served)·8/C per tick); `credited` is what the fluid tier has
-    // already added on top of the measured packet serialization time.
-    fluid->set_tick_sink([&, dt_s, target_busy_s = 0.0, credited_busy_s = 0.0,
-                          last_packet_busy_s = 0.0](double aggregate_bps) mutable {
-      const double rate_bps = link.link_rate_bps();
-      const double cap_bytes = rate_bps * dt_s / 8.0;
-      const double pkt_bytes = std::exchange(pkt_bytes_this_tick, 0.0);
-      const double avail = std::max(cap_bytes - pkt_bytes, 0.0);
-      const double demand = aggregate_bps * dt_s / 8.0;
-      fluid_backlog_bytes += demand;
-      fluid_arrival_bytes += demand;
-      for (std::size_t i = 0; i < spec_arrival_bytes.size(); ++i) {
-        spec_arrival_bytes[i] += fluid->spec_rate_bps(i) * dt_s / 8.0;
-      }
-      const double served = std::min(fluid_backlog_bytes, avail);
-      fluid_backlog_bytes -= served;
-      fluid_served_bytes += served;
-      // Tail-drop analog: the fluid tier shares the link's buffer. Whatever
-      // backlog the buffer cannot hold beyond the packets already queued is
-      // discarded, exactly like the buffer-limit drop on the packet path —
-      // without it a fluid overshoot would integrate into an unbounded
-      // standing queue no real buffered flow could ever build.
-      const double buffer_bytes =
-          static_cast<double>(config.buffer_packets) * net::kDefaultMss;
-      const double fluid_room = std::max(
-          buffer_bytes - static_cast<double>(link.packet_backlog_bytes()), 0.0);
-      if (fluid_backlog_bytes > fluid_room) {
-        fluid_dropped_bytes += fluid_backlog_bytes - fluid_room;
-        fluid_backlog_bytes = fluid_room;
-      }
-      link.set_fluid_state(std::llround(fluid_backlog_bytes),
-                           served * 8.0 / dt_s);
-      // Credit the carried fluid bytes to the run's utilization and
-      // throughput accounting — without this, a mostly-fluid run would
-      // report only the foreground share as "utilization". The busy probe
-      // already recorded the packets' wall time at the *residual* rate, so
-      // the fluid credit per tick is whatever keeps the cumulative busy
-      // total (measured packet time + credits) tracking the cumulative
-      // full-rate-equivalent target; the comparison is cumulative because a
-      // single packet's serialization spans many ticks at a small residual
-      // rate while its bytes land in one.
-      target_busy_s += (pkt_bytes + served) * 8.0 / rate_bps;
-      // Never credit more than the tick's idle time: packets that finished
-      // serializing this tick already claimed their share of it, and a tick
-      // cannot hold more than dt of busy time without pushing a stats window
-      // above 100% utilization.
-      const double busy_in_tick = packet_busy_s - last_packet_busy_s;
-      last_packet_busy_s = packet_busy_s;
-      const double credit =
-          std::clamp(target_busy_s - (packet_busy_s + credited_busy_s), 0.0,
-                     std::max(dt_s - busy_in_tick, 0.0));
-      if (credit > 0.0) {
-        util_meter.add_busy(sim.now() - from_seconds(credit), sim.now());
-        credited_busy_s += credit;
-      }
-      if (served > 0.0) {
-        total_meter.add_bytes(sim.now(),
-                              static_cast<std::int64_t>(std::llround(served)));
-      }
-    });
-    fluid->start();
-  }
-
-  // --- Schedules. ----------------------------------------------------------
-  for (const RateChange& change : config.rate_changes) {
-    sim.at(change.at, [&link, change] { link.set_rate_bps(change.rate_bps); });
-  }
-
-  // Scripted impairments: the injector replays the fault schedule through
-  // the link and the scheduler, from its own derived RNG stream.
-  faults::FaultInjector injector{sim, config.faults, config.seed};
-  injector.set_rtt_setter([&flows, &data_pipes, &ack_pipes](Duration rtt) {
-    flows.set_all_base_rtt(rtt);
-    // RTT steps apply to every flow, so every half-RTT bucket moves too.
-    for (net::BatchDelayPipe& pipe : data_pipes) pipe.set_delay(rtt / 2);
-    for (net::BatchDelayPipe& pipe : ack_pipes) pipe.set_delay(rtt / 2);
-  });
-  injector.attach(link);
-
-  // Runtime invariant checking, sampled alongside the stats probes.
-  faults::InvariantMonitor::Config monitor_config;
-  monitor_config.interval = config.sample_interval;
-  faults::InvariantMonitor monitor{sim, link, monitor_config};
-  if (config.check_invariants) monitor.start();
-
-  // --- Telemetry. ----------------------------------------------------------
-  telemetry::MetricsRegistry* probe_registry =
-      config.recorder != nullptr ? &config.recorder->registry() : config.registry;
-  if (probe_registry != nullptr) {
-    telemetry::MetricsRegistry& reg = *probe_registry;
-    telemetry::attach_link_probes(reg, link);
-    telemetry::attach_aqm_probes(reg, link.qdisc());
-    telemetry::attach_simulator_probes(reg, sim);
-    reg.gauge("tcp.retransmits", [&flows] {
-      return static_cast<double>(flows.total_retransmits());
-    });
-    reg.gauge("tcp.timeouts", [&flows] {
-      return static_cast<double>(flows.total_timeouts());
-    });
-    if (fluid) {
-      reg.gauge("fluid.backlog_bytes",
-                [&fluid_backlog_bytes] { return fluid_backlog_bytes; });
-      reg.gauge("fluid.aggregate_bps",
-                [&f = *fluid] { return f.aggregate_rate_bps(); });
-      reg.gauge("fluid.active_flows",
-                [&f = *fluid] { return f.active_flow_count(); });
-    }
-    reg.gauge("faults.applied", [&injector] {
-      const faults::FaultInjector::Counters& fc = injector.counters();
-      return static_cast<double>(fc.dropped + fc.bleached + fc.reordered +
-                                 fc.rate_changes + fc.rtt_changes);
-    });
-    if (link.band_count() > 1) {
-      // Per-queue probes for the DualQ: L/C head delay and the mark/drop
-      // split the overload campaign plots. Registered only for multi-band
-      // disciplines so single-queue telemetry snapshots are unchanged.
-      reg.gauge("dualq.l_delay_ms", [&link] {
-        return to_millis(link.band_head_sojourn(0));
-      });
-      reg.gauge("dualq.c_delay_ms", [&link] {
-        return to_millis(link.band_head_sojourn(1));
-      });
-      reg.gauge("dualq.l_marked", [&link] {
-        return static_cast<double>(link.band_counters(0).marked);
-      });
-      reg.gauge("dualq.l_dropped", [&link] {
-        return static_cast<double>(link.band_counters(0).aqm_dropped);
-      });
-      reg.gauge("dualq.c_marked", [&link] {
-        return static_cast<double>(link.band_counters(1).marked);
-      });
-      reg.gauge("dualq.c_dropped", [&link] {
-        return static_cast<double>(link.band_counters(1).aqm_dropped);
-      });
-      reg.gauge("dualq.coupling_k",
-                [&link] { return link.qdisc().coupling_factor(); });
-    }
-  }
-  if (config.recorder != nullptr) {
-    telemetry::RunManifest& manifest = config.recorder->manifest();
-    manifest.seed = config.seed;
-    manifest.fault_digest = telemetry::fault_schedule_digest(config.faults);
-    manifest.build_flags = telemetry::build_flags_string();
-    manifest.set("link_rate_bps", config.link_rate_bps);
-    manifest.set("buffer_packets",
-                 static_cast<std::uint64_t>(config.buffer_packets));
-    manifest.set("aqm.type", std::string(to_string(config.aqm.type)));
-    manifest.set("aqm.target_ms", to_millis(config.aqm.target));
-    manifest.set("aqm.t_update_ms", to_millis(config.aqm.t_update));
-    manifest.set("aqm.ecn", std::string(config.aqm.ecn ? "true" : "false"));
-    manifest.set("aqm.coupling_k", config.aqm.coupling_k);
-    manifest.set("aqm.max_classic_prob", config.aqm.max_classic_prob);
-    if (config.aqm.type == AqmType::kDualPi2) {
-      manifest.set("aqm.t_shift_ms", to_millis(config.aqm.t_shift));
-      manifest.set("aqm.l_drop_percent", config.aqm.l_drop_percent);
-      manifest.set("aqm.l_thresh_packets",
-                   static_cast<std::uint64_t>(config.aqm.l_thresh_packets));
-    }
-    if (config.aqm.alpha_hz) manifest.set("aqm.alpha_hz", *config.aqm.alpha_hz);
-    if (config.aqm.beta_hz) manifest.set("aqm.beta_hz", *config.aqm.beta_hz);
-    manifest.set("tcp_flow_specs",
-                 static_cast<std::uint64_t>(config.tcp_flows.size()));
-    manifest.set("udp_flow_specs",
-                 static_cast<std::uint64_t>(config.udp_flows.size()));
-    manifest.set("fluid_flow_specs",
-                 static_cast<std::uint64_t>(config.fluid_flows.size()));
-    manifest.set("flows", static_cast<std::uint64_t>(flows.size()));
-    manifest.set("duration_s", to_seconds(config.duration));
-    manifest.set("stats_start_s", to_seconds(config.stats_start));
-    manifest.set("sample_interval_s", to_seconds(config.sample_interval));
-    config.recorder->start(sim);
-  }
-
-  // Periodic sampling of queue delay and AQM probabilities.
-  std::function<void()> sample = [&] {
-    result.qdelay_ms_series.add(sim.now(), to_millis(link.queue_delay()));
-    const double pc = link.qdisc().classic_probability();
-    const double ps = link.qdisc().scalable_probability();
-    result.classic_prob_series.add(sim.now(), pc);
-    if (sim.now() >= config.stats_start) {
-      result.classic_prob_samples.add(pc);
-      result.scalable_prob_samples.add(ps);
-    }
-    sim.after(config.sample_interval, sample);
-  };
-  sim.after(config.sample_interval, sample);
-
-  // Snapshot cumulative counters at the start of the stats window.
-  const bool dualq = link.band_count() > 1;
-  net::BottleneckLink::Counters counters_at_stats_start{};
-  net::BottleneckLink::BandCounters band_l_at_stats_start{};
-  net::BottleneckLink::BandCounters band_c_at_stats_start{};
-  sim.at(config.stats_start, [&] {
-    busy_at_stats_start = util_meter.total_busy_seconds();
-    counters_at_stats_start = link.counters();
-    if (dualq) {
-      band_l_at_stats_start = link.band_counters(0);
-      band_c_at_stats_start = link.band_counters(1);
-    }
-    for (std::int32_t f = 0; f < static_cast<std::int32_t>(flows.size()); ++f) {
-      flows.bytes_at_stats_start(f) = flows.goodput(f).total_bytes();
-    }
-    spec_arrival_at_stats_start = spec_arrival_bytes;
-  });
-
-  // --- Run. ----------------------------------------------------------------
-  {
-    std::unique_ptr<telemetry::ScopedTimer> timer;
-    if (config.recorder != nullptr) {
-      timer = std::make_unique<telemetry::ScopedTimer>(
-          config.recorder->profile().section("sim.run"));
-    }
-    sim.run_until(config.duration);
-  }
-
-  if (sim.stopped()) {
-    // Graceful shutdown: the simulation halted at an event boundary before
-    // `duration`. Commit what telemetry exists — final sample at the stop
-    // time, manifest marked `interrupted` — while the probed objects are
-    // still alive, then report the run as not-done: a resumed sweep re-runs
-    // this point from scratch and atomically overwrites these artifacts.
-    if (config.recorder != nullptr) {
-      config.recorder->manifest().set("interrupted", std::string("true"));
-      config.recorder->finish(sim.now());
-    } else if (config.registry != nullptr) {
-      config.registry->freeze_gauges();
-    }
-    throw durable::InterruptedError(
-        "run interrupted by shutdown request at t=" +
-        std::to_string(to_seconds(sim.now())) + "s (of " +
-        std::to_string(to_seconds(config.duration)) + "s)");
-  }
-
-  // --- Collect results. ------------------------------------------------------
-  util_meter.flush(config.duration);
-  total_meter.flush(config.duration);
-  result.utilization_series = util_meter.series();
-  result.total_throughput_series = total_meter.series();
-  result.counters = link.counters();
-  result.window_counters.enqueued =
-      result.counters.enqueued - counters_at_stats_start.enqueued;
-  result.window_counters.forwarded =
-      result.counters.forwarded - counters_at_stats_start.forwarded;
-  result.window_counters.aqm_dropped =
-      result.counters.aqm_dropped - counters_at_stats_start.aqm_dropped;
-  result.window_counters.tail_dropped =
-      result.counters.tail_dropped - counters_at_stats_start.tail_dropped;
-  result.window_counters.marked =
-      result.counters.marked - counters_at_stats_start.marked;
-  result.window_counters.fault_dropped =
-      result.counters.fault_dropped - counters_at_stats_start.fault_dropped;
-  result.window_counters.dequeue_dropped =
-      result.counters.dequeue_dropped - counters_at_stats_start.dequeue_dropped;
-  if (dualq) {
-    result.band_l = link.band_counters(0);
-    result.band_c = link.band_counters(1);
-    const auto band_window = [](const net::BottleneckLink::BandCounters& whole,
-                                const net::BottleneckLink::BandCounters& at) {
-      net::BottleneckLink::BandCounters w;
-      w.enqueued = whole.enqueued - at.enqueued;
-      w.forwarded = whole.forwarded - at.forwarded;
-      w.marked = whole.marked - at.marked;
-      w.aqm_dropped = whole.aqm_dropped - at.aqm_dropped;
-      w.tail_dropped = whole.tail_dropped - at.tail_dropped;
-      w.dequeue_dropped = whole.dequeue_dropped - at.dequeue_dropped;
-      return w;
-    };
-    result.window_band_l = band_window(result.band_l, band_l_at_stats_start);
-    result.window_band_c = band_window(result.band_c, band_c_at_stats_start);
-  }
-
-  const double stats_span_s = to_seconds(config.duration - config.stats_start);
-  if (stats_span_s > 0.0) {
-    const double busy = util_meter.total_busy_seconds() - busy_at_stats_start;
-    result.utilization = busy / stats_span_s;
-  }
-
-  for (std::int32_t f = 0; f < static_cast<std::int32_t>(flows.size()); ++f) {
-    FlowResult fr;
-    fr.cc = flows.cc(f);
-    fr.is_udp = flows.kind(f) == tcp::FlowTable::Kind::kUdp;
-    if (stats_span_s > 0.0) {
-      const auto bytes =
-          flows.goodput(f).total_bytes() - flows.bytes_at_stats_start(f);
-      fr.goodput_mbps = static_cast<double>(bytes) * 8.0 / stats_span_s / 1e6;
-    }
-    if (const tcp::TcpSender* sender = flows.sender(f)) {
-      fr.retransmits = sender->retransmits();
-      fr.timeouts = sender->timeouts();
-    }
-    result.flows.push_back(fr);
-  }
-  // One FlowResult per fluid spec: goodput is the windowed offered rate
-  // averaged over the spec's `count` modelled flows.
-  for (std::size_t i = 0; i < config.fluid_flows.size(); ++i) {
-    const FluidFlowSpec& spec = config.fluid_flows[i];
-    FlowResult fr;
-    fr.cc = spec.cc;
-    fr.is_fluid = true;
-    fr.count = spec.count;
-    if (stats_span_s > 0.0 && spec.count > 0.0) {
-      const double bytes =
-          spec_arrival_bytes[i] - spec_arrival_at_stats_start[i];
-      fr.goodput_mbps = bytes * 8.0 / stats_span_s / 1e6 / spec.count;
-    }
-    result.flows.push_back(fr);
-  }
-  result.fluid.arrival_bytes = fluid_arrival_bytes;
-  result.fluid.served_bytes = fluid_served_bytes;
-  result.fluid.dropped_bytes = fluid_dropped_bytes;
-  result.fluid.final_backlog_bytes = fluid_backlog_bytes;
-  result.fluid.ticks = fluid ? fluid->ticks() : 0;
-
-  result.mean_qdelay_ms = result.qdelay_ms_packets.mean();
-  result.p99_qdelay_ms = result.qdelay_ms_packets.p99();
-  result.events_executed = sim.events_executed();
-  result.clamped_events = sim.clamped_events();
-  result.fault_counters = injector.counters();
-  result.violations = monitor.violations();
-  result.invariant_checks = monitor.checks_run();
-  result.guard_events = link.qdisc().guard_events();
-
-  // Finish telemetry while the probed objects (link, flows, injector) are
-  // still alive: the final sample and manifest snapshot read bound gauges.
-  if (config.recorder != nullptr) {
-    config.recorder->finish(config.duration);
-  } else if (config.registry != nullptr) {
-    config.registry->freeze_gauges();
-  }
-  return result;
+  // The dumbbell is the trivial two-node topology; the engine preserves the
+  // legacy wiring order, so this composition is digest-identical to the
+  // pre-topology harness.
+  return topology::to_run_result(
+      topology::run_topology(topology::from_dumbbell(config)));
 }
 
 }  // namespace pi2::scenario

@@ -185,6 +185,23 @@ struct FluidStats {
   std::uint64_t ticks = 0;  ///< fluid integration steps executed
 };
 
+/// Per-link result slice carried by topology runs (journal codec v4).
+/// run_dumbbell() fills exactly one slice mirroring the top-level link
+/// fields; multi-link topologies (topology::to_run_result) fill one per
+/// configured link. Legacy v3 payloads decode with `links` empty.
+struct LinkSlice {
+  std::string name;
+  double mean_qdelay_ms = 0.0;
+  double p99_qdelay_ms = 0.0;
+  double utilization = 0.0;
+  net::BottleneckLink::Counters counters;
+  net::BottleneckLink::Counters window_counters;
+  faults::FaultInjector::Counters fault_counters;
+  std::uint64_t guard_events = 0;
+  /// Queue occupancy when the run ended (conservation bookkeeping).
+  std::int64_t final_backlog_packets = 0;
+};
+
 struct RunResult {
   // Queue delay.
   stats::TimeSeries qdelay_ms_series;           ///< sampled queue delay [ms]
@@ -230,6 +247,9 @@ struct RunResult {
   std::uint64_t invariant_checks = 0;
   /// Non-finite controller updates rejected by the AQM's saturating guard.
   std::uint64_t guard_events = 0;
+  /// Per-link slices (see LinkSlice): one for the dumbbell's bottleneck,
+  /// one per link for topology runs.
+  std::vector<LinkSlice> links;
 
   /// Mean goodput (Mb/s) across packet flows of a given congestion control
   /// (fluid specs are excluded — they model background load, and figures

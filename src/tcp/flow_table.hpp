@@ -61,6 +61,10 @@ class FlowTable {
   }
   /// Fault-injected RTT step: applies to every flow.
   void set_all_base_rtt(pi2::sim::Duration rtt);
+  /// RTT step scoped to one flow (per-link faults in multi-link topologies).
+  void set_base_rtt(std::int32_t flow, pi2::sim::Duration rtt) {
+    half_rtt_[static_cast<std::size_t>(flow)] = rtt / 2;
+  }
 
   // Cold path (setup / stats collection).
   [[nodiscard]] TcpSender* sender(std::int32_t flow);

@@ -1,0 +1,18 @@
+// DumbbellConfig -> TopologyConfig: the dumbbell is the trivial two-node
+// instance of the topology engine. run_dumbbell() is exactly
+// to_run_result(run_topology(from_dumbbell(config))) — the engine preserves
+// the legacy wiring order, so the composition is digest-identical to the
+// pre-topology harness (tested in tests/topology and fuzzed in check_fuzz).
+#pragma once
+
+#include "scenario/dumbbell.hpp"
+#include "topology/topology.hpp"
+
+namespace pi2::topology {
+
+/// Maps a dumbbell config onto nodes {"snd", "rcv"} joined by one
+/// "bottleneck" link carrying every flow spec. Borrowed pointers (trace,
+/// recorder, registry, stop) carry over unchanged.
+[[nodiscard]] TopologyConfig from_dumbbell(const scenario::DumbbellConfig& config);
+
+}  // namespace pi2::topology

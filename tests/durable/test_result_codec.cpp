@@ -133,6 +133,109 @@ TEST(ResultCodec, BandCountersSurviveTheTrip) {
   EXPECT_EQ(check::result_digest(decoded), check::result_digest(result));
 }
 
+TEST(ResultCodec, LinkSlicesSurviveTheTrip) {
+  scenario::RunResult result;
+  scenario::LinkSlice a;
+  a.name = "bottleneck";
+  a.mean_qdelay_ms = 14.25;
+  a.p99_qdelay_ms = 33.5;
+  a.utilization = 0.875;
+  a.counters.enqueued = 1000;
+  a.counters.forwarded = 990;
+  a.counters.dequeue_dropped = 1;
+  a.window_counters.forwarded = 600;
+  a.fault_counters.dropped = 2;
+  a.fault_counters.rtt_changes = 1;
+  a.guard_events = 3;
+  a.final_backlog_packets = 9;
+  scenario::LinkSlice b;
+  b.name = "n1->n2";
+  b.counters.marked = 55;
+  result.links.push_back(a);
+  result.links.push_back(b);
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(encode_result(result), decoded).ok());
+  ASSERT_EQ(decoded.links.size(), 2u);
+  EXPECT_EQ(decoded.links[0].name, "bottleneck");
+  EXPECT_TRUE(same_bits(decoded.links[0].mean_qdelay_ms, 14.25));
+  EXPECT_TRUE(same_bits(decoded.links[0].p99_qdelay_ms, 33.5));
+  EXPECT_TRUE(same_bits(decoded.links[0].utilization, 0.875));
+  EXPECT_EQ(decoded.links[0].counters.enqueued, 1000);
+  EXPECT_EQ(decoded.links[0].counters.forwarded, 990);
+  EXPECT_EQ(decoded.links[0].counters.dequeue_dropped, 1);
+  EXPECT_EQ(decoded.links[0].window_counters.forwarded, 600);
+  EXPECT_EQ(decoded.links[0].fault_counters.dropped, 2);
+  EXPECT_EQ(decoded.links[0].fault_counters.rtt_changes, 1);
+  EXPECT_EQ(decoded.links[0].guard_events, 3u);
+  EXPECT_EQ(decoded.links[0].final_backlog_packets, 9);
+  EXPECT_EQ(decoded.links[1].name, "n1->n2");
+  EXPECT_EQ(decoded.links[1].counters.marked, 55);
+
+  // The digest folds the link slices: altering one must change it, and the
+  // decoded copy must be indistinguishable from the original.
+  scenario::RunResult tweaked = result;
+  tweaked.links[1].counters.marked = 54;
+  EXPECT_NE(check::result_digest(tweaked), check::result_digest(result));
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(result));
+}
+
+TEST(ResultCodec, V3PayloadsStayReadable) {
+  // A payload captured from the v3 encoder (before the links section
+  // existed). It must keep decoding — resumed sweeps replay old journals —
+  // and surface an empty links vector, exactly what a v3-era single-link
+  // run carried.
+  const std::string v3_payload =
+      "pi2-result-v3 3039 1 28 2 3e8 3de 7 3 37 2 1 3e8 3de 7 3 37 2 1 258 "
+      "255 32 0 0 0 190 189 5 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 2 0 0 1 0 "
+      "4136e36000000000 413312d000000000 40fe848000000000 40fe848000000000 "
+      "fa0 402c800000000000 4040c00000000000 3fec000000000000 1 3b9aca00 "
+      "4029000000000000 1 77359400 3fa0000000000000 1 b2d05e00 "
+      "4023000000000000 1 b2d05e00 3fe8000000000000 1 3fa0000000000000 1 "
+      "3fa0000000000000 1 3fd0000000000000 1 3fd0000000000000 2 "
+      "403c800000000000 2 1 0 0 3ff0000000000000 4013000000000000 3 1 3 0 1 "
+      "4059000000000000 3fb0000000000000 0 0 1 12a05f200 c "
+      "636f6e736572766174696f6e a 6f6666206279206f6e65";
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(v3_payload, decoded).ok());
+  EXPECT_TRUE(decoded.links.empty());
+  EXPECT_EQ(decoded.events_executed, 12345u);
+  EXPECT_EQ(decoded.clamped_events, 1u);
+  EXPECT_EQ(decoded.invariant_checks, 40u);
+  EXPECT_EQ(decoded.counters.enqueued, 1000);
+  EXPECT_EQ(decoded.counters.forwarded, 990);
+  EXPECT_EQ(decoded.counters.marked, 55);
+  EXPECT_EQ(decoded.band_l.enqueued, 600);
+  EXPECT_EQ(decoded.band_c.enqueued, 400);
+  EXPECT_TRUE(same_bits(decoded.mean_qdelay_ms, 14.25));
+  EXPECT_TRUE(same_bits(decoded.p99_qdelay_ms, 33.5));
+  EXPECT_TRUE(same_bits(decoded.utilization, 0.875));
+  EXPECT_TRUE(same_bits(decoded.fluid.arrival_bytes, 1.5e6));
+  EXPECT_EQ(decoded.fluid.ticks, 4000u);
+  ASSERT_EQ(decoded.qdelay_ms_series.points().size(), 1u);
+  EXPECT_TRUE(same_bits(decoded.qdelay_ms_series.points()[0].value, 12.5));
+  ASSERT_EQ(decoded.flows.size(), 2u);
+  EXPECT_EQ(decoded.flows[0].cc, tcp::CcType::kCubic);
+  EXPECT_TRUE(same_bits(decoded.flows[0].goodput_mbps, 4.75));
+  EXPECT_TRUE(decoded.flows[1].is_fluid);
+  ASSERT_EQ(decoded.violations.size(), 1u);
+  EXPECT_EQ(decoded.violations[0].check, "conservation");
+  EXPECT_EQ(decoded.violations[0].detail, "off by one");
+
+  // Re-encoding a v3-decoded result produces a v4 payload (with an empty
+  // links section) that decodes to the same digest.
+  scenario::RunResult again;
+  const std::string v4_payload = encode_result(decoded);
+  EXPECT_EQ(v4_payload.rfind("pi2-result-v4", 0), 0u);
+  ASSERT_TRUE(decode_result(v4_payload, again).ok());
+  EXPECT_EQ(check::result_digest(again), check::result_digest(decoded));
+
+  // A v3 payload with trailing bytes (e.g. a glued links section) is still
+  // structural damage, not silently accepted.
+  EXPECT_FALSE(decode_result(v3_payload + " 1", decoded).ok());
+}
+
 TEST(ResultCodec, ViolationsSurviveTheTrip) {
   scenario::RunResult result;
   faults::InvariantViolation violation;

@@ -30,6 +30,8 @@ regen fig17_mark_prob fig17.json
 regen fig18_utilization fig18.json
 regen fig_response fig_response.json
 regen fig_overload fig_overload.json
+regen fig_parking_lot fig_parking_lot.json
+regen fig_rtt_mix fig_rtt_mix.json
 # The fluid-agreement baseline is the *packet* rendering of the background
 # load; the golden_fluid_fig15..18 ctests run their candidates with
 # --fluid-background 2 against it (figs 15-18 share one sweep engine and

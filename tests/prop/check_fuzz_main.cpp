@@ -45,7 +45,10 @@ using namespace pi2;
 struct Args {
   std::uint64_t seed = 1;
   std::uint64_t cases = 200;
+  /// Multi-hop topology cases appended to the batch; default cases/8.
+  long long topo_cases = -1;
   long long single_case = -1;
+  long long single_topo_case = -1;
   unsigned jobs = 0;
   std::string scratch;
   long long inject_case = -1;
@@ -65,8 +68,12 @@ Args parse_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--cases" && i + 1 < argc) {
       args.cases = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--topo-cases" && i + 1 < argc) {
+      args.topo_cases = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--case" && i + 1 < argc) {
       args.single_case = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--topo-case" && i + 1 < argc) {
+      args.single_topo_case = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--jobs" && i + 1 < argc) {
       args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--scratch" && i + 1 < argc) {
@@ -87,14 +94,18 @@ Args parse_args(int argc, char** argv) {
       args.journal_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: check_fuzz [--seed N] [--cases N] [--case I] [--jobs N]\n"
+          "usage: check_fuzz [--seed N] [--cases N] [--topo-cases N]\n"
+          "                  [--case I] [--topo-case I] [--jobs N]\n"
           "                  [--scratch DIR] [--repro-out PATH]\n"
           "                  [--inject-oracle-fail I] [--shrink-evals N]\n"
           "                  [--recheck N] [--verbose]\n"
           "                  [--resume] [--journal PATH]\n"
           "  --seed N     base seed; case i uses stream derive_seed(N, i)\n"
           "  --cases N    batch size (default 200)\n"
+          "  --topo-cases N  multi-hop topology cases appended to the batch\n"
+          "               (default cases/8)\n"
           "  --case I     replay exactly one case and exit\n"
+          "  --topo-case I  replay exactly one topology case and exit\n"
           "  --jobs N     worker threads (default: all cores)\n"
           "  --scratch DIR  telemetry artifacts per case (enables the JSONL\n"
           "               parse-back oracle)\n"
@@ -213,11 +224,19 @@ bool decode_outcome(const std::string& payload, check::CaseOutcome& outcome) {
 
 /// Everything the batch's outcomes depend on; a journal from a different
 /// configuration is refused on --resume.
+/// Resolved topology-case count (--topo-cases, defaulting to cases/8).
+std::uint64_t topo_case_count(const Args& args) {
+  return args.topo_cases >= 0 ? static_cast<std::uint64_t>(args.topo_cases)
+                              : args.cases / 8;
+}
+
 std::uint64_t fuzz_campaign_key(const Args& args) {
   pi2::durable::Fnv1a h;
-  h.mix_string("pi2-fuzz-campaign-v1");
+  // v2: topology sub-batch joined the campaign (digests fold link slices).
+  h.mix_string("pi2-fuzz-campaign-v2");
   h.mix_u64(args.seed);
   h.mix_u64(args.cases);
+  h.mix_u64(topo_case_count(args));
   h.mix_u64(static_cast<std::uint64_t>(args.inject_case + 1));
   h.mix_u64(args.scratch.empty() ? 0 : 1);  // scratch gates an oracle
   return h.state;
@@ -228,6 +247,14 @@ std::uint64_t fuzz_case_key(const Args& args, std::uint64_t index) {
   h.mix_string("pi2-fuzz-case-v1");
   h.mix_u64(index);
   h.mix_u64(sim::Rng::derive_seed(args.seed, index));
+  return h.state;
+}
+
+std::uint64_t fuzz_topo_case_key(const Args& args, std::uint64_t index) {
+  pi2::durable::Fnv1a h;
+  h.mix_string("pi2-fuzz-topo-case-v1");
+  h.mix_u64(index);
+  h.mix_u64(sim::Rng::derive_seed(args.seed, (1ull << 32) + index));
   return h.state;
 }
 
@@ -291,6 +318,54 @@ void shrink_and_report(const Args& args, const check::ScenarioFuzzer& fuzzer,
   }
 }
 
+void print_topo_failures(const check::ScenarioFuzzer& fuzzer,
+                         const check::CaseOutcome& outcome,
+                         const topology::TopologyConfig& config) {
+  std::printf("topology case %llu FAILED (%s)\n",
+              static_cast<unsigned long long>(outcome.index),
+              check::ScenarioFuzzer::describe(config).c_str());
+  for (const auto& failure : outcome.failures) {
+    std::printf("  [%s] %s\n", failure.oracle.c_str(), failure.detail.c_str());
+  }
+  // No shrinker for graph-shaped cases: the repro plus the one-line topology
+  // summary (per-link AQM/rate, flow counts) is the debugging handle.
+  std::printf("repro: %s\n", fuzzer.topology_repro_command(outcome.index).c_str());
+}
+
+int run_single_topo_case(const Args& args, const check::ScenarioFuzzer& fuzzer) {
+  const auto index = static_cast<std::uint64_t>(args.single_topo_case);
+  const auto config = fuzzer.make_topology_config(index);
+  std::printf("topology case %llu: %s\n",
+              static_cast<unsigned long long>(index),
+              check::ScenarioFuzzer::describe(config).c_str());
+  const auto outcome = check::run_topology_case_oracles(
+      config, index, oracle_options(args, index, "topo"));
+
+  const auto again = check::run_topology_case_oracles(
+      config, index, oracle_options(args, index, "topo_again"));
+  if (again.digest != outcome.digest) {
+    std::printf("NONDETERMINISM: digest %016llx vs %016llx on identical runs\n",
+                static_cast<unsigned long long>(outcome.digest),
+                static_cast<unsigned long long>(again.digest));
+    return 1;
+  }
+
+  if (!outcome.ok()) {
+    print_topo_failures(fuzzer, outcome, config);
+    if (!args.repro_out.empty()) {
+      if (std::FILE* out = std::fopen(args.repro_out.c_str(), "w")) {
+        std::fprintf(out, "%s\n", fuzzer.topology_repro_command(index).c_str());
+        std::fclose(out);
+      }
+    }
+    return 1;
+  }
+  std::printf("topology case %llu ok (digest %016llx)\n",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(outcome.digest));
+  return 0;
+}
+
 int run_single_case(const Args& args, const check::ScenarioFuzzer& fuzzer) {
   const auto index = static_cast<std::uint64_t>(args.single_case);
   const auto config = fuzzer.make_config(index);
@@ -329,9 +404,13 @@ int main(int argc, char** argv) {
   const check::ScenarioFuzzer fuzzer{fuzz_options};
 
   if (args.single_case >= 0) return run_single_case(args, fuzzer);
+  if (args.single_topo_case >= 0) return run_single_topo_case(args, fuzzer);
 
-  std::printf("# check_fuzz: %llu cases from seed %llu\n",
+  const std::uint64_t topo_cases = topo_case_count(args);
+  const std::uint64_t total_cases = args.cases + topo_cases;
+  std::printf("# check_fuzz: %llu cases (+%llu topology) from seed %llu\n",
               static_cast<unsigned long long>(args.cases),
+              static_cast<unsigned long long>(topo_cases),
               static_cast<unsigned long long>(args.seed));
 
   durable::ShutdownController::install();
@@ -340,8 +419,14 @@ int main(int argc, char** argv) {
       args.journal_path.empty() ? "check_fuzz.journal" : args.journal_path;
 
   const runner::ParallelRunner pool{args.jobs};
-  std::vector<check::CaseOutcome> outcomes(args.cases);
-  std::vector<bool> replayed(args.cases, false);
+  // Task layout: dumbbell cases occupy [0, cases), topology cases
+  // [cases, cases + topo_cases) with topology-local indices.
+  const auto task_key = [&](std::uint64_t i) {
+    return i < args.cases ? fuzz_case_key(args, i)
+                          : fuzz_topo_case_key(args, i - args.cases);
+  };
+  std::vector<check::CaseOutcome> outcomes(total_cases);
+  std::vector<bool> replayed(total_cases, false);
   bool journal_keep = false;
   if (args.resume) {
     const durable::LoadedJournal loaded =
@@ -354,8 +439,8 @@ int main(int argc, char** argv) {
     if (loaded.header_ok) {
       journal_keep = true;
       std::size_t count = 0;
-      for (std::uint64_t i = 0; i < args.cases; ++i) {
-        const auto it = loaded.points.find(fuzz_case_key(args, i));
+      for (std::uint64_t i = 0; i < total_cases; ++i) {
+        const auto it = loaded.points.find(task_key(i));
         if (it == loaded.points.end()) continue;
         if (decode_outcome(it->second, outcomes[i])) {
           replayed[i] = true;
@@ -363,7 +448,7 @@ int main(int argc, char** argv) {
         }
       }
       std::fprintf(stderr, "resume: replaying %zu of %llu case(s) from %s\n",
-                   count, static_cast<unsigned long long>(args.cases),
+                   count, static_cast<unsigned long long>(total_cases),
                    journal_file.c_str());
     }
   }
@@ -374,19 +459,26 @@ int main(int argc, char** argv) {
   std::size_t interrupted_cases = 0;
 
   const auto report = pool.run_ordered_guarded<check::CaseOutcome>(
-      args.cases,
+      total_cases,
       [&](std::size_t i) {
         if (replayed[i]) return outcomes[i];
-        auto config = fuzzer.make_config(i);
+        if (i < args.cases) {
+          auto config = fuzzer.make_config(i);
+          config.stop = durable::ShutdownController::flag();
+          return check::run_case_oracles(config, i,
+                                         oracle_options(args, i, "case"));
+        }
+        const std::uint64_t j = i - args.cases;
+        auto config = fuzzer.make_topology_config(j);
         config.stop = durable::ShutdownController::flag();
-        return check::run_case_oracles(config, i, oracle_options(args, i, "case"));
+        return check::run_topology_case_oracles(
+            config, j, oracle_options(args, i, "topo"));
       },
       [&](std::size_t i, runner::TaskStatus status, check::CaseOutcome* outcome) {
         if (status == runner::TaskStatus::kOk && outcome != nullptr) {
           outcomes[i] = *outcome;
           if (!replayed[i] && journal.healthy()) {
-            (void)journal.append_point(fuzz_case_key(args, i),
-                                       encode_outcome(outcomes[i]));
+            (void)journal.append_point(task_key(i), encode_outcome(outcomes[i]));
           }
           if (args.verbose) {
             std::printf("case %zu %s\n", i,
@@ -395,7 +487,7 @@ int main(int argc, char** argv) {
         } else if (status == runner::TaskStatus::kInterrupted) {
           ++interrupted_cases;
         } else {
-          outcomes[i].index = i;
+          outcomes[i].index = i < args.cases ? i : i - args.cases;
           outcomes[i].failures.push_back(
               {"harness", std::string("case crashed or timed out: ") +
                               runner::to_string(status)});
@@ -445,20 +537,55 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Same invariance for the topology sub-batch (per-topology digests fold
+  // every link slice, so a thread-order leak in any hop would surface).
+  const std::uint64_t topo_recheck =
+      args.recheck < topo_cases ? args.recheck : topo_cases;
+  for (std::uint64_t i = 0; i < topo_recheck; ++i) {
+    const std::uint64_t index =
+        i * (topo_cases / (topo_recheck ? topo_recheck : 1));
+    const auto config = fuzzer.make_topology_config(index);
+    const auto serial = check::run_topology_case_oracles(
+        config, index, oracle_options(args, args.cases + index, "topo_recheck"));
+    if (serial.digest != outcomes[args.cases + index].digest) {
+      std::printf("FAIL: topology case %llu digest differs serial %016llx vs "
+                  "batch %016llx (--jobs variance)\n",
+                  static_cast<unsigned long long>(index),
+                  static_cast<unsigned long long>(serial.digest),
+                  static_cast<unsigned long long>(
+                      outcomes[args.cases + index].digest));
+      return 1;
+    }
+  }
 
   std::uint64_t failed = 0;
-  for (const auto& outcome : outcomes) {
+  for (std::uint64_t i = 0; i < total_cases; ++i) {
+    const check::CaseOutcome& outcome = outcomes[i];
     if (outcome.ok()) continue;
     ++failed;
-    if (failed == 1) {
+    if (failed != 1) continue;
+    if (i < args.cases) {
       const auto config = fuzzer.make_config(outcome.index);
       print_failures(fuzzer, outcome, config);
       shrink_and_report(args, fuzzer, config, outcome.index);
+    } else {
+      const auto config = fuzzer.make_topology_config(outcome.index);
+      print_topo_failures(fuzzer, outcome, config);
+      if (!args.repro_out.empty()) {
+        if (std::FILE* out = std::fopen(args.repro_out.c_str(), "w")) {
+          std::fprintf(out, "%s\n",
+                       fuzzer.topology_repro_command(outcome.index).c_str());
+          std::fclose(out);
+        }
+      }
     }
   }
-  std::printf("# %llu/%llu cases clean, %llu recheck digests stable\n",
-              static_cast<unsigned long long>(args.cases - failed),
-              static_cast<unsigned long long>(args.cases),
-              static_cast<unsigned long long>(recheck));
+  std::printf("# %llu/%llu cases clean (%llu topology), %llu+%llu recheck "
+              "digests stable\n",
+              static_cast<unsigned long long>(total_cases - failed),
+              static_cast<unsigned long long>(total_cases),
+              static_cast<unsigned long long>(topo_cases),
+              static_cast<unsigned long long>(recheck),
+              static_cast<unsigned long long>(topo_recheck));
   return failed == 0 ? 0 : 1;
 }

@@ -104,6 +104,66 @@ TEST(ScenarioFuzzer, ReproCommandNamesSeedAndCase) {
   options.base_seed = 7;
   const ScenarioFuzzer fuzzer{options};
   EXPECT_EQ(fuzzer.repro_command(13), "check_fuzz --seed 7 --case 13");
+  EXPECT_EQ(fuzzer.topology_repro_command(13),
+            "check_fuzz --seed 7 --topo-case 13");
+}
+
+TEST(ScenarioFuzzer, TopologyCasesAreDeterministicAndValid) {
+  FuzzOptions options;
+  options.base_seed = 11;
+  const ScenarioFuzzer fuzzer{options};
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto a = fuzzer.make_topology_config(i);
+    const auto b = fuzzer.make_topology_config(i);
+    EXPECT_EQ(a.validate(), "") << "case " << i;
+    EXPECT_EQ(ScenarioFuzzer::describe(a), ScenarioFuzzer::describe(b));
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.seed, sim::Rng::derive_seed(11, (1ull << 32) + i));
+    EXPECT_GE(a.links.size(), 2u);
+    EXPECT_LE(a.links.size(), 4u);
+    EXPECT_FALSE(a.tcp_flows.empty());
+  }
+}
+
+TEST(ScenarioFuzzer, TopologyStreamIsIndependentOfTheDumbbellStream) {
+  // Topology case i draws from a (1<<32)+i-derived seed, so it must not be
+  // a re-skin of dumbbell case i.
+  FuzzOptions options;
+  options.base_seed = 11;
+  const ScenarioFuzzer fuzzer{options};
+  int same_seed = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    if (fuzzer.make_topology_config(i).seed == fuzzer.make_config(i).seed) {
+      ++same_seed;
+    }
+  }
+  EXPECT_EQ(same_seed, 0);
+}
+
+TEST(ScenarioFuzzer, TopologyCasesCoverTheMultiHopSpace) {
+  FuzzOptions options;
+  options.base_seed = 3;
+  const ScenarioFuzzer fuzzer{options};
+  std::set<std::size_t> hop_counts;
+  int with_udp = 0;
+  int with_fluid = 0;
+  int with_faults = 0;
+  std::set<scenario::AqmType> aqms;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto cfg = fuzzer.make_topology_config(i);
+    hop_counts.insert(cfg.links.size());
+    if (!cfg.udp_flows.empty()) ++with_udp;
+    if (!cfg.fluid_flows.empty()) ++with_fluid;
+    for (const auto& link : cfg.links) {
+      aqms.insert(link.aqm.type);
+      if (!link.faults.events.empty()) ++with_faults;
+    }
+  }
+  EXPECT_EQ(hop_counts, (std::set<std::size_t>{2, 3, 4}));
+  EXPECT_GT(with_udp, 10);
+  EXPECT_GT(with_fluid, 10);
+  EXPECT_GT(with_faults, 20);
+  EXPECT_GT(aqms.size(), 4u) << "mixed AQMs across links";
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// TopologyConfig::validate(): every rejection names the offending field and
+// constraint in the DumbbellConfig::validate() style, so a bench author can
+// fix a topology spec from the message alone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+
+namespace pi2::topology {
+namespace {
+
+/// A well-formed 2-link chain with one flow of each kind; each test breaks
+/// exactly one field.
+TopologyConfig valid_chain() {
+  TopologyConfig cfg;
+  cfg.nodes = {"a", "b", "c"};
+  LinkSpec ab;
+  ab.from = "a";
+  ab.to = "b";
+  ab.aqm.type = scenario::AqmType::kCoupledPi2;
+  LinkSpec bc;
+  bc.from = "b";
+  bc.to = "c";
+  bc.aqm.type = scenario::AqmType::kPie;
+  cfg.links = {ab, bc};
+  TcpRoute tcp;
+  tcp.spec.cc = tcp::CcType::kCubic;
+  tcp.spec.count = 1;
+  tcp.path = {"a", "b", "c"};
+  cfg.tcp_flows.push_back(tcp);
+  UdpRoute udp;
+  udp.spec.rate_bps = 1e6;
+  udp.path = {"b", "c"};
+  cfg.udp_flows.push_back(udp);
+  FluidRoute fluid;
+  fluid.spec.count = 10;
+  fluid.path = {"a", "b"};
+  cfg.fluid_flows.push_back(fluid);
+  cfg.duration = pi2::sim::from_seconds(1.0);
+  return cfg;
+}
+
+TEST(TopologyValidate, AcceptsTheBaseChain) {
+  EXPECT_EQ(valid_chain().validate(), "");
+}
+
+TEST(TopologyValidate, RejectsEmptyNodes) {
+  auto cfg = valid_chain();
+  cfg.nodes.clear();
+  EXPECT_EQ(cfg.validate(), "nodes must name at least one node (got 0)");
+}
+
+TEST(TopologyValidate, RejectsEmptyNodeName) {
+  auto cfg = valid_chain();
+  cfg.nodes[1] = "";
+  EXPECT_EQ(cfg.validate(), "nodes[1] must be a non-empty name");
+}
+
+TEST(TopologyValidate, RejectsDuplicateNode) {
+  auto cfg = valid_chain();
+  cfg.nodes[2] = "a";
+  EXPECT_EQ(cfg.validate(), "nodes[2] must be unique (got \"a\")");
+}
+
+TEST(TopologyValidate, RejectsEmptyLinks) {
+  auto cfg = valid_chain();
+  cfg.links.clear();
+  EXPECT_EQ(cfg.validate(), "links must contain at least one link (got 0)");
+}
+
+TEST(TopologyValidate, RejectsUnknownFromNode) {
+  auto cfg = valid_chain();
+  cfg.links[0].from = "zz";
+  EXPECT_EQ(cfg.validate(),
+            "links[0].from must name a configured node (got \"zz\")");
+}
+
+TEST(TopologyValidate, RejectsUnknownToNode) {
+  auto cfg = valid_chain();
+  cfg.links[1].to = "zz";
+  EXPECT_EQ(cfg.validate(),
+            "links[1].to must name a configured node (got \"zz\")");
+}
+
+TEST(TopologyValidate, RejectsSelfLoop) {
+  auto cfg = valid_chain();
+  cfg.links[0].to = "a";
+  EXPECT_EQ(cfg.validate(),
+            "links[0].to must differ from .from (got \"a\")");
+}
+
+TEST(TopologyValidate, RejectsDuplicateDirectedPair) {
+  auto cfg = valid_chain();
+  cfg.links[1].from = "a";
+  cfg.links[1].to = "b";
+  // The tcp/udp routes still resolve a->b->c? No — b->c is gone, so break
+  // the routes too would mask the earlier check; the link check fires first.
+  EXPECT_EQ(cfg.validate(),
+            "links[1].from/to must be a unique directed pair (got \"a->b\")");
+}
+
+TEST(TopologyValidate, RejectsDuplicateLinkName) {
+  auto cfg = valid_chain();
+  cfg.links[0].name = "x";
+  cfg.links[1].name = "x";
+  EXPECT_EQ(cfg.validate(), "links[1].name must be unique (got \"x\")");
+}
+
+TEST(TopologyValidate, RejectsNonFiniteLinkRate) {
+  auto cfg = valid_chain();
+  cfg.links[0].rate_bps = std::nan("");
+  EXPECT_EQ(cfg.validate(),
+            "links[0].rate_bps must be finite and > 0 (got nan)");
+  cfg.links[0].rate_bps = 0.0;
+  EXPECT_EQ(cfg.validate(),
+            "links[0].rate_bps must be finite and > 0 (got 0)");
+}
+
+TEST(TopologyValidate, RejectsNonPositiveBuffer) {
+  auto cfg = valid_chain();
+  cfg.links[1].buffer_packets = 0;
+  EXPECT_EQ(cfg.validate(), "links[1].buffer_packets must be > 0 (got 0)");
+}
+
+TEST(TopologyValidate, RejectsNegativeLinkDelay) {
+  auto cfg = valid_chain();
+  cfg.links[0].delay = pi2::sim::from_millis(-1.0);
+  EXPECT_EQ(cfg.validate(),
+            "links[0].delay must be >= 0 seconds (got -0.001)");
+}
+
+TEST(TopologyValidate, PrefixesPerLinkAqmErrors) {
+  auto cfg = valid_chain();
+  cfg.links[1].aqm.target = pi2::sim::Duration{0};
+  EXPECT_EQ(cfg.validate(),
+            "links[1].aqm.target must be > 0 seconds (got 0)");
+}
+
+TEST(TopologyValidate, PrefixesPerLinkRateChangeErrors) {
+  auto cfg = valid_chain();
+  scenario::RateChange change;
+  change.at = pi2::sim::from_seconds(-1.0);
+  change.rate_bps = 1e6;
+  cfg.links[0].rate_changes.push_back(change);
+  EXPECT_EQ(cfg.validate(),
+            "links[0].rate_changes[0].at must be >= 0 seconds (got -1)");
+}
+
+TEST(TopologyValidate, PrefixesPerLinkFaultErrors) {
+  auto cfg = valid_chain();
+  cfg.links[1].faults.rate_step(pi2::sim::from_seconds(0.1), -1.0);
+  EXPECT_EQ(cfg.validate(),
+            "links[1].fault event #0 (rate-step): `rate_bps` must be > 0");
+}
+
+TEST(TopologyValidate, RejectsAckQuantumWithPerLinkRttFaults) {
+  auto cfg = valid_chain();
+  cfg.ack_quantum = pi2::sim::from_millis(1.0);
+  EXPECT_EQ(cfg.validate(), "");  // quantum alone is fine
+  cfg.links[1].faults.rtt_step(pi2::sim::from_seconds(0.1),
+                               pi2::sim::from_millis(20.0));
+  EXPECT_EQ(cfg.validate(),
+            "ack_quantum must be 0 when a multi-link topology schedules "
+            "rtt-step faults (got 0.001)");
+}
+
+TEST(TopologyValidate, RejectsShortPath) {
+  auto cfg = valid_chain();
+  cfg.tcp_flows[0].path = {"a"};
+  EXPECT_EQ(cfg.validate(),
+            "tcp_flows[0].path must name at least two nodes (got 1)");
+}
+
+TEST(TopologyValidate, RejectsUnknownNodeInPath) {
+  auto cfg = valid_chain();
+  cfg.tcp_flows[0].path = {"a", "zz"};
+  EXPECT_EQ(cfg.validate(),
+            "tcp_flows[0].path[1] must name a configured node (got \"zz\")");
+}
+
+TEST(TopologyValidate, RejectsRevisitedNode) {
+  auto cfg = valid_chain();
+  cfg.nodes.push_back("d");
+  LinkSpec cb;
+  cb.from = "c";
+  cb.to = "b";
+  cfg.links.push_back(cb);
+  cfg.tcp_flows[0].path = {"a", "b", "c", "b"};
+  EXPECT_EQ(cfg.validate(),
+            "tcp_flows[0].path must not revisit a node (got \"b\")");
+}
+
+TEST(TopologyValidate, RejectsDisconnectedRoute) {
+  auto cfg = valid_chain();
+  cfg.udp_flows[0].path = {"a", "c"};
+  EXPECT_EQ(cfg.validate(),
+            "udp_flows[0].path must follow configured links "
+            "(no link \"a->c\")");
+}
+
+TEST(TopologyValidate, RejectsMultiLinkFluidRoute) {
+  auto cfg = valid_chain();
+  cfg.fluid_flows[0].path = {"a", "b", "c"};
+  EXPECT_EQ(cfg.validate(),
+            "fluid_flows[0].path must cross exactly one link (got 2)");
+}
+
+TEST(TopologyValidate, PrefixesFlowSpecErrors) {
+  auto cfg = valid_chain();
+  cfg.tcp_flows[0].spec.count = -1;
+  EXPECT_EQ(cfg.validate(), "tcp_flows[0].spec.count must be >= 0 (got -1)");
+  cfg = valid_chain();
+  cfg.udp_flows[0].spec.rate_bps = 0.0;
+  EXPECT_EQ(cfg.validate(),
+            "udp_flows[0].spec.rate_bps must be finite and > 0 (got 0)");
+  cfg = valid_chain();
+  cfg.fluid_flows[0].spec.count = -2.0;
+  EXPECT_EQ(cfg.validate(),
+            "fluid_flows[0].spec.count must be finite and >= 0 (got -2)");
+}
+
+TEST(TopologyValidate, RejectsBadScalarFields) {
+  auto cfg = valid_chain();
+  cfg.duration = pi2::sim::kTimeZero;
+  EXPECT_EQ(cfg.validate(), "duration must be > 0 seconds (got 0)");
+  cfg = valid_chain();
+  cfg.stats_start = cfg.duration + pi2::sim::from_seconds(1.0);
+  EXPECT_EQ(cfg.validate(), "stats_start must lie within [0, duration] (got 2)");
+  cfg = valid_chain();
+  cfg.sample_interval = pi2::sim::Duration{0};
+  EXPECT_EQ(cfg.validate(), "sample_interval must be > 0 seconds (got 0)");
+  cfg = valid_chain();
+  cfg.fluid_dt = pi2::sim::Duration{0};
+  EXPECT_EQ(cfg.validate(), "fluid_dt must be > 0 seconds (got 0)");
+  cfg = valid_chain();
+  cfg.ack_quantum = pi2::sim::from_millis(-1.0);
+  EXPECT_EQ(cfg.validate(), "ack_quantum must be >= 0 seconds (got -0.001)");
+}
+
+TEST(TopologyValidate, RunTopologyThrowsTheMessage) {
+  auto cfg = valid_chain();
+  cfg.links[0].rate_bps = -1.0;
+  try {
+    (void)run_topology(cfg);
+    FAIL() << "run_topology accepted an invalid config";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("links[0].rate_bps"),
+              std::string::npos);
+  }
+}
+
+TEST(TopologyValidate, LinkBetweenResolvesDirectedPairs) {
+  const auto cfg = valid_chain();
+  EXPECT_EQ(cfg.link_between("a", "b"), 0);
+  EXPECT_EQ(cfg.link_between("b", "c"), 1);
+  EXPECT_EQ(cfg.link_between("b", "a"), -1);
+  EXPECT_EQ(cfg.link_between("a", "c"), -1);
+}
+
+}  // namespace
+}  // namespace pi2::topology
