@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign_templates.hpp"
 #include "sweep.hpp"
 
 namespace {
@@ -181,31 +182,10 @@ int main(int argc, char** argv) {
           return outcome;
         }
         const OverloadPoint& p = grid[i];
-        scenario::DumbbellConfig cfg;
-        cfg.link_rate_bps = link_mbps * 1e6;
-        cfg.aqm.type = scenario::AqmType::kDualPi2;
-        // RFC 9332 overload protection assumes the Classic drop probability
-        // can ramp all the way to 1: a 2x unresponsive flood needs 50%+ drop
-        // to keep the queue governed, which the paper's single-queue 25% cap
-        // (kDefaultMaxClassicProb) would forbid.
-        cfg.aqm.max_classic_prob = 1.0;
-        cfg.duration = sim::from_seconds(total_s);
-        cfg.stats_start = sim::from_seconds(stats_start_s);
-        cfg.seed = sim::Rng::derive_seed(opts.seed, i);
+        auto cfg =
+            overload_config(p.ecn, p.udp_mult, link_mbps, rtt_ms, total_s,
+                            stats_start_s, sim::Rng::derive_seed(opts.seed, i));
         cfg.stop = durable::ShutdownController::flag();
-        scenario::TcpFlowSpec cubic;
-        cubic.cc = tcp::CcType::kCubic;
-        cubic.base_rtt = sim::from_millis(rtt_ms);
-        cfg.tcp_flows.push_back(cubic);
-        scenario::TcpFlowSpec dctcp;
-        dctcp.cc = tcp::CcType::kDctcp;
-        dctcp.base_rtt = sim::from_millis(rtt_ms);
-        cfg.tcp_flows.push_back(dctcp);
-        scenario::UdpFlowSpec flood;
-        flood.rate_bps = p.udp_mult * cfg.link_rate_bps;
-        flood.ecn = p.ecn;
-        flood.base_rtt = sim::from_millis(rtt_ms);
-        cfg.udp_flows.push_back(flood);
         PointOutcome outcome;
         if (telemetry_on) {
           outcome.recorder = std::make_shared<telemetry::Recorder>(
@@ -225,11 +205,8 @@ int main(int argc, char** argv) {
           std::printf("%-9s %-9.2f point %s\n", p.ecn_name, p.udp_mult,
                       runner::to_string(status));
           if (json != nullptr) {
-            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
-                         "\"ecn\": \"%s\", \"udp_mult\": %.3g}",
-                         json_first ? "" : ",", i, runner::to_string(status),
-                         p.ecn_name, p.udp_mult);
-            json_first = false;
+            overload_json_failed(*json, json_first, i, status, p.ecn_name,
+                                 p.udp_mult);
           }
           healthy = false;
           return;
@@ -243,58 +220,15 @@ int main(int argc, char** argv) {
                       outcome->recorder->manifest_path().c_str());
           outcome->recorder.reset();
         }
-        const auto& l = result->window_band_l;
-        const auto& c = result->window_band_c;
-        const double cubic_mbps = result->mean_goodput_mbps(tcp::CcType::kCubic);
-        const double dctcp_mbps = result->mean_goodput_mbps(tcp::CcType::kDctcp);
-        const double udp_mbps = result->mean_udp_goodput_mbps();
-        std::printf(
-            "%-9s %-9.2f %-7.2f %-7.2f %-7.2f %-9.2f %-9.2f %5lld/%-5lld "
-            "%5lld/%-5lld %4lld/%-4lld %-7llu\n",
-            p.ecn_name, p.udp_mult, cubic_mbps, dctcp_mbps, udp_mbps,
-            result->mean_qdelay_ms, result->p99_qdelay_ms,
-            static_cast<long long>(l.marked),
-            static_cast<long long>(l.aqm_dropped),
-            static_cast<long long>(c.marked),
-            static_cast<long long>(c.aqm_dropped),
-            static_cast<long long>(l.tail_dropped),
-            static_cast<long long>(c.tail_dropped),
-            static_cast<unsigned long long>(result->guard_events));
+        overload_print_row(p.ecn_name, p.udp_mult, *result);
         if (json != nullptr) {
-          json->printf(
-              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"ecn\": \"%s\", "
-              "\"seed\": %llu, \"link_mbps\": %.6g, \"rtt_ms\": %.6g, "
-              "\"udp_mult\": %.6g, "
-              "\"cubic_mbps\": %.6g, \"dctcp_mbps\": %.6g, \"udp_mbps\": %.6g, "
-              "\"utilization\": %.6g, \"mean_qdelay_ms\": %.6g, "
-              "\"p99_qdelay_ms\": %.6g, "
-              "\"l_enqueued\": %lld, \"l_marked\": %lld, \"l_dropped\": %lld, "
-              "\"l_tail_dropped\": %lld, "
-              "\"c_enqueued\": %lld, \"c_marked\": %lld, \"c_dropped\": %lld, "
-              "\"c_tail_dropped\": %lld, "
-              "\"invariant_violations\": %llu, \"guard_events\": %llu}",
-              json_first ? "" : ",", i, p.ecn_name,
-              static_cast<unsigned long long>(sim::Rng::derive_seed(opts.seed, i)),
-              link_mbps, rtt_ms, p.udp_mult, cubic_mbps, dctcp_mbps, udp_mbps,
-              result->utilization, result->mean_qdelay_ms,
-              result->p99_qdelay_ms, static_cast<long long>(l.enqueued),
-              static_cast<long long>(l.marked),
-              static_cast<long long>(l.aqm_dropped),
-              static_cast<long long>(l.tail_dropped),
-              static_cast<long long>(c.enqueued),
-              static_cast<long long>(c.marked),
-              static_cast<long long>(c.aqm_dropped),
-              static_cast<long long>(c.tail_dropped),
-              static_cast<unsigned long long>(result->violations.size()),
-              static_cast<unsigned long long>(result->guard_events));
-          json_first = false;
+          overload_json_record(*json, json_first, i, p.ecn_name,
+                               sim::Rng::derive_seed(opts.seed, i), link_mbps,
+                               rtt_ms, p.udp_mult, *result);
         }
         // Health is the machinery, not the finding: a clean overload run has
         // no invariant violations, no clamped events and no guard trips.
-        if (!result->violations.empty() || result->clamped_events != 0 ||
-            result->guard_events != 0) {
-          healthy = false;
-        }
+        if (!machinery_healthy(*result)) healthy = false;
       },
       guard);
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign_templates.hpp"
 #include "sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -62,46 +63,6 @@ void cap_axis(std::vector<T>& axis, int cap) {
   if (cap > 0 && axis.size() > static_cast<std::size_t>(cap)) {
     axis.resize(static_cast<std::size_t>(cap));
   }
-}
-
-/// The N-hop parking lot: nodes n0..nN, one long Cubic flow over the whole
-/// chain, one Cubic cross flow per hop, every hop the same rate and AQM.
-topology::TopologyConfig parking_lot(const ParkingPoint& p, double link_mbps,
-                                     double rtt_ms, double total_s,
-                                     double stats_start_s,
-                                     std::uint64_t seed) {
-  topology::TopologyConfig cfg;
-  for (int i = 0; i <= p.hops; ++i) {
-    cfg.nodes.push_back("n" + std::to_string(i));
-  }
-  for (int i = 0; i < p.hops; ++i) {
-    topology::LinkSpec link;
-    link.from = cfg.nodes[static_cast<std::size_t>(i)];
-    link.to = cfg.nodes[static_cast<std::size_t>(i) + 1];
-    link.rate_bps = link_mbps * 1e6;
-    link.aqm.type = p.aqm;
-    link.aqm.ecn = true;
-    cfg.links.push_back(link);
-  }
-  scenario::TcpFlowSpec cubic;
-  cubic.cc = tcp::CcType::kCubic;
-  cubic.count = 1;
-  cubic.base_rtt = sim::from_millis(rtt_ms);
-  topology::TcpRoute longflow;
-  longflow.spec = cubic;
-  longflow.path = cfg.nodes;
-  cfg.tcp_flows.push_back(longflow);
-  for (int i = 0; i < p.hops; ++i) {
-    topology::TcpRoute cross;
-    cross.spec = cubic;
-    cross.path = {cfg.nodes[static_cast<std::size_t>(i)],
-                  cfg.nodes[static_cast<std::size_t>(i) + 1]};
-    cfg.tcp_flows.push_back(cross);
-  }
-  cfg.duration = sim::from_seconds(total_s);
-  cfg.stats_start = sim::from_seconds(stats_start_s);
-  cfg.seed = seed;
-  return cfg;
 }
 
 }  // namespace
@@ -218,9 +179,9 @@ int main(int argc, char** argv) {
           outcome.result = *replay[i];
           return outcome;
         }
-        auto cfg =
-            parking_lot(grid[i], link_mbps, rtt_ms, total_s, stats_start_s,
-                        sim::Rng::derive_seed(opts.seed, i));
+        auto cfg = parking_lot_config(grid[i].aqm, grid[i].hops, link_mbps,
+                                      rtt_ms, total_s, stats_start_s,
+                                      sim::Rng::derive_seed(opts.seed, i));
         cfg.stop = durable::ShutdownController::flag();
         PointOutcome outcome;
         if (telemetry_on) {
@@ -241,11 +202,8 @@ int main(int argc, char** argv) {
           std::printf("%-12s %-5d point %s\n", p.aqm_name, p.hops,
                       runner::to_string(status));
           if (json != nullptr) {
-            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
-                         "\"aqm\": \"%s\", \"hops\": %d}",
-                         json_first ? "" : ",", i, runner::to_string(status),
-                         p.aqm_name, p.hops);
-            json_first = false;
+            parking_json_failed(*json, json_first, i, status, p.aqm_name,
+                                p.hops);
           }
           healthy = false;
           return;
@@ -259,74 +217,17 @@ int main(int argc, char** argv) {
                       outcome->recorder->manifest_path().c_str());
           outcome->recorder.reset();
         }
-        // Flow order is the route order: flows[0] is the long flow,
-        // flows[1..hops] the cross flows.
-        const double long_mbps = result->flows[0].goodput_mbps;
-        double cross_sum = 0.0;
-        for (int h = 0; h < p.hops; ++h) {
-          cross_sum += result->flows[static_cast<std::size_t>(h) + 1]
-                           .goodput_mbps;
-        }
-        const double cross_mbps = cross_sum / p.hops;
-        const double ratio = cross_mbps > 0 ? long_mbps / cross_mbps : 0.0;
-        double util_min = 1.0;
-        char qdelay_col[64] = "";
-        char marks_col[64] = "";
-        std::size_t q_at = 0;
-        std::size_t m_at = 0;
-        for (const auto& link : result->links) {
-          if (link.utilization < util_min) util_min = link.utilization;
-          q_at += static_cast<std::size_t>(std::snprintf(
-              qdelay_col + q_at, sizeof(qdelay_col) - q_at, "%s%.2f",
-              q_at == 0 ? "" : "/", link.mean_qdelay_ms));
-          m_at += static_cast<std::size_t>(std::snprintf(
-              marks_col + m_at, sizeof(marks_col) - m_at, "%s%lld",
-              m_at == 0 ? "" : "/",
-              static_cast<long long>(link.counters.marked +
-                                     link.counters.aqm_dropped)));
-        }
-        std::printf("%-12s %-5d %-7.2f %-7.2f %-7.2f %-8.3f %-21s %-21s\n",
-                    p.aqm_name, p.hops, long_mbps, cross_mbps, ratio,
-                    util_min, qdelay_col, marks_col);
+        const ParkingSummary summary = parking_summary(*result, p.hops);
+        parking_print_row(p.aqm_name, p.hops, summary, *result);
         if (json != nullptr) {
-          json->printf(
-              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
-              "\"hops\": %d, \"seed\": %llu, \"link_mbps\": %.6g, "
-              "\"rtt_ms\": %.6g, "
-              "\"long_mbps\": %.6g, \"cross_mbps\": %.6g, \"ratio\": %.6g, "
-              "\"util_min\": %.6g",
-              json_first ? "" : ",", i, p.aqm_name, p.hops,
-              static_cast<unsigned long long>(
-                  sim::Rng::derive_seed(opts.seed, i)),
-              link_mbps, rtt_ms, long_mbps, cross_mbps, ratio, util_min);
-          for (std::size_t h = 0; h < result->links.size(); ++h) {
-            const auto& link = result->links[h];
-            json->printf(
-                ", \"hop%zu_qdelay_ms\": %.6g, \"hop%zu_marked\": %lld, "
-                "\"hop%zu_dropped\": %lld",
-                h, link.mean_qdelay_ms, h,
-                static_cast<long long>(link.counters.marked), h,
-                static_cast<long long>(link.counters.aqm_dropped));
-          }
-          json->printf(", \"invariant_violations\": %llu, "
-                       "\"guard_events\": %llu}",
-                       static_cast<unsigned long long>(
-                           result->violations.size()),
-                       static_cast<unsigned long long>(result->guard_events));
-          json_first = false;
+          parking_json_record(*json, json_first, i, p.aqm_name, p.hops,
+                              sim::Rng::derive_seed(opts.seed, i), link_mbps,
+                              rtt_ms, summary, *result);
         }
         // Health covers the machinery and the headline ordering: beyond one
         // hop the long flow must not out-throughput the cross flows.
-        if (!result->violations.empty() || result->clamped_events != 0 ||
-            result->guard_events != 0) {
-          healthy = false;
-        }
-        if (p.hops > 1 && long_mbps >= cross_mbps) {
-          std::printf("# UNHEALTHY: long flow (%.2f Mb/s) >= cross mean "
-                      "(%.2f Mb/s) over %d hops\n",
-                      long_mbps, cross_mbps, p.hops);
-          healthy = false;
-        }
+        if (!machinery_healthy(*result)) healthy = false;
+        if (!parking_check_headline(p.hops, summary)) healthy = false;
       },
       guard);
 

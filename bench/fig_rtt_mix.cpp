@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign_templates.hpp"
 #include "sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -26,10 +27,6 @@ struct RttMixPoint {
   scenario::AqmType aqm;
   const char* aqm_name;
 };
-
-constexpr double kBranchRttMs[] = {10.0, 50.0, 100.0};
-constexpr std::size_t kBranches = 3;
-constexpr int kFlowsPerBranch = 2;  // 1 Cubic + 1 DCTCP
 
 double duration_s(const Options& opts) {
   if (opts.duration_s_override > 0) return opts.duration_s_override;
@@ -61,49 +58,6 @@ void cap_axis(std::vector<T>& axis, int cap) {
   if (cap > 0 && axis.size() > static_cast<std::size_t>(cap)) {
     axis.resize(static_cast<std::size_t>(cap));
   }
-}
-
-/// Branch topology: r10/r50/r100 -> agg over FIFO access links, agg -> sink
-/// over the AQM bottleneck. The bottleneck is links[0], so it owns the
-/// flattened result's top-level series and telemetry scope.
-topology::TopologyConfig rtt_mix(const RttMixPoint& p, double link_mbps,
-                                 double total_s, double stats_start_s,
-                                 std::uint64_t seed) {
-  topology::TopologyConfig cfg;
-  cfg.nodes = {"agg", "sink", "r10", "r50", "r100"};
-  topology::LinkSpec bottleneck;
-  bottleneck.name = "bottleneck";
-  bottleneck.from = "agg";
-  bottleneck.to = "sink";
-  bottleneck.rate_bps = link_mbps * 1e6;
-  bottleneck.aqm.type = p.aqm;
-  bottleneck.aqm.ecn = true;
-  cfg.links.push_back(bottleneck);
-  for (std::size_t b = 0; b < kBranches; ++b) {
-    topology::LinkSpec access;
-    access.from = cfg.nodes[2 + b];
-    access.to = "agg";
-    access.rate_bps = 40e6;  // never the bottleneck
-    access.aqm.type = scenario::AqmType::kFifo;
-    cfg.links.push_back(access);
-  }
-  for (std::size_t b = 0; b < kBranches; ++b) {
-    const std::vector<std::string> path = {cfg.nodes[2 + b], "agg", "sink"};
-    scenario::TcpFlowSpec cubic;
-    cubic.cc = tcp::CcType::kCubic;
-    cubic.count = 1;
-    cubic.base_rtt = sim::from_millis(kBranchRttMs[b]);
-    cfg.tcp_flows.push_back({cubic, path});
-    scenario::TcpFlowSpec dctcp;
-    dctcp.cc = tcp::CcType::kDctcp;
-    dctcp.count = 1;
-    dctcp.base_rtt = sim::from_millis(kBranchRttMs[b]);
-    cfg.tcp_flows.push_back({dctcp, path});
-  }
-  cfg.duration = sim::from_seconds(total_s);
-  cfg.stats_start = sim::from_seconds(stats_start_s);
-  cfg.seed = seed;
-  return cfg;
 }
 
 }  // namespace
@@ -207,8 +161,9 @@ int main(int argc, char** argv) {
           outcome.result = *replay[i];
           return outcome;
         }
-        auto cfg = rtt_mix(grid[i], link_mbps, total_s, stats_start_s,
-                           sim::Rng::derive_seed(opts.seed, i));
+        auto cfg = rtt_mix_config(grid[i].aqm, link_mbps, total_s,
+                                  stats_start_s,
+                                  sim::Rng::derive_seed(opts.seed, i));
         cfg.stop = durable::ShutdownController::flag();
         PointOutcome outcome;
         if (telemetry_on) {
@@ -229,11 +184,7 @@ int main(int argc, char** argv) {
           std::printf("%-12s point %s\n", p.aqm_name,
                       runner::to_string(status));
           if (json != nullptr) {
-            json->printf("%s\n  {\"index\": %zu, \"status\": \"%s\", "
-                         "\"aqm\": \"%s\"}",
-                         json_first ? "" : ",", i, runner::to_string(status),
-                         p.aqm_name);
-            json_first = false;
+            rtt_mix_json_failed(*json, json_first, i, status, p.aqm_name);
           }
           healthy = false;
           return;
@@ -247,66 +198,17 @@ int main(int argc, char** argv) {
                       outcome->recorder->manifest_path().c_str());
           outcome->recorder.reset();
         }
-        // Flow order is the route order: branch b owns flows[2b] (Cubic)
-        // and flows[2b+1] (DCTCP).
-        double branch_mbps[kBranches] = {};
-        for (std::size_t b = 0; b < kBranches; ++b) {
-          for (int f = 0; f < kFlowsPerBranch; ++f) {
-            branch_mbps[b] +=
-                result->flows[b * kFlowsPerBranch +
-                              static_cast<std::size_t>(f)]
-                    .goodput_mbps;
-          }
-        }
-        double sum = 0.0;
-        double sum_sq = 0.0;
-        for (const double g : branch_mbps) {
-          sum += g;
-          sum_sq += g * g;
-        }
-        const double jain =
-            sum_sq > 0 ? (sum * sum) / (kBranches * sum_sq) : 0.0;
-        const double ratio =
-            branch_mbps[2] > 0 ? branch_mbps[0] / branch_mbps[2] : 0.0;
-        std::printf("%-12s %-8.2f %-8.2f %-8.2f %-9.2f %-6.3f %-8.2f %-8.2f\n",
-                    p.aqm_name, branch_mbps[0], branch_mbps[1],
-                    branch_mbps[2], ratio, jain, result->mean_qdelay_ms,
-                    result->p99_qdelay_ms);
+        const RttMixSummary summary = rtt_mix_summary(*result);
+        rtt_mix_print_row(p.aqm_name, summary, *result);
         if (json != nullptr) {
-          json->printf(
-              "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
-              "\"seed\": %llu, \"link_mbps\": %.6g, "
-              "\"rtt10_mbps\": %.6g, \"rtt50_mbps\": %.6g, "
-              "\"rtt100_mbps\": %.6g, \"ratio_10_100\": %.6g, "
-              "\"jain\": %.6g, \"utilization\": %.6g, "
-              "\"mean_qdelay_ms\": %.6g, \"p99_qdelay_ms\": %.6g, "
-              "\"marked\": %lld, \"aqm_dropped\": %lld, "
-              "\"invariant_violations\": %llu, \"guard_events\": %llu}",
-              json_first ? "" : ",", i, p.aqm_name,
-              static_cast<unsigned long long>(
-                  sim::Rng::derive_seed(opts.seed, i)),
-              link_mbps, branch_mbps[0], branch_mbps[1], branch_mbps[2],
-              ratio, jain, result->utilization, result->mean_qdelay_ms,
-              result->p99_qdelay_ms,
-              static_cast<long long>(result->counters.marked),
-              static_cast<long long>(result->counters.aqm_dropped),
-              static_cast<unsigned long long>(result->violations.size()),
-              static_cast<unsigned long long>(result->guard_events));
-          json_first = false;
+          rtt_mix_json_record(*json, json_first, i, p.aqm_name,
+                              sim::Rng::derive_seed(opts.seed, i), link_mbps,
+                              summary, *result);
         }
         // Health is machinery plus basic liveness: every branch must get a
         // share, and the Jain index must be a valid fairness value.
-        if (!result->violations.empty() || result->clamped_events != 0 ||
-            result->guard_events != 0) {
-          healthy = false;
-        }
-        for (std::size_t b = 0; b < kBranches; ++b) {
-          if (branch_mbps[b] <= 0.0) {
-            std::printf("# UNHEALTHY: branch %zu starved (%.3f Mb/s)\n", b,
-                        branch_mbps[b]);
-            healthy = false;
-          }
-        }
+        if (!machinery_healthy(*result)) healthy = false;
+        if (!rtt_mix_check_branches(summary)) healthy = false;
       },
       guard);
 

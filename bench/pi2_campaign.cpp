@@ -1,0 +1,773 @@
+// pi2_campaign: the declarative campaign driver. One binary replaces the
+// per-figure sweep mains: a committed spec file (campaigns/*.json) names a
+// scenario template and its axes, expand() turns it into the same ordered
+// grid the hand-rolled loop produced, and the per-point configs/printers/
+// JSON emitters are the exact helpers the fig binaries use — so a campaign
+// run of campaigns/fig_overload.json is byte-identical (per record) to
+// fig_overload itself. The golden_campaign_* ctests gate that equivalence.
+//
+// Beyond replaying the figures, the driver adds distributed execution:
+//
+//   pi2_campaign --spec S.json                    # serial: all points
+//   pi2_campaign --spec S.json --shard 2/3        # worker: its slice only
+//   pi2_campaign --spec S.json --merge A B C      # stitch shard journals
+//
+// A shard journals its half-open point range [lo, hi) independently (header
+// + shard record + one point record per completed run, fsync'd); --merge
+// validates the set (per-record CRCs, digest agreement, exact tiling, no
+// foreign journals) and writes a merged journal byte-identical to the one a
+// serial run would have produced, replaying the decoded payloads through
+// the identical consume path for the table and --json. Every merge refusal
+// exits with its own code so shell tests can tell the failure modes apart:
+//
+//   75 interrupted (resume with --resume)   13 shard-gap
+//   10 foreign-campaign                     14 duplicate-point
+//   11 stale-digest                         15 corrupt journal
+//   12 shard-overlap                        16 io-error
+//                                           17 invalid usage/spec
+//
+// Standard sweep flags (--smoke, --full, --seed, --jobs, --json, --resume,
+// --journal, --telemetry, --deadline-s, ...) keep their bench_common
+// meaning. A killed shard is resumed with --resume, which *compacts* its
+// journal (fresh header, valid points re-appended in index order) so the
+// strict merge loader never sees the torn tail the kill left behind.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/merge.hpp"
+#include "campaign/spec.hpp"
+#include "campaign_templates.hpp"
+#include "sweep.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace pi2;
+using namespace pi2::bench;
+
+/// Flags owned by the driver itself; everything else goes through
+/// parse_options (which ignores what it does not know).
+struct CampaignCli {
+  std::string spec_path;
+  bool list = false;
+  bool digest_only = false;
+  bool has_shard = false;
+  std::size_t shard_index = 1;
+  std::size_t shard_count = 1;
+  bool merge = false;
+  std::vector<std::string> merge_paths;
+  bool use_seed = false;  ///< a literal --seed was given (overrides the spec)
+  std::string error;      ///< non-empty = usage error
+};
+
+CampaignCli parse_campaign_cli(int argc, char** argv) {
+  CampaignCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec" && i + 1 < argc) {
+      cli.spec_path = argv[++i];
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--digest") {
+      cli.digest_only = true;
+    } else if (arg == "--seed") {
+      cli.use_seed = true;  // value consumed by parse_options
+    } else if (arg == "--shard" && i + 1 < argc) {
+      if (!campaign::parse_shard(argv[++i], cli.shard_index,
+                                 cli.shard_count)) {
+        cli.error = "--shard wants i/N with 1 <= i <= N (got '" +
+                    std::string(argv[i]) + "')";
+        return cli;
+      }
+      cli.has_shard = true;
+    } else if (arg == "--merge") {
+      cli.merge = true;
+      while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        cli.merge_paths.emplace_back(argv[++i]);
+      }
+    }
+  }
+  if (cli.spec_path.empty()) cli.error = "--spec PATH is required";
+  if (cli.merge && cli.has_shard) {
+    cli.error = "--merge and --shard are mutually exclusive";
+  }
+  return cli;
+}
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "pi2_campaign: %s\n"
+               "usage: pi2_campaign --spec FILE [--list | --digest | "
+               "--shard i/N | --merge JOURNAL...]\n"
+               "                    [sweep flags: --smoke --full --seed N "
+               "--jobs N --json PATH --resume --journal PATH ...]\n",
+               message.c_str());
+  return 17;
+}
+
+/// Maps the merge/journal failure taxonomy onto distinct exit codes (doc'd
+/// in the header comment) so shell tests can assert on the code alone.
+int status_exit(const durable::Status& status) {
+  using durable::StatusCode;
+  switch (status.code()) {
+    case StatusCode::kForeignCampaign: return 10;
+    case StatusCode::kStaleDigest: return 11;
+    case StatusCode::kShardOverlap: return 12;
+    case StatusCode::kShardGap: return 13;
+    case StatusCode::kDuplicatePoint: return 14;
+    case StatusCode::kCorrupt: return 15;
+    case StatusCode::kIoError: return 16;
+    case StatusCode::kInvalid: return 17;
+    default: return 1;
+  }
+}
+
+std::string axis_value_str(const campaign::AxisValue& v) {
+  if (!v.is_number) return v.text;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v.number);
+  return buf;
+}
+
+// ---- per-template dispatch -------------------------------------------------
+//
+// Each template maps a point's axis values onto the same config builder,
+// table row, JSON record and health predicate its fig binary uses. The
+// campaign layer is scenario-free, so this is where strings/numbers become
+// scenario types.
+
+struct TemplateView {
+  const campaign::Expansion& x;
+  // Axis indices resolved once; -1 when the template lacks the axis.
+  int aqm = -1, cc_mix = -1, rate = -1, rtt = -1, ecn = -1, udp = -1,
+      hops = -1;
+
+  explicit TemplateView(const campaign::Expansion& expansion) : x(expansion) {
+    aqm = x.axis_of("aqm");
+    cc_mix = x.axis_of("cc_mix");
+    rate = x.axis_of("rate_mbps");
+    rtt = x.axis_of("rtt_ms");
+    ecn = x.axis_of("ecn");
+    udp = x.axis_of("udp_mult");
+    hops = x.axis_of("hops");
+  }
+
+  const std::string& text(const campaign::CampaignPoint& p, int axis) const {
+    return p.values[static_cast<std::size_t>(axis)].text;
+  }
+  double num(const campaign::CampaignPoint& p, int axis) const {
+    return p.values[static_cast<std::size_t>(axis)].number;
+  }
+};
+
+void print_table_header(const TemplateView& v) {
+  switch (v.x.template_id) {
+    case campaign::TemplateId::kDumbbellSweep:
+      std::printf("%-14s %-16s %-10s %-8s %-9s %-9s %-7s\n", "aqm", "mix",
+                  "link[Mbps]", "rtt[ms]", "qdelay", "p99", "util");
+      break;
+    case campaign::TemplateId::kOverload:
+      std::printf("# link %.0f Mb/s, RTT %.0f ms, %.0f s/run; flood = 1 UDP "
+                  "sender, mix = 1 Cubic + 1 DCTCP\n",
+                  v.x.link_mbps, v.x.rtt_ms, v.x.duration_s);
+      std::printf(
+          "%-9s %-9s %-7s %-7s %-7s %-9s %-9s %-11s %-11s %-9s %-7s\n", "ecn",
+          "udp_mult", "cubic", "dctcp", "udp", "qdelay", "p99", "L mark/drop",
+          "C mark/drop", "tail L/C", "guards");
+      break;
+    case campaign::TemplateId::kParkingLot:
+      std::printf("# chain of 10 Mb/s links, RTT %.0f ms, %.0f s/run; 1 long "
+                  "Cubic + 1 Cubic cross flow per hop\n",
+                  v.x.rtt_ms, v.x.duration_s);
+      std::printf("%-12s %-5s %-7s %-7s %-7s %-8s %-21s %-21s\n", "aqm",
+                  "hops", "long", "cross", "ratio", "util", "qdelay/hop (ms)",
+                  "signals/hop");
+      break;
+    case campaign::TemplateId::kRttMix:
+      std::printf("# bottleneck %.0f Mb/s; per branch: 1 Cubic + 1 DCTCP at "
+                  "10/50/100 ms base RTT, %.0f s/run\n",
+                  v.x.link_mbps, v.x.duration_s);
+      std::printf("%-12s %-8s %-8s %-8s %-9s %-6s %-8s %-8s\n", "aqm", "b10",
+                  "b50", "b100", "r10/100", "jain", "qdelay", "p99");
+      break;
+  }
+}
+
+/// Builds and runs point `p` (on a worker thread). `recorder` may be null.
+scenario::RunResult run_point(const TemplateView& v, const Options& opts,
+                              const campaign::CampaignPoint& p,
+                              telemetry::Recorder* recorder) {
+  using campaign::TemplateId;
+  switch (v.x.template_id) {
+    case TemplateId::kDumbbellSweep: {
+      // mix_config + opts reproduces run_sweep()'s per-point config exactly
+      // (durations, ecn_drop_threshold, background tiers); only the seed is
+      // the campaign's own.
+      auto cfg = mix_config(aqm_from_name(v.text(p, v.aqm)),
+                            mix_from_name(v.text(p, v.cc_mix)),
+                            v.num(p, v.rate), v.num(p, v.rtt), opts);
+      cfg.seed = p.seed;
+      cfg.stop = durable::ShutdownController::flag();
+      if (recorder != nullptr) cfg.recorder = recorder;
+      return scenario::run_dumbbell(cfg);
+    }
+    case TemplateId::kOverload: {
+      auto cfg = overload_config(ecn_from_name(v.text(p, v.ecn)),
+                                 v.num(p, v.udp), v.x.link_mbps, v.x.rtt_ms,
+                                 v.x.duration_s, v.x.stats_start_s, p.seed);
+      cfg.stop = durable::ShutdownController::flag();
+      if (recorder != nullptr) cfg.recorder = recorder;
+      return scenario::run_dumbbell(cfg);
+    }
+    case TemplateId::kParkingLot: {
+      auto cfg = parking_lot_config(
+          aqm_from_name(v.text(p, v.aqm)), static_cast<int>(v.num(p, v.hops)),
+          v.x.link_mbps, v.x.rtt_ms, v.x.duration_s, v.x.stats_start_s,
+          p.seed);
+      cfg.stop = durable::ShutdownController::flag();
+      if (recorder != nullptr) cfg.recorder = recorder;
+      return topology::to_run_result(topology::run_topology(cfg));
+    }
+    case TemplateId::kRttMix: {
+      auto cfg = rtt_mix_config(aqm_from_name(v.text(p, v.aqm)),
+                                v.x.link_mbps, v.x.duration_s,
+                                v.x.stats_start_s, p.seed);
+      cfg.stop = durable::ShutdownController::flag();
+      if (recorder != nullptr) cfg.recorder = recorder;
+      return topology::to_run_result(topology::run_topology(cfg));
+    }
+  }
+  return scenario::RunResult();
+}
+
+/// The per-template output sinks. The dumbbell template streams through
+/// SweepJsonWriter (the figs 15-18 record schema); the campaign-style
+/// templates write through the AtomicFile emitters their fig binaries use.
+struct OutputSinks {
+  std::unique_ptr<SweepJsonWriter> sweep_json;
+  std::unique_ptr<durable::AtomicFile> json;
+  bool json_first = true;
+  bool healthy = true;
+
+  OutputSinks(const campaign::Expansion& x, const Options& opts) {
+    if (x.template_id == campaign::TemplateId::kDumbbellSweep) {
+      sweep_json = std::make_unique<SweepJsonWriter>(
+          opts.json_path,
+          opts.packet_background > 0 || opts.fluid_background > 0);
+      return;
+    }
+    if (opts.json_path.empty()) return;
+    json = std::make_unique<durable::AtomicFile>(opts.json_path);
+    if (!json->healthy()) {
+      std::fprintf(stderr, "warning: %s; no JSON written\n",
+                   json->status().message().c_str());
+      json.reset();
+      return;
+    }
+    json->write("[");
+  }
+
+  void abort() {
+    if (sweep_json != nullptr) sweep_json->abort();
+    if (json != nullptr) json->abort();
+  }
+
+  bool commit() {
+    bool ok = true;
+    if (sweep_json != nullptr) ok = sweep_json->commit();
+    if (json != nullptr) {
+      json->write("\n]\n");
+      const durable::Status status = json->commit();
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: JSON not written: %s\n",
+                     status.message().c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
+
+/// Consumes one completed point: the fig binary's table row, JSON record and
+/// health predicate. Runs on the calling thread in global index order — the
+/// same consume path for live, resumed and merged points.
+void consume_point(const TemplateView& v, OutputSinks& out,
+                   const campaign::CampaignPoint& p,
+                   const scenario::RunResult& result,
+                   const std::string& manifest_path) {
+  using campaign::TemplateId;
+  switch (v.x.template_id) {
+    case TemplateId::kDumbbellSweep: {
+      const auto aqm = aqm_from_name(v.text(p, v.aqm));
+      std::printf("%-14s %-16s %-10g %-8g %-9.2f %-9.2f %-7.3f\n",
+                  aqm_label(aqm), v.text(p, v.cc_mix).c_str(),
+                  v.num(p, v.rate), v.num(p, v.rtt), result.mean_qdelay_ms,
+                  result.p99_qdelay_ms, result.utilization);
+      if (out.sweep_json != nullptr) {
+        SweepPoint point{aqm,
+                         mix_from_name(v.text(p, v.cc_mix)),
+                         v.num(p, v.rate),
+                         v.num(p, v.rtt),
+                         result,
+                         p.index,
+                         p.seed,
+                         manifest_path};
+        out.sweep_json->add(point);
+      }
+      return;  // exit parity with sweep_exit_code: no machinery gate
+    }
+    case TemplateId::kOverload: {
+      const std::string& ecn = v.text(p, v.ecn);
+      overload_print_row(ecn.c_str(), v.num(p, v.udp), result);
+      if (out.json != nullptr) {
+        overload_json_record(*out.json, out.json_first, p.index, ecn.c_str(),
+                             p.seed, v.x.link_mbps, v.x.rtt_ms,
+                             v.num(p, v.udp), result);
+      }
+      if (!machinery_healthy(result)) out.healthy = false;
+      return;
+    }
+    case TemplateId::kParkingLot: {
+      const std::string& aqm = v.text(p, v.aqm);
+      const int hops = static_cast<int>(v.num(p, v.hops));
+      const ParkingSummary summary = parking_summary(result, hops);
+      parking_print_row(aqm.c_str(), hops, summary, result);
+      if (out.json != nullptr) {
+        parking_json_record(*out.json, out.json_first, p.index, aqm.c_str(),
+                            hops, p.seed, v.x.link_mbps, v.x.rtt_ms, summary,
+                            result);
+      }
+      if (!machinery_healthy(result)) out.healthy = false;
+      if (!parking_check_headline(hops, summary)) out.healthy = false;
+      return;
+    }
+    case TemplateId::kRttMix: {
+      const std::string& aqm = v.text(p, v.aqm);
+      const RttMixSummary summary = rtt_mix_summary(result);
+      rtt_mix_print_row(aqm.c_str(), summary, result);
+      if (out.json != nullptr) {
+        rtt_mix_json_record(*out.json, out.json_first, p.index, aqm.c_str(),
+                            p.seed, v.x.link_mbps, summary, result);
+      }
+      if (!machinery_healthy(result)) out.healthy = false;
+      if (!rtt_mix_check_branches(summary)) out.healthy = false;
+      return;
+    }
+  }
+}
+
+void consume_failed(const TemplateView& v, OutputSinks& out,
+                    const campaign::CampaignPoint& p,
+                    runner::TaskStatus status, const std::string& message) {
+  using campaign::TemplateId;
+  out.healthy = false;
+  switch (v.x.template_id) {
+    case TemplateId::kDumbbellSweep:
+      std::printf("!! point %zu (%s, %s, %g Mb/s, %g ms) %s: %s\n", p.index,
+                  aqm_label(aqm_from_name(v.text(p, v.aqm))),
+                  v.text(p, v.cc_mix).c_str(), v.num(p, v.rate),
+                  v.num(p, v.rtt), runner::to_string(status),
+                  message.c_str());
+      if (out.sweep_json != nullptr) {
+        out.sweep_json->add_failed(p.index, aqm_from_name(v.text(p, v.aqm)),
+                                   mix_from_name(v.text(p, v.cc_mix)),
+                                   v.num(p, v.rate), v.num(p, v.rtt), status,
+                                   message);
+      }
+      return;
+    case TemplateId::kOverload:
+      std::printf("%-9s %-9.2f point %s\n", v.text(p, v.ecn).c_str(),
+                  v.num(p, v.udp), runner::to_string(status));
+      if (out.json != nullptr) {
+        overload_json_failed(*out.json, out.json_first, p.index, status,
+                             v.text(p, v.ecn).c_str(), v.num(p, v.udp));
+      }
+      return;
+    case TemplateId::kParkingLot:
+      std::printf("%-12s %-5d point %s\n", v.text(p, v.aqm).c_str(),
+                  static_cast<int>(v.num(p, v.hops)),
+                  runner::to_string(status));
+      if (out.json != nullptr) {
+        parking_json_failed(*out.json, out.json_first, p.index, status,
+                            v.text(p, v.aqm).c_str(),
+                            static_cast<int>(v.num(p, v.hops)));
+      }
+      return;
+    case TemplateId::kRttMix:
+      std::printf("%-12s point %s\n", v.text(p, v.aqm).c_str(),
+                  runner::to_string(status));
+      if (out.json != nullptr) {
+        rtt_mix_json_failed(*out.json, out.json_first, p.index, status,
+                            v.text(p, v.aqm).c_str());
+      }
+      return;
+  }
+}
+
+/// Journal location: --journal wins, then <json>.journal, then a name
+/// derived from the campaign (shards get their slice in the filename so N
+/// workers in one directory never collide).
+std::string campaign_journal_path(const campaign::Expansion& x,
+                                  const CampaignCli& cli,
+                                  const Options& opts) {
+  if (!opts.journal_path.empty()) return opts.journal_path;
+  if (cli.has_shard) {
+    return x.name + ".shard" + std::to_string(cli.shard_index) + "of" +
+           std::to_string(cli.shard_count) + ".journal";
+  }
+  if (!opts.json_path.empty()) return opts.json_path + ".journal";
+  return x.name + ".journal";
+}
+
+// ---- run modes -------------------------------------------------------------
+
+int run_list(const campaign::Expansion& x) {
+  std::printf("# campaign %s (%s): %zu point(s), digest %016llx\n",
+              x.name.c_str(), campaign::to_string(x.template_id),
+              x.points.size(), static_cast<unsigned long long>(x.digest));
+  for (const auto& p : x.points) {
+    std::printf("%4zu  seed=%llu ", p.index,
+                static_cast<unsigned long long>(p.seed));
+    for (std::size_t a = 0; a < x.axes.size(); ++a) {
+      std::printf(" %s=%s", x.axes[a].name.c_str(),
+                  axis_value_str(p.values[a]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int run_campaign(const campaign::Expansion& x, const CampaignCli& cli,
+                 const Options& opts) {
+  const TemplateView v{x};
+  const campaign::ShardRange range =
+      cli.has_shard
+          ? campaign::shard_range(x.points.size(), cli.shard_index,
+                                  cli.shard_count)
+          : campaign::ShardRange{0, x.points.size()};
+  const std::size_t n = range.hi - range.lo;
+
+  durable::ShutdownController::install();
+  const std::string journal_file = campaign_journal_path(x, cli, opts);
+
+  // --resume: the lenient loader drops the torn tail a SIGKILL leaves; the
+  // writer below reopens *fresh* and the consume loop re-appends every valid
+  // point in index order, so the resumed journal is compacted — the strict
+  // merge loader accepts it, and its bytes match an uninterrupted run's.
+  std::vector<const std::string*> replay_payload(n, nullptr);
+  std::vector<std::unique_ptr<scenario::RunResult>> replay(n);
+  durable::LoadedJournal loaded;
+  if (opts.resume) {
+    loaded = durable::load_journal(journal_file, x.digest);
+    if (loaded.exists && !loaded.header_ok) {
+      std::fprintf(stderr,
+                   "resume: journal %s is from a different campaign "
+                   "(header %016llx, expected %016llx); ignoring it\n",
+                   journal_file.c_str(),
+                   static_cast<unsigned long long>(loaded.header_key),
+                   static_cast<unsigned long long>(x.digest));
+    }
+    if (loaded.dropped > 0) {
+      std::fprintf(stderr,
+                   "resume: dropped %zu torn/corrupt journal record(s); "
+                   "affected points re-run\n",
+                   loaded.dropped);
+    }
+    if (loaded.header_ok) {
+      std::size_t replayed = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto it = loaded.points.find(x.points[range.lo + j].key);
+        if (it == loaded.points.end()) continue;
+        auto result = std::make_unique<scenario::RunResult>();
+        if (durable::decode_result(it->second, *result).ok()) {
+          replay[j] = std::move(result);
+          replay_payload[j] = &it->second;
+          ++replayed;
+        } else {
+          std::fprintf(stderr,
+                       "resume: undecodable payload for point %zu; "
+                       "re-running\n",
+                       range.lo + j);
+        }
+      }
+      std::fprintf(stderr, "resume: replaying %zu of %zu point(s) from %s%s\n",
+                   replayed, n, journal_file.c_str(),
+                   loaded.interrupted > 0 ? " (previous run was interrupted)"
+                                          : "");
+    }
+  }
+
+  durable::JournalWriter journal{journal_file, x.digest,
+                                 /*keep_existing=*/false};
+  if (!journal.healthy()) {
+    std::fprintf(stderr,
+                 "warning: run journal unavailable (%s); this campaign will "
+                 "not be resumable or mergeable\n",
+                 journal.status().message().c_str());
+  } else {
+    durable::ShardInfo shard;
+    shard.present = true;
+    shard.campaign = x.name;
+    shard.digest = x.digest;
+    shard.index = cli.shard_index;
+    shard.count = cli.shard_count;
+    shard.lo = range.lo;
+    shard.hi = range.hi;
+    (void)journal.append_shard(shard);
+  }
+
+  OutputSinks out{x, opts};
+  const runner::ParallelRunner pool{opts.jobs};
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+  telemetry::MetricsRegistry aggregate_registry;
+  telemetry::SectionProfile aggregate_profile;
+  std::size_t replayed_count = 0;
+  for (const auto& r : replay) {
+    if (r != nullptr) ++replayed_count;
+  }
+
+  struct PointOutcome {
+    scenario::RunResult result;
+    std::shared_ptr<telemetry::Recorder> recorder;
+  };
+
+  std::mutex error_mutex;
+  std::vector<std::string> last_error(n);
+  std::size_t interrupted_points = 0;
+
+  const runner::RunReport report = pool.run_ordered_guarded<PointOutcome>(
+      n,
+      [&](std::size_t j) {
+        if (replay[j] != nullptr) {
+          PointOutcome outcome;
+          outcome.result = *replay[j];
+          return outcome;
+        }
+        try {
+          detail::maybe_inject(opts, range.lo + j);
+          PointOutcome outcome;
+          if (telemetry_on) {
+            outcome.recorder = std::make_shared<telemetry::Recorder>(
+                detail::point_recorder_config(opts, range.lo + j));
+          }
+          outcome.result = run_point(v, opts, x.points[range.lo + j],
+                                     outcome.recorder.get());
+          return outcome;
+        } catch (const std::exception& ex) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          last_error[j] = ex.what();
+          throw;
+        }
+      },
+      [&](std::size_t j, runner::TaskStatus status, PointOutcome* outcome) {
+        const campaign::CampaignPoint& p = x.points[range.lo + j];
+        if (status == runner::TaskStatus::kInterrupted) {
+          ++interrupted_points;
+          return;
+        }
+        if (status != runner::TaskStatus::kOk || outcome == nullptr) {
+          std::string message;
+          if (status == runner::TaskStatus::kTimeout) {
+            message = "wall-clock deadline exceeded (--deadline-s " +
+                      std::to_string(opts.deadline_s) + ")";
+          } else {
+            const std::lock_guard<std::mutex> lock{error_mutex};
+            message = last_error[j].empty() ? "unknown error" : last_error[j];
+          }
+          consume_failed(v, out, p, status, message);
+          return;
+        }
+        // Journal before consume; replayed points re-append their original
+        // bytes (the compaction), fresh points their own encoding.
+        if (journal.healthy()) {
+          (void)journal.append_point(
+              p.key, replay_payload[j] != nullptr
+                         ? *replay_payload[j]
+                         : durable::encode_result(outcome->result));
+        }
+        std::string manifest_path;
+        if (outcome->recorder != nullptr) {
+          manifest_path = outcome->recorder->manifest_path();
+          std::printf("# telemetry: %s\n", manifest_path.c_str());
+          aggregate_registry.merge_from(outcome->recorder->registry());
+          aggregate_profile.merge_from(outcome->recorder->profile());
+          outcome->recorder.reset();
+        } else if (telemetry_on && replay[j] != nullptr) {
+          manifest_path = opts.telemetry_dir + "/" +
+                          detail::point_run_id(range.lo + j) +
+                          ".manifest.json";
+        }
+        consume_point(v, out, p, outcome->result, manifest_path);
+      },
+      detail::guard_options(opts));
+
+  if (durable::ShutdownController::requested()) {
+    if (journal.healthy()) {
+      (void)journal.append_interrupted(
+          "signal " +
+          std::to_string(durable::ShutdownController::signal_number()));
+    }
+    out.abort();
+    std::fprintf(stderr,
+                 "campaign: interrupted — %zu point(s) unfinished; re-run "
+                 "with --resume to finish (journal: %s)\n",
+                 interrupted_points, journal_file.c_str());
+    return durable::ShutdownController::kExitInterrupted;
+  }
+  out.commit();
+
+  if (telemetry_on) {
+    if (replayed_count > 0) {
+      std::fprintf(stderr,
+                   "campaign: %zu replayed point(s) have no fresh telemetry; "
+                   "skipping sweep_aggregate.prom\n",
+                   replayed_count);
+    } else {
+      telemetry::PrometheusExporter aggregate{opts.telemetry_dir +
+                                              "/sweep_aggregate.prom"};
+      aggregate_registry.freeze_gauges();
+      aggregate.finish(aggregate_registry);
+      aggregate_profile.print(stderr, "campaign wall-clock sections");
+    }
+  }
+
+  std::printf("# points ok: %zu/%zu\n", report.ok_count(),
+              report.status.size());
+  return report.all_ok() && out.healthy ? 0 : 1;
+}
+
+int run_merge(const campaign::Expansion& x, const CampaignCli& cli,
+              const Options& opts) {
+  campaign::MergeResult merged;
+  const durable::Status status =
+      campaign::merge_shards(x, cli.merge_paths, merged);
+  if (!status.ok()) {
+    std::fprintf(stderr, "pi2_campaign: merge: %s\n",
+                 status.message().c_str());
+    return status_exit(status);
+  }
+  if (merged.interrupted > 0) {
+    std::fprintf(stderr,
+                 "merge: note: %zu interruption marker(s) across shards "
+                 "(coverage is complete, so they are historical)\n",
+                 merged.interrupted);
+  }
+
+  // The merged journal: header + shard 1/1 + every point in global index
+  // order — byte-identical to what a serial run writes.
+  const std::string journal_file = campaign_journal_path(x, cli, opts);
+  durable::JournalWriter journal{journal_file, x.digest,
+                                 /*keep_existing=*/false};
+  if (!journal.healthy()) {
+    std::fprintf(stderr, "pi2_campaign: merge: cannot write %s: %s\n",
+                 journal_file.c_str(), journal.status().message().c_str());
+    return status_exit(journal.status());
+  }
+  durable::ShardInfo shard;
+  shard.present = true;
+  shard.campaign = x.name;
+  shard.digest = x.digest;
+  shard.index = 1;
+  shard.count = 1;
+  shard.lo = 0;
+  shard.hi = x.points.size();
+  durable::Status write = journal.append_shard(shard);
+  for (std::size_t i = 0; i < x.points.size() && write.ok(); ++i) {
+    write = journal.append_point(x.points[i].key, merged.payloads[i]);
+  }
+  if (!write.ok()) {
+    std::fprintf(stderr, "pi2_campaign: merge: journal write failed: %s\n",
+                 write.message().c_str());
+    return status_exit(write);
+  }
+
+  // Replay the merged payloads through the identical consume path, so the
+  // table and --json match a serial run of the same spec. Manifest paths are
+  // reconstructed from the point index exactly as --resume does: the shards
+  // wrote their telemetry under the same deterministic per-point run ids.
+  const TemplateView v{x};
+  OutputSinks out{x, opts};
+  const bool telemetry_on = !opts.telemetry_dir.empty();
+  for (std::size_t i = 0; i < x.points.size(); ++i) {
+    scenario::RunResult result;
+    const durable::Status decode =
+        durable::decode_result(merged.payloads[i], result);
+    if (!decode.ok()) {
+      out.abort();
+      std::fprintf(stderr,
+                   "pi2_campaign: merge: point %zu payload undecodable: %s\n",
+                   i, decode.message().c_str());
+      return status_exit(durable::Status::corrupt(decode.message()));
+    }
+    std::string manifest_path;
+    if (telemetry_on) {
+      manifest_path = opts.telemetry_dir + "/" + detail::point_run_id(i) +
+                      ".manifest.json";
+    }
+    consume_point(v, out, x.points[i], result, manifest_path);
+  }
+  out.commit();
+  std::printf("# merged %zu shard journal(s), %zu point(s) -> %s\n",
+              merged.shards, x.points.size(), journal_file.c_str());
+  return out.healthy ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_options(argc, argv);
+  const CampaignCli cli = parse_campaign_cli(argc, argv);
+  if (!cli.error.empty()) return usage_error(cli.error);
+  if (cli.has_shard && !opts.json_path.empty()) {
+    return usage_error("--shard runs journal only; --json belongs to the "
+                       "serial or --merge run");
+  }
+
+  campaign::CampaignSpec spec;
+  std::string err = campaign::load_spec(cli.spec_path, spec);
+  if (err.empty()) err = spec.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "pi2_campaign: %s\n", err.c_str());
+    return 17;
+  }
+
+  campaign::ExpandOptions eo;
+  eo.full = opts.full;
+  eo.grid_cap = opts.grid_cap;
+  eo.min_link_mbps = opts.min_link_mbps;
+  eo.duration_s_override = opts.duration_s_override;
+  eo.stats_start_s_override = opts.stats_start_s_override;
+  eo.use_seed = cli.use_seed;
+  eo.seed = opts.seed;
+  const campaign::Expansion x = campaign::expand(spec, eo);
+  if (x.points.empty()) {
+    std::fprintf(stderr, "pi2_campaign: campaign '%s' expands to 0 points "
+                 "(grid cap or --min-link-mbps removed everything)\n",
+                 x.name.c_str());
+    return 17;
+  }
+
+  if (cli.digest_only) {
+    std::printf("%016llx\n", static_cast<unsigned long long>(x.digest));
+    return 0;
+  }
+  if (cli.list) return run_list(x);
+  if (cli.merge) return run_merge(x, cli, opts);
+
+  print_header(("Campaign " + x.name).c_str(),
+               campaign::to_string(x.template_id), opts);
+  if (cli.has_shard) {
+    const campaign::ShardRange range = campaign::shard_range(
+        x.points.size(), cli.shard_index, cli.shard_count);
+    std::printf("# shard %zu/%zu: points [%zu, %zu) of %zu\n",
+                cli.shard_index, cli.shard_count, range.lo, range.hi,
+                x.points.size());
+  }
+  const TemplateView view{x};
+  print_table_header(view);
+  return run_campaign(x, cli, opts);
+}

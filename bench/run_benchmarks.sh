@@ -9,9 +9,12 @@
 # see EXPERIMENTS.md "Observability"), (c) quick-grid sweep wall clock at
 # --jobs 1 / 2 / $(nproc) for fig15_rate_balance (realized speedup is
 # parallel-vs-serial), run with --telemetry so every per-point record
-# carries its RunManifest path, and (d) the micro_flow_scale per-N
+# carries its RunManifest path, (d) the micro_flow_scale per-N
 # events/s + bytes-per-flow table for the hybrid fluid/packet engine,
-# including its ≥10× scheduler-events acceptance gate.
+# including its ≥10× scheduler-events acceptance gate, and (e) the
+# distributed-campaign numbers: the committed fig15 campaign run serially
+# vs as 3 parallel --shard workers plus --merge, with the merged JSON
+# required to be byte-identical to the serial run's.
 # Compare the file against the previous PR's copy to see per-event and
 # end-to-end movement.
 #
@@ -25,7 +28,7 @@ JOBS=${JOBS:-$(nproc)}
 
 missing=0
 for bin in micro_scheduler micro_probe_overhead fig15_rate_balance \
-           micro_flow_scale; do
+           micro_flow_scale pi2_campaign; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     missing=1
@@ -48,7 +51,7 @@ trap 'rm -f "$MICRO_JSON" "$PROBE_JSON" "$FLOW_SCALE_JSON"' EXIT
 BUILD_DIR="$BUILD_DIR" JOBS="$JOBS" MICRO_JSON="$MICRO_JSON" \
 PROBE_JSON="$PROBE_JSON" FLOW_SCALE_JSON="$FLOW_SCALE_JSON" OUT="$OUT" \
 python3 - <<'PY'
-import json, os, subprocess, sys, tempfile, time
+import json, os, shutil, subprocess, sys, tempfile, time
 
 build = os.environ["BUILD_DIR"]
 jobs = int(os.environ["JOBS"])
@@ -102,6 +105,59 @@ def load_benchmarks(env_key):
         for b in data["benchmarks"]
     }
 
+# Distributed campaign: the same quick grid as a declarative campaign, run
+# serially and as 3 parallel shard workers plus a merge. The merge speedup
+# compares the serial wall clock against the critical path of the sharded
+# run (slowest worker + merge); the merged JSON must be byte-identical.
+campaign_bin = os.path.join(build, "bench", "pi2_campaign")
+spec = os.path.join("campaigns", "fig15.json")
+shard_count = 3
+workdir = tempfile.mkdtemp(prefix="campaign_bench_")
+serial_json = os.path.join(workdir, "serial.json")
+merged_json = os.path.join(workdir, "merged.json")
+
+def campaign_cmd(*extra):
+    return [campaign_bin, "--spec", spec, "--seed", "1",
+            "--telemetry", telemetry_dir, *extra]
+
+start = time.monotonic()
+subprocess.run(campaign_cmd("--jobs", str(jobs), "--json", serial_json,
+                            "--journal", os.path.join(workdir, "serial.journal")),
+               check=True, stdout=subprocess.DEVNULL)
+campaign_serial_s = round(time.monotonic() - start, 3)
+
+shard_journals = [os.path.join(workdir, f"shard{i}.journal")
+                  for i in range(1, shard_count + 1)]
+shard_jobs = max(1, jobs // shard_count)
+start = time.monotonic()
+workers = [subprocess.Popen(
+               campaign_cmd("--jobs", str(shard_jobs),
+                            "--shard", f"{i}/{shard_count}",
+                            "--journal", shard_journals[i - 1]),
+               stdout=subprocess.DEVNULL)
+           for i in range(1, shard_count + 1)]
+for w in workers:
+    if w.wait() != 0:
+        print("error: campaign shard worker failed", file=sys.stderr)
+        sys.exit(1)
+campaign_sharded_s = round(time.monotonic() - start, 3)
+
+start = time.monotonic()
+subprocess.run(campaign_cmd("--jobs", str(jobs), "--merge", *shard_journals,
+                            "--json", merged_json,
+                            "--journal", os.path.join(workdir, "merged.journal")),
+               check=True, stdout=subprocess.DEVNULL)
+campaign_merge_s = round(time.monotonic() - start, 3)
+
+with open(serial_json, "rb") as f:
+    serial_bytes = f.read()
+with open(merged_json, "rb") as f:
+    merged_bytes = f.read()
+if serial_bytes != merged_bytes:
+    print("error: merged campaign JSON differs from the serial run",
+          file=sys.stderr)
+    sys.exit(1)
+
 scheduler = load_benchmarks("MICRO_JSON")
 probe = load_benchmarks("PROBE_JSON")
 with open(os.environ["FLOW_SCALE_JSON"]) as f:
@@ -138,6 +194,22 @@ out = {
     },
     "micro_scheduler": scheduler,
     "micro_probe_overhead": probe,
+    # Declarative campaign (committed fig15 spec) serial vs 3-shard + merge.
+    # byte_identical is asserted above; recorded here so the trajectory file
+    # itself documents the equivalence each run re-proved.
+    "campaign_sharding": {
+        "spec": spec,
+        "shards": shard_count,
+        "jobs_serial": jobs,
+        "jobs_per_shard": shard_jobs,
+        "serial_wall_s": campaign_serial_s,
+        "sharded_wall_s": campaign_sharded_s,
+        "merge_wall_s": campaign_merge_s,
+        "merge_speedup": round(
+            campaign_serial_s / (campaign_sharded_s + campaign_merge_s), 3)
+            if campaign_sharded_s + campaign_merge_s else None,
+        "byte_identical": True,
+    },
     # Hybrid fluid/packet engine: per-N events/sim-s + bytes-per-flow table
     # and the ≥10x scheduler-events gate (the binary already failed the
     # script above if the gate regressed).
@@ -157,7 +229,10 @@ with open(tmp_out, "w") as f:
     f.flush()
     os.fsync(f.fileno())
 os.replace(tmp_out, os.environ["OUT"])
+shutil.rmtree(workdir, ignore_errors=True)
 print(f"wrote {os.environ['OUT']}: quick fig15 {serial_s}s @1 job, "
       f"{parallel_s}s @{jobs} jobs; probe overhead "
-      f"{overhead_pct if overhead_pct is not None else '?'}%")
+      f"{overhead_pct if overhead_pct is not None else '?'}%; "
+      f"campaign {shard_count}-shard merge speedup "
+      f"{out['campaign_sharding']['merge_speedup']}x (byte-identical)")
 PY

@@ -1,0 +1,56 @@
+// Shard split and merge: how one campaign runs as N worker processes.
+//
+// shard_range() deals point [lo, hi) slices so the N shards tile the
+// campaign exactly; each worker journals its slice independently (its
+// journal carries a `shard` record declaring the claim). merge_shards()
+// stitches the journals back together, refusing anything that would make
+// the merged artifact differ from a serial run: a journal from another
+// campaign, a stale digest, overlapping or gappy ranges, a point missing
+// inside a declared range, or one point journaled twice with different
+// bytes. Every refusal maps to its own durable::StatusCode (see
+// src/durable/status.hpp's shard-merge taxonomy), so tests and operators
+// can tell the failure modes apart from the exit alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "durable/status.hpp"
+
+namespace pi2::campaign {
+
+/// Half-open global point range.
+struct ShardRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// The slice shard `index` (1-based) of `count` claims out of `points`:
+/// [floor((i-1)*P/N), floor(i*P/N)). Contiguous, exhaustive, and within one
+/// point of even.
+[[nodiscard]] ShardRange shard_range(std::size_t points, std::size_t index,
+                                     std::size_t count);
+
+/// Parses a `--shard i/N` argument. 1 <= i <= N required.
+[[nodiscard]] bool parse_shard(const std::string& arg, std::size_t& index,
+                               std::size_t& count);
+
+/// What a successful merge hands back: one journal payload per campaign
+/// point, in global index order, ready to decode and replay through the
+/// serial consume path.
+struct MergeResult {
+  std::vector<std::string> payloads;
+  std::size_t shards = 0;       ///< journals merged
+  std::size_t interrupted = 0;  ///< interruption markers seen across shards
+};
+
+/// Validates `journal_paths` against the expanded campaign and collects the
+/// payloads. On any defect, returns the taxonomy Status (message names the
+/// offending journal) and `out` must be discarded.
+[[nodiscard]] durable::Status merge_shards(
+    const Expansion& campaign, const std::vector<std::string>& journal_paths,
+    MergeResult& out);
+
+}  // namespace pi2::campaign

@@ -1,0 +1,258 @@
+#include "check/campaign_oracle.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "campaign/merge.hpp"
+#include "sim/rng.hpp"
+
+namespace pi2::check {
+namespace {
+
+using campaign::Axis;
+using campaign::AxisValue;
+using campaign::CampaignSpec;
+using campaign::Expansion;
+using campaign::ExpandOptions;
+
+std::string describe_point(std::size_t i) {
+  return "point " + std::to_string(i);
+}
+
+/// Two expansions of the same (spec, opts) must agree on every observable.
+std::string check_determinism(const Expansion& a, const Expansion& b) {
+  if (a.digest != b.digest) return "expand() digest is not deterministic";
+  if (a.points.size() != b.points.size()) {
+    return "expand() point count is not deterministic";
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].key != b.points[i].key ||
+        a.points[i].seed != b.points[i].seed ||
+        !(a.points[i].values == b.points[i].values)) {
+      return "expand() " + describe_point(i) + " is not deterministic";
+    }
+  }
+  return "";
+}
+
+/// Row-major order, last axis fastest: position i must decompose as the
+/// odometer reading of i over the axis sizes.
+std::string check_ordering(const Expansion& x) {
+  std::size_t expected = 1;
+  for (const Axis& axis : x.axes) expected *= axis.values.size();
+  if (x.points.size() != expected) {
+    return "expansion has " + std::to_string(x.points.size()) +
+           " points, axes multiply to " + std::to_string(expected);
+  }
+  for (std::size_t i = 0; i < x.points.size(); ++i) {
+    if (x.points[i].index != i) {
+      return describe_point(i) + " carries index " +
+             std::to_string(x.points[i].index);
+    }
+    std::size_t remainder = i;
+    for (std::size_t a = x.axes.size(); a-- > 0;) {
+      const std::size_t size = x.axes[a].values.size();
+      if (!(x.points[i].values[a] == x.axes[a].values[remainder % size])) {
+        return describe_point(i) + " axis '" + x.axes[a].name +
+               "' breaks row-major order";
+      }
+      remainder /= size;
+    }
+  }
+  return "";
+}
+
+std::string check_uniqueness(const Expansion& x) {
+  std::set<std::uint64_t> keys;
+  for (const auto& p : x.points) {
+    if (!keys.insert(p.key).second) {
+      return "duplicate point key at index " + std::to_string(p.index);
+    }
+  }
+  return "";
+}
+
+std::string check_round_trip(const CampaignSpec& spec,
+                             const ExpandOptions& opts,
+                             const Expansion& reference) {
+  CampaignSpec reparsed;
+  const std::string err =
+      campaign::parse_spec(campaign::serialize_spec(spec), reparsed);
+  if (!err.empty()) return "serialize_spec() does not re-parse: " + err;
+  const std::string invalid = reparsed.validate();
+  if (!invalid.empty()) {
+    return "serialize_spec() round-trip fails validate(): " + invalid;
+  }
+  const Expansion again = campaign::expand(reparsed, opts);
+  if (again.digest != reference.digest) {
+    return "serialize/parse round-trip changes the campaign digest";
+  }
+  return "";
+}
+
+/// The digest must move when results-determining inputs move.
+std::string check_digest_sensitivity(const CampaignSpec& spec,
+                                     const ExpandOptions& opts,
+                                     const Expansion& reference) {
+  if (!opts.use_seed) {
+    CampaignSpec reseeded = spec;
+    reseeded.seed += 1;
+    if (campaign::expand(reseeded, opts).digest == reference.digest) {
+      return "digest ignores the base seed";
+    }
+  }
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    if (spec.axes[a].values.size() < 2) continue;
+    CampaignSpec swapped = spec;
+    std::swap(swapped.axes[a].values[0], swapped.axes[a].values[1]);
+    const Expansion perturbed = campaign::expand(swapped, opts);
+    // Capping can truncate the reordered axis back to one value or swap may
+    // survive into the expansion; either way the resolved grids differ, so
+    // the digests must.
+    if (perturbed.digest == reference.digest &&
+        !(perturbed.axes[a].values == reference.axes[a].values)) {
+      return "digest ignores the value order of axis '" + spec.axes[a].name +
+             "'";
+    }
+    break;  // one perturbed axis suffices
+  }
+  return "";
+}
+
+std::string check_shard_tiling(const Expansion& x) {
+  const std::size_t points = x.points.size();
+  const std::size_t max_workers = std::min<std::size_t>(points, 8);
+  for (std::size_t n = 1; n <= max_workers; ++n) {
+    std::size_t covered = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const campaign::ShardRange r = campaign::shard_range(points, i, n);
+      if (r.lo != covered) {
+        return "shard " + std::to_string(i) + "/" + std::to_string(n) +
+               " starts at " + std::to_string(r.lo) + ", expected " +
+               std::to_string(covered);
+      }
+      if (r.hi < r.lo) {
+        return "shard " + std::to_string(i) + "/" + std::to_string(n) +
+               " range is inverted";
+      }
+      const std::size_t size = r.hi - r.lo;
+      if (size + 1 < points / n || size > points / n + 1) {
+        return "shard " + std::to_string(i) + "/" + std::to_string(n) +
+               " is not within one point of even";
+      }
+      covered = r.hi;
+    }
+    if (covered != points) {
+      return "shards 1.." + std::to_string(n) + " cover " +
+             std::to_string(covered) + " of " + std::to_string(points) +
+             " points";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string check_campaign_properties(const CampaignSpec& spec,
+                                      const ExpandOptions& opts) {
+  const std::string invalid = spec.validate();
+  if (!invalid.empty()) return "spec does not validate: " + invalid;
+  const Expansion x = campaign::expand(spec, opts);
+  if (x.points.empty()) return "";  // capped/filtered away: nothing to check
+  std::string err = check_determinism(x, campaign::expand(spec, opts));
+  if (err.empty()) err = check_ordering(x);
+  if (err.empty()) err = check_uniqueness(x);
+  if (err.empty()) err = check_round_trip(spec, opts, x);
+  if (err.empty()) err = check_digest_sensitivity(spec, opts, x);
+  if (err.empty()) err = check_shard_tiling(x);
+  return err;
+}
+
+namespace {
+
+/// Draws `count` distinct values out of `pool` in a rotated order.
+std::vector<AxisValue> draw(sim::Rng& rng, const std::vector<AxisValue>& pool,
+                            std::size_t count) {
+  const std::size_t start = rng.uniform_below(pool.size());
+  std::vector<AxisValue> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(pool[(start + i) % pool.size()]);
+  }
+  return out;
+}
+
+Axis make_axis(sim::Rng& rng, const std::string& name,
+               const std::vector<AxisValue>& pool) {
+  Axis axis;
+  axis.name = name;
+  axis.cap = rng.uniform_below(2) == 0;
+  axis.values = draw(rng, pool, 1 + rng.uniform_below(pool.size()));
+  if (rng.uniform_below(2) == 0) {
+    axis.full_values = draw(rng, pool, 1 + rng.uniform_below(pool.size()));
+  }
+  return axis;
+}
+
+std::vector<AxisValue> numbers(std::initializer_list<double> vs) {
+  std::vector<AxisValue> out;
+  for (const double v : vs) out.push_back(campaign::axis_number(v));
+  return out;
+}
+
+std::vector<AxisValue> texts(std::initializer_list<const char*> vs) {
+  std::vector<AxisValue> out;
+  for (const char* v : vs) out.push_back(campaign::axis_text(v));
+  return out;
+}
+
+}  // namespace
+
+CampaignSpec random_campaign_spec(std::uint64_t seed) {
+  sim::Rng rng{sim::Rng::derive_seed(0x5eedc0deULL, seed)};
+  CampaignSpec spec;
+  spec.name = "prop-" + std::to_string(seed);
+  spec.seed = rng.next_u64() >> 1;
+
+  const std::vector<AxisValue> all_aqms = texts(
+      {"fifo", "pie", "bare-pie", "pi", "pi2", "coupled-pi2", "red", "codel",
+       "curvy-red", "step", "dualpi2"});
+  std::vector<Axis> axes;
+  switch (rng.uniform_below(4)) {
+    case 0:
+      spec.template_name = "dumbbell_sweep";
+      axes.push_back(make_axis(rng, "aqm", texts({"pie", "coupled-pi2"})));
+      axes.push_back(make_axis(
+          rng, "cc_mix", texts({"cubic/ecn-cubic", "cubic/dctcp"})));
+      axes.push_back(
+          make_axis(rng, "rate_mbps", numbers({4, 12, 40, 120, 200})));
+      axes.push_back(make_axis(rng, "rtt_ms", numbers({5, 10, 20, 50, 100})));
+      break;
+    case 1:
+      spec.template_name = "overload";
+      axes.push_back(make_axis(rng, "ecn", texts({"not-ect", "ect1", "ect0"})));
+      axes.push_back(
+          make_axis(rng, "udp_mult", numbers({0.5, 1, 1.5, 2, 3})));
+      break;
+    case 2:
+      spec.template_name = "parking_lot";
+      axes.push_back(make_axis(rng, "aqm", all_aqms));
+      axes.push_back(make_axis(rng, "hops", numbers({1, 2, 3, 4, 5, 6, 7, 8})));
+      break;
+    default:
+      spec.template_name = "rtt_mix";
+      axes.push_back(make_axis(rng, "aqm", all_aqms));
+      break;
+  }
+  // Axis listing order is free (validate() only demands coverage), so the
+  // generator exercises every permutation the odometer can see.
+  for (std::size_t i = axes.size(); i > 1; --i) {
+    std::swap(axes[i - 1], axes[rng.uniform_below(i)]);
+  }
+  spec.axes = std::move(axes);
+  if (rng.uniform_below(2) == 0) spec.link_mbps = rng.uniform(5.0, 50.0);
+  if (rng.uniform_below(2) == 0) spec.rtt_ms = rng.uniform(2.0, 80.0);
+  return spec;
+}
+
+}  // namespace pi2::check

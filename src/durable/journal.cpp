@@ -17,6 +17,7 @@ namespace pi2::durable {
 namespace {
 
 constexpr const char* kHeaderKind = "header";
+constexpr const char* kShardKind = "shard";
 constexpr const char* kInterruptedKind = "interrupted";
 
 std::string escape(const std::string& s) {
@@ -131,6 +132,38 @@ std::string hex64(std::uint64_t value) {
 
 }  // namespace
 
+std::string encode_shard_info(const ShardInfo& shard) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "shard=%llu/%llu range=%llu..%llu name=",
+                static_cast<unsigned long long>(shard.index),
+                static_cast<unsigned long long>(shard.count),
+                static_cast<unsigned long long>(shard.lo),
+                static_cast<unsigned long long>(shard.hi));
+  return std::string(buf) + shard.campaign;
+}
+
+bool parse_shard_info(const std::string& payload, ShardInfo& shard) {
+  unsigned long long index = 0;
+  unsigned long long count = 0;
+  unsigned long long lo = 0;
+  unsigned long long hi = 0;
+  int consumed = 0;
+  if (std::sscanf(payload.c_str(), "shard=%llu/%llu range=%llu..%llu name=%n",
+                  &index, &count, &lo, &hi, &consumed) != 4 ||
+      consumed <= 0) {
+    return false;
+  }
+  if (index == 0 || count == 0 || index > count || hi < lo) return false;
+  shard.present = true;
+  shard.index = index;
+  shard.count = count;
+  shard.lo = lo;
+  shard.hi = hi;
+  shard.campaign = payload.substr(static_cast<std::size_t>(consumed));
+  return true;
+}
+
 std::string encode_record(const JournalRecord& record) {
   std::string line = "{\"kind\":\"";
   line += escape(record.kind);
@@ -203,12 +236,73 @@ LoadedJournal load_journal(const std::string& path, std::uint64_t campaign_key) 
     }
     if (record.kind == kInterruptedKind) {
       ++loaded.interrupted;
+    } else if (record.kind == kShardKind && loaded.header_ok &&
+               !loaded.shard.present) {
+      if (parse_shard_info(record.payload, loaded.shard)) {
+        loaded.shard.digest = record.key;
+      }
     } else if (record.kind == "point" && loaded.header_ok) {
       loaded.points[record.key] = std::move(record.payload);
     }
   }
   if (!loaded.header_ok) loaded.points.clear();
   return loaded;
+}
+
+Status load_shard_journal(const std::string& path, ShardJournalData& out) {
+  out = ShardJournalData{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::io_error(path, errno, "open shard journal");
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JournalRecord record;
+    const Status parsed = parse_record(line, record);
+    if (!parsed.ok()) {
+      // A structurally broken line is the torn-tail signature (the writer
+      // died mid-append); a complete line whose crc disagrees is bit rot.
+      // Both refuse the merge, with distinguishable messages.
+      const bool torn = parsed.message().find("crc mismatch") == std::string::npos;
+      return Status::corrupt(path + " line " + std::to_string(line_no) +
+                             (torn ? ": torn record (" : ": ") +
+                             parsed.message() + (torn ? ")" : ""));
+    }
+    if (line_no == 1) {
+      if (record.kind != kHeaderKind) {
+        return Status::corrupt(path + ": first record is '" + record.kind +
+                               "', expected the campaign header");
+      }
+      out.header_seen = true;
+      out.header_key = record.key;
+      continue;
+    }
+    if (record.kind == kShardKind) {
+      if (out.shard.present) {
+        return Status::corrupt(path + " line " + std::to_string(line_no) +
+                               ": second shard record");
+      }
+      if (!parse_shard_info(record.payload, out.shard)) {
+        return Status::corrupt(path + " line " + std::to_string(line_no) +
+                               ": unparseable shard record");
+      }
+      out.shard.digest = record.key;
+    } else if (record.kind == kInterruptedKind) {
+      ++out.interrupted;
+    } else if (record.kind == "point") {
+      out.points.emplace_back(record.key, std::move(record.payload));
+    } else {
+      return Status::corrupt(path + " line " + std::to_string(line_no) +
+                             ": unknown record kind '" + record.kind + "'");
+    }
+  }
+  if (!out.header_seen) {
+    return Status::corrupt(path + ": empty journal (no header record)");
+  }
+  return {};
 }
 
 JournalWriter::JournalWriter(std::string path, std::uint64_t campaign_key,
@@ -265,6 +359,14 @@ Status JournalWriter::append_point(std::uint64_t key, const std::string& payload
   record.kind = "point";
   record.key = key;
   record.payload = payload;
+  return append(record);
+}
+
+Status JournalWriter::append_shard(const ShardInfo& shard) {
+  JournalRecord record;
+  record.kind = kShardKind;
+  record.key = shard.digest;
+  record.payload = encode_shard_info(shard);
   return append(record);
 }
 

@@ -11,6 +11,11 @@ const char* to_string(StatusCode code) {
     case StatusCode::kCorrupt: return "corrupt";
     case StatusCode::kInterrupted: return "interrupted";
     case StatusCode::kInvalid: return "invalid";
+    case StatusCode::kForeignCampaign: return "foreign-campaign";
+    case StatusCode::kStaleDigest: return "stale-digest";
+    case StatusCode::kShardOverlap: return "shard-overlap";
+    case StatusCode::kShardGap: return "shard-gap";
+    case StatusCode::kDuplicatePoint: return "duplicate-point";
   }
   return "?";
 }
@@ -36,6 +41,26 @@ Status Status::interrupted(const std::string& what) {
 
 Status Status::invalid(const std::string& what) {
   return Status{StatusCode::kInvalid, "invalid: " + what};
+}
+
+Status Status::foreign_campaign(const std::string& what) {
+  return Status{StatusCode::kForeignCampaign, "foreign-campaign: " + what};
+}
+
+Status Status::stale_digest(const std::string& what) {
+  return Status{StatusCode::kStaleDigest, "stale-digest: " + what};
+}
+
+Status Status::shard_overlap(const std::string& what) {
+  return Status{StatusCode::kShardOverlap, "shard-overlap: " + what};
+}
+
+Status Status::shard_gap(const std::string& what) {
+  return Status{StatusCode::kShardGap, "shard-gap: " + what};
+}
+
+Status Status::duplicate_point(const std::string& what) {
+  return Status{StatusCode::kDuplicatePoint, "duplicate-point: " + what};
 }
 
 }  // namespace pi2::durable

@@ -14,6 +14,22 @@
 //                   discarded and the work re-done, never silently reused.
 //   kInterrupted  — the operation was cut short by a shutdown request.
 //   kInvalid      — caller error (empty path, malformed argument).
+//
+// Shard-merge codes (the campaign layer's failure taxonomy — each
+// adversarial merge condition maps to its own code so tests and operators
+// can tell them apart from the exit alone):
+//   kForeignCampaign — a journal from a *different* campaign (name mismatch,
+//                      or no shard record at all) was offered to a merge.
+//   kStaleDigest     — same campaign name, different digest: the spec was
+//                      edited after the shard ran. Its points describe a
+//                      grid that no longer exists; re-run the shard.
+//   kShardOverlap    — two shard journals claim overlapping point ranges
+//                      (or the same range twice).
+//   kShardGap        — the declared ranges leave part of the campaign
+//                      uncovered, or a shard's journal is missing points
+//                      inside its own declared range (killed, not resumed).
+//   kDuplicatePoint  — one point key appears twice with *different*
+//                      payloads; byte-identical re-appends are tolerated.
 #pragma once
 
 #include <stdexcept>
@@ -28,6 +44,11 @@ enum class StatusCode : unsigned char {
   kCorrupt,
   kInterrupted,
   kInvalid,
+  kForeignCampaign,
+  kStaleDigest,
+  kShardOverlap,
+  kShardGap,
+  kDuplicatePoint,
 };
 
 [[nodiscard]] const char* to_string(StatusCode code);
@@ -45,6 +66,11 @@ class Status {
   [[nodiscard]] static Status corrupt(const std::string& what);
   [[nodiscard]] static Status interrupted(const std::string& what);
   [[nodiscard]] static Status invalid(const std::string& what);
+  [[nodiscard]] static Status foreign_campaign(const std::string& what);
+  [[nodiscard]] static Status stale_digest(const std::string& what);
+  [[nodiscard]] static Status shard_overlap(const std::string& what);
+  [[nodiscard]] static Status shard_gap(const std::string& what);
+  [[nodiscard]] static Status duplicate_point(const std::string& what);
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Shard-merge failure-taxonomy selftest: run a real campaign serially and as
+# 3 shards, prove the merge is byte-identical to the serial run, then
+# perturb the good shard set one invariant at a time and assert each
+# refusal's distinct exit code (the taxonomy documented in pi2_campaign's
+# header):
+#
+#   drop a shard        -> 13 shard-gap
+#   merge a shard twice -> 12 shard-overlap
+#   truncate a journal  -> 15 corrupt
+#   foreign campaign    -> 10 foreign-campaign
+#   reseeded shard      -> 11 stale-digest
+#
+# A dumbbell-sweep spec rides along for the telemetry happy path: that
+# template's JSON embeds per-point manifest paths, so the byte-compare
+# proves the merge reconstructs them exactly as a serial --telemetry run
+# records them.
+#
+# Usage: campaign_merge_selftest.sh <pi2_campaign> <spec> <foreign-spec> \
+#          <dumbbell-spec> <workdir>
+set -euo pipefail
+
+bin="$1"
+spec="$2"
+foreign_spec="$3"
+dumbbell_spec="$4"
+work="$5"
+
+rm -rf "$work"
+mkdir -p "$work"
+cd "$work"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+run() { "$bin" --smoke --seed 1 --jobs 2 --spec "$spec" "$@"; }
+
+expect_exit() {
+  local want="$1"
+  shift
+  set +e
+  "$@" >/dev/null 2>err.txt
+  local got=$?
+  set -e
+  [ "$got" -eq "$want" ] \
+    || fail "expected exit $want, got $got ($(tail -n 1 err.txt)): $*"
+}
+
+# Serial reference and the 3-way shard split of the same campaign.
+run --json ref.json --journal ref.journal >/dev/null
+[ -s ref.json ] || fail "serial run produced no ref.json"
+for i in 1 2 3; do
+  run --shard "$i/3" --journal "s$i.journal" >/dev/null
+done
+
+# The happy path: stitched artifacts must be byte-identical to serial.
+run --merge s1.journal s2.journal s3.journal \
+  --json merged.json --journal merged.journal >/dev/null
+cmp ref.json merged.json || fail "merged JSON differs from the serial run"
+cmp ref.journal merged.journal \
+  || fail "merged journal differs from the serial run"
+
+# A merged journal is itself a valid 1/1 shard: merging it round-trips.
+run --merge merged.journal --json again.json --journal again.journal >/dev/null
+cmp ref.json again.json || fail "re-merge of the merged journal drifted"
+
+# --- Adversarial perturbations, one invariant each --------------------------
+
+# Missing shard: s1's range is claimed by nobody.
+expect_exit 13 run --merge s2.journal s3.journal --json x.json
+
+# Same shard offered twice: its range is claimed twice.
+expect_exit 12 run --merge s1.journal s1.journal s2.journal s3.journal \
+  --json x.json
+
+# SIGKILL signature: a journal truncated mid-record is corrupt, never
+# silently dropped by the merge (resume the shard instead).
+size=$(wc -c < s3.journal)
+head -c "$((size - 20))" s3.journal > torn.journal
+expect_exit 15 run --merge s1.journal s2.journal torn.journal --json x.json
+
+# A journal from a different campaign (another spec's serial run).
+"$bin" --smoke --seed 1 --jobs 2 --spec "$foreign_spec" \
+  --journal foreign.journal >/dev/null
+expect_exit 10 run --merge foreign.journal --json x.json
+
+# Same campaign name, different seed: the digest moved, the shard's grid no
+# longer exists.
+"$bin" --smoke --seed 2 --jobs 2 --spec "$spec" --shard 1/1 \
+  --journal stale.journal >/dev/null
+expect_exit 11 run --merge stale.journal --json x.json
+
+# --- Telemetry manifest paths survive the merge -----------------------------
+# The dumbbell-sweep template's JSON carries a telemetry_manifest per point;
+# the merge must reconstruct those paths from the point index (it has no
+# Recorder of its own), byte-identical to the serial run's.
+trun() {
+  "$bin" --smoke --seed 1 --jobs 2 --spec "$dumbbell_spec" \
+    --telemetry tele "$@"
+}
+trun --json dref.json --journal dref.journal >/dev/null
+for i in 1 2 3; do
+  trun --shard "$i/3" --journal "d$i.journal" >/dev/null
+done
+trun --merge d1.journal d2.journal d3.journal \
+  --json dmerged.json --journal dmerged.journal >/dev/null
+grep -q '"telemetry_manifest"' dref.json \
+  || fail "dumbbell serial JSON carries no telemetry_manifest fields"
+cmp dref.json dmerged.json \
+  || fail "merged telemetry JSON differs from the serial run"
+cmp dref.journal dmerged.journal \
+  || fail "merged telemetry journal differs from the serial run"
+
+# None of the refusals may have left a half-written artifact behind.
+[ ! -e x.json ] || fail "a refused merge left x.json behind"
+tmp_files=$(find . -name '*.tmp' | wc -l)
+[ "$tmp_files" -eq 0 ] || fail "$tmp_files leftover .tmp artifact(s)"
+
+echo "merge-selftest ok"

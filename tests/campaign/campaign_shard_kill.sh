@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Distributed kill-and-resume: one of three campaign shards is killed
+# mid-run (SIGKILL, then SIGTERM), the merge must refuse the torn shard
+# until it is resumed — at a *different* --jobs count, so the journal and
+# not scheduling luck carries the result — and the final merged journal and
+# JSON must be byte-identical to an uninterrupted serial run.
+#
+# Usage: campaign_shard_kill.sh <pi2_campaign> <spec> <workdir>
+set -euo pipefail
+
+bin="$1"
+spec="$2"
+work="$3"
+
+rm -rf "$work"
+mkdir -p "$work"
+cd "$work"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+run() { "$bin" --smoke --seed 1 --spec "$spec" --telemetry tele "$@"; }
+
+journal_points() {
+  local n
+  n=$(grep -c '"kind":"point"' "$1" 2>/dev/null) || n=0
+  echo "${n:-0}"
+}
+
+# Launches shard 3 in the background with one injected 30 s hang inside its
+# slice, waits for >=1 journaled point, then delivers $1. The hang keeps the
+# victim reliably mid-run; it changes neither the digest nor any completed
+# point's bytes.
+outcome=""
+last_exit=0
+kill_shard3() {
+  local signal="$1" journal="$2" hang_index="$3"
+  rm -f "$journal"
+  # The binary itself must be $! (a `run ... &` would background a subshell
+  # and the signal would hit bash, not the driver).
+  "$bin" --smoke --seed 1 --spec "$spec" --telemetry tele --jobs 2 \
+    --shard 3/3 --journal "$journal" \
+    --inject-hang "$hang_index" --hang-s 30 >/dev/null 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 600); do
+    [ "$(journal_points "$journal")" -ge 1 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  if kill "-$signal" "$pid" 2>/dev/null; then
+    outcome=killed
+  else
+    outcome=finished
+  fi
+  set +e
+  wait "$pid"
+  last_exit=$?
+  set -e
+}
+
+# Serial reference plus the two healthy shards. The spec's smoke grid has 4
+# points, so the 3-way split claims [0,1) [1,2) [2,4); shard 3 is the victim
+# and global point 3 lies inside its slice.
+run --jobs 2 --json ref.json --journal ref.journal >/dev/null
+[ -s ref.json ] || fail "serial reference produced no ref.json"
+run --jobs 2 --shard 1/3 --journal s1.journal >/dev/null
+run --jobs 2 --shard 2/3 --journal s2.journal >/dev/null
+
+# --- Phase A: SIGKILL shard 3 mid-run ---------------------------------------
+kill_shard3 KILL s3.journal 3
+if [ "$outcome" = killed ]; then
+  [ "$(journal_points s3.journal)" -ge 1 ] || fail "no journaled points to resume"
+  # The kill left shard 3's declared range incomplete (or its tail torn):
+  # the merge must refuse it — 13 shard-gap, or 15 corrupt for a torn tail.
+  set +e
+  run --jobs 2 --merge s1.journal s2.journal s3.journal --json torn.json \
+    >/dev/null 2>&1
+  merge_exit=$?
+  set -e
+  { [ "$merge_exit" -eq 13 ] || [ "$merge_exit" -eq 15 ]; } \
+    || fail "merge of the killed shard exited $merge_exit, expected 13 or 15"
+  [ ! -e torn.json ] || fail "refused merge left torn.json behind"
+else
+  echo "WARN: shard finished before SIGKILL; resume degenerates to replay" >&2
+fi
+# Resume the victim at a different --jobs; the journal is compacted so the
+# strict merge loader never sees the torn tail.
+run --jobs 1 --shard 3/3 --journal s3.journal --resume >/dev/null
+run --jobs 2 --merge s1.journal s2.journal s3.journal \
+  --json merged.json --journal merged.journal >/dev/null
+cmp ref.json merged.json || fail "merged JSON differs from serial (SIGKILL)"
+cmp ref.journal merged.journal \
+  || fail "merged journal differs from serial (SIGKILL)"
+
+# --- Phase B: SIGTERM shard 3 (graceful shutdown) ---------------------------
+kill_shard3 TERM c3.journal 3
+if [ "$outcome" = killed ]; then
+  [ "$last_exit" -eq 75 ] || fail "SIGTERM exit code $last_exit, expected 75"
+  grep -q '"kind":"interrupted"' c3.journal \
+    || fail "graceful shutdown did not journal the interrupted marker"
+else
+  echo "WARN: shard finished before SIGTERM; exit-code check skipped" >&2
+fi
+run --jobs 1 --shard 3/3 --journal c3.journal --resume >/dev/null
+run --jobs 2 --merge s1.journal s2.journal c3.journal \
+  --json b.json --journal b.journal >/dev/null
+cmp ref.json b.json || fail "merged JSON differs from serial (SIGTERM)"
+cmp ref.journal b.journal || fail "merged journal differs from serial (SIGTERM)"
+
+# No half-written artifact may survive anywhere in the work tree.
+tmp_files=$(find . -name '*.tmp' | wc -l)
+[ "$tmp_files" -eq 0 ] || fail "$tmp_files leftover .tmp artifact(s)"
+
+echo "shard-kill ok"

@@ -1,0 +1,483 @@
+// Campaign spec language: parse/validate/expand/serialize must round-trip,
+// enumerate row-major like the fig binaries' loops, and reject malformed
+// specs with one exact message each (TopologyConfig::validate house style).
+// The property sweep runs the check-layer oracles over the committed
+// campaigns/*.json files and a fuzz batch of generated specs.
+#include "campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/merge.hpp"
+#include "check/campaign_oracle.hpp"
+#include "sim/rng.hpp"
+
+namespace pi2::campaign {
+namespace {
+
+/// The committed fig15 sweep grid, inline (the on-disk copies are covered by
+/// the SpecFiles tests below).
+CampaignSpec sweep_spec() {
+  CampaignSpec spec;
+  spec.name = "fig15";
+  spec.template_name = "dumbbell_sweep";
+  spec.seed = 1;
+  Axis aqm;
+  aqm.name = "aqm";
+  aqm.cap = false;
+  aqm.values = {axis_text("pie"), axis_text("coupled-pi2")};
+  Axis mix;
+  mix.name = "cc_mix";
+  mix.cap = false;
+  mix.values = {axis_text("cubic/ecn-cubic"), axis_text("cubic/dctcp")};
+  Axis rate;
+  rate.name = "rate_mbps";
+  rate.values = {axis_number(4), axis_number(40), axis_number(120)};
+  rate.full_values = {axis_number(4), axis_number(12), axis_number(40),
+                      axis_number(120), axis_number(200)};
+  Axis rtt;
+  rtt.name = "rtt_ms";
+  rtt.values = {axis_number(5), axis_number(20), axis_number(100)};
+  rtt.full_values = {axis_number(5), axis_number(10), axis_number(20),
+                     axis_number(50), axis_number(100)};
+  spec.axes = {aqm, mix, rate, rtt};
+  return spec;
+}
+
+CampaignSpec overload_spec() {
+  CampaignSpec spec;
+  spec.name = "fig_overload";
+  spec.template_name = "overload";
+  spec.seed = 1;
+  Axis ecn;
+  ecn.name = "ecn";
+  ecn.values = {axis_text("not-ect"), axis_text("ect1"), axis_text("ect0")};
+  Axis udp;
+  udp.name = "udp_mult";
+  udp.values = {axis_number(2), axis_number(1), axis_number(0.5),
+                axis_number(1.5)};
+  spec.axes = {ecn, udp};
+  return spec;
+}
+
+std::string validate_parsed(const std::string& json) {
+  CampaignSpec spec;
+  const std::string parse_err = parse_spec(json, spec);
+  if (!parse_err.empty()) return parse_err;
+  return spec.validate();
+}
+
+TEST(CampaignSpec, ValidSpecsValidateClean) {
+  EXPECT_EQ(sweep_spec().validate(), "");
+  EXPECT_EQ(overload_spec().validate(), "");
+}
+
+TEST(CampaignSpec, ExpansionIsRowMajorLastAxisFastest) {
+  const Expansion x = expand(sweep_spec(), ExpandOptions{});
+  // 2 aqm x 2 mix x 3 rate x 3 rtt, rtt fastest — the fig15 loop nest.
+  ASSERT_EQ(x.points.size(), 36u);
+  EXPECT_EQ(x.text(x.points[0], "aqm"), "pie");
+  EXPECT_EQ(x.number(x.points[0], "rtt_ms"), 5.0);
+  EXPECT_EQ(x.number(x.points[1], "rtt_ms"), 20.0);
+  EXPECT_EQ(x.number(x.points[2], "rtt_ms"), 100.0);
+  EXPECT_EQ(x.number(x.points[3], "rtt_ms"), 5.0);
+  EXPECT_EQ(x.number(x.points[3], "rate_mbps"), 40.0);
+  // aqm is the outermost axis: flips halfway through the grid.
+  EXPECT_EQ(x.text(x.points[17], "aqm"), "pie");
+  EXPECT_EQ(x.text(x.points[18], "aqm"), "coupled-pi2");
+  for (std::size_t i = 0; i < x.points.size(); ++i) {
+    EXPECT_EQ(x.points[i].index, i);
+  }
+}
+
+TEST(CampaignSpec, PointSeedsDeriveFromBaseSeedAndIndex) {
+  const Expansion x = expand(overload_spec(), ExpandOptions{});
+  ASSERT_GE(x.points.size(), 2u);
+  EXPECT_EQ(x.points[0].seed, sim::Rng::derive_seed(1, 0));
+  EXPECT_EQ(x.points[1].seed, sim::Rng::derive_seed(1, 1));
+}
+
+TEST(CampaignSpec, FullModeSelectsFullGrids) {
+  ExpandOptions full;
+  full.full = true;
+  const Expansion x = expand(sweep_spec(), full);
+  EXPECT_EQ(x.points.size(), 2u * 2u * 5u * 5u);
+  const Expansion quick = expand(sweep_spec(), ExpandOptions{});
+  EXPECT_NE(x.digest, quick.digest) << "mode is results-determining";
+}
+
+TEST(CampaignSpec, GridCapTruncatesOnlyCapEnabledAxes) {
+  ExpandOptions smoke;
+  smoke.grid_cap = 2;
+  const Expansion x = expand(sweep_spec(), smoke);
+  // aqm/cc_mix carry cap:false (the fig binaries never cap the enumerations),
+  // rate/rtt truncate to their first two values.
+  EXPECT_EQ(x.points.size(), 2u * 2u * 2u * 2u);
+  ASSERT_EQ(x.axes.size(), 4u);
+  EXPECT_EQ(x.axes[2].values.size(), 2u);
+  EXPECT_EQ(x.axes[2].values[0].number, 4.0);
+  EXPECT_EQ(x.axes[2].values[1].number, 40.0);
+}
+
+TEST(CampaignSpec, MinLinkFilterDropsSlowRates) {
+  ExpandOptions opts;
+  opts.min_link_mbps = 10;
+  const Expansion x = expand(sweep_spec(), opts);
+  EXPECT_EQ(x.points.size(), 2u * 2u * 2u * 3u);
+  const int rate = x.axis_of("rate_mbps");
+  ASSERT_GE(rate, 0);
+  for (const AxisValue& v : x.axes[static_cast<std::size_t>(rate)].values) {
+    EXPECT_GE(v.number, 10.0);
+  }
+}
+
+TEST(CampaignSpec, SeedOverrideReplacesBaseSeedAndMovesDigest) {
+  ExpandOptions opts;
+  opts.use_seed = true;
+  opts.seed = 7;
+  const Expansion x = expand(sweep_spec(), opts);
+  EXPECT_EQ(x.base_seed, 7u);
+  EXPECT_EQ(x.points[0].seed, sim::Rng::derive_seed(7, 0));
+  EXPECT_NE(x.digest, expand(sweep_spec(), ExpandOptions{}).digest);
+}
+
+TEST(CampaignSpec, DurationOverridesMoveDigest) {
+  ExpandOptions opts;
+  opts.duration_s_override = 5;
+  opts.stats_start_s_override = 2;
+  const Expansion x = expand(overload_spec(), opts);
+  EXPECT_EQ(x.duration_s, 5.0);
+  EXPECT_EQ(x.stats_start_s, 2.0);
+  EXPECT_NE(x.digest, expand(overload_spec(), ExpandOptions{}).digest)
+      << "durations are results-determining, the digest must cover them";
+}
+
+TEST(CampaignSpec, DigestCoversTheCampaignName) {
+  // The digest is the journal key: renaming a campaign must orphan its old
+  // journals (the merge's name check fires first and reports foreign, but
+  // the digest independently refuses the replay).
+  CampaignSpec renamed = sweep_spec();
+  renamed.name = "fig15-relabeled";
+  EXPECT_NE(expand(renamed, ExpandOptions{}).digest,
+            expand(sweep_spec(), ExpandOptions{}).digest);
+}
+
+TEST(CampaignSpec, LargeSeedsSurviveTheJsonRoundTrip) {
+  // Seeds above 2^53 overflow a double's mantissa; the parser rereads the
+  // raw digits so serialize -> parse is exact for the full 64-bit range.
+  CampaignSpec spec = overload_spec();
+  spec.seed = 0x7fffffffffffffffull - 2;
+  CampaignSpec reparsed;
+  ASSERT_EQ(parse_spec(serialize_spec(spec), reparsed), "");
+  EXPECT_EQ(reparsed.seed, spec.seed);
+}
+
+TEST(CampaignSpec, SerializeParseRoundTripsExactly) {
+  const CampaignSpec spec = sweep_spec();
+  const std::string text = serialize_spec(spec);
+  CampaignSpec reparsed;
+  ASSERT_EQ(parse_spec(text, reparsed), "");
+  EXPECT_EQ(reparsed.name, spec.name);
+  EXPECT_EQ(reparsed.template_name, spec.template_name);
+  EXPECT_EQ(reparsed.seed, spec.seed);
+  ASSERT_EQ(reparsed.axes.size(), spec.axes.size());
+  for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+    EXPECT_EQ(reparsed.axes[i].name, spec.axes[i].name);
+    EXPECT_EQ(reparsed.axes[i].cap, spec.axes[i].cap);
+    EXPECT_TRUE(reparsed.axes[i].values == spec.axes[i].values);
+    EXPECT_TRUE(reparsed.axes[i].full_values == spec.axes[i].full_values);
+  }
+  EXPECT_EQ(serialize_spec(reparsed), text) << "canonical form is a fixpoint";
+}
+
+// --- validate() taxonomy: one message per test, asserted verbatim ---------
+
+TEST(CampaignValidate, EmptyName) {
+  CampaignSpec spec = sweep_spec();
+  spec.name = "";
+  EXPECT_EQ(spec.validate(), "name must be a non-empty string");
+}
+
+TEST(CampaignValidate, UnknownTemplate) {
+  CampaignSpec spec = sweep_spec();
+  spec.template_name = "trident";
+  EXPECT_EQ(spec.validate(),
+            "template 'trident' is not a recognized template "
+            "(dumbbell_sweep, overload, parking_lot, rtt_mix)");
+}
+
+TEST(CampaignValidate, NegativeLinkOverride) {
+  CampaignSpec spec = overload_spec();
+  spec.link_mbps = -4;
+  EXPECT_EQ(spec.validate(), "link_mbps must be a finite rate > 0 (got -4)");
+}
+
+TEST(CampaignValidate, NegativeRttOverride) {
+  CampaignSpec spec = overload_spec();
+  spec.rtt_ms = -1;
+  EXPECT_EQ(spec.validate(), "rtt_ms must be a finite delay > 0 (got -1)");
+}
+
+TEST(CampaignValidate, NoAxes) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes.clear();
+  EXPECT_EQ(spec.validate(), "axes must list at least one axis");
+}
+
+TEST(CampaignValidate, EmptyAxisName) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[0].name = "";
+  EXPECT_EQ(spec.validate(), "axes[0].name must be a non-empty name");
+}
+
+TEST(CampaignValidate, UnknownAxisName) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[1].name = "zoom";
+  EXPECT_EQ(spec.validate(),
+            "axes[1].name 'zoom' is not a recognized axis (aqm, cc_mix, ecn, "
+            "hops, rate_mbps, rtt_ms, udp_mult)");
+}
+
+TEST(CampaignValidate, AxisForeignToTemplate) {
+  CampaignSpec spec = overload_spec();
+  spec.axes[1].name = "hops";
+  spec.axes[1].values = {axis_number(2)};
+  EXPECT_EQ(spec.validate(),
+            "axes[1].name 'hops' is not an axis of template 'overload'");
+}
+
+TEST(CampaignValidate, DuplicateAxis) {
+  CampaignSpec spec = overload_spec();
+  spec.axes[1] = spec.axes[0];
+  EXPECT_EQ(spec.validate(), "axes[1].name 'ecn' duplicates axes[0]");
+}
+
+TEST(CampaignValidate, EmptyValues) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[2].values.clear();
+  EXPECT_EQ(spec.validate(), "axes[2].values must list at least one value");
+}
+
+TEST(CampaignValidate, StringWhereNumberRequired) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[2].values[1] = axis_text("fast");
+  EXPECT_EQ(spec.validate(),
+            "axes[2].values[1] must be a number for axis 'rate_mbps'");
+}
+
+TEST(CampaignValidate, NumberWhereStringRequired) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[0].values[0] = axis_number(2);
+  EXPECT_EQ(spec.validate(),
+            "axes[0].values[0] must be a string for axis 'aqm'");
+}
+
+TEST(CampaignValidate, NonPositiveNumericValue) {
+  CampaignSpec spec = overload_spec();
+  spec.axes[1].values[2] = axis_number(0);
+  EXPECT_EQ(spec.validate(),
+            "axes[1].values[2] must be a finite value > 0 (got 0)");
+}
+
+TEST(CampaignValidate, FractionalHops) {
+  CampaignSpec spec;
+  spec.name = "parking";
+  spec.template_name = "parking_lot";
+  Axis aqm;
+  aqm.name = "aqm";
+  aqm.values = {axis_text("coupled-pi2")};
+  Axis hops;
+  hops.name = "hops";
+  hops.values = {axis_number(2.5)};
+  spec.axes = {aqm, hops};
+  EXPECT_EQ(spec.validate(),
+            "axes[1].values[0] must be a whole number of hops in [1, 8] "
+            "(got 2.5)");
+}
+
+TEST(CampaignValidate, UnknownAqmForSweepTemplate) {
+  // dualpi2 is a fine topology AQM but the 15-18 sweep engine only labels
+  // PIE and coupled PI2 records.
+  CampaignSpec spec = sweep_spec();
+  spec.axes[0].values[1] = axis_text("dualpi2");
+  EXPECT_EQ(spec.validate(),
+            "axes[0].values[1] 'dualpi2' is not a recognized aqm for "
+            "template 'dumbbell_sweep'");
+}
+
+TEST(CampaignValidate, UnknownCcMix) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[1].values[0] = axis_text("reno/reno");
+  EXPECT_EQ(spec.validate(),
+            "axes[1].values[0] 'reno/reno' is not a recognized cc_mix "
+            "(cubic/ecn-cubic, cubic/dctcp)");
+}
+
+TEST(CampaignValidate, UnknownEcnCodepoint) {
+  CampaignSpec spec = overload_spec();
+  spec.axes[0].values[1] = axis_text("ect9");
+  EXPECT_EQ(spec.validate(),
+            "axes[0].values[1] 'ect9' is not a recognized ecn codepoint "
+            "(not-ect, ect1, ect0)");
+}
+
+TEST(CampaignValidate, FullValuesAreCheckedToo) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes[3].full_values[2] = axis_number(-20);
+  EXPECT_EQ(spec.validate(),
+            "axes[3].full[2] must be a finite value > 0 (got -20)");
+}
+
+TEST(CampaignValidate, MissingRequiredAxis) {
+  CampaignSpec spec = sweep_spec();
+  spec.axes.pop_back();  // drop rtt_ms
+  EXPECT_EQ(spec.validate(), "template 'dumbbell_sweep' requires axis 'rtt_ms'");
+}
+
+// --- parse_spec(): strict grammar, parse-level messages -------------------
+
+TEST(CampaignParse, UnknownTopLevelKeyIsRejected) {
+  EXPECT_EQ(validate_parsed(
+                R"({"name": "x", "template": "rtt_mix", "frobnicate": 1,
+                    "axes": [{"name": "aqm", "values": ["pie"]}]})"),
+            "spec: unknown key 'frobnicate'");
+}
+
+TEST(CampaignParse, UnknownAxisKeyIsRejected) {
+  EXPECT_EQ(validate_parsed(
+                R"({"name": "x", "template": "rtt_mix",
+                    "axes": [{"name": "aqm", "caps": true,
+                              "values": ["pie"]}]})"),
+            "spec: unknown axis key 'caps'");
+}
+
+TEST(CampaignParse, TopLevelMustBeObject) {
+  EXPECT_EQ(validate_parsed("[1, 2, 3]"), "spec: top level must be an object");
+}
+
+TEST(CampaignParse, SeedMustBeWholeNumber) {
+  EXPECT_EQ(validate_parsed(
+                R"({"name": "x", "template": "rtt_mix", "seed": -3,
+                    "axes": [{"name": "aqm", "values": ["pie"]}]})"),
+            "spec: 'seed' must be a non-negative whole number");
+}
+
+TEST(CampaignParse, AxisValuesMustBeScalars) {
+  EXPECT_EQ(validate_parsed(
+                R"({"name": "x", "template": "rtt_mix",
+                    "axes": [{"name": "aqm", "values": [["pie"]]}]})"),
+            "spec: axis values must be numbers or strings");
+}
+
+TEST(CampaignParse, CapMustBeBoolean) {
+  EXPECT_EQ(validate_parsed(
+                R"({"name": "x", "template": "rtt_mix",
+                    "axes": [{"name": "aqm", "cap": 1,
+                              "values": ["pie"]}]})"),
+            "spec: 'cap' must be true or false");
+}
+
+TEST(CampaignParse, MinimalSpecParsesWithDefaults) {
+  CampaignSpec spec;
+  ASSERT_EQ(parse_spec(R"({"name": "tiny", "template": "rtt_mix",
+                           "axes": [{"name": "aqm", "values": ["pie"]}]})",
+                       spec),
+            "");
+  EXPECT_EQ(spec.validate(), "");
+  EXPECT_EQ(spec.seed, 1u) << "seed defaults to 1 like the fig binaries";
+  EXPECT_TRUE(spec.axes[0].cap) << "cap defaults to true";
+  EXPECT_EQ(spec.link_mbps, 0.0) << "0 = template default";
+}
+
+// --- shard arithmetic ------------------------------------------------------
+
+TEST(ShardRange, ParsesWellFormedArguments) {
+  std::size_t index = 0;
+  std::size_t count = 0;
+  EXPECT_TRUE(parse_shard("2/3", index, count));
+  EXPECT_EQ(index, 2u);
+  EXPECT_EQ(count, 3u);
+  EXPECT_FALSE(parse_shard("0/3", index, count)) << "shards are 1-based";
+  EXPECT_FALSE(parse_shard("4/3", index, count));
+  EXPECT_FALSE(parse_shard("2of3", index, count));
+  EXPECT_FALSE(parse_shard("/3", index, count));
+  EXPECT_FALSE(parse_shard("2/", index, count));
+}
+
+TEST(ShardRange, TilesUnevenCountsWithinOnePoint) {
+  // 10 points over 3 shards: 3+3+4 (floor formula), no gaps, no overlap.
+  const ShardRange a = shard_range(10, 1, 3);
+  const ShardRange b = shard_range(10, 2, 3);
+  const ShardRange c = shard_range(10, 3, 3);
+  EXPECT_EQ(a.lo, 0u);
+  EXPECT_EQ(a.hi, b.lo);
+  EXPECT_EQ(b.hi, c.lo);
+  EXPECT_EQ(c.hi, 10u);
+  EXPECT_LE(b.hi - b.lo, (a.hi - a.lo) + 1);
+}
+
+TEST(ShardRange, MoreShardsThanPointsLeavesEmptyShards) {
+  std::size_t covered = 0;
+  for (std::size_t i = 1; i <= 5; ++i) {
+    const ShardRange r = shard_range(3, i, 5);
+    EXPECT_EQ(r.lo, covered);
+    covered = r.hi;
+  }
+  EXPECT_EQ(covered, 3u) << "empty shards are legal, lost points are not";
+}
+
+// --- property sweep over generated and committed specs ---------------------
+
+TEST(CampaignProperties, HoldForGeneratedSpecs) {
+  ExpandOptions quick;
+  ExpandOptions smoke;
+  smoke.grid_cap = 2;
+  ExpandOptions full;
+  full.full = true;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const CampaignSpec spec = check::random_campaign_spec(seed);
+    ASSERT_EQ(spec.validate(), "") << "generator must emit well-formed specs "
+                                   << "(seed " << seed << ")";
+    EXPECT_EQ(check::check_campaign_properties(spec, quick), "")
+        << "seed " << seed << " quick";
+    EXPECT_EQ(check::check_campaign_properties(spec, smoke), "")
+        << "seed " << seed << " smoke";
+    EXPECT_EQ(check::check_campaign_properties(spec, full), "")
+        << "seed " << seed << " full";
+  }
+}
+
+TEST(CampaignProperties, GeneratedDigestsAreDistinct) {
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const Expansion x =
+        expand(check::random_campaign_spec(seed), ExpandOptions{});
+    EXPECT_TRUE(digests.insert(x.digest).second)
+        << "two generated campaigns collide on a digest (seed " << seed << ")";
+  }
+}
+
+TEST(CampaignProperties, HoldForCommittedCampaignFiles) {
+  const char* files[] = {
+      "fig15.json",       "fig16.json",        "fig17.json",
+      "fig18.json",       "fig_overload.json", "fig_parking_lot.json",
+      "fig_rtt_mix.json",
+  };
+  ExpandOptions smoke;
+  smoke.grid_cap = 2;
+  for (const char* file : files) {
+    CampaignSpec spec;
+    const std::string err =
+        load_spec(std::string(PI2_CAMPAIGN_DIR "/") + file, spec);
+    ASSERT_EQ(err, "") << file;
+    EXPECT_EQ(check::check_campaign_properties(spec, ExpandOptions{}), "")
+        << file;
+    EXPECT_EQ(check::check_campaign_properties(spec, smoke), "") << file;
+  }
+}
+
+}  // namespace
+}  // namespace pi2::campaign

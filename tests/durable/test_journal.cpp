@@ -224,6 +224,206 @@ TEST(Journal, InjectedDiskFullLatchesIoError) {
   fs::remove(path);
 }
 
+TEST(ShardInfoCodec, EncodeParseRoundtrip) {
+  ShardInfo shard;
+  shard.present = true;
+  shard.campaign = "fig15 with spaces=and&punct";
+  shard.index = 2;
+  shard.count = 3;
+  shard.lo = 12;
+  shard.hi = 24;
+  ShardInfo parsed;
+  ASSERT_TRUE(parse_shard_info(encode_shard_info(shard), parsed));
+  EXPECT_TRUE(parsed.present);
+  EXPECT_EQ(parsed.campaign, shard.campaign);
+  EXPECT_EQ(parsed.index, 2u);
+  EXPECT_EQ(parsed.count, 3u);
+  EXPECT_EQ(parsed.lo, 12u);
+  EXPECT_EQ(parsed.hi, 24u);
+}
+
+TEST(ShardInfoCodec, MalformedPayloadsAreRejected) {
+  ShardInfo parsed;
+  EXPECT_FALSE(parse_shard_info("", parsed));
+  EXPECT_FALSE(parse_shard_info("shard=2/3", parsed));
+  EXPECT_FALSE(parse_shard_info("shard=0/3 range=0..4 name=x", parsed))
+      << "shards are 1-based";
+  EXPECT_FALSE(parse_shard_info("shard=4/3 range=0..4 name=x", parsed));
+  EXPECT_FALSE(parse_shard_info("shard=1/1 range=9..4 name=x", parsed))
+      << "inverted range";
+  EXPECT_FALSE(parse_shard_info("range=0..4 shard=1/1 name=x", parsed))
+      << "field order is part of the wire format";
+}
+
+TEST(Journal, ShardRecordSurvivesTheLenientLoader) {
+  const std::string path = temp_path("shardrec.jsonl");
+  fs::remove(path);
+  ShardInfo shard;
+  shard.present = true;
+  shard.campaign = "fig15";
+  shard.digest = kCampaign;
+  shard.index = 2;
+  shard.count = 3;
+  shard.lo = 4;
+  shard.hi = 8;
+  {
+    JournalWriter writer{path, kCampaign, false};
+    ASSERT_TRUE(writer.append_shard(shard).ok());
+    ASSERT_TRUE(writer.append_point(5, "p5").ok());
+  }
+  const LoadedJournal loaded = load_journal(path, kCampaign);
+  EXPECT_TRUE(loaded.header_ok);
+  ASSERT_TRUE(loaded.shard.present);
+  EXPECT_EQ(loaded.shard.campaign, "fig15");
+  EXPECT_EQ(loaded.shard.digest, kCampaign) << "record key carries the digest";
+  EXPECT_EQ(loaded.shard.lo, 4u);
+  EXPECT_EQ(loaded.shard.hi, 8u);
+  EXPECT_EQ(loaded.points.size(), 1u) << "shard record is not a point";
+  fs::remove(path);
+}
+
+TEST(ShardJournal, StrictLoadRecoversRecordsInFileOrder) {
+  const std::string path = temp_path("strict.jsonl");
+  fs::remove(path);
+  ShardInfo shard;
+  shard.present = true;
+  shard.campaign = "fig15";
+  shard.digest = kCampaign;
+  {
+    JournalWriter writer{path, kCampaign, false};
+    ASSERT_TRUE(writer.append_shard(shard).ok());
+    ASSERT_TRUE(writer.append_point(9, "late-index-first").ok());
+    ASSERT_TRUE(writer.append_point(2, "early-index-second").ok());
+    ASSERT_TRUE(writer.append_point(9, "re-append").ok());
+    ASSERT_TRUE(writer.append_interrupted("signal 15").ok());
+  }
+  ShardJournalData data;
+  ASSERT_TRUE(load_shard_journal(path, data).ok());
+  EXPECT_TRUE(data.header_seen);
+  EXPECT_EQ(data.header_key, kCampaign);
+  EXPECT_TRUE(data.shard.present);
+  EXPECT_EQ(data.interrupted, 1u);
+  // File order with duplicates preserved — the merge needs to see both
+  // appends of key 9 to prove they are byte-identical.
+  ASSERT_EQ(data.points.size(), 3u);
+  EXPECT_EQ(data.points[0].first, 9u);
+  EXPECT_EQ(data.points[1].first, 2u);
+  EXPECT_EQ(data.points[2].second, "re-append");
+  fs::remove(path);
+}
+
+TEST(ShardJournal, MissingFileIsIoError) {
+  ShardJournalData data;
+  EXPECT_EQ(load_shard_journal(temp_path("absent.jsonl"), data).code(),
+            StatusCode::kIoError);
+}
+
+TEST(ShardJournal, EmptyFileIsCorrupt) {
+  const std::string path = temp_path("empty.jsonl");
+  { std::ofstream(path, std::ios::trunc); }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("no header record"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ShardJournal, TornTailIsCorruptWithLineNumber) {
+  const std::string path = temp_path("stricttorn.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    ASSERT_TRUE(writer.append_point(1, "whole").ok());
+    ASSERT_TRUE(writer.append_point(2, "torn-soon").ok());
+  }
+  std::string bytes = slurp(path);
+  bytes.resize(bytes.size() - 15);
+  { std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes; }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+  EXPECT_NE(status.message().find("torn record"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ShardJournal, CrcMismatchIsDistinguishedFromTorn) {
+  const std::string path = temp_path("strictrot.jsonl");
+  fs::remove(path);
+  {
+    JournalWriter writer{path, kCampaign, false};
+    ASSERT_TRUE(writer.append_point(1, "bitrot-victim").ok());
+  }
+  std::string bytes = slurp(path);
+  // Flip a byte of the payload *value* ("payload" alone would match the
+  // field name in the header line and break the record structurally).
+  const auto pos = bytes.find("bitrot-victim");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'q';
+  { std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes; }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("crc mismatch"), std::string::npos);
+  EXPECT_EQ(status.message().find("torn record"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ShardJournal, HeaderMustComeFirst) {
+  const std::string path = temp_path("strictnohdr.jsonl");
+  JournalRecord point;
+  point.kind = "point";
+  point.key = 1;
+  point.payload = "x";
+  { std::ofstream(path, std::ios::trunc) << encode_record(point); }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("expected the campaign header"),
+            std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ShardJournal, SecondShardRecordIsCorrupt) {
+  const std::string path = temp_path("strictdupshard.jsonl");
+  fs::remove(path);
+  ShardInfo shard;
+  shard.present = true;
+  shard.campaign = "x";
+  shard.digest = kCampaign;
+  {
+    JournalWriter writer{path, kCampaign, false};
+    ASSERT_TRUE(writer.append_shard(shard).ok());
+    ASSERT_TRUE(writer.append_shard(shard).ok());
+  }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("second shard record"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ShardJournal, UnknownRecordKindIsCorrupt) {
+  const std::string path = temp_path("strictkind.jsonl");
+  JournalRecord header;
+  header.kind = "header";
+  header.key = kCampaign;
+  JournalRecord alien;
+  alien.kind = "telemetry";
+  alien.key = 2;
+  alien.payload = "x";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << encode_record(header) << encode_record(alien);
+  }
+  ShardJournalData data;
+  const Status status = load_shard_journal(path, data);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("unknown record kind 'telemetry'"),
+            std::string::npos);
+  fs::remove(path);
+}
+
 TEST(Journal, UnwritablePathReportsIoError) {
   JournalWriter writer{"/dev/null/nope/run.journal", kCampaign, false};
   EXPECT_FALSE(writer.healthy());

@@ -33,6 +33,28 @@ TEST(Status, FactoriesSetTheirCodes) {
   EXPECT_EQ(Status::invalid("empty path").code(), StatusCode::kInvalid);
 }
 
+TEST(Status, ShardMergeFactoriesSetTheirCodes) {
+  EXPECT_EQ(Status::foreign_campaign("wrong name").code(),
+            StatusCode::kForeignCampaign);
+  EXPECT_EQ(Status::stale_digest("spec edited").code(),
+            StatusCode::kStaleDigest);
+  EXPECT_EQ(Status::shard_overlap("double claim").code(),
+            StatusCode::kShardOverlap);
+  EXPECT_EQ(Status::shard_gap("uncovered points").code(),
+            StatusCode::kShardGap);
+  EXPECT_EQ(Status::duplicate_point("two payloads").code(),
+            StatusCode::kDuplicatePoint);
+}
+
+TEST(Status, ShardMergeMessagesLeadWithTheCodeName) {
+  // Operators grep journals/CI logs for these prefixes; keep them stable.
+  EXPECT_EQ(Status::foreign_campaign("x").message(), "foreign-campaign: x");
+  EXPECT_EQ(Status::stale_digest("x").message(), "stale-digest: x");
+  EXPECT_EQ(Status::shard_overlap("x").message(), "shard-overlap: x");
+  EXPECT_EQ(Status::shard_gap("x").message(), "shard-gap: x");
+  EXPECT_EQ(Status::duplicate_point("x").message(), "duplicate-point: x");
+}
+
 TEST(Status, UpdateKeepsFirstError) {
   Status status;
   status.update(Status());  // ok onto ok: still ok
@@ -53,6 +75,11 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(to_string(StatusCode::kCorrupt), "corrupt");
   EXPECT_STREQ(to_string(StatusCode::kInterrupted), "interrupted");
   EXPECT_STREQ(to_string(StatusCode::kInvalid), "invalid");
+  EXPECT_STREQ(to_string(StatusCode::kForeignCampaign), "foreign-campaign");
+  EXPECT_STREQ(to_string(StatusCode::kStaleDigest), "stale-digest");
+  EXPECT_STREQ(to_string(StatusCode::kShardOverlap), "shard-overlap");
+  EXPECT_STREQ(to_string(StatusCode::kShardGap), "shard-gap");
+  EXPECT_STREQ(to_string(StatusCode::kDuplicatePoint), "duplicate-point");
 }
 
 TEST(InterruptedError, IsARuntimeError) {
