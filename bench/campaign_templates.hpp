@@ -11,8 +11,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <map>
 #include <string>
 
+#include "faults/fault_presets.hpp"
 #include "sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -423,5 +426,173 @@ inline bool rtt_mix_check_branches(const RttMixSummary& s) {
   }
   return ok;
 }
+
+// ---- resilience (fault presets x fluid background vs recovery time) --------
+
+/// The preset/literal scaling context for one resilience campaign: faults
+/// scale to the expansion's link rate, base RTT and (override-adjusted)
+/// duration, so the same spec stresses quick, full and smoke runs alike.
+inline faults::PresetContext resilience_fault_context(double link_mbps,
+                                                      double rtt_ms,
+                                                      double total_s) {
+  faults::PresetContext ctx;
+  ctx.link_bps = link_mbps * 1e6;
+  ctx.base_rtt = sim::from_millis(rtt_ms);
+  ctx.duration = sim::from_seconds(total_s);
+  return ctx;
+}
+
+/// Foreground is the coexistence pair (1 Cubic + 1 DCTCP) every AQM on the
+/// grid can govern; the fluid tier renders the `fluid_flows` background as
+/// one modelled-Reno ensemble, exactly the --fluid-background idiom.
+inline scenario::DumbbellConfig resilience_config(
+    scenario::AqmType aqm, const faults::FaultSchedule& schedule,
+    double fluid_flows, double link_mbps, double rtt_ms, double total_s,
+    double stats_start_s, std::uint64_t seed) {
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = link_mbps * 1e6;
+  cfg.aqm.type = aqm;
+  cfg.aqm.ecn = true;
+  cfg.duration = sim::from_seconds(total_s);
+  cfg.stats_start = sim::from_seconds(stats_start_s);
+  cfg.seed = seed;
+  cfg.faults = schedule;
+  scenario::TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.base_rtt = sim::from_millis(rtt_ms);
+  cfg.tcp_flows.push_back(cubic);
+  scenario::TcpFlowSpec dctcp;
+  dctcp.cc = tcp::CcType::kDctcp;
+  dctcp.base_rtt = sim::from_millis(rtt_ms);
+  cfg.tcp_flows.push_back(dctcp);
+  if (fluid_flows > 0) {
+    scenario::FluidFlowSpec bg;
+    bg.cc = tcp::CcType::kReno;
+    bg.count = fluid_flows;
+    bg.base_rtt = sim::from_millis(rtt_ms);
+    cfg.fluid_flows.push_back(bg);
+  }
+  return cfg;
+}
+
+inline void resilience_print_row(const char* aqm_name, const char* fault,
+                                 double fluid_flows,
+                                 const scenario::RunResult& result) {
+  const stats::ResilienceReport& rr = result.resilience;
+  std::printf(
+      "%-12s %-16s %-8.0f %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-7.3f "
+      "%llu/%llu\n",
+      aqm_name, fault, fluid_flows, rr.worst_recovery_s, rr.mean_recovery_s,
+      rr.peak_qdelay_ms, rr.post_fault_delta_ms, result.mean_qdelay_ms,
+      result.utilization,
+      static_cast<unsigned long long>(rr.violations_in_window),
+      static_cast<unsigned long long>(rr.violations_outside));
+}
+
+inline void resilience_json_record(durable::AtomicFile& json, bool& first,
+                                   std::size_t index, const char* aqm_name,
+                                   const char* fault, double fluid_flows,
+                                   std::uint64_t seed, double link_mbps,
+                                   double rtt_ms,
+                                   const scenario::RunResult& result) {
+  const stats::ResilienceReport& rr = result.resilience;
+  json.printf(
+      "%s\n  {\"index\": %zu, \"status\": \"ok\", \"aqm\": \"%s\", "
+      "\"fault\": \"%s\", \"fluid_flows\": %.6g, \"seed\": %llu, "
+      "\"link_mbps\": %.6g, \"rtt_ms\": %.6g, "
+      "\"windows\": %llu, \"recovered_windows\": %llu, "
+      "\"worst_recovery_s\": %.6g, \"mean_recovery_s\": %.6g, "
+      "\"peak_qdelay_ms\": %.6g, \"post_fault_delta_ms\": %.6g, "
+      "\"mean_qdelay_ms\": %.6g, \"p99_qdelay_ms\": %.6g, "
+      "\"utilization\": %.6g, \"fault_dropped\": %lld, "
+      "\"violations_in_window\": %llu, \"violations_outside\": %llu, "
+      "\"invariant_violations\": %llu, \"guard_events\": %llu}",
+      first ? "" : ",", index, aqm_name, fault, fluid_flows,
+      static_cast<unsigned long long>(seed), link_mbps, rtt_ms,
+      static_cast<unsigned long long>(rr.windows),
+      static_cast<unsigned long long>(rr.recovered_windows),
+      rr.worst_recovery_s, rr.mean_recovery_s, rr.peak_qdelay_ms,
+      rr.post_fault_delta_ms, result.mean_qdelay_ms, result.p99_qdelay_ms,
+      result.utilization, static_cast<long long>(result.counters.fault_dropped),
+      static_cast<unsigned long long>(rr.violations_in_window),
+      static_cast<unsigned long long>(rr.violations_outside),
+      static_cast<unsigned long long>(result.violations.size()),
+      static_cast<unsigned long long>(result.guard_events));
+  first = false;
+}
+
+inline void resilience_json_failed(durable::AtomicFile& json, bool& first,
+                                   std::size_t index, runner::TaskStatus status,
+                                   const char* aqm_name, const char* fault,
+                                   double fluid_flows) {
+  json.printf("%s\n  {\"index\": %zu, \"status\": \"%s\", \"aqm\": \"%s\", "
+              "\"fault\": \"%s\", \"fluid_flows\": %.6g}",
+              first ? "" : ",", index, runner::to_string(status), aqm_name,
+              fault, fluid_flows);
+  first = false;
+}
+
+/// Per-point machinery gate for faulted runs: clamp/guard trips stay fatal,
+/// but invariant violations are only fatal *outside* a fault window or its
+/// recovery transient (the analyzer's in/out split).
+inline bool resilience_machinery_healthy(const scenario::RunResult& result) {
+  if (result.clamped_events != 0 || result.guard_events != 0) return false;
+  if (result.resilience.violations_outside != 0) {
+    std::printf("# UNHEALTHY: %llu invariant violation(s) outside any fault "
+                "window\n",
+                static_cast<unsigned long long>(
+                    result.resilience.violations_outside));
+    return false;
+  }
+  return true;
+}
+
+/// Cross-point gate for the paper's robustness headline: on every fault
+/// preset of the grid, PI2's worst time-to-reconverge must not exceed
+/// PIE's. Scores aggregate as the max across the fluid axis, with a
+/// never-recovered window (-1) counting as +inf.
+struct ResilienceGate {
+  struct Cell {
+    double pi2 = 0.0;
+    double pie = 0.0;
+    bool has_pi2 = false;
+    bool has_pie = false;
+  };
+  std::map<std::string, Cell> by_fault;
+
+  static double settled_or_inf(double worst_recovery_s) {
+    return worst_recovery_s < 0.0
+               ? std::numeric_limits<double>::infinity()
+               : worst_recovery_s;
+  }
+
+  void record(const std::string& fault, const std::string& aqm,
+              double worst_recovery_s) {
+    Cell& cell = by_fault[fault];
+    const double score = settled_or_inf(worst_recovery_s);
+    if (aqm == "coupled-pi2" || aqm == "pi2") {
+      cell.pi2 = cell.has_pi2 ? std::max(cell.pi2, score) : score;
+      cell.has_pi2 = true;
+    } else if (aqm == "pie") {
+      cell.pie = cell.has_pie ? std::max(cell.pie, score) : score;
+      cell.has_pie = true;
+    }
+  }
+
+  /// Prints per-preset diagnostics; false when any preset has PI2 slower.
+  [[nodiscard]] bool check() const {
+    bool ok = true;
+    for (const auto& [fault, cell] : by_fault) {
+      if (!cell.has_pi2 || !cell.has_pie) continue;
+      if (cell.pi2 > cell.pie) {
+        std::printf("# UNHEALTHY: %s: PI2 worst recovery %.2f s > PIE "
+                    "%.2f s\n",
+                    fault.c_str(), cell.pi2, cell.pie);
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
 
 }  // namespace pi2::bench

@@ -53,6 +53,7 @@ using namespace pi2::bench;
 /// parse_options (which ignores what it does not know).
 struct CampaignCli {
   std::string spec_path;
+  bool help = false;
   bool list = false;
   bool digest_only = false;
   bool has_shard = false;
@@ -70,6 +71,8 @@ CampaignCli parse_campaign_cli(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--spec" && i + 1 < argc) {
       cli.spec_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      cli.help = true;
     } else if (arg == "--list") {
       cli.list = true;
     } else if (arg == "--digest") {
@@ -91,21 +94,52 @@ CampaignCli parse_campaign_cli(int argc, char** argv) {
       }
     }
   }
-  if (cli.spec_path.empty()) cli.error = "--spec PATH is required";
+  if (cli.spec_path.empty() && !cli.help) {
+    cli.error = "--spec PATH is required";
+  }
   if (cli.merge && cli.has_shard) {
     cli.error = "--merge and --shard are mutually exclusive";
   }
   return cli;
 }
 
-int usage_error(const std::string& message) {
-  std::fprintf(stderr,
-               "pi2_campaign: %s\n"
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// The usage text enumerates the valid templates and axis names straight
+/// from the campaign registry, so a spec author never has to guess them.
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: pi2_campaign --spec FILE [--list | --digest | "
                "--shard i/N | --merge JOURNAL...]\n"
                "                    [sweep flags: --smoke --full --seed N "
-               "--jobs N --json PATH --resume --journal PATH ...]\n",
-               message.c_str());
+               "--jobs N --json PATH --resume --journal PATH ...]\n"
+               "templates: %s\n"
+               "axes:      %s\n",
+               joined(campaign::template_names()).c_str(),
+               joined(campaign::axis_names()).c_str());
+  using campaign::TemplateId;
+  for (const TemplateId id :
+       {TemplateId::kDumbbellSweep, TemplateId::kOverload,
+        TemplateId::kParkingLot, TemplateId::kRttMix,
+        TemplateId::kResilience}) {
+    std::fprintf(to, "  %-14s axes: %s\n", campaign::to_string(id),
+                 joined(campaign::axes_of_template(id)).c_str());
+  }
+  std::fprintf(to, "fault_schedule values: %s; or an inline literal like "
+                   "'rate_step@0.4:rate=0.25'\n",
+               joined(faults::preset_names()).c_str());
+}
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "pi2_campaign: %s\n", message.c_str());
+  print_usage(stderr);
   return 17;
 }
 
@@ -144,7 +178,11 @@ struct TemplateView {
   const campaign::Expansion& x;
   // Axis indices resolved once; -1 when the template lacks the axis.
   int aqm = -1, cc_mix = -1, rate = -1, rtt = -1, ecn = -1, udp = -1,
-      hops = -1;
+      hops = -1, fault = -1, fluid = -1;
+  // fault_schedule axis values resolved once (presets/literals scaled to
+  // the expansion's link/RTT/duration). main() preflights every value, so
+  // lookups from run_point are total.
+  std::map<std::string, faults::FaultSchedule> schedules;
 
   explicit TemplateView(const campaign::Expansion& expansion) : x(expansion) {
     aqm = x.axis_of("aqm");
@@ -154,6 +192,19 @@ struct TemplateView {
     ecn = x.axis_of("ecn");
     udp = x.axis_of("udp_mult");
     hops = x.axis_of("hops");
+    fault = x.axis_of("fault_schedule");
+    fluid = x.axis_of("fluid_flows");
+    if (fault >= 0) {
+      const faults::PresetContext ctx = resilience_fault_context(
+          x.link_mbps, x.rtt_ms, x.duration_s);
+      for (const auto& value :
+           x.axes[static_cast<std::size_t>(fault)].values) {
+        faults::FaultSchedule schedule;
+        if (faults::resolve_schedule(value.text, ctx, &schedule).empty()) {
+          schedules.emplace(value.text, std::move(schedule));
+        }
+      }
+    }
   }
 
   const std::string& text(const campaign::CampaignPoint& p, int axis) const {
@@ -193,6 +244,15 @@ void print_table_header(const TemplateView& v) {
                   v.x.link_mbps, v.x.duration_s);
       std::printf("%-12s %-8s %-8s %-8s %-9s %-6s %-8s %-8s\n", "aqm", "b10",
                   "b50", "b100", "r10/100", "jain", "qdelay", "p99");
+      break;
+    case campaign::TemplateId::kResilience:
+      std::printf("# link %.0f Mb/s, RTT %.0f ms, %.0f s/run; mix = 1 Cubic "
+                  "+ 1 DCTCP, fluid Reno background; recovery band = 2x AQM "
+                  "target, hold 1 s (-1 = never reconverged)\n",
+                  v.x.link_mbps, v.x.rtt_ms, v.x.duration_s);
+      std::printf("%-12s %-16s %-8s %-8s %-8s %-8s %-8s %-8s %-7s %s\n",
+                  "aqm", "fault", "fluid", "recov", "mean_rec", "peak",
+                  "delta", "qdelay", "util", "viol i/o");
       break;
   }
 }
@@ -240,6 +300,16 @@ scenario::RunResult run_point(const TemplateView& v, const Options& opts,
       if (recorder != nullptr) cfg.recorder = recorder;
       return topology::to_run_result(topology::run_topology(cfg));
     }
+    case TemplateId::kResilience: {
+      auto cfg = resilience_config(
+          aqm_from_name(v.text(p, v.aqm)),
+          v.schedules.at(v.text(p, v.fault)), v.num(p, v.fluid),
+          v.x.link_mbps, v.x.rtt_ms, v.x.duration_s, v.x.stats_start_s,
+          p.seed);
+      cfg.stop = durable::ShutdownController::flag();
+      if (recorder != nullptr) cfg.recorder = recorder;
+      return scenario::run_dumbbell(cfg);
+    }
   }
   return scenario::RunResult();
 }
@@ -252,6 +322,9 @@ struct OutputSinks {
   std::unique_ptr<durable::AtomicFile> json;
   bool json_first = true;
   bool healthy = true;
+  // Cross-point recovery comparison (resilience template only); checked
+  // after the consume loop by finalize_health().
+  ResilienceGate resilience_gate;
 
   OutputSinks(const campaign::Expansion& x, const Options& opts) {
     if (x.template_id == campaign::TemplateId::kDumbbellSweep) {
@@ -357,6 +430,21 @@ void consume_point(const TemplateView& v, OutputSinks& out,
       if (!rtt_mix_check_branches(summary)) out.healthy = false;
       return;
     }
+    case TemplateId::kResilience: {
+      const std::string& aqm = v.text(p, v.aqm);
+      const std::string& fault = v.text(p, v.fault);
+      resilience_print_row(aqm.c_str(), fault.c_str(), v.num(p, v.fluid),
+                           result);
+      if (out.json != nullptr) {
+        resilience_json_record(*out.json, out.json_first, p.index,
+                               aqm.c_str(), fault.c_str(), v.num(p, v.fluid),
+                               p.seed, v.x.link_mbps, v.x.rtt_ms, result);
+      }
+      if (!resilience_machinery_healthy(result)) out.healthy = false;
+      out.resilience_gate.record(fault, aqm,
+                                 result.resilience.worst_recovery_s);
+      return;
+    }
   }
 }
 
@@ -403,6 +491,16 @@ void consume_failed(const TemplateView& v, OutputSinks& out,
       if (out.json != nullptr) {
         rtt_mix_json_failed(*out.json, out.json_first, p.index, status,
                             v.text(p, v.aqm).c_str());
+      }
+      return;
+    case TemplateId::kResilience:
+      std::printf("%-12s %-16s point %s\n", v.text(p, v.aqm).c_str(),
+                  v.text(p, v.fault).c_str(), runner::to_string(status));
+      if (out.json != nullptr) {
+        resilience_json_failed(*out.json, out.json_first, p.index, status,
+                               v.text(p, v.aqm).c_str(),
+                               v.text(p, v.fault).c_str(),
+                               v.num(p, v.fluid));
       }
       return;
   }
@@ -637,6 +735,12 @@ int run_campaign(const campaign::Expansion& x, const CampaignCli& cli,
 
   std::printf("# points ok: %zu/%zu\n", report.ok_count(),
               report.status.size());
+  // The paper's robustness claim, as a semantic gate: PI2 must reconverge
+  // at least as fast as PIE on every fault preset. A shard sees only a
+  // slice of the grid, so the cross-point comparison is left to --merge.
+  if (x.template_id == campaign::TemplateId::kResilience && !cli.has_shard) {
+    if (!out.resilience_gate.check()) out.healthy = false;
+  }
   return report.all_ok() && out.healthy ? 0 : 1;
 }
 
@@ -711,6 +815,9 @@ int run_merge(const campaign::Expansion& x, const CampaignCli& cli,
     consume_point(v, out, x.points[i], result, manifest_path);
   }
   out.commit();
+  if (x.template_id == campaign::TemplateId::kResilience) {
+    if (!out.resilience_gate.check()) out.healthy = false;
+  }
   std::printf("# merged %zu shard journal(s), %zu point(s) -> %s\n",
               merged.shards, x.points.size(), journal_file.c_str());
   return out.healthy ? 0 : 1;
@@ -719,8 +826,14 @@ int run_merge(const campaign::Expansion& x, const CampaignCli& cli,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opts = parse_options(argc, argv);
+  // --help must short-circuit before parse_options, whose own generic
+  // --help handler would exit without the template/axis enumeration.
   const CampaignCli cli = parse_campaign_cli(argc, argv);
+  if (cli.help) {
+    print_usage(stdout);
+    return 0;
+  }
+  const Options opts = parse_options(argc, argv);
   if (!cli.error.empty()) return usage_error(cli.error);
   if (cli.has_shard && !opts.json_path.empty()) {
     return usage_error("--shard runs journal only; --json belongs to the "
@@ -749,6 +862,25 @@ int main(int argc, char** argv) {
                  "(grid cap or --min-link-mbps removed everything)\n",
                  x.name.c_str());
     return 17;
+  }
+
+  // Resolve every fault_schedule value up front: an unknown preset or a
+  // malformed literal is a spec authoring error, not a mid-run surprise —
+  // and TemplateView's schedule-map lookups become total.
+  for (std::size_t a = 0; a < x.axes.size(); ++a) {
+    if (x.axes[a].name != "fault_schedule") continue;
+    const faults::PresetContext ctx =
+        resilience_fault_context(x.link_mbps, x.rtt_ms, x.duration_s);
+    for (std::size_t j = 0; j < x.axes[a].values.size(); ++j) {
+      faults::FaultSchedule schedule;
+      const std::string fault_err = faults::resolve_schedule(
+          x.axes[a].values[j].text, ctx, &schedule);
+      if (!fault_err.empty()) {
+        std::fprintf(stderr, "pi2_campaign: axes[%zu].values[%zu]: %s\n", a, j,
+                     fault_err.c_str());
+        return 17;
+      }
+    }
   }
 
   if (cli.digest_only) {

@@ -12,9 +12,10 @@
 # carries its RunManifest path, (d) the micro_flow_scale per-N
 # events/s + bytes-per-flow table for the hybrid fluid/packet engine,
 # including its ≥10× scheduler-events acceptance gate, and (e) the
-# distributed-campaign numbers: the committed fig15 campaign run serially
-# vs as 3 parallel --shard workers plus --merge, with the merged JSON
-# required to be byte-identical to the serial run's.
+# distributed-campaign numbers: the committed fig15 and fig_resilience
+# campaigns each run serially vs as 3 parallel --shard workers plus
+# --merge, with the merged JSON required to be byte-identical to the
+# serial run's.
 # Compare the file against the previous PR's copy to see per-event and
 # end-to-end movement.
 #
@@ -105,58 +106,83 @@ def load_benchmarks(env_key):
         for b in data["benchmarks"]
     }
 
-# Distributed campaign: the same quick grid as a declarative campaign, run
-# serially and as 3 parallel shard workers plus a merge. The merge speedup
-# compares the serial wall clock against the critical path of the sharded
-# run (slowest worker + merge); the merged JSON must be byte-identical.
+# Distributed campaigns: each quick grid run serially and as 3 parallel
+# shard workers plus a merge. The merge speedup compares the serial wall
+# clock against the critical path of the sharded run (slowest worker +
+# merge); the merged JSON must be byte-identical. fig15 is the dumbbell
+# sweep reference; fig_resilience exercises the fault-schedule and
+# fluid-background axes (its 100k-fluid points lean on the hybrid engine).
 campaign_bin = os.path.join(build, "bench", "pi2_campaign")
-spec = os.path.join("campaigns", "fig15.json")
 shard_count = 3
 workdir = tempfile.mkdtemp(prefix="campaign_bench_")
-serial_json = os.path.join(workdir, "serial.json")
-merged_json = os.path.join(workdir, "merged.json")
-
-def campaign_cmd(*extra):
-    return [campaign_bin, "--spec", spec, "--seed", "1",
-            "--telemetry", telemetry_dir, *extra]
-
-start = time.monotonic()
-subprocess.run(campaign_cmd("--jobs", str(jobs), "--json", serial_json,
-                            "--journal", os.path.join(workdir, "serial.journal")),
-               check=True, stdout=subprocess.DEVNULL)
-campaign_serial_s = round(time.monotonic() - start, 3)
-
-shard_journals = [os.path.join(workdir, f"shard{i}.journal")
-                  for i in range(1, shard_count + 1)]
 shard_jobs = max(1, jobs // shard_count)
-start = time.monotonic()
-workers = [subprocess.Popen(
-               campaign_cmd("--jobs", str(shard_jobs),
-                            "--shard", f"{i}/{shard_count}",
-                            "--journal", shard_journals[i - 1]),
-               stdout=subprocess.DEVNULL)
-           for i in range(1, shard_count + 1)]
-for w in workers:
-    if w.wait() != 0:
-        print("error: campaign shard worker failed", file=sys.stderr)
+
+def shard_benchmark(spec, tag, telemetry=True):
+    serial_json = os.path.join(workdir, f"{tag}_serial.json")
+    merged_json = os.path.join(workdir, f"{tag}_merged.json")
+
+    def cmd(*extra):
+        base = [campaign_bin, "--spec", spec, "--seed", "1"]
+        if telemetry:
+            base += ["--telemetry", telemetry_dir]
+        return base + list(extra)
+
+    start = time.monotonic()
+    subprocess.run(cmd("--jobs", str(jobs), "--json", serial_json,
+                       "--journal", os.path.join(workdir, f"{tag}_serial.journal")),
+                   check=True, stdout=subprocess.DEVNULL)
+    serial_s = round(time.monotonic() - start, 3)
+
+    shard_journals = [os.path.join(workdir, f"{tag}_shard{i}.journal")
+                      for i in range(1, shard_count + 1)]
+    start = time.monotonic()
+    workers = [subprocess.Popen(
+                   cmd("--jobs", str(shard_jobs),
+                       "--shard", f"{i}/{shard_count}",
+                       "--journal", shard_journals[i - 1]),
+                   stdout=subprocess.DEVNULL)
+               for i in range(1, shard_count + 1)]
+    for w in workers:
+        if w.wait() != 0:
+            print(f"error: {tag} campaign shard worker failed", file=sys.stderr)
+            sys.exit(1)
+    sharded_s = round(time.monotonic() - start, 3)
+
+    start = time.monotonic()
+    subprocess.run(cmd("--jobs", str(jobs), "--merge", *shard_journals,
+                       "--json", merged_json,
+                       "--journal", os.path.join(workdir, f"{tag}_merged.journal")),
+                   check=True, stdout=subprocess.DEVNULL)
+    merge_s = round(time.monotonic() - start, 3)
+
+    with open(serial_json, "rb") as f:
+        serial_bytes = f.read()
+    with open(merged_json, "rb") as f:
+        merged_bytes = f.read()
+    if serial_bytes != merged_bytes:
+        print(f"error: merged {tag} campaign JSON differs from the serial run",
+              file=sys.stderr)
         sys.exit(1)
-campaign_sharded_s = round(time.monotonic() - start, 3)
+    return {
+        "spec": spec,
+        "shards": shard_count,
+        "jobs_serial": jobs,
+        "jobs_per_shard": shard_jobs,
+        "serial_wall_s": serial_s,
+        "sharded_wall_s": sharded_s,
+        "merge_wall_s": merge_s,
+        "merge_speedup": round(serial_s / (sharded_s + merge_s), 3)
+            if sharded_s + merge_s else None,
+        "byte_identical": True,
+    }
 
-start = time.monotonic()
-subprocess.run(campaign_cmd("--jobs", str(jobs), "--merge", *shard_journals,
-                            "--json", merged_json,
-                            "--journal", os.path.join(workdir, "merged.journal")),
-               check=True, stdout=subprocess.DEVNULL)
-campaign_merge_s = round(time.monotonic() - start, 3)
-
-with open(serial_json, "rb") as f:
-    serial_bytes = f.read()
-with open(merged_json, "rb") as f:
-    merged_bytes = f.read()
-if serial_bytes != merged_bytes:
-    print("error: merged campaign JSON differs from the serial run",
-          file=sys.stderr)
-    sys.exit(1)
+campaign_sharding = shard_benchmark(
+    os.path.join("campaigns", "fig15.json"), "fig15")
+# The resilience grid's replayed merge points carry no fresh telemetry, so
+# the sharded runs skip the recorder and time the simulation itself.
+resilience_sharding = shard_benchmark(
+    os.path.join("campaigns", "fig_resilience.json"), "resilience",
+    telemetry=False)
 
 scheduler = load_benchmarks("MICRO_JSON")
 probe = load_benchmarks("PROBE_JSON")
@@ -194,22 +220,11 @@ out = {
     },
     "micro_scheduler": scheduler,
     "micro_probe_overhead": probe,
-    # Declarative campaign (committed fig15 spec) serial vs 3-shard + merge.
-    # byte_identical is asserted above; recorded here so the trajectory file
-    # itself documents the equivalence each run re-proved.
-    "campaign_sharding": {
-        "spec": spec,
-        "shards": shard_count,
-        "jobs_serial": jobs,
-        "jobs_per_shard": shard_jobs,
-        "serial_wall_s": campaign_serial_s,
-        "sharded_wall_s": campaign_sharded_s,
-        "merge_wall_s": campaign_merge_s,
-        "merge_speedup": round(
-            campaign_serial_s / (campaign_sharded_s + campaign_merge_s), 3)
-            if campaign_sharded_s + campaign_merge_s else None,
-        "byte_identical": True,
-    },
+    # Declarative campaigns serial vs 3-shard + merge. byte_identical is
+    # asserted above; recorded here so the trajectory file itself documents
+    # the equivalence each run re-proved.
+    "campaign_sharding": campaign_sharding,
+    "resilience_sharding": resilience_sharding,
     # Hybrid fluid/packet engine: per-N events/sim-s + bytes-per-flow table
     # and the ≥10x scheduler-events gate (the binary already failed the
     # script above if the gate regressed).
@@ -234,5 +249,7 @@ print(f"wrote {os.environ['OUT']}: quick fig15 {serial_s}s @1 job, "
       f"{parallel_s}s @{jobs} jobs; probe overhead "
       f"{overhead_pct if overhead_pct is not None else '?'}%; "
       f"campaign {shard_count}-shard merge speedup "
-      f"{out['campaign_sharding']['merge_speedup']}x (byte-identical)")
+      f"{out['campaign_sharding']['merge_speedup']}x (fig15), "
+      f"{out['resilience_sharding']['merge_speedup']}x (resilience), "
+      "both byte-identical")
 PY

@@ -289,8 +289,9 @@ struct AxisRule {
 
 /// All recognizable axes, alphabetical (the error message lists them).
 constexpr AxisRule kAxes[] = {
-    {"aqm", false},    {"cc_mix", false},    {"ecn", false}, {"hops", true},
-    {"rate_mbps", true}, {"rtt_ms", true}, {"udp_mult", true},
+    {"aqm", false},      {"cc_mix", false},      {"ecn", false},
+    {"fault_schedule", false}, {"fluid_flows", true}, {"hops", true},
+    {"rate_mbps", true}, {"rtt_ms", true},       {"udp_mult", true},
 };
 
 const AxisRule* axis_rule(const std::string& name) {
@@ -308,11 +309,14 @@ const std::vector<std::string>& template_axes(TemplateId id) {
   static const std::vector<std::string> overload{"ecn", "udp_mult"};
   static const std::vector<std::string> parking{"aqm", "hops"};
   static const std::vector<std::string> rtt_mix{"aqm"};
+  static const std::vector<std::string> resilience{"aqm", "fault_schedule",
+                                                   "fluid_flows"};
   switch (id) {
     case TemplateId::kDumbbellSweep: return dumbbell;
     case TemplateId::kOverload: return overload;
     case TemplateId::kParkingLot: return parking;
     case TemplateId::kRttMix: return rtt_mix;
+    case TemplateId::kResilience: return resilience;
   }
   return dumbbell;
 }
@@ -322,6 +326,7 @@ bool known_template(const std::string& name, TemplateId& id) {
   if (name == "overload") { id = TemplateId::kOverload; return true; }
   if (name == "parking_lot") { id = TemplateId::kParkingLot; return true; }
   if (name == "rtt_mix") { id = TemplateId::kRttMix; return true; }
+  if (name == "resilience") { id = TemplateId::kResilience; return true; }
   return false;
 }
 
@@ -329,6 +334,10 @@ bool known_aqm(TemplateId id, const std::string& name) {
   if (id == TemplateId::kDumbbellSweep) {
     // The 15-18 sweep engine labels records "PIE" / "PI2(coupled)" only.
     return name == "pie" || name == "coupled-pi2";
+  }
+  if (id == TemplateId::kResilience) {
+    // The resilience grid compares recovery across the paper's contenders.
+    return name == "coupled-pi2" || name == "dualpi2" || name == "pie";
   }
   static const char* kNames[] = {"fifo",       "pie",   "bare-pie", "pi",
                                  "pi2",        "coupled-pi2", "red", "codel",
@@ -352,6 +361,16 @@ std::string validate_value(TemplateId id, const AxisRule& rule,
     if (!value.is_number) {
       return label + " must be a number for axis '" + rule.name + "'";
     }
+    if (std::string("fluid_flows") == rule.name) {
+      // 0 is a legal background level (the no-fluid baseline) and counts are
+      // whole flows; the fluid tier is O(1) in count, so 10^5+ is fine.
+      if (!std::isfinite(value.number) || value.number < 0 ||
+          value.number != std::floor(value.number)) {
+        return label + " must be a whole number of fluid flows >= 0 (got " +
+               format_number(value.number) + ")";
+      }
+      return "";
+    }
     if (!std::isfinite(value.number) || value.number <= 0) {
       return label + " must be a finite value > 0 (got " +
              format_number(value.number) + ")";
@@ -365,6 +384,14 @@ std::string validate_value(TemplateId id, const AxisRule& rule,
   }
   if (value.is_number) {
     return label + " must be a string for axis '" + rule.name + "'";
+  }
+  if (std::string("fault_schedule") == rule.name) {
+    // Opaque to the campaign layer: presets / literals resolve against
+    // faults::resolve_schedule() in the driver (the spec stays scenario-free).
+    if (value.text.empty()) {
+      return label + " must be a non-empty fault preset name or literal";
+    }
+    return "";
   }
   if (std::string("aqm") == rule.name && !known_aqm(id, value.text)) {
     return label + " '" + value.text + "' is not a recognized aqm for template '" +
@@ -402,8 +429,28 @@ const char* to_string(TemplateId id) {
     case TemplateId::kOverload: return "overload";
     case TemplateId::kParkingLot: return "parking_lot";
     case TemplateId::kRttMix: return "rtt_mix";
+    case TemplateId::kResilience: return "resilience";
   }
   return "?";
+}
+
+const std::vector<std::string>& axis_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const AxisRule& rule : kAxes) out.emplace_back(rule.name);
+    return out;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& template_names() {
+  static const std::vector<std::string> names{
+      "dumbbell_sweep", "overload", "parking_lot", "rtt_mix", "resilience"};
+  return names;
+}
+
+const std::vector<std::string>& axes_of_template(TemplateId id) {
+  return template_axes(id);
 }
 
 AxisValue axis_number(double v) {
@@ -431,7 +478,7 @@ std::string CampaignSpec::validate() const {
   if (!known_template(template_name, id)) {
     return "template '" + template_name +
            "' is not a recognized template (dumbbell_sweep, overload, "
-           "parking_lot, rtt_mix)";
+           "parking_lot, rtt_mix, resilience)";
   }
   if (link_mbps < 0 || (link_mbps != 0 && !std::isfinite(link_mbps))) {
     return "link_mbps must be a finite rate > 0 (got " +
@@ -450,8 +497,8 @@ std::string CampaignSpec::validate() const {
     const AxisRule* rule = axis_rule(axis.name);
     if (rule == nullptr) {
       return label + ".name '" + axis.name +
-             "' is not a recognized axis (aqm, cc_mix, ecn, hops, rate_mbps, "
-             "rtt_ms, udp_mult)";
+             "' is not a recognized axis (aqm, cc_mix, ecn, fault_schedule, "
+             "fluid_flows, hops, rate_mbps, rtt_ms, udp_mult)";
     }
     if (std::find(allowed.begin(), allowed.end(), axis.name) == allowed.end()) {
       return label + ".name '" + axis.name + "' is not an axis of template '" +

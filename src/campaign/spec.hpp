@@ -15,7 +15,7 @@
 //   {
 //     "name": "fig15",                 // campaign identity (journal checks)
 //     "template": "dumbbell_sweep",    // | "overload" | "parking_lot"
-//                                      // | "rtt_mix"
+//                                      // | "rtt_mix" | "resilience"
 //     "seed": 1,                       // base RNG seed (CLI --seed overrides)
 //     "link_mbps": 10,                 // optional fixed-parameter overrides
 //     "rtt_ms": 10,
@@ -34,7 +34,10 @@
 // The campaign layer is deliberately scenario-free: axis values are strings
 // and numbers, and bench/pi2_campaign maps them onto scenario types. That
 // keeps pi2_campaign (the library) linkable from tests and check oracles
-// without dragging in the simulator.
+// without dragging in the simulator. `fault_schedule` axis values follow the
+// same rule: the spec treats them as opaque non-empty strings (preset names
+// or inline literals, see faults/fault_presets.hpp) folded into the digest,
+// and the driver resolves them against the faults registry at run time.
 #pragma once
 
 #include <cstdint>
@@ -45,9 +48,25 @@ namespace pi2::campaign {
 
 /// Scenario families a spec can instantiate; each maps to one fig binary's
 /// grid loop and per-point config builder.
-enum class TemplateId { kDumbbellSweep, kOverload, kParkingLot, kRttMix };
+enum class TemplateId {
+  kDumbbellSweep,
+  kOverload,
+  kParkingLot,
+  kRttMix,
+  kResilience,
+};
 
 [[nodiscard]] const char* to_string(TemplateId id);
+
+/// All recognizable axis names, alphabetical — the same set (and order) the
+/// unknown-axis validate() message lists. For CLI enumeration (--list/--help).
+[[nodiscard]] const std::vector<std::string>& axis_names();
+
+/// All template names, declaration order.
+[[nodiscard]] const std::vector<std::string>& template_names();
+
+/// The axes a template requires (all of them mandatory in a spec).
+[[nodiscard]] const std::vector<std::string>& axes_of_template(TemplateId id);
 
 /// One swept value: a finite double or a non-empty string, never both.
 struct AxisValue {

@@ -5,7 +5,11 @@
 #include <vector>
 
 #include "campaign/merge.hpp"
+#include "durable/journal.hpp"
+#include "faults/fault_presets.hpp"
+#include "scenario/dumbbell.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace pi2::check {
 namespace {
@@ -218,7 +222,7 @@ CampaignSpec random_campaign_spec(std::uint64_t seed) {
       {"fifo", "pie", "bare-pie", "pi", "pi2", "coupled-pi2", "red", "codel",
        "curvy-red", "step", "dualpi2"});
   std::vector<Axis> axes;
-  switch (rng.uniform_below(4)) {
+  switch (rng.uniform_below(5)) {
     case 0:
       spec.template_name = "dumbbell_sweep";
       axes.push_back(make_axis(rng, "aqm", texts({"pie", "coupled-pi2"})));
@@ -239,9 +243,23 @@ CampaignSpec random_campaign_spec(std::uint64_t seed) {
       axes.push_back(make_axis(rng, "aqm", all_aqms));
       axes.push_back(make_axis(rng, "hops", numbers({1, 2, 3, 4, 5, 6, 7, 8})));
       break;
-    default:
+    case 3:
       spec.template_name = "rtt_mix";
       axes.push_back(make_axis(rng, "aqm", all_aqms));
+      break;
+    default:
+      // The campaign layer treats fault_schedule values as opaque text (the
+      // driver resolves presets/literals), so the pool mixes both forms.
+      spec.template_name = "resilience";
+      axes.push_back(make_axis(rng, "aqm", texts({"coupled-pi2", "dualpi2",
+                                                  "pie"})));
+      axes.push_back(make_axis(
+          rng, "fault_schedule",
+          texts({"none", "rate_step_4x", "rtt_flap", "burst_loss_2pct",
+                 "ecn_bleach", "reorder", "rate_step@0.4:rate=0.25",
+                 "random_loss@0.3..0.5:p=0.01;rtt_step@0.7:rtt=2"})));
+      axes.push_back(make_axis(
+          rng, "fluid_flows", numbers({0, 10, 100, 1000, 100000})));
       break;
   }
   // Axis listing order is free (validate() only demands coverage), so the
@@ -253,6 +271,106 @@ CampaignSpec random_campaign_spec(std::uint64_t seed) {
   if (rng.uniform_below(2) == 0) spec.link_mbps = rng.uniform(5.0, 50.0);
   if (rng.uniform_below(2) == 0) spec.rtt_ms = rng.uniform(2.0, 80.0);
   return spec;
+}
+
+CaseOutcome run_campaign_case_oracles(std::uint64_t seed, std::uint64_t index,
+                                      const OracleOptions& options) {
+  // (a) Property battery over a random spec of any template.
+  campaign::ExpandOptions prop_opts;
+  prop_opts.grid_cap = 2;
+  const std::string prop_err =
+      check_campaign_properties(random_campaign_spec(seed), prop_opts);
+
+  // (b) A randomly drawn resilience spec, expanded and materialized the way
+  // bench/pi2_campaign does it: fault_schedule text -> faults::
+  // resolve_schedule under the grid's PresetContext, fluid_flows -> one
+  // modelled-Reno background ensemble, foreground 1 Cubic + 1 DCTCP.
+  sim::Rng rng{sim::Rng::derive_seed(0xca3b41a7ULL, seed)};
+  const std::vector<AxisValue> fault_pool = texts(
+      {"none", "rate_step_4x", "rtt_flap", "burst_loss_2pct", "ecn_bleach",
+       "reorder", "rate_step@0.3:rate=0.5",
+       "random_loss@0.3..0.5:p=0.02;rtt_step@0.7:rtt=2"});
+  CampaignSpec spec;
+  spec.name = "fuzz-resilience-" + std::to_string(index);
+  spec.template_name = "resilience";
+  spec.seed = rng.next_u64() >> 1;
+  spec.axes.push_back(
+      make_axis(rng, "aqm", texts({"coupled-pi2", "dualpi2", "pie"})));
+  spec.axes.push_back(make_axis(rng, "fault_schedule", fault_pool));
+  spec.axes.push_back(
+      make_axis(rng, "fluid_flows", numbers({0, 4, 50, 1000})));
+
+  // Short runs keep the fuzz batch cheap; the presets scale to the duration,
+  // so every windowed fault still lands inside the run.
+  campaign::ExpandOptions eo;
+  eo.grid_cap = 2;
+  eo.duration_s_override = 2.0;
+  eo.stats_start_s_override = 0.5;
+  const Expansion x = campaign::expand(spec, eo);
+
+  CaseOutcome outcome;
+  outcome.index = index;
+  const std::string spec_err = spec.validate();
+  if (!spec_err.empty() || x.points.empty()) {
+    outcome.failures.push_back(
+        {"campaign-expand", spec_err.empty() ? "resilience spec expanded to 0 points"
+                                             : spec_err});
+    return outcome;
+  }
+
+  const campaign::CampaignPoint& p =
+      x.points[rng.uniform_below(x.points.size())];
+  faults::PresetContext ctx;
+  ctx.link_bps = x.link_mbps * 1e6;
+  ctx.base_rtt = sim::from_millis(x.rtt_ms);
+  ctx.duration = sim::from_seconds(x.duration_s);
+  faults::FaultSchedule schedule;
+  const std::string resolve_err =
+      faults::resolve_schedule(x.text(p, "fault_schedule"), ctx, &schedule);
+  if (!resolve_err.empty()) {
+    outcome.failures.push_back({"campaign-resolve", resolve_err});
+    return outcome;
+  }
+
+  scenario::DumbbellConfig cfg;
+  cfg.link_rate_bps = x.link_mbps * 1e6;
+  const std::string& aqm_name = x.text(p, "aqm");
+  cfg.aqm.type = aqm_name == "pie"       ? scenario::AqmType::kPie
+                 : aqm_name == "dualpi2" ? scenario::AqmType::kDualPi2
+                                         : scenario::AqmType::kCoupledPi2;
+  cfg.aqm.ecn = true;
+  cfg.duration = sim::from_seconds(x.duration_s);
+  cfg.stats_start = sim::from_seconds(x.stats_start_s);
+  cfg.seed = p.seed;
+  cfg.faults = schedule;
+  scenario::TcpFlowSpec cubic;
+  cubic.cc = tcp::CcType::kCubic;
+  cubic.base_rtt = sim::from_millis(x.rtt_ms);
+  cfg.tcp_flows.push_back(cubic);
+  scenario::TcpFlowSpec dctcp;
+  dctcp.cc = tcp::CcType::kDctcp;
+  dctcp.base_rtt = sim::from_millis(x.rtt_ms);
+  cfg.tcp_flows.push_back(dctcp);
+  const double fluid = x.number(p, "fluid_flows");
+  if (fluid > 0) {
+    scenario::FluidFlowSpec bg;
+    bg.cc = tcp::CcType::kReno;
+    bg.count = fluid;
+    bg.base_rtt = sim::from_millis(x.rtt_ms);
+    cfg.fluid_flows.push_back(bg);
+  }
+
+  outcome = run_case_oracles(cfg, index, options);
+  if (!prop_err.empty()) {
+    outcome.failures.push_back({"campaign-properties", prop_err});
+  }
+  // Fold the expansion digest so the batch-level determinism and --jobs
+  // rechecks guard expand() alongside the simulation.
+  durable::Fnv1a h;
+  h.mix_u64(outcome.digest);
+  h.mix_u64(x.digest);
+  outcome.digest = h.state;
+  return outcome;
 }
 
 }  // namespace pi2::check

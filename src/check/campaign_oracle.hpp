@@ -25,6 +25,7 @@
 #include <string>
 
 #include "campaign/spec.hpp"
+#include "check/oracles.hpp"
 
 namespace pi2::check {
 
@@ -37,5 +38,17 @@ namespace pi2::check {
 /// property tests: template, axis subset order, value counts and values all
 /// derive from `seed`.
 [[nodiscard]] campaign::CampaignSpec random_campaign_spec(std::uint64_t seed);
+
+/// End-to-end campaign fuzz case for check_fuzz's third sub-batch. From
+/// `seed` it (a) runs the full property battery over a random spec of any
+/// template, and (b) expands a randomly drawn *resilience* spec — fault
+/// presets/inline literals on the fault_schedule axis, fluid background
+/// scales on fluid_flows — resolves one point's schedule exactly as the
+/// campaign driver does, and pushes the materialized dumbbell config
+/// through every scenario oracle. The outcome digest folds the expansion
+/// digest, so the batch-level --jobs/determinism rechecks also guard
+/// expand().
+[[nodiscard]] CaseOutcome run_campaign_case_oracles(
+    std::uint64_t seed, std::uint64_t index, const OracleOptions& options = {});
 
 }  // namespace pi2::check

@@ -50,11 +50,18 @@ tcp::CcType draw_cc(Rng& rng) {
 
 void draw_faults(Rng& rng, double duration_s, faults::FaultSchedule& out) {
   const int n = static_cast<int>(rng.uniform_below(3)) + 1;
+  // Draw kinds without replacement: windowed events of the same kind must
+  // not overlap (FaultSchedule::validate(duration)), and distinct kinds per
+  // schedule keeps every draw trivially valid.
+  bool used[7] = {};
   for (int i = 0; i < n; ++i) {
     const Time at = from_seconds(rng.uniform(0.0, duration_s * 0.8));
     const Time until =
         at + from_seconds(rng.uniform(0.05, duration_s * 0.5) + 1e-3);
-    switch (rng.uniform_below(7)) {
+    std::uint64_t kind = rng.uniform_below(7);
+    while (used[kind]) kind = (kind + 1) % 7;
+    used[kind] = true;
+    switch (kind) {
       case 0:
         out.rate_step(at, rng.uniform(1e6, 20e6));
         break;

@@ -217,6 +217,14 @@ GoldenOptions default_golden_options() {
   options.metric_rel_tol["settle_drop_s"] = 0.25;
   options.metric_rel_tol["settle_rise_s"] = 0.25;
   options.metric_rel_tol["peak_qdelay_ms"] = 0.25;
+  // Resilience recovery metrics share the settle semantics (-1 = never
+  // reconverged, so a sign flip always trips a relative band); the
+  // post-fault delta hovers near zero, so it gets a loose band.
+  options.metric_rel_tol["worst_recovery_s"] = 0.25;
+  options.metric_rel_tol["mean_recovery_s"] = 0.25;
+  options.metric_rel_tol["post_fault_delta_ms"] = 0.50;
+  // A violation in quiet time is a regression at any count.
+  options.metric_rel_tol["violations_outside"] = 0.0;
   return options;
 }
 

@@ -182,6 +182,20 @@ std::uint64_t result_digest(const scenario::RunResult& result) {
     mix_u64(h, link.guard_events);
     mix_u64(h, static_cast<std::uint64_t>(link.final_backlog_packets));
   }
+  const stats::ResilienceReport& rr = result.resilience;
+  mix_u64(h, rr.analyzed ? 1 : 0);
+  mix_u64(h, rr.windows);
+  mix_u64(h, rr.recovered_windows);
+  mix_double(h, rr.worst_recovery_s);
+  mix_double(h, rr.mean_recovery_s);
+  mix_double(h, rr.peak_qdelay_ms);
+  mix_double(h, rr.pre_fault_mean_qdelay_ms);
+  mix_double(h, rr.post_fault_mean_qdelay_ms);
+  mix_double(h, rr.post_fault_delta_ms);
+  mix_u64(h, rr.violations_in_window);
+  mix_u64(h, rr.violations_outside);
+  mix_u64(h, static_cast<std::uint64_t>(rr.recovery_s.size()));
+  for (const double r : rr.recovery_s) mix_double(h, r);
   return h;
 }
 

@@ -18,7 +18,12 @@ namespace {
 // the violations section. v3 payloads stay readable — the links section is
 // strictly trailing, so a v3 record decodes with `links` empty, which is
 // exactly what a v3-era (single-link) run would have carried.
-constexpr const char* kMagic = "pi2-result-v4";
+// v5: the trailing ResilienceReport section (recovery scoring of the
+// primary link's fault windows). v4 and v3 payloads still decode — the new
+// section is strictly trailing, so older records decode with the default
+// (unanalyzed) report, which is what a fault-free run carries anyway.
+constexpr const char* kMagic = "pi2-result-v5";
+constexpr const char* kMagicV4 = "pi2-result-v4";
 constexpr const char* kMagicV3 = "pi2-result-v3";
 
 void put_u64(std::string& out, std::uint64_t v) {
@@ -276,16 +281,33 @@ std::string encode_result(const scenario::RunResult& result) {
     put_u64(out, link.guard_events);
     put_i64(out, link.final_backlog_packets);
   }
+
+  const stats::ResilienceReport& rr = result.resilience;
+  put_u64(out, rr.analyzed ? 1 : 0);
+  put_u64(out, rr.windows);
+  put_u64(out, rr.recovered_windows);
+  put_double(out, rr.worst_recovery_s);
+  put_double(out, rr.mean_recovery_s);
+  put_double(out, rr.peak_qdelay_ms);
+  put_double(out, rr.pre_fault_mean_qdelay_ms);
+  put_double(out, rr.post_fault_mean_qdelay_ms);
+  put_double(out, rr.post_fault_delta_ms);
+  put_u64(out, rr.violations_in_window);
+  put_u64(out, rr.violations_outside);
+  put_u64(out, rr.recovery_s.size());
+  for (const double r : rr.recovery_s) put_double(out, r);
   return out;
 }
 
 Status decode_result(const std::string& payload, scenario::RunResult& result) {
   std::istringstream magic_in(payload);
   std::string magic;
-  if (!(magic_in >> magic) || (magic != kMagic && magic != kMagicV3)) {
+  if (!(magic_in >> magic) ||
+      (magic != kMagic && magic != kMagicV4 && magic != kMagicV3)) {
     return Status::corrupt("result payload: bad magic");
   }
-  const bool has_links = magic == kMagic;
+  const bool has_links = magic == kMagic || magic == kMagicV4;
+  const bool has_resilience = magic == kMagic;
   Reader reader(payload.substr(magic.size()));
   scenario::RunResult out;
 
@@ -379,6 +401,27 @@ Status decode_result(const std::string& payload, scenario::RunResult& result) {
            reader.u64(link.guard_events) &&
            reader.i64(link.final_backlog_packets);
       if (ok) out.links.push_back(std::move(link));
+    }
+  }
+
+  if (has_resilience) {
+    stats::ResilienceReport& rr = out.resilience;
+    std::uint64_t analyzed = 0;
+    ok = ok && reader.u64(analyzed) && reader.u64(rr.windows) &&
+         reader.u64(rr.recovered_windows) && reader.real(rr.worst_recovery_s) &&
+         reader.real(rr.mean_recovery_s) && reader.real(rr.peak_qdelay_ms) &&
+         reader.real(rr.pre_fault_mean_qdelay_ms) &&
+         reader.real(rr.post_fault_mean_qdelay_ms) &&
+         reader.real(rr.post_fault_delta_ms) &&
+         reader.u64(rr.violations_in_window) &&
+         reader.u64(rr.violations_outside);
+    rr.analyzed = analyzed != 0;
+    std::uint64_t recovery_count = 0;
+    ok = ok && reader.u64(recovery_count) && recovery_count <= (1u << 20);
+    for (std::uint64_t i = 0; ok && i < recovery_count; ++i) {
+      double r = 0.0;
+      ok = reader.real(r);
+      if (ok) rr.recovery_s.push_back(r);
     }
   }
 

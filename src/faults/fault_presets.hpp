@@ -1,0 +1,75 @@
+// Named fault presets and inline schedule literals for campaign specs.
+//
+// A campaign `fault_schedule` axis value like "rate_step_4x" resolves to a
+// FaultSchedule scaled to the run's link rate, base RTT and duration, so the
+// same preset means the same *relative* disturbance at every grid point.
+// Values that are not preset names are parsed as inline literals, a compact
+// event DSL:
+//
+//   literal := event (';' event)*
+//   event   := kind '@' start [ '..' end ] [ ':' key '=' value (',' ...)* ]
+//
+// start/end are fractions of the run duration (start in [0, 1), end in
+// (start, 1]). Windowed kinds (rate_flap, random_loss, ecn_bleach, reorder)
+// require `start..end`; instantaneous kinds (rate_step, rtt_step,
+// burst_loss) take a single `start`. Per-kind keys — rates are multiples of
+// the link rate, `rtt` a multiple of the base RTT, everything else absolute:
+//
+//   rate_step:   rate (default 0.25)
+//   rate_flap:   low (0.25), high (1.0), period_s (0.5)
+//   rtt_step:    rtt (3.0)
+//   burst_loss:  packets (50)
+//   random_loss: p (0.02)
+//   ecn_bleach:  p (1.0)
+//   reorder:     p (0.05), delay_ms (5)
+//
+// Example: "rate_step@0.4:rate=0.25;rate_step@0.7:rate=1"
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_schedule.hpp"
+#include "sim/time.hpp"
+
+namespace pi2::faults {
+
+/// Run parameters a preset or literal is scaled against.
+struct PresetContext {
+  double link_bps = 10e6;
+  pi2::sim::Duration base_rtt = pi2::sim::from_millis(100);
+  pi2::sim::Time duration{std::chrono::seconds{20}};
+};
+
+/// Preset names accepted by preset()/resolve_schedule(), in display order
+/// ("none" first, then the disturbance presets).
+[[nodiscard]] const std::vector<std::string>& preset_names();
+
+[[nodiscard]] bool is_preset(std::string_view name);
+
+/// Resolves a named preset into `*out` (replacing its contents). Returns ""
+/// on success, otherwise an actionable message listing the known presets.
+[[nodiscard]] std::string preset(std::string_view name,
+                                 const PresetContext& ctx, FaultSchedule* out);
+
+/// Resolves a campaign axis value — a preset name or an inline literal —
+/// into `*out`. Returns "" on success, otherwise an actionable message
+/// naming the offending preset/event and constraint.
+[[nodiscard]] std::string resolve_schedule(std::string_view value,
+                                           const PresetContext& ctx,
+                                           FaultSchedule* out);
+
+/// One disturbance window per event, in seconds: [at, until] for windowed
+/// kinds (clamped to the run), zero-width [at, at] for instantaneous ones.
+/// Sorted by start with overlapping windows merged — the recovery analyzer
+/// measures re-convergence after each window's end.
+struct FaultWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+[[nodiscard]] std::vector<FaultWindow> fault_windows(
+    const FaultSchedule& schedule, pi2::sim::Time duration);
+
+}  // namespace pi2::faults

@@ -117,6 +117,11 @@ std::string event_error(std::size_t index, FaultKind kind, const char* what) {
   return buf;
 }
 
+bool is_windowed(FaultKind kind) {
+  return kind == FaultKind::kRateFlap || kind == FaultKind::kRandomLoss ||
+         kind == FaultKind::kEcnBleach || kind == FaultKind::kReorder;
+}
+
 }  // namespace
 
 std::string FaultSchedule::validate() const {
@@ -125,11 +130,7 @@ std::string FaultSchedule::validate() const {
     if (e.at < pi2::sim::kTimeZero) {
       return event_error(i, e.kind, "`at` must be >= 0 (events cannot target the past)");
     }
-    const bool windowed = e.kind == FaultKind::kRateFlap ||
-                          e.kind == FaultKind::kRandomLoss ||
-                          e.kind == FaultKind::kEcnBleach ||
-                          e.kind == FaultKind::kReorder;
-    if (windowed && e.until <= e.at) {
+    if (is_windowed(e.kind) && e.until <= e.at) {
       return event_error(i, e.kind, "`until` must be after `at` (empty window)");
     }
     const bool probabilistic = e.kind == FaultKind::kRandomLoss ||
@@ -170,6 +171,32 @@ std::string FaultSchedule::validate() const {
         break;
       default:
         break;
+    }
+  }
+  return "";
+}
+
+std::string FaultSchedule::validate(pi2::sim::Time duration) const {
+  if (std::string e = validate(); !e.empty()) return e;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (duration > pi2::sim::kTimeZero && events[i].at >= duration) {
+      return event_error(
+          i, events[i].kind,
+          "`at` must be < duration_s (the event would start after the run ends)");
+    }
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!is_windowed(events[i].kind)) continue;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].kind != events[i].kind) continue;
+      if (events[i].at < events[j].until && events[j].at < events[i].until) {
+        char what[128];
+        std::snprintf(
+            what, sizeof what,
+            "window overlaps fault event #%zu of the same kind (windows must be disjoint)",
+            i);
+        return event_error(j, events[j].kind, what);
+      }
     }
   }
   return "";

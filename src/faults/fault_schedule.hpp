@@ -85,6 +85,14 @@ struct FaultSchedule {
   /// Returns "" when every event is well-formed, otherwise an actionable
   /// message naming the offending event index, field and constraint.
   [[nodiscard]] std::string validate() const;
+
+  /// Duration-aware validation: everything validate() checks, plus no event
+  /// may start at/after `duration` (it could never fire) and windowed events
+  /// of the same kind must not overlap (the injector replays each kind as a
+  /// single state machine, so concurrent windows are ambiguous). Scenario
+  /// configs call this form with their run duration; `duration <= 0` skips
+  /// the end-of-run check (the config rejects such durations separately).
+  [[nodiscard]] std::string validate(pi2::sim::Time duration) const;
 };
 
 }  // namespace pi2::faults

@@ -69,7 +69,7 @@ std::string DumbbellConfig::validate() const {
     return bad_field("recorder.interval", "be > 0 seconds",
                      to_seconds(recorder->sampler().interval()));
   }
-  return faults.validate();
+  return faults.validate(duration);
 }
 
 double RunResult::mean_goodput_mbps(tcp::CcType cc) const {

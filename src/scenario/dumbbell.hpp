@@ -23,6 +23,7 @@
 #include "sim/time.hpp"
 #include "stats/meters.hpp"
 #include "stats/percentile.hpp"
+#include "stats/recovery.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/congestion_control.hpp"
 
@@ -250,6 +251,10 @@ struct RunResult {
   /// Per-link slices (see LinkSlice): one for the dumbbell's bottleneck,
   /// one per link for topology runs.
   std::vector<LinkSlice> links;
+  /// Recovery scoring of the primary link's fault windows (stats::
+  /// analyze_recovery over the sampled qdelay series; codec v5 section).
+  /// `analyzed` stays false for runs without a fault schedule.
+  stats::ResilienceReport resilience;
 
   /// Mean goodput (Mb/s) across packet flows of a given congestion control
   /// (fluid specs are excluded — they model background load, and figures

@@ -20,6 +20,7 @@
 
 #include "control/fluid_flow.hpp"
 #include "durable/status.hpp"
+#include "faults/fault_presets.hpp"
 #include "net/batch_pipe.hpp"
 #include "net/packet_pool.hpp"
 #include "net/trace.hpp"
@@ -726,6 +727,48 @@ TopologyResult run_topology(const TopologyConfig& config) {
                              violations.end());
     result.invariant_checks += rt.monitor->checks_run();
     result.links.push_back(std::move(rt.out));
+  }
+
+  // Resilience scoring of the primary link's disturbances: how fast the AQM
+  // re-converged after each fault window, and whether any invariant
+  // violation happened outside a window's recovery transient.
+  {
+    const std::vector<faults::FaultWindow> fault_windows =
+        faults::fault_windows(config.links[0].faults, config.duration);
+    std::vector<stats::RecoveryWindow> windows;
+    windows.reserve(fault_windows.size());
+    for (const faults::FaultWindow& w : fault_windows) {
+      windows.push_back({w.start_s, w.end_s});
+    }
+    std::vector<Time> violation_times;
+    violation_times.reserve(result.violations.size());
+    for (const faults::InvariantViolation& v : result.violations) {
+      violation_times.push_back(v.at);
+    }
+    stats::RecoveryOptions opts;
+    opts.band_ms = 2.0 * to_millis(config.links[0].aqm.target);
+    opts.hold_s = 1.0;
+    opts.analysis_start_s = to_seconds(config.stats_start);
+    opts.duration_s = to_seconds(config.duration);
+    result.resilience = stats::analyze_recovery(
+        result.links.front().qdelay_ms_series, windows, violation_times, opts);
+    // Faulted runs surface the scores as telemetry; fault-free runs keep the
+    // legacy gauge set so existing snapshots stay byte-identical.
+    if (probe_registry != nullptr && !config.links[0].faults.empty()) {
+      const stats::ResilienceReport& rr = result.resilience;
+      telemetry::MetricsRegistry& reg = *probe_registry;
+      reg.gauge("resilience.windows").set(static_cast<double>(rr.windows));
+      reg.gauge("resilience.recovered_windows")
+          .set(static_cast<double>(rr.recovered_windows));
+      reg.gauge("resilience.worst_recovery_s").set(rr.worst_recovery_s);
+      reg.gauge("resilience.mean_recovery_s").set(rr.mean_recovery_s);
+      reg.gauge("resilience.peak_qdelay_ms").set(rr.peak_qdelay_ms);
+      reg.gauge("resilience.post_fault_delta_ms").set(rr.post_fault_delta_ms);
+      reg.gauge("resilience.violations_in_window")
+          .set(static_cast<double>(rr.violations_in_window));
+      reg.gauge("resilience.violations_outside")
+          .set(static_cast<double>(rr.violations_outside));
+    }
   }
 
   // Finish telemetry while the probed objects are still alive: the final

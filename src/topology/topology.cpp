@@ -130,7 +130,7 @@ std::string TopologyConfig::validate() const {
           return e;
         }
       }
-      if (std::string e = link.faults.validate(); !e.empty()) {
+      if (std::string e = link.faults.validate(duration); !e.empty()) {
         return where + e;
       }
     }
@@ -275,6 +275,7 @@ scenario::RunResult to_run_result(TopologyResult result) {
   out.clamped_events = result.clamped_events;
   out.violations = std::move(result.violations);
   out.invariant_checks = result.invariant_checks;
+  out.resilience = std::move(result.resilience);
   return out;
 }
 

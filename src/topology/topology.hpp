@@ -30,6 +30,7 @@
 #include "scenario/dumbbell.hpp"
 #include "sim/time.hpp"
 #include "stats/percentile.hpp"
+#include "stats/recovery.hpp"
 #include "stats/time_series.hpp"
 
 namespace pi2::net {
@@ -175,6 +176,10 @@ struct TopologyResult {
   /// Violations across every link's monitor, in link order; checks summed.
   std::vector<faults::InvariantViolation> violations;
   std::uint64_t invariant_checks = 0;
+  /// Recovery scoring of links[0]'s fault windows against its sampled
+  /// qdelay series (stats::analyze_recovery); `analyzed` stays false when
+  /// the primary link has no fault schedule.
+  stats::ResilienceReport resilience;
 
   /// Mean goodput (Mb/s) across the packet flows of one route.
   [[nodiscard]] double route_goodput_mbps(std::int32_t route) const;

@@ -5,12 +5,16 @@
 # not scheduling luck carries the result — and the final merged journal and
 # JSON must be byte-identical to an uninterrupted serial run.
 #
-# Usage: campaign_shard_kill.sh <pi2_campaign> <spec> <workdir>
+# Usage: campaign_shard_kill.sh <pi2_campaign> <spec> <workdir> [hang-index]
+# hang-index is the *global* point index the injected hang targets; it must
+# lie inside shard 3's slice of the spec's smoke grid (default 3, matching
+# a 4-point grid whose 3-way split claims [0,1) [1,2) [2,4)).
 set -euo pipefail
 
 bin="$1"
 spec="$2"
 work="$3"
+hang_index="${4:-3}"
 
 rm -rf "$work"
 mkdir -p "$work"
@@ -57,16 +61,15 @@ kill_shard3() {
   set -e
 }
 
-# Serial reference plus the two healthy shards. The spec's smoke grid has 4
-# points, so the 3-way split claims [0,1) [1,2) [2,4); shard 3 is the victim
-# and global point 3 lies inside its slice.
+# Serial reference plus the two healthy shards; shard 3 is the victim and
+# $hang_index must name a global point inside its slice.
 run --jobs 2 --json ref.json --journal ref.journal >/dev/null
 [ -s ref.json ] || fail "serial reference produced no ref.json"
 run --jobs 2 --shard 1/3 --journal s1.journal >/dev/null
 run --jobs 2 --shard 2/3 --journal s2.journal >/dev/null
 
 # --- Phase A: SIGKILL shard 3 mid-run ---------------------------------------
-kill_shard3 KILL s3.journal 3
+kill_shard3 KILL s3.journal "$hang_index"
 if [ "$outcome" = killed ]; then
   [ "$(journal_points s3.journal)" -ge 1 ] || fail "no journaled points to resume"
   # The kill left shard 3's declared range incomplete (or its tail torn):
@@ -92,7 +95,7 @@ cmp ref.journal merged.journal \
   || fail "merged journal differs from serial (SIGKILL)"
 
 # --- Phase B: SIGTERM shard 3 (graceful shutdown) ---------------------------
-kill_shard3 TERM c3.journal 3
+kill_shard3 TERM c3.journal "$hang_index"
 if [ "$outcome" = killed ]; then
   [ "$last_exit" -eq 75 ] || fail "SIGTERM exit code $last_exit, expected 75"
   grep -q '"kind":"interrupted"' c3.journal \

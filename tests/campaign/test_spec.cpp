@@ -63,6 +63,29 @@ CampaignSpec overload_spec() {
   return spec;
 }
 
+CampaignSpec resilience_spec() {
+  CampaignSpec spec;
+  spec.name = "fig_resilience";
+  spec.template_name = "resilience";
+  spec.seed = 1;
+  Axis aqm;
+  aqm.name = "aqm";
+  aqm.cap = false;
+  aqm.values = {axis_text("coupled-pi2"), axis_text("dualpi2"),
+                axis_text("pie")};
+  Axis fault;
+  fault.name = "fault_schedule";
+  fault.cap = false;
+  fault.values = {axis_text("rate_step_4x"), axis_text("rtt_flap"),
+                  axis_text("burst_loss_2pct"), axis_text("ecn_bleach"),
+                  axis_text("reorder")};
+  Axis fluid;
+  fluid.name = "fluid_flows";
+  fluid.values = {axis_number(0), axis_number(1000), axis_number(100000)};
+  spec.axes = {aqm, fault, fluid};
+  return spec;
+}
+
 std::string validate_parsed(const std::string& json) {
   CampaignSpec spec;
   const std::string parse_err = parse_spec(json, spec);
@@ -73,6 +96,38 @@ std::string validate_parsed(const std::string& json) {
 TEST(CampaignSpec, ValidSpecsValidateClean) {
   EXPECT_EQ(sweep_spec().validate(), "");
   EXPECT_EQ(overload_spec().validate(), "");
+  EXPECT_EQ(resilience_spec().validate(), "");
+}
+
+TEST(CampaignSpec, ResilienceExpandsRowMajorWithFluidFastest) {
+  const Expansion x = expand(resilience_spec(), ExpandOptions{});
+  ASSERT_EQ(x.points.size(), 3u * 5u * 3u);
+  EXPECT_EQ(x.text(x.points[0], "aqm"), "coupled-pi2");
+  EXPECT_EQ(x.text(x.points[0], "fault_schedule"), "rate_step_4x");
+  EXPECT_EQ(x.number(x.points[0], "fluid_flows"), 0.0);
+  EXPECT_EQ(x.number(x.points[1], "fluid_flows"), 1000.0);
+  EXPECT_EQ(x.number(x.points[2], "fluid_flows"), 100000.0);
+  EXPECT_EQ(x.text(x.points[3], "fault_schedule"), "rtt_flap");
+  EXPECT_EQ(x.text(x.points[15], "aqm"), "dualpi2");
+}
+
+TEST(CampaignSpec, DigestCoversFaultScheduleValues) {
+  // A changed fault preset or inline literal is a different experiment: the
+  // digest must move so stale journals can never replay into the new grid.
+  CampaignSpec tweaked = resilience_spec();
+  tweaked.axes[1].values[0] = axis_text("rate_step@0.4:rate=0.5");
+  const Expansion base = expand(resilience_spec(), ExpandOptions{});
+  const Expansion moved = expand(tweaked, ExpandOptions{});
+  EXPECT_NE(base.digest, moved.digest);
+  // ...and so do the per-point keys of the affected points.
+  EXPECT_NE(base.points[0].key, moved.points[0].key);
+}
+
+TEST(CampaignSpec, DigestCoversFluidFlowCounts) {
+  CampaignSpec tweaked = resilience_spec();
+  tweaked.axes[2].values[1] = axis_number(2000);
+  EXPECT_NE(expand(resilience_spec(), ExpandOptions{}).digest,
+            expand(tweaked, ExpandOptions{}).digest);
 }
 
 TEST(CampaignSpec, ExpansionIsRowMajorLastAxisFastest) {
@@ -206,7 +261,7 @@ TEST(CampaignValidate, UnknownTemplate) {
   spec.template_name = "trident";
   EXPECT_EQ(spec.validate(),
             "template 'trident' is not a recognized template "
-            "(dumbbell_sweep, overload, parking_lot, rtt_mix)");
+            "(dumbbell_sweep, overload, parking_lot, rtt_mix, resilience)");
 }
 
 TEST(CampaignValidate, NegativeLinkOverride) {
@@ -238,7 +293,7 @@ TEST(CampaignValidate, UnknownAxisName) {
   spec.axes[1].name = "zoom";
   EXPECT_EQ(spec.validate(),
             "axes[1].name 'zoom' is not a recognized axis (aqm, cc_mix, ecn, "
-            "hops, rate_mbps, rtt_ms, udp_mult)");
+            "fault_schedule, fluid_flows, hops, rate_mbps, rtt_ms, udp_mult)");
 }
 
 TEST(CampaignValidate, AxisForeignToTemplate) {
@@ -322,6 +377,44 @@ TEST(CampaignValidate, UnknownEcnCodepoint) {
   EXPECT_EQ(spec.validate(),
             "axes[0].values[1] 'ect9' is not a recognized ecn codepoint "
             "(not-ect, ect1, ect0)");
+}
+
+TEST(CampaignValidate, EmptyFaultScheduleValue) {
+  CampaignSpec spec = resilience_spec();
+  spec.axes[1].values[2] = axis_text("");
+  EXPECT_EQ(spec.validate(),
+            "axes[1].values[2] must be a non-empty fault preset name or "
+            "literal");
+}
+
+TEST(CampaignValidate, FractionalFluidFlows) {
+  CampaignSpec spec = resilience_spec();
+  spec.axes[2].values[1] = axis_number(10.5);
+  EXPECT_EQ(spec.validate(),
+            "axes[2].values[1] must be a whole number of fluid flows >= 0 "
+            "(got 10.5)");
+}
+
+TEST(CampaignValidate, NegativeFluidFlows) {
+  CampaignSpec spec = resilience_spec();
+  spec.axes[2].values[0] = axis_number(-1);
+  EXPECT_EQ(spec.validate(),
+            "axes[2].values[0] must be a whole number of fluid flows >= 0 "
+            "(got -1)");
+}
+
+TEST(CampaignValidate, ZeroFluidFlowsIsLegal) {
+  // 0 is the no-background baseline of the resilience grid.
+  EXPECT_EQ(resilience_spec().validate(), "");
+}
+
+TEST(CampaignValidate, UnknownAqmForResilienceTemplate) {
+  // The resilience grid compares the paper's contenders only.
+  CampaignSpec spec = resilience_spec();
+  spec.axes[0].values[1] = axis_text("red");
+  EXPECT_EQ(spec.validate(),
+            "axes[0].values[1] 'red' is not a recognized aqm for "
+            "template 'resilience'");
 }
 
 TEST(CampaignValidate, FullValuesAreCheckedToo) {
@@ -464,7 +557,7 @@ TEST(CampaignProperties, HoldForCommittedCampaignFiles) {
   const char* files[] = {
       "fig15.json",       "fig16.json",        "fig17.json",
       "fig18.json",       "fig_overload.json", "fig_parking_lot.json",
-      "fig_rtt_mix.json",
+      "fig_rtt_mix.json", "fig_resilience.json",
   };
   ExpandOptions smoke;
   smoke.grid_cap = 2;

@@ -223,17 +223,92 @@ TEST(ResultCodec, V3PayloadsStayReadable) {
   EXPECT_EQ(decoded.violations[0].check, "conservation");
   EXPECT_EQ(decoded.violations[0].detail, "off by one");
 
-  // Re-encoding a v3-decoded result produces a v4 payload (with an empty
-  // links section) that decodes to the same digest.
+  // Re-encoding a v3-decoded result produces a v5 payload (with an empty
+  // links section and a default resilience section) that decodes to the
+  // same digest.
   scenario::RunResult again;
-  const std::string v4_payload = encode_result(decoded);
-  EXPECT_EQ(v4_payload.rfind("pi2-result-v4", 0), 0u);
-  ASSERT_TRUE(decode_result(v4_payload, again).ok());
+  const std::string v5_payload = encode_result(decoded);
+  EXPECT_EQ(v5_payload.rfind("pi2-result-v5", 0), 0u);
+  ASSERT_TRUE(decode_result(v5_payload, again).ok());
   EXPECT_EQ(check::result_digest(again), check::result_digest(decoded));
 
   // A v3 payload with trailing bytes (e.g. a glued links section) is still
   // structural damage, not silently accepted.
   EXPECT_FALSE(decode_result(v3_payload + " 1", decoded).ok());
+}
+
+TEST(ResultCodec, ResilienceReportSurvivesTheTrip) {
+  scenario::RunResult result;
+  stats::ResilienceReport& rr = result.resilience;
+  rr.analyzed = true;
+  rr.windows = 3;
+  rr.recovered_windows = 2;
+  rr.recovery_s = {0.6, -1.0, 1.25};
+  rr.worst_recovery_s = -1.0;
+  rr.mean_recovery_s = 0.925;
+  rr.peak_qdelay_ms = 180.5;
+  rr.pre_fault_mean_qdelay_ms = 19.75;
+  rr.post_fault_mean_qdelay_ms = 21.5;
+  rr.post_fault_delta_ms = 1.75;
+  rr.violations_in_window = 4;
+  rr.violations_outside = 1;
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(encode_result(result), decoded).ok());
+  EXPECT_TRUE(decoded.resilience == result.resilience);
+
+  // The digest folds the report, so altering any score must change it.
+  scenario::RunResult tweaked = result;
+  tweaked.resilience.worst_recovery_s = 2.0;
+  EXPECT_NE(check::result_digest(tweaked), check::result_digest(result));
+  tweaked = result;
+  tweaked.resilience.recovery_s[1] = 0.5;
+  EXPECT_NE(check::result_digest(tweaked), check::result_digest(result));
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(result));
+}
+
+TEST(ResultCodec, V4PayloadsStayReadable) {
+  // A v4 payload is exactly a v5 payload minus the trailing resilience
+  // section; build one from the encoder and re-badge the magic. It must
+  // keep decoding — resumed sweeps replay v4-era journals — and surface the
+  // default (unanalyzed) report.
+  scenario::RunResult result;
+  result.events_executed = 42;
+  result.counters.enqueued = 7;
+  scenario::LinkSlice link;
+  link.name = "bottleneck";
+  link.counters.enqueued = 7;
+  result.links.push_back(std::move(link));
+
+  const std::string v5_payload = encode_result(result);
+  ASSERT_EQ(v5_payload.rfind("pi2-result-v5", 0), 0u);
+  const std::string default_resilience_section =
+      " 0 0 0 0000000000000000 0000000000000000 0000000000000000"
+      " 0000000000000000 0000000000000000 0000000000000000 0 0 0";
+  ASSERT_GE(v5_payload.size(), default_resilience_section.size());
+  ASSERT_EQ(v5_payload.substr(v5_payload.size() -
+                              default_resilience_section.size()),
+            default_resilience_section)
+      << "encoder no longer ends with the default resilience section; "
+         "update this synthesizer";
+  const std::string v4_payload =
+      "pi2-result-v4" +
+      v5_payload.substr(std::strlen("pi2-result-v5"),
+                        v5_payload.size() - std::strlen("pi2-result-v5") -
+                            default_resilience_section.size());
+
+  scenario::RunResult decoded;
+  ASSERT_TRUE(decode_result(v4_payload, decoded).ok());
+  EXPECT_FALSE(decoded.resilience.analyzed);
+  EXPECT_TRUE(decoded.resilience == stats::ResilienceReport{});
+  EXPECT_EQ(decoded.events_executed, 42u);
+  ASSERT_EQ(decoded.links.size(), 1u);
+  EXPECT_EQ(decoded.links[0].name, "bottleneck");
+  EXPECT_EQ(check::result_digest(decoded), check::result_digest(result));
+
+  // A v4 payload with trailing bytes (e.g. a glued resilience section) is
+  // still structural damage, not silently accepted.
+  EXPECT_FALSE(decode_result(v4_payload + " 1", decoded).ok());
 }
 
 TEST(ResultCodec, ViolationsSurviveTheTrip) {

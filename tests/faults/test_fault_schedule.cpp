@@ -99,5 +99,53 @@ TEST(FaultSchedule, ValidateRejectsBadKindSpecificFields) {
   EXPECT_NE(reorder.validate().find("extra_delay"), std::string::npos);
 }
 
+TEST(FaultSchedule, ValidateRejectsEventPastDuration) {
+  FaultSchedule s;
+  s.rate_step(from_seconds(5), 10e6);
+  s.rate_step(from_seconds(30), 10e6);  // run only lasts 20 s
+  EXPECT_EQ(s.validate(), "");
+  const std::string msg = s.validate(from_seconds(20));
+  EXPECT_NE(msg.find("fault event #1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("`at` must be < duration_s"), std::string::npos) << msg;
+}
+
+TEST(FaultSchedule, ValidateAcceptsEventJustBeforeDuration) {
+  FaultSchedule s;
+  s.rate_step(from_seconds(19), 10e6);
+  EXPECT_EQ(s.validate(from_seconds(20)), "");
+}
+
+TEST(FaultSchedule, ValidateRejectsZeroDurationWindow) {
+  FaultSchedule s;
+  s.ecn_bleach(from_seconds(5), from_seconds(5), 1.0);
+  const std::string msg = s.validate(from_seconds(20));
+  EXPECT_NE(msg.find("fault event #0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("`until` must be after `at`"), std::string::npos) << msg;
+}
+
+TEST(FaultSchedule, ValidateRejectsOverlappingSameKindWindows) {
+  FaultSchedule s;
+  s.random_loss(from_seconds(2), from_seconds(8), 0.01);
+  s.random_loss(from_seconds(6), from_seconds(12), 0.02);
+  EXPECT_EQ(s.validate(), "");  // base form has no overlap rule
+  const std::string msg = s.validate(from_seconds(20));
+  EXPECT_NE(msg.find("fault event #1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("overlaps fault event #0"), std::string::npos) << msg;
+}
+
+TEST(FaultSchedule, ValidateAcceptsOverlapAcrossDifferentKinds) {
+  FaultSchedule s;
+  s.random_loss(from_seconds(2), from_seconds(8), 0.01);
+  s.ecn_bleach(from_seconds(4), from_seconds(10), 1.0);
+  EXPECT_EQ(s.validate(from_seconds(20)), "");
+}
+
+TEST(FaultSchedule, ValidateAcceptsDisjointSameKindWindows) {
+  FaultSchedule s;
+  s.random_loss(from_seconds(2), from_seconds(5), 0.01);
+  s.random_loss(from_seconds(5), from_seconds(8), 0.02);
+  EXPECT_EQ(s.validate(from_seconds(20)), "");
+}
+
 }  // namespace
 }  // namespace pi2::faults

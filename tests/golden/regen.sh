@@ -32,6 +32,10 @@ regen fig_response fig_response.json
 regen fig_overload fig_overload.json
 regen fig_parking_lot fig_parking_lot.json
 regen fig_rtt_mix fig_rtt_mix.json
+# The resilience campaign is driven by pi2_campaign itself (no standalone
+# figure binary); the spec pins the fault x fluid grid.
+regen pi2_campaign fig_resilience.json \
+  --spec "$here/../../campaigns/fig_resilience.json"
 # The fluid-agreement baseline is the *packet* rendering of the background
 # load; the golden_fluid_fig15..18 ctests run their candidates with
 # --fluid-background 2 against it (figs 15-18 share one sweep engine and

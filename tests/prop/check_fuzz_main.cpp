@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "check/campaign_oracle.hpp"
 #include "check/fuzzer.hpp"
 #include "check/oracles.hpp"
 #include "check/shrinker.hpp"
@@ -47,6 +48,10 @@ struct Args {
   std::uint64_t cases = 200;
   /// Multi-hop topology cases appended to the batch; default cases/8.
   long long topo_cases = -1;
+  /// Campaign cases (spec properties + one materialized resilience point
+  /// through the fault/fluid axes) appended after the topology sub-batch;
+  /// default cases/8.
+  long long campaign_cases = -1;
   long long single_case = -1;
   long long single_topo_case = -1;
   unsigned jobs = 0;
@@ -70,6 +75,8 @@ Args parse_args(int argc, char** argv) {
       args.cases = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--topo-cases" && i + 1 < argc) {
       args.topo_cases = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--campaign-cases" && i + 1 < argc) {
+      args.campaign_cases = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--case" && i + 1 < argc) {
       args.single_case = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--topo-case" && i + 1 < argc) {
@@ -103,6 +110,10 @@ Args parse_args(int argc, char** argv) {
           "  --seed N     base seed; case i uses stream derive_seed(N, i)\n"
           "  --cases N    batch size (default 200)\n"
           "  --topo-cases N  multi-hop topology cases appended to the batch\n"
+          "               (default cases/8)\n"
+          "  --campaign-cases N  campaign cases (spec properties plus one\n"
+          "               materialized resilience fault/fluid point each)\n"
+          "               appended after the topology sub-batch\n"
           "               (default cases/8)\n"
           "  --case I     replay exactly one case and exit\n"
           "  --topo-case I  replay exactly one topology case and exit\n"
@@ -230,13 +241,21 @@ std::uint64_t topo_case_count(const Args& args) {
                               : args.cases / 8;
 }
 
+/// Resolved campaign-case count (--campaign-cases, defaulting to cases/8).
+std::uint64_t campaign_case_count(const Args& args) {
+  return args.campaign_cases >= 0
+             ? static_cast<std::uint64_t>(args.campaign_cases)
+             : args.cases / 8;
+}
+
 std::uint64_t fuzz_campaign_key(const Args& args) {
   pi2::durable::Fnv1a h;
-  // v2: topology sub-batch joined the campaign (digests fold link slices).
-  h.mix_string("pi2-fuzz-campaign-v2");
+  // v3: campaign sub-batch joined (fault/fluid axes drawn end to end).
+  h.mix_string("pi2-fuzz-campaign-v3");
   h.mix_u64(args.seed);
   h.mix_u64(args.cases);
   h.mix_u64(topo_case_count(args));
+  h.mix_u64(campaign_case_count(args));
   h.mix_u64(static_cast<std::uint64_t>(args.inject_case + 1));
   h.mix_u64(args.scratch.empty() ? 0 : 1);  // scratch gates an oracle
   return h.state;
@@ -256,6 +275,20 @@ std::uint64_t fuzz_topo_case_key(const Args& args, std::uint64_t index) {
   h.mix_u64(index);
   h.mix_u64(sim::Rng::derive_seed(args.seed, (1ull << 32) + index));
   return h.state;
+}
+
+std::uint64_t fuzz_campaign_case_key(const Args& args, std::uint64_t index) {
+  pi2::durable::Fnv1a h;
+  h.mix_string("pi2-fuzz-campaign-case-v1");
+  h.mix_u64(index);
+  h.mix_u64(sim::Rng::derive_seed(args.seed, (2ull << 32) + index));
+  return h.state;
+}
+
+/// Per-campaign-case spec seed: its own stream slice so dumbbell and
+/// topology draws stay untouched when the sub-batch size changes.
+std::uint64_t campaign_case_seed(const Args& args, std::uint64_t index) {
+  return sim::Rng::derive_seed(args.seed, (2ull << 32) + index);
 }
 
 check::OracleOptions oracle_options(const Args& args, std::uint64_t index,
@@ -407,11 +440,15 @@ int main(int argc, char** argv) {
   if (args.single_topo_case >= 0) return run_single_topo_case(args, fuzzer);
 
   const std::uint64_t topo_cases = topo_case_count(args);
-  const std::uint64_t total_cases = args.cases + topo_cases;
-  std::printf("# check_fuzz: %llu cases (+%llu topology) from seed %llu\n",
-              static_cast<unsigned long long>(args.cases),
-              static_cast<unsigned long long>(topo_cases),
-              static_cast<unsigned long long>(args.seed));
+  const std::uint64_t camp_cases = campaign_case_count(args);
+  const std::uint64_t total_cases = args.cases + topo_cases + camp_cases;
+  std::printf(
+      "# check_fuzz: %llu cases (+%llu topology, +%llu campaign) from seed "
+      "%llu\n",
+      static_cast<unsigned long long>(args.cases),
+      static_cast<unsigned long long>(topo_cases),
+      static_cast<unsigned long long>(camp_cases),
+      static_cast<unsigned long long>(args.seed));
 
   durable::ShutdownController::install();
   const std::uint64_t campaign = fuzz_campaign_key(args);
@@ -420,10 +457,14 @@ int main(int argc, char** argv) {
 
   const runner::ParallelRunner pool{args.jobs};
   // Task layout: dumbbell cases occupy [0, cases), topology cases
-  // [cases, cases + topo_cases) with topology-local indices.
+  // [cases, cases + topo_cases) and campaign cases the final slice, each
+  // with sub-batch-local indices.
   const auto task_key = [&](std::uint64_t i) {
-    return i < args.cases ? fuzz_case_key(args, i)
-                          : fuzz_topo_case_key(args, i - args.cases);
+    if (i < args.cases) return fuzz_case_key(args, i);
+    if (i < args.cases + topo_cases) {
+      return fuzz_topo_case_key(args, i - args.cases);
+    }
+    return fuzz_campaign_case_key(args, i - args.cases - topo_cases);
   };
   std::vector<check::CaseOutcome> outcomes(total_cases);
   std::vector<bool> replayed(total_cases, false);
@@ -468,11 +509,17 @@ int main(int argc, char** argv) {
           return check::run_case_oracles(config, i,
                                          oracle_options(args, i, "case"));
         }
-        const std::uint64_t j = i - args.cases;
-        auto config = fuzzer.make_topology_config(j);
-        config.stop = durable::ShutdownController::flag();
-        return check::run_topology_case_oracles(
-            config, j, oracle_options(args, i, "topo"));
+        if (i < args.cases + topo_cases) {
+          const std::uint64_t j = i - args.cases;
+          auto config = fuzzer.make_topology_config(j);
+          config.stop = durable::ShutdownController::flag();
+          return check::run_topology_case_oracles(
+              config, j, oracle_options(args, i, "topo"));
+        }
+        const std::uint64_t j = i - args.cases - topo_cases;
+        return check::run_campaign_case_oracles(
+            campaign_case_seed(args, j), j,
+            oracle_options(args, i, "campaign"));
       },
       [&](std::size_t i, runner::TaskStatus status, check::CaseOutcome* outcome) {
         if (status == runner::TaskStatus::kOk && outcome != nullptr) {
@@ -487,7 +534,10 @@ int main(int argc, char** argv) {
         } else if (status == runner::TaskStatus::kInterrupted) {
           ++interrupted_cases;
         } else {
-          outcomes[i].index = i < args.cases ? i : i - args.cases;
+          outcomes[i].index = i < args.cases ? i
+                              : i < args.cases + topo_cases
+                                  ? i - args.cases
+                                  : i - args.cases - topo_cases;
           outcomes[i].failures.push_back(
               {"harness", std::string("case crashed or timed out: ") +
                               runner::to_string(status)});
@@ -557,6 +607,26 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // And for the campaign sub-batch (the folded expansion digest means this
+  // recheck also proves expand() is --jobs invariant).
+  const std::uint64_t camp_recheck =
+      args.recheck < camp_cases ? args.recheck : camp_cases;
+  for (std::uint64_t i = 0; i < camp_recheck; ++i) {
+    const std::uint64_t index =
+        i * (camp_cases / (camp_recheck ? camp_recheck : 1));
+    const std::uint64_t at = args.cases + topo_cases + index;
+    const auto serial = check::run_campaign_case_oracles(
+        campaign_case_seed(args, index), index,
+        oracle_options(args, at, "campaign_recheck"));
+    if (serial.digest != outcomes[at].digest) {
+      std::printf("FAIL: campaign case %llu digest differs serial %016llx vs "
+                  "batch %016llx (--jobs variance)\n",
+                  static_cast<unsigned long long>(index),
+                  static_cast<unsigned long long>(serial.digest),
+                  static_cast<unsigned long long>(outcomes[at].digest));
+      return 1;
+    }
+  }
 
   std::uint64_t failed = 0;
   for (std::uint64_t i = 0; i < total_cases; ++i) {
@@ -568,7 +638,7 @@ int main(int argc, char** argv) {
       const auto config = fuzzer.make_config(outcome.index);
       print_failures(fuzzer, outcome, config);
       shrink_and_report(args, fuzzer, config, outcome.index);
-    } else {
+    } else if (i < args.cases + topo_cases) {
       const auto config = fuzzer.make_topology_config(outcome.index);
       print_topo_failures(fuzzer, outcome, config);
       if (!args.repro_out.empty()) {
@@ -578,14 +648,28 @@ int main(int argc, char** argv) {
           std::fclose(out);
         }
       }
+    } else {
+      // Campaign cases regenerate deterministically from (seed, index); no
+      // shrinker — the failure detail plus the derived spec seed is the
+      // debugging handle.
+      std::printf("campaign case %llu FAILED (spec seed %llu)\n",
+                  static_cast<unsigned long long>(outcome.index),
+                  static_cast<unsigned long long>(
+                      campaign_case_seed(args, outcome.index)));
+      for (const auto& failure : outcome.failures) {
+        std::printf("  [%s] %s\n", failure.oracle.c_str(),
+                    failure.detail.c_str());
+      }
     }
   }
-  std::printf("# %llu/%llu cases clean (%llu topology), %llu+%llu recheck "
-              "digests stable\n",
+  std::printf("# %llu/%llu cases clean (%llu topology, %llu campaign), "
+              "%llu+%llu+%llu recheck digests stable\n",
               static_cast<unsigned long long>(total_cases - failed),
               static_cast<unsigned long long>(total_cases),
               static_cast<unsigned long long>(topo_cases),
+              static_cast<unsigned long long>(camp_cases),
               static_cast<unsigned long long>(recheck),
-              static_cast<unsigned long long>(topo_recheck));
+              static_cast<unsigned long long>(topo_recheck),
+              static_cast<unsigned long long>(camp_recheck));
   return failed == 0 ? 0 : 1;
 }
